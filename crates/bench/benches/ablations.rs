@@ -1,0 +1,175 @@
+//! Ablation benches for the design choices DESIGN.md calls out:
+//!
+//! * radix trie vs `HashMap` for prefix-keyed state (exact lookup is
+//!   the detector's hot path; relational queries are the trie's whole
+//!   reason to exist);
+//! * fast provider-chain path synthesis vs the reference Gao-Rexford
+//!   computation;
+//! * the BGP decision process cost;
+//! * origin extraction cost on realistic paths.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use moas_bench::bench_study;
+use moas_bgp::decision::{best_index, DecisionConfig};
+use moas_bgp::Route;
+use moas_net::rng::DetRng;
+use moas_net::trie::RadixTrie;
+use moas_net::{AsPath, Asn, Ipv4Prefix};
+use moas_topology::paths::gao_rexford_routes;
+use moas_topology::PathSynth;
+use std::collections::HashMap;
+use std::hint::black_box;
+
+fn bench_trie_vs_hash(c: &mut Criterion) {
+    // A realistic table: 50k prefixes from the study-era distribution.
+    let study = bench_study(0.01);
+    let day = study.world.window.start().day_index();
+    let prefixes: Vec<Ipv4Prefix> = study
+        .world
+        .plan
+        .alive_at(day)
+        .iter()
+        .map(|a| a.prefix)
+        .collect();
+    eprintln!("trie ablation over {} prefixes", prefixes.len());
+
+    let mut trie: RadixTrie<Ipv4Prefix, u32> = RadixTrie::new();
+    let mut map: HashMap<Ipv4Prefix, u32> = HashMap::new();
+    for (i, p) in prefixes.iter().enumerate() {
+        trie.insert(*p, i as u32);
+        map.insert(*p, i as u32);
+    }
+
+    let mut group = c.benchmark_group("exact_lookup");
+    group.throughput(Throughput::Elements(prefixes.len() as u64));
+    group.bench_function("radix_trie", |b| {
+        b.iter(|| {
+            let mut acc = 0u64;
+            for p in &prefixes {
+                acc += *trie.get(p).unwrap() as u64;
+            }
+            black_box(acc)
+        })
+    });
+    group.bench_function("hash_map", |b| {
+        b.iter(|| {
+            let mut acc = 0u64;
+            for p in &prefixes {
+                acc += *map.get(p).unwrap() as u64;
+            }
+            black_box(acc)
+        })
+    });
+    group.finish();
+
+    // The query class only the trie answers: longest-prefix match and
+    // covered-set enumeration (aggregation-fault analysis).
+    let probes: Vec<Ipv4Prefix> = prefixes.iter().step_by(7).copied().collect();
+    let mut group = c.benchmark_group("relational_queries");
+    group.throughput(Throughput::Elements(probes.len() as u64));
+    group.bench_function("longest_match", |b| {
+        b.iter(|| {
+            let mut hits = 0usize;
+            for p in &probes {
+                if trie.longest_match(p).is_some() {
+                    hits += 1;
+                }
+            }
+            black_box(hits)
+        })
+    });
+    group.bench_function("covering_sets", |b| {
+        b.iter(|| {
+            let mut total = 0usize;
+            for p in &probes {
+                total += trie.covering(p).count();
+            }
+            black_box(total)
+        })
+    });
+    group.finish();
+}
+
+fn bench_path_synthesis(c: &mut Criterion) {
+    let study = bench_study(0.02);
+    let topo = &study.world.topo;
+    let synth = PathSynth::new(topo);
+    let nodes = topo.nodes();
+    let origin = nodes[nodes.len() / 2].asn;
+    let vantages: Vec<Asn> = nodes.iter().step_by(11).map(|n| n.asn).collect();
+
+    let mut group = c.benchmark_group("path_synthesis");
+    group.throughput(Throughput::Elements(vantages.len() as u64));
+    group.bench_function("fast_join_paths", |b| {
+        b.iter(|| {
+            let mut total = 0usize;
+            for v in &vantages {
+                if let Some(p) = synth.path(*v, origin, None) {
+                    total += p.len();
+                }
+            }
+            black_box(total)
+        })
+    });
+    group.sample_size(10);
+    group.bench_function("reference_gao_rexford_all_ases", |b| {
+        b.iter(|| black_box(gao_rexford_routes(topo, origin).len()))
+    });
+    group.finish();
+}
+
+fn bench_decision_process(c: &mut Criterion) {
+    // 30 candidate routes for one prefix (a well-peered prefix at a
+    // large collector).
+    let mut rng = DetRng::new(7);
+    let prefix = "203.0.113.0/24".parse().unwrap();
+    let candidates: Vec<(u16, Route)> = (0..30u16)
+        .map(|i| {
+            let hops = 2 + rng.below(5);
+            let path = AsPath::from_sequence(
+                (0..hops).map(|h| Asn::new(100 + i as u32 * 10 + h as u32)),
+            );
+            let mut route = Route::new(prefix, path);
+            if rng.chance(0.3) {
+                route.med = Some(rng.below(100) as u32);
+            }
+            (i, route)
+        })
+        .collect();
+    c.bench_function("decision_best_of_30", |b| {
+        b.iter(|| black_box(best_index(&candidates, &DecisionConfig::default())))
+    });
+}
+
+fn bench_origin_extraction(c: &mut Criterion) {
+    let paths: Vec<AsPath> = (0..1000)
+        .map(|i| {
+            let mut rng = DetRng::new(i);
+            let hops = 1 + rng.below(6);
+            AsPath::from_sequence((0..hops).map(|h| Asn::new(1 + (i as u32 + h as u32) % 30_000)))
+        })
+        .collect();
+    let mut group = c.benchmark_group("origin_extraction");
+    group.throughput(Throughput::Elements(paths.len() as u64));
+    group.bench_function("per_path", |b| {
+        b.iter(|| {
+            let mut acc = 0u64;
+            for p in &paths {
+                if let Some(o) = p.origin().as_single() {
+                    acc += o.value() as u64;
+                }
+            }
+            black_box(acc)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_trie_vs_hash,
+    bench_path_synthesis,
+    bench_decision_process,
+    bench_origin_extraction
+);
+criterion_main!(benches);

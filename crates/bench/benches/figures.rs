@@ -1,0 +1,76 @@
+//! One bench per table/figure: the cost of regenerating each of the
+//! paper's artifacts from an analyzed timeline, plus the end-to-end
+//! analysis they depend on.
+//!
+//! The *data* behind each figure is validated elsewhere (tests and the
+//! `figures` binary); these benches measure the regeneration cost so
+//! regressions in the statistics layer show up.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use moas_bench::bench_study;
+use moas_core::stats;
+use moas_core::timeline::Timeline;
+use moas_net::Date;
+use std::hint::black_box;
+
+/// Shared setup: a scaled study analyzed once.
+fn analyzed() -> Timeline {
+    let study = bench_study(0.02);
+    study.analyze(2)
+}
+
+fn bench_figures(c: &mut Criterion) {
+    let tl = analyzed();
+
+    c.bench_function("bench_fig1_daily_counts", |b| {
+        b.iter(|| black_box(stats::fig1_daily_counts(&tl)))
+    });
+
+    c.bench_function("bench_fig2_yearly_medians", |b| {
+        b.iter(|| black_box(stats::fig2_yearly_medians(&tl, &[1998, 1999, 2000, 2001])))
+    });
+
+    c.bench_function("bench_fig3_durations", |b| {
+        b.iter(|| black_box(stats::fig3_duration_histogram(&tl)))
+    });
+
+    c.bench_function("bench_fig4_expectations", |b| {
+        b.iter(|| black_box(stats::fig4_expectations(&tl, &[0, 1, 9, 29, 89])))
+    });
+
+    c.bench_function("bench_fig5_masklen", |b| {
+        b.iter(|| black_box(stats::fig5_masklen_by_year(&tl, &[1998, 1999, 2000, 2001])))
+    });
+
+    c.bench_function("bench_fig6_classes", |b| {
+        b.iter(|| {
+            black_box(stats::fig6_class_series(
+                &tl,
+                Date::ymd(2001, 5, 15),
+                Date::ymd(2001, 8, 15),
+            ))
+        })
+    });
+
+    c.bench_function("bench_duration_summary", |b| {
+        b.iter(|| black_box(stats::duration_summary(&tl)))
+    });
+}
+
+fn bench_end_to_end(c: &mut Criterion) {
+    // The full loop at a small scale: world + peers prebuilt, measure
+    // the 1307-day analysis itself.
+    let study = bench_study(0.01);
+    let mut group = c.benchmark_group("end_to_end");
+    group.sample_size(10);
+    group.bench_function("analyze_window_serial", |b| {
+        b.iter(|| black_box(study.analyze(1)))
+    });
+    group.bench_function("analyze_window_2_threads", |b| {
+        b.iter(|| black_box(study.analyze(2)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_figures, bench_end_to_end);
+criterion_main!(benches);

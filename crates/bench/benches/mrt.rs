@@ -1,0 +1,107 @@
+//! MRT format benches, including the TABLE_DUMP vs TABLE_DUMP_V2
+//! ablation (archive size and parse throughput) that motivated the
+//! format switch in the real archives.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use moas_bench::bench_study;
+use moas_mrt::snapshot::{records_to_snapshot, snapshot_to_records, DumpFormat};
+use moas_mrt::{MrtReader, MrtRecord, MrtWriter};
+use moas_routeviews::{BackgroundMode, Collector};
+use std::hint::black_box;
+
+fn bench_mrt(c: &mut Criterion) {
+    let study = bench_study(0.02);
+    let mut collector = Collector::new(&study.world, &study.peers);
+    let snap = collector.snapshot_at(900, BackgroundMode::Full);
+    eprintln!("table: {} routes, {} prefixes", snap.len(), snap.distinct_prefixes());
+
+    let v1_records = snapshot_to_records(&snap, DumpFormat::V1);
+    let v2_records = snapshot_to_records(&snap, DumpFormat::V2);
+    let encode_all = |records: &[MrtRecord]| -> Vec<u8> {
+        let mut w = MrtWriter::new(Vec::new());
+        w.write_all(records).unwrap();
+        w.finish().unwrap()
+    };
+    let v1_bytes = encode_all(&v1_records);
+    let v2_bytes = encode_all(&v2_records);
+    eprintln!(
+        "archive size ablation: v1 = {} KiB, v2 = {} KiB ({}% of v1)",
+        v1_bytes.len() / 1024,
+        v2_bytes.len() / 1024,
+        v2_bytes.len() * 100 / v1_bytes.len().max(1)
+    );
+
+    let mut group = c.benchmark_group("mrt_encode");
+    group.throughput(Throughput::Elements(snap.len() as u64));
+    group.bench_function("table_dump_v1", |b| {
+        b.iter(|| black_box(encode_all(&v1_records)))
+    });
+    group.bench_function("table_dump_v2", |b| {
+        b.iter(|| black_box(encode_all(&v2_records)))
+    });
+    group.finish();
+
+    let mut group = c.benchmark_group("mrt_parse");
+    group.throughput(Throughput::Bytes(v1_bytes.len() as u64));
+    group.bench_function("table_dump_v1", |b| {
+        b.iter(|| {
+            let mut reader = MrtReader::new(&v1_bytes[..]);
+            let n = reader.by_ref().count();
+            black_box(n)
+        })
+    });
+    group.throughput(Throughput::Bytes(v2_bytes.len() as u64));
+    group.bench_function("table_dump_v2", |b| {
+        b.iter(|| {
+            let mut reader = MrtReader::new(&v2_bytes[..]);
+            let n = reader.by_ref().count();
+            black_box(n)
+        })
+    });
+    group.finish();
+
+    // Full file→snapshot→detect path (what a window scan pays per day).
+    let mut group = c.benchmark_group("mrt_to_observation");
+    group.sample_size(20);
+    group.bench_function("parse_rebuild_detect_v2", |b| {
+        b.iter(|| {
+            let mut reader = MrtReader::new(&v2_bytes[..]);
+            let records: Vec<MrtRecord> = reader.by_ref().collect();
+            let snap = records_to_snapshot(&records, None).unwrap();
+            black_box(moas_core::detect::detect(&snap))
+        })
+    });
+    group.finish();
+
+    // Fault-injection overhead: a corrupt-record-riddled stream must
+    // not collapse reader throughput.
+    let mut corrupted = v1_bytes.clone();
+    let mut off = 0usize;
+    let mut k = 0usize;
+    while off + 12 <= corrupted.len() {
+        let len = u32::from_be_bytes([
+            corrupted[off + 8],
+            corrupted[off + 9],
+            corrupted[off + 10],
+            corrupted[off + 11],
+        ]) as usize;
+        if k % 10 == 5 && len > 8 {
+            corrupted[off + 12 + len / 2] ^= 0xFF;
+        }
+        off += 12 + len;
+        k += 1;
+    }
+    let mut group = c.benchmark_group("mrt_parse_corrupted");
+    group.throughput(Throughput::Bytes(corrupted.len() as u64));
+    group.bench_function("10pct_damaged_records", |b| {
+        b.iter(|| {
+            let mut reader = MrtReader::new(&corrupted[..]);
+            let n = reader.by_ref().count();
+            black_box(n)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_mrt);
+criterion_main!(benches);

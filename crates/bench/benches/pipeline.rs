@@ -1,0 +1,67 @@
+//! Pipeline-stage benches: snapshot assembly, detection, and
+//! classification throughput on realistic day tables.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use moas_bench::bench_study;
+use moas_core::classify::classify;
+use moas_core::detect::detect;
+use moas_routeviews::{BackgroundMode, Collector};
+use std::hint::black_box;
+
+fn bench_pipeline(c: &mut Criterion) {
+    let study = bench_study(0.05);
+    let idx = 900usize; // a busy 2000 day
+    let mut collector = Collector::new(&study.world, &study.peers);
+    let snap_conflicts = collector.snapshot_at(idx, BackgroundMode::None);
+    let snap_full = collector.snapshot_at(idx, BackgroundMode::Full);
+
+    // Snapshot assembly (conflicts only; the realizer cache is warm —
+    // this is the steady-state per-day cost of a window scan).
+    let mut group = c.benchmark_group("snapshot");
+    group.bench_function("assemble_conflict_overlay", |b| {
+        b.iter(|| black_box(collector.snapshot_at(idx, BackgroundMode::None)))
+    });
+    group.bench_function("assemble_with_sampled_background", |b| {
+        b.iter(|| black_box(collector.snapshot_at(idx, BackgroundMode::Sample(40))))
+    });
+    group.finish();
+
+    // Detection throughput in routes/second.
+    let mut group = c.benchmark_group("detect");
+    group.throughput(Throughput::Elements(snap_full.len() as u64));
+    group.bench_function("full_table", |b| b.iter(|| black_box(detect(&snap_full))));
+    group.throughput(Throughput::Elements(snap_conflicts.len() as u64));
+    group.bench_function("conflict_overlay", |b| {
+        b.iter(|| black_box(detect(&snap_conflicts)))
+    });
+    group.finish();
+
+    // Classification of a day's conflict set.
+    let obs = detect(&snap_conflicts);
+    c.bench_function("classify_day", |b| {
+        b.iter(|| {
+            let mut counts = [0u32; 4];
+            for conflict in &obs.conflicts {
+                counts[classify(conflict).index()] += 1;
+            }
+            black_box(counts)
+        })
+    });
+
+    // Incident-day detection: the 1998-04-07 spike table is ~10× the
+    // normal day; this is the worst-case day scan.
+    let spike_idx = study
+        .world
+        .window
+        .snapshot_index(moas_net::Date::ymd(1998, 4, 7).day_index())
+        .unwrap();
+    let spike = collector.snapshot_at(spike_idx, BackgroundMode::None);
+    let mut group = c.benchmark_group("detect_spike_day");
+    group.sample_size(20);
+    group.throughput(Throughput::Elements(spike.len() as u64));
+    group.bench_function("1998_04_07", |b| b.iter(|| black_box(detect(&spike))));
+    group.finish();
+}
+
+criterion_group!(benches, bench_pipeline);
+criterion_main!(benches);

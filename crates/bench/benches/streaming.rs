@@ -1,0 +1,85 @@
+//! Streaming benches: update-stream synthesis, replay throughput, and
+//! the subMOAS covering-prefix analysis.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use moas_bench::bench_study;
+use moas_core::replay::StreamReplayer;
+use moas_core::submoas::detect_submoas;
+use moas_routeviews::updates::day_transition;
+use moas_routeviews::{BackgroundMode, Collector};
+use std::hint::black_box;
+
+fn bench_streaming(c: &mut Criterion) {
+    let study = bench_study(0.05);
+    let mut collector = Collector::new(&study.world, &study.peers);
+
+    // A quiet transition and the incident onset.
+    let incident = study
+        .world
+        .window
+        .snapshot_index(moas_net::Date::ymd(1998, 4, 7).day_index())
+        .unwrap();
+
+    let (prev_q, _, stream_q) =
+        day_transition(&mut collector, 700, 701, BackgroundMode::Sample(40));
+    let (prev_i, _, stream_i) =
+        day_transition(&mut collector, incident - 1, incident, BackgroundMode::None);
+    eprintln!(
+        "streams: quiet day {} records, incident onset {} records",
+        stream_q.len(),
+        stream_i.len()
+    );
+
+    let mut group = c.benchmark_group("update_stream");
+    group.bench_function("synthesize_quiet_transition", |b| {
+        b.iter(|| {
+            black_box(day_transition(
+                &mut collector,
+                700,
+                701,
+                BackgroundMode::Sample(40),
+            ))
+        })
+    });
+    group.throughput(Throughput::Elements(stream_q.len() as u64));
+    group.bench_function("replay_quiet_transition", |b| {
+        b.iter(|| {
+            let mut r = StreamReplayer::new();
+            r.seed(&prev_q);
+            r.apply_all(&stream_q);
+            black_box(r.route_count())
+        })
+    });
+    group.throughput(Throughput::Elements(stream_i.len() as u64));
+    group.bench_function("replay_incident_onset", |b| {
+        b.iter(|| {
+            let mut r = StreamReplayer::new();
+            r.seed(&prev_i);
+            r.apply_all(&stream_i);
+            black_box(r.route_count())
+        })
+    });
+    group.finish();
+
+    // Detection on the replayer's live table (the per-check cost of a
+    // continuous monitor).
+    let mut replayer = StreamReplayer::new();
+    replayer.seed(&prev_i);
+    replayer.apply_all(&stream_i);
+    c.bench_function("detect_on_live_table", |b| {
+        b.iter(|| black_box(replayer.detect_now(moas_net::Date::ymd(1998, 4, 7))))
+    });
+
+    // subMOAS: trie build + covering queries over a full small table.
+    let snap = collector.snapshot_at(900, BackgroundMode::Full);
+    let mut group = c.benchmark_group("submoas");
+    group.sample_size(20);
+    group.throughput(Throughput::Elements(snap.distinct_prefixes() as u64));
+    group.bench_function("full_table_scan", |b| {
+        b.iter(|| black_box(detect_submoas(&snap)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_streaming);
+criterion_main!(benches);

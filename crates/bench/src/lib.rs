@@ -1,0 +1,18 @@
+//! # moas-bench — benchmark harness and figures binary
+//!
+//! * `src/bin/figures.rs` — regenerates every table and figure of the
+//!   paper from a full study run (see EXPERIMENTS.md).
+//! * `benches/` — Criterion benchmarks: one per pipeline stage and per
+//!   figure, plus the ablation benches DESIGN.md calls out.
+//!
+//! The library part only re-exports a tiny helper for building scaled
+//! studies shared by benches.
+
+#![forbid(unsafe_code)]
+
+use moas_lab::study::{Study, StudyConfig};
+
+/// Builds the standard benchmark study (small scale, deterministic).
+pub fn bench_study(scale: f64) -> Study {
+    Study::build(StudyConfig::test(scale))
+}

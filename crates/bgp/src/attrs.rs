@@ -1,0 +1,746 @@
+//! BGP path-attribute encoding and decoding.
+//!
+//! Implements the attribute block of an UPDATE message (RFC 4271 §4.3)
+//! with the attributes that occur in Route Views data of the study era,
+//! plus MP_REACH/MP_UNREACH (RFC 2858) so IPv6 tables round-trip.
+//! Unknown attributes are preserved as raw bytes — an archive scan must
+//! never lose information it does not understand.
+
+use crate::error::BgpError;
+use crate::nlri;
+use crate::route::{Community, NextHop, OriginAttr, Route};
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use moas_net::{AsPath, Asn, PathSegment, Prefix};
+use std::net::{Ipv4Addr, Ipv6Addr};
+
+/// Attribute type codes (RFC 4271 §5, RFC 1997, RFC 2858).
+pub mod type_code {
+    /// ORIGIN.
+    pub const ORIGIN: u8 = 1;
+    /// AS_PATH.
+    pub const AS_PATH: u8 = 2;
+    /// NEXT_HOP.
+    pub const NEXT_HOP: u8 = 3;
+    /// MULTI_EXIT_DISC.
+    pub const MED: u8 = 4;
+    /// LOCAL_PREF.
+    pub const LOCAL_PREF: u8 = 5;
+    /// ATOMIC_AGGREGATE.
+    pub const ATOMIC_AGGREGATE: u8 = 6;
+    /// AGGREGATOR.
+    pub const AGGREGATOR: u8 = 7;
+    /// COMMUNITIES.
+    pub const COMMUNITIES: u8 = 8;
+    /// MP_REACH_NLRI.
+    pub const MP_REACH_NLRI: u8 = 14;
+    /// MP_UNREACH_NLRI.
+    pub const MP_UNREACH_NLRI: u8 = 15;
+}
+
+/// Attribute flag bits.
+pub mod flag {
+    /// Optional (not well-known).
+    pub const OPTIONAL: u8 = 0x80;
+    /// Transitive.
+    pub const TRANSITIVE: u8 = 0x40;
+    /// Partial.
+    pub const PARTIAL: u8 = 0x20;
+    /// Two-byte length field follows.
+    pub const EXTENDED_LENGTH: u8 = 0x10;
+}
+
+/// Whether AS numbers on the wire are 2 or 4 bytes wide.
+///
+/// The study window (1997–2001) is strictly 2-byte; [`AsnWidth::Four`]
+/// exists so modern TABLE_DUMP_V2 archives can be parsed by the same
+/// code.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum AsnWidth {
+    /// Classic 2-byte AS numbers.
+    #[default]
+    Two,
+    /// RFC 6793 4-byte AS numbers.
+    Four,
+}
+
+impl AsnWidth {
+    /// Bytes per ASN.
+    pub fn bytes(self) -> usize {
+        match self {
+            AsnWidth::Two => 2,
+            AsnWidth::Four => 4,
+        }
+    }
+}
+
+/// An attribute we do not interpret, preserved verbatim.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RawAttr {
+    /// Original flag byte.
+    pub flags: u8,
+    /// Attribute type code.
+    pub code: u8,
+    /// Raw value bytes.
+    pub value: Vec<u8>,
+}
+
+/// MP_REACH_NLRI contents (IPv6 unicast only; other AFI/SAFI pairs are
+/// reported as [`BgpError::UnsupportedAfiSafi`] and skipped upstream).
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct MpReach {
+    /// Announced IPv6 prefixes.
+    pub prefixes: Vec<moas_net::Ipv6Prefix>,
+    /// IPv6 next hop, if present.
+    pub next_hop: Option<Ipv6Addr>,
+}
+
+/// The decoded attribute block of one UPDATE.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Attrs {
+    /// ORIGIN, if present.
+    pub origin: Option<OriginAttr>,
+    /// AS_PATH, if present (may be an empty path).
+    pub as_path: Option<AsPath>,
+    /// NEXT_HOP.
+    pub next_hop: Option<Ipv4Addr>,
+    /// MULTI_EXIT_DISC.
+    pub med: Option<u32>,
+    /// LOCAL_PREF.
+    pub local_pref: Option<u32>,
+    /// ATOMIC_AGGREGATE present.
+    pub atomic_aggregate: bool,
+    /// AGGREGATOR (AS, router-id).
+    pub aggregator: Option<(Asn, Ipv4Addr)>,
+    /// COMMUNITIES.
+    pub communities: Vec<Community>,
+    /// MP_REACH_NLRI (IPv6 unicast).
+    pub mp_reach: Option<MpReach>,
+    /// MP_UNREACH_NLRI withdrawn IPv6 prefixes.
+    pub mp_unreach: Vec<moas_net::Ipv6Prefix>,
+    /// Attributes preserved but not interpreted.
+    pub unknown: Vec<RawAttr>,
+}
+
+impl Attrs {
+    /// Builds the minimal well-known attribute set for an announcement.
+    pub fn announcement(path: AsPath, next_hop: Ipv4Addr) -> Self {
+        Attrs {
+            origin: Some(OriginAttr::Igp),
+            as_path: Some(path),
+            next_hop: Some(next_hop),
+            ..Attrs::default()
+        }
+    }
+
+    /// The inverse of [`Attrs::to_route`]: reconstructs the attribute
+    /// bundle that announces exactly this route. IPv4 routes use the
+    /// classic NEXT_HOP + NLRI encoding; IPv6 routes are carried in
+    /// MP_REACH_NLRI.
+    pub fn from_route(route: &Route) -> Attrs {
+        let mut attrs = Attrs {
+            origin: Some(route.origin_attr),
+            as_path: Some(route.path.clone()),
+            med: route.med,
+            local_pref: route.local_pref,
+            atomic_aggregate: route.atomic_aggregate,
+            aggregator: route.aggregator,
+            communities: route.communities.clone(),
+            ..Attrs::default()
+        };
+        match route.prefix {
+            Prefix::V4(_) => {
+                if let Some(NextHop::V4(nh)) = route.next_hop {
+                    attrs.next_hop = Some(nh);
+                }
+            }
+            Prefix::V6(p) => {
+                attrs.mp_reach = Some(MpReach {
+                    prefixes: vec![p],
+                    next_hop: match route.next_hop {
+                        Some(NextHop::V6(nh)) => Some(nh),
+                        _ => None,
+                    },
+                });
+            }
+        }
+        attrs
+    }
+
+    /// Materializes a [`Route`] for one announced prefix.
+    pub fn to_route(&self, prefix: Prefix) -> Route {
+        Route {
+            prefix,
+            path: self.as_path.clone().unwrap_or_default(),
+            origin_attr: self.origin.unwrap_or_default(),
+            next_hop: match prefix {
+                Prefix::V4(_) => self.next_hop.map(NextHop::V4),
+                Prefix::V6(_) => self
+                    .mp_reach
+                    .as_ref()
+                    .and_then(|m| m.next_hop)
+                    .map(NextHop::V6),
+            },
+            med: self.med,
+            local_pref: self.local_pref,
+            atomic_aggregate: self.atomic_aggregate,
+            aggregator: self.aggregator,
+            communities: self.communities.clone(),
+        }
+    }
+}
+
+// ---------------------------------------------------------------- encode
+
+/// Encodes an AS path body (segments only, no attribute header).
+pub fn encode_as_path(path: &AsPath, width: AsnWidth, out: &mut impl BufMut) {
+    for seg in path.segments() {
+        let (ty, asns): (u8, &[Asn]) = match seg {
+            PathSegment::Set(v) => (1, v),
+            PathSegment::Sequence(v) => (2, v),
+            PathSegment::ConfedSequence(v) => (3, v),
+            PathSegment::ConfedSet(v) => (4, v),
+        };
+        // A segment holds at most 255 ASNs; split long sequences.
+        for chunk in asns.chunks(255) {
+            out.put_u8(ty);
+            out.put_u8(chunk.len() as u8);
+            for a in chunk {
+                match width {
+                    AsnWidth::Two => out.put_u16(a.value() as u16),
+                    AsnWidth::Four => out.put_u32(a.value()),
+                }
+            }
+        }
+    }
+}
+
+/// Decodes an AS path body of exactly `buf` bytes.
+pub fn decode_as_path(buf: &mut impl Buf, width: AsnWidth) -> Result<AsPath, BgpError> {
+    let mut segments = Vec::new();
+    while buf.has_remaining() {
+        if buf.remaining() < 2 {
+            return Err(BgpError::Truncated {
+                what: "AS_PATH segment header",
+                needed: 2,
+                available: buf.remaining(),
+            });
+        }
+        let ty = buf.get_u8();
+        let count = buf.get_u8() as usize;
+        let need = count * width.bytes();
+        if buf.remaining() < need {
+            return Err(BgpError::Truncated {
+                what: "AS_PATH segment body",
+                needed: need,
+                available: buf.remaining(),
+            });
+        }
+        let mut asns = Vec::with_capacity(count);
+        for _ in 0..count {
+            let v = match width {
+                AsnWidth::Two => buf.get_u16() as u32,
+                AsnWidth::Four => buf.get_u32(),
+            };
+            asns.push(Asn::new(v));
+        }
+        let seg = match ty {
+            1 => PathSegment::Set(asns),
+            2 => PathSegment::Sequence(asns),
+            3 => PathSegment::ConfedSequence(asns),
+            4 => PathSegment::ConfedSet(asns),
+            other => return Err(BgpError::BadSegmentType(other)),
+        };
+        segments.push(seg);
+    }
+    Ok(AsPath::from_segments(segments))
+}
+
+fn put_attr(out: &mut BytesMut, flags: u8, code: u8, value: &[u8]) {
+    if value.len() > 255 {
+        out.put_u8(flags | flag::EXTENDED_LENGTH);
+        out.put_u8(code);
+        out.put_u16(value.len() as u16);
+    } else {
+        out.put_u8(flags & !flag::EXTENDED_LENGTH);
+        out.put_u8(code);
+        out.put_u8(value.len() as u8);
+    }
+    out.put_slice(value);
+}
+
+/// Encodes a full attribute block (without the 2-byte total-length field
+/// of the UPDATE message — the message layer writes that).
+pub fn encode_attrs(attrs: &Attrs, width: AsnWidth) -> BytesMut {
+    let mut out = BytesMut::with_capacity(64);
+    if let Some(origin) = attrs.origin {
+        put_attr(&mut out, flag::TRANSITIVE, type_code::ORIGIN, &[origin.code()]);
+    }
+    if let Some(path) = &attrs.as_path {
+        let mut body = BytesMut::new();
+        encode_as_path(path, width, &mut body);
+        put_attr(&mut out, flag::TRANSITIVE, type_code::AS_PATH, &body);
+    }
+    if let Some(nh) = attrs.next_hop {
+        put_attr(
+            &mut out,
+            flag::TRANSITIVE,
+            type_code::NEXT_HOP,
+            &nh.octets(),
+        );
+    }
+    if let Some(med) = attrs.med {
+        put_attr(
+            &mut out,
+            flag::OPTIONAL,
+            type_code::MED,
+            &med.to_be_bytes(),
+        );
+    }
+    if let Some(lp) = attrs.local_pref {
+        put_attr(
+            &mut out,
+            flag::TRANSITIVE,
+            type_code::LOCAL_PREF,
+            &lp.to_be_bytes(),
+        );
+    }
+    if attrs.atomic_aggregate {
+        put_attr(&mut out, flag::TRANSITIVE, type_code::ATOMIC_AGGREGATE, &[]);
+    }
+    if let Some((asn, id)) = attrs.aggregator {
+        let mut body = BytesMut::new();
+        match width {
+            AsnWidth::Two => body.put_u16(asn.value() as u16),
+            AsnWidth::Four => body.put_u32(asn.value()),
+        }
+        body.put_slice(&id.octets());
+        put_attr(
+            &mut out,
+            flag::OPTIONAL | flag::TRANSITIVE,
+            type_code::AGGREGATOR,
+            &body,
+        );
+    }
+    if !attrs.communities.is_empty() {
+        let mut body = BytesMut::new();
+        for c in &attrs.communities {
+            body.put_u32(c.0);
+        }
+        put_attr(
+            &mut out,
+            flag::OPTIONAL | flag::TRANSITIVE,
+            type_code::COMMUNITIES,
+            &body,
+        );
+    }
+    if let Some(mp) = &attrs.mp_reach {
+        let mut body = BytesMut::new();
+        body.put_u16(2); // AFI: IPv6
+        body.put_u8(1); // SAFI: unicast
+        match mp.next_hop {
+            Some(nh) => {
+                body.put_u8(16);
+                body.put_slice(&nh.octets());
+            }
+            None => body.put_u8(0),
+        }
+        body.put_u8(0); // reserved (SNPA count)
+        for p in &mp.prefixes {
+            nlri::encode_prefix(&Prefix::V6(*p), &mut body);
+        }
+        put_attr(&mut out, flag::OPTIONAL, type_code::MP_REACH_NLRI, &body);
+    }
+    if !attrs.mp_unreach.is_empty() {
+        let mut body = BytesMut::new();
+        body.put_u16(2);
+        body.put_u8(1);
+        for p in &attrs.mp_unreach {
+            nlri::encode_prefix(&Prefix::V6(*p), &mut body);
+        }
+        put_attr(&mut out, flag::OPTIONAL, type_code::MP_UNREACH_NLRI, &body);
+    }
+    for raw in &attrs.unknown {
+        put_attr(&mut out, raw.flags, raw.code, &raw.value);
+    }
+    out
+}
+
+// ---------------------------------------------------------------- decode
+
+/// Decodes an attribute block of exactly `block` bytes.
+pub fn decode_attrs(block: &mut Bytes, width: AsnWidth) -> Result<Attrs, BgpError> {
+    let mut attrs = Attrs::default();
+    while block.has_remaining() {
+        if block.remaining() < 2 {
+            return Err(BgpError::Truncated {
+                what: "attribute header",
+                needed: 2,
+                available: block.remaining(),
+            });
+        }
+        let flags = block.get_u8();
+        let code = block.get_u8();
+        let len = if flags & flag::EXTENDED_LENGTH != 0 {
+            if block.remaining() < 2 {
+                return Err(BgpError::Truncated {
+                    what: "extended attribute length",
+                    needed: 2,
+                    available: block.remaining(),
+                });
+            }
+            block.get_u16() as usize
+        } else {
+            if block.remaining() < 1 {
+                return Err(BgpError::Truncated {
+                    what: "attribute length",
+                    needed: 1,
+                    available: block.remaining(),
+                });
+            }
+            block.get_u8() as usize
+        };
+        if block.remaining() < len {
+            return Err(BgpError::Truncated {
+                what: "attribute value",
+                needed: len,
+                available: block.remaining(),
+            });
+        }
+        let mut value = block.split_to(len);
+        decode_one_attr(flags, code, &mut value, width, &mut attrs)?;
+    }
+    Ok(attrs)
+}
+
+fn decode_one_attr(
+    flags: u8,
+    code: u8,
+    value: &mut Bytes,
+    width: AsnWidth,
+    attrs: &mut Attrs,
+) -> Result<(), BgpError> {
+    match code {
+        type_code::ORIGIN => {
+            if value.len() != 1 {
+                return Err(BgpError::BadAttribute {
+                    code,
+                    reason: "ORIGIN must be 1 byte",
+                });
+            }
+            let v = value.get_u8();
+            attrs.origin =
+                Some(OriginAttr::from_code(v).ok_or(BgpError::BadOriginValue(v))?);
+        }
+        type_code::AS_PATH => {
+            attrs.as_path = Some(decode_as_path(value, width)?);
+        }
+        type_code::NEXT_HOP => {
+            if value.len() != 4 {
+                return Err(BgpError::BadAttribute {
+                    code,
+                    reason: "NEXT_HOP must be 4 bytes",
+                });
+            }
+            attrs.next_hop = Some(Ipv4Addr::new(
+                value.get_u8(),
+                value.get_u8(),
+                value.get_u8(),
+                value.get_u8(),
+            ));
+        }
+        type_code::MED => {
+            if value.len() != 4 {
+                return Err(BgpError::BadAttribute {
+                    code,
+                    reason: "MED must be 4 bytes",
+                });
+            }
+            attrs.med = Some(value.get_u32());
+        }
+        type_code::LOCAL_PREF => {
+            if value.len() != 4 {
+                return Err(BgpError::BadAttribute {
+                    code,
+                    reason: "LOCAL_PREF must be 4 bytes",
+                });
+            }
+            attrs.local_pref = Some(value.get_u32());
+        }
+        type_code::ATOMIC_AGGREGATE => {
+            if !value.is_empty() {
+                return Err(BgpError::BadAttribute {
+                    code,
+                    reason: "ATOMIC_AGGREGATE must be empty",
+                });
+            }
+            attrs.atomic_aggregate = true;
+        }
+        type_code::AGGREGATOR => {
+            let expect = width.bytes() + 4;
+            if value.len() != expect {
+                return Err(BgpError::BadAttribute {
+                    code,
+                    reason: "AGGREGATOR length mismatch",
+                });
+            }
+            let asn = match width {
+                AsnWidth::Two => Asn::new(value.get_u16() as u32),
+                AsnWidth::Four => Asn::new(value.get_u32()),
+            };
+            let id = Ipv4Addr::new(
+                value.get_u8(),
+                value.get_u8(),
+                value.get_u8(),
+                value.get_u8(),
+            );
+            attrs.aggregator = Some((asn, id));
+        }
+        type_code::COMMUNITIES => {
+            if !value.len().is_multiple_of(4) {
+                return Err(BgpError::BadAttribute {
+                    code,
+                    reason: "COMMUNITIES length not a multiple of 4",
+                });
+            }
+            while value.has_remaining() {
+                attrs.communities.push(Community(value.get_u32()));
+            }
+        }
+        type_code::MP_REACH_NLRI => {
+            if value.len() < 5 {
+                return Err(BgpError::BadAttribute {
+                    code,
+                    reason: "MP_REACH too short",
+                });
+            }
+            let afi = value.get_u16();
+            let safi = value.get_u8();
+            if afi != 2 || safi != 1 {
+                return Err(BgpError::UnsupportedAfiSafi { afi, safi });
+            }
+            let nh_len = value.get_u8() as usize;
+            if value.remaining() < nh_len + 1 {
+                return Err(BgpError::BadAttribute {
+                    code,
+                    reason: "MP_REACH next-hop truncated",
+                });
+            }
+            let next_hop = if nh_len >= 16 {
+                let mut o = [0u8; 16];
+                value.copy_to_slice(&mut o);
+                // A link-local second next hop may follow; skip it.
+                let extra = nh_len - 16;
+                value.advance(extra);
+                Some(Ipv6Addr::from(o))
+            } else {
+                value.advance(nh_len);
+                None
+            };
+            value.advance(1); // reserved SNPA count
+            let prefixes = nlri::decode_prefix_run_v6(value)?;
+            attrs.mp_reach = Some(MpReach { prefixes, next_hop });
+        }
+        type_code::MP_UNREACH_NLRI => {
+            if value.len() < 3 {
+                return Err(BgpError::BadAttribute {
+                    code,
+                    reason: "MP_UNREACH too short",
+                });
+            }
+            let afi = value.get_u16();
+            let safi = value.get_u8();
+            if afi != 2 || safi != 1 {
+                return Err(BgpError::UnsupportedAfiSafi { afi, safi });
+            }
+            attrs.mp_unreach = nlri::decode_prefix_run_v6(value)?;
+        }
+        _ => {
+            attrs.unknown.push(RawAttr {
+                flags,
+                code,
+                value: value.to_vec(),
+            });
+            value.advance(value.remaining());
+        }
+    }
+    if value.has_remaining() {
+        return Err(BgpError::TrailingBytes(value.remaining()));
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    #![allow(clippy::field_reassign_with_default, clippy::needless_range_loop)]
+    use super::*;
+
+    fn roundtrip(attrs: &Attrs, width: AsnWidth) -> Attrs {
+        let enc = encode_attrs(attrs, width);
+        decode_attrs(&mut enc.freeze(), width).expect("decode failed")
+    }
+
+    fn sample_attrs() -> Attrs {
+        Attrs {
+            origin: Some(OriginAttr::Incomplete),
+            as_path: Some("701 1239 8584".parse().unwrap()),
+            next_hop: Some(Ipv4Addr::new(192, 0, 2, 1)),
+            med: Some(50),
+            local_pref: Some(110),
+            atomic_aggregate: true,
+            aggregator: Some((Asn::new(1239), Ipv4Addr::new(10, 0, 0, 1))),
+            communities: vec![Community::new(701, 20), Community::NO_EXPORT],
+            ..Attrs::default()
+        }
+    }
+
+    #[test]
+    fn full_roundtrip_two_byte() {
+        let a = sample_attrs();
+        assert_eq!(roundtrip(&a, AsnWidth::Two), a);
+    }
+
+    #[test]
+    fn full_roundtrip_four_byte() {
+        let mut a = sample_attrs();
+        a.as_path = Some(AsPath::from_sequence([
+            Asn::new(70_000),
+            Asn::new(4_200_000_000),
+        ]));
+        assert_eq!(roundtrip(&a, AsnWidth::Four), a);
+    }
+
+    #[test]
+    fn as_set_path_roundtrip() {
+        let mut a = Attrs::default();
+        a.as_path = Some("701 {3561,7007}".parse().unwrap());
+        assert_eq!(roundtrip(&a, AsnWidth::Two), a);
+    }
+
+    #[test]
+    fn long_path_splits_segments() {
+        // 300 ASes cannot fit one segment (255 max); encoder must split,
+        // and the decoded flattened path must be preserved.
+        let long: Vec<Asn> = (1..=300).map(Asn::new).collect();
+        let mut a = Attrs::default();
+        a.as_path = Some(AsPath::from_sequence(long.clone()));
+        let out = roundtrip(&a, AsnWidth::Two);
+        let flat = out.as_path.unwrap().flatten();
+        assert_eq!(flat, long);
+    }
+
+    #[test]
+    fn empty_attrs_roundtrip() {
+        let a = Attrs::default();
+        let enc = encode_attrs(&a, AsnWidth::Two);
+        assert!(enc.is_empty());
+        assert_eq!(roundtrip(&a, AsnWidth::Two), a);
+    }
+
+    #[test]
+    fn unknown_attr_preserved() {
+        let mut a = Attrs::default();
+        a.unknown.push(RawAttr {
+            flags: flag::OPTIONAL | flag::TRANSITIVE,
+            code: 99,
+            value: vec![1, 2, 3],
+        });
+        assert_eq!(roundtrip(&a, AsnWidth::Two), a);
+    }
+
+    #[test]
+    fn mp_reach_roundtrip() {
+        let mut a = Attrs::default();
+        a.mp_reach = Some(MpReach {
+            prefixes: vec!["2001:db8::/32".parse().unwrap()],
+            next_hop: Some("2001:db8::1".parse().unwrap()),
+        });
+        a.mp_unreach = vec!["2001:db8:dead::/48".parse().unwrap()];
+        assert_eq!(roundtrip(&a, AsnWidth::Two), a);
+    }
+
+    #[test]
+    fn extended_length_used_for_big_values() {
+        // 100 communities = 400 bytes > 255 → extended length bit.
+        let mut a = Attrs::default();
+        a.communities = (0..100).map(|i| Community::new(1, i)).collect();
+        let enc = encode_attrs(&a, AsnWidth::Two);
+        assert!(enc[0] & flag::EXTENDED_LENGTH != 0);
+        assert_eq!(roundtrip(&a, AsnWidth::Two), a);
+    }
+
+    #[test]
+    fn bad_origin_value_rejected() {
+        let mut block = BytesMut::new();
+        put_attr(&mut block, flag::TRANSITIVE, type_code::ORIGIN, &[9]);
+        assert_eq!(
+            decode_attrs(&mut block.freeze(), AsnWidth::Two),
+            Err(BgpError::BadOriginValue(9))
+        );
+    }
+
+    #[test]
+    fn wrong_fixed_length_rejected() {
+        let mut block = BytesMut::new();
+        put_attr(&mut block, flag::OPTIONAL, type_code::MED, &[0, 1]);
+        assert!(matches!(
+            decode_attrs(&mut block.freeze(), AsnWidth::Two),
+            Err(BgpError::BadAttribute { .. })
+        ));
+    }
+
+    #[test]
+    fn truncated_block_rejected() {
+        let a = sample_attrs();
+        let enc = encode_attrs(&a, AsnWidth::Two);
+        // Cut points chosen mid-attribute (1 = inside the first header,
+        // 3 = ORIGIN header complete but value missing, len-1 = inside
+        // the last attribute's value). A cut at an attribute boundary
+        // would be a legitimately shorter block.
+        for cut in [1, 3, enc.len() - 1] {
+            let mut short = Bytes::copy_from_slice(&enc[..cut]);
+            assert!(
+                decode_attrs(&mut short, AsnWidth::Two).is_err(),
+                "cut at {cut} should fail"
+            );
+        }
+    }
+
+    #[test]
+    fn bad_segment_type_rejected() {
+        let mut body = BytesMut::new();
+        body.put_u8(7); // invalid segment type
+        body.put_u8(1);
+        body.put_u16(42);
+        let mut block = BytesMut::new();
+        put_attr(&mut block, flag::TRANSITIVE, type_code::AS_PATH, &body);
+        assert_eq!(
+            decode_attrs(&mut block.freeze(), AsnWidth::Two),
+            Err(BgpError::BadSegmentType(7))
+        );
+    }
+
+    #[test]
+    fn to_route_materializes_v4() {
+        let a = sample_attrs();
+        let r = a.to_route("192.0.2.0/24".parse().unwrap());
+        assert_eq!(r.origin_as(), Some(Asn::new(8584)));
+        assert_eq!(r.next_hop, Some(NextHop::V4(Ipv4Addr::new(192, 0, 2, 1))));
+        assert_eq!(r.med, Some(50));
+        assert!(r.atomic_aggregate);
+    }
+
+    #[test]
+    fn to_route_materializes_v6_next_hop() {
+        let mut a = Attrs::default();
+        a.as_path = Some("1 2".parse().unwrap());
+        a.mp_reach = Some(MpReach {
+            prefixes: vec!["2001:db8::/32".parse().unwrap()],
+            next_hop: Some("2001:db8::1".parse().unwrap()),
+        });
+        let r = a.to_route("2001:db8::/32".parse().unwrap());
+        assert_eq!(
+            r.next_hop,
+            Some(NextHop::V6("2001:db8::1".parse().unwrap()))
+        );
+    }
+}

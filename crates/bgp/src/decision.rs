@@ -1,0 +1,238 @@
+//! The BGP best-path decision process.
+//!
+//! Implements the route-selection ladder of RFC 4271 §9.1.2.2 as it
+//! applies to a route collector's view (all sessions are eBGP, no IGP
+//! metric): LOCAL_PREF → AS-path length → ORIGIN → MED → lowest peer
+//! identifier. Each comparison step is exposed so tests and the ablation
+//! benches can verify *which* rule decided.
+
+use crate::route::Route;
+use std::cmp::Ordering;
+
+/// Tunables of the decision process.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DecisionConfig {
+    /// LOCAL_PREF assumed when the attribute is absent (Cisco default).
+    pub default_local_pref: u32,
+    /// Compare MED across different neighbor ASes ("always-compare-med").
+    /// When false (the protocol default), MED only breaks ties between
+    /// routes learned from the same neighbor AS.
+    pub always_compare_med: bool,
+}
+
+impl Default for DecisionConfig {
+    fn default() -> Self {
+        DecisionConfig {
+            default_local_pref: 100,
+            always_compare_med: false,
+        }
+    }
+}
+
+/// Which rung of the decision ladder picked the winner.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DecisionStep {
+    /// Higher LOCAL_PREF won.
+    LocalPref,
+    /// Shorter AS path won.
+    AsPathLength,
+    /// Lower ORIGIN won.
+    Origin,
+    /// Lower MED won.
+    Med,
+    /// Lower peer identifier won (final deterministic tie-break).
+    PeerId,
+    /// The routes were fully equivalent (same peer id — should not
+    /// happen with distinct candidates).
+    Equal,
+}
+
+/// Compares two candidate routes; `Less` means `a` is *better*.
+/// Returns the ordering and the step that decided it.
+pub fn compare(
+    (peer_a, a): (u16, &Route),
+    (peer_b, b): (u16, &Route),
+    cfg: &DecisionConfig,
+) -> (Ordering, DecisionStep) {
+    // 1. Highest LOCAL_PREF.
+    let lp_a = a.local_pref.unwrap_or(cfg.default_local_pref);
+    let lp_b = b.local_pref.unwrap_or(cfg.default_local_pref);
+    match lp_b.cmp(&lp_a) {
+        Ordering::Equal => {}
+        ord => return (ord, DecisionStep::LocalPref),
+    }
+    // 2. Shortest AS path (AS_SET counts 1, confed segments 0).
+    match a.path.hop_count().cmp(&b.path.hop_count()) {
+        Ordering::Equal => {}
+        ord => return (ord, DecisionStep::AsPathLength),
+    }
+    // 3. Lowest ORIGIN (IGP < EGP < INCOMPLETE).
+    match a.origin_attr.cmp(&b.origin_attr) {
+        Ordering::Equal => {}
+        ord => return (ord, DecisionStep::Origin),
+    }
+    // 4. Lowest MED, when comparable.
+    let comparable = cfg.always_compare_med || a.first_hop() == b.first_hop();
+    if comparable {
+        let med_a = a.med.unwrap_or(0);
+        let med_b = b.med.unwrap_or(0);
+        match med_a.cmp(&med_b) {
+            Ordering::Equal => {}
+            ord => return (ord, DecisionStep::Med),
+        }
+    }
+    // 5. (eBGP-over-iBGP and IGP metric do not apply at a collector.)
+    // 6. Lowest peer identifier.
+    match peer_a.cmp(&peer_b) {
+        Ordering::Equal => (Ordering::Equal, DecisionStep::Equal),
+        ord => (ord, DecisionStep::PeerId),
+    }
+}
+
+/// Index of the best candidate, or `None` for an empty slice.
+pub fn best_index(candidates: &[(u16, Route)], cfg: &DecisionConfig) -> Option<usize> {
+    let mut best: Option<usize> = None;
+    for (i, (peer, route)) in candidates.iter().enumerate() {
+        match best {
+            None => best = Some(i),
+            Some(b) => {
+                let (ord, _) = compare(
+                    (*peer, route),
+                    (candidates[b].0, &candidates[b].1),
+                    cfg,
+                );
+                if ord == Ordering::Less {
+                    best = Some(i);
+                }
+            }
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::route::OriginAttr;
+    use moas_net::Prefix;
+
+    fn p() -> Prefix {
+        "10.0.0.0/8".parse().unwrap()
+    }
+
+    fn route(path: &str) -> Route {
+        Route::new(p(), path.parse().unwrap())
+    }
+
+    #[test]
+    fn local_pref_beats_path_length() {
+        let a = route("1 2 3 4 5").with_local_pref(200);
+        let b = route("6 7");
+        let (ord, step) = compare((0, &a), (1, &b), &DecisionConfig::default());
+        assert_eq!(ord, Ordering::Less);
+        assert_eq!(step, DecisionStep::LocalPref);
+    }
+
+    #[test]
+    fn missing_local_pref_uses_default() {
+        let a = route("1 2").with_local_pref(100);
+        let b = route("3 4"); // implicit 100
+        let (ord, step) = compare((0, &a), (1, &b), &DecisionConfig::default());
+        assert_eq!(step, DecisionStep::PeerId);
+        assert_eq!(ord, Ordering::Less);
+    }
+
+    #[test]
+    fn shorter_path_wins() {
+        let a = route("1 2");
+        let b = route("3 4 5");
+        let (ord, step) = compare((5, &a), (1, &b), &DecisionConfig::default());
+        assert_eq!(ord, Ordering::Less);
+        assert_eq!(step, DecisionStep::AsPathLength);
+    }
+
+    #[test]
+    fn as_set_counts_one_hop() {
+        let a = route("1 {2,3,4}"); // hop_count 2
+        let b = route("5 6 7"); // hop_count 3
+        let (ord, step) = compare((9, &a), (1, &b), &DecisionConfig::default());
+        assert_eq!(ord, Ordering::Less);
+        assert_eq!(step, DecisionStep::AsPathLength);
+    }
+
+    #[test]
+    fn origin_breaks_equal_length() {
+        let mut a = route("1 2");
+        a.origin_attr = OriginAttr::Igp;
+        let mut b = route("3 4");
+        b.origin_attr = OriginAttr::Incomplete;
+        let (ord, step) = compare((9, &a), (1, &b), &DecisionConfig::default());
+        assert_eq!(ord, Ordering::Less);
+        assert_eq!(step, DecisionStep::Origin);
+    }
+
+    #[test]
+    fn med_only_within_same_neighbor_as() {
+        let a = route("1 2").with_med(10);
+        let b = route("1 9").with_med(5);
+        // Same first hop (AS 1): MED comparable; b has lower MED.
+        let (ord, step) = compare((0, &a), (1, &b), &DecisionConfig::default());
+        assert_eq!(ord, Ordering::Greater);
+        assert_eq!(step, DecisionStep::Med);
+
+        // Different first hops: MED skipped, falls through to peer id.
+        let c = route("7 2").with_med(10);
+        let (_, step) = compare((0, &c), (1, &b), &DecisionConfig::default());
+        assert_eq!(step, DecisionStep::PeerId);
+    }
+
+    #[test]
+    fn always_compare_med_crosses_neighbors() {
+        let cfg = DecisionConfig {
+            always_compare_med: true,
+            ..DecisionConfig::default()
+        };
+        let a = route("7 2").with_med(10);
+        let b = route("1 9").with_med(5);
+        let (ord, step) = compare((0, &a), (1, &b), &cfg);
+        assert_eq!(ord, Ordering::Greater);
+        assert_eq!(step, DecisionStep::Med);
+    }
+
+    #[test]
+    fn peer_id_is_final_tiebreak() {
+        let a = route("1 2");
+        let b = route("1 2");
+        let (ord, step) = compare((3, &a), (7, &b), &DecisionConfig::default());
+        assert_eq!(ord, Ordering::Less);
+        assert_eq!(step, DecisionStep::PeerId);
+    }
+
+    #[test]
+    fn best_index_selects_global_winner() {
+        let candidates = vec![
+            (0u16, route("1 2 3")),
+            (1u16, route("4 5")),
+            (2u16, route("6 7 8 9")),
+            (3u16, route("1 9").with_local_pref(300)),
+        ];
+        let best = best_index(&candidates, &DecisionConfig::default()).unwrap();
+        assert_eq!(best, 3, "high local-pref wins overall");
+        assert_eq!(best_index(&[], &DecisionConfig::default()), None);
+    }
+
+    #[test]
+    fn best_is_stable_under_permutation() {
+        let cfg = DecisionConfig::default();
+        let base = vec![
+            (0u16, route("1 2 3")),
+            (1u16, route("4 5")),
+            (2u16, route("6 7")),
+        ];
+        let best_route = base[best_index(&base, &cfg).unwrap()].clone();
+        let mut rotated = base.clone();
+        rotated.rotate_left(1);
+        let best2 = rotated[best_index(&rotated, &cfg).unwrap()].clone();
+        assert_eq!(best_route, best2);
+    }
+}

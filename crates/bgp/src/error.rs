@@ -1,0 +1,84 @@
+//! BGP wire-format error type.
+
+use std::fmt;
+
+/// Errors raised while encoding or decoding BGP wire data.
+///
+/// The variants mirror RFC 4271 §6 NOTIFICATION error taxonomy closely
+/// enough that a speaker could map them onto error codes; the analysis
+/// pipeline mostly uses them to *count and skip* malformed records
+/// (smoltcp-style robustness: a bad record must never abort a 1279-day
+/// archive scan).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BgpError {
+    /// Fewer bytes available than the structure requires.
+    Truncated {
+        /// What was being decoded.
+        what: &'static str,
+        /// Bytes needed.
+        needed: usize,
+        /// Bytes available.
+        available: usize,
+    },
+    /// The 16-byte marker was not all-ones.
+    BadMarker,
+    /// Header length field outside [19, 4096].
+    BadMessageLength(u16),
+    /// Unknown message type code.
+    BadMessageType(u8),
+    /// Unsupported BGP version in OPEN.
+    BadVersion(u8),
+    /// A path attribute was malformed.
+    BadAttribute {
+        /// Attribute type code.
+        code: u8,
+        /// Human-readable reason.
+        reason: &'static str,
+    },
+    /// An AS_PATH segment had an invalid type code.
+    BadSegmentType(u8),
+    /// NLRI prefix length is impossible for its address family.
+    BadNlriLength(u8),
+    /// ORIGIN attribute value outside {0, 1, 2}.
+    BadOriginValue(u8),
+    /// An MP_REACH/MP_UNREACH carried an unsupported AFI/SAFI.
+    UnsupportedAfiSafi {
+        /// Address family identifier.
+        afi: u16,
+        /// Subsequent address family identifier.
+        safi: u8,
+    },
+    /// Trailing bytes remained after a complete parse.
+    TrailingBytes(usize),
+}
+
+impl fmt::Display for BgpError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BgpError::Truncated {
+                what,
+                needed,
+                available,
+            } => write!(
+                f,
+                "truncated {what}: need {needed} bytes, have {available}"
+            ),
+            BgpError::BadMarker => write!(f, "BGP header marker is not all-ones"),
+            BgpError::BadMessageLength(l) => write!(f, "invalid BGP message length {l}"),
+            BgpError::BadMessageType(t) => write!(f, "unknown BGP message type {t}"),
+            BgpError::BadVersion(v) => write!(f, "unsupported BGP version {v}"),
+            BgpError::BadAttribute { code, reason } => {
+                write!(f, "malformed path attribute {code}: {reason}")
+            }
+            BgpError::BadSegmentType(t) => write!(f, "invalid AS_PATH segment type {t}"),
+            BgpError::BadNlriLength(l) => write!(f, "invalid NLRI prefix length {l}"),
+            BgpError::BadOriginValue(v) => write!(f, "invalid ORIGIN value {v}"),
+            BgpError::UnsupportedAfiSafi { afi, safi } => {
+                write!(f, "unsupported AFI/SAFI {afi}/{safi}")
+            }
+            BgpError::TrailingBytes(n) => write!(f, "{n} trailing bytes after parse"),
+        }
+    }
+}
+
+impl std::error::Error for BgpError {}

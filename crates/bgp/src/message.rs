@@ -1,0 +1,454 @@
+//! BGP-4 messages: header framing, OPEN, UPDATE, NOTIFICATION, KEEPALIVE.
+//!
+//! The MRT `BGP4MP` record type wraps raw BGP messages; this module
+//! provides the message layer so archived update streams round-trip.
+//! Framing follows RFC 4271 §4 (identical to RFC 1771 for the features
+//! used here).
+
+use crate::attrs::{self, AsnWidth, Attrs};
+use crate::error::BgpError;
+use crate::nlri;
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use moas_net::{Asn, Ipv4Prefix, Prefix};
+use std::net::Ipv4Addr;
+
+/// Minimum BGP message size (bare header).
+pub const HEADER_LEN: usize = 19;
+/// Maximum BGP message size (RFC 4271).
+pub const MAX_MESSAGE_LEN: usize = 4096;
+
+/// Message type codes.
+pub mod msg_type {
+    /// OPEN.
+    pub const OPEN: u8 = 1;
+    /// UPDATE.
+    pub const UPDATE: u8 = 2;
+    /// NOTIFICATION.
+    pub const NOTIFICATION: u8 = 3;
+    /// KEEPALIVE.
+    pub const KEEPALIVE: u8 = 4;
+}
+
+/// An OPEN message (RFC 4271 §4.2). Optional parameters are carried as
+/// raw bytes — capability negotiation is out of scope for an archive
+/// analysis substrate.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OpenMsg {
+    /// Protocol version; always 4 in valid data.
+    pub version: u8,
+    /// The sender's AS (2-byte field; AS_TRANS for 4-byte ASes).
+    pub my_as: Asn,
+    /// Proposed hold time in seconds.
+    pub hold_time: u16,
+    /// BGP identifier (router ID).
+    pub bgp_id: Ipv4Addr,
+    /// Raw optional parameters.
+    pub opt_params: Vec<u8>,
+}
+
+/// An UPDATE message (RFC 4271 §4.3).
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct UpdateMsg {
+    /// Withdrawn IPv4 prefixes.
+    pub withdrawn: Vec<Ipv4Prefix>,
+    /// Path attributes (shared by all announced prefixes).
+    pub attrs: Attrs,
+    /// Announced IPv4 prefixes.
+    pub announced: Vec<Ipv4Prefix>,
+}
+
+impl UpdateMsg {
+    /// All prefixes announced by this update, across both address
+    /// families (IPv4 NLRI + MP_REACH IPv6).
+    pub fn all_announced(&self) -> Vec<Prefix> {
+        let mut out: Vec<Prefix> = self.announced.iter().copied().map(Prefix::V4).collect();
+        if let Some(mp) = &self.attrs.mp_reach {
+            out.extend(mp.prefixes.iter().copied().map(Prefix::V6));
+        }
+        out
+    }
+
+    /// All prefixes withdrawn by this update, across both families.
+    pub fn all_withdrawn(&self) -> Vec<Prefix> {
+        let mut out: Vec<Prefix> = self.withdrawn.iter().copied().map(Prefix::V4).collect();
+        out.extend(self.attrs.mp_unreach.iter().copied().map(Prefix::V6));
+        out
+    }
+}
+
+/// A NOTIFICATION message (RFC 4271 §4.5).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NotificationMsg {
+    /// Major error code.
+    pub code: u8,
+    /// Error subcode.
+    pub subcode: u8,
+    /// Diagnostic data.
+    pub data: Vec<u8>,
+}
+
+/// Any BGP message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BgpMessage {
+    /// OPEN.
+    Open(OpenMsg),
+    /// UPDATE.
+    Update(UpdateMsg),
+    /// NOTIFICATION.
+    Notification(NotificationMsg),
+    /// KEEPALIVE.
+    Keepalive,
+}
+
+impl BgpMessage {
+    /// The wire type code of this message.
+    pub fn type_code(&self) -> u8 {
+        match self {
+            BgpMessage::Open(_) => msg_type::OPEN,
+            BgpMessage::Update(_) => msg_type::UPDATE,
+            BgpMessage::Notification(_) => msg_type::NOTIFICATION,
+            BgpMessage::Keepalive => msg_type::KEEPALIVE,
+        }
+    }
+
+    /// Encodes the message with full header (marker, length, type).
+    pub fn encode(&self, width: AsnWidth) -> BytesMut {
+        let body = self.encode_body(width);
+        let mut out = BytesMut::with_capacity(HEADER_LEN + body.len());
+        out.put_slice(&[0xFF; 16]);
+        out.put_u16((HEADER_LEN + body.len()) as u16);
+        out.put_u8(self.type_code());
+        out.put_slice(&body);
+        out
+    }
+
+    fn encode_body(&self, width: AsnWidth) -> BytesMut {
+        let mut out = BytesMut::new();
+        match self {
+            BgpMessage::Open(o) => {
+                out.put_u8(o.version);
+                out.put_u16(o.my_as.value() as u16);
+                out.put_u16(o.hold_time);
+                out.put_slice(&o.bgp_id.octets());
+                out.put_u8(o.opt_params.len() as u8);
+                out.put_slice(&o.opt_params);
+            }
+            BgpMessage::Update(u) => {
+                let mut wd = BytesMut::new();
+                for p in &u.withdrawn {
+                    nlri::encode_prefix(&Prefix::V4(*p), &mut wd);
+                }
+                out.put_u16(wd.len() as u16);
+                out.put_slice(&wd);
+                let ab = attrs::encode_attrs(&u.attrs, width);
+                out.put_u16(ab.len() as u16);
+                out.put_slice(&ab);
+                for p in &u.announced {
+                    nlri::encode_prefix(&Prefix::V4(*p), &mut out);
+                }
+            }
+            BgpMessage::Notification(n) => {
+                out.put_u8(n.code);
+                out.put_u8(n.subcode);
+                out.put_slice(&n.data);
+            }
+            BgpMessage::Keepalive => {}
+        }
+        out
+    }
+
+    /// Decodes one message from the front of `buf` (header + body).
+    /// On success the consumed bytes are removed from `buf`.
+    pub fn decode(buf: &mut Bytes, width: AsnWidth) -> Result<BgpMessage, BgpError> {
+        if buf.remaining() < HEADER_LEN {
+            return Err(BgpError::Truncated {
+                what: "BGP header",
+                needed: HEADER_LEN,
+                available: buf.remaining(),
+            });
+        }
+        let marker = &buf[..16];
+        if marker.iter().any(|&b| b != 0xFF) {
+            return Err(BgpError::BadMarker);
+        }
+        let len = u16::from_be_bytes([buf[16], buf[17]]);
+        if (len as usize) < HEADER_LEN || (len as usize) > MAX_MESSAGE_LEN {
+            return Err(BgpError::BadMessageLength(len));
+        }
+        if buf.remaining() < len as usize {
+            return Err(BgpError::Truncated {
+                what: "BGP message body",
+                needed: len as usize,
+                available: buf.remaining(),
+            });
+        }
+        let ty = buf[18];
+        let mut msg = buf.split_to(len as usize);
+        msg.advance(HEADER_LEN);
+        match ty {
+            msg_type::OPEN => Self::decode_open(&mut msg),
+            msg_type::UPDATE => Self::decode_update(&mut msg, width),
+            msg_type::NOTIFICATION => {
+                if msg.remaining() < 2 {
+                    return Err(BgpError::Truncated {
+                        what: "NOTIFICATION body",
+                        needed: 2,
+                        available: msg.remaining(),
+                    });
+                }
+                let code = msg.get_u8();
+                let subcode = msg.get_u8();
+                Ok(BgpMessage::Notification(NotificationMsg {
+                    code,
+                    subcode,
+                    data: msg.to_vec(),
+                }))
+            }
+            msg_type::KEEPALIVE => {
+                if msg.has_remaining() {
+                    return Err(BgpError::TrailingBytes(msg.remaining()));
+                }
+                Ok(BgpMessage::Keepalive)
+            }
+            other => Err(BgpError::BadMessageType(other)),
+        }
+    }
+
+    fn decode_open(msg: &mut Bytes) -> Result<BgpMessage, BgpError> {
+        if msg.remaining() < 10 {
+            return Err(BgpError::Truncated {
+                what: "OPEN body",
+                needed: 10,
+                available: msg.remaining(),
+            });
+        }
+        let version = msg.get_u8();
+        if version != 4 {
+            return Err(BgpError::BadVersion(version));
+        }
+        let my_as = Asn::new(msg.get_u16() as u32);
+        let hold_time = msg.get_u16();
+        let bgp_id = Ipv4Addr::new(msg.get_u8(), msg.get_u8(), msg.get_u8(), msg.get_u8());
+        let opt_len = msg.get_u8() as usize;
+        if msg.remaining() < opt_len {
+            return Err(BgpError::Truncated {
+                what: "OPEN optional parameters",
+                needed: opt_len,
+                available: msg.remaining(),
+            });
+        }
+        let opt_params = msg.split_to(opt_len).to_vec();
+        if msg.has_remaining() {
+            return Err(BgpError::TrailingBytes(msg.remaining()));
+        }
+        Ok(BgpMessage::Open(OpenMsg {
+            version,
+            my_as,
+            hold_time,
+            bgp_id,
+            opt_params,
+        }))
+    }
+
+    fn decode_update(msg: &mut Bytes, width: AsnWidth) -> Result<BgpMessage, BgpError> {
+        if msg.remaining() < 2 {
+            return Err(BgpError::Truncated {
+                what: "UPDATE withdrawn length",
+                needed: 2,
+                available: msg.remaining(),
+            });
+        }
+        let wd_len = msg.get_u16() as usize;
+        if msg.remaining() < wd_len {
+            return Err(BgpError::Truncated {
+                what: "UPDATE withdrawn routes",
+                needed: wd_len,
+                available: msg.remaining(),
+            });
+        }
+        let mut wd = msg.split_to(wd_len);
+        let withdrawn = nlri::decode_prefix_run_v4(&mut wd)?;
+        if msg.remaining() < 2 {
+            return Err(BgpError::Truncated {
+                what: "UPDATE attribute length",
+                needed: 2,
+                available: msg.remaining(),
+            });
+        }
+        let at_len = msg.get_u16() as usize;
+        if msg.remaining() < at_len {
+            return Err(BgpError::Truncated {
+                what: "UPDATE attributes",
+                needed: at_len,
+                available: msg.remaining(),
+            });
+        }
+        let mut ab = msg.split_to(at_len);
+        let attrs = attrs::decode_attrs(&mut ab, width)?;
+        let announced = nlri::decode_prefix_run_v4(msg)?;
+        Ok(BgpMessage::Update(UpdateMsg {
+            withdrawn,
+            attrs,
+            announced,
+        }))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::route::OriginAttr;
+
+    fn roundtrip(m: &BgpMessage) -> BgpMessage {
+        let enc = m.encode(AsnWidth::Two);
+        let mut buf = enc.freeze();
+        let out = BgpMessage::decode(&mut buf, AsnWidth::Two).expect("decode");
+        assert!(!buf.has_remaining(), "decode must consume whole message");
+        out
+    }
+
+    #[test]
+    fn keepalive_roundtrip_is_19_bytes() {
+        let m = BgpMessage::Keepalive;
+        let enc = m.encode(AsnWidth::Two);
+        assert_eq!(enc.len(), 19);
+        assert_eq!(roundtrip(&m), m);
+    }
+
+    #[test]
+    fn open_roundtrip() {
+        let m = BgpMessage::Open(OpenMsg {
+            version: 4,
+            my_as: Asn::new(6447),
+            hold_time: 180,
+            bgp_id: Ipv4Addr::new(198, 32, 162, 100),
+            opt_params: vec![1, 2, 3],
+        });
+        assert_eq!(roundtrip(&m), m);
+    }
+
+    #[test]
+    fn update_roundtrip_full() {
+        let mut attrs = Attrs::announcement(
+            "701 1239 8584".parse().unwrap(),
+            Ipv4Addr::new(192, 0, 2, 1),
+        );
+        attrs.origin = Some(OriginAttr::Incomplete);
+        attrs.med = Some(10);
+        let m = BgpMessage::Update(UpdateMsg {
+            withdrawn: vec!["203.0.113.0/24".parse().unwrap()],
+            attrs,
+            announced: vec![
+                "198.51.100.0/24".parse().unwrap(),
+                "10.0.0.0/8".parse().unwrap(),
+            ],
+        });
+        assert_eq!(roundtrip(&m), m);
+    }
+
+    #[test]
+    fn empty_update_is_valid_eor() {
+        // An empty UPDATE (no withdrawn, no attrs, no NLRI) is the
+        // end-of-RIB marker in later practice; it must round-trip.
+        let m = BgpMessage::Update(UpdateMsg::default());
+        assert_eq!(roundtrip(&m), m);
+    }
+
+    #[test]
+    fn notification_roundtrip() {
+        let m = BgpMessage::Notification(NotificationMsg {
+            code: 6,
+            subcode: 2,
+            data: vec![0xDE, 0xAD],
+        });
+        assert_eq!(roundtrip(&m), m);
+    }
+
+    #[test]
+    fn bad_marker_rejected() {
+        let mut enc = BgpMessage::Keepalive.encode(AsnWidth::Two);
+        enc[0] = 0x00;
+        assert_eq!(
+            BgpMessage::decode(&mut enc.freeze(), AsnWidth::Two),
+            Err(BgpError::BadMarker)
+        );
+    }
+
+    #[test]
+    fn bad_length_rejected() {
+        let mut enc = BgpMessage::Keepalive.encode(AsnWidth::Two);
+        enc[16] = 0x00;
+        enc[17] = 0x05; // < 19
+        assert_eq!(
+            BgpMessage::decode(&mut enc.freeze(), AsnWidth::Two),
+            Err(BgpError::BadMessageLength(5))
+        );
+    }
+
+    #[test]
+    fn bad_type_rejected() {
+        let mut enc = BgpMessage::Keepalive.encode(AsnWidth::Two);
+        enc[18] = 9;
+        assert_eq!(
+            BgpMessage::decode(&mut enc.freeze(), AsnWidth::Two),
+            Err(BgpError::BadMessageType(9))
+        );
+    }
+
+    #[test]
+    fn open_with_wrong_version_rejected() {
+        let m = BgpMessage::Open(OpenMsg {
+            version: 3,
+            my_as: Asn::new(1),
+            hold_time: 90,
+            bgp_id: Ipv4Addr::new(1, 1, 1, 1),
+            opt_params: vec![],
+        });
+        let enc = m.encode(AsnWidth::Two);
+        assert_eq!(
+            BgpMessage::decode(&mut enc.freeze(), AsnWidth::Two),
+            Err(BgpError::BadVersion(3))
+        );
+    }
+
+    #[test]
+    fn truncated_stream_rejected() {
+        let enc = BgpMessage::Keepalive.encode(AsnWidth::Two);
+        let mut short = Bytes::copy_from_slice(&enc[..10]);
+        assert!(matches!(
+            BgpMessage::decode(&mut short, AsnWidth::Two),
+            Err(BgpError::Truncated { .. })
+        ));
+    }
+
+    #[test]
+    fn decode_consumes_exactly_one_message() {
+        let mut stream = BytesMut::new();
+        stream.put_slice(&BgpMessage::Keepalive.encode(AsnWidth::Two));
+        stream.put_slice(
+            &BgpMessage::Update(UpdateMsg::default())
+                .encode(AsnWidth::Two),
+        );
+        let mut buf = stream.freeze();
+        let m1 = BgpMessage::decode(&mut buf, AsnWidth::Two).unwrap();
+        assert_eq!(m1, BgpMessage::Keepalive);
+        let m2 = BgpMessage::decode(&mut buf, AsnWidth::Two).unwrap();
+        assert!(matches!(m2, BgpMessage::Update(_)));
+        assert!(!buf.has_remaining());
+    }
+
+    #[test]
+    fn update_announced_across_families() {
+        let mut attrs = Attrs::default();
+        attrs.mp_reach = Some(crate::attrs::MpReach {
+            prefixes: vec!["2001:db8::/32".parse().unwrap()],
+            next_hop: None,
+        });
+        let u = UpdateMsg {
+            withdrawn: vec![],
+            attrs,
+            announced: vec!["10.0.0.0/8".parse().unwrap()],
+        };
+        assert_eq!(u.all_announced().len(), 2);
+    }
+}

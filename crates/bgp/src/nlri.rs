@@ -1,0 +1,221 @@
+//! NLRI (Network Layer Reachability Information) prefix encoding.
+//!
+//! BGP UPDATE messages and both MRT table-dump formats encode a prefix
+//! as one length byte followed by `ceil(len/8)` address octets. This
+//! module is the single implementation used by all of them.
+
+use crate::error::BgpError;
+use bytes::{Buf, BufMut};
+use moas_net::{Ipv4Prefix, Ipv6Prefix, Prefix};
+
+/// Encodes a prefix in NLRI form: length byte + truncated address.
+pub fn encode_prefix(prefix: &Prefix, out: &mut impl BufMut) {
+    match prefix {
+        Prefix::V4(p) => {
+            out.put_u8(p.len());
+            let octets = p.network().octets();
+            out.put_slice(&octets[..byte_len(p.len())]);
+        }
+        Prefix::V6(p) => {
+            out.put_u8(p.len());
+            let octets = p.network().octets();
+            out.put_slice(&octets[..byte_len(p.len())]);
+        }
+    }
+}
+
+/// Decodes one IPv4 NLRI prefix.
+pub fn decode_prefix_v4(buf: &mut impl Buf) -> Result<Ipv4Prefix, BgpError> {
+    if buf.remaining() < 1 {
+        return Err(BgpError::Truncated {
+            what: "NLRI length byte",
+            needed: 1,
+            available: 0,
+        });
+    }
+    let len = buf.get_u8();
+    if len > 32 {
+        return Err(BgpError::BadNlriLength(len));
+    }
+    let nbytes = byte_len(len);
+    if buf.remaining() < nbytes {
+        return Err(BgpError::Truncated {
+            what: "NLRI v4 prefix bytes",
+            needed: nbytes,
+            available: buf.remaining(),
+        });
+    }
+    let mut octets = [0u8; 4];
+    buf.copy_to_slice(&mut octets[..nbytes]);
+    Ok(Ipv4Prefix::from_bits(u32::from_be_bytes(octets), len))
+}
+
+/// Decodes one IPv6 NLRI prefix.
+pub fn decode_prefix_v6(buf: &mut impl Buf) -> Result<Ipv6Prefix, BgpError> {
+    if buf.remaining() < 1 {
+        return Err(BgpError::Truncated {
+            what: "NLRI length byte",
+            needed: 1,
+            available: 0,
+        });
+    }
+    let len = buf.get_u8();
+    if len > 128 {
+        return Err(BgpError::BadNlriLength(len));
+    }
+    let nbytes = byte_len(len);
+    if buf.remaining() < nbytes {
+        return Err(BgpError::Truncated {
+            what: "NLRI v6 prefix bytes",
+            needed: nbytes,
+            available: buf.remaining(),
+        });
+    }
+    let mut octets = [0u8; 16];
+    buf.copy_to_slice(&mut octets[..nbytes]);
+    Ok(Ipv6Prefix::from_bits(u128::from_be_bytes(octets), len))
+}
+
+/// Decodes a run of IPv4 NLRI prefixes until the buffer is exhausted.
+pub fn decode_prefix_run_v4(buf: &mut impl Buf) -> Result<Vec<Ipv4Prefix>, BgpError> {
+    let mut out = Vec::new();
+    while buf.has_remaining() {
+        out.push(decode_prefix_v4(buf)?);
+    }
+    Ok(out)
+}
+
+/// Decodes a run of IPv6 NLRI prefixes until the buffer is exhausted.
+pub fn decode_prefix_run_v6(buf: &mut impl Buf) -> Result<Vec<Ipv6Prefix>, BgpError> {
+    let mut out = Vec::new();
+    while buf.has_remaining() {
+        out.push(decode_prefix_v6(buf)?);
+    }
+    Ok(out)
+}
+
+/// Octets needed to carry `len` prefix bits.
+pub fn byte_len(len: u8) -> usize {
+    (len as usize).div_ceil(8)
+}
+
+/// The encoded size of a prefix in NLRI form.
+pub fn encoded_len(prefix: &Prefix) -> usize {
+    1 + byte_len(prefix.len())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bytes::BytesMut;
+
+    fn roundtrip_v4(s: &str) {
+        let p: Ipv4Prefix = s.parse().unwrap();
+        let mut buf = BytesMut::new();
+        encode_prefix(&Prefix::V4(p), &mut buf);
+        assert_eq!(buf.len(), encoded_len(&Prefix::V4(p)));
+        let mut r = buf.freeze();
+        assert_eq!(decode_prefix_v4(&mut r).unwrap(), p);
+        assert!(!r.has_remaining());
+    }
+
+    #[test]
+    fn v4_roundtrips_all_lengths() {
+        for s in [
+            "0.0.0.0/0",
+            "128.0.0.0/1",
+            "10.0.0.0/7",
+            "10.0.0.0/8",
+            "10.128.0.0/9",
+            "198.51.0.0/16",
+            "198.51.100.0/23",
+            "198.51.100.0/24",
+            "198.51.100.128/25",
+            "198.51.100.1/32",
+        ] {
+            roundtrip_v4(s);
+        }
+    }
+
+    #[test]
+    fn v4_encoding_is_minimal() {
+        let p: Prefix = "10.0.0.0/8".parse().unwrap();
+        let mut buf = BytesMut::new();
+        encode_prefix(&p, &mut buf);
+        assert_eq!(&buf[..], &[8, 10]);
+        let d: Prefix = "0.0.0.0/0".parse().unwrap();
+        let mut buf = BytesMut::new();
+        encode_prefix(&d, &mut buf);
+        assert_eq!(&buf[..], &[0]);
+    }
+
+    #[test]
+    fn v6_roundtrip() {
+        for s in ["::/0", "2001:db8::/32", "2001:db8:1:2::/64", "2001:db8::1/128"] {
+            let p: Ipv6Prefix = s.parse().unwrap();
+            let mut buf = BytesMut::new();
+            encode_prefix(&Prefix::V6(p), &mut buf);
+            let mut r = buf.freeze();
+            assert_eq!(decode_prefix_v6(&mut r).unwrap(), p);
+        }
+    }
+
+    #[test]
+    fn rejects_overlong_length() {
+        let mut buf: &[u8] = &[33, 1, 2, 3, 4, 5];
+        assert_eq!(
+            decode_prefix_v4(&mut buf),
+            Err(BgpError::BadNlriLength(33))
+        );
+        let mut buf6: &[u8] = &[129];
+        assert_eq!(
+            decode_prefix_v6(&mut buf6),
+            Err(BgpError::BadNlriLength(129))
+        );
+    }
+
+    #[test]
+    fn rejects_truncated_body() {
+        let mut buf: &[u8] = &[24, 10, 0];
+        assert!(matches!(
+            decode_prefix_v4(&mut buf),
+            Err(BgpError::Truncated { .. })
+        ));
+        let mut empty: &[u8] = &[];
+        assert!(matches!(
+            decode_prefix_v4(&mut empty),
+            Err(BgpError::Truncated { .. })
+        ));
+    }
+
+    #[test]
+    fn run_decoding() {
+        let mut buf = BytesMut::new();
+        for s in ["10.0.0.0/8", "192.0.2.0/24", "0.0.0.0/0"] {
+            encode_prefix(&s.parse().unwrap(), &mut buf);
+        }
+        let run = decode_prefix_run_v4(&mut buf.freeze()).unwrap();
+        assert_eq!(run.len(), 3);
+        assert_eq!(run[1].to_string(), "192.0.2.0/24");
+    }
+
+    #[test]
+    fn run_decoding_propagates_error() {
+        let mut buf = BytesMut::new();
+        encode_prefix(&"10.0.0.0/8".parse().unwrap(), &mut buf);
+        buf.put_u8(24); // length byte with no body
+        assert!(decode_prefix_run_v4(&mut buf.freeze()).is_err());
+    }
+
+    #[test]
+    fn nonzero_host_bits_are_masked_on_decode() {
+        // A sloppy sender may include set host bits; the decoder must
+        // canonicalize rather than reject (robustness principle).
+        let mut buf: &[u8] = &[8, 0xFF];
+        let p = decode_prefix_v4(&mut buf).unwrap();
+        assert_eq!(p.to_string(), "255.0.0.0/8");
+        let mut buf2: &[u8] = &[4, 0xFF];
+        let p2 = decode_prefix_v4(&mut buf2).unwrap();
+        assert_eq!(p2.to_string(), "240.0.0.0/4");
+    }
+}

@@ -1,0 +1,235 @@
+//! Inter-AS relationships and valley-free (Gao-Rexford) export policy.
+//!
+//! The topology substrate labels each AS adjacency with a business
+//! relationship; this module holds the shared vocabulary and the two
+//! policy predicates everything else builds on:
+//!
+//! * [`may_export`] — whether a route learned from one neighbor class
+//!   may be exported to another (the no-valley, no-free-transit rule);
+//! * [`is_valley_free`] — whether a full AS path could have been
+//!   produced by those export rules.
+//!
+//! The paper leans on this implicitly: the §V classes (OrigTranAS,
+//! SplitView, DistinctPaths) describe *path shapes at a vantage point*,
+//! and only a policy-conforming path generator produces realistic
+//! mixtures of those shapes.
+
+use moas_net::Asn;
+use serde::{Deserialize, Serialize};
+
+/// The business relationship of a neighbor AS, from the perspective of
+/// the AS doing the exporting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Rel {
+    /// The neighbor is my customer (they pay me for transit).
+    Customer,
+    /// The neighbor is my provider (I pay them).
+    Provider,
+    /// Settlement-free peer.
+    Peer,
+    /// Same organization (sibling ASes exchange everything).
+    Sibling,
+}
+
+impl Rel {
+    /// The same edge seen from the other side.
+    pub fn invert(self) -> Rel {
+        match self {
+            Rel::Customer => Rel::Provider,
+            Rel::Provider => Rel::Customer,
+            Rel::Peer => Rel::Peer,
+            Rel::Sibling => Rel::Sibling,
+        }
+    }
+}
+
+/// Where a route came from, for export decisions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum RouteSource {
+    /// Originated by this AS itself.
+    SelfOriginated,
+    /// Learned from a neighbor with the given relationship.
+    From(Rel),
+}
+
+/// Gao-Rexford export rule: may a route from `source` be exported to a
+/// neighbor with relationship `to`?
+///
+/// * Self-originated and customer/sibling routes go to everyone
+///   (customers are the product; everyone should reach them).
+/// * Peer and provider routes go only to customers and siblings
+///   (no free transit between my providers/peers).
+pub fn may_export(source: RouteSource, to: Rel) -> bool {
+    match source {
+        RouteSource::SelfOriginated | RouteSource::From(Rel::Customer) | RouteSource::From(Rel::Sibling) => {
+            true
+        }
+        RouteSource::From(Rel::Peer) | RouteSource::From(Rel::Provider) => {
+            matches!(to, Rel::Customer | Rel::Sibling)
+        }
+    }
+}
+
+/// Phase of a path walk in announcement order (origin → vantage).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Phase {
+    /// Climbing customer→provider edges.
+    Up,
+    /// Crossed the single permitted peer edge.
+    Flat,
+    /// Descending provider→customer edges.
+    Down,
+}
+
+/// Whether an AS sequence is valley-free under a relationship oracle.
+///
+/// `path` must be in **announcement order**: `path[0]` is the origin AS
+/// and `path[len-1]` is the AS nearest the vantage point (note this is
+/// the *reverse* of AS_PATH wire order). `rel(a, b)` returns the
+/// relationship of `b` from `a`'s perspective (`Rel::Provider` meaning
+/// "b is a's provider"), or `None` if the ASes are not adjacent.
+///
+/// The rule: zero or more "up" edges (to providers), at most one peer
+/// edge, then zero or more "down" edges (to customers). Sibling edges
+/// never change phase. Duplicate consecutive ASes (prepending) are
+/// skipped.
+pub fn is_valley_free<F>(path: &[Asn], rel: F) -> bool
+where
+    F: Fn(Asn, Asn) -> Option<Rel>,
+{
+    let mut phase = Phase::Up;
+    let mut prev: Option<Asn> = None;
+    for &asn in path {
+        let Some(last) = prev else {
+            prev = Some(asn);
+            continue;
+        };
+        if last == asn {
+            continue; // prepending
+        }
+        let Some(r) = rel(last, asn) else {
+            return false; // not adjacent: cannot be a real path
+        };
+        phase = match (phase, r) {
+            (_, Rel::Sibling) => phase,
+            (Phase::Up, Rel::Provider) => Phase::Up,
+            (Phase::Up, Rel::Peer) => Phase::Flat,
+            (Phase::Up, Rel::Customer) => Phase::Down,
+            (Phase::Flat, Rel::Customer) => Phase::Down,
+            (Phase::Down, Rel::Customer) => Phase::Down,
+            // Any climb or second peer edge after the peak is a valley.
+            (Phase::Flat, Rel::Provider | Rel::Peer) => return false,
+            (Phase::Down, Rel::Provider | Rel::Peer) => return false,
+        };
+        prev = Some(asn);
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashMap;
+
+    #[test]
+    fn invert_is_involution() {
+        for r in [Rel::Customer, Rel::Provider, Rel::Peer, Rel::Sibling] {
+            assert_eq!(r.invert().invert(), r);
+        }
+        assert_eq!(Rel::Customer.invert(), Rel::Provider);
+        assert_eq!(Rel::Peer.invert(), Rel::Peer);
+    }
+
+    #[test]
+    fn export_matrix() {
+        use RouteSource::*;
+        // Customer routes go everywhere.
+        for to in [Rel::Customer, Rel::Provider, Rel::Peer, Rel::Sibling] {
+            assert!(may_export(From(Rel::Customer), to));
+            assert!(may_export(SelfOriginated, to));
+            assert!(may_export(From(Rel::Sibling), to));
+        }
+        // Peer/provider routes go only down (or to siblings).
+        for src in [Rel::Peer, Rel::Provider] {
+            assert!(may_export(From(src), Rel::Customer));
+            assert!(may_export(From(src), Rel::Sibling));
+            assert!(!may_export(From(src), Rel::Peer));
+            assert!(!may_export(From(src), Rel::Provider));
+        }
+    }
+
+    /// Builds a rel oracle from (a, b, rel-of-b-from-a) triples,
+    /// auto-inserting the inverse edge.
+    fn oracle(edges: &[(u32, u32, Rel)]) -> impl Fn(Asn, Asn) -> Option<Rel> + '_ {
+        let mut map: HashMap<(u32, u32), Rel> = HashMap::new();
+        for &(a, b, r) in edges {
+            map.insert((a, b), r);
+            map.insert((b, a), r.invert());
+        }
+        move |a: Asn, b: Asn| map.get(&(a.value(), b.value())).copied()
+    }
+
+    fn asns(v: &[u32]) -> Vec<Asn> {
+        v.iter().map(|&n| Asn::new(n)).collect()
+    }
+
+    #[test]
+    fn pure_uphill_is_valley_free() {
+        // 1 -> 2 -> 3 where each next AS is a provider.
+        let rel = oracle(&[(1, 2, Rel::Provider), (2, 3, Rel::Provider)]);
+        assert!(is_valley_free(&asns(&[1, 2, 3]), rel));
+    }
+
+    #[test]
+    fn up_peer_down_is_valley_free() {
+        let rel = oracle(&[
+            (1, 2, Rel::Provider),
+            (2, 3, Rel::Peer),
+            (3, 4, Rel::Customer),
+        ]);
+        assert!(is_valley_free(&asns(&[1, 2, 3, 4]), rel));
+    }
+
+    #[test]
+    fn valley_is_rejected() {
+        // Down then up: 2 is 1's customer, then 3 is 2's provider.
+        let rel = oracle(&[(1, 2, Rel::Customer), (2, 3, Rel::Provider)]);
+        assert!(!is_valley_free(&asns(&[1, 2, 3]), rel));
+    }
+
+    #[test]
+    fn double_peer_is_rejected() {
+        let rel = oracle(&[(1, 2, Rel::Peer), (2, 3, Rel::Peer)]);
+        assert!(!is_valley_free(&asns(&[1, 2, 3]), rel));
+    }
+
+    #[test]
+    fn sibling_edges_do_not_change_phase() {
+        let rel = oracle(&[
+            (1, 2, Rel::Provider),
+            (2, 3, Rel::Sibling),
+            (3, 4, Rel::Provider),
+        ]);
+        // Up, sibling, up again — still valley-free.
+        assert!(is_valley_free(&asns(&[1, 2, 3, 4]), rel));
+    }
+
+    #[test]
+    fn prepending_is_ignored() {
+        let rel = oracle(&[(1, 2, Rel::Provider)]);
+        assert!(is_valley_free(&asns(&[1, 1, 1, 2, 2]), rel));
+    }
+
+    #[test]
+    fn non_adjacent_hop_rejected() {
+        let rel = oracle(&[(1, 2, Rel::Provider)]);
+        assert!(!is_valley_free(&asns(&[1, 3]), rel));
+    }
+
+    #[test]
+    fn trivial_paths_are_valley_free() {
+        let rel = oracle(&[]);
+        assert!(is_valley_free(&asns(&[]), &rel));
+        assert!(is_valley_free(&asns(&[7]), &rel));
+    }
+}

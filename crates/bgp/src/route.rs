@@ -1,0 +1,248 @@
+//! The attribute-complete route type.
+
+use moas_net::{AsPath, Asn, Origin, Prefix};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::net::{Ipv4Addr, Ipv6Addr};
+
+/// The ORIGIN path attribute (RFC 4271 §5.1.1).
+///
+/// Ordering matters for the decision process: IGP < EGP < INCOMPLETE
+/// (lower is preferred), which the derived `Ord` provides.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
+pub enum OriginAttr {
+    /// Learned from an interior protocol (`i` in `show ip bgp`).
+    #[default]
+    Igp,
+    /// Learned via EGP (`e`) — archaic even in the study era.
+    Egp,
+    /// Origin unknown (`?`), typically redistributed statics.
+    Incomplete,
+}
+
+impl OriginAttr {
+    /// Wire value (0/1/2).
+    pub fn code(self) -> u8 {
+        match self {
+            OriginAttr::Igp => 0,
+            OriginAttr::Egp => 1,
+            OriginAttr::Incomplete => 2,
+        }
+    }
+
+    /// Parses the wire value.
+    pub fn from_code(c: u8) -> Option<Self> {
+        match c {
+            0 => Some(OriginAttr::Igp),
+            1 => Some(OriginAttr::Egp),
+            2 => Some(OriginAttr::Incomplete),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for OriginAttr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            OriginAttr::Igp => write!(f, "IGP"),
+            OriginAttr::Egp => write!(f, "EGP"),
+            OriginAttr::Incomplete => write!(f, "incomplete"),
+        }
+    }
+}
+
+/// A BGP COMMUNITIES value (RFC 1997): 2-byte ASN + 2-byte tag.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Community(pub u32);
+
+impl Community {
+    /// Well-known NO_EXPORT.
+    pub const NO_EXPORT: Community = Community(0xFFFF_FF01);
+    /// Well-known NO_ADVERTISE.
+    pub const NO_ADVERTISE: Community = Community(0xFFFF_FF02);
+
+    /// Builds `asn:tag`.
+    pub fn new(asn: u16, tag: u16) -> Self {
+        Community(((asn as u32) << 16) | tag as u32)
+    }
+
+    /// The high half (conventionally an ASN).
+    pub fn asn_part(self) -> u16 {
+        (self.0 >> 16) as u16
+    }
+
+    /// The low half.
+    pub fn tag(self) -> u16 {
+        self.0 as u16
+    }
+}
+
+impl fmt::Display for Community {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}", self.asn_part(), self.tag())
+    }
+}
+
+/// The next hop of a route: v4 for classic NEXT_HOP, v6 for MP_REACH.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum NextHop {
+    /// IPv4 next hop (classic NEXT_HOP attribute).
+    V4(Ipv4Addr),
+    /// IPv6 next hop (MP_REACH_NLRI).
+    V6(Ipv6Addr),
+}
+
+impl fmt::Display for NextHop {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NextHop::V4(a) => a.fmt(f),
+            NextHop::V6(a) => a.fmt(f),
+        }
+    }
+}
+
+/// A fully attributed BGP route for one prefix, as held in a RIB.
+///
+/// ```
+/// use moas_bgp::Route;
+/// use moas_net::{AsPath, Asn};
+/// let r = Route::new(
+///     "192.0.2.0/24".parse().unwrap(),
+///     "701 1239 8584".parse().unwrap(),
+/// );
+/// assert_eq!(r.origin_as(), Some(Asn::new(8584)));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Route {
+    /// Destination prefix.
+    pub prefix: Prefix,
+    /// The AS path.
+    pub path: AsPath,
+    /// ORIGIN attribute.
+    pub origin_attr: OriginAttr,
+    /// NEXT_HOP (or MP next hop).
+    pub next_hop: Option<NextHop>,
+    /// MULTI_EXIT_DISC, if present.
+    pub med: Option<u32>,
+    /// LOCAL_PREF, if present (iBGP-scoped).
+    pub local_pref: Option<u32>,
+    /// ATOMIC_AGGREGATE marker.
+    pub atomic_aggregate: bool,
+    /// AGGREGATOR: the AS and router that formed an aggregate.
+    pub aggregator: Option<(Asn, Ipv4Addr)>,
+    /// COMMUNITIES values.
+    pub communities: Vec<Community>,
+}
+
+impl Route {
+    /// A route with just prefix + path; other attributes defaulted
+    /// (ORIGIN=IGP, no next hop — callers set what they need).
+    pub fn new(prefix: Prefix, path: AsPath) -> Self {
+        Route {
+            prefix,
+            path,
+            origin_attr: OriginAttr::Igp,
+            next_hop: None,
+            med: None,
+            local_pref: None,
+            atomic_aggregate: false,
+            aggregator: None,
+            communities: Vec::new(),
+        }
+    }
+
+    /// Builder-style next hop.
+    pub fn with_next_hop(mut self, nh: NextHop) -> Self {
+        self.next_hop = Some(nh);
+        self
+    }
+
+    /// Builder-style LOCAL_PREF.
+    pub fn with_local_pref(mut self, lp: u32) -> Self {
+        self.local_pref = Some(lp);
+        self
+    }
+
+    /// Builder-style MED.
+    pub fn with_med(mut self, med: u32) -> Self {
+        self.med = Some(med);
+        self
+    }
+
+    /// The origin AS under the paper's rule (last AS of the path), or
+    /// `None` for empty paths / paths ending in an AS set.
+    pub fn origin_as(&self) -> Option<Asn> {
+        self.path.origin().as_single()
+    }
+
+    /// The full origin classification (single / set / none).
+    pub fn origin(&self) -> Origin {
+        self.path.origin()
+    }
+
+    /// The neighbor AS that announced this route.
+    pub fn first_hop(&self) -> Option<Asn> {
+        self.path.first_hop()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn origin_attr_codes_roundtrip() {
+        for o in [OriginAttr::Igp, OriginAttr::Egp, OriginAttr::Incomplete] {
+            assert_eq!(OriginAttr::from_code(o.code()), Some(o));
+        }
+        assert_eq!(OriginAttr::from_code(3), None);
+    }
+
+    #[test]
+    fn origin_attr_preference_order() {
+        assert!(OriginAttr::Igp < OriginAttr::Egp);
+        assert!(OriginAttr::Egp < OriginAttr::Incomplete);
+    }
+
+    #[test]
+    fn community_parts() {
+        let c = Community::new(701, 120);
+        assert_eq!(c.asn_part(), 701);
+        assert_eq!(c.tag(), 120);
+        assert_eq!(c.to_string(), "701:120");
+        assert_eq!(Community::NO_EXPORT.to_string(), "65535:65281");
+    }
+
+    #[test]
+    fn route_origin_extraction() {
+        let r = Route::new(
+            "192.0.2.0/24".parse().unwrap(),
+            "701 1239 8584".parse().unwrap(),
+        );
+        assert_eq!(r.origin_as(), Some(Asn::new(8584)));
+        assert_eq!(r.first_hop(), Some(Asn::new(701)));
+    }
+
+    #[test]
+    fn route_with_set_origin_has_no_single_origin() {
+        let r = Route::new(
+            "10.0.0.0/8".parse().unwrap(),
+            "701 {3561,7007}".parse().unwrap(),
+        );
+        assert_eq!(r.origin_as(), None);
+        assert!(r.origin().is_set());
+    }
+
+    #[test]
+    fn builders() {
+        let r = Route::new("10.0.0.0/8".parse().unwrap(), "1".parse().unwrap())
+            .with_local_pref(200)
+            .with_med(5)
+            .with_next_hop(NextHop::V4(Ipv4Addr::new(192, 0, 2, 1)));
+        assert_eq!(r.local_pref, Some(200));
+        assert_eq!(r.med, Some(5));
+        assert_eq!(r.next_hop.unwrap().to_string(), "192.0.2.1");
+    }
+}

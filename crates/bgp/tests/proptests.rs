@@ -1,0 +1,156 @@
+//! Property-based tests for the BGP wire formats: arbitrary messages
+//! must round-trip bit-exactly, and arbitrary byte soup must never
+//! panic the decoder (it may only return errors).
+
+use bytes::{Buf, Bytes};
+use moas_bgp::attrs::{decode_attrs, encode_attrs, AsnWidth, Attrs, MpReach};
+use moas_bgp::message::{BgpMessage, NotificationMsg, OpenMsg, UpdateMsg};
+use moas_bgp::route::{Community, OriginAttr};
+use moas_net::{AsPath, Asn, Ipv4Prefix, Ipv6Prefix, PathSegment};
+use proptest::prelude::*;
+use std::net::Ipv4Addr;
+
+fn arb_v4_prefix() -> impl Strategy<Value = Ipv4Prefix> {
+    (any::<u32>(), 0u8..=32).prop_map(|(bits, len)| Ipv4Prefix::from_bits(bits, len))
+}
+
+fn arb_v6_prefix() -> impl Strategy<Value = Ipv6Prefix> {
+    (any::<u128>(), 0u8..=128).prop_map(|(bits, len)| Ipv6Prefix::from_bits(bits, len))
+}
+
+fn arb_segment(max_asn: u32) -> impl Strategy<Value = PathSegment> {
+    let asns = prop::collection::vec((1..max_asn).prop_map(Asn::new), 1..6);
+    prop_oneof![
+        asns.clone().prop_map(PathSegment::Sequence),
+        asns.prop_map(PathSegment::Set),
+    ]
+}
+
+fn arb_path(max_asn: u32) -> impl Strategy<Value = AsPath> {
+    prop::collection::vec(arb_segment(max_asn), 0..4).prop_map(AsPath::from_segments)
+}
+
+fn arb_attrs(width: AsnWidth) -> impl Strategy<Value = Attrs> {
+    let max_asn = match width {
+        AsnWidth::Two => 65_535,
+        AsnWidth::Four => u32::MAX,
+    };
+    (
+        prop::option::of(prop_oneof![
+            Just(OriginAttr::Igp),
+            Just(OriginAttr::Egp),
+            Just(OriginAttr::Incomplete)
+        ]),
+        prop::option::of(arb_path(max_asn)),
+        prop::option::of(any::<u32>().prop_map(Ipv4Addr::from)),
+        prop::option::of(any::<u32>()),
+        prop::option::of(any::<u32>()),
+        any::<bool>(),
+        prop::option::of((1..max_asn, any::<u32>())),
+        prop::collection::vec(any::<u32>().prop_map(Community), 0..5),
+        prop::option::of(prop::collection::vec(arb_v6_prefix(), 0..4)),
+    )
+        .prop_map(
+            |(origin, as_path, next_hop, med, local_pref, atomic, aggr, communities, mp)| Attrs {
+                origin,
+                as_path,
+                next_hop,
+                med,
+                local_pref,
+                atomic_aggregate: atomic,
+                aggregator: aggr.map(|(a, ip)| (Asn::new(a), Ipv4Addr::from(ip))),
+                communities,
+                mp_reach: mp.map(|prefixes| MpReach {
+                    prefixes,
+                    next_hop: None,
+                }),
+                mp_unreach: Vec::new(),
+                unknown: Vec::new(),
+            },
+        )
+}
+
+proptest! {
+    #[test]
+    fn attrs_roundtrip_two_byte(attrs in arb_attrs(AsnWidth::Two)) {
+        let enc = encode_attrs(&attrs, AsnWidth::Two);
+        let dec = decode_attrs(&mut enc.freeze(), AsnWidth::Two).unwrap();
+        prop_assert_eq!(dec, attrs);
+    }
+
+    #[test]
+    fn attrs_roundtrip_four_byte(attrs in arb_attrs(AsnWidth::Four)) {
+        let enc = encode_attrs(&attrs, AsnWidth::Four);
+        let dec = decode_attrs(&mut enc.freeze(), AsnWidth::Four).unwrap();
+        prop_assert_eq!(dec, attrs);
+    }
+
+    #[test]
+    fn update_message_roundtrip(
+        withdrawn in prop::collection::vec(arb_v4_prefix(), 0..8),
+        announced in prop::collection::vec(arb_v4_prefix(), 0..8),
+        attrs in arb_attrs(AsnWidth::Two),
+    ) {
+        let msg = BgpMessage::Update(UpdateMsg { withdrawn, attrs, announced });
+        let enc = msg.encode(AsnWidth::Two);
+        let mut buf = enc.freeze();
+        let dec = BgpMessage::decode(&mut buf, AsnWidth::Two).unwrap();
+        prop_assert_eq!(dec, msg);
+        prop_assert!(!buf.has_remaining());
+    }
+
+    #[test]
+    fn open_message_roundtrip(
+        my_as in 1u32..65_536,
+        hold in any::<u16>(),
+        id in any::<u32>(),
+        params in prop::collection::vec(any::<u8>(), 0..32),
+    ) {
+        let msg = BgpMessage::Open(OpenMsg {
+            version: 4,
+            my_as: Asn::new(my_as),
+            hold_time: hold,
+            bgp_id: Ipv4Addr::from(id),
+            opt_params: params,
+        });
+        let enc = msg.encode(AsnWidth::Two);
+        let dec = BgpMessage::decode(&mut enc.freeze(), AsnWidth::Two).unwrap();
+        prop_assert_eq!(dec, msg);
+    }
+
+    #[test]
+    fn notification_roundtrip(code in any::<u8>(), sub in any::<u8>(), data in prop::collection::vec(any::<u8>(), 0..64)) {
+        let msg = BgpMessage::Notification(NotificationMsg { code, subcode: sub, data });
+        let enc = msg.encode(AsnWidth::Two);
+        let dec = BgpMessage::decode(&mut enc.freeze(), AsnWidth::Two).unwrap();
+        prop_assert_eq!(dec, msg);
+    }
+
+    /// Fuzz: the decoder must never panic on arbitrary bytes.
+    #[test]
+    fn decoder_never_panics_on_garbage(data in prop::collection::vec(any::<u8>(), 0..256)) {
+        let mut buf = Bytes::from(data.clone());
+        let _ = BgpMessage::decode(&mut buf, AsnWidth::Two);
+        let mut buf4 = Bytes::from(data.clone());
+        let _ = BgpMessage::decode(&mut buf4, AsnWidth::Four);
+        let mut attrs_buf = Bytes::from(data);
+        let _ = decode_attrs(&mut attrs_buf, AsnWidth::Two);
+    }
+
+    /// Fuzz: corrupting any single byte of a valid message must either
+    /// decode to something (possibly different) or error — never panic.
+    #[test]
+    fn single_byte_corruption_never_panics(
+        announced in prop::collection::vec(arb_v4_prefix(), 1..4),
+        attrs in arb_attrs(AsnWidth::Two),
+        pos_seed in any::<usize>(),
+        val in any::<u8>(),
+    ) {
+        let msg = BgpMessage::Update(UpdateMsg { withdrawn: vec![], attrs, announced });
+        let mut enc = msg.encode(AsnWidth::Two).to_vec();
+        let pos = pos_seed % enc.len();
+        enc[pos] = val;
+        let mut buf = Bytes::from(enc);
+        let _ = BgpMessage::decode(&mut buf, AsnWidth::Two);
+    }
+}

@@ -1,0 +1,322 @@
+//! §VI cause analyses: incident involvement, exchange-point subsets,
+//! and the duration heuristic.
+
+use crate::detect::DayObservation;
+use crate::timeline::Timeline;
+use moas_net::{Asn, Prefix};
+use serde::Serialize;
+use std::collections::HashMap;
+
+/// Per-AS involvement on one day: in how many of the day's conflicts
+/// an AS appears among the conflicting origins. This is the §VI-E
+/// measurement ("AS 8584 was involved in 11 357 out of 11 842
+/// conflicts that occurred during that day").
+pub fn involvement_by_origin(obs: &DayObservation) -> HashMap<Asn, u32> {
+    let mut counts: HashMap<Asn, u32> = HashMap::new();
+    for c in &obs.conflicts {
+        for o in &c.origins {
+            *counts.entry(*o).or_default() += 1;
+        }
+    }
+    counts
+}
+
+/// The most-involved AS of the day, if any conflict exists.
+pub fn top_involved(obs: &DayObservation) -> Option<(Asn, u32)> {
+    involvement_by_origin(obs)
+        .into_iter()
+        .max_by_key(|(asn, count)| (*count, std::cmp::Reverse(asn.value())))
+}
+
+/// Per (transit, origin) tail-pair involvement: in how many conflicts
+/// some path ends with the sequence `… transit origin`. This is the
+/// paper's "(AS 3561, AS 15412) was involved in 5 532 out of 6 627"
+/// measurement.
+pub fn involvement_by_tail_pair(obs: &DayObservation) -> HashMap<(Asn, Asn), u32> {
+    let mut counts: HashMap<(Asn, Asn), u32> = HashMap::new();
+    for c in &obs.conflicts {
+        let mut seen: Vec<(Asn, Asn)> = Vec::new();
+        for (_, path) in &c.paths {
+            let flat = path.flatten();
+            if flat.len() >= 2 {
+                let pair = (flat[flat.len() - 2], flat[flat.len() - 1]);
+                if !seen.contains(&pair) {
+                    seen.push(pair);
+                }
+            }
+        }
+        for pair in seen {
+            *counts.entry(pair).or_default() += 1;
+        }
+    }
+    counts
+}
+
+/// Report row for the exchange-point analysis (§VI-A): given the set
+/// of prefixes known (from a registry, in our case the world's ground
+/// truth) to be exchange-point prefixes, how long did their conflicts
+/// last relative to the window?
+#[derive(Debug, Clone, Serialize)]
+pub struct ExchangePointReport {
+    /// Exchange-point prefixes that appeared in conflict at all.
+    pub conflicted: usize,
+    /// Of those, how many lasted at least 3/4 of the window.
+    pub long_lived: usize,
+    /// Minimum observed duration among them.
+    pub min_duration: u32,
+    /// Maximum observed duration among them.
+    pub max_duration: u32,
+}
+
+/// Evaluates exchange-point prefixes against the timeline.
+pub fn exchange_point_report(tl: &Timeline, xp_prefixes: &[Prefix]) -> ExchangePointReport {
+    let mut durations: Vec<u32> = Vec::new();
+    for p in xp_prefixes {
+        if let Some(rec) = tl.prefixes().get(p) {
+            if rec.core_days > 0 {
+                durations.push(rec.core_days);
+            }
+        }
+    }
+    let window = tl.core_len() as u32;
+    ExchangePointReport {
+        conflicted: durations.len(),
+        long_lived: durations
+            .iter()
+            .filter(|&&d| d >= window * 3 / 4)
+            .count(),
+        min_duration: durations.iter().copied().min().unwrap_or(0),
+        max_duration: durations.iter().copied().max().unwrap_or(0),
+    }
+}
+
+/// The §VI-F duration heuristic: conflicts longer than a threshold are
+/// presumed valid operational practice; shorter ones presumed faults.
+/// The paper's conclusion is that this heuristic is *useful but not
+/// sufficient* — the scoring function below quantifies exactly that.
+#[derive(Debug, Clone, Copy, Serialize)]
+pub struct HeuristicScore {
+    /// Duration threshold used (days).
+    pub threshold: u32,
+    /// Valid conflicts correctly kept (duration > threshold).
+    pub true_valid: usize,
+    /// Invalid conflicts correctly flagged (duration ≤ threshold).
+    pub true_invalid: usize,
+    /// Valid conflicts wrongly flagged.
+    pub false_invalid: usize,
+    /// Invalid conflicts wrongly kept.
+    pub false_valid: usize,
+}
+
+impl HeuristicScore {
+    /// Fraction of all conflicts classified correctly.
+    pub fn accuracy(&self) -> f64 {
+        let correct = self.true_valid + self.true_invalid;
+        let total = correct + self.false_invalid + self.false_valid;
+        if total == 0 {
+            0.0
+        } else {
+            correct as f64 / total as f64
+        }
+    }
+
+    /// Precision of the "invalid" flag.
+    pub fn invalid_precision(&self) -> f64 {
+        let flagged = self.true_invalid + self.false_invalid;
+        if flagged == 0 {
+            0.0
+        } else {
+            self.true_invalid as f64 / flagged as f64
+        }
+    }
+}
+
+/// Scores the duration heuristic against ground truth: `is_valid(p)`
+/// says whether the conflict on prefix `p` was valid practice.
+pub fn score_duration_heuristic(
+    tl: &Timeline,
+    threshold: u32,
+    is_valid: impl Fn(&Prefix) -> Option<bool>,
+) -> HeuristicScore {
+    let mut score = HeuristicScore {
+        threshold,
+        true_valid: 0,
+        true_invalid: 0,
+        false_invalid: 0,
+        false_valid: 0,
+    };
+    for (prefix, rec) in tl.prefixes() {
+        if rec.core_days == 0 {
+            continue;
+        }
+        let Some(valid) = is_valid(prefix) else {
+            continue;
+        };
+        let kept = rec.core_days > threshold;
+        match (valid, kept) {
+            (true, true) => score.true_valid += 1,
+            (true, false) => score.false_invalid += 1,
+            (false, false) => score.true_invalid += 1,
+            (false, true) => score.false_valid += 1,
+        }
+    }
+    score
+}
+
+#[cfg(test)]
+mod tests {
+    #![allow(clippy::field_reassign_with_default, clippy::needless_range_loop)]
+    use super::*;
+    use crate::detect::PrefixConflict;
+    use moas_net::{AsPath, Date};
+
+    fn obs_with(paths_per_conflict: &[&[&str]]) -> DayObservation {
+        let conflicts = paths_per_conflict
+            .iter()
+            .enumerate()
+            .map(|(i, paths)| {
+                let parsed: Vec<(u16, AsPath)> = paths
+                    .iter()
+                    .enumerate()
+                    .map(|(j, s)| (j as u16, s.parse().unwrap()))
+                    .collect();
+                let mut origins: Vec<Asn> = parsed
+                    .iter()
+                    .filter_map(|(_, p)| p.origin().as_single())
+                    .collect();
+                origins.sort_unstable();
+                origins.dedup();
+                PrefixConflict {
+                    prefix: format!("10.0.{i}.0/24").parse().unwrap(),
+                    origins,
+                    paths: parsed,
+                }
+            })
+            .collect();
+        DayObservation {
+            date: Some(Date::ymd(1998, 4, 7)),
+            conflicts,
+            as_set_prefixes: vec![],
+            total_prefixes: paths_per_conflict.len(),
+            empty_path_routes: 0,
+            total_routes: 0,
+        }
+    }
+
+    #[test]
+    fn involvement_counts_origin_membership() {
+        let obs = obs_with(&[
+            &["1 8584", "2 7"],
+            &["1 8584", "3 9"],
+            &["4 5", "6 11"],
+        ]);
+        let inv = involvement_by_origin(&obs);
+        assert_eq!(inv[&Asn::new(8584)], 2);
+        assert_eq!(inv[&Asn::new(7)], 1);
+        let (top, n) = top_involved(&obs).unwrap();
+        assert_eq!(top, Asn::new(8584));
+        assert_eq!(n, 2);
+    }
+
+    #[test]
+    fn tail_pair_involvement() {
+        let obs = obs_with(&[
+            &["1 3561 15412", "2 7"],
+            &["9 3561 15412", "2 8"],
+            &["4 5", "6 11"],
+        ]);
+        let pairs = involvement_by_tail_pair(&obs);
+        assert_eq!(pairs[&(Asn::new(3561), Asn::new(15412))], 2);
+    }
+
+    #[test]
+    fn tail_pair_deduplicates_within_conflict() {
+        let obs = obs_with(&[&["1 3561 15412", "9 3561 15412", "2 7"]]);
+        let pairs = involvement_by_tail_pair(&obs);
+        assert_eq!(pairs[&(Asn::new(3561), Asn::new(15412))], 1);
+    }
+
+    #[test]
+    fn top_involved_none_on_empty() {
+        let obs = obs_with(&[]);
+        assert!(top_involved(&obs).is_none());
+    }
+
+    fn timeline_with_durations(durations: &[(Prefix, u32)]) -> Timeline {
+        let n = 100usize;
+        let dates: Vec<Date> = (0..n)
+            .map(|i| Date::ymd(2000, 1, 1).plus_days(i as i64))
+            .collect();
+        let mut tl = Timeline::new(dates.clone(), n);
+        for idx in 0..n {
+            let conflicts: Vec<PrefixConflict> = durations
+                .iter()
+                .filter(|(_, d)| (idx as u32) < *d)
+                .map(|(p, _)| PrefixConflict {
+                    prefix: *p,
+                    origins: vec![Asn::new(1), Asn::new(2)],
+                    paths: vec![
+                        (0, "1 7".parse().unwrap()),
+                        (1, "2 9".parse().unwrap()),
+                    ],
+                })
+                .collect();
+            let obs = DayObservation {
+                date: Some(dates[idx]),
+                total_prefixes: conflicts.len(),
+                total_routes: conflicts.len() * 2,
+                conflicts,
+                as_set_prefixes: vec![],
+                empty_path_routes: 0,
+            };
+            tl.record(idx, &obs);
+        }
+        tl
+    }
+
+    #[test]
+    fn exchange_point_report_measures_durations() {
+        let xp: Prefix = "206.0.0.0/24".parse().unwrap();
+        let other: Prefix = "10.0.0.0/24".parse().unwrap();
+        let tl = timeline_with_durations(&[(xp, 90), (other, 2)]);
+        let report = exchange_point_report(&tl, &[xp]);
+        assert_eq!(report.conflicted, 1);
+        assert_eq!(report.long_lived, 1);
+        assert_eq!(report.max_duration, 90);
+        // Unknown XP prefix: not counted.
+        let report2 = exchange_point_report(&tl, &["99.0.0.0/24".parse().unwrap()]);
+        assert_eq!(report2.conflicted, 0);
+    }
+
+    #[test]
+    fn duration_heuristic_scoring() {
+        let valid: Prefix = "10.0.0.0/24".parse().unwrap(); // 90 days
+        let invalid: Prefix = "10.0.1.0/24".parse().unwrap(); // 2 days
+        let tl = timeline_with_durations(&[(valid, 90), (invalid, 2)]);
+        let score = score_duration_heuristic(&tl, 9, |p| {
+            Some(*p == valid)
+        });
+        assert_eq!(score.true_valid, 1);
+        assert_eq!(score.true_invalid, 1);
+        assert_eq!(score.accuracy(), 1.0);
+        assert_eq!(score.invalid_precision(), 1.0);
+
+        // A long-lived *invalid* conflict defeats the heuristic —
+        // exactly the paper's caveat.
+        let tl2 = timeline_with_durations(&[(valid, 90), (invalid, 80)]);
+        let score2 = score_duration_heuristic(&tl2, 9, |p| Some(*p == valid));
+        assert_eq!(score2.false_valid, 1);
+        assert!(score2.accuracy() < 1.0);
+    }
+
+    #[test]
+    fn heuristic_skips_unknown_ground_truth() {
+        let a: Prefix = "10.0.0.0/24".parse().unwrap();
+        let tl = timeline_with_durations(&[(a, 5)]);
+        let score = score_duration_heuristic(&tl, 9, |_| None);
+        assert_eq!(
+            score.true_valid + score.true_invalid + score.false_valid + score.false_invalid,
+            0
+        );
+    }
+}

@@ -1,0 +1,224 @@
+//! The §V classification of MOAS conflicts by AS-path relationship.
+//!
+//! Given a conflicted prefix's path set, every pair of paths with
+//! *different* origins is examined:
+//!
+//! * **OrigTranAS** — one path's flattened AS list is a proper prefix
+//!   of the other's: the shorter path's origin acts as a transit AS on
+//!   the longer path (`X1 … Xi-1` vs `X1 … Xi-1 Xi`).
+//! * **SplitView** — the two paths share their first AS but diverge:
+//!   one AS announces different routes to different neighbors.
+//! * **DistinctPaths** — the two paths share no AS at all: "two totally
+//!   different routes".
+//!
+//! A conflict is labeled with the highest-precedence class any of its
+//! pairs exhibits (OrigTranAS > SplitView > DistinctPaths), matching
+//! the paper's reading where DistinctPaths is the dominant residual.
+//! Pairs that overlap partially without matching any definition are
+//! tracked as [`ConflictClass::Other`]; the paper folds these into its
+//! three-way figure, so reports show them separately *and* folded.
+
+use crate::detect::PrefixConflict;
+use moas_net::AsPath;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The class of a conflict under §V.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ConflictClass {
+    /// An AS announces itself both as origin and as transit.
+    OrigTranAS,
+    /// One AS announces different routes to different neighbors.
+    SplitView,
+    /// Two completely disjoint AS paths.
+    DistinctPaths,
+    /// Paths overlap partially without satisfying any definition
+    /// (folded into DistinctPaths when reproducing Fig. 6).
+    Other,
+}
+
+impl ConflictClass {
+    /// Index for compact per-day histograms.
+    pub fn index(self) -> usize {
+        match self {
+            ConflictClass::OrigTranAS => 0,
+            ConflictClass::SplitView => 1,
+            ConflictClass::DistinctPaths => 2,
+            ConflictClass::Other => 3,
+        }
+    }
+
+    /// All classes in index order.
+    pub const ALL: [ConflictClass; 4] = [
+        ConflictClass::OrigTranAS,
+        ConflictClass::SplitView,
+        ConflictClass::DistinctPaths,
+        ConflictClass::Other,
+    ];
+}
+
+impl fmt::Display for ConflictClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            ConflictClass::OrigTranAS => "OrigTranAS",
+            ConflictClass::SplitView => "SplitView",
+            ConflictClass::DistinctPaths => "DistinctPaths",
+            ConflictClass::Other => "Other",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Classifies one pair of paths (assumed to have different origins).
+pub fn classify_pair(a: &AsPath, b: &AsPath) -> ConflictClass {
+    if a.is_proper_prefix_of(b) || b.is_proper_prefix_of(a) {
+        return ConflictClass::OrigTranAS;
+    }
+    match (a.first_hop(), b.first_hop()) {
+        (Some(x), Some(y)) if x == y => return ConflictClass::SplitView,
+        _ => {}
+    }
+    if a.is_disjoint_from(b) {
+        return ConflictClass::DistinctPaths;
+    }
+    ConflictClass::Other
+}
+
+/// Classifies a whole conflict by precedence over its differing-origin
+/// path pairs.
+pub fn classify(conflict: &PrefixConflict) -> ConflictClass {
+    let mut best = ConflictClass::Other;
+    let paths = &conflict.paths;
+    for i in 0..paths.len() {
+        for j in (i + 1)..paths.len() {
+            let (pa, pb) = (&paths[i].1, &paths[j].1);
+            if pa.origin() == pb.origin() {
+                continue;
+            }
+            let class = classify_pair(pa, pb);
+            best = match (best, class) {
+                (_, ConflictClass::OrigTranAS) => return ConflictClass::OrigTranAS,
+                (ConflictClass::SplitView, _) => ConflictClass::SplitView,
+                (_, ConflictClass::SplitView) => ConflictClass::SplitView,
+                (ConflictClass::DistinctPaths, _) => ConflictClass::DistinctPaths,
+                (_, ConflictClass::DistinctPaths) => ConflictClass::DistinctPaths,
+                (other, _) => other,
+            };
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use moas_net::{Asn, Prefix};
+
+    fn conflict(paths: &[&str]) -> PrefixConflict {
+        let parsed: Vec<(u16, AsPath)> = paths
+            .iter()
+            .enumerate()
+            .map(|(i, s)| (i as u16, s.parse().unwrap()))
+            .collect();
+        let mut origins: Vec<Asn> = parsed
+            .iter()
+            .filter_map(|(_, p)| p.origin().as_single())
+            .collect();
+        origins.sort_unstable();
+        origins.dedup();
+        PrefixConflict {
+            prefix: "192.0.2.0/24".parse::<Prefix>().unwrap(),
+            origins,
+            paths: parsed,
+        }
+    }
+
+    #[test]
+    fn origtran_pair() {
+        assert_eq!(
+            classify_pair(
+                &"701 1239".parse().unwrap(),
+                &"701 1239 7007".parse().unwrap()
+            ),
+            ConflictClass::OrigTranAS
+        );
+    }
+
+    #[test]
+    fn splitview_pair() {
+        assert_eq!(
+            classify_pair(
+                &"701 3561 7007".parse().unwrap(),
+                &"701 1239 8584".parse().unwrap()
+            ),
+            ConflictClass::SplitView
+        );
+    }
+
+    #[test]
+    fn distinct_pair() {
+        assert_eq!(
+            classify_pair(
+                &"701 1239 7007".parse().unwrap(),
+                &"3561 15412".parse().unwrap()
+            ),
+            ConflictClass::DistinctPaths
+        );
+    }
+
+    #[test]
+    fn partial_overlap_is_other() {
+        // Shared transit (1239), different first hop, not prefix.
+        assert_eq!(
+            classify_pair(
+                &"701 1239 7007".parse().unwrap(),
+                &"209 1239 8584".parse().unwrap()
+            ),
+            ConflictClass::Other
+        );
+    }
+
+    #[test]
+    fn origtran_beats_splitview() {
+        // The prefix pair is also same-first-hop; OrigTranAS wins.
+        let c = conflict(&["701 1239", "701 1239 7007"]);
+        assert_eq!(classify(&c), ConflictClass::OrigTranAS);
+    }
+
+    #[test]
+    fn splitview_beats_distinct() {
+        let c = conflict(&[
+            "701 3561 7007",  // V=701 → origin 7007
+            "701 1239 8584",  // V=701 → origin 8584 (SplitView pair)
+            "209 2914 7007",  // also yields a Distinct pair vs path 2
+        ]);
+        assert_eq!(classify(&c), ConflictClass::SplitView);
+    }
+
+    #[test]
+    fn distinct_conflict() {
+        let c = conflict(&["701 1239 7007", "3561 15412"]);
+        assert_eq!(classify(&c), ConflictClass::DistinctPaths);
+    }
+
+    #[test]
+    fn same_origin_pairs_are_ignored() {
+        // Both paths end at 7007 → no differing-origin pair except with
+        // the third; the third pair is disjoint.
+        let c = conflict(&["701 7007", "209 7007", "3561 15412"]);
+        assert_eq!(classify(&c), ConflictClass::DistinctPaths);
+    }
+
+    #[test]
+    fn all_pairs_partial_overlap_is_other() {
+        let c = conflict(&["701 1239 7007", "209 1239 8584"]);
+        assert_eq!(classify(&c), ConflictClass::Other);
+    }
+
+    #[test]
+    fn class_indices_are_dense() {
+        for (i, c) in ConflictClass::ALL.iter().enumerate() {
+            assert_eq!(c.index(), i);
+        }
+    }
+}

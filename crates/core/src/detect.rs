@@ -1,0 +1,308 @@
+//! MOAS detection over one day's routing table.
+//!
+//! §III: *"We examined the AS paths that led to the same prefix but
+//! ended in different origin ASes"*, identifying conflicts **by prefix
+//! only**, and excluding the ~12 routes that ended in AS sets.
+
+use moas_bgp::TableSnapshot;
+use moas_net::{AsPath, Asn, Date, Origin, Prefix};
+use std::collections::HashMap;
+
+/// Anything that can enumerate one day's routes.
+///
+/// Implemented for [`TableSnapshot`] (in-memory or parsed from MRT).
+/// The callback receives `(prefix, session index, path)`.
+pub trait TableSource {
+    /// The snapshot date.
+    fn date(&self) -> Date;
+    /// Calls `f` for every route in the table.
+    fn for_each_route(&self, f: &mut dyn FnMut(Prefix, u16, &AsPath));
+}
+
+impl TableSource for TableSnapshot {
+    fn date(&self) -> Date {
+        self.date
+    }
+
+    fn for_each_route(&self, f: &mut dyn FnMut(Prefix, u16, &AsPath)) {
+        for e in &self.entries {
+            f(e.route.prefix, e.peer_idx, &e.route.path);
+        }
+    }
+}
+
+/// One conflicted prefix on one day.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PrefixConflict {
+    /// The conflicted prefix.
+    pub prefix: Prefix,
+    /// Distinct origin ASes observed (sorted; ≥ 2).
+    pub origins: Vec<Asn>,
+    /// The distinct AS paths observed, with one representative session
+    /// each (identical paths from many sessions are deduplicated —
+    /// classification depends on path shapes, not multiplicity).
+    pub paths: Vec<(u16, AsPath)>,
+}
+
+/// The result of scanning one day's table.
+#[derive(Debug, Clone, Default)]
+pub struct DayObservation {
+    /// Snapshot date.
+    pub date: Option<Date>,
+    /// MOAS conflicts found (prefix order).
+    pub conflicts: Vec<PrefixConflict>,
+    /// Prefixes excluded because some route ended in an AS set, with
+    /// the union of set members seen.
+    pub as_set_prefixes: Vec<(Prefix, Vec<Asn>)>,
+    /// Distinct prefixes seen in the table.
+    pub total_prefixes: usize,
+    /// Routes with no extractable origin (empty AS path) — skipped.
+    pub empty_path_routes: usize,
+    /// Total routes scanned.
+    pub total_routes: usize,
+}
+
+impl DayObservation {
+    /// Number of conflicts (the Fig. 1 quantity for this day).
+    pub fn conflict_count(&self) -> usize {
+        self.conflicts.len()
+    }
+}
+
+/// Per-prefix accumulation state during a scan.
+#[derive(Debug, Default)]
+struct PrefixAcc {
+    origins: Vec<Asn>,
+    paths: Vec<(u16, AsPath)>,
+    set_members: Vec<Asn>,
+    has_set_route: bool,
+}
+
+/// Scans a table and reports the day's MOAS conflicts.
+///
+/// The origin of each route is the last element of its AS path
+/// ([`AsPath::origin`]); a prefix with ≥ 2 distinct single origins is a
+/// conflict. A prefix carrying any AS-set-terminated route is excluded
+/// from conflict accounting (§III) and reported separately.
+pub fn detect(source: &impl TableSource) -> DayObservation {
+    let mut acc: HashMap<Prefix, PrefixAcc> = HashMap::new();
+    let mut empty_path_routes = 0usize;
+    let mut total_routes = 0usize;
+
+    source.for_each_route(&mut |prefix, session, path| {
+        total_routes += 1;
+        let slot = acc.entry(prefix).or_default();
+        match path.origin() {
+            Origin::Single(origin) => {
+                if !slot.origins.contains(&origin) {
+                    slot.origins.push(origin);
+                }
+                // Deduplicate identical paths (many sessions of the
+                // same AS export the same route).
+                if !slot.paths.iter().any(|(_, p)| p == path) {
+                    slot.paths.push((session, path.clone()));
+                }
+            }
+            Origin::Set(members) => {
+                slot.has_set_route = true;
+                for m in members {
+                    if !slot.set_members.contains(&m) {
+                        slot.set_members.push(m);
+                    }
+                }
+            }
+            Origin::None => {
+                empty_path_routes += 1;
+            }
+        }
+    });
+
+    let total_prefixes = acc.len();
+    let mut conflicts = Vec::new();
+    let mut as_set_prefixes = Vec::new();
+    for (prefix, mut slot) in acc {
+        if slot.has_set_route {
+            slot.set_members.sort_unstable();
+            as_set_prefixes.push((prefix, slot.set_members));
+            continue;
+        }
+        if slot.origins.len() >= 2 {
+            slot.origins.sort_unstable();
+            conflicts.push(PrefixConflict {
+                prefix,
+                origins: slot.origins,
+                paths: slot.paths,
+            });
+        }
+    }
+    conflicts.sort_by_key(|c| c.prefix);
+    as_set_prefixes.sort_by_key(|(p, _)| *p);
+
+    DayObservation {
+        date: Some(source.date()),
+        conflicts,
+        as_set_prefixes,
+        total_prefixes,
+        empty_path_routes,
+        total_routes,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use moas_bgp::PeerInfo;
+    use moas_net::PathSegment;
+    use std::net::Ipv4Addr;
+
+    fn snap() -> TableSnapshot {
+        let mut t = TableSnapshot::new(Date::ymd(2001, 4, 10));
+        for i in 0..4u8 {
+            t.add_peer(PeerInfo::v4(
+                Ipv4Addr::new(10, 0, 0, i + 1),
+                Asn::new(100 + i as u32),
+            ));
+        }
+        t
+    }
+
+    fn p(s: &str) -> Prefix {
+        s.parse().unwrap()
+    }
+
+    fn path(s: &str) -> AsPath {
+        s.parse().unwrap()
+    }
+
+    #[test]
+    fn no_conflict_on_agreeing_origins() {
+        let mut t = snap();
+        t.push_path(0, p("10.0.0.0/8"), path("100 7"));
+        t.push_path(1, p("10.0.0.0/8"), path("101 200 7"));
+        let obs = detect(&t);
+        assert_eq!(obs.conflict_count(), 0);
+        assert_eq!(obs.total_prefixes, 1);
+        assert_eq!(obs.total_routes, 2);
+    }
+
+    #[test]
+    fn conflict_on_differing_origins() {
+        let mut t = snap();
+        t.push_path(0, p("192.0.2.0/24"), path("100 8584"));
+        t.push_path(1, p("192.0.2.0/24"), path("101 200 7"));
+        t.push_path(2, p("198.51.100.0/24"), path("102 300"));
+        let obs = detect(&t);
+        assert_eq!(obs.conflict_count(), 1);
+        let c = &obs.conflicts[0];
+        assert_eq!(c.prefix, p("192.0.2.0/24"));
+        assert_eq!(c.origins, vec![Asn::new(7), Asn::new(8584)]);
+        assert_eq!(c.paths.len(), 2);
+    }
+
+    #[test]
+    fn conflicts_identified_by_prefix_not_masklen_merge() {
+        // 10.0.0.0/8 and 10.0.0.0/16 are DIFFERENT prefixes: distinct
+        // origins across them are not a conflict.
+        let mut t = snap();
+        t.push_path(0, p("10.0.0.0/8"), path("100 7"));
+        t.push_path(1, p("10.0.0.0/16"), path("101 9"));
+        let obs = detect(&t);
+        assert_eq!(obs.conflict_count(), 0);
+        assert_eq!(obs.total_prefixes, 2);
+    }
+
+    #[test]
+    fn as_set_routes_excluded_even_when_conflicting() {
+        let mut t = snap();
+        // A normal conflicting pair…
+        t.push_path(0, p("192.0.2.0/24"), path("100 7"));
+        t.push_path(1, p("192.0.2.0/24"), path("101 9"));
+        // …but a third route for the same prefix ends in an AS set:
+        // the whole prefix is excluded (§III).
+        t.push_path(2, p("192.0.2.0/24"), path("102 {7,9}"));
+        let obs = detect(&t);
+        assert_eq!(obs.conflict_count(), 0);
+        assert_eq!(obs.as_set_prefixes.len(), 1);
+        assert_eq!(
+            obs.as_set_prefixes[0].1,
+            vec![Asn::new(7), Asn::new(9)]
+        );
+    }
+
+    #[test]
+    fn empty_paths_are_counted_not_crashed() {
+        let mut t = snap();
+        t.push_path(0, p("10.0.0.0/8"), AsPath::empty());
+        t.push_path(1, p("10.0.0.0/8"), path("101 7"));
+        let obs = detect(&t);
+        assert_eq!(obs.empty_path_routes, 1);
+        assert_eq!(obs.conflict_count(), 0);
+    }
+
+    #[test]
+    fn identical_paths_deduplicated() {
+        let mut t = snap();
+        t.push_path(0, p("192.0.2.0/24"), path("100 7"));
+        t.push_path(1, p("192.0.2.0/24"), path("100 7")); // same path, other session
+        t.push_path(2, p("192.0.2.0/24"), path("102 9"));
+        let obs = detect(&t);
+        assert_eq!(obs.conflict_count(), 1);
+        assert_eq!(obs.conflicts[0].paths.len(), 2, "dup path not folded");
+    }
+
+    #[test]
+    fn prepending_does_not_create_conflict() {
+        let mut t = snap();
+        t.push_path(0, p("10.0.0.0/8"), path("100 7 7 7"));
+        t.push_path(1, p("10.0.0.0/8"), path("101 7"));
+        let obs = detect(&t);
+        assert_eq!(obs.conflict_count(), 0);
+    }
+
+    #[test]
+    fn three_way_conflict_collects_all_origins() {
+        let mut t = snap();
+        t.push_path(0, p("203.0.113.0/24"), path("100 1"));
+        t.push_path(1, p("203.0.113.0/24"), path("101 2"));
+        t.push_path(2, p("203.0.113.0/24"), path("102 3"));
+        let obs = detect(&t);
+        assert_eq!(obs.conflicts[0].origins.len(), 3);
+    }
+
+    #[test]
+    fn mid_path_set_does_not_exclude() {
+        // Only a *trailing* set means "origin is a set". A set in the
+        // middle with a sequence after it has a single origin.
+        let mut t = snap();
+        let mixed = AsPath::from_segments([
+            PathSegment::Sequence(vec![Asn::new(100)]),
+            PathSegment::Set(vec![Asn::new(5), Asn::new(6)]),
+            PathSegment::Sequence(vec![Asn::new(7)]),
+        ]);
+        t.push_path(0, p("192.0.2.0/24"), mixed);
+        t.push_path(1, p("192.0.2.0/24"), path("101 9"));
+        let obs = detect(&t);
+        assert_eq!(obs.conflict_count(), 1);
+        assert_eq!(obs.conflicts[0].origins, vec![Asn::new(7), Asn::new(9)]);
+    }
+
+    #[test]
+    fn empty_table_is_empty_observation() {
+        let t = snap();
+        let obs = detect(&t);
+        assert_eq!(obs.conflict_count(), 0);
+        assert_eq!(obs.total_prefixes, 0);
+        assert_eq!(obs.total_routes, 0);
+        assert_eq!(obs.date, Some(Date::ymd(2001, 4, 10)));
+    }
+
+    #[test]
+    fn v6_prefixes_participate() {
+        let mut t = snap();
+        t.push_path(0, p("2001:db8::/32"), path("100 7"));
+        t.push_path(1, p("2001:db8::/32"), path("101 9"));
+        let obs = detect(&t);
+        assert_eq!(obs.conflict_count(), 1);
+        assert_eq!(obs.conflicts[0].prefix, p("2001:db8::/32"));
+    }
+}

@@ -1,0 +1,278 @@
+//! Drivers: run the detector over a whole study window.
+//!
+//! The analysis is embarrassingly parallel across days (each day's
+//! table is scanned independently; the [`Timeline`] merge is
+//! associative over disjoint day sets), so the sharded driver splits
+//! the window into contiguous chunks and runs one worker per thread —
+//! per the Tokio guide's own advice, CPU-bound batch work uses threads,
+//! not an async runtime.
+
+use crate::detect::{detect, DayObservation, TableSource};
+use crate::timeline::Timeline;
+use moas_mrt::{snapshot::records_to_snapshot_lossy, MrtReader};
+use moas_net::Date;
+use std::fs::File;
+use std::io;
+use std::path::Path;
+
+/// Runs one worker over every day serially.
+pub fn analyze_serial<W>(dates: Vec<Date>, core_len: usize, mut worker: W) -> Timeline
+where
+    W: FnMut(usize) -> DayObservation,
+{
+    let n = dates.len();
+    let mut tl = Timeline::new(dates, core_len);
+    for idx in 0..n {
+        let obs = worker(idx);
+        tl.record(idx, &obs);
+    }
+    tl
+}
+
+/// Runs workers over contiguous day shards, one per thread, and merges
+/// the resulting timelines. `factory` is called once per thread to
+/// build that thread's worker (letting each thread own caches).
+pub fn analyze_sharded<F, W>(
+    dates: Vec<Date>,
+    core_len: usize,
+    threads: usize,
+    factory: F,
+) -> Timeline
+where
+    F: Fn() -> W + Sync,
+    W: FnMut(usize) -> DayObservation + Send,
+{
+    let n = dates.len();
+    let threads = threads.max(1).min(n.max(1));
+    if threads <= 1 {
+        let worker = factory();
+        return analyze_serial(dates, core_len, worker);
+    }
+    let chunk = n.div_ceil(threads);
+    let mut shards: Vec<Timeline> = Vec::new();
+    crossbeam::thread::scope(|scope| {
+        let mut handles = Vec::new();
+        for t in 0..threads {
+            let lo = t * chunk;
+            let hi = ((t + 1) * chunk).min(n);
+            if lo >= hi {
+                continue;
+            }
+            let dates_ref = &dates;
+            let factory_ref = &factory;
+            handles.push(scope.spawn(move |_| {
+                let mut worker = factory_ref();
+                let mut tl = Timeline::new(dates_ref.clone(), core_len);
+                for idx in lo..hi {
+                    let obs = worker(idx);
+                    tl.record(idx, &obs);
+                }
+                tl
+            }));
+        }
+        for h in handles {
+            shards.push(h.join().expect("analysis worker panicked"));
+        }
+    })
+    .expect("crossbeam scope failed");
+
+    let mut merged = Timeline::new(dates, core_len);
+    for shard in shards {
+        merged.merge(shard);
+    }
+    merged
+}
+
+/// Reads one MRT table-dump file and runs detection over it.
+/// Returns the observation and the reader's fault counters.
+pub fn analyze_mrt_file(
+    path: &Path,
+    date_hint: Option<Date>,
+) -> io::Result<(DayObservation, moas_mrt::ReadStats)> {
+    let file = File::open(path)?;
+    let mut reader = MrtReader::new(file);
+    let records: Vec<moas_mrt::MrtRecord> = reader.by_ref().collect();
+    let mut stats = reader.stats().clone();
+    let build = records_to_snapshot_lossy(&records, date_hint)
+        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
+    // Entries dropped for unknown peer indices are corruption too.
+    stats.records_skipped += build.unknown_peer_entries;
+    Ok((detect(&build.snapshot), stats))
+}
+
+/// Analyzes a full archive directory: `files[i] = (day position,
+/// path)`. Missing or unreadable files become I/O errors; corrupt
+/// records inside a file are skipped (and tallied) by the MRT reader.
+pub fn analyze_mrt_archive(
+    dates: Vec<Date>,
+    core_len: usize,
+    files: &[(usize, std::path::PathBuf)],
+) -> io::Result<(Timeline, u64)> {
+    let n = dates.len();
+    let mut tl = Timeline::new(dates, core_len);
+    let mut skipped_total = 0u64;
+    for (idx, path) in files {
+        assert!(*idx < n, "file day position {idx} outside window");
+        let (obs, stats) = analyze_mrt_file(path, None)?;
+        skipped_total += stats.records_skipped;
+        tl.record(*idx, &obs);
+    }
+    Ok((tl, skipped_total))
+}
+
+/// Convenience: detect over any [`TableSource`] (re-exported next to
+/// the drivers so callers need only this module).
+pub fn analyze_one(source: &impl TableSource) -> DayObservation {
+    detect(source)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::detect::PrefixConflict;
+    use moas_bgp::{PeerInfo, TableSnapshot};
+    use moas_mrt::snapshot::{snapshot_to_records, DumpFormat};
+    use moas_mrt::MrtWriter;
+    use moas_net::Asn;
+    use std::io::Write as _;
+    use std::net::Ipv4Addr;
+
+    fn dates(n: usize) -> Vec<Date> {
+        (0..n)
+            .map(|i| Date::ymd(2001, 1, 1).plus_days(i as i64))
+            .collect()
+    }
+
+    fn day_obs(idx: usize) -> DayObservation {
+        // Prefix A conflicts every day; prefix B only on even days.
+        let mut conflicts = vec![PrefixConflict {
+            prefix: "192.0.2.0/24".parse().unwrap(),
+            origins: vec![Asn::new(7), Asn::new(9)],
+            paths: vec![(0, "1 7".parse().unwrap()), (1, "2 9".parse().unwrap())],
+        }];
+        if idx.is_multiple_of(2) {
+            conflicts.push(PrefixConflict {
+                prefix: "198.51.100.0/24".parse().unwrap(),
+                origins: vec![Asn::new(5), Asn::new(6)],
+                paths: vec![(0, "1 5".parse().unwrap()), (1, "2 6".parse().unwrap())],
+            });
+        }
+        DayObservation {
+            date: None,
+            conflicts,
+            as_set_prefixes: vec![],
+            total_prefixes: 2,
+            empty_path_routes: 0,
+            total_routes: 4,
+        }
+    }
+
+    #[test]
+    fn serial_and_sharded_agree() {
+        let n = 37;
+        let serial = analyze_serial(dates(n), n, day_obs);
+        for threads in [2, 3, 8, 64] {
+            let sharded = analyze_sharded(dates(n), n, threads, || day_obs);
+            assert_eq!(serial.total_conflicts(), sharded.total_conflicts());
+            assert_eq!(serial.durations().len(), sharded.durations().len());
+            let mut a = serial.durations();
+            let mut b = sharded.durations();
+            a.sort_unstable();
+            b.sort_unstable();
+            assert_eq!(a, b, "threads={threads}");
+            assert_eq!(
+                serial.days().count(),
+                sharded.days().count(),
+                "threads={threads}"
+            );
+        }
+    }
+
+    #[test]
+    fn sharded_single_thread_is_serial() {
+        let n = 5;
+        let a = analyze_serial(dates(n), n, day_obs);
+        let b = analyze_sharded(dates(n), n, 1, || day_obs);
+        assert_eq!(a.total_conflicts(), b.total_conflicts());
+    }
+
+    fn sample_snapshot(date: Date) -> TableSnapshot {
+        let mut t = TableSnapshot::new(date);
+        let p0 = t.add_peer(PeerInfo::v4(Ipv4Addr::new(10, 0, 0, 1), Asn::new(701)));
+        let p1 = t.add_peer(PeerInfo::v4(Ipv4Addr::new(10, 0, 0, 2), Asn::new(1239)));
+        t.push_path(p0, "192.0.2.0/24".parse().unwrap(), "701 8584".parse().unwrap());
+        t.push_path(p1, "192.0.2.0/24".parse().unwrap(), "1239 7007".parse().unwrap());
+        t.push_path(p1, "10.0.0.0/8".parse().unwrap(), "1239 3561".parse().unwrap());
+        t
+    }
+
+    #[test]
+    fn mrt_file_roundtrip_analysis() {
+        let dir = std::env::temp_dir().join("moas-core-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let date = Date::ymd(2001, 3, 3);
+        let snap = sample_snapshot(date);
+        let records = snapshot_to_records(&snap, DumpFormat::V2);
+        let path = dir.join("rib.20010303.mrt");
+        let mut w = MrtWriter::new(File::create(&path).unwrap());
+        w.write_all(&records).unwrap();
+        w.finish().unwrap();
+
+        let (obs, stats) = analyze_mrt_file(&path, None).unwrap();
+        assert_eq!(obs.conflict_count(), 1);
+        assert_eq!(obs.date, Some(date));
+        assert_eq!(stats.records_skipped, 0);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn mrt_archive_analysis_counts_durations() {
+        let dir = std::env::temp_dir().join("moas-core-archive-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let ds = dates(3);
+        let mut files = Vec::new();
+        for (i, d) in ds.iter().enumerate() {
+            let snap = sample_snapshot(*d);
+            let records = snapshot_to_records(&snap, DumpFormat::V1);
+            let path = dir.join(format!("rib.{i}.mrt"));
+            let mut w = MrtWriter::new(File::create(&path).unwrap());
+            w.write_all(&records).unwrap();
+            w.finish().unwrap();
+            files.push((i, path));
+        }
+        let (tl, skipped) = analyze_mrt_archive(ds, 3, &files).unwrap();
+        assert_eq!(skipped, 0);
+        assert_eq!(tl.total_conflicts(), 1);
+        assert_eq!(tl.durations(), vec![3]);
+        for (_, p) in files {
+            std::fs::remove_file(p).ok();
+        }
+    }
+
+    #[test]
+    fn corrupt_mrt_file_degrades_gracefully() {
+        let dir = std::env::temp_dir().join("moas-core-corrupt-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let date = Date::ymd(2001, 3, 3);
+        let snap = sample_snapshot(date);
+        let records = snapshot_to_records(&snap, DumpFormat::V1);
+        let path = dir.join("rib.corrupt.mrt");
+        {
+            let mut f = File::create(&path).unwrap();
+            for (i, r) in records.iter().enumerate() {
+                let mut enc = r.encode().to_vec();
+                if i == 1 {
+                    let last = enc.len() - 1;
+                    enc[20] = 0xEE; // corrupt a body byte
+                    enc[last] ^= 0xFF;
+                }
+                f.write_all(&enc).unwrap();
+            }
+        }
+        let (obs, stats) = analyze_mrt_file(&path, Some(date)).unwrap();
+        // The undamaged records still yield analysis output.
+        assert!(obs.total_routes >= 2);
+        assert!(stats.records_ok >= 2);
+        std::fs::remove_file(&path).ok();
+    }
+}

@@ -1,0 +1,353 @@
+//! BGP4MP bodies: wrapped BGP messages and peer state changes.
+//!
+//! Update-stream archives (as opposed to table dumps) consist of these
+//! records. The workspace uses them to replay announcement/withdrawal
+//! sequences through an `AdjRibIn` in tests, mirroring how a continuous
+//! monitor would observe MOAS conflicts between table snapshots.
+
+use crate::error::MrtError;
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use moas_bgp::attrs::AsnWidth;
+use moas_bgp::BgpMessage;
+use moas_net::Asn;
+use std::net::{IpAddr, Ipv4Addr, Ipv6Addr};
+
+/// BGP FSM states as encoded in STATE_CHANGE records.
+pub mod fsm {
+    /// Idle.
+    pub const IDLE: u16 = 1;
+    /// Connect.
+    pub const CONNECT: u16 = 2;
+    /// Active.
+    pub const ACTIVE: u16 = 3;
+    /// OpenSent.
+    pub const OPEN_SENT: u16 = 4;
+    /// OpenConfirm.
+    pub const OPEN_CONFIRM: u16 = 5;
+    /// Established.
+    pub const ESTABLISHED: u16 = 6;
+}
+
+/// Shared BGP4MP peering header.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PeeringHeader {
+    /// Remote AS.
+    pub peer_as: Asn,
+    /// Local (collector) AS.
+    pub local_as: Asn,
+    /// Interface index (0 in collector archives).
+    pub if_index: u16,
+    /// Remote address.
+    pub peer_addr: IpAddr,
+    /// Local address.
+    pub local_addr: IpAddr,
+}
+
+impl PeeringHeader {
+    fn encode(&self, as4: bool, out: &mut BytesMut) {
+        if as4 {
+            out.put_u32(self.peer_as.value());
+            out.put_u32(self.local_as.value());
+        } else {
+            out.put_u16(self.peer_as.value() as u16);
+            out.put_u16(self.local_as.value() as u16);
+        }
+        out.put_u16(self.if_index);
+        match (self.peer_addr, self.local_addr) {
+            (IpAddr::V4(p), IpAddr::V4(l)) => {
+                out.put_u16(1); // AFI IPv4
+                out.put_slice(&p.octets());
+                out.put_slice(&l.octets());
+            }
+            (IpAddr::V6(p), IpAddr::V6(l)) => {
+                out.put_u16(2); // AFI IPv6
+                out.put_slice(&p.octets());
+                out.put_slice(&l.octets());
+            }
+            // Mixed families cannot be encoded; normalize to v4-mapped.
+            (p, l) => {
+                out.put_u16(2);
+                out.put_slice(&to_v6(p).octets());
+                out.put_slice(&to_v6(l).octets());
+            }
+        }
+    }
+
+    fn decode(buf: &mut Bytes, as4: bool) -> Result<Self, MrtError> {
+        let as_bytes = if as4 { 8 } else { 4 };
+        if buf.remaining() < as_bytes + 4 {
+            return Err(MrtError::Malformed {
+                what: "BGP4MP peering header",
+                reason: "truncated".into(),
+            });
+        }
+        let (peer_as, local_as) = if as4 {
+            (Asn::new(buf.get_u32()), Asn::new(buf.get_u32()))
+        } else {
+            (
+                Asn::new(buf.get_u16() as u32),
+                Asn::new(buf.get_u16() as u32),
+            )
+        };
+        let if_index = buf.get_u16();
+        let afi = buf.get_u16();
+        let (peer_addr, local_addr) = match afi {
+            1 => {
+                if buf.remaining() < 8 {
+                    return Err(MrtError::Malformed {
+                        what: "BGP4MP addresses",
+                        reason: "truncated v4 pair".into(),
+                    });
+                }
+                let p = Ipv4Addr::new(buf.get_u8(), buf.get_u8(), buf.get_u8(), buf.get_u8());
+                let l = Ipv4Addr::new(buf.get_u8(), buf.get_u8(), buf.get_u8(), buf.get_u8());
+                (IpAddr::V4(p), IpAddr::V4(l))
+            }
+            2 => {
+                if buf.remaining() < 32 {
+                    return Err(MrtError::Malformed {
+                        what: "BGP4MP addresses",
+                        reason: "truncated v6 pair".into(),
+                    });
+                }
+                let mut po = [0u8; 16];
+                buf.copy_to_slice(&mut po);
+                let mut lo = [0u8; 16];
+                buf.copy_to_slice(&mut lo);
+                (IpAddr::V6(Ipv6Addr::from(po)), IpAddr::V6(Ipv6Addr::from(lo)))
+            }
+            other => {
+                return Err(MrtError::Malformed {
+                    what: "BGP4MP AFI",
+                    reason: format!("unknown AFI {other}"),
+                })
+            }
+        };
+        Ok(PeeringHeader {
+            peer_as,
+            local_as,
+            if_index,
+            peer_addr,
+            local_addr,
+        })
+    }
+}
+
+fn to_v6(a: IpAddr) -> Ipv6Addr {
+    match a {
+        IpAddr::V6(v) => v,
+        IpAddr::V4(v) => v.to_ipv6_mapped(),
+    }
+}
+
+/// A BGP4MP_MESSAGE / _AS4 body: one BGP message as seen on a session.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Bgp4mpMessage {
+    /// Session identification.
+    pub header: PeeringHeader,
+    /// The wrapped message.
+    pub message: BgpMessage,
+    /// Whether the AS4 subtype (4-byte ASN encoding) is used.
+    pub as4: bool,
+}
+
+impl Bgp4mpMessage {
+    /// Encodes the body.
+    pub fn encode(&self) -> BytesMut {
+        let mut out = BytesMut::with_capacity(64);
+        self.header.encode(self.as4, &mut out);
+        let width = if self.as4 {
+            AsnWidth::Four
+        } else {
+            AsnWidth::Two
+        };
+        out.put_slice(&self.message.encode(width));
+        out
+    }
+
+    /// Decodes the body.
+    pub fn decode(buf: &mut Bytes, as4: bool) -> Result<Self, MrtError> {
+        let header = PeeringHeader::decode(buf, as4)?;
+        let width = if as4 { AsnWidth::Four } else { AsnWidth::Two };
+        let message = BgpMessage::decode(buf, width)?;
+        if buf.has_remaining() {
+            return Err(MrtError::Malformed {
+                what: "BGP4MP message",
+                reason: format!("{} trailing bytes", buf.remaining()),
+            });
+        }
+        Ok(Bgp4mpMessage {
+            header,
+            message,
+            as4,
+        })
+    }
+}
+
+/// A BGP4MP_STATE_CHANGE / _AS4 body.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Bgp4mpStateChange {
+    /// Session identification.
+    pub header: PeeringHeader,
+    /// FSM state before the transition.
+    pub old_state: u16,
+    /// FSM state after the transition.
+    pub new_state: u16,
+    /// Whether the AS4 subtype is used.
+    pub as4: bool,
+}
+
+impl Bgp4mpStateChange {
+    /// Encodes the body.
+    pub fn encode(&self) -> BytesMut {
+        let mut out = BytesMut::with_capacity(32);
+        self.header.encode(self.as4, &mut out);
+        out.put_u16(self.old_state);
+        out.put_u16(self.new_state);
+        out
+    }
+
+    /// Decodes the body.
+    pub fn decode(buf: &mut Bytes, as4: bool) -> Result<Self, MrtError> {
+        let header = PeeringHeader::decode(buf, as4)?;
+        if buf.remaining() < 4 {
+            return Err(MrtError::Malformed {
+                what: "BGP4MP state change",
+                reason: "missing state fields".into(),
+            });
+        }
+        let old_state = buf.get_u16();
+        let new_state = buf.get_u16();
+        if buf.has_remaining() {
+            return Err(MrtError::Malformed {
+                what: "BGP4MP state change",
+                reason: format!("{} trailing bytes", buf.remaining()),
+            });
+        }
+        Ok(Bgp4mpStateChange {
+            header,
+            old_state,
+            new_state,
+            as4,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use moas_bgp::attrs::Attrs;
+    use moas_bgp::message::UpdateMsg;
+
+    fn header() -> PeeringHeader {
+        PeeringHeader {
+            peer_as: Asn::new(701),
+            local_as: Asn::new(6447),
+            if_index: 0,
+            peer_addr: IpAddr::V4(Ipv4Addr::new(10, 0, 0, 1)),
+            local_addr: IpAddr::V4(Ipv4Addr::new(198, 32, 162, 100)),
+        }
+    }
+
+    fn update() -> BgpMessage {
+        BgpMessage::Update(UpdateMsg {
+            withdrawn: vec![],
+            attrs: Attrs::announcement(
+                "701 8584".parse().unwrap(),
+                Ipv4Addr::new(10, 0, 0, 1),
+            ),
+            announced: vec!["192.0.2.0/24".parse().unwrap()],
+        })
+    }
+
+    #[test]
+    fn message_roundtrip_2byte() {
+        let m = Bgp4mpMessage {
+            header: header(),
+            message: update(),
+            as4: false,
+        };
+        let mut buf = m.encode().freeze();
+        assert_eq!(Bgp4mpMessage::decode(&mut buf, false).unwrap(), m);
+    }
+
+    #[test]
+    fn message_roundtrip_as4() {
+        let mut h = header();
+        h.peer_as = Asn::new(4_200_000_000);
+        let m = Bgp4mpMessage {
+            header: h,
+            message: update(),
+            as4: true,
+        };
+        let mut buf = m.encode().freeze();
+        assert_eq!(Bgp4mpMessage::decode(&mut buf, true).unwrap(), m);
+    }
+
+    #[test]
+    fn message_roundtrip_v6_session() {
+        let m = Bgp4mpMessage {
+            header: PeeringHeader {
+                peer_as: Asn::new(701),
+                local_as: Asn::new(6447),
+                if_index: 3,
+                peer_addr: IpAddr::V6("2001:db8::1".parse().unwrap()),
+                local_addr: IpAddr::V6("2001:db8::2".parse().unwrap()),
+            },
+            message: BgpMessage::Keepalive,
+            as4: false,
+        };
+        let mut buf = m.encode().freeze();
+        assert_eq!(Bgp4mpMessage::decode(&mut buf, false).unwrap(), m);
+    }
+
+    #[test]
+    fn state_change_roundtrip() {
+        let s = Bgp4mpStateChange {
+            header: header(),
+            old_state: fsm::OPEN_CONFIRM,
+            new_state: fsm::ESTABLISHED,
+            as4: false,
+        };
+        let mut buf = s.encode().freeze();
+        assert_eq!(Bgp4mpStateChange::decode(&mut buf, false).unwrap(), s);
+    }
+
+    #[test]
+    fn truncated_header_rejected() {
+        let m = Bgp4mpMessage {
+            header: header(),
+            message: update(),
+            as4: false,
+        };
+        let enc = m.encode();
+        let mut short = Bytes::copy_from_slice(&enc[..6]);
+        assert!(Bgp4mpMessage::decode(&mut short, false).is_err());
+    }
+
+    #[test]
+    fn bad_afi_rejected() {
+        let m = Bgp4mpStateChange {
+            header: header(),
+            old_state: 1,
+            new_state: 2,
+            as4: false,
+        };
+        let mut enc = m.encode();
+        enc[7] = 9; // AFI low byte (peer_as 2 + local_as 2 + ifidx 2 + afi at 6..8)
+        assert!(Bgp4mpStateChange::decode(&mut enc.freeze(), false).is_err());
+    }
+
+    #[test]
+    fn trailing_bytes_rejected() {
+        let s = Bgp4mpStateChange {
+            header: header(),
+            old_state: 1,
+            new_state: 2,
+            as4: false,
+        };
+        let mut enc = s.encode();
+        enc.put_u8(0);
+        assert!(Bgp4mpStateChange::decode(&mut enc.freeze(), false).is_err());
+    }
+}

@@ -1,0 +1,96 @@
+//! MRT error type.
+
+use moas_bgp::BgpError;
+use std::fmt;
+use std::io;
+
+/// Errors raised while reading or writing MRT archives.
+#[derive(Debug)]
+pub enum MrtError {
+    /// Underlying I/O failure.
+    Io(io::Error),
+    /// Record header shorter than 12 bytes at end of file (a cleanly
+    /// truncated archive tail).
+    TruncatedHeader {
+        /// Bytes actually present.
+        got: usize,
+    },
+    /// Record body shorter than the header's length field claims.
+    TruncatedBody {
+        /// Bytes the header promised.
+        expected: usize,
+        /// Bytes actually present.
+        got: usize,
+    },
+    /// Record type we do not implement.
+    UnsupportedType {
+        /// MRT type code.
+        mrt_type: u16,
+        /// MRT subtype code.
+        subtype: u16,
+    },
+    /// The record body failed structural validation.
+    Malformed {
+        /// What was being decoded.
+        what: &'static str,
+        /// Why it failed.
+        reason: String,
+    },
+    /// A wrapped BGP structure failed to parse.
+    Bgp(BgpError),
+    /// A RIB entry referenced a peer index missing from the
+    /// PEER_INDEX_TABLE.
+    UnknownPeerIndex(u16),
+    /// A TABLE_DUMP_V2 RIB record appeared before any PEER_INDEX_TABLE.
+    MissingPeerIndexTable,
+    /// The record length field exceeds the sanity cap.
+    OversizedRecord(u32),
+}
+
+impl fmt::Display for MrtError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MrtError::Io(e) => write!(f, "I/O error: {e}"),
+            MrtError::TruncatedHeader { got } => {
+                write!(f, "truncated MRT header: {got} of 12 bytes")
+            }
+            MrtError::TruncatedBody { expected, got } => {
+                write!(f, "truncated MRT body: {got} of {expected} bytes")
+            }
+            MrtError::UnsupportedType { mrt_type, subtype } => {
+                write!(f, "unsupported MRT type {mrt_type} subtype {subtype}")
+            }
+            MrtError::Malformed { what, reason } => write!(f, "malformed {what}: {reason}"),
+            MrtError::Bgp(e) => write!(f, "BGP payload error: {e}"),
+            MrtError::UnknownPeerIndex(i) => write!(f, "unknown peer index {i}"),
+            MrtError::MissingPeerIndexTable => {
+                write!(f, "RIB record before PEER_INDEX_TABLE")
+            }
+            MrtError::OversizedRecord(len) => {
+                write!(f, "record length {len} exceeds sanity cap")
+            }
+        }
+    }
+}
+
+impl std::error::Error for MrtError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            MrtError::Io(e) => Some(e),
+            MrtError::Bgp(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for MrtError {
+    fn from(e: io::Error) -> Self {
+        MrtError::Io(e)
+    }
+}
+
+impl From<BgpError> for MrtError {
+    fn from(e: BgpError) -> Self {
+        MrtError::Bgp(e)
+    }
+}

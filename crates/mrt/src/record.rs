@@ -1,0 +1,302 @@
+//! The MRT common header and record dispatch.
+//!
+//! Every MRT record is `timestamp(4) type(2) subtype(2) length(4)`
+//! followed by `length` body bytes (RFC 6396 §2). [`MrtRecord`] owns the
+//! decoded body; raw encode/decode of the individual body formats lives
+//! in [`crate::table_dump`] and [`crate::bgp4mp`].
+
+use crate::bgp4mp::{Bgp4mpMessage, Bgp4mpStateChange};
+use crate::error::MrtError;
+use crate::table_dump::{PeerIndexTable, RibUnicast, TableDumpEntry};
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use moas_net::Prefix;
+
+/// MRT type codes used in this workspace (RFC 6396 §4).
+pub mod mrt_type {
+    /// TABLE_DUMP.
+    pub const TABLE_DUMP: u16 = 12;
+    /// TABLE_DUMP_V2.
+    pub const TABLE_DUMP_V2: u16 = 13;
+    /// BGP4MP.
+    pub const BGP4MP: u16 = 16;
+}
+
+/// TABLE_DUMP subtypes (address family).
+pub mod td_subtype {
+    /// IPv4.
+    pub const AFI_IPV4: u16 = 1;
+    /// IPv6.
+    pub const AFI_IPV6: u16 = 2;
+}
+
+/// TABLE_DUMP_V2 subtypes.
+pub mod tdv2_subtype {
+    /// PEER_INDEX_TABLE.
+    pub const PEER_INDEX_TABLE: u16 = 1;
+    /// RIB_IPV4_UNICAST.
+    pub const RIB_IPV4_UNICAST: u16 = 2;
+    /// RIB_IPV6_UNICAST.
+    pub const RIB_IPV6_UNICAST: u16 = 4;
+}
+
+/// BGP4MP subtypes.
+pub mod bgp4mp_subtype {
+    /// BGP4MP_STATE_CHANGE.
+    pub const STATE_CHANGE: u16 = 0;
+    /// BGP4MP_MESSAGE (2-byte ASNs).
+    pub const MESSAGE: u16 = 1;
+    /// BGP4MP_MESSAGE_AS4 (4-byte ASNs).
+    pub const MESSAGE_AS4: u16 = 4;
+    /// BGP4MP_STATE_CHANGE_AS4.
+    pub const STATE_CHANGE_AS4: u16 = 5;
+}
+
+/// Sanity cap on a record's length field: real table-dump records are
+/// far below this; anything larger indicates corruption.
+pub const MAX_RECORD_LEN: u32 = 4 * 1024 * 1024;
+
+/// A decoded MRT record body.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MrtBody {
+    /// TABLE_DUMP (v1): one (prefix, peer) RIB row.
+    TableDump(TableDumpEntry),
+    /// TABLE_DUMP_V2 PEER_INDEX_TABLE.
+    PeerIndexTable(PeerIndexTable),
+    /// TABLE_DUMP_V2 RIB_IPV4_UNICAST / RIB_IPV6_UNICAST.
+    RibUnicast(RibUnicast),
+    /// BGP4MP_MESSAGE / BGP4MP_MESSAGE_AS4.
+    Bgp4mpMessage(Bgp4mpMessage),
+    /// BGP4MP_STATE_CHANGE / _AS4.
+    Bgp4mpStateChange(Bgp4mpStateChange),
+}
+
+impl MrtBody {
+    /// The (type, subtype) pair this body serializes as.
+    pub fn type_codes(&self) -> (u16, u16) {
+        match self {
+            MrtBody::TableDump(e) => (
+                mrt_type::TABLE_DUMP,
+                match e.prefix {
+                    Prefix::V4(_) => td_subtype::AFI_IPV4,
+                    Prefix::V6(_) => td_subtype::AFI_IPV6,
+                },
+            ),
+            MrtBody::PeerIndexTable(_) => {
+                (mrt_type::TABLE_DUMP_V2, tdv2_subtype::PEER_INDEX_TABLE)
+            }
+            MrtBody::RibUnicast(r) => (
+                mrt_type::TABLE_DUMP_V2,
+                match r.prefix {
+                    Prefix::V4(_) => tdv2_subtype::RIB_IPV4_UNICAST,
+                    Prefix::V6(_) => tdv2_subtype::RIB_IPV6_UNICAST,
+                },
+            ),
+            MrtBody::Bgp4mpMessage(m) => (
+                mrt_type::BGP4MP,
+                if m.as4 {
+                    bgp4mp_subtype::MESSAGE_AS4
+                } else {
+                    bgp4mp_subtype::MESSAGE
+                },
+            ),
+            MrtBody::Bgp4mpStateChange(s) => (
+                mrt_type::BGP4MP,
+                if s.as4 {
+                    bgp4mp_subtype::STATE_CHANGE_AS4
+                } else {
+                    bgp4mp_subtype::STATE_CHANGE
+                },
+            ),
+        }
+    }
+}
+
+/// One MRT record: timestamp + typed body.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MrtRecord {
+    /// Seconds since the Unix epoch.
+    pub timestamp: u32,
+    /// The decoded body.
+    pub body: MrtBody,
+}
+
+impl MrtRecord {
+    /// Encodes the record (header + body).
+    pub fn encode(&self) -> BytesMut {
+        let body = match &self.body {
+            MrtBody::TableDump(e) => e.encode(),
+            MrtBody::PeerIndexTable(t) => t.encode(),
+            MrtBody::RibUnicast(r) => r.encode(),
+            MrtBody::Bgp4mpMessage(m) => m.encode(),
+            MrtBody::Bgp4mpStateChange(s) => s.encode(),
+        };
+        let (ty, sub) = self.body.type_codes();
+        let mut out = BytesMut::with_capacity(12 + body.len());
+        out.put_u32(self.timestamp);
+        out.put_u16(ty);
+        out.put_u16(sub);
+        out.put_u32(body.len() as u32);
+        out.put_slice(&body);
+        out
+    }
+
+    /// Decodes one record from the front of `buf`, consuming exactly
+    /// header + body bytes on success. On a body-level parse error the
+    /// record's bytes are still consumed (the caller can continue with
+    /// the next record — this is what makes skip-and-continue possible).
+    pub fn decode(buf: &mut Bytes) -> Result<MrtRecord, MrtError> {
+        if buf.remaining() < 12 {
+            return Err(MrtError::TruncatedHeader {
+                got: buf.remaining(),
+            });
+        }
+        let timestamp = buf.get_u32();
+        let ty = buf.get_u16();
+        let sub = buf.get_u16();
+        let len = buf.get_u32();
+        if len > MAX_RECORD_LEN {
+            return Err(MrtError::OversizedRecord(len));
+        }
+        if buf.remaining() < len as usize {
+            return Err(MrtError::TruncatedBody {
+                expected: len as usize,
+                got: buf.remaining(),
+            });
+        }
+        let mut body = buf.split_to(len as usize);
+        let parsed = Self::decode_body(ty, sub, &mut body)?;
+        Ok(MrtRecord {
+            timestamp,
+            body: parsed,
+        })
+    }
+
+    fn decode_body(ty: u16, sub: u16, body: &mut Bytes) -> Result<MrtBody, MrtError> {
+        match (ty, sub) {
+            (mrt_type::TABLE_DUMP, td_subtype::AFI_IPV4) => Ok(MrtBody::TableDump(
+                TableDumpEntry::decode(body, false)?,
+            )),
+            (mrt_type::TABLE_DUMP, td_subtype::AFI_IPV6) => Ok(MrtBody::TableDump(
+                TableDumpEntry::decode(body, true)?,
+            )),
+            (mrt_type::TABLE_DUMP_V2, tdv2_subtype::PEER_INDEX_TABLE) => Ok(
+                MrtBody::PeerIndexTable(PeerIndexTable::decode(body)?),
+            ),
+            (mrt_type::TABLE_DUMP_V2, tdv2_subtype::RIB_IPV4_UNICAST) => {
+                Ok(MrtBody::RibUnicast(RibUnicast::decode(body, false)?))
+            }
+            (mrt_type::TABLE_DUMP_V2, tdv2_subtype::RIB_IPV6_UNICAST) => {
+                Ok(MrtBody::RibUnicast(RibUnicast::decode(body, true)?))
+            }
+            (mrt_type::BGP4MP, bgp4mp_subtype::MESSAGE) => Ok(MrtBody::Bgp4mpMessage(
+                Bgp4mpMessage::decode(body, false)?,
+            )),
+            (mrt_type::BGP4MP, bgp4mp_subtype::MESSAGE_AS4) => Ok(MrtBody::Bgp4mpMessage(
+                Bgp4mpMessage::decode(body, true)?,
+            )),
+            (mrt_type::BGP4MP, bgp4mp_subtype::STATE_CHANGE) => Ok(
+                MrtBody::Bgp4mpStateChange(Bgp4mpStateChange::decode(body, false)?),
+            ),
+            (mrt_type::BGP4MP, bgp4mp_subtype::STATE_CHANGE_AS4) => Ok(
+                MrtBody::Bgp4mpStateChange(Bgp4mpStateChange::decode(body, true)?),
+            ),
+            _ => Err(MrtError::UnsupportedType {
+                mrt_type: ty,
+                subtype: sub,
+            }),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use moas_bgp::attrs::Attrs;
+    use moas_net::Asn;
+    use std::net::{IpAddr, Ipv4Addr};
+
+    fn sample_record() -> MrtRecord {
+        MrtRecord {
+            timestamp: 891907200, // 1998-04-07
+            body: MrtBody::TableDump(TableDumpEntry {
+                view: 0,
+                sequence: 1,
+                prefix: "192.0.2.0/24".parse().unwrap(),
+                status: 1,
+                originated: 891900000,
+                peer_addr: IpAddr::V4(Ipv4Addr::new(198, 32, 162, 100)),
+                peer_as: Asn::new(8584),
+                attrs: Attrs::announcement(
+                    "8584".parse().unwrap(),
+                    Ipv4Addr::new(198, 32, 162, 100),
+                ),
+            }),
+        }
+    }
+
+    #[test]
+    fn header_layout() {
+        let rec = sample_record();
+        let enc = rec.encode();
+        assert_eq!(&enc[..4], &891907200u32.to_be_bytes());
+        assert_eq!(&enc[4..6], &12u16.to_be_bytes()); // TABLE_DUMP
+        assert_eq!(&enc[6..8], &1u16.to_be_bytes()); // AFI_IPv4
+        let len = u32::from_be_bytes([enc[8], enc[9], enc[10], enc[11]]);
+        assert_eq!(len as usize, enc.len() - 12);
+    }
+
+    #[test]
+    fn record_roundtrip() {
+        let rec = sample_record();
+        let mut buf = rec.encode().freeze();
+        let out = MrtRecord::decode(&mut buf).unwrap();
+        assert_eq!(out, rec);
+        assert!(!buf.has_remaining());
+    }
+
+    #[test]
+    fn truncated_header_detected() {
+        let enc = sample_record().encode();
+        let mut short = Bytes::copy_from_slice(&enc[..8]);
+        assert!(matches!(
+            MrtRecord::decode(&mut short),
+            Err(MrtError::TruncatedHeader { got: 8 })
+        ));
+    }
+
+    #[test]
+    fn truncated_body_detected() {
+        let enc = sample_record().encode();
+        let mut short = Bytes::copy_from_slice(&enc[..enc.len() - 3]);
+        assert!(matches!(
+            MrtRecord::decode(&mut short),
+            Err(MrtError::TruncatedBody { .. })
+        ));
+    }
+
+    #[test]
+    fn unsupported_type_consumes_record() {
+        let mut enc = sample_record().encode();
+        enc[5] = 99; // type = 99 (low byte)
+        enc[4] = 0;
+        let mut buf = enc.freeze();
+        let before = buf.len();
+        let err = MrtRecord::decode(&mut buf).unwrap_err();
+        assert!(matches!(err, MrtError::UnsupportedType { .. }));
+        // Header + body consumed: skip-and-continue is possible.
+        assert!(buf.len() < before - 12);
+    }
+
+    #[test]
+    fn oversized_record_rejected() {
+        let mut enc = sample_record().encode();
+        enc[8] = 0xFF;
+        enc[9] = 0xFF;
+        enc[10] = 0xFF;
+        enc[11] = 0xFF;
+        assert!(matches!(
+            MrtRecord::decode(&mut enc.freeze()),
+            Err(MrtError::OversizedRecord(_))
+        ));
+    }
+}

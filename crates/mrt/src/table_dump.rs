@@ -1,0 +1,515 @@
+//! TABLE_DUMP (v1) and TABLE_DUMP_V2 body formats.
+//!
+//! TABLE_DUMP (RFC 6396 §4.2) is the format of the NLANR/PCH archives
+//! the paper analyzed: one record per (prefix, peer) pair, peer identity
+//! inlined in every record, 2-byte ASNs.
+//!
+//! TABLE_DUMP_V2 (RFC 6396 §4.3) deduplicates peers into a
+//! PEER_INDEX_TABLE and stores one record per prefix with all peers'
+//! entries, 4-byte ASNs. Both are implemented to support the
+//! format-comparison ablation (archive size / parse throughput).
+
+use crate::error::MrtError;
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use moas_bgp::attrs::{decode_attrs, encode_attrs, AsnWidth, Attrs};
+use moas_net::{Asn, Ipv4Prefix, Ipv6Prefix, Prefix};
+use std::net::{IpAddr, Ipv4Addr, Ipv6Addr};
+
+fn read_exact_check(buf: &Bytes, need: usize, what: &'static str) -> Result<(), MrtError> {
+    if buf.remaining() < need {
+        return Err(MrtError::Malformed {
+            what,
+            reason: format!("need {need} bytes, have {}", buf.remaining()),
+        });
+    }
+    Ok(())
+}
+
+fn get_v4(buf: &mut Bytes) -> Ipv4Addr {
+    Ipv4Addr::new(buf.get_u8(), buf.get_u8(), buf.get_u8(), buf.get_u8())
+}
+
+fn get_v6(buf: &mut Bytes) -> Ipv6Addr {
+    let mut o = [0u8; 16];
+    buf.copy_to_slice(&mut o);
+    Ipv6Addr::from(o)
+}
+
+/// One TABLE_DUMP record body: a single (prefix, peer) RIB row.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TableDumpEntry {
+    /// View number (0 in Route Views archives).
+    pub view: u16,
+    /// Sequence number (wraps at 2^16).
+    pub sequence: u16,
+    /// The prefix. Its family selects the record subtype.
+    pub prefix: Prefix,
+    /// Status octet (1 in practice).
+    pub status: u8,
+    /// When the route was last changed (seconds since epoch).
+    pub originated: u32,
+    /// Peer address (family must match the subtype in valid files).
+    pub peer_addr: IpAddr,
+    /// Peer AS (2-byte in v1).
+    pub peer_as: Asn,
+    /// BGP path attributes.
+    pub attrs: Attrs,
+}
+
+impl TableDumpEntry {
+    /// Encodes the body (v1 always uses 2-byte ASNs).
+    pub fn encode(&self) -> BytesMut {
+        let mut out = BytesMut::with_capacity(64);
+        out.put_u16(self.view);
+        out.put_u16(self.sequence);
+        match self.prefix {
+            Prefix::V4(p) => {
+                out.put_slice(&p.network().octets());
+                out.put_u8(p.len());
+            }
+            Prefix::V6(p) => {
+                out.put_slice(&p.network().octets());
+                out.put_u8(p.len());
+            }
+        }
+        out.put_u8(self.status);
+        out.put_u32(self.originated);
+        match (self.prefix, self.peer_addr) {
+            (Prefix::V4(_), IpAddr::V4(a)) => out.put_slice(&a.octets()),
+            (Prefix::V6(_), IpAddr::V6(a)) => out.put_slice(&a.octets()),
+            // Family mismatch (peer of other family): encode as the
+            // prefix family's zero address — v1 cannot express it.
+            (Prefix::V4(_), _) => out.put_slice(&[0; 4]),
+            (Prefix::V6(_), _) => out.put_slice(&[0; 16]),
+        }
+        out.put_u16(self.peer_as.value() as u16);
+        let ab = encode_attrs(&self.attrs, AsnWidth::Two);
+        out.put_u16(ab.len() as u16);
+        out.put_slice(&ab);
+        out
+    }
+
+    /// Decodes a body of the given family (`v6` selects AFI_IPv6).
+    pub fn decode(buf: &mut Bytes, v6: bool) -> Result<Self, MrtError> {
+        let addr_len = if v6 { 16 } else { 4 };
+        read_exact_check(buf, 4 + addr_len + 1 + 1 + 4 + addr_len + 2 + 2, "TABLE_DUMP body")?;
+        let view = buf.get_u16();
+        let sequence = buf.get_u16();
+        let prefix = if v6 {
+            let addr = get_v6(buf);
+            let len = buf.get_u8();
+            if len > 128 {
+                return Err(MrtError::Malformed {
+                    what: "TABLE_DUMP prefix",
+                    reason: format!("v6 prefix length {len}"),
+                });
+            }
+            Prefix::V6(Ipv6Prefix::from_bits(u128::from(addr), len))
+        } else {
+            let addr = get_v4(buf);
+            let len = buf.get_u8();
+            if len > 32 {
+                return Err(MrtError::Malformed {
+                    what: "TABLE_DUMP prefix",
+                    reason: format!("v4 prefix length {len}"),
+                });
+            }
+            Prefix::V4(Ipv4Prefix::from_bits(u32::from(addr), len))
+        };
+        let status = buf.get_u8();
+        let originated = buf.get_u32();
+        let peer_addr = if v6 {
+            IpAddr::V6(get_v6(buf))
+        } else {
+            IpAddr::V4(get_v4(buf))
+        };
+        let peer_as = Asn::new(buf.get_u16() as u32);
+        let attr_len = buf.get_u16() as usize;
+        read_exact_check(buf, attr_len, "TABLE_DUMP attributes")?;
+        let mut ab = buf.split_to(attr_len);
+        let attrs = decode_attrs(&mut ab, AsnWidth::Two)?;
+        if buf.has_remaining() {
+            return Err(MrtError::Malformed {
+                what: "TABLE_DUMP body",
+                reason: format!("{} trailing bytes", buf.remaining()),
+            });
+        }
+        Ok(TableDumpEntry {
+            view,
+            sequence,
+            prefix,
+            status,
+            originated,
+            peer_addr,
+            peer_as,
+            attrs,
+        })
+    }
+}
+
+/// One peer row of a PEER_INDEX_TABLE.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PeerEntry {
+    /// Peer BGP identifier.
+    pub bgp_id: Ipv4Addr,
+    /// Peer address.
+    pub addr: IpAddr,
+    /// Peer AS.
+    pub asn: Asn,
+    /// Whether the AS field is encoded as 4 bytes.
+    pub as4: bool,
+}
+
+/// TABLE_DUMP_V2 PEER_INDEX_TABLE body.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PeerIndexTable {
+    /// Collector BGP identifier.
+    pub collector_id: Ipv4Addr,
+    /// Optional view name.
+    pub view_name: String,
+    /// Peer table; RIB entries reference these by index.
+    pub peers: Vec<PeerEntry>,
+}
+
+impl PeerIndexTable {
+    /// Encodes the body.
+    pub fn encode(&self) -> BytesMut {
+        let mut out = BytesMut::with_capacity(16 + self.peers.len() * 12);
+        out.put_slice(&self.collector_id.octets());
+        out.put_u16(self.view_name.len() as u16);
+        out.put_slice(self.view_name.as_bytes());
+        out.put_u16(self.peers.len() as u16);
+        for p in &self.peers {
+            let mut ty = 0u8;
+            if matches!(p.addr, IpAddr::V6(_)) {
+                ty |= 0x01;
+            }
+            if p.as4 {
+                ty |= 0x02;
+            }
+            out.put_u8(ty);
+            out.put_slice(&p.bgp_id.octets());
+            match p.addr {
+                IpAddr::V4(a) => out.put_slice(&a.octets()),
+                IpAddr::V6(a) => out.put_slice(&a.octets()),
+            }
+            if p.as4 {
+                out.put_u32(p.asn.value());
+            } else {
+                out.put_u16(p.asn.value() as u16);
+            }
+        }
+        out
+    }
+
+    /// Decodes the body.
+    pub fn decode(buf: &mut Bytes) -> Result<Self, MrtError> {
+        read_exact_check(buf, 8, "PEER_INDEX_TABLE header")?;
+        let collector_id = get_v4(buf);
+        let name_len = buf.get_u16() as usize;
+        read_exact_check(buf, name_len + 2, "PEER_INDEX_TABLE view name")?;
+        let name_bytes = buf.split_to(name_len);
+        let view_name = String::from_utf8_lossy(&name_bytes).into_owned();
+        let count = buf.get_u16() as usize;
+        let mut peers = Vec::with_capacity(count);
+        for i in 0..count {
+            read_exact_check(buf, 5, "PEER_INDEX_TABLE peer type")?;
+            let ty = buf.get_u8();
+            let bgp_id = get_v4(buf);
+            let v6 = ty & 0x01 != 0;
+            let as4 = ty & 0x02 != 0;
+            let need = if v6 { 16 } else { 4 } + if as4 { 4 } else { 2 };
+            if buf.remaining() < need {
+                return Err(MrtError::Malformed {
+                    what: "PEER_INDEX_TABLE peer",
+                    reason: format!("peer {i} truncated"),
+                });
+            }
+            let addr = if v6 {
+                IpAddr::V6(get_v6(buf))
+            } else {
+                IpAddr::V4(get_v4(buf))
+            };
+            let asn = if as4 {
+                Asn::new(buf.get_u32())
+            } else {
+                Asn::new(buf.get_u16() as u32)
+            };
+            peers.push(PeerEntry {
+                bgp_id,
+                addr,
+                asn,
+                as4,
+            });
+        }
+        if buf.has_remaining() {
+            return Err(MrtError::Malformed {
+                what: "PEER_INDEX_TABLE",
+                reason: format!("{} trailing bytes", buf.remaining()),
+            });
+        }
+        Ok(PeerIndexTable {
+            collector_id,
+            view_name,
+            peers,
+        })
+    }
+}
+
+/// One RIB entry within a TABLE_DUMP_V2 RIB record.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RibEntryV2 {
+    /// Index into the preceding PEER_INDEX_TABLE.
+    pub peer_index: u16,
+    /// Route origination time (seconds since epoch).
+    pub originated: u32,
+    /// Path attributes (TABLE_DUMP_V2 always encodes 4-byte ASNs).
+    pub attrs: Attrs,
+}
+
+/// TABLE_DUMP_V2 RIB_IPV4_UNICAST / RIB_IPV6_UNICAST body.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RibUnicast {
+    /// Record sequence number.
+    pub sequence: u32,
+    /// The prefix all entries describe.
+    pub prefix: Prefix,
+    /// Per-peer entries.
+    pub entries: Vec<RibEntryV2>,
+}
+
+impl RibUnicast {
+    /// Encodes the body.
+    pub fn encode(&self) -> BytesMut {
+        let mut out = BytesMut::with_capacity(32);
+        out.put_u32(self.sequence);
+        moas_bgp::nlri::encode_prefix(&self.prefix, &mut out);
+        out.put_u16(self.entries.len() as u16);
+        for e in &self.entries {
+            out.put_u16(e.peer_index);
+            out.put_u32(e.originated);
+            let ab = encode_attrs(&e.attrs, AsnWidth::Four);
+            out.put_u16(ab.len() as u16);
+            out.put_slice(&ab);
+        }
+        out
+    }
+
+    /// Decodes a body of the given family.
+    pub fn decode(buf: &mut Bytes, v6: bool) -> Result<Self, MrtError> {
+        read_exact_check(buf, 5, "RIB record header")?;
+        let sequence = buf.get_u32();
+        let prefix = if v6 {
+            Prefix::V6(moas_bgp::nlri::decode_prefix_v6(buf)?)
+        } else {
+            Prefix::V4(moas_bgp::nlri::decode_prefix_v4(buf)?)
+        };
+        read_exact_check(buf, 2, "RIB entry count")?;
+        let count = buf.get_u16() as usize;
+        let mut entries = Vec::with_capacity(count);
+        for i in 0..count {
+            if buf.remaining() < 8 {
+                return Err(MrtError::Malformed {
+                    what: "RIB entry",
+                    reason: format!("entry {i} header truncated"),
+                });
+            }
+            let peer_index = buf.get_u16();
+            let originated = buf.get_u32();
+            let attr_len = buf.get_u16() as usize;
+            read_exact_check(buf, attr_len, "RIB entry attributes")?;
+            let mut ab = buf.split_to(attr_len);
+            let attrs = decode_attrs(&mut ab, AsnWidth::Four)?;
+            entries.push(RibEntryV2 {
+                peer_index,
+                originated,
+                attrs,
+            });
+        }
+        if buf.has_remaining() {
+            return Err(MrtError::Malformed {
+                what: "RIB record",
+                reason: format!("{} trailing bytes", buf.remaining()),
+            });
+        }
+        Ok(RibUnicast {
+            sequence,
+            prefix,
+            entries,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v1_entry(prefix: &str, path: &str) -> TableDumpEntry {
+        TableDumpEntry {
+            view: 0,
+            sequence: 7,
+            prefix: prefix.parse().unwrap(),
+            status: 1,
+            originated: 891907200,
+            peer_addr: if prefix.contains(':') {
+                IpAddr::V6("2001:db8::1".parse().unwrap())
+            } else {
+                IpAddr::V4(Ipv4Addr::new(198, 32, 162, 100))
+            },
+            peer_as: Asn::new(701),
+            attrs: Attrs {
+                as_path: Some(path.parse().unwrap()),
+                ..Attrs::default()
+            },
+        }
+    }
+
+    #[test]
+    fn v1_v4_roundtrip() {
+        let e = v1_entry("192.0.2.0/24", "701 1239 8584");
+        let mut buf = e.encode().freeze();
+        assert_eq!(TableDumpEntry::decode(&mut buf, false).unwrap(), e);
+    }
+
+    #[test]
+    fn v1_v6_roundtrip() {
+        let e = v1_entry("2001:db8::/32", "701 1239");
+        let mut buf = e.encode().freeze();
+        assert_eq!(TableDumpEntry::decode(&mut buf, true).unwrap(), e);
+    }
+
+    #[test]
+    fn v1_rejects_bad_prefix_len() {
+        let e = v1_entry("192.0.2.0/24", "701");
+        let mut enc = e.encode();
+        enc[8] = 60; // prefix length byte (view 2 + seq 2 + addr 4 = offset 8)
+        assert!(TableDumpEntry::decode(&mut enc.freeze(), false).is_err());
+    }
+
+    #[test]
+    fn v1_rejects_trailing_garbage() {
+        let e = v1_entry("192.0.2.0/24", "701");
+        let mut enc = e.encode();
+        enc.put_u8(0xAA);
+        assert!(matches!(
+            TableDumpEntry::decode(&mut enc.freeze(), false),
+            Err(MrtError::Malformed { .. })
+        ));
+    }
+
+    fn peer_table() -> PeerIndexTable {
+        PeerIndexTable {
+            collector_id: Ipv4Addr::new(198, 32, 162, 100),
+            view_name: "route-views".into(),
+            peers: vec![
+                PeerEntry {
+                    bgp_id: Ipv4Addr::new(10, 0, 0, 1),
+                    addr: IpAddr::V4(Ipv4Addr::new(10, 0, 0, 1)),
+                    asn: Asn::new(701),
+                    as4: false,
+                },
+                PeerEntry {
+                    bgp_id: Ipv4Addr::new(10, 0, 0, 2),
+                    addr: IpAddr::V6("2001:db8::2".parse().unwrap()),
+                    asn: Asn::new(396_000),
+                    as4: true,
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn peer_index_table_roundtrip() {
+        let t = peer_table();
+        let mut buf = t.encode().freeze();
+        assert_eq!(PeerIndexTable::decode(&mut buf).unwrap(), t);
+    }
+
+    #[test]
+    fn peer_index_table_empty_roundtrip() {
+        let t = PeerIndexTable {
+            collector_id: Ipv4Addr::new(1, 2, 3, 4),
+            view_name: String::new(),
+            peers: vec![],
+        };
+        let mut buf = t.encode().freeze();
+        assert_eq!(PeerIndexTable::decode(&mut buf).unwrap(), t);
+    }
+
+    #[test]
+    fn peer_index_truncated_peer_detected() {
+        let t = peer_table();
+        let enc = t.encode();
+        let mut short = Bytes::copy_from_slice(&enc[..enc.len() - 2]);
+        assert!(PeerIndexTable::decode(&mut short).is_err());
+    }
+
+    fn rib_record(prefix: &str) -> RibUnicast {
+        RibUnicast {
+            sequence: 42,
+            prefix: prefix.parse().unwrap(),
+            entries: vec![
+                RibEntryV2 {
+                    peer_index: 0,
+                    originated: 986515200,
+                    attrs: Attrs {
+                        as_path: Some("701 3561 15412".parse().unwrap()),
+                        ..Attrs::default()
+                    },
+                },
+                RibEntryV2 {
+                    peer_index: 1,
+                    originated: 986515300,
+                    attrs: Attrs {
+                        as_path: Some("1239 15412".parse().unwrap()),
+                        ..Attrs::default()
+                    },
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn rib_v4_roundtrip() {
+        let r = rib_record("203.0.113.0/24");
+        let mut buf = r.encode().freeze();
+        assert_eq!(RibUnicast::decode(&mut buf, false).unwrap(), r);
+    }
+
+    #[test]
+    fn rib_v6_roundtrip() {
+        let r = rib_record("2001:db8::/32");
+        let mut buf = r.encode().freeze();
+        assert_eq!(RibUnicast::decode(&mut buf, true).unwrap(), r);
+    }
+
+    #[test]
+    fn rib_empty_entries_roundtrip() {
+        let r = RibUnicast {
+            sequence: 0,
+            prefix: "10.0.0.0/8".parse().unwrap(),
+            entries: vec![],
+        };
+        let mut buf = r.encode().freeze();
+        assert_eq!(RibUnicast::decode(&mut buf, false).unwrap(), r);
+    }
+
+    #[test]
+    fn rib_truncated_entry_detected() {
+        let r = rib_record("203.0.113.0/24");
+        let enc = r.encode();
+        let mut short = Bytes::copy_from_slice(&enc[..enc.len() - 4]);
+        assert!(RibUnicast::decode(&mut short, false).is_err());
+    }
+
+    #[test]
+    fn rib_4byte_asns_survive() {
+        let mut r = rib_record("203.0.113.0/24");
+        r.entries[0].attrs.as_path = Some(
+            moas_net::AsPath::from_sequence([Asn::new(4_200_000_001), Asn::new(65_551)]),
+        );
+        let mut buf = r.encode().freeze();
+        let out = RibUnicast::decode(&mut buf, false).unwrap();
+        assert_eq!(out, r);
+    }
+}

@@ -1,0 +1,140 @@
+//! Property-based tests for the MRT layer: record round-trips, stream
+//! round-trips, and decoder robustness against arbitrary bytes.
+
+use moas_bgp::attrs::Attrs;
+use moas_bgp::{PeerInfo, TableSnapshot};
+use moas_mrt::record::{MrtBody, MrtRecord};
+use moas_mrt::snapshot::{records_to_snapshot, snapshot_to_records, DumpFormat};
+use moas_mrt::table_dump::TableDumpEntry;
+use moas_mrt::{MrtReader, MrtWriter};
+use moas_net::{AsPath, Asn, Date, DayIndex, Ipv4Prefix, Prefix};
+use proptest::prelude::*;
+use std::net::{IpAddr, Ipv4Addr};
+
+fn arb_prefix() -> impl Strategy<Value = Ipv4Prefix> {
+    (any::<u32>(), 0u8..=32).prop_map(|(bits, len)| Ipv4Prefix::from_bits(bits, len))
+}
+
+fn arb_path() -> impl Strategy<Value = AsPath> {
+    prop::collection::vec(1u32..65_000, 1..6)
+        .prop_map(|v| AsPath::from_sequence(v.into_iter().map(Asn::new)))
+}
+
+fn arb_record() -> impl Strategy<Value = MrtRecord> {
+    (
+        any::<u32>(),
+        arb_prefix(),
+        arb_path(),
+        1u32..65_000,
+        any::<u32>(),
+    )
+        .prop_map(|(ts, prefix, path, peer_as, peer_ip)| MrtRecord {
+            timestamp: ts,
+            body: MrtBody::TableDump(TableDumpEntry {
+                view: 0,
+                sequence: (ts % 65_536) as u16,
+                prefix: Prefix::V4(prefix),
+                status: 1,
+                originated: ts,
+                peer_addr: IpAddr::V4(Ipv4Addr::from(peer_ip)),
+                peer_as: Asn::new(peer_as),
+                attrs: Attrs {
+                    as_path: Some(path),
+                    ..Attrs::default()
+                },
+            }),
+        })
+}
+
+proptest! {
+    #[test]
+    fn record_roundtrip(rec in arb_record()) {
+        let mut buf = rec.encode().freeze();
+        let out = MrtRecord::decode(&mut buf).unwrap();
+        prop_assert_eq!(out, rec);
+    }
+
+    #[test]
+    fn stream_roundtrip(records in prop::collection::vec(arb_record(), 0..20)) {
+        let mut w = MrtWriter::new(Vec::new());
+        w.write_all(&records).unwrap();
+        let bytes = w.finish().unwrap();
+        let mut reader = MrtReader::new(&bytes[..]);
+        let out: Vec<MrtRecord> = reader.by_ref().collect();
+        prop_assert_eq!(out, records);
+        prop_assert_eq!(reader.stats().records_skipped, 0);
+    }
+
+    #[test]
+    fn reader_never_panics_on_garbage(data in prop::collection::vec(any::<u8>(), 0..512)) {
+        let mut reader = MrtReader::new(&data[..]);
+        // Drain; must terminate (length fields bound progress) and not panic.
+        let mut n = 0;
+        while reader.next_record().is_some() {
+            n += 1;
+            if n > 1000 { break; }
+        }
+    }
+
+    #[test]
+    fn corrupting_one_record_does_not_lose_others(
+        records in prop::collection::vec(arb_record(), 2..10),
+        victim_seed in any::<usize>(),
+        corrupt_byte in any::<u8>(),
+        corrupt_pos_seed in any::<usize>(),
+    ) {
+        let victim = victim_seed % records.len();
+        let mut bytes = Vec::new();
+        for (i, r) in records.iter().enumerate() {
+            let mut enc = r.encode().to_vec();
+            if i == victim && enc.len() > 12 {
+                // Corrupt a body byte (never the 12-byte header, which
+                // carries the framing length).
+                let pos = 12 + corrupt_pos_seed % (enc.len() - 12);
+                enc[pos] = corrupt_byte;
+            }
+            bytes.extend_from_slice(&enc);
+        }
+        let mut reader = MrtReader::new(&bytes[..]);
+        let out: Vec<MrtRecord> = reader.by_ref().collect();
+        // All intact records must survive.
+        prop_assert!(out.len() >= records.len() - 1);
+        prop_assert!(reader.fatal_error().is_none());
+        let stats = reader.stats();
+        prop_assert_eq!(stats.records_ok + stats.records_skipped + stats.records_unsupported,
+                        records.len() as u64);
+    }
+
+    #[test]
+    fn snapshot_roundtrip_both_formats(
+        entries in prop::collection::vec((arb_prefix(), arb_path(), 0u8..4), 1..30),
+        day in 9_000i64..12_000,
+    ) {
+        let date = Date::from_day_index(DayIndex(day));
+        let mut snap = TableSnapshot::new(date);
+        for i in 0..4u8 {
+            snap.add_peer(PeerInfo::v4(
+                Ipv4Addr::new(10, 0, 0, i + 1),
+                Asn::new(100 + i as u32),
+            ));
+        }
+        for (prefix, path, peer) in &entries {
+            snap.push_path(*peer as u16, Prefix::V4(*prefix), path.clone());
+        }
+        for format in [DumpFormat::V1, DumpFormat::V2] {
+            let records = snapshot_to_records(&snap, format);
+            let back = records_to_snapshot(&records, Some(date)).unwrap();
+            prop_assert_eq!(back.date, snap.date);
+            prop_assert_eq!(back.len(), snap.len());
+            let mut a: Vec<String> = snap.entries.iter()
+                .map(|e| format!("{} {} {}", e.route.prefix, e.route.path,
+                                 snap.peers[e.peer_idx as usize].asn)).collect();
+            let mut b: Vec<String> = back.entries.iter()
+                .map(|e| format!("{} {} {}", e.route.prefix, e.route.path,
+                                 back.peers[e.peer_idx as usize].asn)).collect();
+            a.sort();
+            b.sort();
+            prop_assert_eq!(a, b);
+        }
+    }
+}

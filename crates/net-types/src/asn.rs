@@ -1,0 +1,175 @@
+//! Autonomous System numbers.
+//!
+//! The study period (1997–2001) predates 4-byte ASNs (RFC 4893, 2007),
+//! so every AS observed in the data fits in 16 bits; the type is still
+//! 32-bit capable so the same code can process modern tables.
+
+use crate::error::NetParseError;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::str::FromStr;
+
+/// An Autonomous System number.
+///
+/// Stored as a `u32` (4-byte capable) but with helpers for the 2-byte
+/// registry structure that applied during the study window.
+///
+/// ```
+/// use moas_net::Asn;
+/// let a: Asn = "8584".parse().unwrap();
+/// assert_eq!(a, Asn::new(8584));
+/// assert!(!a.is_private());
+/// assert!(Asn::new(64600).is_private());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[serde(transparent)]
+pub struct Asn(pub u32);
+
+impl Asn {
+    /// AS_TRANS (RFC 4893): the 2-byte stand-in for a 4-byte ASN.
+    pub const TRANS: Asn = Asn(23456);
+
+    /// First ASN of the 2-byte private-use block (RFC 1930 / RFC 6996).
+    pub const PRIVATE_START: u32 = 64512;
+    /// Last ASN of the 2-byte private-use block.
+    pub const PRIVATE_END: u32 = 65534;
+    /// Reserved ASN 0 (RFC 7607): never a valid origin.
+    pub const RESERVED_ZERO: Asn = Asn(0);
+    /// Reserved ASN 65535.
+    pub const RESERVED_MAX16: Asn = Asn(65535);
+
+    /// Creates an ASN from a raw number.
+    pub const fn new(n: u32) -> Self {
+        Asn(n)
+    }
+
+    /// Returns the raw numeric value.
+    pub const fn value(self) -> u32 {
+        self.0
+    }
+
+    /// Whether this ASN lies in the 2-byte private-use block
+    /// (64512–65534). Private ASNs matter for the paper's §VI-C:
+    /// multi-homing with AS-number Substitution on Egress uses a private
+    /// ASN that providers are supposed to strip.
+    pub const fn is_private(self) -> bool {
+        self.0 >= Self::PRIVATE_START && self.0 <= Self::PRIVATE_END
+    }
+
+    /// Whether this ASN is reserved (0 or 65535 in the 2-byte space).
+    pub const fn is_reserved(self) -> bool {
+        self.0 == 0 || self.0 == 65535
+    }
+
+    /// Whether the ASN fits in the original 2-byte field.
+    pub const fn is_16bit(self) -> bool {
+        self.0 <= 0xFFFF
+    }
+
+    /// Whether the ASN is plausibly a public, routable AS under the
+    /// study-era registry: 1–64511, excluding AS_TRANS (which did not
+    /// exist yet but is excluded for forward compatibility).
+    pub const fn is_public(self) -> bool {
+        self.0 >= 1 && self.0 < Self::PRIVATE_START && self.0 != Self::TRANS.0
+    }
+}
+
+impl fmt::Display for Asn {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl From<u16> for Asn {
+    fn from(v: u16) -> Self {
+        Asn(v as u32)
+    }
+}
+
+impl From<u32> for Asn {
+    fn from(v: u32) -> Self {
+        Asn(v)
+    }
+}
+
+impl FromStr for Asn {
+    type Err = NetParseError;
+
+    /// Parses either plain notation (`"8584"`) or RFC 5396 "asdot"
+    /// notation (`"1.10"` = 65546) for forward compatibility.
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let s = s.trim();
+        if s.is_empty() {
+            return Err(NetParseError::Empty);
+        }
+        if let Some((hi, lo)) = s.split_once('.') {
+            let hi: u32 = hi
+                .parse::<u16>()
+                .map_err(|_| NetParseError::BadAsn(s.to_string()))?
+                .into();
+            let lo: u32 = lo
+                .parse::<u16>()
+                .map_err(|_| NetParseError::BadAsn(s.to_string()))?
+                .into();
+            return Ok(Asn((hi << 16) | lo));
+        }
+        s.parse::<u32>()
+            .map(Asn)
+            .map_err(|_| NetParseError::BadAsn(s.to_string()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_plain() {
+        assert_eq!("7007".parse::<Asn>().unwrap(), Asn::new(7007));
+        assert_eq!("0".parse::<Asn>().unwrap(), Asn::new(0));
+    }
+
+    #[test]
+    fn parse_asdot() {
+        assert_eq!("1.0".parse::<Asn>().unwrap(), Asn::new(65536));
+        assert_eq!("1.10".parse::<Asn>().unwrap(), Asn::new(65546));
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!("".parse::<Asn>().is_err());
+        assert!("x".parse::<Asn>().is_err());
+        assert!("-1".parse::<Asn>().is_err());
+        assert!("4294967296".parse::<Asn>().is_err());
+        assert!("1.65536".parse::<Asn>().is_err());
+    }
+
+    #[test]
+    fn private_block_boundaries() {
+        assert!(!Asn::new(64511).is_private());
+        assert!(Asn::new(64512).is_private());
+        assert!(Asn::new(65534).is_private());
+        assert!(!Asn::new(65535).is_private());
+    }
+
+    #[test]
+    fn reserved_and_public() {
+        assert!(Asn::new(0).is_reserved());
+        assert!(Asn::new(65535).is_reserved());
+        assert!(!Asn::new(0).is_public());
+        assert!(Asn::new(8584).is_public());
+        assert!(!Asn::new(64512).is_public());
+        assert!(!Asn::TRANS.is_public());
+    }
+
+    #[test]
+    fn display_roundtrip() {
+        let a = Asn::new(15412);
+        assert_eq!(a.to_string().parse::<Asn>().unwrap(), a);
+    }
+
+    #[test]
+    fn ordering_is_numeric() {
+        assert!(Asn::new(2) < Asn::new(10));
+    }
+}

@@ -1,0 +1,508 @@
+//! AS paths: `AS_SEQUENCE` / `AS_SET` segments and origin extraction.
+//!
+//! The paper's methodology (§III) hinges on two rules implemented here:
+//!
+//! 1. *"The last AS along the path to the prefix is considered to be the
+//!    origin AS."* — [`AsPath::origin`].
+//! 2. *"Out of over 100K prefixes observed, roughly 12 routes ended in AS
+//!    sets and these 12 routes were not included in the study."* — a path
+//!    whose final element is an `AS_SET` yields [`Origin::Set`], which the
+//!    detector in `moas-core` excludes (and counts separately).
+//!
+//! Classification (§V) additionally needs the *first* AS of a path (the
+//! neighbor that announced it) and transit membership; those accessors
+//! live here too so the classifier stays allocation-light.
+
+use crate::asn::Asn;
+use crate::error::NetParseError;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::str::FromStr;
+
+/// One segment of an AS path.
+///
+/// BGP-4 (RFC 1771 §4.3) defines `AS_SET` (unordered) and `AS_SEQUENCE`
+/// (ordered); RFC 3065 adds confederation variants which we parse and
+/// carry but which never appeared in the study data.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum PathSegment {
+    /// Ordered sequence of ASes traversed.
+    Sequence(Vec<Asn>),
+    /// Unordered set of ASes, produced by route aggregation.
+    Set(Vec<Asn>),
+    /// Confederation sequence (RFC 3065); stripped at confederation
+    /// boundaries, carried here for wire-format completeness.
+    ConfedSequence(Vec<Asn>),
+    /// Confederation set (RFC 3065).
+    ConfedSet(Vec<Asn>),
+}
+
+impl PathSegment {
+    /// The ASes inside the segment, in stored order.
+    pub fn asns(&self) -> &[Asn] {
+        match self {
+            PathSegment::Sequence(v)
+            | PathSegment::Set(v)
+            | PathSegment::ConfedSequence(v)
+            | PathSegment::ConfedSet(v) => v,
+        }
+    }
+
+    /// Whether the segment is an (possibly confederation) unordered set.
+    pub fn is_set(&self) -> bool {
+        matches!(self, PathSegment::Set(_) | PathSegment::ConfedSet(_))
+    }
+
+    /// Whether the segment is empty (malformed but representable).
+    pub fn is_empty(&self) -> bool {
+        self.asns().is_empty()
+    }
+
+    /// Segment length in hop-count terms: a set counts as one hop for
+    /// BGP path-length comparison (RFC 4271 §9.1.2.2 counts AS_SET as 1;
+    /// RFC 1771-era implementations commonly did the same).
+    pub fn hop_count(&self) -> usize {
+        match self {
+            PathSegment::Sequence(v) => v.len(),
+            PathSegment::Set(v) => usize::from(!v.is_empty()),
+            // Confederation segments do not contribute to path length.
+            PathSegment::ConfedSequence(_) | PathSegment::ConfedSet(_) => 0,
+        }
+    }
+}
+
+/// The origin of a route, per the paper's extraction rule.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Origin {
+    /// The path ends in an `AS_SEQUENCE`; its last AS is the origin.
+    Single(Asn),
+    /// The path ends in an `AS_SET` (aggregated route). The paper
+    /// excludes these routes from MOAS analysis (§III).
+    Set(Vec<Asn>),
+    /// The path is empty (an iBGP-learned or malformed route); no
+    /// origin can be attributed.
+    None,
+}
+
+impl Origin {
+    /// The single origin AS, if the route ends in a sequence.
+    pub fn as_single(&self) -> Option<Asn> {
+        match self {
+            Origin::Single(a) => Some(*a),
+            _ => None,
+        }
+    }
+
+    /// Whether this origin is an AS set (excluded from the study).
+    pub fn is_set(&self) -> bool {
+        matches!(self, Origin::Set(_))
+    }
+}
+
+/// An AS path: an ordered list of segments.
+///
+/// ```
+/// use moas_net::{AsPath, Asn};
+/// let p: AsPath = "701 1239 8584".parse().unwrap();
+/// assert_eq!(p.origin().as_single(), Some(Asn::new(8584)));
+/// assert_eq!(p.first_hop(), Some(Asn::new(701)));
+/// assert!(p.contains(Asn::new(1239)));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub struct AsPath {
+    segments: Vec<PathSegment>,
+}
+
+impl AsPath {
+    /// An empty AS path (as sent between iBGP peers).
+    pub fn empty() -> Self {
+        AsPath {
+            segments: Vec::new(),
+        }
+    }
+
+    /// Builds a path from a plain sequence of ASes — the common case for
+    /// every route in the study era.
+    pub fn from_sequence<I: IntoIterator<Item = Asn>>(asns: I) -> Self {
+        let v: Vec<Asn> = asns.into_iter().collect();
+        if v.is_empty() {
+            Self::empty()
+        } else {
+            AsPath {
+                segments: vec![PathSegment::Sequence(v)],
+            }
+        }
+    }
+
+    /// Builds a path from explicit segments, dropping empty ones.
+    pub fn from_segments<I: IntoIterator<Item = PathSegment>>(segments: I) -> Self {
+        AsPath {
+            segments: segments.into_iter().filter(|s| !s.is_empty()).collect(),
+        }
+    }
+
+    /// The path's segments.
+    pub fn segments(&self) -> &[PathSegment] {
+        &self.segments
+    }
+
+    /// Whether the path has no segments.
+    pub fn is_empty(&self) -> bool {
+        self.segments.is_empty()
+    }
+
+    /// BGP path length for the decision process: sequences count per-AS,
+    /// sets count 1, confederation segments count 0.
+    pub fn hop_count(&self) -> usize {
+        self.segments.iter().map(PathSegment::hop_count).sum()
+    }
+
+    /// Iterates every AS mentioned anywhere in the path, in order,
+    /// including inside sets.
+    pub fn iter_asns(&self) -> impl Iterator<Item = Asn> + '_ {
+        self.segments.iter().flat_map(|s| s.asns().iter().copied())
+    }
+
+    /// The origin per the paper's rule: the last element of the path.
+    /// A trailing `AS_SET` yields [`Origin::Set`] (the route is then
+    /// excluded from MOAS analysis); an empty path yields
+    /// [`Origin::None`].
+    pub fn origin(&self) -> Origin {
+        match self.segments.last() {
+            None => Origin::None,
+            Some(PathSegment::Sequence(v)) | Some(PathSegment::ConfedSequence(v)) => {
+                match v.last() {
+                    Some(a) => Origin::Single(*a),
+                    None => Origin::None,
+                }
+            }
+            Some(PathSegment::Set(v)) | Some(PathSegment::ConfedSet(v)) => {
+                let mut set = v.clone();
+                set.sort_unstable();
+                set.dedup();
+                Origin::Set(set)
+            }
+        }
+    }
+
+    /// The first AS of the path — the neighbor AS that announced the
+    /// route to the vantage point. Used by the §V classifier
+    /// (`SplitView` requires two paths sharing their first AS).
+    /// Returns `None` for an empty path or one starting with a set.
+    pub fn first_hop(&self) -> Option<Asn> {
+        match self.segments.first() {
+            Some(PathSegment::Sequence(v)) | Some(PathSegment::ConfedSequence(v)) => {
+                v.first().copied()
+            }
+            _ => None,
+        }
+    }
+
+    /// Whether `asn` appears anywhere in the path.
+    pub fn contains(&self, asn: Asn) -> bool {
+        self.iter_asns().any(|a| a == asn)
+    }
+
+    /// Whether `asn` appears in the path *before* the origin position,
+    /// i.e. the AS acts as transit on this path.
+    pub fn is_transit(&self, asn: Asn) -> bool {
+        let all: Vec<Asn> = self.iter_asns().collect();
+        if all.len() < 2 {
+            return false;
+        }
+        all[..all.len() - 1].contains(&asn)
+    }
+
+    /// The flattened AS list (sets flattened in stored order). Useful
+    /// for display and for the classifier's disjointness test.
+    pub fn flatten(&self) -> Vec<Asn> {
+        self.iter_asns().collect()
+    }
+
+    /// Whether the flattened form of `self` is a strict proper prefix of
+    /// the flattened form of `other`. This is the §V `OrigTranAS`
+    /// relation: path `(X1 … Xi-1)` versus `(X1 … Xi-1 Xi)` — the origin
+    /// of the shorter path is a transit AS on the longer one.
+    pub fn is_proper_prefix_of(&self, other: &AsPath) -> bool {
+        let a = self.flatten();
+        let b = other.flatten();
+        !a.is_empty() && a.len() < b.len() && b[..a.len()] == a[..]
+    }
+
+    /// Whether the two paths share no AS at all — the §V
+    /// `DistinctPaths` relation.
+    pub fn is_disjoint_from(&self, other: &AsPath) -> bool {
+        // Paths are short (usually < 10 hops); a quadratic scan beats
+        // hashing here and allocates nothing.
+        !self
+            .iter_asns()
+            .any(|a| other.iter_asns().any(|b| a == b))
+    }
+
+    /// Removes consecutive duplicate ASes from sequences (AS prepending
+    /// used for traffic engineering inflates paths; the origin and
+    /// membership relations are unchanged). Returns a new path.
+    pub fn dedup_prepends(&self) -> AsPath {
+        let segments = self
+            .segments
+            .iter()
+            .map(|seg| match seg {
+                PathSegment::Sequence(v) => {
+                    let mut out: Vec<Asn> = Vec::with_capacity(v.len());
+                    for &a in v {
+                        if out.last() != Some(&a) {
+                            out.push(a);
+                        }
+                    }
+                    PathSegment::Sequence(out)
+                }
+                other => other.clone(),
+            })
+            .collect();
+        AsPath { segments }
+    }
+
+    /// Whether any segment of the path is an AS set.
+    pub fn has_set(&self) -> bool {
+        self.segments.iter().any(PathSegment::is_set)
+    }
+}
+
+impl fmt::Display for AsPath {
+    /// Renders in the conventional `show ip bgp` style:
+    /// sequences as space-separated ASNs, sets in braces:
+    /// `701 1239 {3561,7007}`.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut first = true;
+        for seg in &self.segments {
+            if !first {
+                write!(f, " ")?;
+            }
+            first = false;
+            match seg {
+                PathSegment::Sequence(v) => {
+                    let mut inner_first = true;
+                    for a in v {
+                        if !inner_first {
+                            write!(f, " ")?;
+                        }
+                        inner_first = false;
+                        write!(f, "{a}")?;
+                    }
+                }
+                PathSegment::Set(v) => {
+                    write!(f, "{{")?;
+                    for (i, a) in v.iter().enumerate() {
+                        if i > 0 {
+                            write!(f, ",")?;
+                        }
+                        write!(f, "{a}")?;
+                    }
+                    write!(f, "}}")?;
+                }
+                PathSegment::ConfedSequence(v) => {
+                    write!(f, "(")?;
+                    for (i, a) in v.iter().enumerate() {
+                        if i > 0 {
+                            write!(f, " ")?;
+                        }
+                        write!(f, "{a}")?;
+                    }
+                    write!(f, ")")?;
+                }
+                PathSegment::ConfedSet(v) => {
+                    write!(f, "[")?;
+                    for (i, a) in v.iter().enumerate() {
+                        if i > 0 {
+                            write!(f, ",")?;
+                        }
+                        write!(f, "{a}")?;
+                    }
+                    write!(f, "]")?;
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+impl FromStr for AsPath {
+    type Err = NetParseError;
+
+    /// Parses the `Display` format: `701 1239 {3561,7007}`.
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let s = s.trim();
+        let mut segments: Vec<PathSegment> = Vec::new();
+        let mut seq: Vec<Asn> = Vec::new();
+        let mut rest = s;
+        while !rest.is_empty() {
+            rest = rest.trim_start();
+            if rest.is_empty() {
+                break;
+            }
+            if let Some(tail) = rest.strip_prefix('{') {
+                if !seq.is_empty() {
+                    segments.push(PathSegment::Sequence(std::mem::take(&mut seq)));
+                }
+                let end = tail.find('}').ok_or(NetParseError::UnterminatedGroup)?;
+                let inner = &tail[..end];
+                let mut set = Vec::new();
+                for tok in inner.split(',') {
+                    let tok = tok.trim();
+                    if tok.is_empty() {
+                        continue;
+                    }
+                    set.push(tok.parse::<Asn>()?);
+                }
+                segments.push(PathSegment::Set(set));
+                rest = &tail[end + 1..];
+            } else {
+                let end = rest
+                    .find(|c: char| c.is_whitespace() || c == '{')
+                    .unwrap_or(rest.len());
+                let tok = &rest[..end];
+                seq.push(
+                    tok.parse::<Asn>()
+                        .map_err(|_| NetParseError::BadPathToken(tok.to_string()))?,
+                );
+                rest = &rest[end..];
+            }
+        }
+        if !seq.is_empty() {
+            segments.push(PathSegment::Sequence(seq));
+        }
+        Ok(AsPath::from_segments(segments))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn path(s: &str) -> AsPath {
+        s.parse().unwrap()
+    }
+
+    fn asn(n: u32) -> Asn {
+        Asn::new(n)
+    }
+
+    #[test]
+    fn origin_of_sequence() {
+        assert_eq!(path("701 1239 8584").origin().as_single(), Some(asn(8584)));
+    }
+
+    #[test]
+    fn origin_of_single_as() {
+        assert_eq!(path("7007").origin().as_single(), Some(asn(7007)));
+    }
+
+    #[test]
+    fn origin_of_trailing_set_is_excluded_kind() {
+        let p = path("701 {3561,7007}");
+        let o = p.origin();
+        assert!(o.is_set());
+        assert_eq!(o, Origin::Set(vec![asn(3561), asn(7007)]));
+        assert_eq!(o.as_single(), None);
+    }
+
+    #[test]
+    fn origin_set_is_sorted_deduped() {
+        let p = AsPath::from_segments([PathSegment::Set(vec![asn(9), asn(2), asn(9)])]);
+        assert_eq!(p.origin(), Origin::Set(vec![asn(2), asn(9)]));
+    }
+
+    #[test]
+    fn empty_path_origin_none() {
+        assert_eq!(AsPath::empty().origin(), Origin::None);
+        assert_eq!(AsPath::empty().first_hop(), None);
+    }
+
+    #[test]
+    fn first_hop_and_transit() {
+        let p = path("701 1239 8584");
+        assert_eq!(p.first_hop(), Some(asn(701)));
+        assert!(p.is_transit(asn(701)));
+        assert!(p.is_transit(asn(1239)));
+        assert!(!p.is_transit(asn(8584)), "origin is not transit");
+        assert!(!p.is_transit(asn(4)));
+    }
+
+    #[test]
+    fn single_hop_path_has_no_transit() {
+        assert!(!path("7007").is_transit(asn(7007)));
+    }
+
+    #[test]
+    fn hop_count_rules() {
+        assert_eq!(path("701 1239 8584").hop_count(), 3);
+        // An AS_SET counts as one hop.
+        assert_eq!(path("701 {3561,7007}").hop_count(), 2);
+        assert_eq!(AsPath::empty().hop_count(), 0);
+    }
+
+    #[test]
+    fn proper_prefix_relation() {
+        let long = path("701 1239 8584");
+        let short = path("701 1239");
+        assert!(short.is_proper_prefix_of(&long));
+        assert!(!long.is_proper_prefix_of(&short));
+        assert!(!long.is_proper_prefix_of(&long), "not strict");
+        assert!(!path("702 1239").is_proper_prefix_of(&long));
+        assert!(!AsPath::empty().is_proper_prefix_of(&long));
+    }
+
+    #[test]
+    fn disjoint_relation() {
+        assert!(path("701 1239 8584").is_disjoint_from(&path("3561 15412")));
+        assert!(!path("701 1239").is_disjoint_from(&path("3561 1239 15412")));
+        assert!(AsPath::empty().is_disjoint_from(&path("1")));
+    }
+
+    #[test]
+    fn dedup_prepends() {
+        let p = path("701 701 701 1239 8584 8584");
+        assert_eq!(p.dedup_prepends(), path("701 1239 8584"));
+        // Origin is preserved.
+        assert_eq!(
+            p.dedup_prepends().origin().as_single(),
+            p.origin().as_single()
+        );
+    }
+
+    #[test]
+    fn display_parse_roundtrip() {
+        for s in ["701 1239 8584", "7007", "701 {3561,7007}", "1 {2,3} 4 5"] {
+            let p = path(s);
+            assert_eq!(p.to_string(), s);
+            assert_eq!(path(&p.to_string()), p);
+        }
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!("701 x 1239".parse::<AsPath>().is_err());
+        assert!("701 {3561".parse::<AsPath>().is_err());
+    }
+
+    #[test]
+    fn parse_empty_is_empty_path() {
+        assert!(path("").is_empty());
+        assert!(path("   ").is_empty());
+    }
+
+    #[test]
+    fn from_segments_drops_empty() {
+        let p = AsPath::from_segments([
+            PathSegment::Sequence(vec![]),
+            PathSegment::Sequence(vec![asn(1)]),
+        ]);
+        assert_eq!(p.segments().len(), 1);
+    }
+
+    #[test]
+    fn has_set_detection() {
+        assert!(path("701 {3561,7007}").has_set());
+        assert!(!path("701 1239").has_set());
+    }
+}

@@ -1,0 +1,57 @@
+//! Error types for parsing network primitives from text.
+
+use std::fmt;
+
+/// Error produced when parsing a textual network primitive
+/// (prefix, ASN, AS path, or date) fails.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NetParseError {
+    /// The input was empty where a value was required.
+    Empty,
+    /// An IPv4/IPv6 address part could not be parsed.
+    BadAddress(String),
+    /// The prefix length was missing or not a number.
+    BadLength(String),
+    /// The prefix length was out of range for the address family
+    /// (0–32 for IPv4, 0–128 for IPv6).
+    LengthOutOfRange {
+        /// The offending length.
+        len: u8,
+        /// The maximum valid length for the family.
+        max: u8,
+    },
+    /// The prefix had host bits set beyond the mask (e.g. `10.0.0.1/8`)
+    /// and strict parsing was requested.
+    HostBitsSet(String),
+    /// An AS number was not a valid integer or exceeded 32 bits.
+    BadAsn(String),
+    /// A date string was not in `YYYY-MM-DD` form or encoded an
+    /// impossible calendar day.
+    BadDate(String),
+    /// An AS-path token could not be interpreted.
+    BadPathToken(String),
+    /// An AS-path brace/bracket group was not terminated.
+    UnterminatedGroup,
+}
+
+impl fmt::Display for NetParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NetParseError::Empty => write!(f, "empty input"),
+            NetParseError::BadAddress(s) => write!(f, "invalid IP address: {s:?}"),
+            NetParseError::BadLength(s) => write!(f, "invalid prefix length: {s:?}"),
+            NetParseError::LengthOutOfRange { len, max } => {
+                write!(f, "prefix length {len} out of range (max {max})")
+            }
+            NetParseError::HostBitsSet(s) => {
+                write!(f, "prefix {s:?} has host bits set beyond its mask")
+            }
+            NetParseError::BadAsn(s) => write!(f, "invalid AS number: {s:?}"),
+            NetParseError::BadDate(s) => write!(f, "invalid date: {s:?}"),
+            NetParseError::BadPathToken(s) => write!(f, "invalid AS-path token: {s:?}"),
+            NetParseError::UnterminatedGroup => write!(f, "unterminated AS-set group"),
+        }
+    }
+}
+
+impl std::error::Error for NetParseError {}

@@ -1,0 +1,46 @@
+//! # moas-net — network primitive types for the MOAS study
+//!
+//! This crate holds the foundation types shared by every other crate in the
+//! workspace reproducing *"An Analysis of BGP Multiple Origin AS (MOAS)
+//! Conflicts"* (Zhao et al., IMC 2001):
+//!
+//! * [`Asn`] — autonomous-system numbers, including the 2-byte-era helpers
+//!   the study period (1997–2001) requires (private ranges, documentation
+//!   ranges, AS_TRANS).
+//! * [`Ipv4Prefix`], [`Ipv6Prefix`] and the version-erased [`Prefix`] —
+//!   CIDR prefixes with full containment/overlap algebra.
+//! * [`AsPath`] and [`PathSegment`] — AS paths with `AS_SEQUENCE` and
+//!   `AS_SET` segments and the origin-extraction rules of the paper
+//!   (§III: routes ending in AS sets are excluded from MOAS analysis).
+//! * [`Date`] and day arithmetic — a small proleptic-Gregorian calendar so
+//!   the 1997-11-08 → 2001-07-18 study window, its archive gaps, and the
+//!   dated incidents (1998-04-07, 2001-04-06/10) can be expressed without
+//!   an external date crate.
+//! * [`trie::RadixTrie`] — a binary Patricia trie for longest-prefix
+//!   match and covered/covering queries (used for aggregation-fault and
+//!   sub-prefix analyses).
+//! * [`rng::DetRng`] — a deterministic xoshiro256** PRNG with labelled
+//!   sub-streams. The simulator is calibrated to the paper's headline
+//!   numbers; value-stable randomness across platforms and releases is a
+//!   correctness requirement, which is why this is hand-rolled instead of
+//!   depending on `rand`'s (explicitly non-value-stable) distributions.
+//!
+//! Everything in this crate is pure data manipulation: no I/O, no wire
+//! formats (those live in `moas-bgp` and `moas-mrt`).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod asn;
+pub mod aspath;
+pub mod date;
+pub mod error;
+pub mod prefix;
+pub mod rng;
+pub mod trie;
+
+pub use asn::Asn;
+pub use aspath::{AsPath, Origin, PathSegment};
+pub use date::{Date, DayIndex};
+pub use error::NetParseError;
+pub use prefix::{Ipv4Prefix, Ipv6Prefix, Prefix};

@@ -1,0 +1,604 @@
+//! CIDR prefixes for IPv4 and IPv6.
+//!
+//! The MOAS study identifies conflicts *by prefix only* (§III), so the
+//! prefix is the primary key of the whole analysis. These types provide
+//! the containment and overlap algebra used by the detector, the
+//! aggregation-fault analysis, and the prefix-length distribution of
+//! Figure 5.
+
+use crate::error::NetParseError;
+use serde::{Deserialize, Serialize};
+use std::cmp::Ordering;
+use std::fmt;
+use std::net::{Ipv4Addr, Ipv6Addr};
+use std::str::FromStr;
+
+/// An IPv4 CIDR prefix, stored canonically (host bits zeroed).
+///
+/// ```
+/// use moas_net::Ipv4Prefix;
+/// let p: Ipv4Prefix = "192.0.2.0/24".parse().unwrap();
+/// assert_eq!(p.len(), 24);
+/// assert!(p.contains(&"192.0.2.128/25".parse().unwrap()));
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Ipv4Prefix {
+    bits: u32,
+    len: u8,
+}
+
+impl Ipv4Prefix {
+    /// Maximum prefix length for IPv4.
+    pub const MAX_LEN: u8 = 32;
+
+    /// Creates a prefix, zeroing any host bits beyond `len`.
+    ///
+    /// Returns an error only if `len > 32`.
+    pub fn new(addr: Ipv4Addr, len: u8) -> Result<Self, NetParseError> {
+        if len > Self::MAX_LEN {
+            return Err(NetParseError::LengthOutOfRange {
+                len,
+                max: Self::MAX_LEN,
+            });
+        }
+        let raw = u32::from(addr);
+        Ok(Ipv4Prefix {
+            bits: raw & mask32(len),
+            len,
+        })
+    }
+
+    /// Creates a prefix, rejecting inputs whose host bits are set
+    /// (`10.0.0.1/8` is an error under strict parsing).
+    pub fn new_strict(addr: Ipv4Addr, len: u8) -> Result<Self, NetParseError> {
+        let p = Self::new(addr, len)?;
+        if u32::from(addr) != p.bits {
+            return Err(NetParseError::HostBitsSet(format!("{addr}/{len}")));
+        }
+        Ok(p)
+    }
+
+    /// Creates a prefix directly from raw network-order bits; host bits
+    /// beyond `len` are zeroed. Panics if `len > 32` (programmer error).
+    pub fn from_bits(bits: u32, len: u8) -> Self {
+        assert!(len <= Self::MAX_LEN, "IPv4 prefix length {len} > 32");
+        Ipv4Prefix {
+            bits: bits & mask32(len),
+            len,
+        }
+    }
+
+    /// The network address.
+    pub fn network(&self) -> Ipv4Addr {
+        Ipv4Addr::from(self.bits)
+    }
+
+    /// The raw network bits (host bits are always zero).
+    pub fn bits(&self) -> u32 {
+        self.bits
+    }
+
+    /// The prefix length (0–32). (This is a *mask* length, so there is
+    /// deliberately no `is_empty` counterpart.)
+    #[allow(clippy::len_without_is_empty)]
+    pub fn len(&self) -> u8 {
+        self.len
+    }
+
+    /// Whether this is the default route `0.0.0.0/0`.
+    pub fn is_default(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The netmask, e.g. `255.255.255.0` for a /24.
+    pub fn netmask(&self) -> Ipv4Addr {
+        Ipv4Addr::from(mask32(self.len))
+    }
+
+    /// The last address covered by the prefix.
+    pub fn last_address(&self) -> Ipv4Addr {
+        Ipv4Addr::from(self.bits | !mask32(self.len))
+    }
+
+    /// Number of addresses covered (saturates at `u64::MAX` is not
+    /// needed for v4: max is 2^32).
+    pub fn address_count(&self) -> u64 {
+        1u64 << (Self::MAX_LEN - self.len)
+    }
+
+    /// Returns the value of the `i`-th bit of the network address
+    /// (bit 0 is the most significant). `i` must be < 32.
+    pub fn bit(&self, i: u8) -> bool {
+        debug_assert!(i < Self::MAX_LEN);
+        (self.bits >> (31 - i)) & 1 == 1
+    }
+
+    /// Whether `self` contains `other` (i.e. `other` is the same prefix
+    /// or a more-specific within it).
+    pub fn contains(&self, other: &Ipv4Prefix) -> bool {
+        self.len <= other.len && (other.bits & mask32(self.len)) == self.bits
+    }
+
+    /// Whether `self` covers the given address.
+    pub fn contains_addr(&self, addr: Ipv4Addr) -> bool {
+        (u32::from(addr) & mask32(self.len)) == self.bits
+    }
+
+    /// Whether the two prefixes overlap (one contains the other).
+    pub fn overlaps(&self, other: &Ipv4Prefix) -> bool {
+        self.contains(other) || other.contains(self)
+    }
+
+    /// The immediate parent prefix (one bit shorter), or `None` for /0.
+    pub fn supernet(&self) -> Option<Ipv4Prefix> {
+        if self.len == 0 {
+            None
+        } else {
+            Some(Ipv4Prefix::from_bits(self.bits, self.len - 1))
+        }
+    }
+
+    /// The two immediate children (one bit longer), or `None` for /32.
+    pub fn children(&self) -> Option<(Ipv4Prefix, Ipv4Prefix)> {
+        if self.len >= Self::MAX_LEN {
+            return None;
+        }
+        let left = Ipv4Prefix::from_bits(self.bits, self.len + 1);
+        let right = Ipv4Prefix::from_bits(self.bits | (1 << (31 - self.len)), self.len + 1);
+        Some((left, right))
+    }
+
+    /// Splits the prefix into all sub-prefixes of length `new_len`.
+    /// Returns an empty vector if `new_len < self.len` or `new_len > 32`.
+    pub fn subnets(&self, new_len: u8) -> Vec<Ipv4Prefix> {
+        if new_len < self.len || new_len > Self::MAX_LEN {
+            return Vec::new();
+        }
+        let count = 1u64 << (new_len - self.len);
+        // Guard against absurd fan-out (e.g. 0.0.0.0/0 -> /32s).
+        let count = count.min(1 << 20) as u32;
+        let step_shift = Self::MAX_LEN - new_len;
+        (0..count)
+            .map(|i| Ipv4Prefix::from_bits(self.bits | (i << step_shift), new_len))
+            .collect()
+    }
+}
+
+impl fmt::Display for Ipv4Prefix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}/{}", self.network(), self.len)
+    }
+}
+
+impl fmt::Debug for Ipv4Prefix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Ipv4Prefix({self})")
+    }
+}
+
+impl Ord for Ipv4Prefix {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.bits
+            .cmp(&other.bits)
+            .then_with(|| self.len.cmp(&other.len))
+    }
+}
+
+impl PartialOrd for Ipv4Prefix {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl FromStr for Ipv4Prefix {
+    type Err = NetParseError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let s = s.trim();
+        if s.is_empty() {
+            return Err(NetParseError::Empty);
+        }
+        let (addr_s, len_s) = match s.split_once('/') {
+            Some(pair) => pair,
+            None => (s, "32"),
+        };
+        let addr: Ipv4Addr = addr_s
+            .parse()
+            .map_err(|_| NetParseError::BadAddress(addr_s.to_string()))?;
+        let len: u8 = len_s
+            .parse()
+            .map_err(|_| NetParseError::BadLength(len_s.to_string()))?;
+        Ipv4Prefix::new(addr, len)
+    }
+}
+
+/// An IPv6 CIDR prefix, stored canonically (host bits zeroed).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Ipv6Prefix {
+    bits: u128,
+    len: u8,
+}
+
+impl Ipv6Prefix {
+    /// Maximum prefix length for IPv6.
+    pub const MAX_LEN: u8 = 128;
+
+    /// Creates a prefix, zeroing host bits beyond `len`.
+    pub fn new(addr: Ipv6Addr, len: u8) -> Result<Self, NetParseError> {
+        if len > Self::MAX_LEN {
+            return Err(NetParseError::LengthOutOfRange {
+                len,
+                max: Self::MAX_LEN,
+            });
+        }
+        Ok(Ipv6Prefix {
+            bits: u128::from(addr) & mask128(len),
+            len,
+        })
+    }
+
+    /// Creates a prefix directly from raw bits; host bits are zeroed.
+    /// Panics if `len > 128`.
+    pub fn from_bits(bits: u128, len: u8) -> Self {
+        assert!(len <= Self::MAX_LEN, "IPv6 prefix length {len} > 128");
+        Ipv6Prefix {
+            bits: bits & mask128(len),
+            len,
+        }
+    }
+
+    /// The network address.
+    pub fn network(&self) -> Ipv6Addr {
+        Ipv6Addr::from(self.bits)
+    }
+
+    /// The raw network bits.
+    pub fn bits(&self) -> u128 {
+        self.bits
+    }
+
+    /// The prefix length (0–128). (Mask length; no `is_empty`.)
+    #[allow(clippy::len_without_is_empty)]
+    pub fn len(&self) -> u8 {
+        self.len
+    }
+
+    /// Whether this is the default route `::/0`.
+    pub fn is_default(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Returns the value of the `i`-th bit (0 = most significant).
+    pub fn bit(&self, i: u8) -> bool {
+        debug_assert!(i < Self::MAX_LEN);
+        (self.bits >> (127 - i)) & 1 == 1
+    }
+
+    /// Whether `self` contains `other`.
+    pub fn contains(&self, other: &Ipv6Prefix) -> bool {
+        self.len <= other.len && (other.bits & mask128(self.len)) == self.bits
+    }
+
+    /// Whether the two prefixes overlap.
+    pub fn overlaps(&self, other: &Ipv6Prefix) -> bool {
+        self.contains(other) || other.contains(self)
+    }
+
+    /// The immediate parent prefix, or `None` for ::/0.
+    pub fn supernet(&self) -> Option<Ipv6Prefix> {
+        if self.len == 0 {
+            None
+        } else {
+            Some(Ipv6Prefix::from_bits(self.bits, self.len - 1))
+        }
+    }
+}
+
+impl fmt::Display for Ipv6Prefix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}/{}", self.network(), self.len)
+    }
+}
+
+impl fmt::Debug for Ipv6Prefix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Ipv6Prefix({self})")
+    }
+}
+
+impl Ord for Ipv6Prefix {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.bits
+            .cmp(&other.bits)
+            .then_with(|| self.len.cmp(&other.len))
+    }
+}
+
+impl PartialOrd for Ipv6Prefix {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl FromStr for Ipv6Prefix {
+    type Err = NetParseError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let s = s.trim();
+        if s.is_empty() {
+            return Err(NetParseError::Empty);
+        }
+        let (addr_s, len_s) = match s.split_once('/') {
+            Some(pair) => pair,
+            None => (s, "128"),
+        };
+        let addr: Ipv6Addr = addr_s
+            .parse()
+            .map_err(|_| NetParseError::BadAddress(addr_s.to_string()))?;
+        let len: u8 = len_s
+            .parse()
+            .map_err(|_| NetParseError::BadLength(len_s.to_string()))?;
+        Ipv6Prefix::new(addr, len)
+    }
+}
+
+/// A version-erased prefix: either IPv4 or IPv6.
+///
+/// Orders all IPv4 prefixes before all IPv6 prefixes, then by address
+/// and length, so sorted report output is stable.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum Prefix {
+    /// An IPv4 prefix.
+    V4(Ipv4Prefix),
+    /// An IPv6 prefix.
+    V6(Ipv6Prefix),
+}
+
+impl Prefix {
+    /// The prefix length. (Mask length; no `is_empty`.)
+    #[allow(clippy::len_without_is_empty)]
+    pub fn len(&self) -> u8 {
+        match self {
+            Prefix::V4(p) => p.len(),
+            Prefix::V6(p) => p.len(),
+        }
+    }
+
+    /// Whether this is a default route of either family.
+    pub fn is_default(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Whether the prefix is IPv4.
+    pub fn is_v4(&self) -> bool {
+        matches!(self, Prefix::V4(_))
+    }
+
+    /// Whether `self` contains `other` (always false across families).
+    pub fn contains(&self, other: &Prefix) -> bool {
+        match (self, other) {
+            (Prefix::V4(a), Prefix::V4(b)) => a.contains(b),
+            (Prefix::V6(a), Prefix::V6(b)) => a.contains(b),
+            _ => false,
+        }
+    }
+
+    /// Whether the prefixes overlap (always false across families).
+    pub fn overlaps(&self, other: &Prefix) -> bool {
+        self.contains(other) || other.contains(self)
+    }
+
+    /// Extracts the IPv4 prefix if this is V4.
+    pub fn as_v4(&self) -> Option<Ipv4Prefix> {
+        match self {
+            Prefix::V4(p) => Some(*p),
+            Prefix::V6(_) => None,
+        }
+    }
+}
+
+impl fmt::Display for Prefix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Prefix::V4(p) => p.fmt(f),
+            Prefix::V6(p) => p.fmt(f),
+        }
+    }
+}
+
+impl fmt::Debug for Prefix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Prefix({self})")
+    }
+}
+
+impl From<Ipv4Prefix> for Prefix {
+    fn from(p: Ipv4Prefix) -> Self {
+        Prefix::V4(p)
+    }
+}
+
+impl From<Ipv6Prefix> for Prefix {
+    fn from(p: Ipv6Prefix) -> Self {
+        Prefix::V6(p)
+    }
+}
+
+impl FromStr for Prefix {
+    type Err = NetParseError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        if s.contains(':') {
+            s.parse::<Ipv6Prefix>().map(Prefix::V6)
+        } else {
+            s.parse::<Ipv4Prefix>().map(Prefix::V4)
+        }
+    }
+}
+
+/// Bit mask with the top `len` bits set (32-bit).
+fn mask32(len: u8) -> u32 {
+    if len == 0 {
+        0
+    } else {
+        u32::MAX << (32 - len as u32)
+    }
+}
+
+/// Bit mask with the top `len` bits set (128-bit).
+fn mask128(len: u8) -> u128 {
+    if len == 0 {
+        0
+    } else {
+        u128::MAX << (128 - len as u32)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p4(s: &str) -> Ipv4Prefix {
+        s.parse().unwrap()
+    }
+
+    #[test]
+    fn canonicalizes_host_bits() {
+        let p = p4("10.1.2.3/8");
+        assert_eq!(p.network(), Ipv4Addr::new(10, 0, 0, 0));
+        assert_eq!(p.to_string(), "10.0.0.0/8");
+    }
+
+    #[test]
+    fn strict_rejects_host_bits() {
+        assert!(Ipv4Prefix::new_strict(Ipv4Addr::new(10, 0, 0, 1), 8).is_err());
+        assert!(Ipv4Prefix::new_strict(Ipv4Addr::new(10, 0, 0, 0), 8).is_ok());
+    }
+
+    #[test]
+    fn zero_length_prefix() {
+        let d = p4("0.0.0.0/0");
+        assert!(d.is_default());
+        assert!(d.contains(&p4("203.0.113.0/24")));
+        assert_eq!(d.address_count(), 1 << 32);
+    }
+
+    #[test]
+    fn slash32_behaviour() {
+        let h = p4("192.0.2.1/32");
+        assert_eq!(h.address_count(), 1);
+        assert!(h.children().is_none());
+        assert_eq!(h.last_address(), Ipv4Addr::new(192, 0, 2, 1));
+    }
+
+    #[test]
+    fn parse_without_length_defaults_to_host() {
+        assert_eq!(p4("192.0.2.1").len(), 32);
+    }
+
+    #[test]
+    fn parse_rejects_bad_input() {
+        assert!("".parse::<Ipv4Prefix>().is_err());
+        assert!("300.0.0.0/8".parse::<Ipv4Prefix>().is_err());
+        assert!("10.0.0.0/33".parse::<Ipv4Prefix>().is_err());
+        assert!("10.0.0.0/x".parse::<Ipv4Prefix>().is_err());
+    }
+
+    #[test]
+    fn containment() {
+        assert!(p4("10.0.0.0/8").contains(&p4("10.5.0.0/16")));
+        assert!(!p4("10.5.0.0/16").contains(&p4("10.0.0.0/8")));
+        assert!(p4("10.0.0.0/8").contains(&p4("10.0.0.0/8")));
+        assert!(!p4("10.0.0.0/8").contains(&p4("11.0.0.0/8")));
+    }
+
+    #[test]
+    fn overlap_is_symmetric_containment() {
+        assert!(p4("10.0.0.0/8").overlaps(&p4("10.5.0.0/16")));
+        assert!(p4("10.5.0.0/16").overlaps(&p4("10.0.0.0/8")));
+        assert!(!p4("10.0.0.0/16").overlaps(&p4("10.1.0.0/16")));
+    }
+
+    #[test]
+    fn netmask_values() {
+        assert_eq!(p4("10.0.0.0/8").netmask(), Ipv4Addr::new(255, 0, 0, 0));
+        assert_eq!(
+            p4("192.0.2.0/24").netmask(),
+            Ipv4Addr::new(255, 255, 255, 0)
+        );
+        assert_eq!(p4("0.0.0.0/0").netmask(), Ipv4Addr::new(0, 0, 0, 0));
+    }
+
+    #[test]
+    fn supernet_children_roundtrip() {
+        let p = p4("192.0.2.0/24");
+        let (l, r) = p.children().unwrap();
+        assert_eq!(l.to_string(), "192.0.2.0/25");
+        assert_eq!(r.to_string(), "192.0.2.128/25");
+        assert_eq!(l.supernet().unwrap(), p);
+        assert_eq!(r.supernet().unwrap(), p);
+    }
+
+    #[test]
+    fn subnets_enumeration() {
+        let subs = p4("10.0.0.0/22").subnets(24);
+        assert_eq!(subs.len(), 4);
+        assert_eq!(subs[0].to_string(), "10.0.0.0/24");
+        assert_eq!(subs[3].to_string(), "10.0.3.0/24");
+        assert!(p4("10.0.0.0/24").subnets(22).is_empty());
+    }
+
+    #[test]
+    fn bit_accessor() {
+        let p = p4("128.0.0.0/1");
+        assert!(p.bit(0));
+        let q = p4("64.0.0.0/2");
+        assert!(!q.bit(0));
+        assert!(q.bit(1));
+    }
+
+    #[test]
+    fn ordering_address_then_length() {
+        let mut v = [p4("10.0.0.0/16"), p4("10.0.0.0/8"), p4("9.0.0.0/8")];
+        v.sort();
+        assert_eq!(
+            v.iter().map(|p| p.to_string()).collect::<Vec<_>>(),
+            vec!["9.0.0.0/8", "10.0.0.0/8", "10.0.0.0/16"]
+        );
+    }
+
+    #[test]
+    fn v6_basics() {
+        let p: Ipv6Prefix = "2001:db8::/32".parse().unwrap();
+        assert_eq!(p.len(), 32);
+        assert!(p.contains(&"2001:db8:1::/48".parse().unwrap()));
+        assert!(!p.contains(&"2001:db9::/32".parse().unwrap()));
+        assert_eq!(p.to_string(), "2001:db8::/32");
+    }
+
+    #[test]
+    fn v6_canonicalization_and_supernet() {
+        let p: Ipv6Prefix = "2001:db8::1/32".parse().unwrap();
+        assert_eq!(p.to_string(), "2001:db8::/32");
+        assert_eq!(p.supernet().unwrap().len(), 31);
+    }
+
+    #[test]
+    fn erased_prefix_family_rules() {
+        let a: Prefix = "10.0.0.0/8".parse().unwrap();
+        let b: Prefix = "::/0".parse().unwrap();
+        assert!(a.is_v4());
+        assert!(!b.is_v4());
+        assert!(!a.contains(&b));
+        assert!(!a.overlaps(&b));
+        assert!(a < b, "v4 sorts before v6");
+    }
+
+    #[test]
+    fn erased_prefix_display_parse_roundtrip() {
+        for s in ["198.51.100.0/24", "2001:db8::/32", "0.0.0.0/0"] {
+            let p: Prefix = s.parse().unwrap();
+            assert_eq!(p.to_string(), s);
+        }
+    }
+}

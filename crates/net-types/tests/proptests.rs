@@ -1,0 +1,266 @@
+//! Property-based tests for the foundation types.
+
+use moas_net::rng::DetRng;
+use moas_net::trie::RadixTrie;
+use moas_net::{AsPath, Asn, Date, DayIndex, Ipv4Prefix, Ipv6Prefix};
+use proptest::prelude::*;
+use std::collections::HashMap;
+use std::net::Ipv4Addr;
+
+fn arb_v4_prefix() -> impl Strategy<Value = Ipv4Prefix> {
+    (any::<u32>(), 0u8..=32).prop_map(|(bits, len)| Ipv4Prefix::from_bits(bits, len))
+}
+
+fn arb_v6_prefix() -> impl Strategy<Value = Ipv6Prefix> {
+    (any::<u128>(), 0u8..=128).prop_map(|(bits, len)| Ipv6Prefix::from_bits(bits, len))
+}
+
+fn arb_aspath() -> impl Strategy<Value = AsPath> {
+    prop::collection::vec(1u32..65000, 1..8)
+        .prop_map(|v| AsPath::from_sequence(v.into_iter().map(Asn::new)))
+}
+
+proptest! {
+    // ---- prefixes ----
+
+    #[test]
+    fn prefix_display_parse_roundtrip(p in arb_v4_prefix()) {
+        let s = p.to_string();
+        let q: Ipv4Prefix = s.parse().unwrap();
+        prop_assert_eq!(p, q);
+    }
+
+    #[test]
+    fn v6_prefix_display_parse_roundtrip(p in arb_v6_prefix()) {
+        let s = p.to_string();
+        let q: Ipv6Prefix = s.parse().unwrap();
+        prop_assert_eq!(p, q);
+    }
+
+    #[test]
+    fn prefix_contains_is_reflexive(p in arb_v4_prefix()) {
+        prop_assert!(p.contains(&p));
+        prop_assert!(p.overlaps(&p));
+    }
+
+    #[test]
+    fn contains_is_antisymmetric_unless_equal(a in arb_v4_prefix(), b in arb_v4_prefix()) {
+        if a.contains(&b) && b.contains(&a) {
+            prop_assert_eq!(a, b);
+        }
+    }
+
+    #[test]
+    fn contains_is_transitive(a in arb_v4_prefix(), b in arb_v4_prefix(), c in arb_v4_prefix()) {
+        if a.contains(&b) && b.contains(&c) {
+            prop_assert!(a.contains(&c));
+        }
+    }
+
+    #[test]
+    fn supernet_contains_self(p in arb_v4_prefix()) {
+        if let Some(s) = p.supernet() {
+            prop_assert!(s.contains(&p));
+            prop_assert_eq!(s.len(), p.len() - 1);
+        } else {
+            prop_assert_eq!(p.len(), 0);
+        }
+    }
+
+    #[test]
+    fn children_partition_parent(p in arb_v4_prefix()) {
+        if let Some((l, r)) = p.children() {
+            prop_assert!(p.contains(&l) && p.contains(&r));
+            prop_assert!(!l.contains(&r) && !r.contains(&l));
+            prop_assert_eq!(l.address_count() + r.address_count(), p.address_count());
+        }
+    }
+
+    #[test]
+    fn netmask_consistent_with_length(p in arb_v4_prefix()) {
+        let m = u32::from(p.netmask());
+        prop_assert_eq!(m.count_ones() as u8, p.len());
+        if p.len() > 0 {
+            prop_assert_eq!(m.leading_ones() as u8, p.len());
+        }
+    }
+
+    #[test]
+    fn last_address_is_contained(p in arb_v4_prefix()) {
+        prop_assert!(p.contains_addr(p.last_address()));
+        prop_assert!(p.contains_addr(p.network()));
+    }
+
+    #[test]
+    fn contains_addr_agrees_with_contains_host(p in arb_v4_prefix(), a in any::<u32>()) {
+        let addr = Ipv4Addr::from(a);
+        let host = Ipv4Prefix::new(addr, 32).unwrap();
+        prop_assert_eq!(p.contains_addr(addr), p.contains(&host));
+    }
+
+    // ---- dates ----
+
+    #[test]
+    fn date_day_index_roundtrip(offset in -200_000i64..200_000) {
+        let idx = DayIndex(offset);
+        let d = Date::from_day_index(idx);
+        prop_assert_eq!(d.day_index(), idx);
+    }
+
+    #[test]
+    fn date_succ_is_plus_one(offset in -100_000i64..100_000) {
+        let d = Date::from_day_index(DayIndex(offset));
+        prop_assert_eq!(d.succ().day_index().0, offset + 1);
+        prop_assert_eq!(d.pred().day_index().0, offset - 1);
+        prop_assert_eq!(d.days_until(&d.succ()), 1);
+    }
+
+    #[test]
+    fn date_string_roundtrip(offset in -100_000i64..100_000) {
+        let d = Date::from_day_index(DayIndex(offset));
+        let parsed: Date = d.to_string().parse().unwrap();
+        prop_assert_eq!(parsed, d);
+    }
+
+    // ---- AS paths ----
+
+    #[test]
+    fn aspath_display_parse_roundtrip(p in arb_aspath()) {
+        let parsed: AsPath = p.to_string().parse().unwrap();
+        prop_assert_eq!(parsed, p);
+    }
+
+    #[test]
+    fn aspath_origin_is_last(v in prop::collection::vec(1u32..65000, 1..8)) {
+        let p = AsPath::from_sequence(v.iter().copied().map(Asn::new));
+        prop_assert_eq!(p.origin().as_single(), Some(Asn::new(*v.last().unwrap())));
+        prop_assert_eq!(p.first_hop(), Some(Asn::new(v[0])));
+    }
+
+    #[test]
+    fn dedup_prepends_preserves_origin_and_membership(p in arb_aspath()) {
+        let d = p.dedup_prepends();
+        prop_assert_eq!(d.origin(), p.origin());
+        for a in p.iter_asns() {
+            prop_assert!(d.contains(a));
+        }
+    }
+
+    #[test]
+    fn proper_prefix_implies_not_disjoint(a in arb_aspath(), b in arb_aspath()) {
+        if a.is_proper_prefix_of(&b) {
+            prop_assert!(!a.is_disjoint_from(&b));
+            prop_assert!(a.hop_count() < b.hop_count());
+        }
+    }
+
+    #[test]
+    fn disjoint_is_symmetric(a in arb_aspath(), b in arb_aspath()) {
+        prop_assert_eq!(a.is_disjoint_from(&b), b.is_disjoint_from(&a));
+    }
+
+    // ---- trie vs model ----
+
+    #[test]
+    fn trie_matches_hashmap_model(entries in prop::collection::vec((any::<u32>(), 0u8..=32, any::<u16>()), 0..64)) {
+        let mut trie: RadixTrie<Ipv4Prefix, u16> = RadixTrie::new();
+        let mut model: HashMap<Ipv4Prefix, u16> = HashMap::new();
+        for (bits, len, v) in &entries {
+            let p = Ipv4Prefix::from_bits(*bits, *len);
+            trie.insert(p, *v);
+            model.insert(p, *v);
+        }
+        prop_assert_eq!(trie.len(), model.len());
+        for (p, v) in &model {
+            prop_assert_eq!(trie.get(p), Some(v));
+        }
+        let mut from_trie: Vec<(Ipv4Prefix, u16)> = trie.iter().map(|(p, v)| (p, *v)).collect();
+        let mut from_model: Vec<(Ipv4Prefix, u16)> = model.into_iter().collect();
+        from_trie.sort();
+        from_model.sort();
+        prop_assert_eq!(from_trie, from_model);
+    }
+
+    #[test]
+    fn trie_longest_match_matches_scan(
+        entries in prop::collection::vec((any::<u32>(), 0u8..=32), 1..48),
+        probe_bits in any::<u32>(),
+        probe_len in 0u8..=32,
+    ) {
+        let mut trie: RadixTrie<Ipv4Prefix, ()> = RadixTrie::new();
+        let mut all: Vec<Ipv4Prefix> = Vec::new();
+        for (bits, len) in &entries {
+            let p = Ipv4Prefix::from_bits(*bits, *len);
+            trie.insert(p, ());
+            all.push(p);
+        }
+        let probe = Ipv4Prefix::from_bits(probe_bits, probe_len);
+        let expected = all
+            .iter()
+            .filter(|c| c.contains(&probe))
+            .max_by_key(|c| c.len())
+            .copied();
+        let got = trie.longest_match(&probe).map(|(p, _)| p);
+        prop_assert_eq!(got, expected);
+    }
+
+    #[test]
+    fn trie_covered_covering_match_scan(
+        entries in prop::collection::vec((any::<u32>(), 0u8..=32), 1..48),
+        probe_bits in any::<u32>(),
+        probe_len in 0u8..=32,
+    ) {
+        let mut trie: RadixTrie<Ipv4Prefix, ()> = RadixTrie::new();
+        let mut all: Vec<Ipv4Prefix> = Vec::new();
+        for (bits, len) in &entries {
+            let p = Ipv4Prefix::from_bits(*bits, *len);
+            if trie.insert(p, ()).is_none() {
+                all.push(p);
+            }
+        }
+        let probe = Ipv4Prefix::from_bits(probe_bits, probe_len);
+
+        let mut got_cov: Vec<Ipv4Prefix> = trie.covered(&probe).map(|(p, _)| p).collect();
+        let mut want_cov: Vec<Ipv4Prefix> =
+            all.iter().filter(|c| probe.contains(c)).copied().collect();
+        got_cov.sort();
+        want_cov.sort();
+        prop_assert_eq!(got_cov, want_cov);
+
+        let mut got_up: Vec<Ipv4Prefix> = trie.covering(&probe).map(|(p, _)| p).collect();
+        let mut want_up: Vec<Ipv4Prefix> =
+            all.iter().filter(|c| c.contains(&probe)).copied().collect();
+        got_up.sort();
+        want_up.sort();
+        prop_assert_eq!(got_up, want_up);
+    }
+
+    // ---- deterministic rng ----
+
+    #[test]
+    fn rng_below_always_in_bounds(seed in any::<u64>(), bound in 1u64..1_000_000) {
+        let mut r = DetRng::new(seed);
+        for _ in 0..32 {
+            prop_assert!(r.below(bound) < bound);
+        }
+    }
+
+    #[test]
+    fn rng_streams_reproducible(seed in any::<u64>(), label in "[a-z]{1,12}") {
+        let mut a = DetRng::new(seed).substream(&label);
+        let mut b = DetRng::new(seed).substream(&label);
+        for _ in 0..8 {
+            prop_assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn rng_shuffle_preserves_multiset(seed in any::<u64>(), mut v in prop::collection::vec(any::<u8>(), 0..64)) {
+        let mut r = DetRng::new(seed);
+        let mut orig = v.clone();
+        r.shuffle(&mut v);
+        orig.sort_unstable();
+        v.sort_unstable();
+        prop_assert_eq!(orig, v);
+    }
+}

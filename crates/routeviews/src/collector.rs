@@ -1,0 +1,452 @@
+//! Daily snapshot assembly and vantage restriction.
+
+use crate::peers::PeerSet;
+use crate::realize::Realizer;
+use moas_bgp::{PeerInfo, TableSnapshot};
+use moas_net::rng::DetRng;
+use moas_net::{DayIndex, Prefix};
+use moas_sim::World;
+
+/// How much of the non-conflicted table to include in a snapshot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BackgroundMode {
+    /// Every alive prefix from the origination plan — the honest full
+    /// table (use at small scale or for selected days).
+    Full,
+    /// A deterministic sample of `n` alive prefixes as negative
+    /// controls (full-scale runs).
+    Sample(usize),
+    /// Only the alive prefixes covered by an active faulty aggregate —
+    /// the exact victim set the subMOAS analysis needs, without paying
+    /// for a full table at paper scale.
+    CoveredByAggregates,
+    /// Conflicts (and AS-set routes) only.
+    None,
+}
+
+/// Assembles [`TableSnapshot`]s for the collector.
+pub struct Collector<'w> {
+    world: &'w World,
+    peers: &'w PeerSet,
+    realizer: Realizer<'w>,
+}
+
+impl<'w> Collector<'w> {
+    /// Creates a collector over a world and peer set.
+    pub fn new(world: &'w World, peers: &'w PeerSet) -> Self {
+        Collector {
+            world,
+            peers,
+            realizer: Realizer::new(world, peers),
+        }
+    }
+
+    /// The peer set.
+    pub fn peers(&self) -> &PeerSet {
+        self.peers
+    }
+
+    /// The world.
+    pub fn world(&self) -> &World {
+        self.world
+    }
+
+    /// Builds the table snapshot for the snapshot day at position
+    /// `idx` in the study window.
+    pub fn snapshot_at(&mut self, idx: usize, background: BackgroundMode) -> TableSnapshot {
+        let day = self.world.window.day_at(idx);
+        let date = day.date();
+        let mut snap = TableSnapshot::new(date);
+
+        // Register alive sessions; session id → snapshot peer index.
+        let alive = self.peers.alive_at(day);
+        let mut peer_index = vec![u16::MAX; self.peers.len()];
+        for s in &alive {
+            let pi = snap.add_peer(PeerInfo::v4(s.addr, s.asn));
+            peer_index[s.id as usize] = pi;
+        }
+
+        // Prefixes carried by overlays today (active conflicts and
+        // AS-set routes). A BGP session holds exactly one route per
+        // prefix, so the background must not emit these.
+        let mut overlay: std::collections::HashSet<moas_net::Ipv4Prefix> = self
+            .world
+            .active_at(idx)
+            .iter()
+            .map(|&id| self.world.conflict(id).prefix)
+            .collect();
+        overlay.extend(self.world.as_set_routes.iter().map(|r| r.prefix));
+
+        // Background routes.
+        match background {
+            BackgroundMode::Full => {
+                for a in self.world.plan.alive_at(day) {
+                    if overlay.contains(&a.prefix) {
+                        continue;
+                    }
+                    for s in &alive {
+                        if let Some(p) = self.realizer.background_path(s.asn, a.owner) {
+                            snap.push_path(
+                                peer_index[s.id as usize],
+                                Prefix::V4(a.prefix),
+                                p,
+                            );
+                        }
+                    }
+                }
+            }
+            BackgroundMode::Sample(n) => {
+                // Deterministic per-day sample, without repeats or
+                // overlay collisions.
+                let mut rng = DetRng::new(self.world.params.seed)
+                    .substream_idx("bg-sample", idx as u64);
+                let alive_prefixes = self.world.plan.alive_at(day);
+                let mut picked: std::collections::HashSet<moas_net::Ipv4Prefix> =
+                    std::collections::HashSet::new();
+                let mut emitted = 0usize;
+                let mut attempts = 0usize;
+                while emitted < n && attempts < n * 8 && !alive_prefixes.is_empty() {
+                    attempts += 1;
+                    let a = &alive_prefixes[rng.below(alive_prefixes.len() as u64) as usize];
+                    if overlay.contains(&a.prefix) || !picked.insert(a.prefix) {
+                        continue;
+                    }
+                    emitted += 1;
+                    for s in &alive {
+                        if let Some(p) = self.realizer.background_path(s.asn, a.owner) {
+                            snap.push_path(
+                                peer_index[s.id as usize],
+                                Prefix::V4(a.prefix),
+                                p,
+                            );
+                        }
+                    }
+                }
+            }
+            BackgroundMode::CoveredByAggregates => {
+                let aggregates: Vec<moas_net::Ipv4Prefix> = self
+                    .world
+                    .active_at(idx)
+                    .iter()
+                    .filter_map(|&id| self.world.conflict(id).aggregate)
+                    .collect();
+                if !aggregates.is_empty() {
+                    for a in self.world.plan.alive_at(day) {
+                        if overlay.contains(&a.prefix) {
+                            continue;
+                        }
+                        if !aggregates.iter().any(|agg| agg.contains(&a.prefix)) {
+                            continue;
+                        }
+                        for s in &alive {
+                            if let Some(p) = self.realizer.background_path(s.asn, a.owner) {
+                                snap.push_path(
+                                    peer_index[s.id as usize],
+                                    Prefix::V4(a.prefix),
+                                    p,
+                                );
+                            }
+                        }
+                    }
+                }
+            }
+            BackgroundMode::None => {}
+        }
+
+        // AS-set routes (present all window; excluded by the §III rule
+        // in the analyzer, so they must be in the table to be excluded).
+        for route in &self.world.as_set_routes {
+            for s in &alive {
+                if let Some(p) = self.realizer.as_set_path(s.asn, route.via, &route.set) {
+                    snap.push_path(peer_index[s.id as usize], Prefix::V4(route.prefix), p);
+                }
+            }
+        }
+
+        // Conflict overlays.
+        let ids: Vec<u32> = self.world.active_at(idx).to_vec();
+        for id in ids {
+            let conflict = self.world.conflict(id);
+            let prefix = Prefix::V4(conflict.prefix);
+            // Faulty aggregation: the faulty AS also announces a
+            // covering aggregate while active (found by the subMOAS
+            // analysis, not by exact-prefix detection).
+            let aggregate = conflict
+                .aggregate
+                .map(|agg| (Prefix::V4(agg), *conflict.origins.last().expect("≥2 origins")));
+            let paths = self.realizer.conflict_paths(id);
+            let mut entries: Vec<(u16, moas_net::AsPath)> = Vec::new();
+            for s in &alive {
+                if let Some(p) = &paths[s.id as usize] {
+                    entries.push((peer_index[s.id as usize], p.clone()));
+                }
+            }
+            for (pi, p) in entries {
+                snap.push_path(pi, prefix, p);
+            }
+            if let Some((agg_prefix, faulty)) = aggregate {
+                for s in &alive {
+                    if let Some(p) = self.realizer.background_path(s.asn, faulty) {
+                        snap.push_path(peer_index[s.id as usize], agg_prefix, p);
+                    }
+                }
+            }
+        }
+
+        snap
+    }
+
+    /// Builds the snapshot for a calendar day, if it is a snapshot day.
+    pub fn snapshot_on(
+        &mut self,
+        day: DayIndex,
+        background: BackgroundMode,
+    ) -> Option<TableSnapshot> {
+        let idx = self.world.window.snapshot_index(day)?;
+        Some(self.snapshot_at(idx, background))
+    }
+
+    /// Session-id subsets modeling "individual ISP" vantages for the
+    /// §III visibility experiment. An ISP's feeds are topologically
+    /// clustered — its routers sit in one region of the hierarchy — so
+    /// each vantage is built from sessions homed under one core AS
+    /// (region), falling back to the nearest following regions when a
+    /// single region has too few sessions. Larger requested sizes can
+    /// therefore straddle regions, which is what makes some ISPs see
+    /// noticeably more conflicts than others (the paper's 228 vs 12).
+    pub fn isp_vantages(&self, day: DayIndex, sizes: &[usize]) -> Vec<Vec<u16>> {
+        use moas_topology::PathSynth;
+        let alive = self.peers.alive_at(day);
+        let synth = PathSynth::new(&self.world.topo);
+        // Group alive sessions by region.
+        let mut by_region: std::collections::BTreeMap<u32, Vec<u16>> =
+            std::collections::BTreeMap::new();
+        for s in &alive {
+            let core = synth
+                .canonical_core(s.asn)
+                .map(|c| c.value())
+                .unwrap_or(0);
+            by_region.entry(core).or_default().push(s.id);
+        }
+        let regions: Vec<Vec<u16>> = by_region.into_values().collect();
+        let mut rng = DetRng::new(self.world.params.seed).substream("vantages");
+        sizes
+            .iter()
+            .map(|&k| {
+                let k = k.min(alive.len());
+                let start = rng.below(regions.len().max(1) as u64) as usize;
+                let mut picked: Vec<u16> = Vec::new();
+                for step in 0..regions.len() {
+                    for &sid in &regions[(start + step) % regions.len()] {
+                        if picked.len() < k {
+                            picked.push(sid);
+                        }
+                    }
+                    if picked.len() >= k {
+                        break;
+                    }
+                }
+                picked
+            })
+            .collect()
+    }
+
+    /// Restricts a snapshot to the given session ids (mapping back to
+    /// this snapshot's peer indices).
+    pub fn restrict(&self, snap: &TableSnapshot, day: DayIndex, session_ids: &[u16]) -> TableSnapshot {
+        let keep: Vec<u16> = session_ids
+            .iter()
+            .filter_map(|sid| self.peers.alive_index(day, *sid))
+            .collect();
+        snap.restrict_to_peers(&keep)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::peers::PeerSetParams;
+    use moas_sim::SimParams;
+    use std::collections::HashSet;
+
+    fn setup() -> (World, PeerSet) {
+        let world = World::generate(SimParams::test(0.01));
+        let rng = DetRng::new(world.params.seed);
+        let peers = PeerSet::build(&world.topo, &world.window, &PeerSetParams::tiny(), &rng);
+        (world, peers)
+    }
+
+    #[test]
+    fn snapshot_structure_is_valid() {
+        let (world, peers) = setup();
+        let mut col = Collector::new(&world, &peers);
+        let snap = col.snapshot_at(400, BackgroundMode::Sample(50));
+        assert!(snap.validate().is_ok());
+        assert!(!snap.peers.is_empty());
+        assert!(!snap.is_empty());
+    }
+
+    #[test]
+    fn snapshots_are_deterministic() {
+        let (world, peers) = setup();
+        let mut a = Collector::new(&world, &peers);
+        let mut b = Collector::new(&world, &peers);
+        let s1 = a.snapshot_at(200, BackgroundMode::Sample(20));
+        let s2 = b.snapshot_at(200, BackgroundMode::Sample(20));
+        assert_eq!(s1, s2);
+    }
+
+    #[test]
+    fn active_conflicts_present_in_snapshot() {
+        let (world, peers) = setup();
+        let mut col = Collector::new(&world, &peers);
+        let idx = 500;
+        let snap = col.snapshot_at(idx, BackgroundMode::None);
+        let prefixes: HashSet<Prefix> =
+            snap.entries.iter().map(|e| e.route.prefix).collect();
+        for &id in world.active_at(idx) {
+            let p = Prefix::V4(world.conflict(id).prefix);
+            assert!(prefixes.contains(&p), "conflict {id} missing");
+        }
+    }
+
+    #[test]
+    fn inactive_conflicts_absent() {
+        let (world, peers) = setup();
+        let mut col = Collector::new(&world, &peers);
+        let idx = 500;
+        let snap = col.snapshot_at(idx, BackgroundMode::None);
+        let active: HashSet<u32> = world.active_at(idx).iter().copied().collect();
+        let prefixes: HashSet<Prefix> =
+            snap.entries.iter().map(|e| e.route.prefix).collect();
+        for c in &world.conflicts {
+            if !active.contains(&c.id) {
+                assert!(
+                    !prefixes.contains(&Prefix::V4(c.prefix)),
+                    "inactive conflict {} present",
+                    c.id
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn as_set_routes_present_and_set_terminated() {
+        let (world, peers) = setup();
+        let mut col = Collector::new(&world, &peers);
+        let snap = col.snapshot_at(100, BackgroundMode::None);
+        for route in &world.as_set_routes {
+            let entries: Vec<_> = snap
+                .entries
+                .iter()
+                .filter(|e| e.route.prefix == Prefix::V4(route.prefix))
+                .collect();
+            assert!(!entries.is_empty(), "AS-set route missing");
+            for e in entries {
+                assert!(e.route.path.origin().is_set());
+            }
+        }
+    }
+
+    #[test]
+    fn full_background_includes_alive_plan() {
+        let (world, peers) = setup();
+        let mut col = Collector::new(&world, &peers);
+        let idx = 300;
+        let day = world.window.day_at(idx);
+        let snap = col.snapshot_at(idx, BackgroundMode::Full);
+        let alive_prefixes = world.plan.alive_count(day);
+        assert!(
+            snap.distinct_prefixes() >= alive_prefixes,
+            "{} < {alive_prefixes}",
+            snap.distinct_prefixes()
+        );
+    }
+
+    #[test]
+    fn vantages_are_small_and_deterministic() {
+        let (world, peers) = setup();
+        let col = Collector::new(&world, &peers);
+        let day = world.window.day_at(800);
+        let a = col.isp_vantages(day, &[2, 3, 4]);
+        let b = col.isp_vantages(day, &[2, 3, 4]);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 3);
+        assert_eq!(a[0].len(), 2);
+        assert_eq!(a[2].len(), 4);
+    }
+
+    #[test]
+    fn restricted_snapshot_sees_fewer_prefix_groups() {
+        let (world, peers) = setup();
+        let mut col = Collector::new(&world, &peers);
+        let idx = 700;
+        let day = world.window.day_at(idx);
+        let snap = col.snapshot_at(idx, BackgroundMode::None);
+        let vantage = &col.isp_vantages(day, &[2])[0];
+        let restricted = col.restrict(&snap, day, vantage);
+        assert!(restricted.len() < snap.len());
+        assert!(restricted.validate().is_ok());
+    }
+
+    #[test]
+    fn covered_by_aggregates_emits_only_shadowed_background() {
+        let (world, peers) = setup();
+        // Find a day with an active aggregate.
+        let Some(idx) = (0..world.window.core_len()).find(|&idx| {
+            world
+                .conflicts
+                .iter()
+                .any(|c| c.aggregate.is_some() && c.active.is_active(idx as u32))
+        }) else {
+            // Tiny worlds may round faulty aggregation away entirely.
+            return;
+        };
+        let day = world.window.day_at(idx);
+        let aggregates: Vec<_> = world
+            .conflicts
+            .iter()
+            .filter(|c| c.active.is_active(idx as u32))
+            .filter_map(|c| c.aggregate)
+            .collect();
+        let mut col = Collector::new(&world, &peers);
+        let with = col.snapshot_at(idx, BackgroundMode::CoveredByAggregates);
+        let without = col.snapshot_at(idx, BackgroundMode::None);
+        // Every extra prefix beyond the overlay must lie inside an
+        // active aggregate and belong to the alive plan.
+        let overlay: HashSet<Prefix> = without.entries.iter().map(|e| e.route.prefix).collect();
+        for e in &with.entries {
+            if overlay.contains(&e.route.prefix) {
+                continue;
+            }
+            let v4 = e.route.prefix.as_v4().expect("v4 world");
+            assert!(
+                aggregates.iter().any(|agg| agg.contains(&v4)),
+                "{} not covered by any active aggregate",
+                e.route.prefix
+            );
+            assert!(world
+                .plan
+                .alive_at(day)
+                .iter()
+                .any(|a| a.prefix == v4));
+        }
+    }
+
+    #[test]
+    fn non_snapshot_day_returns_none() {
+        let (world, peers) = setup();
+        let mut col = Collector::new(&world, &peers);
+        // Find a gap day.
+        let s = world.window.start().day_index().0;
+        let e = world.window.end().day_index().0;
+        let gap = (s..=e)
+            .map(DayIndex)
+            .find(|d| !world.window.has_snapshot(*d))
+            .expect("gaps exist");
+        assert!(col.snapshot_on(gap, BackgroundMode::None).is_none());
+        assert!(col
+            .snapshot_on(world.window.start().day_index(), BackgroundMode::None)
+            .is_some());
+    }
+}

@@ -1,0 +1,35 @@
+//! # moas-routeviews — the Route Views collector substrate
+//!
+//! The paper's data comes from the Oregon Route Views server, which by
+//! 2001 peered with **54 BGP routers in 43 different ASes** and archived
+//! each peer's full table daily. This crate models that collector:
+//!
+//! * [`peers`] — the peer-session set and its growth over the window
+//!   (Route Views started small in 1997 and grew to 54 sessions; several
+//!   ASes contribute more than one router, which is exactly what makes
+//!   the §V `SplitView`/`OrigTranAS` classes observable).
+//! * [`realize`] — turns a simulated conflict into concrete per-session
+//!   AS paths with the intended §V shape, using valley-free path
+//!   synthesis over the topology. Paths are conflict-stable (they do
+//!   not flap day to day) and cached.
+//! * [`collector`] — assembles one day's [`moas_bgp::TableSnapshot`]:
+//!   background routes (full, sampled, or none), conflict overlays, and
+//!   the ~12 AS-set routes §III excludes. Also builds the small "single
+//!   ISP" vantages used to reproduce §III's visibility comparison
+//!   (collector sees 1364 conflicts; individual ISPs see 30/12/228).
+//!
+//! Together with `moas-mrt`, this closes the loop: `snapshot → MRT
+//! bytes → parse → analyze` is the same pipeline one would run over the
+//! genuine NLANR/PCH archives.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod collector;
+pub mod peers;
+pub mod realize;
+pub mod updates;
+
+pub use collector::{BackgroundMode, Collector};
+pub use peers::{PeerSet, Session};
+pub use realize::Realizer;

@@ -1,0 +1,317 @@
+//! The collector's peer sessions and their evolution.
+
+use moas_net::rng::DetRng;
+use moas_net::{Asn, DayIndex};
+use moas_sim::StudyWindow;
+use moas_topology::graph::Tier;
+use moas_topology::Topology;
+use std::net::Ipv4Addr;
+
+/// One BGP session at the collector.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Session {
+    /// Stable session id (index into the peer set).
+    pub id: u16,
+    /// The peer's AS.
+    pub asn: Asn,
+    /// The peering address (collector LAN).
+    pub addr: Ipv4Addr,
+    /// The day the session was established.
+    pub born: DayIndex,
+}
+
+/// Parameters of the peer set.
+#[derive(Debug, Clone)]
+pub struct PeerSetParams {
+    /// Distinct peer ASes at the end of the window (paper: 43).
+    pub target_ases: usize,
+    /// Total sessions at the end of the window (paper: 54).
+    pub target_sessions: usize,
+    /// Sessions already present at the start of the window.
+    pub initial_sessions: usize,
+}
+
+impl Default for PeerSetParams {
+    fn default() -> Self {
+        PeerSetParams {
+            target_ases: 43,
+            target_sessions: 54,
+            initial_sessions: 24,
+        }
+    }
+}
+
+impl PeerSetParams {
+    /// A small peer set for tiny test worlds.
+    pub fn tiny() -> Self {
+        PeerSetParams {
+            target_ases: 10,
+            target_sessions: 13,
+            initial_sessions: 6,
+        }
+    }
+
+    /// A peer set shrunk by `scale`, floored so the collector always
+    /// keeps enough vantage diversity for conflicts to be visible
+    /// (≥ 12 peer ASes, ≥ 9 sessions from day one).
+    pub fn scaled(scale: f64) -> Self {
+        let d = PeerSetParams::default();
+        PeerSetParams {
+            target_ases: ((d.target_ases as f64 * scale) as usize).max(12),
+            target_sessions: ((d.target_sessions as f64 * scale) as usize).max(16),
+            initial_sessions: ((d.initial_sessions as f64 * scale) as usize).max(9),
+        }
+    }
+}
+
+/// The collector's full session list.
+#[derive(Debug, Clone)]
+pub struct PeerSet {
+    sessions: Vec<Session>,
+}
+
+impl PeerSet {
+    /// Picks peer ASes (high-degree transit/core ASes present early)
+    /// and assigns session birth days so the collector grows over the
+    /// window. Deterministic per seed.
+    pub fn build(
+        topo: &Topology,
+        window: &StudyWindow,
+        params: &PeerSetParams,
+        rng: &DetRng,
+    ) -> PeerSet {
+        let mut rng = rng.substream("peers");
+        let start = window.start().day_index();
+
+        // Candidate peer ASes: transit and core ASes already routing
+        // at the window start (a collector peers with established
+        // networks), weighted by degree.
+        let mut candidates: Vec<Asn> = topo
+            .alive_asns(start, Some(Tier::Core))
+            .into_iter()
+            .chain(topo.alive_asns(start, Some(Tier::Transit)))
+            .collect();
+        candidates.sort_unstable();
+        let weights: Vec<f64> = candidates
+            .iter()
+            .map(|a| (topo.degree(*a) as f64).powf(1.3) + 1.0)
+            .collect();
+
+        let ases_wanted = params.target_ases.min(candidates.len());
+        let mut peer_ases: Vec<Asn> = Vec::new();
+        let mut guard = 0;
+        while peer_ases.len() < ases_wanted && guard < 10_000 {
+            guard += 1;
+            if let Some(i) = rng.choose_weighted(&weights) {
+                let a = candidates[i];
+                if !peer_ases.contains(&a) {
+                    peer_ases.push(a);
+                }
+            }
+        }
+
+        // Sessions: one per AS first, extras to the highest-degree
+        // ASes (large ISPs ran several route-views-facing routers).
+        let mut session_ases: Vec<Asn> = peer_ases.clone();
+        let mut extra_idx = 0usize;
+        while session_ases.len() < params.target_sessions && !peer_ases.is_empty() {
+            session_ases.push(peer_ases[extra_idx % peer_ases.len().min(11)]);
+            extra_idx += 1;
+        }
+
+        // Birth days: the first `initial_sessions` exist at start; the
+        // rest join spread over the first ~80% of the window.
+        let window_days = window
+            .start()
+            .days_until(&window.end())
+            .max(1) as u64;
+        let mut sessions: Vec<Session> = Vec::with_capacity(session_ases.len());
+        for (i, asn) in session_ases.iter().enumerate() {
+            let born = if i < params.initial_sessions {
+                start
+            } else {
+                start + rng.range_inclusive(30, window_days * 8 / 10) as i64
+            };
+            sessions.push(Session {
+                id: i as u16,
+                asn: *asn,
+                addr: Ipv4Addr::new(198, 32, 162, (i + 1) as u8),
+                born,
+            });
+        }
+        PeerSet { sessions }
+    }
+
+    /// All sessions (including not-yet-established ones).
+    pub fn sessions(&self) -> &[Session] {
+        &self.sessions
+    }
+
+    /// Total session count.
+    pub fn len(&self) -> usize {
+        self.sessions.len()
+    }
+
+    /// Whether the peer set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.sessions.is_empty()
+    }
+
+    /// Sessions established by `day`.
+    pub fn alive_at(&self, day: DayIndex) -> Vec<&Session> {
+        self.sessions.iter().filter(|s| s.born <= day).collect()
+    }
+
+    /// Distinct peer ASes established by `day`.
+    pub fn ases_at(&self, day: DayIndex) -> usize {
+        let mut ases: Vec<Asn> = self
+            .sessions
+            .iter()
+            .filter(|s| s.born <= day)
+            .map(|s| s.asn)
+            .collect();
+        ases.sort_unstable();
+        ases.dedup();
+        ases.len()
+    }
+
+    /// Session ids of ASes with more than one session at `day` —
+    /// the sessions that can expose SplitView/OrigTranAS shapes.
+    pub fn multi_session_ases(&self, day: DayIndex) -> Vec<Asn> {
+        let mut ases: Vec<Asn> = self
+            .sessions
+            .iter()
+            .filter(|s| s.born <= day)
+            .map(|s| s.asn)
+            .collect();
+        ases.sort_unstable();
+        let mut multi = Vec::new();
+        let mut i = 0;
+        while i < ases.len() {
+            let mut j = i + 1;
+            while j < ases.len() && ases[j] == ases[i] {
+                j += 1;
+            }
+            if j - i > 1 {
+                multi.push(ases[i]);
+            }
+            i = j;
+        }
+        multi
+    }
+
+    /// The session index of `session_id` among sessions alive at
+    /// `day`, if established.
+    pub fn alive_index(&self, day: DayIndex, session_id: u16) -> Option<u16> {
+        let mut idx = 0u16;
+        for s in &self.sessions {
+            if s.born <= day {
+                if s.id == session_id {
+                    return Some(idx);
+                }
+                idx += 1;
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use moas_sim::SimParams;
+    use moas_topology::graph::GrowthParams;
+
+    fn setup() -> (Topology, StudyWindow, PeerSet) {
+        let params = SimParams::test(0.01);
+        let rng = DetRng::new(params.seed);
+        let topo = Topology::grow(GrowthParams::tiny(), &rng);
+        let window = params.window();
+        let peers = PeerSet::build(&topo, &window, &PeerSetParams::tiny(), &rng);
+        (topo, window, peers)
+    }
+
+    #[test]
+    fn build_is_deterministic() {
+        let (_, _, a) = setup();
+        let (_, _, b) = setup();
+        assert_eq!(a.sessions(), b.sessions());
+    }
+
+    #[test]
+    fn target_counts_reached_at_end() {
+        let (_, window, peers) = setup();
+        let end = window.end().day_index();
+        assert_eq!(peers.alive_at(end).len(), 13);
+        assert_eq!(peers.ases_at(end), 10);
+    }
+
+    #[test]
+    fn collector_grows_over_window() {
+        let (_, window, peers) = setup();
+        let start = window.start().day_index();
+        let end = window.end().day_index();
+        let at_start = peers.alive_at(start).len();
+        assert_eq!(at_start, 6);
+        assert!(peers.alive_at(end).len() > at_start);
+    }
+
+    #[test]
+    fn paper_scale_counts() {
+        let params = SimParams::paper();
+        let rng = DetRng::new(params.seed);
+        let topo = Topology::grow(GrowthParams::default(), &rng);
+        let window = params.window();
+        let peers = PeerSet::build(&topo, &window, &PeerSetParams::default(), &rng);
+        let end = window.end().day_index();
+        assert_eq!(peers.alive_at(end).len(), 54, "54 sessions");
+        assert_eq!(peers.ases_at(end), 43, "43 ASes");
+        assert!(!peers.multi_session_ases(end).is_empty());
+    }
+
+    #[test]
+    fn multi_session_ases_detected() {
+        let (_, window, peers) = setup();
+        let end = window.end().day_index();
+        let multi = peers.multi_session_ases(end);
+        // 13 sessions over 10 ASes → at least one AS has 2+.
+        assert!(!multi.is_empty());
+        for asn in &multi {
+            let count = peers
+                .alive_at(end)
+                .iter()
+                .filter(|s| s.asn == *asn)
+                .count();
+            assert!(count >= 2);
+        }
+    }
+
+    #[test]
+    fn peer_ases_exist_in_topology() {
+        let (topo, _, peers) = setup();
+        for s in peers.sessions() {
+            assert!(topo.contains(s.asn), "peer AS {} unknown", s.asn);
+        }
+    }
+
+    #[test]
+    fn alive_index_is_dense_and_stable() {
+        let (_, window, peers) = setup();
+        let end = window.end().day_index();
+        let alive = peers.alive_at(end);
+        for (expect, s) in alive.iter().enumerate() {
+            assert_eq!(peers.alive_index(end, s.id), Some(expect as u16));
+        }
+        // Unknown session id.
+        assert_eq!(peers.alive_index(end, 999), None);
+    }
+
+    #[test]
+    fn addresses_are_unique() {
+        let (_, _, peers) = setup();
+        let mut addrs: Vec<Ipv4Addr> = peers.sessions().iter().map(|s| s.addr).collect();
+        addrs.sort();
+        addrs.dedup();
+        assert_eq!(addrs.len(), peers.len());
+    }
+}

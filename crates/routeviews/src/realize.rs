@@ -1,0 +1,424 @@
+//! Shape realization: simulated conflicts → concrete per-session paths.
+//!
+//! A [`moas_sim::Conflict`] specifies *which origins* conflict and the
+//! intended §V shape; this module decides what each collector session
+//! actually sees:
+//!
+//! * `Distinct` — each peer AS deterministically picks one origin
+//!   (hash of conflict id and peer AS) and routes to it valley-free;
+//!   different peer ASes land on different origins, which is what makes
+//!   the conflict visible at the collector at all.
+//! * `OrigTran` — the first origin `P` plays "origin and transit": one
+//!   session of a multi-session peer AS sees `… P`, its sibling session
+//!   sees `… P C`. Exactly the 1-hop-extension pair of §V.
+//! * `SplitView` — sibling sessions of one peer AS see paths to
+//!   *different* origins diverging after the shared first hop.
+//!
+//! Paths are conflict-stable: the same (conflict, session) pair always
+//! yields the same path, so a conflict does not flap across days. A
+//! per-conflict cache makes full-window realization affordable.
+
+use moas_net::rng::DetRng;
+use moas_net::{AsPath, Asn, PathSegment};
+use moas_sim::{Conflict, Shape, World};
+use moas_topology::PathSynth;
+
+use crate::peers::PeerSet;
+
+/// Realizes conflicts into per-session AS paths, with caching.
+pub struct Realizer<'w> {
+    world: &'w World,
+    peers: &'w PeerSet,
+    rng_root: DetRng,
+    /// cache[conflict_id][session_id] — `None` for "session has no
+    /// route for this prefix" (does not happen today, but the type
+    /// leaves room for policy filtering).
+    cache: Vec<Option<Vec<Option<AsPath>>>>,
+}
+
+impl<'w> Realizer<'w> {
+    /// Creates a realizer over a world and a peer set.
+    pub fn new(world: &'w World, peers: &'w PeerSet) -> Self {
+        Realizer {
+            world,
+            peers,
+            rng_root: DetRng::new(world.params.seed).substream("realize"),
+            cache: vec![None; world.conflicts.len()],
+        }
+    }
+
+    /// The per-session paths for a conflict (computed once, cached).
+    /// Indexed by session id; sessions not yet established on a given
+    /// day must be filtered by the caller.
+    pub fn conflict_paths(&mut self, id: u32) -> &[Option<AsPath>] {
+        if self.cache[id as usize].is_none() {
+            let built = self.build_paths(self.world.conflict(id));
+            self.cache[id as usize] = Some(built);
+        }
+        self.cache[id as usize].as_ref().expect("just built")
+    }
+
+    /// Builds the session paths for one conflict.
+    fn build_paths(&self, c: &Conflict) -> Vec<Option<AsPath>> {
+        let synth = PathSynth::new(&self.world.topo);
+        let sessions = self.peers.sessions();
+        let mut out: Vec<Option<AsPath>> = vec![None; sessions.len()];
+
+        // Per-AS session ordinal (0 for the first session of an AS, 1
+        // for its sibling, …): drives the multi-session shapes.
+        let mut ordinals: Vec<u8> = vec![0; sessions.len()];
+        {
+            use std::collections::HashMap;
+            let mut seen: HashMap<Asn, u8> = HashMap::new();
+            for s in sessions {
+                let e = seen.entry(s.asn).or_insert(0);
+                ordinals[s.id as usize] = *e;
+                *e += 1;
+            }
+        }
+
+        for s in sessions {
+            let ordinal = ordinals[s.id as usize];
+            // Path RNG keyed by (conflict, peer AS): sibling sessions
+            // share it unless the shape says otherwise.
+            let mut rng = self
+                .rng_root
+                .substream_idx("c", c.id as u64)
+                .substream_idx("v", s.asn.value() as u64);
+            let path = match c.shape {
+                Shape::Distinct => {
+                    // Hot-potato origin choice: each session routes to
+                    // the *nearest* origin (shortest canonical path),
+                    // hash tie-break. Topologically close vantages
+                    // therefore agree — which is why a single ISP sees
+                    // far fewer MOAS conflicts than the collector
+                    // (§III's 1364 vs 30/12/228 observation).
+                    nearest_origin_path(&synth, s.asn, c.id, &c.origins)
+                }
+                Shape::OrigTran => {
+                    // origins = [P (origin+transit), C].
+                    let p = c.origins[0];
+                    let tail = c.origins[1];
+                    let base = synth.path(s.asn, p, Some(&mut rng));
+                    base.map(|mut asns| {
+                        let extend = if ordinal > 0 {
+                            true
+                        } else {
+                            // Single-session peers split by hash.
+                            stable_pick(c.id, s.asn, 2) == 1
+                        };
+                        if extend {
+                            asns.push(tail);
+                        }
+                        AsPath::from_sequence(asns)
+                    })
+                }
+                Shape::SplitView => {
+                    if ordinal > 0 {
+                        // Sibling sessions route to the *other* origin
+                        // with a diversified transit, realizing the
+                        // same-first-hop divergence.
+                        let origin = c.origins[1 % c.origins.len()];
+                        let mut r2 = rng.substream_idx("ord", ordinal as u64);
+                        synth
+                            .path(s.asn, origin, Some(&mut r2))
+                            .map(AsPath::from_sequence)
+                    } else {
+                        // Single-session peers behave hot-potato.
+                        nearest_origin_path(&synth, s.asn, c.id, &c.origins)
+                    }
+                }
+            };
+            out[s.id as usize] = path;
+        }
+        out
+    }
+
+    /// Canonical (deterministic, rng-free) background path from a
+    /// session to a prefix owner.
+    pub fn background_path(&self, session_asn: Asn, owner: Asn) -> Option<AsPath> {
+        PathSynth::new(&self.world.topo)
+            .path(session_asn, owner, None)
+            .map(AsPath::from_sequence)
+    }
+
+    /// The AS-set route path as seen from a session: canonical path to
+    /// the aggregating AS plus a trailing AS_SET segment (consistent
+    /// across peers, §VI-D).
+    pub fn as_set_path(&self, session_asn: Asn, via: Asn, set: &[Asn]) -> Option<AsPath> {
+        let base = PathSynth::new(&self.world.topo).path(session_asn, via, None)?;
+        Some(AsPath::from_segments([
+            PathSegment::Sequence(base),
+            PathSegment::Set(set.to_vec()),
+        ]))
+    }
+}
+
+/// Hot-potato, region-keyed origin selection.
+///
+/// Every vantage homed under the same core AS (= "region") makes the
+/// *same* choice: an origin homed in the local region wins (shortest
+/// path, stable tie-break); otherwise the region hash picks one. This
+/// is the locality that makes MOAS conflicts visible at a 43-AS
+/// collector yet nearly invisible from any single ISP's sessions —
+/// §III's 1364 vs 30/12/228 observation.
+fn nearest_origin_path(
+    synth: &PathSynth<'_>,
+    vantage: Asn,
+    conflict: u32,
+    origins: &[Asn],
+) -> Option<AsPath> {
+    let my_core = synth.canonical_core(vantage);
+    // Origins homed in the vantage's region, shortest-path first.
+    let mut local: Vec<(usize, u32, Asn)> = origins
+        .iter()
+        .copied()
+        .filter(|o| synth.canonical_core(*o) == my_core)
+        .filter_map(|o| {
+            synth
+                .path(vantage, o, None)
+                .map(|p| (p.len(), o.value(), o))
+        })
+        .collect();
+    local.sort_unstable();
+    if let Some((_, _, o)) = local.first() {
+        return synth
+            .path(vantage, *o, None)
+            .map(AsPath::from_sequence);
+    }
+    // No local origin: the whole region follows one hash pick; fall
+    // back through the list if the preferred origin is unreachable.
+    let region_key = Asn::new(my_core.map(|c| c.value()).unwrap_or(0));
+    let first = stable_pick(conflict, region_key, origins.len());
+    for k in 0..origins.len() {
+        let o = origins[(first + k) % origins.len()];
+        if let Some(p) = synth.path(vantage, o, None) {
+            return Some(AsPath::from_sequence(p));
+        }
+    }
+    None
+}
+
+/// Stable small-range pick from (conflict id, peer AS): an FNV-style
+/// mix, so the same peer AS always picks the same origin for the same
+/// conflict (and roughly half the peers pick each side).
+fn stable_pick(conflict: u32, asn: Asn, n: usize) -> usize {
+    if n <= 1 {
+        return 0;
+    }
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for b in conflict.to_le_bytes() {
+        h = (h ^ b as u64).wrapping_mul(0x100_0000_01b3);
+    }
+    for b in asn.value().to_le_bytes() {
+        h = (h ^ b as u64).wrapping_mul(0x100_0000_01b3);
+    }
+    // FNV's low bit is a pure parity function of the input bytes (the
+    // prime is odd), which correlates picks across inputs of equal
+    // byte parity. A SplitMix-style finalizer fixes the low bits.
+    h = (h ^ (h >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    h = (h ^ (h >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    h ^= h >> 31;
+    (h % n as u64) as usize
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::peers::PeerSetParams;
+    use moas_net::Origin;
+    use moas_sim::SimParams;
+    use std::collections::HashSet;
+
+    fn setup() -> (World, PeerSet) {
+        let world = World::generate(SimParams::test(0.01));
+        let rng = DetRng::new(world.params.seed);
+        let peers = PeerSet::build(&world.topo, &world.window, &PeerSetParams::tiny(), &rng);
+        (world, peers)
+    }
+
+    fn origins_seen(paths: &[Option<AsPath>]) -> HashSet<Asn> {
+        paths
+            .iter()
+            .flatten()
+            .filter_map(|p| p.origin().as_single())
+            .collect()
+    }
+
+    #[test]
+    fn every_session_gets_a_path() {
+        let (world, peers) = setup();
+        let mut r = Realizer::new(&world, &peers);
+        for id in 0..world.conflicts.len().min(100) as u32 {
+            let paths = r.conflict_paths(id);
+            let have = paths.iter().flatten().count();
+            assert_eq!(have, peers.len(), "conflict {id}");
+        }
+    }
+
+    #[test]
+    fn realization_is_deterministic_and_cached() {
+        let (world, peers) = setup();
+        let mut a = Realizer::new(&world, &peers);
+        let first: Vec<Option<AsPath>> = a.conflict_paths(3).to_vec();
+        let again: Vec<Option<AsPath>> = a.conflict_paths(3).to_vec();
+        assert_eq!(first, again);
+        let mut b = Realizer::new(&world, &peers);
+        assert_eq!(b.conflict_paths(3), &first[..]);
+    }
+
+    #[test]
+    fn conflicts_expose_multiple_origins() {
+        let (world, peers) = setup();
+        let mut r = Realizer::new(&world, &peers);
+        let mut visible = 0usize;
+        let n = world.conflicts.len().min(200);
+        for id in 0..n as u32 {
+            let seen = origins_seen(r.conflict_paths(id));
+            if seen.len() >= 2 {
+                visible += 1;
+            }
+        }
+        // The full collector must see the vast majority of conflicts.
+        assert!(
+            visible * 10 >= n * 9,
+            "only {visible}/{n} conflicts visible"
+        );
+    }
+
+    #[test]
+    fn paths_end_at_a_conflict_origin() {
+        let (world, peers) = setup();
+        let mut r = Realizer::new(&world, &peers);
+        for id in 0..world.conflicts.len().min(150) as u32 {
+            let c = world.conflict(id);
+            for p in r.conflict_paths(id).iter().flatten() {
+                match p.origin() {
+                    Origin::Single(o) => {
+                        assert!(c.origins.contains(&o), "conflict {id}: stray origin {o}")
+                    }
+                    other => panic!("conflict {id}: non-single origin {other:?}"),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn paths_start_at_the_session_as() {
+        let (world, peers) = setup();
+        let mut r = Realizer::new(&world, &peers);
+        for id in (0..world.conflicts.len() as u32).step_by(37) {
+            let paths = r.conflict_paths(id).to_vec();
+            for s in peers.sessions() {
+                if let Some(p) = &paths[s.id as usize] {
+                    assert_eq!(p.first_hop(), Some(s.asn));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn origtran_shape_realized_as_prefix_pair() {
+        let (world, peers) = setup();
+        let mut r = Realizer::new(&world, &peers);
+        let end = world.window.end().day_index();
+        let multi = peers.multi_session_ases(end);
+        assert!(!multi.is_empty());
+        let target = world
+            .conflicts
+            .iter()
+            .find(|c| c.shape == Shape::OrigTran)
+            .expect("origtran conflicts exist");
+        let paths = r.conflict_paths(target.id).to_vec();
+        // Sibling sessions of some multi-session AS must form the
+        // proper-prefix pair.
+        let mut found = false;
+        for asn in &multi {
+            let sess: Vec<&AsPath> = peers
+                .sessions()
+                .iter()
+                .filter(|s| s.asn == *asn)
+                .filter_map(|s| paths[s.id as usize].as_ref())
+                .collect();
+            for a in &sess {
+                for b in &sess {
+                    if a.is_proper_prefix_of(b) {
+                        found = true;
+                    }
+                }
+            }
+        }
+        assert!(found, "no proper-prefix pair for OrigTran conflict");
+    }
+
+    #[test]
+    fn splitview_shape_realized_as_same_first_hop_divergence() {
+        let (world, peers) = setup();
+        let mut r = Realizer::new(&world, &peers);
+        let end = world.window.end().day_index();
+        let multi = peers.multi_session_ases(end);
+        let mut found = false;
+        for c in world.conflicts.iter().filter(|c| c.shape == Shape::SplitView) {
+            let paths = r.conflict_paths(c.id).to_vec();
+            for asn in &multi {
+                let sess: Vec<&AsPath> = peers
+                    .sessions()
+                    .iter()
+                    .filter(|s| s.asn == *asn)
+                    .filter_map(|s| paths[s.id as usize].as_ref())
+                    .collect();
+                for a in &sess {
+                    for b in &sess {
+                        if a.origin() != b.origin()
+                            && a.first_hop() == b.first_hop()
+                            && !a.is_proper_prefix_of(b)
+                            && !b.is_proper_prefix_of(a)
+                        {
+                            found = true;
+                        }
+                    }
+                }
+            }
+            if found {
+                break;
+            }
+        }
+        assert!(found, "no SplitView divergence realized");
+    }
+
+    #[test]
+    fn as_set_paths_end_in_sets() {
+        let (world, peers) = setup();
+        let r = Realizer::new(&world, &peers);
+        let route = &world.as_set_routes[0];
+        let s = &peers.sessions()[0];
+        let p = r.as_set_path(s.asn, route.via, &route.set).unwrap();
+        assert!(p.origin().is_set());
+        assert_eq!(p.first_hop(), Some(s.asn));
+    }
+
+    #[test]
+    fn background_paths_reach_owner() {
+        let (world, peers) = setup();
+        let r = Realizer::new(&world, &peers);
+        let a = world.plan.assignments()[0];
+        for s in peers.sessions().iter().take(4) {
+            let p = r.background_path(s.asn, a.owner).unwrap();
+            assert_eq!(p.origin().as_single(), Some(a.owner));
+        }
+    }
+
+    #[test]
+    fn stable_pick_is_balanced_and_stable() {
+        let mut zero = 0;
+        for asn in 1..200u32 {
+            let p = stable_pick(7, Asn::new(asn), 2);
+            assert_eq!(p, stable_pick(7, Asn::new(asn), 2));
+            if p == 0 {
+                zero += 1;
+            }
+        }
+        assert!((40..160).contains(&zero), "badly skewed: {zero}/199");
+        assert_eq!(stable_pick(1, Asn::new(1), 1), 0);
+    }
+}

@@ -1,0 +1,314 @@
+//! Update-stream synthesis: the BGP UPDATE traffic between two daily
+//! snapshots.
+//!
+//! Table dumps are once-a-day photographs; the live collector actually
+//! receives a continuous stream of UPDATE messages. This module
+//! computes, per session, the announcements and withdrawals that
+//! transform one day's table into the next, batches them into
+//! realistically shaped UPDATE messages (prefixes sharing identical
+//! attributes travel together), and wraps them in BGP4MP records —
+//! the update-archive format of a real collector.
+//!
+//! Together with `moas_core::replay` this closes the second loop of
+//! the reproduction: `snapshot + update stream → reconstructed
+//! snapshot` must equal the next day's table exactly.
+
+use crate::collector::{BackgroundMode, Collector};
+use moas_bgp::attrs::Attrs;
+use moas_bgp::message::{BgpMessage, UpdateMsg};
+use moas_bgp::TableSnapshot;
+use moas_mrt::bgp4mp::{Bgp4mpMessage, PeeringHeader};
+use moas_mrt::record::{MrtBody, MrtRecord};
+use moas_mrt::snapshot::midnight_timestamp;
+use moas_net::{AsPath, Asn, Ipv4Prefix, Prefix};
+use std::collections::{BTreeMap, HashMap};
+use std::net::{IpAddr, Ipv4Addr};
+
+/// The collector's AS (route-views, AS 6447) for the local side of
+/// BGP4MP peering headers.
+const COLLECTOR_AS: u32 = 6447;
+/// The collector's address on the peering LAN.
+const COLLECTOR_ADDR: Ipv4Addr = Ipv4Addr::new(198, 32, 162, 250);
+
+/// One session's route set for a day: prefix → AS path.
+type SessionRoutes = BTreeMap<Prefix, AsPath>;
+
+/// Extracts per-session routes from a snapshot, keyed by peer
+/// (address, AS).
+fn routes_by_session(snap: &TableSnapshot) -> HashMap<(IpAddr, Asn), SessionRoutes> {
+    let mut out: HashMap<(IpAddr, Asn), SessionRoutes> = HashMap::new();
+    for e in &snap.entries {
+        let peer = &snap.peers[e.peer_idx as usize];
+        out.entry((peer.addr, peer.asn))
+            .or_default()
+            .insert(e.route.prefix, e.route.path.clone());
+    }
+    // Sessions present but announcing nothing still exist.
+    for p in &snap.peers {
+        out.entry((p.addr, p.asn)).or_default();
+    }
+    out
+}
+
+/// The UPDATE stream (as BGP4MP records) that transforms `prev` into
+/// `next`. Announcements carry the new path; withdrawals list vanished
+/// prefixes. A session absent from `prev` (newly established) announces
+/// its whole table. Records get timestamps spread across `next`'s day.
+pub fn diff_snapshots(prev: &TableSnapshot, next: &TableSnapshot) -> Vec<MrtRecord> {
+    let before = routes_by_session(prev);
+    let after = routes_by_session(next);
+    let base_ts = midnight_timestamp(next.date);
+
+    let mut records: Vec<MrtRecord> = Vec::new();
+    // Deterministic session order: sort keys.
+    let mut sessions: Vec<&(IpAddr, Asn)> = after.keys().collect();
+    sessions.sort();
+
+    for key in sessions {
+        let (addr, asn) = *key;
+        let empty = SessionRoutes::new();
+        let old = before.get(key).unwrap_or(&empty);
+        let new = &after[key];
+
+        // Withdrawals: in old, not in new (v4 only on the classic
+        // withdrawal field; v6 would ride MP_UNREACH).
+        let withdrawn: Vec<Ipv4Prefix> = old
+            .keys()
+            .filter(|p| !new.contains_key(*p))
+            .filter_map(|p| p.as_v4())
+            .collect();
+
+        // Announcements grouped by path (shared attributes → one
+        // UPDATE), v4 only — the study era.
+        let mut by_path: BTreeMap<String, (AsPath, Vec<Ipv4Prefix>)> = BTreeMap::new();
+        for (prefix, path) in new {
+            let changed = old.get(prefix) != Some(path);
+            if !changed {
+                continue;
+            }
+            let Some(v4) = prefix.as_v4() else { continue };
+            by_path
+                .entry(path.to_string())
+                .or_insert_with(|| (path.clone(), Vec::new()))
+                .1
+                .push(v4);
+        }
+
+        let header = PeeringHeader {
+            peer_as: asn,
+            local_as: Asn::new(COLLECTOR_AS),
+            if_index: 0,
+            peer_addr: addr,
+            local_addr: IpAddr::V4(COLLECTOR_ADDR),
+        };
+
+        // One withdrawal-only UPDATE (if any), then one UPDATE per
+        // attribute group. BGP limits messages to 4096 bytes; chunk
+        // NLRI conservatively.
+        if !withdrawn.is_empty() {
+            for chunk in withdrawn.chunks(700) {
+                records.push(MrtRecord {
+                    timestamp: base_ts + records.len() as u32 % 86_000,
+                    body: MrtBody::Bgp4mpMessage(Bgp4mpMessage {
+                        header: header.clone(),
+                        message: BgpMessage::Update(UpdateMsg {
+                            withdrawn: chunk.to_vec(),
+                            attrs: Attrs::default(),
+                            announced: vec![],
+                        }),
+                        as4: false,
+                    }),
+                });
+            }
+        }
+        for (_, (path, prefixes)) in by_path {
+            let next_hop = match addr {
+                IpAddr::V4(a) => a,
+                IpAddr::V6(_) => COLLECTOR_ADDR,
+            };
+            for chunk in prefixes.chunks(600) {
+                records.push(MrtRecord {
+                    timestamp: base_ts + records.len() as u32 % 86_000,
+                    body: MrtBody::Bgp4mpMessage(Bgp4mpMessage {
+                        header: header.clone(),
+                        message: BgpMessage::Update(UpdateMsg {
+                            withdrawn: vec![],
+                            attrs: Attrs::announcement(path.clone(), next_hop),
+                            announced: chunk.to_vec(),
+                        }),
+                        as4: false,
+                    }),
+                });
+            }
+        }
+    }
+    records
+}
+
+/// Convenience: the update stream between two snapshot-day positions
+/// of a study window.
+pub fn day_transition(
+    collector: &mut Collector<'_>,
+    prev_idx: usize,
+    next_idx: usize,
+    background: BackgroundMode,
+) -> (TableSnapshot, TableSnapshot, Vec<MrtRecord>) {
+    let prev = collector.snapshot_at(prev_idx, background);
+    let next = collector.snapshot_at(next_idx, background);
+    let stream = diff_snapshots(&prev, &next);
+    (prev, next, stream)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use moas_bgp::PeerInfo;
+    use moas_net::Date;
+
+    fn peer(n: u8, asn: u32) -> PeerInfo {
+        PeerInfo::v4(Ipv4Addr::new(10, 0, 0, n), Asn::new(asn))
+    }
+
+    fn snap(date: Date, routes: &[(u8, u32, &str, &str)]) -> TableSnapshot {
+        let mut t = TableSnapshot::new(date);
+        for (n, asn, _, _) in routes {
+            t.add_peer(peer(*n, *asn));
+        }
+        for (n, asn, prefix, path) in routes {
+            let idx = t.add_peer(peer(*n, *asn));
+            t.push_path(idx, prefix.parse().unwrap(), path.parse().unwrap());
+        }
+        t
+    }
+
+    #[test]
+    fn no_change_no_updates() {
+        let a = snap(
+            Date::ymd(2001, 1, 1),
+            &[(1, 701, "10.0.0.0/8", "701 7")],
+        );
+        let mut b = a.clone();
+        b.date = Date::ymd(2001, 1, 2);
+        assert!(diff_snapshots(&a, &b).is_empty());
+    }
+
+    #[test]
+    fn new_route_is_announced() {
+        let a = snap(Date::ymd(2001, 1, 1), &[(1, 701, "10.0.0.0/8", "701 7")]);
+        let b = snap(
+            Date::ymd(2001, 1, 2),
+            &[
+                (1, 701, "10.0.0.0/8", "701 7"),
+                (1, 701, "192.0.2.0/24", "701 9"),
+            ],
+        );
+        let stream = diff_snapshots(&a, &b);
+        assert_eq!(stream.len(), 1);
+        let MrtBody::Bgp4mpMessage(m) = &stream[0].body else {
+            panic!("not a message")
+        };
+        let BgpMessage::Update(u) = &m.message else {
+            panic!("not an update")
+        };
+        assert_eq!(u.announced, vec!["192.0.2.0/24".parse().unwrap()]);
+        assert_eq!(
+            u.attrs.as_path.as_ref().unwrap(),
+            &"701 9".parse::<AsPath>().unwrap()
+        );
+        assert!(u.withdrawn.is_empty());
+    }
+
+    #[test]
+    fn vanished_route_is_withdrawn() {
+        let a = snap(
+            Date::ymd(2001, 1, 1),
+            &[
+                (1, 701, "10.0.0.0/8", "701 7"),
+                (1, 701, "192.0.2.0/24", "701 9"),
+            ],
+        );
+        let b = snap(Date::ymd(2001, 1, 2), &[(1, 701, "10.0.0.0/8", "701 7")]);
+        let stream = diff_snapshots(&a, &b);
+        assert_eq!(stream.len(), 1);
+        let MrtBody::Bgp4mpMessage(m) = &stream[0].body else {
+            panic!("not a message")
+        };
+        let BgpMessage::Update(u) = &m.message else {
+            panic!("not an update")
+        };
+        assert_eq!(u.withdrawn, vec!["192.0.2.0/24".parse().unwrap()]);
+        assert!(u.announced.is_empty());
+    }
+
+    #[test]
+    fn changed_path_is_reannounced() {
+        let a = snap(Date::ymd(2001, 1, 1), &[(1, 701, "10.0.0.0/8", "701 7")]);
+        let b = snap(Date::ymd(2001, 1, 2), &[(1, 701, "10.0.0.0/8", "701 8 7")]);
+        let stream = diff_snapshots(&a, &b);
+        assert_eq!(stream.len(), 1);
+    }
+
+    #[test]
+    fn shared_attrs_batch_into_one_update() {
+        let a = snap(Date::ymd(2001, 1, 1), &[]);
+        let b = snap(
+            Date::ymd(2001, 1, 2),
+            &[
+                (1, 701, "192.0.2.0/24", "701 9"),
+                (1, 701, "198.51.100.0/24", "701 9"),
+                (1, 701, "203.0.113.0/24", "701 12"),
+            ],
+        );
+        let stream = diff_snapshots(&a, &b);
+        // Two distinct paths → two UPDATEs.
+        assert_eq!(stream.len(), 2);
+        let total_announced: usize = stream
+            .iter()
+            .map(|r| match &r.body {
+                MrtBody::Bgp4mpMessage(m) => match &m.message {
+                    BgpMessage::Update(u) => u.announced.len(),
+                    _ => 0,
+                },
+                _ => 0,
+            })
+            .sum();
+        assert_eq!(total_announced, 3);
+    }
+
+    #[test]
+    fn updates_come_per_session() {
+        let a = snap(Date::ymd(2001, 1, 1), &[]);
+        let b = snap(
+            Date::ymd(2001, 1, 2),
+            &[
+                (1, 701, "192.0.2.0/24", "701 9"),
+                (2, 1239, "192.0.2.0/24", "1239 9"),
+            ],
+        );
+        let stream = diff_snapshots(&a, &b);
+        assert_eq!(stream.len(), 2);
+        let peer_ases: Vec<u32> = stream
+            .iter()
+            .map(|r| match &r.body {
+                MrtBody::Bgp4mpMessage(m) => m.header.peer_as.value(),
+                _ => 0,
+            })
+            .collect();
+        assert!(peer_ases.contains(&701));
+        assert!(peer_ases.contains(&1239));
+    }
+
+    #[test]
+    fn records_roundtrip_the_wire() {
+        let a = snap(Date::ymd(2001, 1, 1), &[(1, 701, "10.0.0.0/8", "701 7")]);
+        let b = snap(
+            Date::ymd(2001, 1, 2),
+            &[(1, 701, "192.0.2.0/24", "701 9")],
+        );
+        for rec in diff_snapshots(&a, &b) {
+            let mut bytes = rec.encode().freeze();
+            let back = MrtRecord::decode(&mut bytes).unwrap();
+            assert_eq!(back, rec);
+        }
+    }
+}

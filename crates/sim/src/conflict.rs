@@ -1,0 +1,282 @@
+//! Conflict instances: cause taxonomy, path shape, active patterns.
+
+use moas_net::{Asn, Ipv4Prefix};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Why a conflict exists — the §VI taxonomy, used as ground truth for
+/// scoring the invalid-conflict detector (never shown to the detector).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Cause {
+    /// §VI-A: an exchange-point prefix originated by several members.
+    ExchangePoint,
+    /// §VI-B: multi-homing without BGP (static/IGP glue); providers
+    /// originate the customer's prefix.
+    StaticMultihome,
+    /// §VI-C: multi-homing with a private AS substituted on egress.
+    PrivateAsMultihome,
+    /// §VI-F: transition period while a non-BGP customer switches
+    /// providers (both originate briefly).
+    ProviderTransition,
+    /// Traffic engineering at a large ISP: one AS intentionally
+    /// announces multiple routes (produces OrigTranAS / SplitView).
+    TrafficEngineering,
+    /// §VI-E: misconfiguration — an AS falsely originates someone
+    /// else's prefix.
+    Misconfig,
+    /// §VI-E: faulty aggregation — an AS announces an aggregate
+    /// covering space it cannot reach.
+    FaultyAggregation,
+    /// The scripted 1998-04-07 AS 8584 incident.
+    MassFault1998,
+    /// The scripted 2001-04 AS 15412 / AS 3561 incident.
+    MassFault2001,
+}
+
+impl Cause {
+    /// Whether the paper considers this cause *valid* (operational
+    /// practice) as opposed to a fault.
+    pub fn is_valid_practice(self) -> bool {
+        matches!(
+            self,
+            Cause::ExchangePoint
+                | Cause::StaticMultihome
+                | Cause::PrivateAsMultihome
+                | Cause::ProviderTransition
+                | Cause::TrafficEngineering
+        )
+    }
+}
+
+impl fmt::Display for Cause {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Cause::ExchangePoint => "exchange-point",
+            Cause::StaticMultihome => "static-multihome",
+            Cause::PrivateAsMultihome => "private-as-multihome",
+            Cause::ProviderTransition => "provider-transition",
+            Cause::TrafficEngineering => "traffic-engineering",
+            Cause::Misconfig => "misconfig",
+            Cause::FaultyAggregation => "faulty-aggregation",
+            Cause::MassFault1998 => "mass-fault-1998",
+            Cause::MassFault2001 => "mass-fault-2001",
+        };
+        f.write_str(s)
+    }
+}
+
+/// The intended §V path-shape of the conflict at the collector.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Shape {
+    /// Different peers see entirely different paths to different
+    /// origins (the dominant class).
+    Distinct,
+    /// One AS appears both as origin and as transit: some session sees
+    /// `… X` and another `… X Y`.
+    OrigTran,
+    /// The same first-hop AS exports different routes on different
+    /// sessions.
+    SplitView,
+}
+
+/// Active-day pattern in *snapshot-index space*: runs of consecutive
+/// snapshot indices. Patterns may be intermittent — the paper counts
+/// total days in existence "regardless of whether the conflict was
+/// continuous".
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ActivePattern {
+    /// Sorted, non-overlapping, non-adjacent runs: (first snapshot
+    /// index, length in snapshot days).
+    runs: Vec<(u32, u32)>,
+}
+
+impl ActivePattern {
+    /// A single contiguous run.
+    pub fn contiguous(start: u32, len: u32) -> Self {
+        assert!(len > 0, "empty pattern");
+        ActivePattern {
+            runs: vec![(start, len)],
+        }
+    }
+
+    /// Builds from explicit runs; validates ordering and disjointness.
+    pub fn from_runs(runs: Vec<(u32, u32)>) -> Self {
+        assert!(!runs.is_empty(), "empty pattern");
+        for r in &runs {
+            assert!(r.1 > 0, "zero-length run");
+        }
+        for pair in runs.windows(2) {
+            assert!(
+                pair[0].0 + pair[0].1 < pair[1].0,
+                "runs must be sorted and separated"
+            );
+        }
+        ActivePattern { runs }
+    }
+
+    /// Whether the pattern covers snapshot index `idx`.
+    pub fn is_active(&self, idx: u32) -> bool {
+        // Runs are few (1–6); linear scan wins.
+        self.runs
+            .iter()
+            .any(|(s, l)| idx >= *s && idx < s + l)
+    }
+
+    /// First covered snapshot index.
+    pub fn first(&self) -> u32 {
+        self.runs[0].0
+    }
+
+    /// Last covered snapshot index.
+    pub fn last(&self) -> u32 {
+        let (s, l) = *self.runs.last().expect("nonempty");
+        s + l - 1
+    }
+
+    /// Total covered snapshot days.
+    pub fn total_days(&self) -> u32 {
+        self.runs.iter().map(|(_, l)| *l).sum()
+    }
+
+    /// Covered days at or below index `cutoff` (inclusive) — duration
+    /// as observed within the paper's core window.
+    pub fn days_up_to(&self, cutoff: u32) -> u32 {
+        self.runs
+            .iter()
+            .map(|(s, l)| {
+                if *s > cutoff {
+                    0
+                } else {
+                    (cutoff - s + 1).min(*l)
+                }
+            })
+            .sum()
+    }
+
+    /// Iterates covered snapshot indices.
+    pub fn iter_days(&self) -> impl Iterator<Item = u32> + '_ {
+        self.runs.iter().flat_map(|(s, l)| *s..s + l)
+    }
+
+    /// The runs themselves.
+    pub fn runs(&self) -> &[(u32, u32)] {
+        &self.runs
+    }
+}
+
+/// One MOAS conflict instance.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Conflict {
+    /// Stable id (index into the world's conflict table).
+    pub id: u32,
+    /// The conflicted prefix (conflicts are identified by prefix, §III).
+    pub prefix: Ipv4Prefix,
+    /// The legitimate origin (ground truth; may not even be announced
+    /// during the conflict, e.g. a hijacked silent prefix).
+    pub owner: Asn,
+    /// All origin ASes visible during the conflict (≥ 2, distinct).
+    pub origins: Vec<Asn>,
+    /// Ground-truth cause.
+    pub cause: Cause,
+    /// Intended path shape at the collector.
+    pub shape: Shape,
+    /// When the conflict is active, in snapshot-index space.
+    pub active: ActivePattern,
+    /// For faulty aggregation (§VI-E): the covering aggregate the
+    /// faulty AS additionally announces while active. Detected by the
+    /// subMOAS analysis, not by exact-prefix MOAS detection.
+    pub aggregate: Option<Ipv4Prefix>,
+}
+
+impl Conflict {
+    /// Observed duration within the core window (snapshot days with
+    /// index < `core_len`).
+    pub fn observed_duration(&self, core_len: usize) -> u32 {
+        if core_len == 0 {
+            return 0;
+        }
+        self.active.days_up_to(core_len as u32 - 1)
+    }
+
+    /// Whether the conflict is active on the final core day — the
+    /// paper's "still ongoing as of the date the paper was written".
+    pub fn ongoing_at(&self, core_len: usize) -> bool {
+        core_len > 0 && self.active.is_active(core_len as u32 - 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn contiguous_pattern_basics() {
+        let p = ActivePattern::contiguous(10, 5);
+        assert_eq!(p.total_days(), 5);
+        assert_eq!(p.first(), 10);
+        assert_eq!(p.last(), 14);
+        assert!(p.is_active(10) && p.is_active(14));
+        assert!(!p.is_active(9) && !p.is_active(15));
+        assert_eq!(p.iter_days().collect::<Vec<_>>(), vec![10, 11, 12, 13, 14]);
+    }
+
+    #[test]
+    fn intermittent_pattern() {
+        let p = ActivePattern::from_runs(vec![(0, 3), (10, 2), (20, 1)]);
+        assert_eq!(p.total_days(), 6);
+        assert_eq!(p.last(), 20);
+        assert!(p.is_active(11));
+        assert!(!p.is_active(5));
+    }
+
+    #[test]
+    fn days_up_to_truncates() {
+        let p = ActivePattern::from_runs(vec![(0, 3), (10, 5)]);
+        assert_eq!(p.days_up_to(1), 2);
+        assert_eq!(p.days_up_to(2), 3);
+        assert_eq!(p.days_up_to(9), 3);
+        assert_eq!(p.days_up_to(11), 5);
+        assert_eq!(p.days_up_to(100), 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "sorted and separated")]
+    fn overlapping_runs_rejected() {
+        ActivePattern::from_runs(vec![(0, 5), (4, 2)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "sorted and separated")]
+    fn adjacent_runs_rejected() {
+        // Adjacent runs should have been merged by the caller.
+        ActivePattern::from_runs(vec![(0, 5), (5, 2)]);
+    }
+
+    #[test]
+    fn conflict_observed_duration_and_ongoing() {
+        let c = Conflict {
+            id: 0,
+            prefix: "10.0.0.0/8".parse().unwrap(),
+            owner: Asn::new(1),
+            origins: vec![Asn::new(1), Asn::new(2)],
+            cause: Cause::Misconfig,
+            shape: Shape::Distinct,
+            active: ActivePattern::contiguous(95, 10), // days 95..104
+            aggregate: None,
+        };
+        assert_eq!(c.observed_duration(100), 5); // indices 95..=99
+        assert_eq!(c.observed_duration(200), 10);
+        assert!(c.ongoing_at(100)); // active at index 99
+        assert!(!c.ongoing_at(200));
+        assert!(!c.ongoing_at(95)); // last core index 94: not yet active
+    }
+
+    #[test]
+    fn cause_validity_split() {
+        assert!(Cause::ExchangePoint.is_valid_practice());
+        assert!(Cause::ProviderTransition.is_valid_practice());
+        assert!(!Cause::Misconfig.is_valid_practice());
+        assert!(!Cause::MassFault1998.is_valid_practice());
+        assert!(!Cause::FaultyAggregation.is_valid_practice());
+    }
+}

@@ -1,0 +1,1031 @@
+//! The conflict generator: cohorts → scheduled conflict instances.
+//!
+//! Every conflict gets (1) a duration drawn from its cohort's
+//! power-transformed uniform (the exponent is solved so the cohort mean
+//! matches Figure 4's algebra), (2) a start day drawn proportionally to
+//! the baseline curve (so daily active counts track Figure 2's yearly
+//! medians), (3) a prefix sampled without replacement from the
+//! origination plan (conflicts are identified by prefix, §III — one
+//! instance per prefix), and (4) cause/shape/origins per the §VI
+//! taxonomy. Right-censored conflicts run through the cutoff — those
+//! are the paper's ~1 326 "still ongoing" conflicts. The two mass
+//! faults are scripted on their historical dates.
+
+use crate::calibrate::{Cohort, SimParams};
+use crate::conflict::{ActivePattern, Cause, Conflict, Shape};
+use crate::window::{incidents, StudyWindow};
+use moas_net::rng::DetRng;
+use moas_net::{Asn, DayIndex, Ipv4Prefix};
+use moas_topology::graph::{well_known, Tier, Topology};
+use moas_topology::prefixes::{PrefixAllocator, PrefixPlan};
+use std::collections::HashSet;
+
+/// A route that ends in an AS set (excluded from MOAS analysis, §III:
+/// "roughly 12 routes ended in AS sets").
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AsSetRoute {
+    /// The aggregated prefix.
+    pub prefix: Ipv4Prefix,
+    /// The AS set it originates from (consistent across peers, §VI-D).
+    pub set: Vec<Asn>,
+    /// The aggregating AS announcing the route.
+    pub via: Asn,
+}
+
+/// Everything the generator produces.
+#[derive(Debug, Clone)]
+pub struct Schedule {
+    /// All conflict instances, id = index.
+    pub conflicts: Vec<Conflict>,
+    /// The AS-set routes (present all window).
+    pub as_set_routes: Vec<AsSetRoute>,
+}
+
+/// Samples a prefix (with its owner) alive at `day`, not yet used.
+fn sample_unused_prefix(
+    plan: &PrefixPlan,
+    day: DayIndex,
+    used: &mut HashSet<Ipv4Prefix>,
+    rng: &mut DetRng,
+) -> Option<(Ipv4Prefix, Asn)> {
+    for _ in 0..200 {
+        let a = plan.sample_alive(day, rng)?;
+        if used.insert(a.prefix) {
+            return Some((a.prefix, a.owner));
+        }
+    }
+    // Dense usage: linear fallback scan from a random offset.
+    let alive = plan.alive_at(day);
+    if alive.is_empty() {
+        return None;
+    }
+    let start = rng.below(alive.len() as u64) as usize;
+    for i in 0..alive.len() {
+        let a = &alive[(start + i) % alive.len()];
+        if used.insert(a.prefix) {
+            return Some((a.prefix, a.owner));
+        }
+    }
+    None
+}
+
+/// Duration draw: `min + round((max-min) * u^alpha)` where `alpha` is
+/// solved from the target mean (`E[u^alpha] = 1/(1+alpha)`).
+fn draw_duration(c: &Cohort, rng: &mut DetRng) -> u32 {
+    let min = c.min_days as f64;
+    let max = c.max_days as f64;
+    if max <= min {
+        return c.min_days;
+    }
+    let alpha = ((max - min) / (c.mean_days - min) - 1.0).max(0.05);
+    let u = rng.f64();
+    let k = min + (max - min) * u.powf(alpha);
+    (k.round() as u32).clamp(c.min_days, c.max_days)
+}
+
+/// Start-day placement: candidates drawn ∝ the baseline curve, final
+/// choice by *deficit-greedy fill* — among the candidates, pick the
+/// start whose covered days are most under the target curve. This
+/// removes the boundary biases of pure density sampling (no pre-window
+/// tail on the left, censored pile-up on the right) so daily active
+/// counts track Figure 2's yearly medians.
+struct StartSampler {
+    /// Cumulative weight per core snapshot index (for candidate draws).
+    cumulative: Vec<f64>,
+    /// Target active count per snapshot index (core + extension).
+    target: Vec<f64>,
+    /// Accumulated active count per snapshot index.
+    acc: Vec<f64>,
+}
+
+/// Candidate starts evaluated per conflict.
+const PLACEMENT_CANDIDATES: usize = 12;
+
+impl StartSampler {
+    fn new(params: &SimParams, window: &StudyWindow) -> Self {
+        let mut cumulative = Vec::with_capacity(window.core_len());
+        let mut acc = 0.0;
+        for day in window.core_days() {
+            acc += params.calibration.baseline(*day).max(0.0);
+            cumulative.push(acc);
+        }
+        let target: Vec<f64> = window
+            .all_days()
+            .iter()
+            .map(|d| params.calibration.baseline(*d))
+            .collect();
+        StartSampler {
+            cumulative,
+            target,
+            acc: vec![0.0; window.total_len()],
+        }
+    }
+
+    /// Records a placed pattern so later placements see its load.
+    fn commit(&mut self, pattern: &ActivePattern) {
+        for idx in pattern.iter_days() {
+            if (idx as usize) < self.acc.len() {
+                self.acc[idx as usize] += 1.0;
+            }
+        }
+    }
+
+    /// Draws one candidate start in `[0, max_start]` ∝ baseline.
+    fn draw_candidate(&self, max_start: usize, rng: &mut DetRng) -> u32 {
+        let hi = max_start.min(self.cumulative.len() - 1);
+        let total = self.cumulative[hi];
+        let target = rng.f64() * total;
+        let idx = self.cumulative[..=hi].partition_point(|&c| c < target);
+        idx.min(hi) as u32
+    }
+
+    /// Surplus (positive = overfull) of the contiguous span
+    /// `[start, start+len)` against the target curve.
+    fn span_surplus(&self, start: u32, len: u32) -> f64 {
+        let mut s = 0.0;
+        let end = ((start + len) as usize).min(self.acc.len());
+        for d in start as usize..end {
+            s += self.acc[d] - self.target[d];
+        }
+        s / len.max(1) as f64
+    }
+
+    /// Picks the best of several candidate starts for a duration-`len`
+    /// conflict: the one with the largest average deficit.
+    fn place(&mut self, max_start: usize, len: u32, rng: &mut DetRng) -> u32 {
+        let mut best_start = self.draw_candidate(max_start, rng);
+        let mut best_score = self.span_surplus(best_start, len);
+        for _ in 1..PLACEMENT_CANDIDATES {
+            let cand = self.draw_candidate(max_start, rng);
+            let score = self.span_surplus(cand, len);
+            if score < best_score {
+                best_score = score;
+                best_start = cand;
+            }
+        }
+        best_start
+    }
+}
+
+/// Builds an intermittent pattern of `days` active snapshot days
+/// starting at `start`, stretched by `stretch` (>1), capped at
+/// `last_idx`. Runs alternate active/idle.
+fn intermittent_pattern(
+    start: u32,
+    days: u32,
+    stretch: f64,
+    last_idx: u32,
+    rng: &mut DetRng,
+) -> ActivePattern {
+    if days <= 2 {
+        return ActivePattern::contiguous(start.min(last_idx), days.max(1));
+    }
+    let span = ((days as f64 * stretch) as u32).min(last_idx.saturating_sub(start) + 1);
+    if span <= days {
+        return ActivePattern::contiguous(start, days.min(last_idx - start + 1));
+    }
+    let idle_total = span - days;
+    let run_count = (2 + rng.below(3)) as u32; // 2–4 runs
+    let run_count = run_count.min(days);
+    let mut runs = Vec::new();
+    let mut remaining_active = days;
+    let mut remaining_idle = idle_total;
+    let mut pos = start;
+    for r in 0..run_count {
+        let runs_left = run_count - r;
+        let active = if runs_left == 1 {
+            remaining_active
+        } else {
+            let max_here = remaining_active - (runs_left - 1);
+            1 + rng.below(max_here.max(1) as u64) as u32
+        };
+        runs.push((pos, active));
+        remaining_active -= active;
+        pos += active;
+        if runs_left > 1 && remaining_idle > 0 {
+            let idle = 1 + rng.below(remaining_idle as u64) as u32;
+            pos += idle;
+            remaining_idle -= idle;
+        }
+        if remaining_active == 0 {
+            break;
+        }
+    }
+    ActivePattern::from_runs(merge_adjacent(runs))
+}
+
+/// Merges adjacent runs (the generator can exhaust its idle budget and
+/// emit back-to-back runs, which [`ActivePattern::from_runs`] rejects).
+/// Runs are produced in order and never overlap, so day counts are
+/// preserved.
+fn merge_adjacent(runs: Vec<(u32, u32)>) -> Vec<(u32, u32)> {
+    let mut out: Vec<(u32, u32)> = Vec::with_capacity(runs.len());
+    for (s, l) in runs {
+        if let Some(last) = out.last_mut() {
+            if s <= last.0 + last.1 {
+                let end = (s + l).max(last.0 + last.1);
+                last.1 = end - last.0;
+                continue;
+            }
+        }
+        out.push((s, l));
+    }
+    out
+}
+
+/// A pattern spanning `[start, end]` with exactly `active` covered
+/// days, the rest removed as scattered small gaps (for exchange-point
+/// prefixes: present "most or all of the observation period").
+fn spread_pattern(start: u32, end: u32, active: u32, rng: &mut DetRng) -> ActivePattern {
+    let span = end - start + 1;
+    let active = active.min(span);
+    let gaps = span - active;
+    if gaps == 0 {
+        return ActivePattern::contiguous(start, span);
+    }
+    // Choose gap day positions (not at the very ends), then compress
+    // the complement into runs.
+    let mut gap_days: HashSet<u32> = HashSet::new();
+    let mut guard = 0;
+    while (gap_days.len() as u32) < gaps && guard < 20_000 {
+        guard += 1;
+        let g = start + 1 + rng.below((span - 2).max(1) as u64) as u32;
+        gap_days.insert(g);
+    }
+    let mut runs: Vec<(u32, u32)> = Vec::new();
+    let mut run_start: Option<u32> = None;
+    for idx in start..=end {
+        if gap_days.contains(&idx) {
+            if let Some(s) = run_start.take() {
+                runs.push((s, idx - s));
+            }
+        } else if run_start.is_none() {
+            run_start = Some(idx);
+        }
+    }
+    if let Some(s) = run_start {
+        runs.push((s, end - s + 1));
+    }
+    ActivePattern::from_runs(runs)
+}
+
+/// Cause mixture per cohort: (cause, weight) rows.
+fn cause_mix(cohort: &str) -> &'static [(Cause, f64)] {
+    match cohort {
+        "short" => &[
+            (Cause::Misconfig, 0.55),
+            (Cause::ProviderTransition, 0.35),
+            (Cause::FaultyAggregation, 0.10),
+        ],
+        "medium" => &[
+            (Cause::StaticMultihome, 0.30),
+            (Cause::ProviderTransition, 0.25),
+            (Cause::TrafficEngineering, 0.25),
+            (Cause::Misconfig, 0.15),
+            (Cause::PrivateAsMultihome, 0.05),
+        ],
+        "long" => &[
+            (Cause::StaticMultihome, 0.40),
+            (Cause::TrafficEngineering, 0.28),
+            (Cause::PrivateAsMultihome, 0.17),
+            (Cause::ProviderTransition, 0.10),
+            (Cause::Misconfig, 0.05),
+        ],
+        "verylong" => &[
+            (Cause::StaticMultihome, 0.45),
+            (Cause::TrafficEngineering, 0.25),
+            (Cause::PrivateAsMultihome, 0.20),
+            (Cause::ProviderTransition, 0.08),
+            (Cause::Misconfig, 0.02),
+        ],
+        "persistent" => &[
+            (Cause::StaticMultihome, 0.50),
+            (Cause::TrafficEngineering, 0.25),
+            (Cause::PrivateAsMultihome, 0.25),
+        ],
+        _ => &[(Cause::Misconfig, 1.0)],
+    }
+}
+
+fn draw_cause(cohort: &str, rng: &mut DetRng) -> Cause {
+    let mix = cause_mix(cohort);
+    let weights: Vec<f64> = mix.iter().map(|(_, w)| *w).collect();
+    mix[rng.choose_weighted(&weights).unwrap_or(0)].0
+}
+
+fn draw_shape(cause: Cause, rng: &mut DetRng) -> Shape {
+    match cause {
+        Cause::TrafficEngineering => {
+            // SplitView-heavy: OrigTranAS also arises *organically*
+            // from static multi-homing (a provider originating its
+            // customer's prefix sits on the customer's own path, which
+            // the classifier correctly reads as origin+transit), so
+            // the explicit OrigTran share stays small.
+            if rng.chance(0.85) {
+                Shape::SplitView
+            } else {
+                Shape::OrigTran
+            }
+        }
+        Cause::StaticMultihome => {
+            if rng.chance(0.15) {
+                Shape::OrigTran
+            } else {
+                Shape::Distinct
+            }
+        }
+        _ => Shape::Distinct,
+    }
+}
+
+/// Picks a random AS alive at `day`, tier-weighted (edge-heavy),
+/// excluding `not`.
+fn random_alive_as(
+    topo: &Topology,
+    day: DayIndex,
+    not: &[Asn],
+    rng: &mut DetRng,
+) -> Option<Asn> {
+    for _ in 0..50 {
+        let tier = match rng.choose_weighted(&[0.05, 0.25, 0.70]).unwrap_or(2) {
+            0 => Tier::Core,
+            1 => Tier::Transit,
+            _ => Tier::Edge,
+        };
+        let alive = topo.alive_asns(day, Some(tier));
+        if let Some(a) = rng.choose(&alive) {
+            if !not.contains(a) {
+                return Some(*a);
+            }
+        }
+    }
+    None
+}
+
+/// Picks a transit-or-core AS alive at `day`, excluding `not`.
+fn random_transit(topo: &Topology, day: DayIndex, not: &[Asn], rng: &mut DetRng) -> Option<Asn> {
+    for _ in 0..50 {
+        let tier = if rng.chance(0.8) {
+            Tier::Transit
+        } else {
+            Tier::Core
+        };
+        let alive = topo.alive_asns(day, Some(tier));
+        if let Some(a) = rng.choose(&alive) {
+            if !not.contains(a) {
+                return Some(*a);
+            }
+        }
+    }
+    None
+}
+
+/// Origin set for a conflict, per cause semantics (§VI).
+fn draw_origins(
+    cause: Cause,
+    shape: Shape,
+    owner: Asn,
+    day: DayIndex,
+    topo: &Topology,
+    rng: &mut DetRng,
+) -> Vec<Asn> {
+    let provider_of_owner = |rng: &mut DetRng| -> Option<Asn> {
+        let provs = topo.neighbors_with(owner, moas_bgp::policy::Rel::Provider);
+        rng.choose(&provs).copied()
+    };
+    match cause {
+        Cause::StaticMultihome | Cause::TrafficEngineering => {
+            // SplitView needs a second origin *off* the owner's own
+            // provider chain (a provider origin sits on the owner's
+            // path, which the classifier reads as OrigTranAS); the
+            // other shapes use a provider of the owner.
+            if shape == Shape::SplitView {
+                let providers = topo.neighbors_with(owner, moas_bgp::policy::Rel::Provider);
+                let mut exclude: Vec<Asn> = vec![owner];
+                exclude.extend(providers);
+                let q = random_transit(topo, day, &exclude, rng).unwrap_or(Asn::new(1));
+                return vec![owner, q];
+            }
+            let p = provider_of_owner(rng)
+                .or_else(|| random_transit(topo, day, &[owner], rng))
+                .unwrap_or(owner);
+            if p == owner {
+                // Core owner with no provider: fall back to a transit.
+                let q = random_transit(topo, day, &[owner], rng).unwrap_or(Asn::new(1));
+                return match shape {
+                    Shape::OrigTran => vec![q, owner],
+                    _ => vec![owner, q],
+                };
+            }
+            match shape {
+                Shape::OrigTran => vec![p, owner],
+                _ => vec![owner, p],
+            }
+        }
+        Cause::PrivateAsMultihome | Cause::ProviderTransition => {
+            // Two providers originate; the customer is invisible.
+            let a = random_transit(topo, day, &[owner], rng).unwrap_or(Asn::new(2));
+            let b = random_transit(topo, day, &[owner, a], rng).unwrap_or(Asn::new(3));
+            vec![a, b]
+        }
+        Cause::Misconfig | Cause::FaultyAggregation => {
+            let faulty = random_alive_as(topo, day, &[owner], rng).unwrap_or(Asn::new(4));
+            vec![owner, faulty]
+        }
+        Cause::ExchangePoint => {
+            let n = 2 + rng.below(3) as usize;
+            let mut parts: Vec<Asn> = Vec::new();
+            let mut guard = 0;
+            while parts.len() < n && guard < 60 {
+                guard += 1;
+                if let Some(a) = random_transit(topo, day, &parts, rng) {
+                    parts.push(a);
+                }
+            }
+            if parts.len() < 2 {
+                parts = vec![Asn::new(5), Asn::new(6)];
+            }
+            parts
+        }
+        Cause::MassFault1998 => vec![owner, well_known::FAULT_1998],
+        Cause::MassFault2001 => vec![owner, well_known::FAULT_2001],
+    }
+}
+
+/// Carves a covering aggregate (two bits shorter) for a faulty-
+/// aggregation conflict, unless that exact prefix is already announced
+/// by someone. The aggregate is reserved in `used` so no later conflict
+/// lands on it.
+fn carve_aggregate(
+    specific: Ipv4Prefix,
+    used: &mut HashSet<Ipv4Prefix>,
+) -> Option<Ipv4Prefix> {
+    if specific.len() < 10 {
+        return None;
+    }
+    let covering = Ipv4Prefix::from_bits(specific.bits(), specific.len() - 2);
+    if used.insert(covering) {
+        Some(covering)
+    } else {
+        None
+    }
+}
+
+/// Generates the full conflict schedule.
+pub fn generate(
+    params: &SimParams,
+    window: &StudyWindow,
+    topo: &Topology,
+    plan: &PrefixPlan,
+) -> Schedule {
+    let root = DetRng::new(params.seed).substream("schedule");
+    let cal = &params.calibration;
+    let mut used: HashSet<Ipv4Prefix> = HashSet::new();
+    let mut conflicts: Vec<Conflict> = Vec::new();
+    let mut sampler = StartSampler::new(params, window);
+    let core_last = (window.core_len() - 1) as u32;
+    let total_last = (window.total_len() - 1) as u32;
+
+    let push = |c: Conflict, conflicts: &mut Vec<Conflict>| {
+        conflicts.push(c);
+    };
+
+    // ---- censored cohort conflicts (fixed placement: end at cutoff) --
+    // Placed before the greedy pass so it can compensate around them.
+    for cohort in &cal.cohorts {
+        let mut rng = root.substream(cohort.name);
+        let censored_count = (cohort.count as f64 * cohort.censored_frac).round() as usize;
+        for i in 0..censored_count {
+            let mut r = rng.substream_idx("c", i as u64);
+            let k = draw_duration(cohort, &mut r);
+            // Ends at the cutoff and continues through the extension:
+            // observed-in-core = k.
+            let start = core_last + 1 - k.min(core_last + 1);
+            let len = total_last - start + 1;
+            let pattern = ActivePattern::contiguous(start, len);
+            let day = window.day_at(start as usize);
+            let Some((prefix, owner)) = sample_unused_prefix(plan, day, &mut used, &mut rng)
+            else {
+                continue;
+            };
+            let cause = draw_cause(cohort.name, &mut r);
+            let shape = draw_shape(cause, &mut r);
+            let origins = draw_origins(cause, shape, owner, day, topo, &mut r);
+            sampler.commit(&pattern);
+            push(
+                Conflict {
+                    id: 0,
+                    prefix,
+                    owner,
+                    origins,
+                    cause,
+                    shape,
+                    active: pattern,
+                    aggregate: None,
+                },
+                &mut conflicts,
+            );
+        }
+    }
+
+    // ---- exchange points (fixed: span nearly the whole window) -------
+    {
+        let rng = root.substream("exchange-points");
+        let mut xp_alloc = PrefixAllocator::new();
+        for i in 0..cal.exchange_points {
+            let mut r = rng.substream_idx("xp", i as u64);
+            let Some(prefix) = xp_alloc.alloc_exchange_point() else {
+                break;
+            };
+            used.insert(prefix);
+            // One pinned at the paper's maximum (1246 observed days);
+            // the rest cover most of the window.
+            let active_core = if i == 0 {
+                cal.longest_days
+            } else {
+                1_050 + r.below(190) as u32
+            };
+            let active_core = active_core.min(core_last + 1);
+            let start = r.below(3) as u32;
+            // Spread active_core days over the core span, then run
+            // through the extension (ongoing).
+            let mut pat = spread_pattern(start, core_last, active_core, &mut r);
+            // Extend the final run through the extension days.
+            let mut runs = pat.runs().to_vec();
+            if let Some(last) = runs.last_mut() {
+                if last.0 + last.1 - 1 == core_last {
+                    last.1 += total_last - core_last;
+                }
+            }
+            pat = ActivePattern::from_runs(runs);
+            let day = window.day_at(start as usize);
+            let origins = draw_origins(
+                Cause::ExchangePoint,
+                Shape::Distinct,
+                Asn::new(0),
+                day,
+                topo,
+                &mut r,
+            );
+            let owner = origins[0];
+            sampler.commit(&pat);
+            push(
+                Conflict {
+                    id: 0,
+                    prefix,
+                    owner,
+                    origins,
+                    cause: Cause::ExchangePoint,
+                    shape: Shape::Distinct,
+                    active: pat,
+                    aggregate: None,
+                },
+                &mut conflicts,
+            );
+        }
+    }
+
+    // ---- non-censored cohort conflicts + one-timers: deficit-greedy --
+    // Draw durations first, then place longest-first so long conflicts
+    // find room and short ones fill the remaining dips.
+    struct Pending {
+        cohort: &'static str,
+        index: usize,
+        k: u32,
+        intermittent_frac: f64,
+    }
+    let mut pending: Vec<Pending> = Vec::new();
+    for cohort in &cal.cohorts {
+        let rng = root.substream(cohort.name);
+        let censored_count = (cohort.count as f64 * cohort.censored_frac).round() as usize;
+        for i in censored_count..cohort.count {
+            let mut r = rng.substream_idx("c", i as u64);
+            let k = draw_duration(cohort, &mut r);
+            pending.push(Pending {
+                cohort: cohort.name,
+                index: i,
+                k,
+                intermittent_frac: cohort.intermittent_frac,
+            });
+        }
+    }
+    for i in 0..cal.one_timers {
+        pending.push(Pending {
+            cohort: "one-timers",
+            index: i,
+            k: 1,
+            intermittent_frac: 0.0,
+        });
+    }
+    // Longest first; deterministic tie-break by (cohort, index).
+    pending.sort_by(|a, b| {
+        b.k.cmp(&a.k)
+            .then_with(|| a.cohort.cmp(b.cohort))
+            .then_with(|| a.index.cmp(&b.index))
+    });
+
+    for p in &pending {
+        let cohort_rng = root.substream(p.cohort);
+        let mut r = cohort_rng.substream_idx("place", p.index as u64);
+        let mut prefix_rng = cohort_rng.substream_idx("prefix", p.index as u64);
+        let max_start = core_last.saturating_sub(p.k);
+        let start = sampler.place(max_start as usize, p.k, &mut r);
+        let pattern = if p.cohort != "one-timers" && r.chance(p.intermittent_frac) {
+            let stretch = 1.2 + r.f64() * 0.8;
+            intermittent_pattern(start, p.k, stretch, core_last, &mut r)
+        } else {
+            ActivePattern::contiguous(start, p.k)
+        };
+        let day = window.day_at(start as usize);
+        let Some((prefix, owner)) = sample_unused_prefix(plan, day, &mut used, &mut prefix_rng)
+        else {
+            continue;
+        };
+        let cause = if p.cohort == "one-timers" {
+            if r.chance(0.8) {
+                Cause::Misconfig
+            } else {
+                Cause::FaultyAggregation
+            }
+        } else {
+            draw_cause(p.cohort, &mut r)
+        };
+        let shape = draw_shape(cause, &mut r);
+        let origins = draw_origins(cause, shape, owner, day, topo, &mut r);
+        // Faulty aggregation additionally announces a covering
+        // aggregate (a supernet two bits shorter), when one can be
+        // carved without colliding with an existing announcement.
+        let aggregate = if cause == Cause::FaultyAggregation {
+            carve_aggregate(prefix, &mut used)
+        } else {
+            None
+        };
+        sampler.commit(&pattern);
+        push(
+            Conflict {
+                id: 0,
+                prefix,
+                owner,
+                origins,
+                cause,
+                shape,
+                active: pattern,
+                aggregate,
+            },
+            &mut conflicts,
+        );
+    }
+
+    // ---- scripted incident: 1998-04-07, AS 8584 ----------------------
+    {
+        let mut rng = root.substream("incident-1998");
+        let day = incidents::fault_1998().day_index();
+        let idx = window
+            .snapshot_index(day)
+            .expect("1998-04-07 is a protected snapshot day") as u32;
+        for i in 0..cal.incident_1998_count {
+            let mut r = rng.substream_idx("i98", i as u64);
+            let Some((prefix, owner)) = sample_unused_prefix(plan, day, &mut used, &mut rng)
+            else {
+                continue;
+            };
+            let origins = draw_origins(
+                Cause::MassFault1998,
+                Shape::Distinct,
+                owner,
+                day,
+                topo,
+                &mut r,
+            );
+            push(
+                Conflict {
+                    id: 0,
+                    prefix,
+                    owner,
+                    origins,
+                    cause: Cause::MassFault1998,
+                    shape: Shape::Distinct,
+                    active: ActivePattern::contiguous(idx, 1),
+                    aggregate: None,
+                },
+                &mut conflicts,
+            );
+        }
+    }
+
+    // ---- scripted incident: 2001-04-06..10, AS 15412 via AS 3561 -----
+    {
+        let mut rng = root.substream("incident-2001");
+        let day = incidents::fault_2001_start().day_index();
+        let idx = window
+            .snapshot_index(day)
+            .expect("2001-04-06 is a protected snapshot day") as u32;
+        let profile = cal.incident_2001_profile;
+        for i in 0..profile[0] {
+            let mut r = rng.substream_idx("i01", i as u64);
+            // Nested withdrawal: prefix i stays for as many days as
+            // there are profile entries exceeding i.
+            let k = profile.iter().filter(|&&p| p > i).count() as u32;
+            let Some((prefix, owner)) = sample_unused_prefix(plan, day, &mut used, &mut rng)
+            else {
+                continue;
+            };
+            let origins = draw_origins(
+                Cause::MassFault2001,
+                Shape::Distinct,
+                owner,
+                day,
+                topo,
+                &mut r,
+            );
+            push(
+                Conflict {
+                    id: 0,
+                    prefix,
+                    owner,
+                    origins,
+                    cause: Cause::MassFault2001,
+                    shape: Shape::Distinct,
+                    active: ActivePattern::contiguous(idx, k.max(1)),
+                    aggregate: None,
+                },
+                &mut conflicts,
+            );
+        }
+    }
+
+    // Assign stable ids.
+    for (i, c) in conflicts.iter_mut().enumerate() {
+        c.id = i as u32;
+    }
+
+    // ---- AS-set routes (excluded from MOAS analysis) ------------------
+    let mut as_set_routes = Vec::new();
+    {
+        let mut rng = root.substream("as-sets");
+        let day = window.day_at(0);
+        for _ in 0..cal.as_set_routes {
+            let Some((prefix, owner)) = sample_unused_prefix(plan, day, &mut used, &mut rng)
+            else {
+                break;
+            };
+            let other = random_alive_as(topo, day, &[owner], &mut rng).unwrap_or(Asn::new(9));
+            let via = random_transit(topo, day, &[owner, other], &mut rng)
+                .unwrap_or(Asn::new(10));
+            let mut set = vec![owner, other];
+            set.sort_unstable();
+            set.dedup();
+            as_set_routes.push(AsSetRoute { prefix, set, via });
+        }
+    }
+
+    Schedule {
+        conflicts,
+        as_set_routes,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use moas_topology::graph::GrowthParams;
+    use moas_topology::prefixes::PlanParams;
+
+    fn small_schedule() -> (SimParams, StudyWindow, Schedule) {
+        let params = SimParams::test(0.01);
+        let window = params.window();
+        let rng = DetRng::new(params.seed);
+        let topo = Topology::grow(GrowthParams::tiny(), &rng);
+        let plan = PrefixPlan::generate(&topo, &PlanParams::default(), &rng);
+        let schedule = generate(&params, &window, &topo, &plan);
+        (params, window, schedule)
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let (_, _, a) = small_schedule();
+        let (_, _, b) = small_schedule();
+        assert_eq!(a.conflicts.len(), b.conflicts.len());
+        for (x, y) in a.conflicts.iter().zip(&b.conflicts) {
+            assert_eq!(x.prefix, y.prefix);
+            assert_eq!(x.active, y.active);
+            assert_eq!(x.origins, y.origins);
+        }
+        assert_eq!(a.as_set_routes, b.as_set_routes);
+    }
+
+    #[test]
+    fn conflict_count_tracks_calibration() {
+        let (params, _, s) = small_schedule();
+        let target = params.calibration.grand_total();
+        let got = s.conflicts.len();
+        // Prefix exhaustion may drop a few in a tiny world.
+        assert!(
+            got as f64 > target as f64 * 0.9,
+            "generated {got} of {target}"
+        );
+    }
+
+    #[test]
+    fn prefixes_are_unique_across_conflicts() {
+        let (_, _, s) = small_schedule();
+        let mut seen = HashSet::new();
+        for c in &s.conflicts {
+            assert!(seen.insert(c.prefix), "duplicate {}", c.prefix);
+        }
+        for r in &s.as_set_routes {
+            assert!(seen.insert(r.prefix), "AS-set overlaps conflict");
+        }
+    }
+
+    #[test]
+    fn origins_are_distinct_and_at_least_two() {
+        let (_, _, s) = small_schedule();
+        for c in &s.conflicts {
+            assert!(c.origins.len() >= 2, "conflict {} has {:?}", c.id, c.origins);
+            let mut d = c.origins.clone();
+            d.sort_unstable();
+            d.dedup();
+            assert_eq!(d.len(), c.origins.len(), "dup origins in {}", c.id);
+        }
+    }
+
+    #[test]
+    fn patterns_stay_in_window() {
+        let (_, window, s) = small_schedule();
+        let total_last = (window.total_len() - 1) as u32;
+        for c in &s.conflicts {
+            assert!(c.active.last() <= total_last, "conflict {} overruns", c.id);
+        }
+    }
+
+    #[test]
+    fn incident_days_spike() {
+        let (params, window, s) = small_schedule();
+        let idx98 = window
+            .snapshot_index(incidents::fault_1998().day_index())
+            .unwrap() as u32;
+        let active98 = s
+            .conflicts
+            .iter()
+            .filter(|c| c.active.is_active(idx98))
+            .count();
+        let cal = &params.calibration;
+        assert!(
+            active98 >= cal.incident_1998_count,
+            "active on 1998-04-07: {active98} < {}",
+            cal.incident_1998_count
+        );
+        // The incident conflicts are one-day only.
+        for c in &s.conflicts {
+            if c.cause == Cause::MassFault1998 {
+                assert_eq!(c.active.total_days(), 1);
+                assert!(c.origins.contains(&well_known::FAULT_1998));
+            }
+        }
+    }
+
+    #[test]
+    fn incident_2001_is_nested() {
+        let (_, window, s) = small_schedule();
+        let start = window
+            .snapshot_index(incidents::fault_2001_start().day_index())
+            .unwrap() as u32;
+        let fault_conflicts: Vec<&Conflict> = s
+            .conflicts
+            .iter()
+            .filter(|c| c.cause == Cause::MassFault2001)
+            .collect();
+        assert!(!fault_conflicts.is_empty());
+        for c in &fault_conflicts {
+            assert_eq!(c.active.first(), start, "all start on Apr 6");
+            assert!(c.active.total_days() <= 5);
+            assert!(c.origins.contains(&well_known::FAULT_2001));
+        }
+        // Day counts are non-increasing over the 5 offsets.
+        let day_count = |off: u32| {
+            fault_conflicts
+                .iter()
+                .filter(|c| c.active.is_active(start + off))
+                .count()
+        };
+        for off in 1..5 {
+            assert!(day_count(off) <= day_count(off - 1));
+        }
+    }
+
+    #[test]
+    fn exchange_points_are_long_lived_and_ongoing() {
+        let (params, window, s) = small_schedule();
+        let xps: Vec<&Conflict> = s
+            .conflicts
+            .iter()
+            .filter(|c| c.cause == Cause::ExchangePoint)
+            .collect();
+        assert_eq!(xps.len(), params.calibration.exchange_points);
+        for c in &xps {
+            let dur = c.observed_duration(window.core_len());
+            assert!(
+                dur as usize > window.core_len() * 3 / 4,
+                "XP {} lasted only {dur}",
+                c.prefix
+            );
+            assert!(c.ongoing_at(window.core_len()));
+        }
+        // The pinned longest duration exists.
+        let max_dur = xps
+            .iter()
+            .map(|c| c.observed_duration(window.core_len()))
+            .max()
+            .unwrap();
+        assert_eq!(max_dur, params.calibration.longest_days);
+    }
+
+    #[test]
+    fn censored_conflicts_are_ongoing() {
+        let (_, window, s) = small_schedule();
+        let ongoing = s
+            .conflicts
+            .iter()
+            .filter(|c| c.ongoing_at(window.core_len()))
+            .count();
+        assert!(ongoing > 0, "no ongoing conflicts generated");
+    }
+
+    #[test]
+    fn shapes_follow_causes() {
+        let (_, _, s) = small_schedule();
+        for c in &s.conflicts {
+            match c.cause {
+                Cause::Misconfig | Cause::MassFault1998 | Cause::MassFault2001 => {
+                    assert_eq!(c.shape, Shape::Distinct)
+                }
+                Cause::TrafficEngineering => {
+                    assert_ne!(c.shape, Shape::Distinct)
+                }
+                _ => {}
+            }
+        }
+        // Some split-view and orig-tran conflicts must exist.
+        assert!(s.conflicts.iter().any(|c| c.shape == Shape::SplitView));
+        assert!(s.conflicts.iter().any(|c| c.shape == Shape::OrigTran));
+    }
+
+    #[test]
+    fn as_set_routes_generated() {
+        let (params, _, s) = small_schedule();
+        assert_eq!(
+            s.as_set_routes.len(),
+            params.calibration.as_set_routes
+        );
+        for r in &s.as_set_routes {
+            assert!(r.set.len() >= 2);
+        }
+    }
+
+    #[test]
+    fn duration_draw_respects_bounds_and_mean() {
+        let c = Cohort {
+            name: "t",
+            count: 0,
+            min_days: 10,
+            max_days: 29,
+            mean_days: 19.0,
+            censored_frac: 0.0,
+            intermittent_frac: 0.0,
+        };
+        let mut rng = DetRng::new(3);
+        let n = 20_000;
+        let mut sum = 0u64;
+        for _ in 0..n {
+            let k = draw_duration(&c, &mut rng);
+            assert!((10..=29).contains(&k));
+            sum += k as u64;
+        }
+        let mean = sum as f64 / n as f64;
+        assert!((mean - 19.0).abs() < 1.0, "mean {mean}");
+    }
+
+    #[test]
+    fn spread_pattern_has_exact_active_days() {
+        let mut rng = DetRng::new(5);
+        let p = spread_pattern(0, 99, 80, &mut rng);
+        assert_eq!(p.total_days(), 80);
+        assert_eq!(p.first(), 0);
+        assert_eq!(p.last(), 99);
+        let q = spread_pattern(10, 19, 10, &mut rng);
+        assert_eq!(q.total_days(), 10);
+        assert_eq!(q.runs().len(), 1);
+    }
+
+    #[test]
+    fn intermittent_pattern_preserves_days() {
+        let mut rng = DetRng::new(8);
+        for _ in 0..100 {
+            let days = 5 + rng.below(50) as u32;
+            let p = intermittent_pattern(100, days, 1.5, 2_000, &mut rng);
+            assert_eq!(p.total_days(), days);
+            assert_eq!(p.first(), 100);
+        }
+    }
+}

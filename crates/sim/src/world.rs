@@ -1,0 +1,225 @@
+//! The assembled world: topology + prefix plan + conflict schedule.
+
+use crate::calibrate::SimParams;
+use crate::conflict::Conflict;
+use crate::schedule::{self, AsSetRoute, Schedule};
+use crate::window::StudyWindow;
+use moas_net::rng::DetRng;
+use moas_net::DayIndex;
+use moas_topology::prefixes::PrefixPlan;
+use moas_topology::Topology;
+
+/// A fully generated world, ready for collection and analysis.
+#[derive(Debug, Clone)]
+pub struct World {
+    /// Parameters used.
+    pub params: SimParams,
+    /// The study window.
+    pub window: StudyWindow,
+    /// The AS-level topology.
+    pub topo: Topology,
+    /// Legitimate prefix originations.
+    pub plan: PrefixPlan,
+    /// All conflict instances.
+    pub conflicts: Vec<Conflict>,
+    /// Routes ending in AS sets (excluded from MOAS analysis).
+    pub as_set_routes: Vec<AsSetRoute>,
+    /// Per-snapshot-day active conflict ids (index = snapshot position).
+    active_by_day: Vec<Vec<u32>>,
+}
+
+impl World {
+    /// Generates the world for the given parameters. Deterministic:
+    /// the same parameters always produce the same world.
+    pub fn generate(params: SimParams) -> World {
+        let rng = DetRng::new(params.seed);
+        let window = params.window();
+        let topo = Topology::grow(params.growth.clone(), &rng);
+        let plan = PrefixPlan::generate(&topo, &params.plan, &rng);
+        let Schedule {
+            conflicts,
+            as_set_routes,
+        } = schedule::generate(&params, &window, &topo, &plan);
+
+        let mut active_by_day: Vec<Vec<u32>> = vec![Vec::new(); window.total_len()];
+        for c in &conflicts {
+            for idx in c.active.iter_days() {
+                if (idx as usize) < active_by_day.len() {
+                    active_by_day[idx as usize].push(c.id);
+                }
+            }
+        }
+
+        World {
+            params,
+            window,
+            topo,
+            plan,
+            conflicts,
+            as_set_routes,
+            active_by_day,
+        }
+    }
+
+    /// The conflict ids active at snapshot position `idx`.
+    pub fn active_at(&self, idx: usize) -> &[u32] {
+        &self.active_by_day[idx]
+    }
+
+    /// The number of active conflicts at snapshot position `idx` —
+    /// ground truth for Figure 1 (the analyzer must rediscover it from
+    /// the tables).
+    pub fn active_count(&self, idx: usize) -> usize {
+        self.active_by_day[idx].len()
+    }
+
+    /// A conflict by id.
+    pub fn conflict(&self, id: u32) -> &Conflict {
+        &self.conflicts[id as usize]
+    }
+
+    /// Ground-truth count of conflicts ongoing at the paper cutoff.
+    pub fn ongoing_at_cutoff(&self) -> usize {
+        let core = self.window.core_len();
+        self.conflicts.iter().filter(|c| c.ongoing_at(core)).count()
+    }
+
+    /// Ground-truth observed durations (snapshot days within the core
+    /// window) for every conflict with at least one core-window day.
+    pub fn observed_durations(&self) -> Vec<u32> {
+        let core = self.window.core_len();
+        self.conflicts
+            .iter()
+            .map(|c| c.observed_duration(core))
+            .filter(|&d| d > 0)
+            .collect()
+    }
+
+    /// Number of legitimate (non-conflicted) prefixes alive at `day`.
+    pub fn background_alive(&self, day: DayIndex) -> usize {
+        self.plan.alive_count(day)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::conflict::Cause;
+    use crate::window::incidents;
+
+    fn world() -> World {
+        World::generate(SimParams::test(0.01))
+    }
+
+    #[test]
+    fn world_is_deterministic() {
+        let a = world();
+        let b = world();
+        assert_eq!(a.conflicts.len(), b.conflicts.len());
+        for idx in [0usize, 100, 500, 1278] {
+            assert_eq!(a.active_at(idx), b.active_at(idx));
+        }
+    }
+
+    #[test]
+    fn active_index_matches_patterns() {
+        let w = world();
+        for idx in (0..w.window.total_len()).step_by(97) {
+            for &id in w.active_at(idx) {
+                assert!(w.conflict(id).active.is_active(idx as u32));
+            }
+            let expect = w
+                .conflicts
+                .iter()
+                .filter(|c| c.active.is_active(idx as u32))
+                .count();
+            assert_eq!(w.active_count(idx), expect, "day {idx}");
+        }
+    }
+
+    #[test]
+    fn daily_actives_track_baseline() {
+        let w = world();
+        // Compare mid-window activity against the scaled baseline,
+        // away from incident days.
+        let check_day = |date: moas_net::Date| {
+            let idx = w.window.snapshot_index(date.day_index()).unwrap();
+            let got = w.active_count(idx) as f64;
+            let want = w.params.calibration.baseline(date.day_index());
+            assert!(
+                (got - want).abs() < want.max(4.0) * 0.8 + 6.0,
+                "{date}: got {got}, baseline {want}"
+            );
+        };
+        check_day(moas_net::Date::ymd(1999, 3, 1));
+        check_day(moas_net::Date::ymd(2000, 9, 15));
+    }
+
+    #[test]
+    fn incident_day_is_the_peak() {
+        let w = world();
+        let idx98 = w
+            .window
+            .snapshot_index(incidents::fault_1998().day_index())
+            .unwrap();
+        let count98 = w.active_count(idx98);
+        // The 1998 spike dwarfs every surrounding day.
+        for off in [-3i64, -2, -1, 1, 2, 3] {
+            let other = (idx98 as i64 + off) as usize;
+            assert!(
+                count98 > w.active_count(other) * 3,
+                "spike not dominant: {count98} vs day {other}: {}",
+                w.active_count(other)
+            );
+        }
+    }
+
+    #[test]
+    fn ongoing_count_positive_and_bounded() {
+        let w = world();
+        let ongoing = w.ongoing_at_cutoff();
+        let target = 1_326.0 * w.params.scale;
+        assert!(
+            (ongoing as f64) > target * 0.4 && (ongoing as f64) < target * 2.5,
+            "ongoing {ongoing} vs scaled target {target}"
+        );
+    }
+
+    #[test]
+    fn durations_have_heavy_tail() {
+        let w = world();
+        let durations = w.observed_durations();
+        let one_timers = durations.iter().filter(|&&d| d == 1).count();
+        let long = durations.iter().filter(|&&d| d > 300).count();
+        assert!(one_timers > durations.len() / 5, "one-timers missing");
+        assert!(long > 0, "no long tail");
+        let max = *durations.iter().max().unwrap();
+        assert_eq!(max, w.params.calibration.longest_days);
+    }
+
+    #[test]
+    fn background_table_grows() {
+        let w = world();
+        let start = w.window.start().day_index();
+        let end = w.window.end().day_index();
+        assert!(w.background_alive(end) > w.background_alive(start));
+    }
+
+    #[test]
+    fn cause_taxonomy_is_populated() {
+        let w = world();
+        let causes: std::collections::HashSet<Cause> =
+            w.conflicts.iter().map(|c| c.cause).collect();
+        for expect in [
+            Cause::Misconfig,
+            Cause::ProviderTransition,
+            Cause::StaticMultihome,
+            Cause::TrafficEngineering,
+            Cause::ExchangePoint,
+            Cause::MassFault1998,
+            Cause::MassFault2001,
+        ] {
+            assert!(causes.contains(&expect), "missing cause {expect}");
+        }
+    }
+}

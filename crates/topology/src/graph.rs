@@ -1,0 +1,614 @@
+//! The AS graph: nodes, relationships, preferential-attachment growth.
+
+use moas_bgp::policy::Rel;
+use moas_net::rng::DetRng;
+use moas_net::{Asn, Date, DayIndex};
+use std::collections::HashMap;
+
+/// Role of an AS in the hierarchy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Tier {
+    /// Default-free core (tier 1): mutually peered, no providers.
+    Core,
+    /// Transit provider: has providers and customers.
+    Transit,
+    /// Edge/stub AS: customers only of others.
+    Edge,
+}
+
+/// One autonomous system.
+#[derive(Debug, Clone)]
+pub struct AsNode {
+    /// The AS number.
+    pub asn: Asn,
+    /// Hierarchy role.
+    pub tier: Tier,
+    /// The day the AS first appears in the routing system.
+    pub born: DayIndex,
+}
+
+/// Parameters of the growth model.
+#[derive(Debug, Clone)]
+pub struct GrowthParams {
+    /// Number of tier-1 core ASes (fully meshed peers).
+    pub core_count: usize,
+    /// Number of transit ASes at the end of the window.
+    pub transit_count: usize,
+    /// Number of edge ASes at the end of the window.
+    pub edge_count: usize,
+    /// First day of the world (ASes born before are "old").
+    pub start: Date,
+    /// Last day of the world.
+    pub end: Date,
+    /// Fraction of ASes already present at `start`.
+    pub initial_fraction: f64,
+    /// Probability that a transit AS gets a peer link to another
+    /// transit AS (per node).
+    pub transit_peering_prob: f64,
+    /// Maximum providers for a multi-homed AS.
+    pub max_providers: usize,
+    /// Probability an edge AS is multi-homed (≥2 providers).
+    pub edge_multihome_prob: f64,
+}
+
+impl Default for GrowthParams {
+    fn default() -> Self {
+        GrowthParams {
+            core_count: 12,
+            transit_count: 1_400,
+            edge_count: 10_100,
+            start: Date::ymd(1997, 11, 8),
+            end: Date::ymd(2001, 8, 15),
+            initial_fraction: 0.27,
+            transit_peering_prob: 0.35,
+            max_providers: 3,
+            edge_multihome_prob: 0.30,
+        }
+    }
+}
+
+impl GrowthParams {
+    /// A miniature world for unit tests and examples (~200 ASes).
+    pub fn tiny() -> Self {
+        GrowthParams {
+            core_count: 5,
+            transit_count: 40,
+            edge_count: 160,
+            ..GrowthParams::default()
+        }
+    }
+
+    /// A world shrunk by `scale` but keeping enough structure for the
+    /// analyses to behave: the core (and hence the region diversity
+    /// the visibility model rests on) never drops below 10 ASes, and
+    /// the transit/edge layers never shrink past the tiny world.
+    pub fn scaled(scale: f64) -> Self {
+        let d = GrowthParams::default();
+        GrowthParams {
+            core_count: d.core_count.min(10.max((d.core_count as f64 * scale) as usize)),
+            transit_count: ((d.transit_count as f64 * scale) as usize).max(40),
+            edge_count: ((d.edge_count as f64 * scale) as usize).max(160),
+            ..d
+        }
+    }
+}
+
+/// Well-known ASNs given fixed roles so the scripted incidents read
+/// like the paper (§VI-E): AS 8584 (1998-04-07 fault), AS 3561 /
+/// AS 15412 (2001-04 fault), AS 7007 (1997 incident), and a few large
+/// providers for flavor. The collector AS is 6447 (route-views).
+pub mod well_known {
+    use moas_net::Asn;
+
+    /// Route Views collector AS.
+    pub const COLLECTOR: Asn = Asn(6447);
+    /// Large core providers of the era.
+    pub const CORE: [u32; 12] = [
+        701, 1239, 3561, 209, 3356, 7018, 2914, 174, 1299, 6453, 3549, 6461,
+    ];
+    /// AS that falsely originated ~11k prefixes on 1998-04-07.
+    pub const FAULT_1998: Asn = Asn(8584);
+    /// AS that falsely originated thousands of prefixes in April 2001.
+    pub const FAULT_2001: Asn = Asn(15412);
+    /// The transit AS through which the 2001 leak propagated.
+    pub const FAULT_2001_TRANSIT: Asn = Asn(3561);
+    /// The 1997 "AS 7007 incident" AS (prior art in §VI-E).
+    pub const FAULT_1997: Asn = Asn(7007);
+}
+
+/// The AS-level topology.
+#[derive(Debug, Clone)]
+pub struct Topology {
+    nodes: Vec<AsNode>,
+    index: HashMap<Asn, usize>,
+    /// Adjacency: for node `i`, `(neighbor index, relationship of the
+    /// neighbor from i's perspective)`.
+    adj: Vec<Vec<(u32, Rel)>>,
+    params: GrowthParams,
+}
+
+impl Topology {
+    /// Grows a topology deterministically from a seed.
+    pub fn grow(params: GrowthParams, rng: &DetRng) -> Topology {
+        let mut rng = rng.substream("topology");
+        let mut topo = Topology {
+            nodes: Vec::new(),
+            index: HashMap::new(),
+            adj: Vec::new(),
+            params: params.clone(),
+        };
+
+        let window_days = params.start.days_until(&params.end).max(1);
+        let total = params.core_count + params.transit_count + params.edge_count;
+        let initial = ((total as f64) * params.initial_fraction) as usize;
+
+        // ASN allocator: well-known ASNs get their reserved roles; the
+        // rest are sequential, skipping reserved values.
+        let mut reserved: Vec<u32> = well_known::CORE.to_vec();
+        reserved.extend([
+            well_known::COLLECTOR.value(),
+            well_known::FAULT_1998.value(),
+            well_known::FAULT_2001.value(),
+            well_known::FAULT_1997.value(),
+        ]);
+        let mut next_asn = 2u32;
+        let mut alloc_asn = move |fixed: Option<u32>| -> Asn {
+            if let Some(v) = fixed {
+                return Asn::new(v);
+            }
+            while reserved.contains(&next_asn) {
+                next_asn += 1;
+            }
+            let a = Asn::new(next_asn);
+            next_asn += 1;
+            a
+        };
+
+        // Birth day for the i-th node overall: the first `initial`
+        // nodes exist at start; the rest are spread over the window
+        // (uniform with jitter — Internet growth was roughly linear in
+        // AS count over 1998–2001).
+        let birth = |i: usize, rng: &mut DetRng| -> DayIndex {
+            if i < initial {
+                params.start.day_index() - rng.range_inclusive(0, 600) as i64
+            } else {
+                let frac = (i - initial) as f64 / (total - initial).max(1) as f64;
+                params.start.day_index() + (frac * window_days as f64) as i64
+            }
+        };
+
+        // --- Core: fully meshed peers, all present from the start.
+        for (k, &asn) in well_known::CORE
+            .iter()
+            .take(params.core_count)
+            .enumerate()
+        {
+            let _ = k;
+            topo.push_node(AsNode {
+                asn: alloc_asn(Some(asn)),
+                tier: Tier::Core,
+                born: params.start.day_index() - 1000,
+            });
+        }
+        for extra in well_known::CORE.len()..params.core_count {
+            let _ = extra;
+            topo.push_node(AsNode {
+                asn: alloc_asn(None),
+                tier: Tier::Core,
+                born: params.start.day_index() - 1000,
+            });
+        }
+        for a in 0..params.core_count {
+            for b in (a + 1)..params.core_count {
+                topo.link(a, b, Rel::Peer);
+            }
+        }
+
+        // --- Transit ASes: preferential attachment to core + existing
+        // transit; some transit-transit peering. Well-known fault ASes
+        // FAULT_2001 (15412) is an edge customer of 3561 per the
+        // incident write-up; FAULT_1998 / FAULT_1997 are edge too.
+        let mut order = 0usize;
+        for t in 0..params.transit_count {
+            let i = topo.nodes.len();
+            topo.push_node(AsNode {
+                asn: alloc_asn(None),
+                tier: Tier::Transit,
+                born: birth(params.core_count + order, &mut rng),
+            });
+            order += 1;
+            // 1–2 providers, preferentially high-degree, born earlier.
+            let prov_count = 1 + rng.below(2) as usize;
+            topo.attach_providers(i, prov_count, &mut rng);
+            // Optional peering with another transit.
+            if t > 4 && rng.chance(params.transit_peering_prob) {
+                let peer = topo.pick_existing(Tier::Transit, i, &mut rng);
+                if let Some(p) = peer {
+                    if topo.rel_by_index(i, p).is_none() {
+                        topo.link(i, p, Rel::Peer);
+                    }
+                }
+            }
+        }
+
+        // --- Edge ASes (incident ASes first so they exist early).
+        let fault_specs = [
+            (well_known::FAULT_1997, Tier::Edge),
+            (well_known::FAULT_1998, Tier::Edge),
+            (well_known::FAULT_2001, Tier::Edge),
+        ];
+        for (asn, tier) in fault_specs {
+            let i = topo.nodes.len();
+            topo.push_node(AsNode {
+                asn,
+                tier,
+                born: params.start.day_index() - 200,
+            });
+            if asn == well_known::FAULT_2001 {
+                // The 2001 leak propagated via AS 3561: make 3561 its
+                // provider explicitly.
+                let p = topo.index[&well_known::FAULT_2001_TRANSIT];
+                topo.link(i, p, Rel::Provider);
+            } else {
+                topo.attach_providers(i, 1, &mut rng);
+            }
+        }
+
+        for _ in fault_specs.len()..params.edge_count {
+            let i = topo.nodes.len();
+            topo.push_node(AsNode {
+                asn: alloc_asn(None),
+                tier: Tier::Edge,
+                born: birth(params.core_count + order, &mut rng),
+            });
+            order += 1;
+            let prov_count = if rng.chance(params.edge_multihome_prob) {
+                2 + rng.below(params.max_providers as u64 - 1) as usize
+            } else {
+                1
+            };
+            topo.attach_providers(i, prov_count, &mut rng);
+        }
+
+        topo
+    }
+
+    fn push_node(&mut self, node: AsNode) {
+        let idx = self.nodes.len();
+        self.index.insert(node.asn, idx);
+        self.nodes.push(node);
+        self.adj.push(Vec::new());
+    }
+
+    /// Adds a bidirectional edge; `rel` is the relationship of `b`
+    /// from `a`'s perspective.
+    fn link(&mut self, a: usize, b: usize, rel: Rel) {
+        self.adj[a].push((b as u32, rel));
+        self.adj[b].push((a as u32, rel.invert()));
+    }
+
+    /// Attaches `count` providers to node `i`, drawn preferentially by
+    /// degree among core + transit nodes born before `i`.
+    fn attach_providers(&mut self, i: usize, count: usize, rng: &mut DetRng) {
+        let candidates: Vec<usize> = (0..i)
+            .filter(|&j| {
+                matches!(self.nodes[j].tier, Tier::Core | Tier::Transit) && j != i
+            })
+            .collect();
+        if candidates.is_empty() {
+            return;
+        }
+        let weights: Vec<f64> = candidates
+            .iter()
+            .map(|&j| (self.adj[j].len() as f64 + 1.0).powf(1.05))
+            .collect();
+        let mut chosen: Vec<usize> = Vec::new();
+        let mut guard = 0;
+        while chosen.len() < count && guard < 50 {
+            guard += 1;
+            if let Some(k) = rng.choose_weighted(&weights) {
+                let j = candidates[k];
+                if !chosen.contains(&j) {
+                    chosen.push(j);
+                }
+            }
+        }
+        for j in chosen {
+            self.link(i, j, Rel::Provider);
+        }
+    }
+
+    /// Picks an existing node of a tier other than `not`, uniformly.
+    fn pick_existing(&self, tier: Tier, not: usize, rng: &mut DetRng) -> Option<usize> {
+        let candidates: Vec<usize> = (0..self.nodes.len())
+            .filter(|&j| self.nodes[j].tier == tier && j != not)
+            .collect();
+        rng.choose(&candidates).copied()
+    }
+
+    // ------------------------------------------------------------ views
+
+    /// Number of ASes.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Whether the topology is empty.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// The growth parameters used.
+    pub fn params(&self) -> &GrowthParams {
+        &self.params
+    }
+
+    /// All nodes.
+    pub fn nodes(&self) -> &[AsNode] {
+        &self.nodes
+    }
+
+    /// Node lookup by ASN.
+    pub fn node(&self, asn: Asn) -> Option<&AsNode> {
+        self.index.get(&asn).map(|&i| &self.nodes[i])
+    }
+
+    /// Whether an AS exists (ever).
+    pub fn contains(&self, asn: Asn) -> bool {
+        self.index.contains_key(&asn)
+    }
+
+    /// Whether an AS has appeared by `day`.
+    pub fn alive_at(&self, asn: Asn, day: DayIndex) -> bool {
+        self.node(asn).is_some_and(|n| n.born <= day)
+    }
+
+    /// The relationship of `b` from `a`'s perspective, if adjacent.
+    pub fn rel(&self, a: Asn, b: Asn) -> Option<Rel> {
+        let ia = *self.index.get(&a)?;
+        let ib = *self.index.get(&b)?;
+        self.rel_by_index(ia, ib)
+    }
+
+    fn rel_by_index(&self, ia: usize, ib: usize) -> Option<Rel> {
+        self.adj[ia]
+            .iter()
+            .find(|(j, _)| *j as usize == ib)
+            .map(|(_, r)| *r)
+    }
+
+    /// Neighbors of `asn` with the given relationship (from `asn`'s
+    /// perspective): `Rel::Provider` yields the AS's providers.
+    pub fn neighbors_with(&self, asn: Asn, rel: Rel) -> Vec<Asn> {
+        let Some(&i) = self.index.get(&asn) else {
+            return Vec::new();
+        };
+        self.adj[i]
+            .iter()
+            .filter(|(_, r)| *r == rel)
+            .map(|(j, _)| self.nodes[*j as usize].asn)
+            .collect()
+    }
+
+    /// All neighbors of `asn` with relationships.
+    pub fn neighbors(&self, asn: Asn) -> Vec<(Asn, Rel)> {
+        let Some(&i) = self.index.get(&asn) else {
+            return Vec::new();
+        };
+        self.adj[i]
+            .iter()
+            .map(|(j, r)| (self.nodes[*j as usize].asn, *r))
+            .collect()
+    }
+
+    /// ASes alive at `day`, optionally filtered by tier.
+    pub fn alive_asns(&self, day: DayIndex, tier: Option<Tier>) -> Vec<Asn> {
+        self.nodes
+            .iter()
+            .filter(|n| n.born <= day && tier.is_none_or(|t| n.tier == t))
+            .map(|n| n.asn)
+            .collect()
+    }
+
+    /// Degree of an AS (total adjacency count).
+    pub fn degree(&self, asn: Asn) -> usize {
+        self.index
+            .get(&asn)
+            .map(|&i| self.adj[i].len())
+            .unwrap_or(0)
+    }
+
+    /// Summary statistics used by tests and DESIGN.md validation.
+    pub fn stats(&self) -> TopologyStats {
+        let mut stats = TopologyStats {
+            as_count: self.nodes.len(),
+            ..TopologyStats::default()
+        };
+        for n in &self.nodes {
+            match n.tier {
+                Tier::Core => stats.core_count += 1,
+                Tier::Transit => stats.transit_count += 1,
+                Tier::Edge => stats.edge_count += 1,
+            }
+        }
+        let mut edge_pairs = 0usize;
+        let mut max_degree = 0usize;
+        for a in &self.adj {
+            edge_pairs += a.len();
+            max_degree = max_degree.max(a.len());
+        }
+        stats.edge_count_links = edge_pairs / 2;
+        stats.max_degree = max_degree;
+        stats
+    }
+}
+
+/// Aggregate shape of a topology.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct TopologyStats {
+    /// Total ASes.
+    pub as_count: usize,
+    /// Core (tier-1) ASes.
+    pub core_count: usize,
+    /// Transit ASes.
+    pub transit_count: usize,
+    /// Edge ASes.
+    pub edge_count: usize,
+    /// Undirected link count.
+    pub edge_count_links: usize,
+    /// Largest node degree.
+    pub max_degree: usize,
+}
+
+#[cfg(test)]
+mod tests {
+    #![allow(clippy::field_reassign_with_default, clippy::needless_range_loop)]
+    use super::*;
+
+    fn tiny() -> Topology {
+        Topology::grow(GrowthParams::tiny(), &DetRng::new(7))
+    }
+
+    #[test]
+    fn growth_is_deterministic() {
+        let a = tiny();
+        let b = tiny();
+        assert_eq!(a.len(), b.len());
+        for (na, nb) in a.nodes().iter().zip(b.nodes()) {
+            assert_eq!(na.asn, nb.asn);
+            assert_eq!(na.born, nb.born);
+        }
+        let probe = a.nodes()[20].asn;
+        assert_eq!(a.neighbors(probe), b.neighbors(probe));
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = Topology::grow(GrowthParams::tiny(), &DetRng::new(1));
+        let b = Topology::grow(GrowthParams::tiny(), &DetRng::new(2));
+        let same = a
+            .nodes()
+            .iter()
+            .zip(b.nodes())
+            .filter(|(x, y)| x.born == y.born)
+            .count();
+        assert!(same < a.len(), "all birth days identical across seeds");
+    }
+
+    #[test]
+    fn expected_node_counts() {
+        let t = tiny();
+        let s = t.stats();
+        assert_eq!(s.core_count, 5);
+        assert_eq!(s.transit_count, 40);
+        assert_eq!(s.edge_count, 160);
+        assert_eq!(s.as_count, 205);
+    }
+
+    #[test]
+    fn core_is_fully_meshed_peers() {
+        let t = tiny();
+        let core: Vec<Asn> = t
+            .nodes()
+            .iter()
+            .filter(|n| n.tier == Tier::Core)
+            .map(|n| n.asn)
+            .collect();
+        for &a in &core {
+            for &b in &core {
+                if a != b {
+                    assert_eq!(t.rel(a, b), Some(Rel::Peer));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn relationships_are_symmetric_inverses() {
+        let t = tiny();
+        for n in t.nodes() {
+            for (nbr, rel) in t.neighbors(n.asn) {
+                assert_eq!(t.rel(nbr, n.asn), Some(rel.invert()));
+            }
+        }
+    }
+
+    #[test]
+    fn every_non_core_as_has_a_provider() {
+        let t = tiny();
+        for n in t.nodes() {
+            if n.tier != Tier::Core {
+                assert!(
+                    !t.neighbors_with(n.asn, Rel::Provider).is_empty(),
+                    "AS {} has no provider",
+                    n.asn
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn core_has_no_providers() {
+        let t = tiny();
+        for n in t.nodes() {
+            if n.tier == Tier::Core {
+                assert!(t.neighbors_with(n.asn, Rel::Provider).is_empty());
+            }
+        }
+    }
+
+    #[test]
+    fn well_known_asns_present_with_roles() {
+        let t = Topology::grow(GrowthParams::default(), &DetRng::new(2001));
+        assert!(t.contains(well_known::FAULT_1998));
+        assert!(t.contains(well_known::FAULT_2001));
+        assert!(t.contains(well_known::FAULT_1997));
+        // AS 15412's provider is AS 3561, as in the 2001 incident.
+        assert_eq!(
+            t.rel(well_known::FAULT_2001, well_known::FAULT_2001_TRANSIT),
+            Some(Rel::Provider)
+        );
+        assert_eq!(t.node(Asn::new(701)).unwrap().tier, Tier::Core);
+    }
+
+    #[test]
+    fn birth_days_cover_the_window() {
+        let t = Topology::grow(GrowthParams::default(), &DetRng::new(2001));
+        let start = t.params().start.day_index();
+        let end = t.params().end.day_index();
+        let alive_at_start = t.alive_asns(start, None).len();
+        let alive_at_end = t.alive_asns(end, None).len();
+        assert!(alive_at_start > 2_000, "got {alive_at_start}");
+        assert!(alive_at_end > 11_000, "got {alive_at_end}");
+        assert!(alive_at_start < alive_at_end);
+        // Growth is monotone.
+        let mid = start + (end - start) / 2;
+        let alive_mid = t.alive_asns(mid, None).len();
+        assert!(alive_at_start <= alive_mid && alive_mid <= alive_at_end);
+    }
+
+    #[test]
+    fn degree_distribution_is_heavy_tailed() {
+        let t = Topology::grow(GrowthParams::default(), &DetRng::new(2001));
+        let s = t.stats();
+        // Preferential attachment: the max degree should far exceed
+        // the mean degree.
+        let mean = 2.0 * s.edge_count_links as f64 / s.as_count as f64;
+        assert!(
+            s.max_degree as f64 > mean * 10.0,
+            "max {} vs mean {mean:.1}",
+            s.max_degree
+        );
+    }
+
+    #[test]
+    fn unknown_asn_queries_are_safe() {
+        let t = tiny();
+        let ghost = Asn::new(999_999);
+        assert!(!t.contains(ghost));
+        assert!(t.neighbors(ghost).is_empty());
+        assert_eq!(t.degree(ghost), 0);
+        assert_eq!(t.rel(ghost, ghost), None);
+        assert!(!t.alive_at(ghost, DayIndex(0)));
+    }
+}

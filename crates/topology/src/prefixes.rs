@@ -1,0 +1,464 @@
+//! Prefix allocation: who originates what, with the study era's
+//! mask-length mix.
+//!
+//! Figure 5 of the paper ("/24 attracts most of the conflicts … since
+//! /24 prefixes make up the bulk of the BGP routing table") is driven
+//! by the mask-length distribution implemented here. The allocator
+//! hands out globally unique prefixes from disjoint per-length pools
+//! (mimicking registry carve-outs), and [`PrefixPlan`] assigns them to
+//! ASes with per-tier origination counts and birth days so the table
+//! grows from ~50 k routes (late 1997) to ~100 k (mid 2001).
+
+use crate::graph::{Tier, Topology};
+use moas_net::rng::DetRng;
+use moas_net::{Asn, DayIndex, Ipv4Prefix};
+
+/// Per-length /8 pool carve-out: `(mask length, first /8, number of
+/// /8 blocks)`. Pools are disjoint, so two allocations never collide
+/// regardless of length.
+const POOLS: &[(u8, u32, u32)] = &[
+    (8, 16, 48),
+    (9, 64, 2),
+    (10, 66, 2),
+    (11, 68, 2),
+    (12, 70, 2),
+    (13, 72, 3),
+    (14, 75, 5),
+    (15, 80, 8),
+    (16, 128, 56),
+    (17, 88, 8),
+    (18, 96, 8),
+    (19, 104, 8),
+    (20, 112, 4),
+    (21, 116, 4),
+    (22, 120, 4),
+    (23, 124, 4),
+    (24, 192, 14),
+    (25, 208, 2),
+    (26, 210, 2),
+    (27, 212, 2),
+    (28, 214, 2),
+    (29, 216, 2),
+    (30, 218, 2),
+    (31, 220, 1),
+    (32, 221, 1),
+];
+
+/// The dedicated exchange-point pool (modeled on real IXP space like
+/// 198.32.0.0/16): /24s carved from the /8 block 206, kept out of the
+/// general pools above.
+const XP_POOL_BLOCK: u32 = 206;
+
+/// Era mask-length weights for a *routing-table* draw. Dominated by
+/// /24 with a secondary /16 mode — the classic pre-CIDR legacy plus
+/// swamp-space shape of 1997–2001 tables.
+pub const MASKLEN_WEIGHTS: &[(u8, f64)] = &[
+    (8, 0.0003),
+    (9, 0.00005),
+    (10, 0.0001),
+    (11, 0.0002),
+    (12, 0.0006),
+    (13, 0.0012),
+    (14, 0.0030),
+    (15, 0.0045),
+    (16, 0.105),
+    (17, 0.014),
+    (18, 0.024),
+    (19, 0.042),
+    (20, 0.038),
+    (21, 0.032),
+    (22, 0.040),
+    (23, 0.047),
+    (24, 0.625),
+    (25, 0.005),
+    (26, 0.005),
+    (27, 0.004),
+    (28, 0.003),
+    (29, 0.003),
+    (30, 0.0025),
+    (31, 0.0003),
+    (32, 0.0016),
+];
+
+/// Draws a mask length from the era distribution.
+pub fn sample_masklen(rng: &mut DetRng) -> u8 {
+    let weights: Vec<f64> = MASKLEN_WEIGHTS.iter().map(|(_, w)| *w).collect();
+    let i = rng.choose_weighted(&weights).unwrap_or(16);
+    MASKLEN_WEIGHTS[i].0
+}
+
+/// A deterministic, collision-free prefix allocator.
+#[derive(Debug, Clone)]
+pub struct PrefixAllocator {
+    cursors: [u64; 33],
+    xp_cursor: u64,
+}
+
+impl Default for PrefixAllocator {
+    fn default() -> Self {
+        PrefixAllocator {
+            cursors: [0; 33],
+            xp_cursor: 0,
+        }
+    }
+}
+
+impl PrefixAllocator {
+    /// Creates a fresh allocator (all pools empty).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Pool capacity for a mask length.
+    pub fn capacity(len: u8) -> u64 {
+        POOLS
+            .iter()
+            .find(|(l, _, _)| *l == len)
+            .map(|(l, _, blocks)| (*blocks as u64) << (l - 8))
+            .unwrap_or(0)
+    }
+
+    /// Allocates the next unique prefix of the given length, or `None`
+    /// when the pool is exhausted or the length has no pool (<8).
+    pub fn alloc(&mut self, len: u8) -> Option<Ipv4Prefix> {
+        let (l, first_block, blocks) = *POOLS.iter().find(|(l, _, _)| *l == len)?;
+        let idx = self.cursors[len as usize];
+        let cap = (blocks as u64) << (l - 8);
+        if idx >= cap {
+            return None;
+        }
+        self.cursors[len as usize] += 1;
+        let base = first_block << 24;
+        let bits = base + ((idx as u32) << (32 - l));
+        Some(Ipv4Prefix::from_bits(bits, l))
+    }
+
+    /// Allocates an exchange-point /24 from the dedicated pool.
+    pub fn alloc_exchange_point(&mut self) -> Option<Ipv4Prefix> {
+        if self.xp_cursor >= 1 << 16 {
+            return None;
+        }
+        let idx = self.xp_cursor as u32;
+        self.xp_cursor += 1;
+        Some(Ipv4Prefix::from_bits(
+            (XP_POOL_BLOCK << 24) + (idx << 8),
+            24,
+        ))
+    }
+
+    /// Total prefixes allocated so far.
+    pub fn allocated(&self) -> u64 {
+        self.cursors.iter().sum::<u64>() + self.xp_cursor
+    }
+}
+
+/// One prefix-to-AS assignment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PrefixAssignment {
+    /// The prefix.
+    pub prefix: Ipv4Prefix,
+    /// The legitimate origin AS.
+    pub owner: Asn,
+    /// The day the prefix first appears in the table.
+    pub born: DayIndex,
+}
+
+/// Parameters of the prefix plan.
+#[derive(Debug, Clone)]
+pub struct PlanParams {
+    /// Mean prefixes originated per core AS.
+    pub per_core: f64,
+    /// Mean prefixes per transit AS.
+    pub per_transit: f64,
+    /// Mean prefixes per edge AS.
+    pub per_edge: f64,
+    /// Multiplier on the mean for ASes born before the window — legacy
+    /// holders owned disproportionately many (often swamp-space /24s),
+    /// which is what puts ~50 k routes in the table on day one.
+    pub pre_window_boost: f64,
+    /// For a pre-window AS, the fraction of its extra prefixes already
+    /// announced before the window starts.
+    pub pre_window_announced: f64,
+}
+
+impl Default for PlanParams {
+    fn default() -> Self {
+        PlanParams {
+            per_core: 75.0,
+            per_transit: 17.5,
+            per_edge: 3.5,
+            pre_window_boost: 2.4,
+            pre_window_announced: 0.72,
+        }
+    }
+}
+
+/// The global origination plan: every legitimately announced prefix,
+/// its owner, and its birth day.
+#[derive(Debug, Clone)]
+pub struct PrefixPlan {
+    assignments: Vec<PrefixAssignment>,
+}
+
+impl PrefixPlan {
+    /// Generates the plan for a topology. Deterministic per seed.
+    pub fn generate(topo: &Topology, params: &PlanParams, rng: &DetRng) -> PrefixPlan {
+        let mut rng = rng.substream("prefix-plan");
+        let mut alloc = PrefixAllocator::new();
+        let window_start = topo.params().start.day_index();
+        let window_end = topo.params().end.day_index();
+        let window = (window_end - window_start).max(1);
+        let mut assignments = Vec::new();
+
+        for node in topo.nodes() {
+            let base = match node.tier {
+                Tier::Core => params.per_core,
+                Tier::Transit => params.per_transit,
+                Tier::Edge => params.per_edge,
+            };
+            let pre_window = node.born < window_start;
+            let mean = if pre_window {
+                base * params.pre_window_boost
+            } else {
+                base
+            };
+            // Per-AS count: Poisson around the mean, ≥1.
+            let count = (rng.poisson(mean).max(1)) as usize;
+            for k in 0..count {
+                let len = sample_masklen(&mut rng);
+                let Some(prefix) = alloc.alloc(len) else {
+                    continue; // pool exhausted: realistic tables never hit this
+                };
+                // First prefix appears when the AS does. For legacy
+                // (pre-window) holders most extras are already in the
+                // table at the start; everything else arrives spread
+                // over the window (tables grow).
+                let born = if k == 0 {
+                    node.born
+                } else if pre_window && rng.chance(params.pre_window_announced) {
+                    window_start - rng.range_inclusive(0, 600) as i64
+                } else {
+                    let lo = node.born.max(window_start);
+                    let span = (window_end - lo).max(1);
+                    lo + rng.range_inclusive(0, span as u64) as i64
+                };
+                assignments.push(PrefixAssignment {
+                    prefix,
+                    owner: node.asn,
+                    born,
+                });
+            }
+        }
+        let _ = window;
+        // Sort by birth day so alive-prefix scans are a prefix of the
+        // vector (ties broken by prefix for determinism).
+        assignments.sort_by_key(|a| (a.born.0, a.prefix));
+        PrefixPlan { assignments }
+    }
+
+    /// All assignments, sorted by birth day.
+    pub fn assignments(&self) -> &[PrefixAssignment] {
+        &self.assignments
+    }
+
+    /// Total number of planned prefixes.
+    pub fn len(&self) -> usize {
+        self.assignments.len()
+    }
+
+    /// Whether the plan is empty.
+    pub fn is_empty(&self) -> bool {
+        self.assignments.is_empty()
+    }
+
+    /// Number of prefixes alive at `day` (binary search on birth).
+    pub fn alive_count(&self, day: DayIndex) -> usize {
+        self.assignments
+            .partition_point(|a| a.born.0 <= day.0)
+    }
+
+    /// The assignments alive at `day`.
+    pub fn alive_at(&self, day: DayIndex) -> &[PrefixAssignment] {
+        &self.assignments[..self.alive_count(day)]
+    }
+
+    /// Samples one assignment alive at `day`.
+    pub fn sample_alive(&self, day: DayIndex, rng: &mut DetRng) -> Option<&PrefixAssignment> {
+        let n = self.alive_count(day);
+        if n == 0 {
+            return None;
+        }
+        Some(&self.assignments[rng.below(n as u64) as usize])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::GrowthParams;
+    use std::collections::HashSet;
+
+    #[test]
+    fn allocator_never_repeats_or_overlaps_within_length() {
+        let mut alloc = PrefixAllocator::new();
+        let mut seen = HashSet::new();
+        for _ in 0..1000 {
+            let p = alloc.alloc(24).unwrap();
+            assert!(seen.insert(p), "duplicate {p}");
+            assert_eq!(p.len(), 24);
+        }
+    }
+
+    #[test]
+    fn pools_are_disjoint_across_lengths() {
+        let mut alloc = PrefixAllocator::new();
+        let mut all: Vec<Ipv4Prefix> = Vec::new();
+        for (len, _, _) in POOLS {
+            for _ in 0..20 {
+                if let Some(p) = alloc.alloc(*len) {
+                    all.push(p);
+                }
+            }
+        }
+        for i in 0..all.len() {
+            for j in (i + 1)..all.len() {
+                assert!(
+                    !all[i].overlaps(&all[j]),
+                    "{} overlaps {}",
+                    all[i],
+                    all[j]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn pool_exhaustion_returns_none() {
+        let mut alloc = PrefixAllocator::new();
+        let cap = PrefixAllocator::capacity(9);
+        assert!(cap > 0 && cap < 10_000, "test assumes small /9 pool");
+        for _ in 0..cap {
+            assert!(alloc.alloc(9).is_some());
+        }
+        assert!(alloc.alloc(9).is_none());
+    }
+
+    #[test]
+    fn no_pool_for_short_lengths() {
+        let mut alloc = PrefixAllocator::new();
+        assert!(alloc.alloc(0).is_none());
+        assert!(alloc.alloc(7).is_none());
+        assert!(alloc.alloc(33).is_none());
+    }
+
+    #[test]
+    fn exchange_point_pool_is_disjoint_and_slash24() {
+        let mut alloc = PrefixAllocator::new();
+        let xp = alloc.alloc_exchange_point().unwrap();
+        assert_eq!(xp.len(), 24);
+        let mut seen = HashSet::new();
+        seen.insert(xp);
+        for _ in 0..50 {
+            let p = alloc.alloc_exchange_point().unwrap();
+            assert!(seen.insert(p));
+            for (len, _, _) in POOLS {
+                for _ in 0..4 {
+                    if let Some(q) = alloc.alloc(*len) {
+                        assert!(!p.overlaps(&q));
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn masklen_distribution_is_slash24_heavy() {
+        let mut rng = DetRng::new(9);
+        let mut counts = [0usize; 33];
+        let n = 50_000;
+        for _ in 0..n {
+            counts[sample_masklen(&mut rng) as usize] += 1;
+        }
+        let frac24 = counts[24] as f64 / n as f64;
+        let frac16 = counts[16] as f64 / n as f64;
+        assert!(
+            (0.55..0.70).contains(&frac24),
+            "/24 fraction {frac24} out of band"
+        );
+        assert!(
+            (0.07..0.14).contains(&frac16),
+            "/16 fraction {frac16} out of band"
+        );
+        // /24 must dominate every other length.
+        for (l, &c) in counts.iter().enumerate() {
+            if l != 24 {
+                assert!(c < counts[24], "/{l} ({c}) >= /24 ({})", counts[24]);
+            }
+        }
+    }
+
+    fn plan() -> (Topology, PrefixPlan) {
+        let rng = DetRng::new(11);
+        let topo = Topology::grow(GrowthParams::tiny(), &rng);
+        let plan = PrefixPlan::generate(&topo, &PlanParams::default(), &rng);
+        (topo, plan)
+    }
+
+    #[test]
+    fn plan_is_deterministic() {
+        let (_, a) = plan();
+        let (_, b) = plan();
+        assert_eq!(a.assignments(), b.assignments());
+    }
+
+    #[test]
+    fn plan_prefixes_unique_and_owned_by_real_ases() {
+        let (topo, plan) = plan();
+        let mut seen = HashSet::new();
+        for a in plan.assignments() {
+            assert!(seen.insert(a.prefix), "duplicate {}", a.prefix);
+            assert!(topo.contains(a.owner));
+        }
+    }
+
+    #[test]
+    fn table_grows_over_the_window() {
+        let (topo, plan) = plan();
+        let start = topo.params().start.day_index();
+        let end = topo.params().end.day_index();
+        let at_start = plan.alive_count(start);
+        let at_end = plan.alive_count(end);
+        assert!(at_start > 0);
+        assert!(at_end as f64 > at_start as f64 * 1.3, "{at_start} -> {at_end}");
+        assert_eq!(at_end, plan.alive_at(end).len());
+    }
+
+    #[test]
+    fn birth_is_not_before_owner() {
+        let (topo, plan) = plan();
+        for a in plan.assignments() {
+            let node = topo.node(a.owner).unwrap();
+            assert!(
+                a.born >= node.born || a.born >= topo.params().start.day_index() - 600,
+                "prefix {} born {} before owner {}",
+                a.prefix,
+                a.born.0,
+                node.born.0
+            );
+        }
+    }
+
+    #[test]
+    fn sample_alive_respects_day() {
+        let (topo, plan) = plan();
+        let day = topo.params().start.day_index();
+        let mut rng = DetRng::new(3);
+        for _ in 0..100 {
+            let a = plan.sample_alive(day, &mut rng).unwrap();
+            assert!(a.born <= day);
+        }
+        assert!(plan
+            .sample_alive(DayIndex(day.0 - 100_000), &mut rng)
+            .is_none());
+    }
+}

@@ -1,0 +1,56 @@
+//! §III's vantage-point experiment: how many MOAS conflicts you see
+//! depends on where you look from.
+//!
+//! The paper observes 1 364 conflicts at the Route Views collector
+//! while three individual ISPs see only 30, 12 and 228 at the same
+//! time — fewer AS paths are visible from any single point. This
+//! example reproduces that comparison: the full collector versus
+//! topologically clustered "single ISP" vantages of growing size.
+//!
+//! ```sh
+//! cargo run --release --example vantage_points
+//! ```
+
+use moas_core::report::text_table;
+use moas_lab::study::{Study, StudyConfig};
+use moas_net::Date;
+
+fn main() {
+    eprintln!("building world …");
+    let study = Study::build(StudyConfig::test(0.10));
+    let date = Date::ymd(2001, 6, 15);
+
+    let sizes = [1usize, 2, 3, 4, 6, 8];
+    let (full, counts) = study
+        .vantage_experiment(date, &sizes)
+        .expect("snapshot day");
+
+    println!("date: {date}");
+    println!(
+        "full collector: {} sessions in {} ASes → {} conflicts\n",
+        study.peers.alive_at(date.day_index()).len(),
+        study.peers.ases_at(date.day_index()),
+        full
+    );
+
+    let rows: Vec<Vec<String>> = sizes
+        .iter()
+        .zip(&counts)
+        .map(|(s, c)| {
+            vec![
+                format!("{s} sessions"),
+                c.to_string(),
+                format!("{:.1}%", 100.0 * *c as f64 / full.max(1) as f64),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        text_table(&["ISP vantage", "conflicts seen", "share of collector"], &rows)
+    );
+
+    println!(
+        "paper: collector 1 364; individual ISPs 30 / 12 / 228 — local views\n\
+         systematically undercount, and even the collector is a lower bound."
+    );
+}

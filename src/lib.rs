@@ -1,0 +1,28 @@
+//! # moas-lab — end-to-end drivers for the MOAS reproduction
+//!
+//! This crate glues the workspace together: it builds a simulated
+//! 1997–2001 routing world (`moas-sim` + `moas-topology`), observes it
+//! through a Route Views-style collector (`moas-routeviews`), and runs
+//! the paper's analysis (`moas-core`) over every snapshot day — the
+//! complete `world → tables → detection → statistics` loop behind every
+//! figure, example, integration test and benchmark.
+//!
+//! Start with [`study::Study`]:
+//!
+//! ```no_run
+//! use moas_lab::study::{Study, StudyConfig};
+//!
+//! let study = Study::build(StudyConfig::paper());
+//! let timeline = study.analyze(8);
+//! println!("total conflicts: {}", timeline.total_conflicts());
+//! ```
+//!
+//! For a laptop-quick run use [`study::StudyConfig::test`] (a scaled
+//! world with the same structure).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod study;
+
+pub use study::{Study, StudyConfig};

@@ -1,0 +1,202 @@
+//! The end-to-end study: world generation, collection, analysis.
+
+use moas_core::detect::{detect, DayObservation};
+use moas_core::pipeline;
+use moas_core::timeline::Timeline;
+use moas_net::rng::DetRng;
+use moas_net::{Date, Prefix};
+use moas_routeviews::peers::{PeerSet, PeerSetParams};
+use moas_routeviews::{BackgroundMode, Collector};
+use moas_sim::{Cause, SimParams, World};
+
+/// Configuration of a full study run.
+#[derive(Debug, Clone)]
+pub struct StudyConfig {
+    /// Simulation parameters (world scale, seed, calibration).
+    pub params: SimParams,
+    /// Collector peer-set parameters.
+    pub peer_params: PeerSetParams,
+    /// Background mode used during full-window analysis. Conflicts are
+    /// what the paper measures; background prefixes are negative
+    /// controls. `Sample(n)` keeps full-scale runs tractable — the
+    /// full-table path is exercised at small scale and in the MRT
+    /// pipeline example (see DESIGN.md).
+    pub background: BackgroundMode,
+}
+
+impl StudyConfig {
+    /// Paper-scale configuration (default seed, 54-session collector).
+    pub fn paper() -> Self {
+        StudyConfig {
+            params: SimParams::paper(),
+            peer_params: PeerSetParams::default(),
+            background: BackgroundMode::Sample(40),
+        }
+    }
+
+    /// A scaled-down configuration for tests and quick examples.
+    pub fn test(scale: f64) -> Self {
+        StudyConfig {
+            params: SimParams::test(scale),
+            peer_params: PeerSetParams::scaled(scale),
+            background: BackgroundMode::Sample(20),
+        }
+    }
+}
+
+/// A built study: the world plus its collector peer set.
+pub struct Study {
+    /// Configuration used.
+    pub config: StudyConfig,
+    /// The simulated routing world.
+    pub world: World,
+    /// The collector's peer sessions.
+    pub peers: PeerSet,
+}
+
+impl Study {
+    /// Generates the world and peer set (deterministic per seed).
+    pub fn build(config: StudyConfig) -> Study {
+        let world = World::generate(config.params.clone());
+        let rng = DetRng::new(world.params.seed);
+        let peers = PeerSet::build(&world.topo, &world.window, &config.peer_params, &rng);
+        Study {
+            config,
+            world,
+            peers,
+        }
+    }
+
+    /// Runs the full-window analysis with `threads` worker threads
+    /// (each owning its own collector and path cache) and returns the
+    /// accumulated timeline.
+    pub fn analyze(&self, threads: usize) -> Timeline {
+        let dates: Vec<Date> = self
+            .world
+            .window
+            .all_days()
+            .iter()
+            .map(|d| d.date())
+            .collect();
+        let core_len = self.world.window.core_len();
+        let background = self.config.background;
+        pipeline::analyze_sharded(dates, core_len, threads, || {
+            let mut collector = Collector::new(&self.world, &self.peers);
+            move |idx: usize| {
+                let snap = collector.snapshot_at(idx, background);
+                detect(&snap)
+            }
+        })
+    }
+
+    /// Detects over a single snapshot day (by position).
+    pub fn observe_day(&self, idx: usize, background: BackgroundMode) -> DayObservation {
+        let mut collector = Collector::new(&self.world, &self.peers);
+        detect(&collector.snapshot_at(idx, background))
+    }
+
+    /// Detects over a single calendar date, if it is a snapshot day.
+    pub fn observe_date(
+        &self,
+        date: Date,
+        background: BackgroundMode,
+    ) -> Option<DayObservation> {
+        let idx = self.world.window.snapshot_index(date.day_index())?;
+        Some(self.observe_day(idx, background))
+    }
+
+    /// The ground-truth exchange-point prefixes (the stand-in for the
+    /// registry knowledge the paper used to identify its 30).
+    pub fn xp_prefixes(&self) -> Vec<Prefix> {
+        self.world
+            .conflicts
+            .iter()
+            .filter(|c| c.cause == Cause::ExchangePoint)
+            .map(|c| Prefix::V4(c.prefix))
+            .collect()
+    }
+
+    /// Ground-truth validity of the conflict on `prefix` (valid
+    /// operational practice vs fault), if that prefix ever conflicted.
+    /// Used only by evaluation — never by detection.
+    pub fn ground_truth_valid(&self, prefix: &Prefix) -> Option<bool> {
+        let v4 = prefix.as_v4()?;
+        self.world
+            .conflicts
+            .iter()
+            .find(|c| c.prefix == v4)
+            .map(|c| c.cause.is_valid_practice())
+    }
+
+    /// The §III vantage experiment on one date: conflict counts seen by
+    /// the full collector and by ISP-style clustered vantages of the
+    /// given sizes.
+    pub fn vantage_experiment(
+        &self,
+        date: Date,
+        sizes: &[usize],
+    ) -> Option<(usize, Vec<usize>)> {
+        let idx = self.world.window.snapshot_index(date.day_index())?;
+        let day = self.world.window.day_at(idx);
+        let mut collector = Collector::new(&self.world, &self.peers);
+        let snap = collector.snapshot_at(idx, BackgroundMode::None);
+        let full = detect(&snap).conflict_count();
+        let vantages = collector.isp_vantages(day, sizes);
+        let counts = vantages
+            .iter()
+            .map(|sessions| {
+                let restricted = collector.restrict(&snap, day, sessions);
+                detect(&restricted).conflict_count()
+            })
+            .collect();
+        Some((full, counts))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick_study() -> Study {
+        Study::build(StudyConfig::test(0.004))
+    }
+
+    #[test]
+    fn analyze_produces_conflicts() {
+        let study = quick_study();
+        let tl = study.analyze(4);
+        assert!(tl.total_conflicts() > 0);
+        assert!(tl.days().count() > 1_000);
+    }
+
+    #[test]
+    fn serial_and_parallel_agree() {
+        let study = quick_study();
+        let a = study.analyze(1);
+        let b = study.analyze(6);
+        assert_eq!(a.total_conflicts(), b.total_conflicts());
+        let mut da = a.durations();
+        let mut db = b.durations();
+        da.sort_unstable();
+        db.sort_unstable();
+        assert_eq!(da, db);
+    }
+
+    #[test]
+    fn observe_date_roundtrip() {
+        let study = quick_study();
+        let date = study.world.window.start();
+        let obs = study.observe_date(date, BackgroundMode::None).unwrap();
+        assert_eq!(obs.date, Some(date));
+    }
+
+    #[test]
+    fn xp_prefixes_ground_truth() {
+        let study = quick_study();
+        let xp = study.xp_prefixes();
+        assert!(!xp.is_empty());
+        for p in &xp {
+            assert_eq!(study.ground_truth_valid(p), Some(true));
+        }
+    }
+}

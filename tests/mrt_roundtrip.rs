@@ -1,0 +1,101 @@
+//! Integration: the MRT path must be observation-equivalent to the
+//! in-memory path — `snapshot → MRT bytes → parse → detect` gives the
+//! same conflicts as `snapshot → detect`, in both dump formats.
+
+use moas_core::detect::detect;
+use moas_lab::study::{Study, StudyConfig};
+use moas_mrt::snapshot::{records_to_snapshot, snapshot_to_records, DumpFormat};
+use moas_mrt::{MrtReader, MrtWriter};
+use moas_routeviews::{BackgroundMode, Collector};
+
+fn study() -> Study {
+    Study::build(StudyConfig::test(0.01))
+}
+
+fn roundtrip_day(study: &Study, idx: usize, format: DumpFormat) {
+    let mut collector = Collector::new(&study.world, &study.peers);
+    let snap = collector.snapshot_at(idx, BackgroundMode::Full);
+    let direct = detect(&snap);
+
+    // Serialize to MRT bytes and back through the streaming reader.
+    let records = snapshot_to_records(&snap, format);
+    let mut writer = MrtWriter::new(Vec::new());
+    writer.write_all(&records).unwrap();
+    let bytes = writer.finish().unwrap();
+    let mut reader = MrtReader::new(&bytes[..]);
+    let parsed: Vec<_> = reader.by_ref().collect();
+    assert_eq!(reader.stats().records_skipped, 0);
+    let back = records_to_snapshot(&parsed, Some(snap.date)).unwrap();
+    let via_mrt = detect(&back);
+
+    assert_eq!(via_mrt.conflict_count(), direct.conflict_count(), "{format:?}");
+    assert_eq!(via_mrt.total_prefixes, direct.total_prefixes);
+    assert_eq!(via_mrt.as_set_prefixes.len(), direct.as_set_prefixes.len());
+    let a: Vec<_> = direct.conflicts.iter().map(|c| (c.prefix, c.origins.clone())).collect();
+    let b: Vec<_> = via_mrt.conflicts.iter().map(|c| (c.prefix, c.origins.clone())).collect();
+    assert_eq!(a, b, "conflict sets differ through {format:?}");
+}
+
+#[test]
+fn v1_roundtrip_is_observation_equivalent() {
+    let study = study();
+    for idx in [0usize, 400, 900, 1278] {
+        roundtrip_day(&study, idx, DumpFormat::V1);
+    }
+}
+
+#[test]
+fn v2_roundtrip_is_observation_equivalent() {
+    let study = study();
+    for idx in [0usize, 400, 900, 1278] {
+        roundtrip_day(&study, idx, DumpFormat::V2);
+    }
+}
+
+#[test]
+fn v2_archives_are_smaller_than_v1() {
+    let study = study();
+    let mut collector = Collector::new(&study.world, &study.peers);
+    let snap = collector.snapshot_at(800, BackgroundMode::Full);
+    let size = |format| -> usize {
+        snapshot_to_records(&snap, format)
+            .iter()
+            .map(|r| r.encode().len())
+            .sum()
+    };
+    let v1 = size(DumpFormat::V1);
+    let v2 = size(DumpFormat::V2);
+    assert!(
+        v2 < v1,
+        "TABLE_DUMP_V2 should deduplicate peers: v1={v1} v2={v2}"
+    );
+}
+
+#[test]
+fn archive_files_survive_disk_roundtrip() {
+    let study = study();
+    let dir = std::env::temp_dir().join("moas-it-archive");
+    std::fs::create_dir_all(&dir).unwrap();
+    let mut collector = Collector::new(&study.world, &study.peers);
+
+    let mut files = Vec::new();
+    let mut dates = Vec::new();
+    for (k, idx) in (500..510).enumerate() {
+        let snap = collector.snapshot_at(idx, BackgroundMode::Sample(10));
+        let records = snapshot_to_records(&snap, DumpFormat::V2);
+        let path = dir.join(format!("it-rib.{k}.mrt"));
+        let mut w = MrtWriter::new(std::fs::File::create(&path).unwrap());
+        w.write_all(&records).unwrap();
+        w.finish().unwrap();
+        files.push((k, path));
+        dates.push(snap.date);
+    }
+    let (tl, skipped) =
+        moas_core::pipeline::analyze_mrt_archive(dates, 10, &files).unwrap();
+    assert_eq!(skipped, 0);
+    assert_eq!(tl.days().count(), 10);
+    assert!(tl.total_conflicts() > 0);
+    for (_, p) in files {
+        std::fs::remove_file(p).ok();
+    }
+}

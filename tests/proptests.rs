@@ -1,0 +1,238 @@
+//! Cross-crate property tests: detector invariants on arbitrary tables,
+//! classification consistency, and replay-vs-model equivalence.
+
+use moas_bgp::attrs::Attrs;
+use moas_bgp::message::{BgpMessage, UpdateMsg};
+use moas_bgp::{PeerInfo, TableSnapshot};
+use moas_core::classify::{classify, classify_pair, ConflictClass};
+use moas_core::detect::detect;
+use moas_core::replay::StreamReplayer;
+use moas_mrt::bgp4mp::{Bgp4mpMessage, PeeringHeader};
+use moas_mrt::record::{MrtBody, MrtRecord};
+use moas_net::{AsPath, Asn, Date, Ipv4Prefix, Prefix};
+use proptest::prelude::*;
+use std::collections::{HashMap, HashSet};
+use std::net::{IpAddr, Ipv4Addr};
+
+fn arb_prefix() -> impl Strategy<Value = Ipv4Prefix> {
+    // A small pool so prefixes collide across routes (conflicts form).
+    (0u32..64, 20u8..26).prop_map(|(i, len)| Ipv4Prefix::from_bits(i << 16, len.min(16 + 10)))
+}
+
+fn arb_path() -> impl Strategy<Value = AsPath> {
+    prop::collection::vec(1u32..40, 1..5)
+        .prop_map(|v| AsPath::from_sequence(v.into_iter().map(Asn::new)))
+}
+
+fn arb_table() -> impl Strategy<Value = TableSnapshot> {
+    prop::collection::vec((arb_prefix(), arb_path(), 0u8..6), 0..60).prop_map(|routes| {
+        let mut t = TableSnapshot::new(Date::ymd(2001, 1, 1));
+        for p in 0..6u8 {
+            t.add_peer(PeerInfo::v4(
+                Ipv4Addr::new(10, 0, 0, p + 1),
+                Asn::new(100 + p as u32),
+            ));
+        }
+        for (prefix, path, peer) in routes {
+            t.push_path(peer as u16, Prefix::V4(prefix), path);
+        }
+        t
+    })
+}
+
+proptest! {
+    /// A reference (brute-force) MOAS detector must agree with the real
+    /// one on which prefixes conflict.
+    #[test]
+    fn detector_matches_reference_model(table in arb_table()) {
+        let obs = detect(&table);
+
+        // Reference: group single-origin routes by prefix; conflict iff
+        // ≥2 distinct origins and no AS-set route on the prefix.
+        let mut origins: HashMap<Prefix, HashSet<Asn>> = HashMap::new();
+        let mut set_prefixes: HashSet<Prefix> = HashSet::new();
+        for e in &table.entries {
+            match e.route.path.origin() {
+                moas_net::Origin::Single(o) => {
+                    origins.entry(e.route.prefix).or_default().insert(o);
+                }
+                moas_net::Origin::Set(_) => {
+                    set_prefixes.insert(e.route.prefix);
+                }
+                moas_net::Origin::None => {}
+            }
+        }
+        let expected: HashSet<Prefix> = origins
+            .iter()
+            .filter(|(p, o)| o.len() >= 2 && !set_prefixes.contains(*p))
+            .map(|(p, _)| *p)
+            .collect();
+        let got: HashSet<Prefix> = obs.conflicts.iter().map(|c| c.prefix).collect();
+        prop_assert_eq!(got, expected);
+
+        // Excluded prefixes reported exactly.
+        let got_sets: HashSet<Prefix> =
+            obs.as_set_prefixes.iter().map(|(p, _)| *p).collect();
+        prop_assert_eq!(got_sets, set_prefixes);
+    }
+
+    /// Detector output invariants: sorted distinct origins, ≥2 of them,
+    /// deduplicated paths, every origin backed by a path.
+    #[test]
+    fn conflict_outputs_are_well_formed(table in arb_table()) {
+        let obs = detect(&table);
+        for c in &obs.conflicts {
+            prop_assert!(c.origins.len() >= 2);
+            let mut sorted = c.origins.clone();
+            sorted.sort_unstable();
+            sorted.dedup();
+            prop_assert_eq!(&sorted, &c.origins, "origins not sorted/distinct");
+            // Every origin must come from some recorded path.
+            let path_origins: HashSet<Asn> = c
+                .paths
+                .iter()
+                .filter_map(|(_, p)| p.origin().as_single())
+                .collect();
+            for o in &c.origins {
+                prop_assert!(path_origins.contains(o));
+            }
+            // Paths are pairwise distinct.
+            for i in 0..c.paths.len() {
+                for j in (i + 1)..c.paths.len() {
+                    prop_assert!(c.paths[i].1 != c.paths[j].1);
+                }
+            }
+        }
+    }
+
+    /// Classification is permutation-invariant in the path order.
+    #[test]
+    fn classification_is_order_invariant(table in arb_table(), seed in any::<u64>()) {
+        let obs = detect(&table);
+        for c in &obs.conflicts {
+            let base = classify(c);
+            let mut shuffled = c.clone();
+            // Deterministic shuffle from the seed.
+            let mut rng = moas_net::rng::DetRng::new(seed);
+            rng.shuffle(&mut shuffled.paths);
+            prop_assert_eq!(classify(&shuffled), base);
+        }
+    }
+
+    /// Pair classification is symmetric.
+    #[test]
+    fn classify_pair_symmetric(a in arb_path(), b in arb_path()) {
+        prop_assert_eq!(classify_pair(&a, &b), classify_pair(&b, &a));
+    }
+
+    /// Replaying an arbitrary announce/withdraw sequence matches a
+    /// per-session map model exactly.
+    #[test]
+    fn replay_matches_model(
+        ops in prop::collection::vec(
+            (0u8..3, arb_prefix(), arb_path(), any::<bool>()),
+            0..80,
+        )
+    ) {
+        let mut replayer = StreamReplayer::new();
+        let mut model: HashMap<(IpAddr, Asn), HashMap<Prefix, AsPath>> = HashMap::new();
+        for (peer_sel, prefix, path, announce) in ops {
+            let (addr, asn) = match peer_sel {
+                0 => (Ipv4Addr::new(10, 0, 0, 1), Asn::new(701)),
+                1 => (Ipv4Addr::new(10, 0, 0, 2), Asn::new(1239)),
+                _ => (Ipv4Addr::new(10, 0, 0, 3), Asn::new(3561)),
+            };
+            let header = PeeringHeader {
+                peer_as: asn,
+                local_as: Asn::new(6447),
+                if_index: 0,
+                peer_addr: IpAddr::V4(addr),
+                local_addr: IpAddr::V4(Ipv4Addr::new(198, 32, 162, 250)),
+            };
+            let update = if announce {
+                UpdateMsg {
+                    withdrawn: vec![],
+                    attrs: Attrs::announcement(path.clone(), addr),
+                    announced: vec![prefix],
+                }
+            } else {
+                UpdateMsg {
+                    withdrawn: vec![prefix],
+                    attrs: Attrs::default(),
+                    announced: vec![],
+                }
+            };
+            replayer.apply(&MrtRecord {
+                timestamp: 0,
+                body: MrtBody::Bgp4mpMessage(Bgp4mpMessage {
+                    header,
+                    message: BgpMessage::Update(update),
+                    as4: false,
+                }),
+            });
+            let slot = model.entry((IpAddr::V4(addr), asn)).or_default();
+            if announce {
+                slot.insert(Prefix::V4(prefix), path);
+            } else {
+                slot.remove(&Prefix::V4(prefix));
+            }
+        }
+        let total: usize = model.values().map(HashMap::len).sum();
+        prop_assert_eq!(replayer.route_count(), total);
+        for ((addr, asn), routes) in &model {
+            for (prefix, path) in routes {
+                let got = replayer.route_of(*addr, *asn, prefix);
+                prop_assert!(got.is_some(), "missing {prefix} at {asn}");
+                prop_assert_eq!(&got.unwrap().path, path);
+            }
+        }
+    }
+
+    /// SubMOAS never reports a pair whose origin sets intersect, and
+    /// never pairs a prefix with itself.
+    #[test]
+    fn submoas_pairs_are_disjoint_strict_covers(
+        routes in prop::collection::vec((any::<u32>(), 8u8..30, 1u32..50), 0..50)
+    ) {
+        let mut t = TableSnapshot::new(Date::ymd(2001, 1, 1));
+        let p0 = t.add_peer(PeerInfo::v4(Ipv4Addr::new(10, 0, 0, 1), Asn::new(100)));
+        for (bits, len, origin) in routes {
+            // Narrow the space so covers actually occur.
+            let prefix = Ipv4Prefix::from_bits(bits & 0x0F0F_0000, len);
+            t.push_path(
+                p0,
+                Prefix::V4(prefix),
+                AsPath::from_sequence([Asn::new(100), Asn::new(origin)]),
+            );
+        }
+        let report = moas_core::submoas::detect_submoas(&t);
+        for pair in &report.pairs {
+            prop_assert!(pair.covering.len() < pair.specific.len());
+            prop_assert!(pair.covering.contains(&pair.specific));
+            for o in &pair.specific_origins {
+                prop_assert!(!pair.covering_origins.contains(o));
+            }
+        }
+    }
+
+    /// Distinct pairs really share no ASes; OrigTran pairs share all of
+    /// the shorter path.
+    #[test]
+    fn class_definitions_hold(a in arb_path(), b in arb_path()) {
+        match classify_pair(&a, &b) {
+            ConflictClass::DistinctPaths => {
+                prop_assert!(a.is_disjoint_from(&b));
+            }
+            ConflictClass::OrigTranAS => {
+                prop_assert!(a.is_proper_prefix_of(&b) || b.is_proper_prefix_of(&a));
+            }
+            ConflictClass::SplitView => {
+                prop_assert_eq!(a.first_hop(), b.first_hop());
+            }
+            ConflictClass::Other => {
+                prop_assert!(!a.is_disjoint_from(&b));
+                prop_assert!(a.first_hop() != b.first_hop());
+            }
+        }
+    }
+}

@@ -1,0 +1,124 @@
+//! Integration: the subMOAS extension against ground truth — faulty
+//! aggregates planted by the simulator shadow *innocent neighbor*
+//! prefixes inside the aggregate, discoverable by the covering-prefix
+//! analysis while remaining invisible to exact-prefix MOAS detection.
+
+use moas_core::submoas::detect_submoas;
+use moas_lab::study::{Study, StudyConfig};
+use moas_net::{Ipv4Prefix, Prefix};
+use moas_routeviews::{BackgroundMode, Collector};
+use std::collections::HashSet;
+
+fn study() -> Study {
+    Study::build(StudyConfig::test(0.05))
+}
+
+/// A day with at least one active faulty aggregate that covers at
+/// least one other alive prefix (so a shadowing victim exists).
+fn aggregate_day(study: &Study) -> (usize, Vec<Ipv4Prefix>) {
+    for idx in (10..1_250).step_by(13) {
+        let day = study.world.window.day_at(idx);
+        let aggregates: Vec<Ipv4Prefix> = study
+            .world
+            .conflicts
+            .iter()
+            .filter(|c| c.active.is_active(idx as u32))
+            .filter_map(|c| c.aggregate)
+            .collect();
+        if aggregates.is_empty() {
+            continue;
+        }
+        let victims = study
+            .world
+            .plan
+            .alive_at(day)
+            .iter()
+            .filter(|a| aggregates.iter().any(|agg| agg.contains(&a.prefix)))
+            .count();
+        if victims > 0 {
+            return (idx, aggregates);
+        }
+    }
+    panic!("no shadowing aggregate day at this scale");
+}
+
+#[test]
+fn shadowed_neighbors_are_found() {
+    let study = study();
+    let (idx, aggregates) = aggregate_day(&study);
+    let mut collector = Collector::new(&study.world, &study.peers);
+    let snap = collector.snapshot_at(idx, BackgroundMode::CoveredByAggregates);
+    let report = detect_submoas(&snap);
+    assert!(
+        !report.pairs.is_empty(),
+        "day {idx}: no subMOAS pairs despite active aggregates"
+    );
+    let planted: HashSet<Ipv4Prefix> = aggregates.into_iter().collect();
+    for p in &report.pairs {
+        assert!(
+            planted.contains(&p.covering),
+            "unexpected covering prefix {}",
+            p.covering
+        );
+        // Victims' origins never include the faulty aggregator.
+        assert!(p
+            .covering_origins
+            .iter()
+            .all(|o| !p.specific_origins.contains(o)));
+    }
+}
+
+#[test]
+fn own_victim_is_a_consistent_cover_not_a_pair() {
+    // The conflicted prefix itself shares the faulty origin with the
+    // aggregate (the faulty AS announces both), so it must be counted
+    // as a consistent cover, not a subMOAS pair.
+    let study = study();
+    let (idx, _) = aggregate_day(&study);
+    let mut collector = Collector::new(&study.world, &study.peers);
+    let snap = collector.snapshot_at(idx, BackgroundMode::None);
+    let report = detect_submoas(&snap);
+    assert!(report.pairs.is_empty());
+    assert!(report.consistent_covers > 0);
+}
+
+#[test]
+fn exact_match_detection_cannot_see_the_aggregate() {
+    let study = study();
+    let (idx, aggregates) = aggregate_day(&study);
+    let mut collector = Collector::new(&study.world, &study.peers);
+    let snap = collector.snapshot_at(idx, BackgroundMode::CoveredByAggregates);
+    let obs = moas_core::detect(&snap);
+    let conflicted: HashSet<Prefix> = obs.conflicts.iter().map(|c| c.prefix).collect();
+    for agg in aggregates {
+        assert!(
+            !conflicted.contains(&Prefix::V4(agg)),
+            "aggregate {agg} wrongly flagged as exact-prefix MOAS"
+        );
+    }
+}
+
+#[test]
+fn quiet_tables_have_no_submoas() {
+    // A snapshot restricted to background only (no conflicts, no
+    // aggregates) must produce zero pairs: the allocator's pools are
+    // nested-free by construction.
+    let study = Study::build(StudyConfig::test(0.01));
+    let idx = (10..1_200)
+        .find(|&idx| {
+            study
+                .world
+                .conflicts
+                .iter()
+                .all(|c| c.aggregate.is_none() || !c.active.is_active(idx as u32))
+        })
+        .expect("quiet day exists");
+    let mut collector = Collector::new(&study.world, &study.peers);
+    let snap = collector.snapshot_at(idx, BackgroundMode::Full);
+    let report = detect_submoas(&snap);
+    assert!(
+        report.pairs.is_empty(),
+        "unexpected pairs on quiet day {idx}: {:?}",
+        report.pairs.first()
+    );
+}
