@@ -126,9 +126,8 @@ fn bench_decision_process(c: &mut Criterion) {
     let candidates: Vec<(u16, Route)> = (0..30u16)
         .map(|i| {
             let hops = 2 + rng.below(5);
-            let path = AsPath::from_sequence(
-                (0..hops).map(|h| Asn::new(100 + i as u32 * 10 + h as u32)),
-            );
+            let path =
+                AsPath::from_sequence((0..hops).map(|h| Asn::new(100 + i as u32 * 10 + h as u32)));
             let mut route = Route::new(prefix, path);
             if rng.chance(0.3) {
                 route.med = Some(rng.below(100) as u32);

@@ -1,0 +1,88 @@
+//! Monitor engine benches: sustained route-updates/sec through the
+//! sharded streaming engine on the synthetic incident-onset stream
+//! (the 1998-04-07 mass-fault day — the heaviest update burst in the
+//! study window), at 1, 2, 4 and 8 shards.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use moas_bench::bench_study;
+use moas_bgp::message::BgpMessage;
+use moas_monitor::{MonitorConfig, MonitorEngine};
+use moas_mrt::record::{MrtBody, MrtRecord};
+use moas_mrt::snapshot::midnight_timestamp;
+use moas_routeviews::updates::day_transition;
+use moas_routeviews::{BackgroundMode, Collector};
+use std::hint::black_box;
+
+/// Route-level updates (announced + withdrawn prefixes) in a stream.
+fn update_count(records: &[MrtRecord]) -> u64 {
+    records
+        .iter()
+        .map(|r| match &r.body {
+            MrtBody::Bgp4mpMessage(m) => match &m.message {
+                BgpMessage::Update(u) => (u.all_announced().len() + u.all_withdrawn().len()) as u64,
+                _ => 0,
+            },
+            _ => 0,
+        })
+        .sum()
+}
+
+fn bench_monitor(c: &mut Criterion) {
+    let study = bench_study(0.05);
+    let mut collector = Collector::new(&study.world, &study.peers);
+    let incident = study
+        .world
+        .window
+        .snapshot_index(moas_net::Date::ymd(1998, 4, 7).day_index())
+        .unwrap();
+
+    let (prev, _, stream) =
+        day_transition(&mut collector, incident - 1, incident, BackgroundMode::None);
+    let updates = update_count(&stream);
+    eprintln!(
+        "incident-onset stream: {} records, {} route updates",
+        stream.len(),
+        updates
+    );
+
+    // Cold ingest: engine lifecycle + full stream, per shard count.
+    let mut group = c.benchmark_group("monitor_ingest");
+    group.throughput(Throughput::Elements(updates));
+    for shards in [1usize, 2, 4, 8] {
+        group.bench_function(format!("incident_onset_{shards}_shards"), |b| {
+            b.iter(|| {
+                let mut engine = MonitorEngine::new(MonitorConfig::with_shards(shards));
+                engine.ingest_all(&stream);
+                black_box(engine.finish().events.len())
+            })
+        });
+    }
+    group.finish();
+
+    // Warm ingest: the incident burst on top of a seeded full table —
+    // the production shape (state already hot when the fault hits).
+    let seed_updates = prev.len() as u64 + updates;
+    let mut group = c.benchmark_group("monitor_seeded");
+    group.throughput(Throughput::Elements(seed_updates));
+    group.bench_function("seed_plus_incident_4_shards", |b| {
+        b.iter(|| {
+            let mut engine = MonitorEngine::new(MonitorConfig::with_shards(4));
+            engine.seed_snapshot(&prev, midnight_timestamp(prev.date));
+            engine.ingest_all(&stream);
+            black_box(engine.finish().events.len())
+        })
+    });
+    group.finish();
+
+    // The query path: epoch snapshot of a hot engine.
+    let mut engine = MonitorEngine::new(MonitorConfig::with_shards(4));
+    engine.seed_snapshot(&prev, midnight_timestamp(prev.date));
+    engine.ingest_all(&stream);
+    c.bench_function("monitor_epoch_snapshot", |b| {
+        b.iter(|| black_box(engine.snapshot().open_count()))
+    });
+    drop(engine.finish());
+}
+
+criterion_group!(benches, bench_monitor);
+criterion_main!(benches);

@@ -13,7 +13,11 @@ fn bench_mrt(c: &mut Criterion) {
     let study = bench_study(0.02);
     let mut collector = Collector::new(&study.world, &study.peers);
     let snap = collector.snapshot_at(900, BackgroundMode::Full);
-    eprintln!("table: {} routes, {} prefixes", snap.len(), snap.distinct_prefixes());
+    eprintln!(
+        "table: {} routes, {} prefixes",
+        snap.len(),
+        snap.distinct_prefixes()
+    );
 
     let v1_records = snapshot_to_records(&snap, DumpFormat::V1);
     let v2_records = snapshot_to_records(&snap, DumpFormat::V2);

@@ -8,7 +8,9 @@ fn main() {
     let t = std::time::Instant::now();
     let study = Study::build(StudyConfig::paper());
     let tl = study.analyze(
-        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(2),
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(2),
     );
     eprintln!("analyzed in {:?}", t.elapsed());
     println!("duration-heuristic scores (valid if duration > threshold):");

@@ -69,8 +69,8 @@ fn parse_args() -> Args {
     }
     if args.experiments.is_empty() {
         args.experiments = [
-            "fig1", "fig2", "fig3", "fig4", "fig5", "fig6", "vantage", "xp", "asset",
-            "faults", "detector", "submoas",
+            "fig1", "fig2", "fig3", "fig4", "fig5", "fig6", "vantage", "xp", "asset", "faults",
+            "detector", "submoas",
         ]
         .iter()
         .map(|s| s.to_string())
@@ -171,9 +171,7 @@ fn fig2(tl: &Timeline, args: &Args) {
                     .find(|(y, _)| *y == r.year)
                     .map(|(_, m)| format!("{m}"))
                     .unwrap_or_default(),
-                r.growth_pct
-                    .map(|g| format!("{g:.1}%"))
-                    .unwrap_or_default(),
+                r.growth_pct.map(|g| format!("{g:.1}%")).unwrap_or_default(),
                 paper_growth
                     .get(i)
                     .copied()
@@ -504,8 +502,7 @@ fn submoas(study: &Study) {
         return;
     };
     let date = study.world.window.day_at(idx).date();
-    let mut collector =
-        moas_routeviews::Collector::new(&study.world, &study.peers);
+    let mut collector = moas_routeviews::Collector::new(&study.world, &study.peers);
     let snap = collector.snapshot_at(idx, BackgroundMode::CoveredByAggregates);
     let report = moas_core::submoas::detect_submoas(&snap);
     let truth = study
@@ -520,7 +517,10 @@ fn submoas(study: &Study) {
          faulty aggregates (the aggregates themselves never trip exact-prefix MOAS)",
         report.pairs.len()
     );
-    println!("benign covers (shared origin): {}", report.consistent_covers);
+    println!(
+        "benign covers (shared origin): {}",
+        report.consistent_covers
+    );
     for p in report.pairs.iter().take(5) {
         println!(
             "  {} (AS {}) shadowed by {} (AS {})",

@@ -273,7 +273,12 @@ fn put_attr(out: &mut BytesMut, flags: u8, code: u8, value: &[u8]) {
 pub fn encode_attrs(attrs: &Attrs, width: AsnWidth) -> BytesMut {
     let mut out = BytesMut::with_capacity(64);
     if let Some(origin) = attrs.origin {
-        put_attr(&mut out, flag::TRANSITIVE, type_code::ORIGIN, &[origin.code()]);
+        put_attr(
+            &mut out,
+            flag::TRANSITIVE,
+            type_code::ORIGIN,
+            &[origin.code()],
+        );
     }
     if let Some(path) = &attrs.as_path {
         let mut body = BytesMut::new();
@@ -289,12 +294,7 @@ pub fn encode_attrs(attrs: &Attrs, width: AsnWidth) -> BytesMut {
         );
     }
     if let Some(med) = attrs.med {
-        put_attr(
-            &mut out,
-            flag::OPTIONAL,
-            type_code::MED,
-            &med.to_be_bytes(),
-        );
+        put_attr(&mut out, flag::OPTIONAL, type_code::MED, &med.to_be_bytes());
     }
     if let Some(lp) = attrs.local_pref {
         put_attr(
@@ -428,8 +428,7 @@ fn decode_one_attr(
                 });
             }
             let v = value.get_u8();
-            attrs.origin =
-                Some(OriginAttr::from_code(v).ok_or(BgpError::BadOriginValue(v))?);
+            attrs.origin = Some(OriginAttr::from_code(v).ok_or(BgpError::BadOriginValue(v))?);
         }
         type_code::AS_PATH => {
             attrs.as_path = Some(decode_as_path(value, width)?);

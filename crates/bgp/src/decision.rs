@@ -96,11 +96,7 @@ pub fn best_index(candidates: &[(u16, Route)], cfg: &DecisionConfig) -> Option<u
         match best {
             None => best = Some(i),
             Some(b) => {
-                let (ord, _) = compare(
-                    (*peer, route),
-                    (candidates[b].0, &candidates[b].1),
-                    cfg,
-                );
+                let (ord, _) = compare((*peer, route), (candidates[b].0, &candidates[b].1), cfg);
                 if ord == Ordering::Less {
                     best = Some(i);
                 }

@@ -59,10 +59,7 @@ impl fmt::Display for BgpError {
                 what,
                 needed,
                 available,
-            } => write!(
-                f,
-                "truncated {what}: need {needed} bytes, have {available}"
-            ),
+            } => write!(f, "truncated {what}: need {needed} bytes, have {available}"),
             BgpError::BadMarker => write!(f, "BGP header marker is not all-ones"),
             BgpError::BadMessageLength(l) => write!(f, "invalid BGP message length {l}"),
             BgpError::BadMessageType(t) => write!(f, "unknown BGP message type {t}"),

@@ -425,10 +425,7 @@ mod tests {
     fn decode_consumes_exactly_one_message() {
         let mut stream = BytesMut::new();
         stream.put_slice(&BgpMessage::Keepalive.encode(AsnWidth::Two));
-        stream.put_slice(
-            &BgpMessage::Update(UpdateMsg::default())
-                .encode(AsnWidth::Two),
-        );
+        stream.put_slice(&BgpMessage::Update(UpdateMsg::default()).encode(AsnWidth::Two));
         let mut buf = stream.freeze();
         let m1 = BgpMessage::decode(&mut buf, AsnWidth::Two).unwrap();
         assert_eq!(m1, BgpMessage::Keepalive);

@@ -151,7 +151,12 @@ mod tests {
 
     #[test]
     fn v6_roundtrip() {
-        for s in ["::/0", "2001:db8::/32", "2001:db8:1:2::/64", "2001:db8::1/128"] {
+        for s in [
+            "::/0",
+            "2001:db8::/32",
+            "2001:db8:1:2::/64",
+            "2001:db8::1/128",
+        ] {
             let p: Ipv6Prefix = s.parse().unwrap();
             let mut buf = BytesMut::new();
             encode_prefix(&Prefix::V6(p), &mut buf);
@@ -163,10 +168,7 @@ mod tests {
     #[test]
     fn rejects_overlong_length() {
         let mut buf: &[u8] = &[33, 1, 2, 3, 4, 5];
-        assert_eq!(
-            decode_prefix_v4(&mut buf),
-            Err(BgpError::BadNlriLength(33))
-        );
+        assert_eq!(decode_prefix_v4(&mut buf), Err(BgpError::BadNlriLength(33)));
         let mut buf6: &[u8] = &[129];
         assert_eq!(
             decode_prefix_v6(&mut buf6),

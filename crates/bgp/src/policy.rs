@@ -61,9 +61,9 @@ pub enum RouteSource {
 ///   (no free transit between my providers/peers).
 pub fn may_export(source: RouteSource, to: Rel) -> bool {
     match source {
-        RouteSource::SelfOriginated | RouteSource::From(Rel::Customer) | RouteSource::From(Rel::Sibling) => {
-            true
-        }
+        RouteSource::SelfOriginated
+        | RouteSource::From(Rel::Customer)
+        | RouteSource::From(Rel::Sibling) => true,
         RouteSource::From(Rel::Peer) | RouteSource::From(Rel::Provider) => {
             matches!(to, Rel::Customer | Rel::Sibling)
         }

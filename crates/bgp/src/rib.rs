@@ -218,9 +218,7 @@ impl LocRib {
     /// Inserts or replaces the candidate from `peer_idx` for the
     /// route's prefix.
     pub fn upsert(&mut self, peer_idx: u16, route: Route) {
-        let slot = self
-            .candidates
-            .get_or_insert_with(route.prefix, Vec::new);
+        let slot = self.candidates.get_or_insert_with(route.prefix, Vec::new);
         match slot.iter_mut().find(|(p, _)| *p == peer_idx) {
             Some(entry) => entry.1 = route,
             None => slot.push((peer_idx, route)),

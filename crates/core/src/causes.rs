@@ -81,10 +81,7 @@ pub fn exchange_point_report(tl: &Timeline, xp_prefixes: &[Prefix]) -> ExchangeP
     let window = tl.core_len() as u32;
     ExchangePointReport {
         conflicted: durations.len(),
-        long_lived: durations
-            .iter()
-            .filter(|&&d| d >= window * 3 / 4)
-            .count(),
+        long_lived: durations.iter().filter(|&&d| d >= window * 3 / 4).count(),
         min_duration: durations.iter().copied().min().unwrap_or(0),
         max_duration: durations.iter().copied().max().unwrap_or(0),
     }
@@ -205,11 +202,7 @@ mod tests {
 
     #[test]
     fn involvement_counts_origin_membership() {
-        let obs = obs_with(&[
-            &["1 8584", "2 7"],
-            &["1 8584", "3 9"],
-            &["4 5", "6 11"],
-        ]);
+        let obs = obs_with(&[&["1 8584", "2 7"], &["1 8584", "3 9"], &["4 5", "6 11"]]);
         let inv = involvement_by_origin(&obs);
         assert_eq!(inv[&Asn::new(8584)], 2);
         assert_eq!(inv[&Asn::new(7)], 1);
@@ -255,10 +248,7 @@ mod tests {
                 .map(|(p, _)| PrefixConflict {
                     prefix: *p,
                     origins: vec![Asn::new(1), Asn::new(2)],
-                    paths: vec![
-                        (0, "1 7".parse().unwrap()),
-                        (1, "2 9".parse().unwrap()),
-                    ],
+                    paths: vec![(0, "1 7".parse().unwrap()), (1, "2 9".parse().unwrap())],
                 })
                 .collect();
             let obs = DayObservation {
@@ -293,9 +283,7 @@ mod tests {
         let valid: Prefix = "10.0.0.0/24".parse().unwrap(); // 90 days
         let invalid: Prefix = "10.0.1.0/24".parse().unwrap(); // 2 days
         let tl = timeline_with_durations(&[(valid, 90), (invalid, 2)]);
-        let score = score_duration_heuristic(&tl, 9, |p| {
-            Some(*p == valid)
-        });
+        let score = score_duration_heuristic(&tl, 9, |p| Some(*p == valid));
         assert_eq!(score.true_valid, 1);
         assert_eq!(score.true_invalid, 1);
         assert_eq!(score.accuracy(), 1.0);

@@ -188,9 +188,9 @@ mod tests {
     #[test]
     fn splitview_beats_distinct() {
         let c = conflict(&[
-            "701 3561 7007",  // V=701 → origin 7007
-            "701 1239 8584",  // V=701 → origin 8584 (SplitView pair)
-            "209 2914 7007",  // also yields a Distinct pair vs path 2
+            "701 3561 7007", // V=701 → origin 7007
+            "701 1239 8584", // V=701 → origin 8584 (SplitView pair)
+            "209 2914 7007", // also yields a Distinct pair vs path 2
         ]);
         assert_eq!(classify(&c), ConflictClass::SplitView);
     }

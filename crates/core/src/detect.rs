@@ -223,10 +223,7 @@ mod tests {
         let obs = detect(&t);
         assert_eq!(obs.conflict_count(), 0);
         assert_eq!(obs.as_set_prefixes.len(), 1);
-        assert_eq!(
-            obs.as_set_prefixes[0].1,
-            vec![Asn::new(7), Asn::new(9)]
-        );
+        assert_eq!(obs.as_set_prefixes[0].1, vec![Asn::new(7), Asn::new(9)]);
     }
 
     #[test]

@@ -111,14 +111,10 @@ impl OriginProfiler {
             *base = (1.0 - alpha) * *base + alpha * today_count;
         }
         for (asn, count) in today {
-            self.baseline
-                .entry(asn)
-                .or_insert(alpha * count as f64);
+            self.baseline.entry(asn).or_insert(alpha * count as f64);
         }
         anomalies.sort_by_key(|a| match a {
-            Anomaly::OriginSurge { today, asn, .. } => {
-                (std::cmp::Reverse(*today), asn.value())
-            }
+            Anomaly::OriginSurge { today, asn, .. } => (std::cmp::Reverse(*today), asn.value()),
             _ => (std::cmp::Reverse(0), 0),
         });
         anomalies
@@ -248,10 +244,7 @@ mod tests {
         for day in 0..10 {
             let o = obs(
                 Date::ymd(1998, 3, 1).plus_days(day),
-                &[
-                    ("10.0.0.0/24", &[8584, 7]),
-                    ("10.0.1.0/24", &[8584, 9]),
-                ],
+                &[("10.0.0.0/24", &[8584, 7]), ("10.0.1.0/24", &[8584, 9])],
             );
             let alarms = prof.observe(&o);
             assert!(alarms.is_empty(), "quiet day {day} alarmed: {alarms:?}");

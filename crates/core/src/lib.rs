@@ -30,7 +30,7 @@
 //!   originating far more prefixes than their history, plus a MOAS
 //!   alarm stream with an allowlist.
 //! * [`pipeline`] — drives a whole study window through the analysis,
-//!   serially or sharded across threads (crossbeam), from in-memory
+//!   serially or sharded across scoped threads, from in-memory
 //!   snapshots or from MRT archives on disk.
 //! * [`report`] — text tables, CSV and JSON artifacts for
 //!   EXPERIMENTS.md.

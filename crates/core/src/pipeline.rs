@@ -3,13 +3,12 @@
 //! The analysis is embarrassingly parallel across days (each day's
 //! table is scanned independently; the [`Timeline`] merge is
 //! associative over disjoint day sets), so the sharded driver splits
-//! the window into contiguous chunks and runs one worker per thread —
-//! per the Tokio guide's own advice, CPU-bound batch work uses threads,
-//! not an async runtime.
+//! the window into contiguous chunks and runs one worker per scoped
+//! thread — CPU-bound batch work uses threads, not an async runtime.
 
 use crate::detect::{detect, DayObservation, TableSource};
 use crate::timeline::Timeline;
-use moas_mrt::{snapshot::records_to_snapshot_lossy, MrtReader};
+use moas_mrt::{snapshot::SnapshotBuilder, MrtReader};
 use moas_net::Date;
 use std::fs::File;
 use std::io;
@@ -50,7 +49,7 @@ where
     }
     let chunk = n.div_ceil(threads);
     let mut shards: Vec<Timeline> = Vec::new();
-    crossbeam::thread::scope(|scope| {
+    std::thread::scope(|scope| {
         let mut handles = Vec::new();
         for t in 0..threads {
             let lo = t * chunk;
@@ -60,7 +59,7 @@ where
             }
             let dates_ref = &dates;
             let factory_ref = &factory;
-            handles.push(scope.spawn(move |_| {
+            handles.push(scope.spawn(move || {
                 let mut worker = factory_ref();
                 let mut tl = Timeline::new(dates_ref.clone(), core_len);
                 for idx in lo..hi {
@@ -73,8 +72,7 @@ where
         for h in handles {
             shards.push(h.join().expect("analysis worker panicked"));
         }
-    })
-    .expect("crossbeam scope failed");
+    });
 
     let mut merged = Timeline::new(dates, core_len);
     for shard in shards {
@@ -85,16 +83,25 @@ where
 
 /// Reads one MRT table-dump file and runs detection over it.
 /// Returns the observation and the reader's fault counters.
+///
+/// Records stream straight from the reader into an incremental
+/// [`SnapshotBuilder`] — each record is decoded, folded into the
+/// table, and dropped, so memory is bounded by the table being built,
+/// not by the file's record count.
 pub fn analyze_mrt_file(
     path: &Path,
     date_hint: Option<Date>,
 ) -> io::Result<(DayObservation, moas_mrt::ReadStats)> {
     let file = File::open(path)?;
     let mut reader = MrtReader::new(file);
-    let records: Vec<moas_mrt::MrtRecord> = reader.by_ref().collect();
+    let mut builder = SnapshotBuilder::new(date_hint, true);
+    for record in reader.by_ref() {
+        builder
+            .push(&record)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
+    }
     let mut stats = reader.stats().clone();
-    let build = records_to_snapshot_lossy(&records, date_hint)
-        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
+    let build = builder.finish();
     // Entries dropped for unknown peer indices are corruption too.
     stats.records_skipped += build.unknown_peer_entries;
     Ok((detect(&build.snapshot), stats))
@@ -200,9 +207,21 @@ mod tests {
         let mut t = TableSnapshot::new(date);
         let p0 = t.add_peer(PeerInfo::v4(Ipv4Addr::new(10, 0, 0, 1), Asn::new(701)));
         let p1 = t.add_peer(PeerInfo::v4(Ipv4Addr::new(10, 0, 0, 2), Asn::new(1239)));
-        t.push_path(p0, "192.0.2.0/24".parse().unwrap(), "701 8584".parse().unwrap());
-        t.push_path(p1, "192.0.2.0/24".parse().unwrap(), "1239 7007".parse().unwrap());
-        t.push_path(p1, "10.0.0.0/8".parse().unwrap(), "1239 3561".parse().unwrap());
+        t.push_path(
+            p0,
+            "192.0.2.0/24".parse().unwrap(),
+            "701 8584".parse().unwrap(),
+        );
+        t.push_path(
+            p1,
+            "192.0.2.0/24".parse().unwrap(),
+            "1239 7007".parse().unwrap(),
+        );
+        t.push_path(
+            p1,
+            "10.0.0.0/8".parse().unwrap(),
+            "1239 3561".parse().unwrap(),
+        );
         t
     }
 

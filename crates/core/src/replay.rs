@@ -32,6 +32,83 @@ pub struct ReplayStats {
     pub other_records: u64,
 }
 
+/// One route-level instruction a BGP4MP UPDATE record encodes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RouteInstruction {
+    /// Announce (or implicitly replace) the session's route.
+    Announce {
+        /// The announced prefix.
+        prefix: Prefix,
+        /// The route the record's attributes describe for it.
+        route: moas_bgp::Route,
+    },
+    /// Withdraw the session's route for a prefix.
+    Withdraw {
+        /// The withdrawn prefix.
+        prefix: Prefix,
+    },
+}
+
+/// Extracts what one MRT record does at the route level: the peer
+/// session it belongs to, and its withdrawals (first, matching RFC
+/// 4271 UPDATE processing) then announcements. Returns `None` for
+/// anything that is not a BGP4MP UPDATE.
+///
+/// This is the single definition of "what a record changes" shared by
+/// the batch [`StreamReplayer`] and the streaming `moas-monitor`
+/// engine — keeping session keying, ordering and path defaulting from
+/// drifting apart between the two pipelines.
+pub fn record_instructions(record: &MrtRecord) -> Option<((IpAddr, Asn), Vec<RouteInstruction>)> {
+    let MrtBody::Bgp4mpMessage(m) = &record.body else {
+        return None;
+    };
+    let BgpMessage::Update(u) = &m.message else {
+        return None;
+    };
+    let session = (m.header.peer_addr, m.header.peer_as);
+    let mut instructions = Vec::new();
+    for prefix in u.all_withdrawn() {
+        instructions.push(RouteInstruction::Withdraw { prefix });
+    }
+    for prefix in u.all_announced() {
+        instructions.push(RouteInstruction::Announce {
+            prefix,
+            route: u.attrs.to_route(prefix),
+        });
+    }
+    Some((session, instructions))
+}
+
+/// One route-level state change produced by applying an update — the
+/// incremental per-prefix delta a streaming consumer (such as
+/// `moas-monitor`) keys its bookkeeping on, exposed here so batch and
+/// streaming share one definition of "what changed".
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RouteDelta {
+    /// The session the change happened on.
+    pub session: (IpAddr, Asn),
+    /// The prefix whose route changed.
+    pub prefix: Prefix,
+    /// What happened to the route.
+    pub kind: DeltaKind,
+}
+
+/// The kind of change a [`RouteDelta`] describes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DeltaKind {
+    /// The session announced a route for a prefix it had none for.
+    Announced,
+    /// The session replaced its route (implicit withdraw + announce).
+    /// Carries whether the origin AS changed — the only replacement
+    /// MOAS detection can observe.
+    Replaced {
+        /// True iff the new path's origin differs from the old one's.
+        origin_changed: bool,
+    },
+    /// The session withdrew its route.
+    Withdrawn,
+}
+
 /// Reconstructs per-session RIBs from snapshots and update streams.
 #[derive(Debug, Default)]
 pub struct StreamReplayer {
@@ -79,30 +156,51 @@ impl StreamReplayer {
     /// Applies one MRT record (BGP4MP updates mutate state; everything
     /// else is counted and ignored).
     pub fn apply(&mut self, record: &MrtRecord) {
-        let MrtBody::Bgp4mpMessage(m) = &record.body else {
+        self.apply_with_deltas(record);
+    }
+
+    /// Applies one MRT record and reports the route-level deltas it
+    /// caused (spurious withdrawals produce no delta).
+    pub fn apply_with_deltas(&mut self, record: &MrtRecord) -> Vec<RouteDelta> {
+        let Some((session, instructions)) = record_instructions(record) else {
             self.stats.other_records += 1;
-            return;
-        };
-        let BgpMessage::Update(u) = &m.message else {
-            self.stats.other_records += 1;
-            return;
+            return Vec::new();
         };
         self.stats.updates += 1;
-        let rib = self
-            .ribs
-            .entry((m.header.peer_addr, m.header.peer_as))
-            .or_default();
-        for w in u.all_withdrawn() {
-            if rib.withdraw(&w).is_some() {
-                self.stats.withdrawals += 1;
-            } else {
-                self.stats.spurious_withdrawals += 1;
+        let rib = self.ribs.entry(session).or_default();
+        let mut deltas = Vec::new();
+        for instruction in instructions {
+            match instruction {
+                RouteInstruction::Withdraw { prefix } => {
+                    if rib.withdraw(&prefix).is_some() {
+                        self.stats.withdrawals += 1;
+                        deltas.push(RouteDelta {
+                            session,
+                            prefix,
+                            kind: DeltaKind::Withdrawn,
+                        });
+                    } else {
+                        self.stats.spurious_withdrawals += 1;
+                    }
+                }
+                RouteInstruction::Announce { prefix, route } => {
+                    let new_origin = route.path.origin();
+                    let kind = match rib.announce(route) {
+                        Some(old) => DeltaKind::Replaced {
+                            origin_changed: old.path.origin() != new_origin,
+                        },
+                        None => DeltaKind::Announced,
+                    };
+                    deltas.push(RouteDelta {
+                        session,
+                        prefix,
+                        kind,
+                    });
+                    self.stats.announcements += 1;
+                }
             }
         }
-        for prefix in u.all_announced() {
-            rib.announce(u.attrs.to_route(prefix));
-            self.stats.announcements += 1;
-        }
+        deltas
     }
 
     /// Applies a whole stream in order.
@@ -145,13 +243,54 @@ impl StreamReplayer {
 }
 
 #[cfg(test)]
+mod delta_tests {
+    use super::tests::update_record;
+    use super::*;
+    use std::net::Ipv4Addr;
+
+    const P1: (Ipv4Addr, u32) = (Ipv4Addr::new(10, 0, 0, 1), 701);
+
+    #[test]
+    fn announce_replace_withdraw_deltas() {
+        let mut r = StreamReplayer::new();
+        let d = r.apply_with_deltas(&update_record(P1, &[("192.0.2.0/24", "701 7")], &[]));
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].kind, DeltaKind::Announced);
+
+        let d = r.apply_with_deltas(&update_record(P1, &[("192.0.2.0/24", "701 9 7")], &[]));
+        assert_eq!(
+            d[0].kind,
+            DeltaKind::Replaced {
+                origin_changed: false
+            }
+        );
+
+        let d = r.apply_with_deltas(&update_record(P1, &[("192.0.2.0/24", "701 9")], &[]));
+        assert_eq!(
+            d[0].kind,
+            DeltaKind::Replaced {
+                origin_changed: true
+            }
+        );
+
+        let d = r.apply_with_deltas(&update_record(P1, &[], &["192.0.2.0/24"]));
+        assert_eq!(d[0].kind, DeltaKind::Withdrawn);
+
+        // Spurious withdrawal: counted, no delta.
+        let d = r.apply_with_deltas(&update_record(P1, &[], &["192.0.2.0/24"]));
+        assert!(d.is_empty());
+        assert_eq!(r.stats().spurious_withdrawals, 1);
+    }
+}
+
+#[cfg(test)]
 mod tests {
     use super::*;
     use moas_bgp::attrs::Attrs;
     use moas_bgp::message::UpdateMsg;
     use moas_mrt::bgp4mp::{Bgp4mpMessage, PeeringHeader};
 
-    fn update_record(
+    pub(super) fn update_record(
         peer: (Ipv4Addr, u32),
         announced: &[(&str, &str)],
         withdrawn: &[&str],

@@ -60,12 +60,7 @@ pub fn csv(headers: &[&str], rows: &[Vec<String>]) -> String {
     );
     out.push('\n');
     for row in rows {
-        out.push_str(
-            &row.iter()
-                .map(|c| field(c))
-                .collect::<Vec<_>>()
-                .join(","),
-        );
+        out.push_str(&row.iter().map(|c| field(c)).collect::<Vec<_>>().join(","));
         out.push('\n');
     }
     out
@@ -144,7 +139,13 @@ pub fn ascii_log_hist(pairs: &[(u32, u32)], width: usize, height: usize) -> Stri
         let _ = writeln!(out, "{label} |{}", row.iter().collect::<String>());
     }
     let _ = write!(out, "{:>9} +{}", "", "-".repeat(width));
-    let _ = write!(out, "\n{:>9}  0{:>w$}", "", max_x, w = width.saturating_sub(1));
+    let _ = write!(
+        out,
+        "\n{:>9}  0{:>w$}",
+        "",
+        max_x,
+        w = width.saturating_sub(1)
+    );
     out
 }
 

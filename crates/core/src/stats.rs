@@ -399,10 +399,7 @@ mod tests {
 
     #[test]
     fn fig5_medians_by_year() {
-        let tl = mk_timeline(&[
-            (Date::ymd(1998, 1, 1), 4),
-            (Date::ymd(1998, 1, 2), 4),
-        ]);
+        let tl = mk_timeline(&[(Date::ymd(1998, 1, 1), 4), (Date::ymd(1998, 1, 2), 4)]);
         let by_year = fig5_masklen_by_year(&tl, &[1998, 1999]);
         assert!(by_year.contains_key(&1998));
         assert!(!by_year.contains_key(&1999));
@@ -431,10 +428,7 @@ mod tests {
                 PrefixConflict {
                     prefix: "10.0.1.0/24".parse().unwrap(),
                     origins: vec![],
-                    paths: vec![
-                        (0, "1 7".parse().unwrap()),
-                        (1, "2 9".parse().unwrap()),
-                    ],
+                    paths: vec![(0, "1 7".parse().unwrap()), (1, "2 9".parse().unwrap())],
                 },
             ],
             as_set_prefixes: vec![],

@@ -69,10 +69,7 @@ pub fn detect_submoas(source: &impl TableSource) -> SubMoasReport {
         prefixes: trie.len(),
         ..SubMoasReport::default()
     };
-    let entries: Vec<(Ipv4Prefix, Vec<Asn>)> = trie
-        .iter()
-        .map(|(p, o)| (p, o.clone()))
-        .collect();
+    let entries: Vec<(Ipv4Prefix, Vec<Asn>)> = trie.iter().map(|(p, o)| (p, o.clone())).collect();
     for (specific, mut specific_origins) in entries {
         // Nearest strict cover: the longest match on the parent.
         let Some(parent) = specific.supernet() else {

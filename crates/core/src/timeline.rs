@@ -139,10 +139,7 @@ impl Timeline {
         assert_eq!(self.dates, other.dates, "windows differ");
         for (i, day) in other.daily.into_iter().enumerate() {
             if let Some(d) = day {
-                assert!(
-                    self.daily[i].is_none(),
-                    "both shards recorded day {i}"
-                );
+                assert!(self.daily[i].is_none(), "both shards recorded day {i}");
                 self.daily[i] = Some(d);
             }
         }
@@ -188,10 +185,7 @@ impl Timeline {
 
     /// Total distinct conflicted prefixes (the paper's 38 225).
     pub fn total_conflicts(&self) -> usize {
-        self.prefixes
-            .values()
-            .filter(|r| r.core_days > 0)
-            .count()
+        self.prefixes.values().filter(|r| r.core_days > 0).count()
     }
 
     /// Conflicts active on the final core day (the paper's "still
@@ -331,9 +325,9 @@ mod tests {
     fn daily_class_and_masklen_histograms() {
         let mut tl = Timeline::new(dates(3), 3);
         let o = obs(&[
-            ("192.0.2.0/24", &["1 7", "2 9"]),           // distinct
-            ("10.0.0.0/8", &["1 5", "1 6 8"]),           // splitview
-            ("198.51.0.0/16", &["1 2", "1 2 3"]),        // origtran
+            ("192.0.2.0/24", &["1 7", "2 9"]),    // distinct
+            ("10.0.0.0/8", &["1 5", "1 6 8"]),    // splitview
+            ("198.51.0.0/16", &["1 2", "1 2 3"]), // origtran
         ]);
         tl.record(0, &o);
         let d = tl.day(0).unwrap();

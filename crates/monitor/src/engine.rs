@@ -1,0 +1,273 @@
+//! The engine: shard workers, update routing, batching, day marks.
+//!
+//! The ingest thread decodes BGP4MP records into route-level updates,
+//! routes each by prefix hash to its owning shard, and flushes
+//! per-shard batches over bounded channels (a full channel blocks the
+//! producer — backpressure instead of unbounded memory). A prefix
+//! always lands on the same shard, so per-prefix update order — the
+//! only order conflict lifecycles depend on — is preserved no matter
+//! how many shards run.
+
+use crate::event::{sort_log, SeqEvent};
+use crate::metrics::{EngineMetrics, MetricsSnapshot};
+use crate::query::{MoasSnapshot, MonitorReport};
+use crate::shard::{run_shard, DaySlice, ShardMsg, ShardOutput, ShardSnapshot};
+use crate::state::{RouteUpdate, SessionKey, UpdateAction};
+use moas_bgp::TableSnapshot;
+use moas_core::detector::{Anomaly, ProfilerConfig};
+use moas_core::replay::{record_instructions, RouteInstruction};
+use moas_mrt::record::MrtRecord;
+use moas_net::{Date, Prefix};
+use std::collections::hash_map::DefaultHasher;
+use std::hash::{Hash, Hasher};
+use std::sync::{mpsc, Arc};
+use std::thread::JoinHandle;
+
+/// Engine tuning knobs.
+#[derive(Debug, Clone, Copy)]
+pub struct MonitorConfig {
+    /// Worker shard count (≥ 1).
+    pub shards: usize,
+    /// Bounded channel capacity, in batches, per shard.
+    pub queue_capacity: usize,
+    /// Route updates per batch before a flush.
+    pub batch_size: usize,
+    /// Config for each shard's embedded origin profiler (§VII).
+    pub profiler: ProfilerConfig,
+    /// Days a new origin must persist before the embedded
+    /// [`moas_core::detector::MoasMonitor`] auto-accepts it.
+    pub accept_after: u32,
+}
+
+impl Default for MonitorConfig {
+    fn default() -> Self {
+        MonitorConfig {
+            shards: 4,
+            queue_capacity: 64,
+            batch_size: 256,
+            profiler: ProfilerConfig::default(),
+            accept_after: 2,
+        }
+    }
+}
+
+impl MonitorConfig {
+    /// A config with the given shard count and defaults otherwise.
+    pub fn with_shards(shards: usize) -> Self {
+        MonitorConfig {
+            shards,
+            ..MonitorConfig::default()
+        }
+    }
+}
+
+/// The online sharded MOAS monitor.
+///
+/// Feed it BGP4MP update records ([`MonitorEngine::ingest_record`]) or
+/// whole table snapshots ([`MonitorEngine::seed_snapshot`]); mark day
+/// boundaries ([`MonitorEngine::mark_day`]) to take per-day
+/// observations in-stream; query the live MOAS set at any point
+/// ([`MonitorEngine::snapshot`]); and [`MonitorEngine::finish`] to
+/// join the workers and collect the full [`MonitorReport`].
+pub struct MonitorEngine {
+    config: MonitorConfig,
+    senders: Vec<mpsc::SyncSender<ShardMsg>>,
+    handles: Vec<JoinHandle<ShardOutput>>,
+    pending: Vec<Vec<RouteUpdate>>,
+    metrics: Arc<EngineMetrics>,
+}
+
+impl MonitorEngine {
+    /// Spawns the shard workers.
+    pub fn new(config: MonitorConfig) -> Self {
+        assert!(config.shards >= 1, "need at least one shard");
+        assert!(config.batch_size >= 1, "need a positive batch size");
+        let metrics = Arc::new(EngineMetrics::default());
+        let mut senders = Vec::with_capacity(config.shards);
+        let mut handles = Vec::with_capacity(config.shards);
+        for shard in 0..config.shards {
+            let (tx, rx) = mpsc::sync_channel(config.queue_capacity.max(1));
+            let m = Arc::clone(&metrics);
+            let profiler = config.profiler;
+            let accept_after = config.accept_after;
+            handles.push(
+                std::thread::Builder::new()
+                    .name(format!("moas-shard-{shard}"))
+                    .spawn(move || run_shard(shard, rx, profiler, accept_after, m))
+                    .expect("spawn shard worker"),
+            );
+            senders.push(tx);
+        }
+        MonitorEngine {
+            pending: vec![Vec::new(); config.shards],
+            config,
+            senders,
+            handles,
+            metrics,
+        }
+    }
+
+    /// The engine's config.
+    pub fn config(&self) -> &MonitorConfig {
+        &self.config
+    }
+
+    /// A point-in-time copy of the engine counters.
+    pub fn metrics(&self) -> MetricsSnapshot {
+        self.metrics.snapshot()
+    }
+
+    fn shard_of(&self, prefix: &Prefix) -> usize {
+        let mut h = DefaultHasher::new();
+        prefix.hash(&mut h);
+        (h.finish() % self.config.shards as u64) as usize
+    }
+
+    fn route(&mut self, update: RouteUpdate) {
+        let shard = self.shard_of(&update.prefix);
+        EngineMetrics::add(&self.metrics.updates_routed, 1);
+        self.pending[shard].push(update);
+        if self.pending[shard].len() >= self.config.batch_size {
+            self.flush_shard(shard);
+        }
+    }
+
+    fn flush_shard(&mut self, shard: usize) {
+        if self.pending[shard].is_empty() {
+            return;
+        }
+        let batch = std::mem::take(&mut self.pending[shard]);
+        EngineMetrics::add(&self.metrics.batches_sent, 1);
+        self.senders[shard]
+            .send(ShardMsg::Batch(batch))
+            .expect("shard worker alive");
+    }
+
+    /// Flushes every pending batch to its shard.
+    pub fn flush(&mut self) {
+        for shard in 0..self.config.shards {
+            self.flush_shard(shard);
+        }
+    }
+
+    /// Seeds state from a full table snapshot, as if every entry were
+    /// announced at `at` — the streaming equivalent of
+    /// `StreamReplayer::seed`.
+    pub fn seed_snapshot(&mut self, snap: &TableSnapshot, at: u32) {
+        for e in &snap.entries {
+            let peer = &snap.peers[e.peer_idx as usize];
+            self.route(RouteUpdate {
+                session: (peer.addr, peer.asn),
+                prefix: e.route.prefix,
+                action: UpdateAction::Announce(e.route.path.clone()),
+                at,
+            });
+        }
+    }
+
+    /// Ingests one MRT record. BGP4MP UPDATEs mutate state; everything
+    /// else is counted and skipped, like the batch reader's fault
+    /// tolerance. What a record *means* at the route level comes from
+    /// [`moas_core::replay::record_instructions`] — the same
+    /// definition the batch replayer applies, so the two pipelines
+    /// cannot drift.
+    pub fn ingest_record(&mut self, record: &MrtRecord) {
+        EngineMetrics::add(&self.metrics.records_ingested, 1);
+        let Some((session, instructions)) = record_instructions(record) else {
+            EngineMetrics::add(&self.metrics.records_skipped, 1);
+            return;
+        };
+        let session: SessionKey = session;
+        for instruction in instructions {
+            let (prefix, action) = match instruction {
+                RouteInstruction::Withdraw { prefix } => (prefix, UpdateAction::Withdraw),
+                RouteInstruction::Announce { prefix, route } => {
+                    (prefix, UpdateAction::Announce(route.path))
+                }
+            };
+            self.route(RouteUpdate {
+                session,
+                prefix,
+                action,
+                at: record.timestamp,
+            });
+        }
+    }
+
+    /// Ingests a whole record stream in order.
+    pub fn ingest_all<'a, I: IntoIterator<Item = &'a MrtRecord>>(&mut self, records: I) {
+        for r in records {
+            self.ingest_record(r);
+        }
+    }
+
+    /// Marks a day boundary: flushes all pending updates, then asks
+    /// every shard to snapshot its slice for day position `idx` and
+    /// run its embedded §VII detectors over it.
+    pub fn mark_day(&mut self, idx: usize, date: Date) {
+        self.flush();
+        EngineMetrics::add(&self.metrics.day_marks, 1);
+        for tx in &self.senders {
+            tx.send(ShardMsg::DayMark { idx, date })
+                .expect("shard worker alive");
+        }
+    }
+
+    /// Takes an epoch-consistent-per-shard snapshot of the live MOAS
+    /// set without stopping ingestion: pending batches are flushed,
+    /// each shard answers at a message boundary, and ingestion resumes
+    /// as soon as the queries are enqueued.
+    pub fn snapshot(&mut self) -> MoasSnapshot {
+        self.flush();
+        let (tx, rx) = mpsc::channel::<ShardSnapshot>();
+        for sender in &self.senders {
+            sender
+                .send(ShardMsg::Query(tx.clone()))
+                .expect("shard worker alive");
+        }
+        drop(tx);
+        let mut shards: Vec<ShardSnapshot> = rx.iter().collect();
+        shards.sort_by_key(|s| s.shard);
+        MoasSnapshot::new(shards)
+    }
+
+    /// Flushes, shuts the workers down, and collects the merged
+    /// report: the sorted event log, all day slices, in-stream alarms,
+    /// and final counters.
+    pub fn finish(mut self) -> MonitorReport {
+        self.flush();
+        for tx in &self.senders {
+            tx.send(ShardMsg::Shutdown).expect("shard worker alive");
+        }
+        drop(self.senders);
+
+        let mut events: Vec<SeqEvent> = Vec::new();
+        let mut day_slices: Vec<DaySlice> = Vec::new();
+        let mut alarms: Vec<(usize, Anomaly)> = Vec::new();
+        let mut routes = 0u64;
+        let mut prefixes = 0usize;
+        let mut spurious = 0u64;
+        for handle in self.handles {
+            let out = handle.join().expect("shard worker panicked");
+            events.extend(out.log);
+            day_slices.extend(out.slices);
+            alarms.extend(out.alarms);
+            routes += out.routes;
+            prefixes += out.prefixes;
+            spurious += out.spurious_withdrawals;
+        }
+        sort_log(&mut events);
+        day_slices.sort_by_key(|s| (s.idx, s.shard));
+        alarms.sort_by_key(|(idx, _)| *idx);
+
+        MonitorReport {
+            events,
+            day_slices,
+            alarms,
+            routes,
+            prefixes,
+            spurious_withdrawals: spurious,
+            metrics: self.metrics.snapshot(),
+        }
+    }
+}

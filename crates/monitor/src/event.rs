@@ -1,0 +1,106 @@
+//! Typed events emitted by the streaming engine.
+//!
+//! Where the batch pipeline re-derives each day's conflict table from
+//! scratch, the monitor narrates conflict *lifecycles*: a conflict
+//! opens the moment a second distinct origin appears for a prefix,
+//! mutates as origins come and go, and closes when fewer than two
+//! remain (or an AS-set route poisons the prefix, §III). Every event
+//! carries the BGP4MP timestamp of the update that caused it, so
+//! downstream consumers get real-time conflict durations instead of
+//! day-granularity ones.
+
+use moas_net::{Asn, Prefix};
+
+/// One lifecycle event for a conflicted prefix.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MonitorEvent {
+    /// A prefix just gained its second distinct origin (or lost the
+    /// AS-set route that was excluding it): a MOAS conflict is open.
+    ConflictOpened {
+        /// The conflicted prefix.
+        prefix: Prefix,
+        /// Distinct origins at the moment of opening (sorted).
+        origins: Vec<Asn>,
+        /// Update-stream timestamp (seconds since the Unix epoch).
+        at: u32,
+    },
+    /// An additional origin joined an already-open conflict.
+    OriginAdded {
+        /// The conflicted prefix.
+        prefix: Prefix,
+        /// The origin that appeared.
+        origin: Asn,
+        /// Update-stream timestamp.
+        at: u32,
+    },
+    /// An origin left a conflict that stays open (≥ 2 remain).
+    OriginWithdrawn {
+        /// The conflicted prefix.
+        prefix: Prefix,
+        /// The origin that vanished.
+        origin: Asn,
+        /// Update-stream timestamp.
+        at: u32,
+    },
+    /// The conflict ended: fewer than two distinct origins remain, or
+    /// an AS-set-terminated route appeared and excluded the prefix.
+    ConflictClosed {
+        /// The prefix whose conflict ended.
+        prefix: Prefix,
+        /// When the conflict had opened.
+        opened_at: u32,
+        /// Update-stream timestamp of the close.
+        at: u32,
+    },
+}
+
+impl MonitorEvent {
+    /// The prefix the event concerns.
+    pub fn prefix(&self) -> Prefix {
+        match self {
+            MonitorEvent::ConflictOpened { prefix, .. }
+            | MonitorEvent::OriginAdded { prefix, .. }
+            | MonitorEvent::OriginWithdrawn { prefix, .. }
+            | MonitorEvent::ConflictClosed { prefix, .. } => *prefix,
+        }
+    }
+
+    /// The update-stream timestamp of the event.
+    pub fn at(&self) -> u32 {
+        match self {
+            MonitorEvent::ConflictOpened { at, .. }
+            | MonitorEvent::OriginAdded { at, .. }
+            | MonitorEvent::OriginWithdrawn { at, .. }
+            | MonitorEvent::ConflictClosed { at, .. } => *at,
+        }
+    }
+
+    /// For a close event, the real-time conflict duration in seconds.
+    pub fn duration_secs(&self) -> Option<u32> {
+        match self {
+            MonitorEvent::ConflictClosed { opened_at, at, .. } => {
+                Some(at.saturating_sub(*opened_at))
+            }
+            _ => None,
+        }
+    }
+}
+
+/// An event stamped with its emitting shard and that shard's local
+/// sequence number. `(at, shard, seq)` is a total order that respects
+/// per-prefix causality (a prefix lives on exactly one shard, and a
+/// shard's `seq` increases monotonically).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SeqEvent {
+    /// Which shard emitted the event.
+    pub shard: usize,
+    /// The shard-local sequence number.
+    pub seq: u64,
+    /// The event itself.
+    pub event: MonitorEvent,
+}
+
+/// Sorts a merged multi-shard log into replay order.
+pub fn sort_log(log: &mut [SeqEvent]) {
+    log.sort_by_key(|e| (e.event.at(), e.shard, e.seq));
+}

@@ -1,0 +1,79 @@
+//! Engine-wide counters, shared between the ingest thread and the
+//! shard workers through atomics so reading them never contends with
+//! the hot path.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Live counters for a running engine.
+#[derive(Debug, Default)]
+pub struct EngineMetrics {
+    /// MRT records handed to the engine.
+    pub records_ingested: AtomicU64,
+    /// Records that were not BGP4MP UPDATEs (counted and skipped).
+    pub records_skipped: AtomicU64,
+    /// Route-level updates (announcements + withdrawals) routed to
+    /// shards.
+    pub updates_routed: AtomicU64,
+    /// Route-level updates actually applied by shard workers.
+    pub updates_applied: AtomicU64,
+    /// Withdrawals for routes no session held (no state change).
+    pub spurious_withdrawals: AtomicU64,
+    /// Lifecycle events emitted across all shards.
+    pub events_emitted: AtomicU64,
+    /// Batches flushed into shard channels.
+    pub batches_sent: AtomicU64,
+    /// Day marks broadcast.
+    pub day_marks: AtomicU64,
+    /// Epoch snapshots served.
+    pub queries_served: AtomicU64,
+}
+
+impl EngineMetrics {
+    /// Adds `n` to a counter.
+    pub fn add(counter: &AtomicU64, n: u64) {
+        counter.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Reads a counter.
+    pub fn get(counter: &AtomicU64) -> u64 {
+        counter.load(Ordering::Relaxed)
+    }
+
+    /// A point-in-time copy of every counter, for reports.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        MetricsSnapshot {
+            records_ingested: Self::get(&self.records_ingested),
+            records_skipped: Self::get(&self.records_skipped),
+            updates_routed: Self::get(&self.updates_routed),
+            updates_applied: Self::get(&self.updates_applied),
+            spurious_withdrawals: Self::get(&self.spurious_withdrawals),
+            events_emitted: Self::get(&self.events_emitted),
+            batches_sent: Self::get(&self.batches_sent),
+            day_marks: Self::get(&self.day_marks),
+            queries_served: Self::get(&self.queries_served),
+        }
+    }
+}
+
+/// A frozen copy of [`EngineMetrics`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MetricsSnapshot {
+    /// MRT records handed to the engine.
+    pub records_ingested: u64,
+    /// Records that were not BGP4MP UPDATEs.
+    pub records_skipped: u64,
+    /// Route-level updates routed to shards.
+    pub updates_routed: u64,
+    /// Route-level updates applied by shard workers.
+    pub updates_applied: u64,
+    /// Withdrawals that matched no held route.
+    pub spurious_withdrawals: u64,
+    /// Lifecycle events emitted.
+    pub events_emitted: u64,
+    /// Batches flushed into shard channels.
+    pub batches_sent: u64,
+    /// Day marks broadcast.
+    pub day_marks: u64,
+    /// Epoch snapshots served.
+    pub queries_served: u64,
+}

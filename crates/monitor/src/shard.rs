@@ -1,0 +1,222 @@
+//! Shard workers: each owns a prefix-hash slice of the origin state.
+//!
+//! Workers consume batched route updates from a bounded channel
+//! (blocking the producer when full — backpressure, not unbounded
+//! queues), apply them to their [`ShardState`], log the lifecycle
+//! events, and answer control messages: day marks (snapshot the
+//! shard's slice for the day, feed the embedded §VII detectors) and
+//! epoch queries (report the current MOAS set without stopping
+//! ingestion).
+
+use crate::event::{MonitorEvent, SeqEvent};
+use crate::metrics::EngineMetrics;
+use crate::state::{LiveConflict, RouteUpdate, SetExcludedPrefix, ShardState};
+use moas_core::detect::{DayObservation, PrefixConflict};
+use moas_core::detector::{Anomaly, MoasMonitor, OriginProfiler, ProfilerConfig};
+use moas_net::Date;
+use std::sync::{mpsc, Arc};
+
+/// Messages a shard worker consumes.
+pub enum ShardMsg {
+    /// A batch of route updates (per-prefix order preserved by the
+    /// engine's routing).
+    Batch(Vec<RouteUpdate>),
+    /// Day boundary: snapshot this shard's slice as a [`DaySlice`]
+    /// and run the embedded detectors over it.
+    DayMark {
+        /// Snapshot-day position in the study window.
+        idx: usize,
+        /// The calendar date of the day.
+        date: Date,
+    },
+    /// Epoch query: report the current open conflicts.
+    Query(mpsc::Sender<ShardSnapshot>),
+    /// Drain and exit.
+    Shutdown,
+}
+
+/// One shard's contribution to a day's observation.
+#[derive(Debug, Clone)]
+pub struct DaySlice {
+    /// Which shard produced the slice.
+    pub shard: usize,
+    /// Snapshot-day position.
+    pub idx: usize,
+    /// The day's date.
+    pub date: Date,
+    /// Conflicts open at the mark (prefix order).
+    pub conflicts: Vec<LiveConflict>,
+    /// Prefixes excluded by AS-set routes at the mark.
+    pub set_excluded: Vec<SetExcludedPrefix>,
+    /// Distinct prefixes with live routes in this shard.
+    pub total_prefixes: usize,
+    /// Live routes in this shard.
+    pub total_routes: u64,
+    /// Live routes with no extractable origin.
+    pub empty_path_routes: u64,
+}
+
+impl DaySlice {
+    /// Renders the slice as a [`DayObservation`] over this shard's
+    /// prefixes only (sessions are renumbered per conflict; `detect()`
+    /// semantics otherwise).
+    pub fn to_observation(&self) -> DayObservation {
+        DayObservation {
+            date: Some(self.date),
+            conflicts: self
+                .conflicts
+                .iter()
+                .map(|c| PrefixConflict {
+                    prefix: c.prefix,
+                    origins: c.origins.clone(),
+                    paths: c
+                        .paths
+                        .iter()
+                        .cloned()
+                        .enumerate()
+                        .map(|(i, p)| (i as u16, p))
+                        .collect(),
+                })
+                .collect(),
+            as_set_prefixes: self
+                .set_excluded
+                .iter()
+                .map(|e| (e.prefix, e.members.clone()))
+                .collect(),
+            total_prefixes: self.total_prefixes,
+            empty_path_routes: self.empty_path_routes as usize,
+            total_routes: self.total_routes as usize,
+        }
+    }
+}
+
+/// A shard's answer to an epoch query.
+#[derive(Debug, Clone)]
+pub struct ShardSnapshot {
+    /// Which shard answered.
+    pub shard: usize,
+    /// Updates this shard had applied when it answered — the shard's
+    /// epoch. Monotonic; two queries bracketing an idle engine return
+    /// equal epochs.
+    pub epoch: u64,
+    /// Conflicts open at the epoch (prefix order).
+    pub open: Vec<LiveConflict>,
+    /// Live routes held.
+    pub routes: u64,
+    /// Distinct prefixes held.
+    pub prefixes: usize,
+}
+
+/// Everything a shard hands back when it shuts down.
+#[derive(Debug)]
+pub struct ShardOutput {
+    /// Which shard this is.
+    pub shard: usize,
+    /// The shard's full event log (seq order).
+    pub log: Vec<SeqEvent>,
+    /// Day slices, one per day mark.
+    pub slices: Vec<DaySlice>,
+    /// §VII alarms raised in-stream, tagged with the day position of
+    /// the mark that triggered them.
+    pub alarms: Vec<(usize, Anomaly)>,
+    /// Final route count.
+    pub routes: u64,
+    /// Final distinct-prefix count.
+    pub prefixes: usize,
+    /// Withdrawals that matched no held route.
+    pub spurious_withdrawals: u64,
+}
+
+/// Runs one shard worker until [`ShardMsg::Shutdown`].
+///
+/// The embedded [`OriginProfiler`] and [`MoasMonitor`] see this
+/// shard's slice of each day (prefix-sharded, so `NewOrigin` alarms
+/// are exact; origin-surge baselines are per-shard involvement
+/// counts).
+pub fn run_shard(
+    shard: usize,
+    rx: mpsc::Receiver<ShardMsg>,
+    profiler_config: ProfilerConfig,
+    accept_after: u32,
+    metrics: Arc<EngineMetrics>,
+) -> ShardOutput {
+    let mut state = ShardState::new();
+    let mut log: Vec<SeqEvent> = Vec::new();
+    let mut slices: Vec<DaySlice> = Vec::new();
+    let mut alarms: Vec<(usize, Anomaly)> = Vec::new();
+    let mut profiler = OriginProfiler::new(profiler_config);
+    let mut moas_monitor = MoasMonitor::new(accept_after);
+    let mut seq: u64 = 0;
+    let mut epoch: u64 = 0;
+
+    let emit = |log: &mut Vec<SeqEvent>, seq: &mut u64, events: Vec<MonitorEvent>| {
+        EngineMetrics::add(&metrics.events_emitted, events.len() as u64);
+        for event in events {
+            log.push(SeqEvent {
+                shard,
+                seq: *seq,
+                event,
+            });
+            *seq += 1;
+        }
+    };
+
+    while let Ok(msg) = rx.recv() {
+        match msg {
+            ShardMsg::Batch(updates) => {
+                EngineMetrics::add(&metrics.updates_applied, updates.len() as u64);
+                for update in &updates {
+                    let events = state.apply(update);
+                    epoch += 1;
+                    if !events.is_empty() {
+                        emit(&mut log, &mut seq, events);
+                    }
+                }
+            }
+            ShardMsg::DayMark { idx, date } => {
+                let slice = DaySlice {
+                    shard,
+                    idx,
+                    date,
+                    conflicts: state.open_conflicts(),
+                    set_excluded: state.set_excluded(),
+                    total_prefixes: state.prefix_count(),
+                    total_routes: state.route_count(),
+                    empty_path_routes: state.empty_path_routes(),
+                };
+                let obs = slice.to_observation();
+                for a in profiler.observe(&obs) {
+                    alarms.push((idx, a));
+                }
+                for a in moas_monitor.observe(&obs) {
+                    alarms.push((idx, a));
+                }
+                slices.push(slice);
+            }
+            ShardMsg::Query(reply) => {
+                EngineMetrics::add(&metrics.queries_served, 1);
+                // A disconnected requester is not a shard failure.
+                let _ = reply.send(ShardSnapshot {
+                    shard,
+                    epoch,
+                    open: state.open_conflicts(),
+                    routes: state.route_count(),
+                    prefixes: state.prefix_count(),
+                });
+            }
+            ShardMsg::Shutdown => break,
+        }
+    }
+
+    EngineMetrics::add(&metrics.spurious_withdrawals, state.spurious_withdrawals());
+
+    ShardOutput {
+        shard,
+        log,
+        slices,
+        alarms,
+        routes: state.route_count(),
+        prefixes: state.prefix_count(),
+        spurious_withdrawals: state.spurious_withdrawals(),
+    }
+}

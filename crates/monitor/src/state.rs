@@ -1,0 +1,452 @@
+//! Incremental per-prefix origin state for one shard.
+//!
+//! This is `moas_core::detect` turned inside out: instead of scanning
+//! a materialized table, every route-level update adjusts per-prefix
+//! origin counters in O(1) and reports the conflict-state transition
+//! it caused. The invariant that makes streaming and batch agree is
+//! spelled out on [`PrefixState`]: a prefix is in conflict exactly
+//! when it holds no AS-set-terminated route (§III exclusion) and its
+//! live routes carry ≥ 2 distinct single origins — precisely the
+//! predicate `detect()` evaluates on a snapshot of the same routes.
+
+use crate::event::MonitorEvent;
+use moas_net::{AsPath, Asn, Origin, Prefix};
+use std::collections::HashMap;
+use std::net::IpAddr;
+
+/// A peer session, identified as the replayer does: peering address
+/// plus peer AS.
+pub type SessionKey = (IpAddr, Asn);
+
+/// One route-level change extracted from an UPDATE.
+#[derive(Debug, Clone)]
+pub struct RouteUpdate {
+    /// The announcing/withdrawing session.
+    pub session: SessionKey,
+    /// The prefix concerned.
+    pub prefix: Prefix,
+    /// Announce (with the new path) or withdraw.
+    pub action: UpdateAction,
+    /// BGP4MP timestamp of the enclosing record.
+    pub at: u32,
+}
+
+/// What an update does to one (session, prefix) slot.
+#[derive(Debug, Clone)]
+pub enum UpdateAction {
+    /// Announce or implicitly replace the session's route.
+    Announce(AsPath),
+    /// Withdraw the session's route.
+    Withdraw,
+}
+
+/// The route one session currently holds for a prefix.
+#[derive(Debug, Clone)]
+struct HeldRoute {
+    origin: Origin,
+    path: AsPath,
+}
+
+/// Live state for one prefix.
+///
+/// Invariant: `single_origins[o]` is the number of sessions whose
+/// current route for this prefix has single origin `o`; `set_routes`
+/// and `none_routes` count sessions holding AS-set-terminated and
+/// empty-path routes. The prefix is in conflict iff `set_routes == 0`
+/// and `single_origins.len() >= 2`.
+#[derive(Debug, Default)]
+struct PrefixState {
+    routes: HashMap<SessionKey, HeldRoute>,
+    single_origins: HashMap<Asn, u32>,
+    set_routes: u32,
+    none_routes: u32,
+    /// Set while a conflict is open: the opening timestamp.
+    open_since: Option<u32>,
+}
+
+impl PrefixState {
+    fn is_conflict(&self) -> bool {
+        self.set_routes == 0 && self.single_origins.len() >= 2
+    }
+
+    fn sorted_origins(&self) -> Vec<Asn> {
+        let mut origins: Vec<Asn> = self.single_origins.keys().copied().collect();
+        origins.sort_unstable();
+        origins
+    }
+
+    /// Removes one session's contribution from the counters. Returns
+    /// the single origin whose count dropped to zero, if any.
+    fn drop_route(&mut self, held: &HeldRoute) -> Option<Asn> {
+        match &held.origin {
+            Origin::Single(o) => {
+                let n = self
+                    .single_origins
+                    .get_mut(o)
+                    .expect("counter exists for held origin");
+                *n -= 1;
+                if *n == 0 {
+                    self.single_origins.remove(o);
+                    return Some(*o);
+                }
+                None
+            }
+            Origin::Set(_) => {
+                self.set_routes -= 1;
+                None
+            }
+            Origin::None => {
+                self.none_routes -= 1;
+                None
+            }
+        }
+    }
+
+    /// Adds one session's contribution. Returns the single origin that
+    /// newly appeared, if any.
+    fn add_route(&mut self, held: &HeldRoute) -> Option<Asn> {
+        match &held.origin {
+            Origin::Single(o) => {
+                let n = self.single_origins.entry(*o).or_insert(0);
+                *n += 1;
+                (*n == 1).then_some(*o)
+            }
+            Origin::Set(_) => {
+                self.set_routes += 1;
+                None
+            }
+            Origin::None => {
+                self.none_routes += 1;
+                None
+            }
+        }
+    }
+}
+
+/// An open conflict, as reported by snapshots and day slices.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LiveConflict {
+    /// The conflicted prefix.
+    pub prefix: Prefix,
+    /// Distinct origins currently held (sorted).
+    pub origins: Vec<Asn>,
+    /// Distinct AS paths currently held by sessions with single
+    /// origins (deduplicated, like `detect()`'s path list).
+    pub paths: Vec<AsPath>,
+    /// When the conflict opened (update-stream timestamp).
+    pub opened_at: u32,
+}
+
+/// A prefix excluded from conflict accounting by an AS-set route.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SetExcludedPrefix {
+    /// The excluded prefix.
+    pub prefix: Prefix,
+    /// Union of AS-set members across its set-terminated routes
+    /// (sorted).
+    pub members: Vec<Asn>,
+}
+
+/// The full origin state owned by one shard.
+#[derive(Debug, Default)]
+pub struct ShardState {
+    prefixes: HashMap<Prefix, PrefixState>,
+    live_routes: u64,
+    spurious_withdrawals: u64,
+}
+
+impl ShardState {
+    /// An empty shard.
+    pub fn new() -> Self {
+        ShardState::default()
+    }
+
+    /// Applies one route update; returns the lifecycle events it
+    /// caused (at most two: an origin change plus a state transition).
+    pub fn apply(&mut self, update: &RouteUpdate) -> Vec<MonitorEvent> {
+        let mut events = Vec::new();
+        let at = update.at;
+        let prefix = update.prefix;
+        let st = self.prefixes.entry(prefix).or_default();
+
+        let was_conflict = st.is_conflict();
+        let mut removed: Option<Asn> = None;
+        let mut added: Option<Asn> = None;
+
+        match &update.action {
+            UpdateAction::Announce(path) => {
+                let held = HeldRoute {
+                    origin: path.origin(),
+                    path: path.clone(),
+                };
+                if let Some(old) = st.routes.remove(&update.session) {
+                    removed = st.drop_route(&old);
+                } else {
+                    self.live_routes += 1;
+                }
+                added = st.add_route(&held);
+                st.routes.insert(update.session, held);
+            }
+            UpdateAction::Withdraw => match st.routes.remove(&update.session) {
+                Some(old) => {
+                    removed = st.drop_route(&old);
+                    self.live_routes -= 1;
+                }
+                None => {
+                    self.spurious_withdrawals += 1;
+                }
+            },
+        }
+
+        // A same-origin replacement cancels out: nothing observable
+        // changed at the origin level.
+        if removed == added {
+            removed = None;
+            added = None;
+        }
+
+        let now_conflict = st.is_conflict();
+        match (was_conflict, now_conflict) {
+            (false, true) => {
+                st.open_since = Some(at);
+                events.push(MonitorEvent::ConflictOpened {
+                    prefix,
+                    origins: st.sorted_origins(),
+                    at,
+                });
+            }
+            (true, false) => {
+                let opened_at = st.open_since.take().expect("open conflict has open_since");
+                events.push(MonitorEvent::ConflictClosed {
+                    prefix,
+                    opened_at,
+                    at,
+                });
+            }
+            (true, true) => {
+                if let Some(origin) = added {
+                    events.push(MonitorEvent::OriginAdded { prefix, origin, at });
+                }
+                if let Some(origin) = removed {
+                    events.push(MonitorEvent::OriginWithdrawn { prefix, origin, at });
+                }
+            }
+            (false, false) => {}
+        }
+
+        // Fully withdrawn prefixes leave the table entirely, exactly
+        // like a snapshot that no longer carries them.
+        if st.routes.is_empty() {
+            self.prefixes.remove(&prefix);
+        }
+
+        events
+    }
+
+    /// Routes currently held across sessions.
+    pub fn route_count(&self) -> u64 {
+        self.live_routes
+    }
+
+    /// Distinct prefixes with at least one live route.
+    pub fn prefix_count(&self) -> usize {
+        self.prefixes.len()
+    }
+
+    /// Withdrawals that matched no held route.
+    pub fn spurious_withdrawals(&self) -> u64 {
+        self.spurious_withdrawals
+    }
+
+    /// Live routes whose path has no extractable origin.
+    pub fn empty_path_routes(&self) -> u64 {
+        self.prefixes.values().map(|p| p.none_routes as u64).sum()
+    }
+
+    /// The currently open conflicts (prefix order).
+    pub fn open_conflicts(&self) -> Vec<LiveConflict> {
+        let mut out: Vec<LiveConflict> = self
+            .prefixes
+            .iter()
+            .filter(|(_, st)| st.is_conflict())
+            .map(|(prefix, st)| LiveConflict {
+                prefix: *prefix,
+                origins: st.sorted_origins(),
+                paths: dedup_paths(st),
+                opened_at: st.open_since.expect("open conflict has open_since"),
+            })
+            .collect();
+        out.sort_by_key(|c| c.prefix);
+        out
+    }
+
+    /// Prefixes currently excluded by AS-set routes, with member
+    /// unions (prefix order) — the streaming counterpart of
+    /// `DayObservation::as_set_prefixes`.
+    pub fn set_excluded(&self) -> Vec<SetExcludedPrefix> {
+        let mut out: Vec<SetExcludedPrefix> = self
+            .prefixes
+            .iter()
+            .filter(|(_, st)| st.set_routes > 0)
+            .map(|(prefix, st)| {
+                let mut members: Vec<Asn> = Vec::new();
+                for held in st.routes.values() {
+                    if let Origin::Set(set) = &held.origin {
+                        for m in set {
+                            if !members.contains(m) {
+                                members.push(*m);
+                            }
+                        }
+                    }
+                }
+                members.sort_unstable();
+                SetExcludedPrefix {
+                    prefix: *prefix,
+                    members,
+                }
+            })
+            .collect();
+        out.sort_by_key(|e| e.prefix);
+        out
+    }
+}
+
+fn dedup_paths(st: &PrefixState) -> Vec<AsPath> {
+    let mut paths: Vec<AsPath> = Vec::new();
+    for held in st.routes.values() {
+        if matches!(held.origin, Origin::Single(_)) && !paths.contains(&held.path) {
+            paths.push(held.path.clone());
+        }
+    }
+    paths
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::Ipv4Addr;
+
+    fn sess(n: u8, asn: u32) -> SessionKey {
+        (IpAddr::V4(Ipv4Addr::new(10, 0, 0, n)), Asn::new(asn))
+    }
+
+    fn announce(s: SessionKey, prefix: &str, path: &str, at: u32) -> RouteUpdate {
+        RouteUpdate {
+            session: s,
+            prefix: prefix.parse().unwrap(),
+            action: UpdateAction::Announce(path.parse().unwrap()),
+            at,
+        }
+    }
+
+    fn withdraw(s: SessionKey, prefix: &str, at: u32) -> RouteUpdate {
+        RouteUpdate {
+            session: s,
+            prefix: prefix.parse().unwrap(),
+            action: UpdateAction::Withdraw,
+            at,
+        }
+    }
+
+    #[test]
+    fn open_and_close_lifecycle() {
+        let mut st = ShardState::new();
+        assert!(st
+            .apply(&announce(sess(1, 701), "192.0.2.0/24", "701 7", 10))
+            .is_empty());
+        let ev = st.apply(&announce(sess(2, 1239), "192.0.2.0/24", "1239 9", 20));
+        assert_eq!(
+            ev,
+            vec![MonitorEvent::ConflictOpened {
+                prefix: "192.0.2.0/24".parse().unwrap(),
+                origins: vec![Asn::new(7), Asn::new(9)],
+                at: 20,
+            }]
+        );
+        let ev = st.apply(&withdraw(sess(2, 1239), "192.0.2.0/24", 50));
+        assert_eq!(ev.len(), 1);
+        assert_eq!(ev[0].duration_secs(), Some(30));
+        assert!(st.open_conflicts().is_empty());
+    }
+
+    #[test]
+    fn origin_churn_in_open_conflict() {
+        let mut st = ShardState::new();
+        st.apply(&announce(sess(1, 701), "192.0.2.0/24", "701 7", 0));
+        st.apply(&announce(sess(2, 1239), "192.0.2.0/24", "1239 9", 1));
+        let ev = st.apply(&announce(sess(3, 3561), "192.0.2.0/24", "3561 11", 2));
+        assert_eq!(
+            ev,
+            vec![MonitorEvent::OriginAdded {
+                prefix: "192.0.2.0/24".parse().unwrap(),
+                origin: Asn::new(11),
+                at: 2,
+            }]
+        );
+        // Session 3 re-announces with a different origin: one add and
+        // one withdraw, conflict stays open.
+        let ev = st.apply(&announce(sess(3, 3561), "192.0.2.0/24", "3561 13", 3));
+        assert_eq!(ev.len(), 2);
+        assert!(
+            matches!(&ev[0], MonitorEvent::OriginAdded { origin, .. } if *origin == Asn::new(13))
+        );
+        assert!(
+            matches!(&ev[1], MonitorEvent::OriginWithdrawn { origin, .. } if *origin == Asn::new(11))
+        );
+    }
+
+    #[test]
+    fn same_origin_replacement_is_silent() {
+        let mut st = ShardState::new();
+        st.apply(&announce(sess(1, 701), "192.0.2.0/24", "701 7", 0));
+        st.apply(&announce(sess(2, 1239), "192.0.2.0/24", "1239 9", 1));
+        let ev = st.apply(&announce(sess(1, 701), "192.0.2.0/24", "701 42 7", 2));
+        assert!(ev.is_empty(), "path change with same origin: {ev:?}");
+    }
+
+    #[test]
+    fn as_set_route_closes_and_excludes() {
+        let mut st = ShardState::new();
+        st.apply(&announce(sess(1, 701), "192.0.2.0/24", "701 7", 0));
+        st.apply(&announce(sess(2, 1239), "192.0.2.0/24", "1239 9", 1));
+        let ev = st.apply(&announce(sess(3, 3561), "192.0.2.0/24", "3561 {7,9}", 2));
+        assert!(matches!(&ev[0], MonitorEvent::ConflictClosed { .. }));
+        assert!(st.open_conflicts().is_empty());
+        let excluded = st.set_excluded();
+        assert_eq!(excluded.len(), 1);
+        assert_eq!(excluded[0].members, vec![Asn::new(7), Asn::new(9)]);
+        // Withdrawing the set route reopens the conflict.
+        let ev = st.apply(&withdraw(sess(3, 3561), "192.0.2.0/24", 3));
+        assert!(matches!(&ev[0], MonitorEvent::ConflictOpened { at: 3, .. }));
+    }
+
+    #[test]
+    fn spurious_withdrawal_counted_not_crashed() {
+        let mut st = ShardState::new();
+        assert!(st
+            .apply(&withdraw(sess(1, 701), "10.0.0.0/8", 0))
+            .is_empty());
+        assert_eq!(st.spurious_withdrawals(), 1);
+        assert_eq!(st.prefix_count(), 0);
+    }
+
+    #[test]
+    fn duplicate_paths_deduplicated_in_live_conflict() {
+        let mut st = ShardState::new();
+        st.apply(&announce(sess(1, 701), "192.0.2.0/24", "100 7", 0));
+        st.apply(&announce(sess(2, 1239), "192.0.2.0/24", "100 7", 1));
+        st.apply(&announce(sess(3, 3561), "192.0.2.0/24", "200 9", 2));
+        let open = st.open_conflicts();
+        assert_eq!(open.len(), 1);
+        assert_eq!(open[0].paths.len(), 2, "identical paths folded");
+    }
+
+    #[test]
+    fn full_withdrawal_removes_prefix() {
+        let mut st = ShardState::new();
+        st.apply(&announce(sess(1, 701), "10.0.0.0/8", "701 7", 0));
+        st.apply(&withdraw(sess(1, 701), "10.0.0.0/8", 1));
+        assert_eq!(st.prefix_count(), 0);
+        assert_eq!(st.route_count(), 0);
+    }
+}

@@ -114,7 +114,10 @@ impl PeeringHeader {
                 buf.copy_to_slice(&mut po);
                 let mut lo = [0u8; 16];
                 buf.copy_to_slice(&mut lo);
-                (IpAddr::V6(Ipv6Addr::from(po)), IpAddr::V6(Ipv6Addr::from(lo)))
+                (
+                    IpAddr::V6(Ipv6Addr::from(po)),
+                    IpAddr::V6(Ipv6Addr::from(lo)),
+                )
             }
             other => {
                 return Err(MrtError::Malformed {
@@ -252,10 +255,7 @@ mod tests {
     fn update() -> BgpMessage {
         BgpMessage::Update(UpdateMsg {
             withdrawn: vec![],
-            attrs: Attrs::announcement(
-                "701 8584".parse().unwrap(),
-                Ipv4Addr::new(10, 0, 0, 1),
-            ),
+            attrs: Attrs::announcement("701 8584".parse().unwrap(), Ipv4Addr::new(10, 0, 0, 1)),
             announced: vec!["192.0.2.0/24".parse().unwrap()],
         })
     }

@@ -81,9 +81,7 @@ impl MrtBody {
                     Prefix::V6(_) => td_subtype::AFI_IPV6,
                 },
             ),
-            MrtBody::PeerIndexTable(_) => {
-                (mrt_type::TABLE_DUMP_V2, tdv2_subtype::PEER_INDEX_TABLE)
-            }
+            MrtBody::PeerIndexTable(_) => (mrt_type::TABLE_DUMP_V2, tdv2_subtype::PEER_INDEX_TABLE),
             MrtBody::RibUnicast(r) => (
                 mrt_type::TABLE_DUMP_V2,
                 match r.prefix {
@@ -173,33 +171,33 @@ impl MrtRecord {
 
     fn decode_body(ty: u16, sub: u16, body: &mut Bytes) -> Result<MrtBody, MrtError> {
         match (ty, sub) {
-            (mrt_type::TABLE_DUMP, td_subtype::AFI_IPV4) => Ok(MrtBody::TableDump(
-                TableDumpEntry::decode(body, false)?,
-            )),
-            (mrt_type::TABLE_DUMP, td_subtype::AFI_IPV6) => Ok(MrtBody::TableDump(
-                TableDumpEntry::decode(body, true)?,
-            )),
-            (mrt_type::TABLE_DUMP_V2, tdv2_subtype::PEER_INDEX_TABLE) => Ok(
-                MrtBody::PeerIndexTable(PeerIndexTable::decode(body)?),
-            ),
+            (mrt_type::TABLE_DUMP, td_subtype::AFI_IPV4) => {
+                Ok(MrtBody::TableDump(TableDumpEntry::decode(body, false)?))
+            }
+            (mrt_type::TABLE_DUMP, td_subtype::AFI_IPV6) => {
+                Ok(MrtBody::TableDump(TableDumpEntry::decode(body, true)?))
+            }
+            (mrt_type::TABLE_DUMP_V2, tdv2_subtype::PEER_INDEX_TABLE) => {
+                Ok(MrtBody::PeerIndexTable(PeerIndexTable::decode(body)?))
+            }
             (mrt_type::TABLE_DUMP_V2, tdv2_subtype::RIB_IPV4_UNICAST) => {
                 Ok(MrtBody::RibUnicast(RibUnicast::decode(body, false)?))
             }
             (mrt_type::TABLE_DUMP_V2, tdv2_subtype::RIB_IPV6_UNICAST) => {
                 Ok(MrtBody::RibUnicast(RibUnicast::decode(body, true)?))
             }
-            (mrt_type::BGP4MP, bgp4mp_subtype::MESSAGE) => Ok(MrtBody::Bgp4mpMessage(
-                Bgp4mpMessage::decode(body, false)?,
+            (mrt_type::BGP4MP, bgp4mp_subtype::MESSAGE) => {
+                Ok(MrtBody::Bgp4mpMessage(Bgp4mpMessage::decode(body, false)?))
+            }
+            (mrt_type::BGP4MP, bgp4mp_subtype::MESSAGE_AS4) => {
+                Ok(MrtBody::Bgp4mpMessage(Bgp4mpMessage::decode(body, true)?))
+            }
+            (mrt_type::BGP4MP, bgp4mp_subtype::STATE_CHANGE) => Ok(MrtBody::Bgp4mpStateChange(
+                Bgp4mpStateChange::decode(body, false)?,
             )),
-            (mrt_type::BGP4MP, bgp4mp_subtype::MESSAGE_AS4) => Ok(MrtBody::Bgp4mpMessage(
-                Bgp4mpMessage::decode(body, true)?,
+            (mrt_type::BGP4MP, bgp4mp_subtype::STATE_CHANGE_AS4) => Ok(MrtBody::Bgp4mpStateChange(
+                Bgp4mpStateChange::decode(body, true)?,
             )),
-            (mrt_type::BGP4MP, bgp4mp_subtype::STATE_CHANGE) => Ok(
-                MrtBody::Bgp4mpStateChange(Bgp4mpStateChange::decode(body, false)?),
-            ),
-            (mrt_type::BGP4MP, bgp4mp_subtype::STATE_CHANGE_AS4) => Ok(
-                MrtBody::Bgp4mpStateChange(Bgp4mpStateChange::decode(body, true)?),
-            ),
             _ => Err(MrtError::UnsupportedType {
                 mrt_type: ty,
                 subtype: sub,

@@ -84,11 +84,14 @@ fn to_v2(snapshot: &TableSnapshot) -> Vec<MrtRecord> {
     // Group entries by prefix, preserving prefix order.
     let mut by_prefix: BTreeMap<Prefix, Vec<RibEntryV2>> = BTreeMap::new();
     for e in &snapshot.entries {
-        by_prefix.entry(e.route.prefix).or_default().push(RibEntryV2 {
-            peer_index: e.peer_idx,
-            originated: ts,
-            attrs: Attrs::from_route(&e.route),
-        });
+        by_prefix
+            .entry(e.route.prefix)
+            .or_default()
+            .push(RibEntryV2 {
+                peer_index: e.peer_idx,
+                originated: ts,
+                attrs: Attrs::from_route(&e.route),
+            });
     }
     for (seq, (prefix, entries)) in by_prefix.into_iter().enumerate() {
         out.push(MrtRecord {
@@ -123,7 +126,11 @@ pub fn records_to_snapshot_lossy(
     records: &[MrtRecord],
     date_hint: Option<Date>,
 ) -> Result<SnapshotBuild, MrtError> {
-    build_snapshot(records, date_hint, true)
+    let mut builder = SnapshotBuilder::new(date_hint, true);
+    for rec in records {
+        builder.push(rec)?;
+    }
+    Ok(builder.finish())
 }
 
 /// Rebuilds a snapshot from MRT records (either format, even mixed),
@@ -135,30 +142,56 @@ pub fn records_to_snapshot(
     records: &[MrtRecord],
     date_hint: Option<Date>,
 ) -> Result<TableSnapshot, MrtError> {
-    build_snapshot(records, date_hint, false).map(|b| b.snapshot)
+    let mut builder = SnapshotBuilder::new(date_hint, false);
+    for rec in records {
+        builder.push(rec)?;
+    }
+    Ok(builder.finish().snapshot)
 }
 
-fn build_snapshot(
-    records: &[MrtRecord],
-    date_hint: Option<Date>,
+/// Incrementally rebuilds a [`TableSnapshot`] from a record stream,
+/// one record at a time — the streaming counterpart of
+/// [`records_to_snapshot_lossy`] for whole-file table scans that must
+/// not buffer the file's records in memory first.
+#[derive(Debug)]
+pub struct SnapshotBuilder {
+    snapshot: TableSnapshot,
+    date_fixed: bool,
     lossy: bool,
-) -> Result<SnapshotBuild, MrtError> {
-    let date = date_hint.unwrap_or_else(|| {
-        let ts = records.first().map(|r| r.timestamp).unwrap_or(0);
-        Date::from_day_index(moas_net::DayIndex((ts / 86_400) as i64))
-    });
-    let mut snapshot = TableSnapshot::new(date);
-    let mut unknown_peer_entries = 0u64;
-    // Peer table for V2 records; V1 records register peers on the fly.
-    let mut v2_peer_map: Vec<u16> = Vec::new();
-    for rec in records {
+    unknown_peer_entries: u64,
+    /// Peer table for V2 records; V1 records register peers on the fly.
+    v2_peer_map: Vec<u16>,
+}
+
+impl SnapshotBuilder {
+    /// Starts a build. With `lossy`, entries referencing an unknown
+    /// peer index are counted and skipped; otherwise they fail the
+    /// build. The snapshot date comes from `date_hint` if given,
+    /// otherwise from the first pushed record's timestamp.
+    pub fn new(date_hint: Option<Date>, lossy: bool) -> Self {
+        SnapshotBuilder {
+            snapshot: TableSnapshot::new(date_hint.unwrap_or_else(|| Date::ymd(1970, 1, 1))),
+            date_fixed: date_hint.is_some(),
+            lossy,
+            unknown_peer_entries: 0,
+            v2_peer_map: Vec::new(),
+        }
+    }
+
+    /// Adds one record's contribution to the table.
+    pub fn push(&mut self, rec: &MrtRecord) -> Result<(), MrtError> {
+        if !self.date_fixed {
+            self.snapshot.date =
+                Date::from_day_index(moas_net::DayIndex((rec.timestamp / 86_400) as i64));
+            self.date_fixed = true;
+        }
         match &rec.body {
             MrtBody::PeerIndexTable(t) => {
-                v2_peer_map = t
+                self.v2_peer_map = t
                     .peers
                     .iter()
                     .map(|p| {
-                        snapshot.add_peer(PeerInfo {
+                        self.snapshot.add_peer(PeerInfo {
                             addr: p.addr,
                             bgp_id: p.bgp_id,
                             asn: p.asn,
@@ -167,23 +200,23 @@ fn build_snapshot(
                     .collect();
             }
             MrtBody::RibUnicast(r) => {
-                if v2_peer_map.is_empty() {
+                if self.v2_peer_map.is_empty() {
                     return Err(MrtError::MissingPeerIndexTable);
                 }
                 for e in &r.entries {
-                    let idx = match v2_peer_map.get(e.peer_index as usize) {
+                    let idx = match self.v2_peer_map.get(e.peer_index as usize) {
                         Some(i) => *i,
-                        None if lossy => {
-                            unknown_peer_entries += 1;
+                        None if self.lossy => {
+                            self.unknown_peer_entries += 1;
                             continue;
                         }
                         None => return Err(MrtError::UnknownPeerIndex(e.peer_index)),
                     };
-                    snapshot.push(idx, e.attrs.to_route(r.prefix));
+                    self.snapshot.push(idx, e.attrs.to_route(r.prefix));
                 }
             }
             MrtBody::TableDump(e) => {
-                let idx = snapshot.add_peer(PeerInfo {
+                let idx = self.snapshot.add_peer(PeerInfo {
                     addr: e.peer_addr,
                     bgp_id: match e.peer_addr {
                         std::net::IpAddr::V4(a) => a,
@@ -191,16 +224,21 @@ fn build_snapshot(
                     },
                     asn: e.peer_as,
                 });
-                snapshot.push(idx, e.attrs.to_route(e.prefix));
+                self.snapshot.push(idx, e.attrs.to_route(e.prefix));
             }
             // Update-stream records do not contribute to a table dump.
             MrtBody::Bgp4mpMessage(_) | MrtBody::Bgp4mpStateChange(_) => {}
         }
+        Ok(())
     }
-    Ok(SnapshotBuild {
-        snapshot,
-        unknown_peer_entries,
-    })
+
+    /// Finishes the build.
+    pub fn finish(self) -> SnapshotBuild {
+        SnapshotBuild {
+            snapshot: self.snapshot,
+            unknown_peer_entries: self.unknown_peer_entries,
+        }
+    }
 }
 
 #[cfg(test)]
@@ -294,10 +332,7 @@ mod tests {
     #[test]
     fn midnight_timestamp_known_value() {
         // 1998-04-07 = day 10323 since epoch.
-        assert_eq!(
-            midnight_timestamp(Date::ymd(1998, 4, 7)),
-            10_323 * 86_400
-        );
+        assert_eq!(midnight_timestamp(Date::ymd(1998, 4, 7)), 10_323 * 86_400);
     }
 
     #[test]

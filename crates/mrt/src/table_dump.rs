@@ -92,7 +92,11 @@ impl TableDumpEntry {
     /// Decodes a body of the given family (`v6` selects AFI_IPv6).
     pub fn decode(buf: &mut Bytes, v6: bool) -> Result<Self, MrtError> {
         let addr_len = if v6 { 16 } else { 4 };
-        read_exact_check(buf, 4 + addr_len + 1 + 1 + 4 + addr_len + 2 + 2, "TABLE_DUMP body")?;
+        read_exact_check(
+            buf,
+            4 + addr_len + 1 + 1 + 4 + addr_len + 2 + 2,
+            "TABLE_DUMP body",
+        )?;
         let view = buf.get_u16();
         let sequence = buf.get_u16();
         let prefix = if v6 {
@@ -505,9 +509,10 @@ mod tests {
     #[test]
     fn rib_4byte_asns_survive() {
         let mut r = rib_record("203.0.113.0/24");
-        r.entries[0].attrs.as_path = Some(
-            moas_net::AsPath::from_sequence([Asn::new(4_200_000_001), Asn::new(65_551)]),
-        );
+        r.entries[0].attrs.as_path = Some(moas_net::AsPath::from_sequence([
+            Asn::new(4_200_000_001),
+            Asn::new(65_551),
+        ]));
         let mut buf = r.encode().freeze();
         let out = RibUnicast::decode(&mut buf, false).unwrap();
         assert_eq!(out, r);

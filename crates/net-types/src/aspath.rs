@@ -234,9 +234,7 @@ impl AsPath {
     pub fn is_disjoint_from(&self, other: &AsPath) -> bool {
         // Paths are short (usually < 10 hops); a quadratic scan beats
         // hashing here and allocates nothing.
-        !self
-            .iter_asns()
-            .any(|a| other.iter_asns().any(|b| a == b))
+        !self.iter_asns().any(|a| other.iter_asns().any(|b| a == b))
     }
 
     /// Removes consecutive duplicate ASes from sequences (AS prepending

@@ -70,7 +70,12 @@ impl DetRng {
         }
         // xoshiro must not start from the all-zero state.
         if s == [0, 0, 0, 0] {
-            s = [0x1, 0x9E3779B97F4A7C15, 0xBF58476D1CE4E5B9, 0x94D049BB133111EB];
+            s = [
+                0x1,
+                0x9E3779B97F4A7C15,
+                0xBF58476D1CE4E5B9,
+                0x94D049BB133111EB,
+            ];
         }
         DetRng { s, seed, stream }
     }
@@ -95,10 +100,7 @@ impl DetRng {
 
     /// The next raw 64-bit value (xoshiro256**).
     pub fn next_u64(&mut self) -> u64 {
-        let result = self.s[1]
-            .wrapping_mul(5)
-            .rotate_left(7)
-            .wrapping_mul(9);
+        let result = self.s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
         let t = self.s[1] << 17;
         self.s[2] ^= self.s[0];
         self.s[3] ^= self.s[1];
@@ -378,7 +380,10 @@ mod tests {
             counts[r.below(10) as usize] += 1;
         }
         for &c in &counts {
-            assert!((8_000..12_000).contains(&c), "bucket count {c} far from 10k");
+            assert!(
+                (8_000..12_000).contains(&c),
+                "bucket count {c} far from 10k"
+            );
         }
     }
 

@@ -361,14 +361,8 @@ impl<V> PrefixMap<V> {
     /// Longest-prefix match within the prefix's own family.
     pub fn longest_match(&self, prefix: &Prefix) -> Option<(Prefix, &V)> {
         match prefix {
-            Prefix::V4(p) => self
-                .v4
-                .longest_match(p)
-                .map(|(p, v)| (Prefix::V4(p), v)),
-            Prefix::V6(p) => self
-                .v6
-                .longest_match(p)
-                .map(|(p, v)| (Prefix::V6(p), v)),
+            Prefix::V4(p) => self.v4.longest_match(p).map(|(p, v)| (Prefix::V4(p), v)),
+            Prefix::V6(p) => self.v6.longest_match(p).map(|(p, v)| (Prefix::V6(p), v)),
         }
     }
 

@@ -86,11 +86,7 @@ impl<'w> Collector<'w> {
                     }
                     for s in &alive {
                         if let Some(p) = self.realizer.background_path(s.asn, a.owner) {
-                            snap.push_path(
-                                peer_index[s.id as usize],
-                                Prefix::V4(a.prefix),
-                                p,
-                            );
+                            snap.push_path(peer_index[s.id as usize], Prefix::V4(a.prefix), p);
                         }
                     }
                 }
@@ -98,8 +94,8 @@ impl<'w> Collector<'w> {
             BackgroundMode::Sample(n) => {
                 // Deterministic per-day sample, without repeats or
                 // overlay collisions.
-                let mut rng = DetRng::new(self.world.params.seed)
-                    .substream_idx("bg-sample", idx as u64);
+                let mut rng =
+                    DetRng::new(self.world.params.seed).substream_idx("bg-sample", idx as u64);
                 let alive_prefixes = self.world.plan.alive_at(day);
                 let mut picked: std::collections::HashSet<moas_net::Ipv4Prefix> =
                     std::collections::HashSet::new();
@@ -114,11 +110,7 @@ impl<'w> Collector<'w> {
                     emitted += 1;
                     for s in &alive {
                         if let Some(p) = self.realizer.background_path(s.asn, a.owner) {
-                            snap.push_path(
-                                peer_index[s.id as usize],
-                                Prefix::V4(a.prefix),
-                                p,
-                            );
+                            snap.push_path(peer_index[s.id as usize], Prefix::V4(a.prefix), p);
                         }
                     }
                 }
@@ -140,11 +132,7 @@ impl<'w> Collector<'w> {
                         }
                         for s in &alive {
                             if let Some(p) = self.realizer.background_path(s.asn, a.owner) {
-                                snap.push_path(
-                                    peer_index[s.id as usize],
-                                    Prefix::V4(a.prefix),
-                                    p,
-                                );
+                                snap.push_path(peer_index[s.id as usize], Prefix::V4(a.prefix), p);
                             }
                         }
                     }
@@ -171,9 +159,12 @@ impl<'w> Collector<'w> {
             // Faulty aggregation: the faulty AS also announces a
             // covering aggregate while active (found by the subMOAS
             // analysis, not by exact-prefix detection).
-            let aggregate = conflict
-                .aggregate
-                .map(|agg| (Prefix::V4(agg), *conflict.origins.last().expect("≥2 origins")));
+            let aggregate = conflict.aggregate.map(|agg| {
+                (
+                    Prefix::V4(agg),
+                    *conflict.origins.last().expect("≥2 origins"),
+                )
+            });
             let paths = self.realizer.conflict_paths(id);
             let mut entries: Vec<(u16, moas_net::AsPath)> = Vec::new();
             for s in &alive {
@@ -222,10 +213,7 @@ impl<'w> Collector<'w> {
         let mut by_region: std::collections::BTreeMap<u32, Vec<u16>> =
             std::collections::BTreeMap::new();
         for s in &alive {
-            let core = synth
-                .canonical_core(s.asn)
-                .map(|c| c.value())
-                .unwrap_or(0);
+            let core = synth.canonical_core(s.asn).map(|c| c.value()).unwrap_or(0);
             by_region.entry(core).or_default().push(s.id);
         }
         let regions: Vec<Vec<u16>> = by_region.into_values().collect();
@@ -253,7 +241,12 @@ impl<'w> Collector<'w> {
 
     /// Restricts a snapshot to the given session ids (mapping back to
     /// this snapshot's peer indices).
-    pub fn restrict(&self, snap: &TableSnapshot, day: DayIndex, session_ids: &[u16]) -> TableSnapshot {
+    pub fn restrict(
+        &self,
+        snap: &TableSnapshot,
+        day: DayIndex,
+        session_ids: &[u16],
+    ) -> TableSnapshot {
         let keep: Vec<u16> = session_ids
             .iter()
             .filter_map(|sid| self.peers.alive_index(day, *sid))
@@ -302,8 +295,7 @@ mod tests {
         let mut col = Collector::new(&world, &peers);
         let idx = 500;
         let snap = col.snapshot_at(idx, BackgroundMode::None);
-        let prefixes: HashSet<Prefix> =
-            snap.entries.iter().map(|e| e.route.prefix).collect();
+        let prefixes: HashSet<Prefix> = snap.entries.iter().map(|e| e.route.prefix).collect();
         for &id in world.active_at(idx) {
             let p = Prefix::V4(world.conflict(id).prefix);
             assert!(prefixes.contains(&p), "conflict {id} missing");
@@ -317,8 +309,7 @@ mod tests {
         let idx = 500;
         let snap = col.snapshot_at(idx, BackgroundMode::None);
         let active: HashSet<u32> = world.active_at(idx).iter().copied().collect();
-        let prefixes: HashSet<Prefix> =
-            snap.entries.iter().map(|e| e.route.prefix).collect();
+        let prefixes: HashSet<Prefix> = snap.entries.iter().map(|e| e.route.prefix).collect();
         for c in &world.conflicts {
             if !active.contains(&c.id) {
                 assert!(
@@ -425,11 +416,7 @@ mod tests {
                 "{} not covered by any active aggregate",
                 e.route.prefix
             );
-            assert!(world
-                .plan
-                .alive_at(day)
-                .iter()
-                .any(|a| a.prefix == v4));
+            assert!(world.plan.alive_at(day).iter().any(|a| a.prefix == v4));
         }
     }
 

@@ -33,3 +33,4 @@ pub mod updates;
 pub use collector::{BackgroundMode, Collector};
 pub use peers::{PeerSet, Session};
 pub use realize::Realizer;
+pub use updates::{DayStream, WindowStream};

@@ -121,10 +121,7 @@ impl PeerSet {
 
         // Birth days: the first `initial_sessions` exist at start; the
         // rest join spread over the first ~80% of the window.
-        let window_days = window
-            .start()
-            .days_until(&window.end())
-            .max(1) as u64;
+        let window_days = window.start().days_until(&window.end()).max(1) as u64;
         let mut sessions: Vec<Session> = Vec::with_capacity(session_ases.len());
         for (i, asn) in session_ases.iter().enumerate() {
             let born = if i < params.initial_sessions {
@@ -277,11 +274,7 @@ mod tests {
         // 13 sessions over 10 ASes → at least one AS has 2+.
         assert!(!multi.is_empty());
         for asn in &multi {
-            let count = peers
-                .alive_at(end)
-                .iter()
-                .filter(|s| s.asn == *asn)
-                .count();
+            let count = peers.alive_at(end).iter().filter(|s| s.asn == *asn).count();
             assert!(count >= 2);
         }
     }

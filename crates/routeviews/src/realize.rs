@@ -182,9 +182,7 @@ fn nearest_origin_path(
         .collect();
     local.sort_unstable();
     if let Some((_, _, o)) = local.first() {
-        return synth
-            .path(vantage, *o, None)
-            .map(AsPath::from_sequence);
+        return synth.path(vantage, *o, None).map(AsPath::from_sequence);
     }
     // No local origin: the whole region follows one hash pick; fall
     // back through the list if the preferred origin is unreachable.
@@ -358,7 +356,11 @@ mod tests {
         let end = world.window.end().day_index();
         let multi = peers.multi_session_ases(end);
         let mut found = false;
-        for c in world.conflicts.iter().filter(|c| c.shape == Shape::SplitView) {
+        for c in world
+            .conflicts
+            .iter()
+            .filter(|c| c.shape == Shape::SplitView)
+        {
             let paths = r.conflict_paths(c.id).to_vec();
             for asn in &multi {
                 let sess: Vec<&AsPath> = peers

@@ -53,7 +53,10 @@ fn routes_by_session(snap: &TableSnapshot) -> HashMap<(IpAddr, Asn), SessionRout
 /// The UPDATE stream (as BGP4MP records) that transforms `prev` into
 /// `next`. Announcements carry the new path; withdrawals list vanished
 /// prefixes. A session absent from `prev` (newly established) announces
-/// its whole table. Records get timestamps spread across `next`'s day.
+/// its whole table. Records get monotonically non-decreasing
+/// timestamps within `next`'s day (clamped to the day's final second
+/// past 86 400 records — monotonicity is what downstream interval
+/// logic like the monitor's Timeline fold depends on).
 pub fn diff_snapshots(prev: &TableSnapshot, next: &TableSnapshot) -> Vec<MrtRecord> {
     let before = routes_by_session(prev);
     let after = routes_by_session(next);
@@ -108,7 +111,7 @@ pub fn diff_snapshots(prev: &TableSnapshot, next: &TableSnapshot) -> Vec<MrtReco
         if !withdrawn.is_empty() {
             for chunk in withdrawn.chunks(700) {
                 records.push(MrtRecord {
-                    timestamp: base_ts + records.len() as u32 % 86_000,
+                    timestamp: base_ts + (records.len() as u32).min(86_399),
                     body: MrtBody::Bgp4mpMessage(Bgp4mpMessage {
                         header: header.clone(),
                         message: BgpMessage::Update(UpdateMsg {
@@ -128,7 +131,7 @@ pub fn diff_snapshots(prev: &TableSnapshot, next: &TableSnapshot) -> Vec<MrtReco
             };
             for chunk in prefixes.chunks(600) {
                 records.push(MrtRecord {
-                    timestamp: base_ts + records.len() as u32 % 86_000,
+                    timestamp: base_ts + (records.len() as u32).min(86_399),
                     body: MrtBody::Bgp4mpMessage(Bgp4mpMessage {
                         header: header.clone(),
                         message: BgpMessage::Update(UpdateMsg {
@@ -159,6 +162,73 @@ pub fn day_transition(
     (prev, next, stream)
 }
 
+/// One day of a windowed update stream: the BGP4MP records whose
+/// application brings the collector's state to that day's table.
+#[derive(Debug, Clone)]
+pub struct DayStream {
+    /// Snapshot-day position in the study window.
+    pub idx: usize,
+    /// The day's table, for seeding or verification.
+    pub snapshot: TableSnapshot,
+    /// The update records leading into the day (for the first yielded
+    /// day: the full-table announcement stream from an empty state).
+    pub records: Vec<MrtRecord>,
+}
+
+/// A multi-day update-stream load generator over a window of snapshot
+/// positions — the production-shaped input for a streaming monitor:
+/// the first day announces the whole table from cold, every later day
+/// yields the diff stream of its transition. Lazy: each day's
+/// snapshots and diffs are synthesized on `next()`, so a multi-year
+/// window never materializes at once.
+pub struct WindowStream<'c, 'w> {
+    collector: &'c mut Collector<'w>,
+    background: BackgroundMode,
+    next_idx: usize,
+    end_idx: usize,
+    prev: Option<TableSnapshot>,
+}
+
+impl<'c, 'w> WindowStream<'c, 'w> {
+    /// Streams positions `start..end` of the study window.
+    pub fn new(
+        collector: &'c mut Collector<'w>,
+        start: usize,
+        end: usize,
+        background: BackgroundMode,
+    ) -> Self {
+        WindowStream {
+            collector,
+            background,
+            next_idx: start,
+            end_idx: end,
+            prev: None,
+        }
+    }
+}
+
+impl Iterator for WindowStream<'_, '_> {
+    type Item = DayStream;
+
+    fn next(&mut self) -> Option<DayStream> {
+        if self.next_idx >= self.end_idx {
+            return None;
+        }
+        let idx = self.next_idx;
+        self.next_idx += 1;
+        let snapshot = self.collector.snapshot_at(idx, self.background);
+        let empty = TableSnapshot::new(snapshot.date);
+        let prev = self.prev.as_ref().unwrap_or(&empty);
+        let records = diff_snapshots(prev, &snapshot);
+        self.prev = Some(snapshot.clone());
+        Some(DayStream {
+            idx,
+            snapshot,
+            records,
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -183,10 +253,7 @@ mod tests {
 
     #[test]
     fn no_change_no_updates() {
-        let a = snap(
-            Date::ymd(2001, 1, 1),
-            &[(1, 701, "10.0.0.0/8", "701 7")],
-        );
+        let a = snap(Date::ymd(2001, 1, 1), &[(1, 701, "10.0.0.0/8", "701 7")]);
         let mut b = a.clone();
         b.date = Date::ymd(2001, 1, 2);
         assert!(diff_snapshots(&a, &b).is_empty());
@@ -298,13 +365,65 @@ mod tests {
         assert!(peer_ases.contains(&1239));
     }
 
+    /// Applies a day's records to a per-session route map the way a
+    /// replayer would.
+    fn apply_records(state: &mut HashMap<(IpAddr, Asn), SessionRoutes>, records: &[MrtRecord]) {
+        for rec in records {
+            let MrtBody::Bgp4mpMessage(m) = &rec.body else {
+                continue;
+            };
+            let BgpMessage::Update(u) = &m.message else {
+                continue;
+            };
+            let routes = state
+                .entry((m.header.peer_addr, m.header.peer_as))
+                .or_default();
+            for w in &u.withdrawn {
+                routes.remove(&Prefix::V4(*w));
+            }
+            for a in &u.announced {
+                routes.insert(Prefix::V4(*a), u.attrs.as_path.clone().unwrap_or_default());
+            }
+        }
+    }
+
+    #[test]
+    fn window_stream_replays_to_each_snapshot() {
+        use crate::peers::{PeerSet, PeerSetParams};
+        use moas_net::rng::DetRng;
+        use moas_sim::{SimParams, World};
+
+        let world = World::generate(SimParams::test(0.004));
+        let rng = DetRng::new(world.params.seed);
+        let peers = PeerSet::build(
+            &world.topo,
+            &world.window,
+            &PeerSetParams::scaled(0.004),
+            &rng,
+        );
+        let mut collector = Collector::new(&world, &peers);
+
+        let mut state: HashMap<(IpAddr, Asn), SessionRoutes> = HashMap::new();
+        let mut days = 0;
+        let mut stream = WindowStream::new(&mut collector, 10, 14, BackgroundMode::Sample(10));
+        for day in &mut stream {
+            apply_records(&mut state, &day.records);
+            let expected = routes_by_session(&day.snapshot);
+            // Replayed state must carry exactly the snapshot's routes
+            // (sessions that announced nothing are presence-only).
+            for (session, routes) in &expected {
+                let got = state.get(session).cloned().unwrap_or_default();
+                assert_eq!(&got, routes, "session {session:?} day {}", day.idx);
+            }
+            days += 1;
+        }
+        assert_eq!(days, 4);
+    }
+
     #[test]
     fn records_roundtrip_the_wire() {
         let a = snap(Date::ymd(2001, 1, 1), &[(1, 701, "10.0.0.0/8", "701 7")]);
-        let b = snap(
-            Date::ymd(2001, 1, 2),
-            &[(1, 701, "192.0.2.0/24", "701 9")],
-        );
+        let b = snap(Date::ymd(2001, 1, 2), &[(1, 701, "192.0.2.0/24", "701 9")]);
         for rec in diff_snapshots(&a, &b) {
             let mut bytes = rec.encode().freeze();
             let back = MrtRecord::decode(&mut bytes).unwrap();

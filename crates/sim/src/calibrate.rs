@@ -208,9 +208,7 @@ impl Calibration {
     /// Total background conflicts (everything outside the two
     /// incidents).
     pub fn background_total(&self) -> usize {
-        self.one_timers
-            + self.exchange_points
-            + self.cohorts.iter().map(|c| c.count).sum::<usize>()
+        self.one_timers + self.exchange_points + self.cohorts.iter().map(|c| c.count).sum::<usize>()
     }
 
     /// Total distinct conflicts including incidents — the paper's
@@ -292,8 +290,8 @@ mod tests {
         let c = Calibration::paper();
         let mut sum = 0.0;
         sum += (c.incident_1998_count + c.one_timers) as f64; // k = 1
-        // 2001 incident: nested profile — day j count minus day j+1
-        // count gives the cohort with k = j+1.
+                                                              // 2001 incident: nested profile — day j count minus day j+1
+                                                              // count gives the cohort with k = j+1.
         let p = c.incident_2001_profile;
         for j in 0..5 {
             let next = if j + 1 < 5 { p[j + 1] } else { 0 };

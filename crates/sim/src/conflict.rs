@@ -117,9 +117,7 @@ impl ActivePattern {
     /// Whether the pattern covers snapshot index `idx`.
     pub fn is_active(&self, idx: u32) -> bool {
         // Runs are few (1–6); linear scan wins.
-        self.runs
-            .iter()
-            .any(|(s, l)| idx >= *s && idx < s + l)
+        self.runs.iter().any(|(s, l)| idx >= *s && idx < s + l)
     }
 
     /// First covered snapshot index.

@@ -340,12 +340,7 @@ fn draw_shape(cause: Cause, rng: &mut DetRng) -> Shape {
 
 /// Picks a random AS alive at `day`, tier-weighted (edge-heavy),
 /// excluding `not`.
-fn random_alive_as(
-    topo: &Topology,
-    day: DayIndex,
-    not: &[Asn],
-    rng: &mut DetRng,
-) -> Option<Asn> {
+fn random_alive_as(topo: &Topology, day: DayIndex, not: &[Asn], rng: &mut DetRng) -> Option<Asn> {
     for _ in 0..50 {
         let tier = match rng.choose_weighted(&[0.05, 0.25, 0.70]).unwrap_or(2) {
             0 => Tier::Core,
@@ -456,10 +451,7 @@ fn draw_origins(
 /// aggregation conflict, unless that exact prefix is already announced
 /// by someone. The aggregate is reserved in `used` so no later conflict
 /// lands on it.
-fn carve_aggregate(
-    specific: Ipv4Prefix,
-    used: &mut HashSet<Ipv4Prefix>,
-) -> Option<Ipv4Prefix> {
+fn carve_aggregate(specific: Ipv4Prefix, used: &mut HashSet<Ipv4Prefix>) -> Option<Ipv4Prefix> {
     if specific.len() < 10 {
         return None;
     }
@@ -504,8 +496,7 @@ pub fn generate(
             let len = total_last - start + 1;
             let pattern = ActivePattern::contiguous(start, len);
             let day = window.day_at(start as usize);
-            let Some((prefix, owner)) = sample_unused_prefix(plan, day, &mut used, &mut rng)
-            else {
+            let Some((prefix, owner)) = sample_unused_prefix(plan, day, &mut used, &mut rng) else {
                 continue;
             };
             let cause = draw_cause(cohort.name, &mut r);
@@ -685,8 +676,7 @@ pub fn generate(
             .expect("1998-04-07 is a protected snapshot day") as u32;
         for i in 0..cal.incident_1998_count {
             let mut r = rng.substream_idx("i98", i as u64);
-            let Some((prefix, owner)) = sample_unused_prefix(plan, day, &mut used, &mut rng)
-            else {
+            let Some((prefix, owner)) = sample_unused_prefix(plan, day, &mut used, &mut rng) else {
                 continue;
             };
             let origins = draw_origins(
@@ -726,8 +716,7 @@ pub fn generate(
             // Nested withdrawal: prefix i stays for as many days as
             // there are profile entries exceeding i.
             let k = profile.iter().filter(|&&p| p > i).count() as u32;
-            let Some((prefix, owner)) = sample_unused_prefix(plan, day, &mut used, &mut rng)
-            else {
+            let Some((prefix, owner)) = sample_unused_prefix(plan, day, &mut used, &mut rng) else {
                 continue;
             };
             let origins = draw_origins(
@@ -765,13 +754,11 @@ pub fn generate(
         let mut rng = root.substream("as-sets");
         let day = window.day_at(0);
         for _ in 0..cal.as_set_routes {
-            let Some((prefix, owner)) = sample_unused_prefix(plan, day, &mut used, &mut rng)
-            else {
+            let Some((prefix, owner)) = sample_unused_prefix(plan, day, &mut used, &mut rng) else {
                 break;
             };
             let other = random_alive_as(topo, day, &[owner], &mut rng).unwrap_or(Asn::new(9));
-            let via = random_transit(topo, day, &[owner, other], &mut rng)
-                .unwrap_or(Asn::new(10));
+            let via = random_transit(topo, day, &[owner, other], &mut rng).unwrap_or(Asn::new(10));
             let mut set = vec![owner, other];
             set.sort_unstable();
             set.dedup();
@@ -842,7 +829,12 @@ mod tests {
     fn origins_are_distinct_and_at_least_two() {
         let (_, _, s) = small_schedule();
         for c in &s.conflicts {
-            assert!(c.origins.len() >= 2, "conflict {} has {:?}", c.id, c.origins);
+            assert!(
+                c.origins.len() >= 2,
+                "conflict {} has {:?}",
+                c.id,
+                c.origins
+            );
             let mut d = c.origins.clone();
             d.sort_unstable();
             d.dedup();
@@ -974,10 +966,7 @@ mod tests {
     #[test]
     fn as_set_routes_generated() {
         let (params, _, s) = small_schedule();
-        assert_eq!(
-            s.as_set_routes.len(),
-            params.calibration.as_set_routes
-        );
+        assert_eq!(s.as_set_routes.len(), params.calibration.as_set_routes);
         for r in &s.as_set_routes {
             assert!(r.set.len() >= 2);
         }

@@ -67,13 +67,7 @@ impl StudyWindow {
 
     /// Builds a window with `gap_count` missing days drawn
     /// deterministically from the un-protected part of the core range.
-    pub fn new(
-        start: Date,
-        end: Date,
-        extended_end: Date,
-        gap_count: usize,
-        rng: &DetRng,
-    ) -> Self {
+    pub fn new(start: Date, end: Date, extended_end: Date, gap_count: usize, rng: &DetRng) -> Self {
         assert!(start <= end && end <= extended_end);
         let mut rng = rng.substream("window-gaps");
         let s = start.day_index();
@@ -211,10 +205,7 @@ mod tests {
         let w = paper_window();
         assert_eq!(w.core_len(), 1279);
         // 1349 calendar days − 70 gaps = 1279.
-        assert_eq!(
-            w.start().days_until(&w.end()) + 1,
-            1349
-        );
+        assert_eq!(w.start().days_until(&w.end()) + 1, 1349);
     }
 
     #[test]

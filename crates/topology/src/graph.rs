@@ -85,7 +85,9 @@ impl GrowthParams {
     pub fn scaled(scale: f64) -> Self {
         let d = GrowthParams::default();
         GrowthParams {
-            core_count: d.core_count.min(10.max((d.core_count as f64 * scale) as usize)),
+            core_count: d
+                .core_count
+                .min(10.max((d.core_count as f64 * scale) as usize)),
             transit_count: ((d.transit_count as f64 * scale) as usize).max(40),
             edge_count: ((d.edge_count as f64 * scale) as usize).max(160),
             ..d
@@ -178,11 +180,7 @@ impl Topology {
         };
 
         // --- Core: fully meshed peers, all present from the start.
-        for (k, &asn) in well_known::CORE
-            .iter()
-            .take(params.core_count)
-            .enumerate()
-        {
+        for (k, &asn) in well_known::CORE.iter().take(params.core_count).enumerate() {
             let _ = k;
             topo.push_node(AsNode {
                 asn: alloc_asn(Some(asn)),
@@ -291,9 +289,7 @@ impl Topology {
     /// degree among core + transit nodes born before `i`.
     fn attach_providers(&mut self, i: usize, count: usize, rng: &mut DetRng) {
         let candidates: Vec<usize> = (0..i)
-            .filter(|&j| {
-                matches!(self.nodes[j].tier, Tier::Core | Tier::Transit) && j != i
-            })
+            .filter(|&j| matches!(self.nodes[j].tier, Tier::Core | Tier::Transit) && j != i)
             .collect();
         if candidates.is_empty() {
             return;

@@ -139,8 +139,7 @@ impl<'t> PathSynth<'t> {
         let up_o = self.chain_to_core(origin, &mut rng);
         // Join at the first AS of the vantage chain that also appears
         // in the origin chain (minimizes the combined length greedily).
-        let pos_in_o: HashMap<Asn, usize> =
-            up_o.iter().enumerate().map(|(i, a)| (*a, i)).collect();
+        let pos_in_o: HashMap<Asn, usize> = up_o.iter().enumerate().map(|(i, a)| (*a, i)).collect();
         let mut best: Option<(usize, usize)> = None;
         for (i, a) in up_v.iter().enumerate() {
             if let Some(&j) = pos_in_o.get(a) {
@@ -327,10 +326,7 @@ mod tests {
                 if let Some(p) = s.path(v, o, None) {
                     // Announcement order = reverse of AS_PATH order.
                     let ann: Vec<Asn> = p.iter().rev().copied().collect();
-                    assert!(
-                        is_valley_free(&ann, rel),
-                        "valley in {v}->{o}: {p:?}"
-                    );
+                    assert!(is_valley_free(&ann, rel), "valley in {v}->{o}: {p:?}");
                 }
             }
         }

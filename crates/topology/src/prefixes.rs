@@ -273,8 +273,7 @@ impl PrefixPlan {
 
     /// Number of prefixes alive at `day` (binary search on birth).
     pub fn alive_count(&self, day: DayIndex) -> usize {
-        self.assignments
-            .partition_point(|a| a.born.0 <= day.0)
+        self.assignments.partition_point(|a| a.born.0 <= day.0)
     }
 
     /// The assignments alive at `day`.
@@ -322,12 +321,7 @@ mod tests {
         }
         for i in 0..all.len() {
             for j in (i + 1)..all.len() {
-                assert!(
-                    !all[i].overlaps(&all[j]),
-                    "{} overlaps {}",
-                    all[i],
-                    all[j]
-                );
+                assert!(!all[i].overlaps(&all[j]), "{} overlaps {}", all[i], all[j]);
             }
         }
     }
@@ -429,7 +423,10 @@ mod tests {
         let at_start = plan.alive_count(start);
         let at_end = plan.alive_count(end);
         assert!(at_start > 0);
-        assert!(at_end as f64 > at_start as f64 * 1.3, "{at_start} -> {at_end}");
+        assert!(
+            at_end as f64 > at_start as f64 * 1.3,
+            "{at_start} -> {at_end}"
+        );
         assert_eq!(at_end, plan.alive_at(end).len());
     }
 

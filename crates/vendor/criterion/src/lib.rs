@@ -1,0 +1,176 @@
+//! In-tree implementation of the subset of `criterion` this workspace
+//! uses (the build container has no crates.io access).
+//!
+//! Each benchmark is timed with a short calibration pass followed by a
+//! measured run, printing ns/iter and — when a [`Throughput`] is set —
+//! elements or bytes per second. Set `MOAS_BENCH_MS` to change the
+//! per-benchmark measurement budget (default 300 ms).
+
+#![forbid(unsafe_code)]
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Throughput annotation for a benchmark group.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// The benchmark driver.
+pub struct Criterion {
+    measure_ms: u64,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let measure_ms = std::env::var("MOAS_BENCH_MS")
+            .ok()
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(300);
+        Criterion { measure_ms }
+    }
+}
+
+impl Criterion {
+    /// Runs one standalone benchmark.
+    pub fn bench_function<F>(&mut self, name: impl AsRef<str>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(name.as_ref(), None, self.measure_ms, f);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup {
+        BenchmarkGroup {
+            name: name.to_string(),
+            throughput: None,
+            measure_ms: self.measure_ms,
+        }
+    }
+
+    /// Runs registered target functions (used by `criterion_main!`).
+    pub fn final_summary(&self) {}
+}
+
+/// A group of benchmarks sharing a name prefix and throughput setting.
+pub struct BenchmarkGroup {
+    name: String,
+    throughput: Option<Throughput>,
+    measure_ms: u64,
+}
+
+impl BenchmarkGroup {
+    /// Sets the throughput annotation for subsequent benchmarks.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Accepted for API parity; the stand-in sizes runs by time budget.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Accepted for API parity with `Criterion::measurement_time`.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measure_ms = d.as_millis() as u64;
+        self
+    }
+
+    /// Runs one benchmark in the group.
+    pub fn bench_function<F>(&mut self, name: impl AsRef<str>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, name.as_ref());
+        run_one(&full, self.throughput, self.measure_ms, f);
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+/// Passed to each benchmark closure; call [`Bencher::iter`].
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `f` over the bencher's iteration count.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(f());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+fn run_one<F>(name: &str, throughput: Option<Throughput>, measure_ms: u64, mut f: F)
+where
+    F: FnMut(&mut Bencher),
+{
+    // Calibrate: one iteration to estimate the per-iter cost.
+    let mut b = Bencher {
+        iters: 1,
+        elapsed: Duration::ZERO,
+    };
+    f(&mut b);
+    let per_iter = b.elapsed.max(Duration::from_nanos(1));
+    let budget = Duration::from_millis(measure_ms);
+    let iters = (budget.as_nanos() / per_iter.as_nanos()).clamp(1, 1_000_000) as u64;
+
+    let mut b = Bencher {
+        iters,
+        elapsed: Duration::ZERO,
+    };
+    f(&mut b);
+    let ns_per_iter = b.elapsed.as_nanos() as f64 / iters as f64;
+
+    let rate = throughput.map(|t| match t {
+        Throughput::Elements(n) => {
+            format!("{:>12.0} elem/s", n as f64 * 1e9 / ns_per_iter)
+        }
+        Throughput::Bytes(n) => format!("{:>12.0} B/s", n as f64 * 1e9 / ns_per_iter),
+    });
+    println!(
+        "bench {name:<50} {ns_per_iter:>14.1} ns/iter ({iters} iters){}",
+        rate.map(|r| format!("  {r}")).unwrap_or_default()
+    );
+}
+
+/// Declares a benchmark entry point running each target function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+    (name = $group:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut c = $config;
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Declares `main` for a benchmark binary.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

@@ -11,9 +11,9 @@
 //! ```
 
 use moas_core::pipeline::analyze_mrt_archive;
+use moas_lab::study::{Study, StudyConfig};
 use moas_mrt::snapshot::{snapshot_to_records, DumpFormat};
 use moas_mrt::MrtWriter;
-use moas_lab::study::{Study, StudyConfig};
 use moas_routeviews::{BackgroundMode, Collector};
 use std::fs::File;
 use std::io::Write as _;
@@ -52,15 +52,14 @@ fn main() -> std::io::Result<()> {
         w.write_all(&records)
             .map_err(|e| std::io::Error::other(e.to_string()))?;
         total_bytes += w.bytes_written();
-        w.finish().map_err(|e| std::io::Error::other(e.to_string()))?;
+        w.finish()
+            .map_err(|e| std::io::Error::other(e.to_string()))?;
         files.push((k, path));
     }
     println!(
         "wrote {n_days} archives, {:.1} MiB total ({} routes/day ≈ full table)",
         total_bytes as f64 / (1024.0 * 1024.0),
-        collector
-            .snapshot_at(first_idx, BackgroundMode::Full)
-            .len()
+        collector.snapshot_at(first_idx, BackgroundMode::Full).len()
     );
 
     // Corrupt one file in the middle: flip a byte inside every 50th
@@ -130,16 +129,18 @@ fn main() -> std::io::Result<()> {
                 "  day {k:>2} ({}): detected {got}, truth {truth} ({:+}){}",
                 study.world.window.day_at(idx).date(),
                 got - truth,
-                if k == 7 { "  ← the corrupted archive" } else { "" }
+                if k == 7 {
+                    "  ← the corrupted archive"
+                } else {
+                    ""
+                }
             );
         }
     }
-    let clean_ok = (0..n_days)
-        .filter(|k| *k != 7)
-        .all(|k| {
-            let truth = study.world.active_at(first_idx + k).len() as i64;
-            (daily[k] as i64 - truth).abs() <= 1
-        });
+    let clean_ok = (0..n_days).filter(|k| *k != 7).all(|k| {
+        let truth = study.world.active_at(first_idx + k).len() as i64;
+        (daily[k] as i64 - truth).abs() <= 1
+    });
     println!("  all uncorrupted days match ground truth: {clean_ok}");
 
     // Clean up.

@@ -24,21 +24,49 @@ fn main() {
     let p3561 = table.add_peer(PeerInfo::v4(Ipv4Addr::new(10, 0, 0, 3), Asn::new(3561)));
 
     // A healthy prefix: every peer agrees the origin is AS 7007.
-    table.push_path(p701, "198.51.100.0/24".parse().unwrap(), "701 7007".parse().unwrap());
-    table.push_path(p1239, "198.51.100.0/24".parse().unwrap(), "1239 701 7007".parse().unwrap());
+    table.push_path(
+        p701,
+        "198.51.100.0/24".parse().unwrap(),
+        "701 7007".parse().unwrap(),
+    );
+    table.push_path(
+        p1239,
+        "198.51.100.0/24".parse().unwrap(),
+        "1239 701 7007".parse().unwrap(),
+    );
 
     // A MOAS conflict: AS 8584 claims a prefix that AS 7007 originates
     // (the shape of the 1998-04-07 incident).
-    table.push_path(p701, "192.0.2.0/24".parse().unwrap(), "701 7007".parse().unwrap());
-    table.push_path(p3561, "192.0.2.0/24".parse().unwrap(), "3561 8584".parse().unwrap());
+    table.push_path(
+        p701,
+        "192.0.2.0/24".parse().unwrap(),
+        "701 7007".parse().unwrap(),
+    );
+    table.push_path(
+        p3561,
+        "192.0.2.0/24".parse().unwrap(),
+        "3561 8584".parse().unwrap(),
+    );
 
     // An OrigTranAS conflict: AS 1239 announces itself as origin on one
     // session and as transit toward AS 64999's route on another.
-    table.push_path(p701, "203.0.113.0/24".parse().unwrap(), "701 1239".parse().unwrap());
-    table.push_path(p1239, "203.0.113.0/24".parse().unwrap(), "701 1239 64999".parse().unwrap());
+    table.push_path(
+        p701,
+        "203.0.113.0/24".parse().unwrap(),
+        "701 1239".parse().unwrap(),
+    );
+    table.push_path(
+        p1239,
+        "203.0.113.0/24".parse().unwrap(),
+        "701 1239 64999".parse().unwrap(),
+    );
 
     // A route ending in an AS set — excluded per the paper's §III rule.
-    table.push_path(p701, "233.252.0.0/24".parse().unwrap(), "701 {64500,64501}".parse().unwrap());
+    table.push_path(
+        p701,
+        "233.252.0.0/24".parse().unwrap(),
+        "701 {64500,64501}".parse().unwrap(),
+    );
 
     let obs = detect(&table);
 
@@ -78,7 +106,10 @@ fn main() {
     for (prefix, set) in &obs.as_set_prefixes {
         println!(
             "excluded (AS-set origin): {prefix} ← {{{}}}",
-            set.iter().map(|a| a.to_string()).collect::<Vec<_>>().join(",")
+            set.iter()
+                .map(|a| a.to_string())
+                .collect::<Vec<_>>()
+                .join(",")
         );
     }
 }

@@ -32,10 +32,15 @@ fn main() {
         study.peers.len()
     );
 
-    eprintln!("analyzing {} snapshot days …", study.world.window.total_len());
+    eprintln!(
+        "analyzing {} snapshot days …",
+        study.world.window.total_len()
+    );
     let t = std::time::Instant::now();
     let tl = study.analyze(
-        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(2),
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(2),
     );
     eprintln!("done in {:?}\n", t.elapsed());
 
@@ -73,7 +78,10 @@ fn main() {
             ]
         })
         .collect();
-    println!("{}", text_table(&["filter", "conflicts", "E[duration]"], &table));
+    println!(
+        "{}",
+        text_table(&["filter", "conflicts", "E[duration]"], &table)
+    );
     println!(
         "one-day: {}; >300 days: {}; longest: {}; ongoing at cutoff: {}\n",
         summary.one_timers, summary.over_300, summary.longest, summary.ongoing
@@ -94,8 +102,6 @@ fn main() {
             println!("  /{l}: {v:.0}");
         }
         let top = lens.first().map(|(l, _)| *l).unwrap_or(0);
-        println!(
-            "  → /{top} attracts the most conflicts (paper: /24, \"the bulk of the table\")"
-        );
+        println!("  → /{top} attracts the most conflicts (paper: /24, \"the bulk of the table\")");
     }
 }

@@ -40,8 +40,7 @@ fn main() {
     replayer.seed(&seed_snap);
     monitor.observe(&replayer.detect_now(seed_snap.date));
     for idx in warmup_start..incident_idx - 1 {
-        let (_, next, stream) =
-            day_transition(&mut collector, idx, idx + 1, BackgroundMode::None);
+        let (_, next, stream) = day_transition(&mut collector, idx, idx + 1, BackgroundMode::None);
         replayer.apply_all(&stream);
         monitor.observe(&replayer.detect_now(next.date));
     }
@@ -62,7 +61,10 @@ fn main() {
         stream.len(),
         replay_announced(&stream)
     );
-    println!("{:>8} {:>10} {:>12} {:>12}", "updates", "conflicts", "new alarms", "total alarms");
+    println!(
+        "{:>8} {:>10} {:>12} {:>12}",
+        "updates", "conflicts", "new alarms", "total alarms"
+    );
     let mut applied = 0usize;
     let mut total_alarms = 0usize;
     let burst = (stream.len() / 10).max(1);

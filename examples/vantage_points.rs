@@ -46,7 +46,10 @@ fn main() {
         .collect();
     println!(
         "{}",
-        text_table(&["ISP vantage", "conflicts seen", "share of collector"], &rows)
+        text_table(
+            &["ISP vantage", "conflicts seen", "share of collector"],
+            &rows
+        )
     );
 
     println!(

@@ -96,11 +96,7 @@ impl Study {
     }
 
     /// Detects over a single calendar date, if it is a snapshot day.
-    pub fn observe_date(
-        &self,
-        date: Date,
-        background: BackgroundMode,
-    ) -> Option<DayObservation> {
+    pub fn observe_date(&self, date: Date, background: BackgroundMode) -> Option<DayObservation> {
         let idx = self.world.window.snapshot_index(date.day_index())?;
         Some(self.observe_day(idx, background))
     }
@@ -131,11 +127,7 @@ impl Study {
     /// The §III vantage experiment on one date: conflict counts seen by
     /// the full collector and by ISP-style clustered vantages of the
     /// given sizes.
-    pub fn vantage_experiment(
-        &self,
-        date: Date,
-        sizes: &[usize],
-    ) -> Option<(usize, Vec<usize>)> {
+    pub fn vantage_experiment(&self, date: Date, sizes: &[usize]) -> Option<(usize, Vec<usize>)> {
         let idx = self.world.window.snapshot_index(date.day_index())?;
         let day = self.world.window.day_at(idx);
         let mut collector = Collector::new(&self.world, &self.peers);

@@ -15,8 +15,16 @@ fn study() -> Study {
 fn origin_profiler_catches_both_incidents() {
     let study = study();
     let windows = [
-        (Date::ymd(1998, 3, 1), Date::ymd(1998, 4, 10), Asn::new(8584)),
-        (Date::ymd(2001, 3, 15), Date::ymd(2001, 4, 8), Asn::new(15412)),
+        (
+            Date::ymd(1998, 3, 1),
+            Date::ymd(1998, 4, 10),
+            Asn::new(8584),
+        ),
+        (
+            Date::ymd(2001, 3, 15),
+            Date::ymd(2001, 4, 8),
+            Asn::new(15412),
+        ),
     ];
     for (from, to, culprit) in windows {
         let mut profiler = OriginProfiler::new(ProfilerConfig {
@@ -89,8 +97,7 @@ fn moas_monitor_alarm_volume_decays_after_learning() {
     // After the first weeks (learning the standing conflicts), alarms
     // must settle far below the initial burst.
     let first = weekly[0].max(1);
-    let tail_avg: f64 =
-        weekly[weekly.len() - 4..].iter().sum::<usize>() as f64 / 4.0;
+    let tail_avg: f64 = weekly[weekly.len() - 4..].iter().sum::<usize>() as f64 / 4.0;
     assert!(
         tail_avg < first as f64 * 0.5,
         "alarms did not decay: first week {first}, tail {tail_avg:.1}"
@@ -105,8 +112,7 @@ fn duration_heuristic_helps_but_cannot_be_exact() {
     let study = study();
     let tl = study.analyze(2);
     let score = score_duration_heuristic(&tl, 9, |p| study.ground_truth_valid(p));
-    let total =
-        score.true_valid + score.true_invalid + score.false_valid + score.false_invalid;
+    let total = score.true_valid + score.true_invalid + score.false_valid + score.false_invalid;
     assert!(total > 100, "too few scored conflicts: {total}");
     assert!(
         score.accuracy() > 0.7,
@@ -134,8 +140,5 @@ fn threshold_sweep_shows_tradeoff() {
     // Accuracy varies with threshold — the knob matters.
     let min = accs.iter().map(|(_, a)| *a).fold(f64::MAX, f64::min);
     let max = accs.iter().map(|(_, a)| *a).fold(f64::MIN, f64::max);
-    assert!(
-        max - min > 0.02,
-        "threshold has no effect? sweep: {accs:?}"
-    );
+    assert!(max - min > 0.02, "threshold has no effect? sweep: {accs:?}");
 }

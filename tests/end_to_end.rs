@@ -25,10 +25,7 @@ fn headline_totals_scale_with_calibration() {
     // One-timers dominate the histogram, as in the paper (13 730 of
     // 38 225 ≈ 36 %).
     let share = summary.one_timers as f64 / summary.total as f64;
-    assert!(
-        (0.25..0.50).contains(&share),
-        "one-timer share {share:.2}"
-    );
+    assert!((0.25..0.50).contains(&share), "one-timer share {share:.2}");
 }
 
 #[test]
@@ -127,7 +124,9 @@ fn incident_days_are_the_two_peaks() {
         "1998-04-07 must be a peak, got {dates:?}"
     );
     assert!(
-        dates.iter().any(|d| *d >= Date::ymd(2001, 4, 6) && *d <= Date::ymd(2001, 4, 10)),
+        dates
+            .iter()
+            .any(|d| *d >= Date::ymd(2001, 4, 6) && *d <= Date::ymd(2001, 4, 10)),
         "April 2001 must be a peak, got {dates:?}"
     );
 }

@@ -1,0 +1,78 @@
+//! Property test: streaming/batch equivalence on random day
+//! transitions.
+//!
+//! For random window positions and background modes, the monitor —
+//! seeded with the previous day's table and fed the
+//! `day_transition` update stream — must report exactly the conflict
+//! set batch `detect()` finds on the materialized next-day snapshot,
+//! at several shard counts.
+
+use moas_core::detect::detect;
+use moas_lab::study::{Study, StudyConfig};
+use moas_monitor::{MonitorConfig, MonitorEngine};
+use moas_mrt::snapshot::midnight_timestamp;
+use moas_net::{Asn, Prefix};
+use moas_routeviews::updates::day_transition;
+use moas_routeviews::{BackgroundMode, Collector};
+use proptest::prelude::*;
+use std::sync::OnceLock;
+
+fn study() -> &'static Study {
+    static STUDY: OnceLock<Study> = OnceLock::new();
+    STUDY.get_or_init(|| Study::build(StudyConfig::test(0.004)))
+}
+
+fn conflict_set(conflicts: &[(Prefix, Vec<Asn>)]) -> &[(Prefix, Vec<Asn>)] {
+    conflicts
+}
+
+fn arb_background() -> impl Strategy<Value = BackgroundMode> {
+    prop_oneof![
+        Just(BackgroundMode::None),
+        (5usize..30).prop_map(BackgroundMode::Sample),
+    ]
+}
+
+proptest! {
+    #[test]
+    fn monitor_matches_batch_on_random_transitions(
+        pos in 0usize..600,
+        background in arb_background(),
+        shards in 1usize..=6,
+    ) {
+        let study = study();
+        let mut collector = Collector::new(&study.world, &study.peers);
+        let (prev, next, stream) =
+            day_transition(&mut collector, pos, pos + 1, background);
+
+        let mut engine = MonitorEngine::new(MonitorConfig::with_shards(shards));
+        engine.seed_snapshot(&prev, midnight_timestamp(prev.date));
+        engine.ingest_all(&stream);
+        let live = engine.snapshot();
+        let report = engine.finish();
+
+        let batch = detect(&next);
+        let expected: Vec<(Prefix, Vec<Asn>)> = batch
+            .conflicts
+            .iter()
+            .map(|c| (c.prefix, c.origins.clone()))
+            .collect();
+        let got: Vec<(Prefix, Vec<Asn>)> = live
+            .open_conflicts()
+            .iter()
+            .map(|c| (c.prefix, c.origins.clone()))
+            .collect();
+        prop_assert_eq!(
+            conflict_set(&got),
+            conflict_set(&expected),
+            "transition {}→{} at {} shards",
+            pos,
+            pos + 1,
+            shards
+        );
+
+        // The engine's route/prefix totals must match the snapshot's.
+        prop_assert_eq!(report.routes as usize, next.len());
+        prop_assert_eq!(report.prefixes, next.distinct_prefixes());
+    }
+}

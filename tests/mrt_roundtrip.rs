@@ -28,11 +28,23 @@ fn roundtrip_day(study: &Study, idx: usize, format: DumpFormat) {
     let back = records_to_snapshot(&parsed, Some(snap.date)).unwrap();
     let via_mrt = detect(&back);
 
-    assert_eq!(via_mrt.conflict_count(), direct.conflict_count(), "{format:?}");
+    assert_eq!(
+        via_mrt.conflict_count(),
+        direct.conflict_count(),
+        "{format:?}"
+    );
     assert_eq!(via_mrt.total_prefixes, direct.total_prefixes);
     assert_eq!(via_mrt.as_set_prefixes.len(), direct.as_set_prefixes.len());
-    let a: Vec<_> = direct.conflicts.iter().map(|c| (c.prefix, c.origins.clone())).collect();
-    let b: Vec<_> = via_mrt.conflicts.iter().map(|c| (c.prefix, c.origins.clone())).collect();
+    let a: Vec<_> = direct
+        .conflicts
+        .iter()
+        .map(|c| (c.prefix, c.origins.clone()))
+        .collect();
+    let b: Vec<_> = via_mrt
+        .conflicts
+        .iter()
+        .map(|c| (c.prefix, c.origins.clone()))
+        .collect();
     assert_eq!(a, b, "conflict sets differ through {format:?}");
 }
 
@@ -90,8 +102,7 @@ fn archive_files_survive_disk_roundtrip() {
         files.push((k, path));
         dates.push(snap.date);
     }
-    let (tl, skipped) =
-        moas_core::pipeline::analyze_mrt_archive(dates, 10, &files).unwrap();
+    let (tl, skipped) = moas_core::pipeline::analyze_mrt_archive(dates, 10, &files).unwrap();
     assert_eq!(skipped, 0);
     assert_eq!(tl.days().count(), 10);
     assert!(tl.total_conflicts() > 0);

@@ -21,7 +21,9 @@ fn within(measured: f64, paper: f64, tolerance: f64) -> bool {
 fn full_scale_reproduction() {
     let study = Study::build(StudyConfig::paper());
     let tl = study.analyze(
-        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(2),
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(2),
     );
 
     // §IV-A: totals.

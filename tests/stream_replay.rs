@@ -37,9 +37,12 @@ fn replayed_stream_reconstructs_next_day() {
         .window
         .snapshot_index(moas_net::Date::ymd(1998, 4, 7).day_index())
         .unwrap();
-    for (a, b) in [(300, 301), (incident - 1, incident), (incident, incident + 1)] {
-        let (prev, next, stream) =
-            day_transition(&mut collector, a, b, BackgroundMode::Sample(25));
+    for (a, b) in [
+        (300, 301),
+        (incident - 1, incident),
+        (incident, incident + 1),
+    ] {
+        let (prev, next, stream) = day_transition(&mut collector, a, b, BackgroundMode::Sample(25));
         let mut replayer = StreamReplayer::new();
         replayer.seed(&prev);
         replayer.apply_all(&stream);
@@ -57,8 +60,7 @@ fn replayed_stream_reconstructs_next_day() {
 fn replay_detection_equals_snapshot_detection() {
     let study = study();
     let mut collector = Collector::new(&study.world, &study.peers);
-    let (prev, next, stream) =
-        day_transition(&mut collector, 700, 701, BackgroundMode::None);
+    let (prev, next, stream) = day_transition(&mut collector, 700, 701, BackgroundMode::None);
     let mut replayer = StreamReplayer::new();
     replayer.seed(&prev);
     replayer.apply_all(&stream);
@@ -74,8 +76,7 @@ fn replay_detection_equals_snapshot_detection() {
 fn update_stream_survives_disk_roundtrip() {
     let study = study();
     let mut collector = Collector::new(&study.world, &study.peers);
-    let (prev, next, stream) =
-        day_transition(&mut collector, 500, 501, BackgroundMode::Sample(10));
+    let (prev, next, stream) = day_transition(&mut collector, 500, 501, BackgroundMode::Sample(10));
 
     // Through MRT bytes on the wire.
     let mut w = MrtWriter::new(Vec::new());
