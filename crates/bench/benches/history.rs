@@ -1,0 +1,124 @@
+//! History-store benches: event-append throughput through the
+//! segmented log (the per-event cost a months-long deployment pays on
+//! every lifecycle event), and compaction of a million-event log into
+//! the conflict-record table (the §VI scoring input).
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use moas_history::{ConflictStore, HistoryStore};
+use moas_monitor::{MonitorEvent, SeqEvent};
+use moas_net::{Asn, Prefix};
+use std::path::PathBuf;
+
+const EVENTS: usize = 1_000_000;
+const PREFIXES: u32 = 4_096;
+
+/// A synthetic multi-month log: conflicts cycling over a prefix pool,
+/// each episode an open, a flap pair, and a close.
+fn synth_events(n: usize) -> Vec<SeqEvent> {
+    let prefixes: Vec<Prefix> = (0..PREFIXES)
+        .map(|i| {
+            format!("10.{}.{}.0/24", (i >> 8) & 0xFF, i & 0xFF)
+                .parse()
+                .unwrap()
+        })
+        .collect();
+    let mut events = Vec::with_capacity(n);
+    let mut seq = 0u64;
+    let mut at = 0u32;
+    while events.len() < n {
+        let p = prefixes[(seq % PREFIXES as u64) as usize];
+        let a = Asn::new(100 + (seq % 1024) as u32);
+        let b = Asn::new(4_000 + (seq % 512) as u32);
+        at += 30;
+        for event in [
+            MonitorEvent::ConflictOpened {
+                prefix: p,
+                origins: vec![a, b],
+                at,
+            },
+            MonitorEvent::OriginAdded {
+                prefix: p,
+                origin: Asn::new(9_000),
+                at: at + 5,
+            },
+            MonitorEvent::OriginWithdrawn {
+                prefix: p,
+                origin: Asn::new(9_000),
+                at: at + 10,
+            },
+            MonitorEvent::ConflictClosed {
+                prefix: p,
+                opened_at: at,
+                at: at + 20,
+            },
+        ] {
+            events.push(SeqEvent {
+                shard: (seq % 8) as usize,
+                seq,
+                event,
+            });
+            seq += 1;
+        }
+    }
+    events.truncate(n);
+    events
+}
+
+fn bench_dir(name: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("moas-history-bench-{}-{name}", std::process::id()))
+}
+
+fn bench_history(c: &mut Criterion) {
+    let events = synth_events(EVENTS);
+
+    // Append throughput: the full million-event log through the
+    // segmented writer, rotating every ~"day" of synthetic stream.
+    let dir = bench_dir("append");
+    let mut group = c.benchmark_group("history_append");
+    group.throughput(Throughput::Elements(EVENTS as u64));
+    group.bench_function("segmented_log_1M_events", |b| {
+        b.iter(|| {
+            std::fs::remove_dir_all(&dir).ok();
+            let mut store = HistoryStore::open(&dir).unwrap();
+            for (day, chunk) in events.chunks(EVENTS / 30).enumerate() {
+                store.append(chunk).unwrap();
+                store.mark_day(day).unwrap();
+            }
+            store.seal().unwrap();
+            store.stats().events_appended
+        })
+    });
+    group.finish();
+
+    // Compaction: scan the on-disk log and fold it into records.
+    let dir2 = bench_dir("compact");
+    std::fs::remove_dir_all(&dir2).ok();
+    let mut store = HistoryStore::open(&dir2).unwrap();
+    for (day, chunk) in events.chunks(EVENTS / 30).enumerate() {
+        store.append(chunk).unwrap();
+        store.mark_day(day).unwrap();
+    }
+    store.seal().unwrap();
+
+    let mut group = c.benchmark_group("history_compact");
+    group.throughput(Throughput::Elements(EVENTS as u64));
+    group.bench_function("scan_plus_compact_1M_events", |b| {
+        b.iter(|| {
+            let (conflicts, scan) = store.compact().unwrap();
+            assert!(scan.corrupt.is_empty());
+            conflicts.records().len()
+        })
+    });
+    // The in-memory fold alone (no disk), to separate IO from CPU.
+    let scanned = store.scan().unwrap();
+    group.bench_function("compact_in_memory_1M_events", |b| {
+        b.iter(|| ConflictStore::from_events(&scanned.events).records().len())
+    });
+    group.finish();
+
+    std::fs::remove_dir_all(&dir).ok();
+    std::fs::remove_dir_all(&dir2).ok();
+}
+
+criterion_group!(benches, bench_history);
+criterion_main!(benches);

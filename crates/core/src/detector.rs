@@ -90,8 +90,17 @@ impl OriginProfiler {
     pub fn observe(&mut self, obs: &DayObservation) -> Vec<Anomaly> {
         let date = obs.date.unwrap_or(Date::ymd(1970, 1, 1));
         let today = crate::causes::involvement_by_origin(obs);
+        self.observe_counts(date, &today)
+    }
+
+    /// Feeds one day's per-AS involvement counts directly — the entry
+    /// point for sharded pipelines that merge per-shard involvement
+    /// (integer sums, so cross-shard aggregation is exact) before the
+    /// profiler sees the day. [`OriginProfiler::observe`] is this with
+    /// the counts derived from a full [`DayObservation`].
+    pub fn observe_counts(&mut self, date: Date, today: &HashMap<Asn, u32>) -> Vec<Anomaly> {
         let mut anomalies = Vec::new();
-        for (&asn, &count) in &today {
+        for (&asn, &count) in today {
             let base = self.baseline.get(&asn).copied().unwrap_or(0.0);
             if count >= self.config.min_count
                 && count as f64 > (base.max(1.0)) * self.config.surge_factor
@@ -110,7 +119,7 @@ impl OriginProfiler {
             let today_count = today.get(asn).copied().unwrap_or(0) as f64;
             *base = (1.0 - alpha) * *base + alpha * today_count;
         }
-        for (asn, count) in today {
+        for (&asn, &count) in today {
             self.baseline.entry(asn).or_insert(alpha * count as f64);
         }
         anomalies.sort_by_key(|a| match a {

@@ -107,24 +107,120 @@ pub fn analyze_mrt_file(
     Ok((detect(&build.snapshot), stats))
 }
 
+/// Assigns day files round-robin across `threads` workers: worker `t`
+/// gets `files[t]`, `files[t + threads]`, … so every worker's list
+/// stays in ascending input order. This is the sharding both archive
+/// drivers use — the batch analyzer below parallelizes day scans with
+/// it, and the streaming driver
+/// (`moas_history::pipeline::analyze_mrt_archive_streaming`) feeds its
+/// reader pool from the same assignment so files decode concurrently
+/// while the single-pass monitor consumes them in day order.
+pub fn shard_archive_files<T: Clone>(files: &[T], threads: usize) -> Vec<Vec<T>> {
+    let threads = threads.max(1).min(files.len().max(1));
+    let mut shards: Vec<Vec<T>> = vec![Vec::new(); threads];
+    for (i, f) in files.iter().enumerate() {
+        shards[i % threads].push(f.clone());
+    }
+    shards
+}
+
+/// Default worker count for archive scans: one per core, capped by the
+/// number of files.
+fn archive_threads(files: usize) -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+        .min(files.max(1))
+}
+
 /// Analyzes a full archive directory: `files[i] = (day position,
 /// path)`. Missing or unreadable files become I/O errors; corrupt
 /// records inside a file are skipped (and tallied) by the MRT reader.
+///
+/// Days are independent, so the files are sharded round-robin across
+/// one worker per core (the old one-file-per-day serial loop is gone);
+/// use [`analyze_mrt_archive_parallel`] to pick the worker count.
 pub fn analyze_mrt_archive(
     dates: Vec<Date>,
     core_len: usize,
     files: &[(usize, std::path::PathBuf)],
 ) -> io::Result<(Timeline, u64)> {
+    let threads = archive_threads(files.len());
+    analyze_mrt_archive_parallel(dates, core_len, files, threads)
+}
+
+/// [`analyze_mrt_archive`] with an explicit worker count. Each worker
+/// scans its round-robin share of the files into a private [`Timeline`]
+/// (days are disjoint across workers, so the merge is exact); the first
+/// I/O error in file order wins.
+pub fn analyze_mrt_archive_parallel(
+    dates: Vec<Date>,
+    core_len: usize,
+    files: &[(usize, std::path::PathBuf)],
+    threads: usize,
+) -> io::Result<(Timeline, u64)> {
     let n = dates.len();
-    let mut tl = Timeline::new(dates, core_len);
-    let mut skipped_total = 0u64;
+    let mut seen = vec![false; n];
     for (idx, path) in files {
         assert!(*idx < n, "file day position {idx} outside window");
-        let (obs, stats) = analyze_mrt_file(path, None)?;
-        skipped_total += stats.records_skipped;
-        tl.record(*idx, &obs);
+        assert!(
+            !std::mem::replace(&mut seen[*idx], true),
+            "two archive files for day position {idx} ({})",
+            path.display()
+        );
     }
-    Ok((tl, skipped_total))
+
+    // Workers carry each file's position in `files` order so the
+    // error that wins is the first in *file* order, not shard order.
+    let indexed: Vec<(usize, usize, &std::path::PathBuf)> = files
+        .iter()
+        .enumerate()
+        .map(|(pos, (idx, path))| (pos, *idx, path))
+        .collect();
+    let shards = shard_archive_files(&indexed, threads);
+    let mut results: Vec<Result<(Timeline, u64), (usize, io::Error)>> = Vec::new();
+    std::thread::scope(|scope| {
+        let mut handles = Vec::new();
+        for shard in &shards {
+            let dates_ref = &dates;
+            handles.push(
+                scope.spawn(move || -> Result<(Timeline, u64), (usize, io::Error)> {
+                    let mut tl = Timeline::new(dates_ref.clone(), core_len);
+                    let mut skipped = 0u64;
+                    for (pos, idx, path) in shard {
+                        let (obs, stats) = analyze_mrt_file(path, None).map_err(|e| (*pos, e))?;
+                        skipped += stats.records_skipped;
+                        tl.record(*idx, &obs);
+                    }
+                    Ok((tl, skipped))
+                }),
+            );
+        }
+        for h in handles {
+            results.push(h.join().expect("archive worker panicked"));
+        }
+    });
+
+    let mut merged = Timeline::new(dates, core_len);
+    let mut skipped_total = 0u64;
+    let mut first_err: Option<(usize, io::Error)> = None;
+    for result in results {
+        match result {
+            Ok((tl, skipped)) => {
+                merged.merge(tl);
+                skipped_total += skipped;
+            }
+            Err((pos, e)) => {
+                if first_err.as_ref().is_none_or(|(p, _)| pos < *p) {
+                    first_err = Some((pos, e));
+                }
+            }
+        }
+    }
+    if let Some((_, e)) = first_err {
+        return Err(e);
+    }
+    Ok((merged, skipped_total))
 }
 
 /// Convenience: detect over any [`TableSource`] (re-exported next to
@@ -259,13 +355,36 @@ mod tests {
             w.finish().unwrap();
             files.push((i, path));
         }
-        let (tl, skipped) = analyze_mrt_archive(ds, 3, &files).unwrap();
+        let (tl, skipped) = analyze_mrt_archive(ds.clone(), 3, &files).unwrap();
         assert_eq!(skipped, 0);
         assert_eq!(tl.total_conflicts(), 1);
         assert_eq!(tl.durations(), vec![3]);
+        // The sharded scan is exact at any worker count.
+        for threads in [1, 2, 5] {
+            let (par, s) = analyze_mrt_archive_parallel(ds.clone(), 3, &files, threads).unwrap();
+            assert_eq!(s, 0);
+            assert_eq!(par.total_conflicts(), tl.total_conflicts());
+            assert_eq!(par.durations(), tl.durations(), "threads={threads}");
+            assert_eq!(par.days().count(), tl.days().count());
+        }
         for (_, p) in files {
             std::fs::remove_file(p).ok();
         }
+    }
+
+    #[test]
+    fn archive_file_shards_preserve_order() {
+        let files: Vec<usize> = (0..10).collect();
+        let shards = shard_archive_files(&files, 3);
+        assert_eq!(shards.len(), 3);
+        let mut all: Vec<usize> = shards.iter().flatten().copied().collect();
+        for shard in &shards {
+            assert!(shard.windows(2).all(|w| w[0] < w[1]), "order per worker");
+        }
+        all.sort_unstable();
+        assert_eq!(all, files);
+        // More workers than files: capped, no empty panic.
+        assert_eq!(shard_archive_files(&files[..2], 8).len(), 2);
     }
 
     #[test]

@@ -1,0 +1,466 @@
+//! Binary frame codec for persisted lifecycle events.
+//!
+//! One [`SeqEvent`] becomes one frame: a fixed-width 18-byte header
+//! (`at(4) kind(1) reserved(1) body_len(2) shard(2) seq(8)`, all
+//! big-endian — the same header-then-delimited-body framing `moas-mrt`
+//! uses for MRT records) followed by a body whose fields are all
+//! fixed-width: an 18-byte prefix (`family(1) len(1) bits(16)`), then
+//! 4-byte ASNs or a 4-byte opening timestamp depending on the kind.
+//! The explicit `body_len` is what makes skip-and-continue scans
+//! possible even when a body is garbage, exactly like the MRT reader.
+//!
+//! The module also provides the CRC-32 (IEEE 802.3, the `cksum`/zlib
+//! polynomial) used by [`crate::segment`] to detect torn or corrupted
+//! segments.
+
+use moas_monitor::{MonitorEvent, SeqEvent};
+use moas_net::{Asn, Ipv4Prefix, Ipv6Prefix, Prefix};
+use std::fmt;
+use std::sync::OnceLock;
+
+/// Frame header length: `at(4) kind(1) reserved(1) body_len(2)
+/// shard(2) seq(8)`.
+pub const HEADER_LEN: usize = 18;
+/// Encoded prefix length: `family(1) len(1) bits(16)`.
+pub const PREFIX_LEN: usize = 18;
+
+/// Frame kind codes.
+mod kind {
+    pub const OPENED: u8 = 1;
+    pub const ORIGIN_ADDED: u8 = 2;
+    pub const ORIGIN_WITHDRAWN: u8 = 3;
+    pub const CLOSED: u8 = 4;
+}
+
+/// A frame-level decode failure. The enclosing segment machinery
+/// treats any of these as segment corruption.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CodecError {
+    /// Fewer bytes than a header needs.
+    TruncatedHeader,
+    /// The header promised more body bytes than remain.
+    TruncatedBody {
+        /// Body bytes the header promised.
+        expected: usize,
+        /// Bytes actually remaining.
+        got: usize,
+    },
+    /// Unknown frame kind byte.
+    UnknownKind(u8),
+    /// Body length inconsistent with the frame kind.
+    BadBodyLength(usize),
+    /// Prefix family byte was neither 4 nor 6.
+    BadPrefixFamily(u8),
+    /// Prefix mask length out of range for its family.
+    BadPrefixLength(u8),
+    /// Event body too large for the u16 length field (encode-side).
+    OversizedFrame(usize),
+    /// Shard index too large for the u16 field (encode-side).
+    ShardOutOfRange(usize),
+}
+
+impl fmt::Display for CodecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CodecError::TruncatedHeader => write!(f, "truncated frame header"),
+            CodecError::TruncatedBody { expected, got } => {
+                write!(f, "truncated frame body: expected {expected}, got {got}")
+            }
+            CodecError::UnknownKind(k) => write!(f, "unknown frame kind {k}"),
+            CodecError::BadBodyLength(n) => write!(f, "inconsistent body length {n}"),
+            CodecError::BadPrefixFamily(b) => write!(f, "bad prefix family byte {b}"),
+            CodecError::BadPrefixLength(l) => write!(f, "bad prefix mask length {l}"),
+            CodecError::OversizedFrame(n) => write!(f, "event body of {n} bytes exceeds u16"),
+            CodecError::ShardOutOfRange(s) => write!(f, "shard index {s} exceeds u16"),
+        }
+    }
+}
+
+impl std::error::Error for CodecError {}
+
+fn put_u16(out: &mut Vec<u8>, v: u16) {
+    out.extend_from_slice(&v.to_be_bytes());
+}
+
+fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_be_bytes());
+}
+
+fn put_prefix(out: &mut Vec<u8>, p: &Prefix) {
+    match p {
+        Prefix::V4(v4) => {
+            out.push(4);
+            out.push(v4.len());
+            put_u32(out, v4.bits());
+            out.extend_from_slice(&[0u8; 12]);
+        }
+        Prefix::V6(v6) => {
+            out.push(6);
+            out.push(v6.len());
+            out.extend_from_slice(&v6.bits().to_be_bytes());
+        }
+    }
+}
+
+fn get_u16(buf: &[u8], pos: usize) -> u16 {
+    u16::from_be_bytes([buf[pos], buf[pos + 1]])
+}
+
+fn get_u32(buf: &[u8], pos: usize) -> u32 {
+    u32::from_be_bytes([buf[pos], buf[pos + 1], buf[pos + 2], buf[pos + 3]])
+}
+
+fn get_u64(buf: &[u8], pos: usize) -> u64 {
+    let mut b = [0u8; 8];
+    b.copy_from_slice(&buf[pos..pos + 8]);
+    u64::from_be_bytes(b)
+}
+
+fn get_prefix(body: &[u8]) -> Result<Prefix, CodecError> {
+    let family = body[0];
+    let len = body[1];
+    match family {
+        4 => {
+            if len > Ipv4Prefix::MAX_LEN {
+                return Err(CodecError::BadPrefixLength(len));
+            }
+            Ok(Prefix::V4(Ipv4Prefix::from_bits(get_u32(body, 2), len)))
+        }
+        6 => {
+            if len > 128 {
+                return Err(CodecError::BadPrefixLength(len));
+            }
+            let mut b = [0u8; 16];
+            b.copy_from_slice(&body[2..18]);
+            Ok(Prefix::V6(Ipv6Prefix::from_bits(
+                u128::from_be_bytes(b),
+                len,
+            )))
+        }
+        other => Err(CodecError::BadPrefixFamily(other)),
+    }
+}
+
+/// Largest encodable body: `body_len` travels as a u16.
+pub const MAX_BODY_LEN: usize = u16::MAX as usize;
+
+/// Appends one event's frame to `out`. Fails (writing nothing) if the
+/// event cannot be represented — an origin set too large for the u16
+/// body length, or a shard index beyond u16 — rather than silently
+/// truncating and desynchronizing the frame stream.
+pub fn encode_event(ev: &SeqEvent, out: &mut Vec<u8>) -> Result<(), CodecError> {
+    let (k, at) = match &ev.event {
+        MonitorEvent::ConflictOpened { at, .. } => (kind::OPENED, *at),
+        MonitorEvent::OriginAdded { at, .. } => (kind::ORIGIN_ADDED, *at),
+        MonitorEvent::OriginWithdrawn { at, .. } => (kind::ORIGIN_WITHDRAWN, *at),
+        MonitorEvent::ConflictClosed { at, .. } => (kind::CLOSED, *at),
+    };
+
+    let mut body: Vec<u8> = Vec::with_capacity(PREFIX_LEN + 8);
+    put_prefix(&mut body, &ev.event.prefix());
+    match &ev.event {
+        MonitorEvent::ConflictOpened { origins, .. } => {
+            for o in origins {
+                put_u32(&mut body, o.value());
+            }
+        }
+        MonitorEvent::OriginAdded { origin, .. } | MonitorEvent::OriginWithdrawn { origin, .. } => {
+            put_u32(&mut body, origin.value());
+        }
+        MonitorEvent::ConflictClosed { opened_at, .. } => {
+            put_u32(&mut body, *opened_at);
+        }
+    }
+
+    if body.len() > MAX_BODY_LEN {
+        return Err(CodecError::OversizedFrame(body.len()));
+    }
+    let Ok(shard) = u16::try_from(ev.shard) else {
+        return Err(CodecError::ShardOutOfRange(ev.shard));
+    };
+
+    out.reserve(HEADER_LEN + body.len());
+    put_u32(out, at);
+    out.push(k);
+    out.push(0); // reserved
+    put_u16(out, body.len() as u16);
+    put_u16(out, shard);
+    out.extend_from_slice(&ev.seq.to_be_bytes());
+    out.extend_from_slice(&body);
+    Ok(())
+}
+
+/// Decodes the frame starting at `*pos`, advancing `*pos` past it on
+/// success.
+pub fn decode_event(buf: &[u8], pos: &mut usize) -> Result<SeqEvent, CodecError> {
+    let start = *pos;
+    if buf.len() - start < HEADER_LEN {
+        return Err(CodecError::TruncatedHeader);
+    }
+    let at = get_u32(buf, start);
+    let k = buf[start + 4];
+    let body_len = get_u16(buf, start + 6) as usize;
+    let shard = get_u16(buf, start + 8) as usize;
+    let seq = get_u64(buf, start + 10);
+    let body_start = start + HEADER_LEN;
+    if buf.len() - body_start < body_len {
+        return Err(CodecError::TruncatedBody {
+            expected: body_len,
+            got: buf.len() - body_start,
+        });
+    }
+    let body = &buf[body_start..body_start + body_len];
+    if body.len() < PREFIX_LEN {
+        return Err(CodecError::BadBodyLength(body.len()));
+    }
+    let prefix = get_prefix(body)?;
+    let rest = &body[PREFIX_LEN..];
+
+    let event = match k {
+        kind::OPENED => {
+            if !rest.len().is_multiple_of(4) {
+                return Err(CodecError::BadBodyLength(body.len()));
+            }
+            let origins = rest
+                .chunks_exact(4)
+                .map(|c| Asn::new(u32::from_be_bytes([c[0], c[1], c[2], c[3]])))
+                .collect();
+            MonitorEvent::ConflictOpened {
+                prefix,
+                origins,
+                at,
+            }
+        }
+        kind::ORIGIN_ADDED | kind::ORIGIN_WITHDRAWN => {
+            if rest.len() != 4 {
+                return Err(CodecError::BadBodyLength(body.len()));
+            }
+            let origin = Asn::new(get_u32(rest, 0));
+            if k == kind::ORIGIN_ADDED {
+                MonitorEvent::OriginAdded { prefix, origin, at }
+            } else {
+                MonitorEvent::OriginWithdrawn { prefix, origin, at }
+            }
+        }
+        kind::CLOSED => {
+            if rest.len() != 4 {
+                return Err(CodecError::BadBodyLength(body.len()));
+            }
+            MonitorEvent::ConflictClosed {
+                prefix,
+                opened_at: get_u32(rest, 0),
+                at,
+            }
+        }
+        other => return Err(CodecError::UnknownKind(other)),
+    };
+
+    *pos = body_start + body_len;
+    Ok(SeqEvent { shard, seq, event })
+}
+
+fn crc32_table() -> &'static [u32; 256] {
+    static TABLE: OnceLock<[u32; 256]> = OnceLock::new();
+    TABLE.get_or_init(|| {
+        let mut table = [0u32; 256];
+        for (i, slot) in table.iter_mut().enumerate() {
+            let mut c = i as u32;
+            for _ in 0..8 {
+                c = if c & 1 != 0 {
+                    0xEDB8_8320 ^ (c >> 1)
+                } else {
+                    c >> 1
+                };
+            }
+            *slot = c;
+        }
+        table
+    })
+}
+
+/// Incremental CRC-32 (IEEE) over segment frame bytes.
+#[derive(Debug, Clone, Copy)]
+pub struct Crc32 {
+    state: u32,
+}
+
+impl Default for Crc32 {
+    fn default() -> Self {
+        Crc32::new()
+    }
+}
+
+impl Crc32 {
+    /// Starts a fresh checksum.
+    pub fn new() -> Self {
+        Crc32 { state: 0xFFFF_FFFF }
+    }
+
+    /// Folds `bytes` into the checksum.
+    pub fn update(&mut self, bytes: &[u8]) {
+        let table = crc32_table();
+        for &b in bytes {
+            self.state = table[((self.state ^ b as u32) & 0xFF) as usize] ^ (self.state >> 8);
+        }
+    }
+
+    /// The finished checksum value.
+    pub fn finish(&self) -> u32 {
+        self.state ^ 0xFFFF_FFFF
+    }
+}
+
+/// One-shot CRC-32 of a byte slice.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut c = Crc32::new();
+    c.update(bytes);
+    c.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_events() -> Vec<SeqEvent> {
+        let p4: Prefix = "192.0.2.0/24".parse().unwrap();
+        let p6: Prefix = "2001:db8::/32".parse().unwrap();
+        vec![
+            SeqEvent {
+                shard: 3,
+                seq: 0,
+                event: MonitorEvent::ConflictOpened {
+                    prefix: p4,
+                    origins: vec![Asn::new(7), Asn::new(9), Asn::new(65_000)],
+                    at: 1_000,
+                },
+            },
+            SeqEvent {
+                shard: 3,
+                seq: 1,
+                event: MonitorEvent::OriginAdded {
+                    prefix: p4,
+                    origin: Asn::new(11),
+                    at: 1_500,
+                },
+            },
+            SeqEvent {
+                shard: 0,
+                seq: 42,
+                event: MonitorEvent::OriginWithdrawn {
+                    prefix: p6,
+                    origin: Asn::new(4_200_000_000),
+                    at: 2_000,
+                },
+            },
+            SeqEvent {
+                shard: 7,
+                seq: u64::MAX,
+                event: MonitorEvent::ConflictClosed {
+                    prefix: p6,
+                    opened_at: 900,
+                    at: u32::MAX,
+                },
+            },
+        ]
+    }
+
+    #[test]
+    fn frames_roundtrip() {
+        let events = sample_events();
+        let mut buf = Vec::new();
+        for e in &events {
+            encode_event(e, &mut buf).unwrap();
+        }
+        let mut pos = 0;
+        let mut out = Vec::new();
+        while pos < buf.len() {
+            out.push(decode_event(&buf, &mut pos).unwrap());
+        }
+        assert_eq!(out, events);
+        assert_eq!(pos, buf.len());
+    }
+
+    #[test]
+    fn truncation_detected_not_panicked() {
+        let mut buf = Vec::new();
+        encode_event(&sample_events()[0], &mut buf).unwrap();
+        for cut in [0, 5, HEADER_LEN - 1, HEADER_LEN + 3, buf.len() - 1] {
+            let mut pos = 0;
+            let err = decode_event(&buf[..cut], &mut pos).unwrap_err();
+            assert!(
+                matches!(
+                    err,
+                    CodecError::TruncatedHeader | CodecError::TruncatedBody { .. }
+                ),
+                "cut={cut}: {err}"
+            );
+        }
+    }
+
+    #[test]
+    fn bad_kind_and_family_rejected() {
+        let mut buf = Vec::new();
+        encode_event(&sample_events()[1], &mut buf).unwrap();
+        let mut bad = buf.clone();
+        bad[4] = 99; // kind
+        let mut pos = 0;
+        assert_eq!(
+            decode_event(&bad, &mut pos),
+            Err(CodecError::UnknownKind(99))
+        );
+        let mut bad = buf;
+        bad[HEADER_LEN] = 5; // family
+        let mut pos = 0;
+        assert_eq!(
+            decode_event(&bad, &mut pos),
+            Err(CodecError::BadPrefixFamily(5))
+        );
+    }
+
+    #[test]
+    fn unrepresentable_events_refused_not_truncated() {
+        // An origin set whose body would overflow the u16 length field
+        // must fail cleanly, writing nothing.
+        let huge = SeqEvent {
+            shard: 0,
+            seq: 0,
+            event: MonitorEvent::ConflictOpened {
+                prefix: "192.0.2.0/24".parse().unwrap(),
+                origins: (0..20_000).map(Asn::new).collect(),
+                at: 0,
+            },
+        };
+        let mut buf = Vec::new();
+        assert!(matches!(
+            encode_event(&huge, &mut buf),
+            Err(CodecError::OversizedFrame(_))
+        ));
+        assert!(buf.is_empty(), "failed encode must not write");
+
+        let far_shard = SeqEvent {
+            shard: usize::MAX,
+            seq: 0,
+            event: MonitorEvent::ConflictClosed {
+                prefix: "192.0.2.0/24".parse().unwrap(),
+                opened_at: 0,
+                at: 1,
+            },
+        };
+        assert!(matches!(
+            encode_event(&far_shard, &mut buf),
+            Err(CodecError::ShardOutOfRange(_))
+        ));
+        assert!(buf.is_empty());
+    }
+
+    #[test]
+    fn crc32_matches_known_vector() {
+        // The canonical IEEE test vector.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+        let mut inc = Crc32::new();
+        inc.update(b"1234");
+        inc.update(b"56789");
+        assert_eq!(inc.finish(), 0xCBF4_3926);
+    }
+}

@@ -1,0 +1,423 @@
+//! Compaction: folding the raw event log into a conflict-record table.
+//!
+//! The log is an append-only stream of lifecycle events; months of it
+//! are dominated by churn (origin flaps inside long-lived conflicts).
+//! Compaction replays the log in per-shard causal order — `(shard,
+//! seq)`, the order each owning shard actually applied its updates,
+//! total per prefix because a prefix lives on exactly one shard — and
+//! folds every conflict into one [`ConflictRecord`]: the origin union,
+//! the open/close episode intervals, and the flap count. This is the
+//! compact representation §VI validity scoring reads (see
+//! [`crate::validity`]), and it reproduces the batch [`Timeline`]'s
+//! conflict set and durations exactly for time-ordered streams
+//! (`tests/history_proptests.rs` pins that equivalence against
+//! [`moas_monitor::fold_events_into_timeline`]).
+//!
+//! [`Timeline`]: moas_core::timeline::Timeline
+
+use crate::validity::AffinityIndex;
+use moas_monitor::{MonitorEvent, SeqEvent};
+use moas_mrt::snapshot::midnight_timestamp;
+use moas_net::{Asn, Date, Prefix};
+use std::collections::BTreeMap;
+
+/// One contiguous open interval of a conflict.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Episode {
+    /// When the conflict opened (update-stream timestamp).
+    pub opened_at: u32,
+    /// When it closed; `None` while still open at the end of the log.
+    pub closed_at: Option<u32>,
+}
+
+impl Episode {
+    /// Seconds the episode was open, with `now` standing in for a
+    /// missing close.
+    pub fn open_secs(&self, now: u32) -> u64 {
+        self.closed_at.unwrap_or(now).saturating_sub(self.opened_at) as u64
+    }
+
+    /// Whether the episode covers snapshot cut `cut` — i.e. whether a
+    /// state fold over all events with `at < cut` would find it open.
+    pub fn covers_cut(&self, cut: u32) -> bool {
+        self.opened_at < cut && self.closed_at.is_none_or(|c| c >= cut)
+    }
+}
+
+/// The compacted longitudinal record of one conflicted prefix.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConflictRecord {
+    /// The conflicted prefix.
+    pub prefix: Prefix,
+    /// Union of every origin ever involved (sorted).
+    pub origins: Vec<Asn>,
+    /// Open/close intervals, in time order.
+    pub episodes: Vec<Episode>,
+    /// Origin additions/withdrawals observed inside open episodes.
+    pub flap_count: u32,
+}
+
+impl ConflictRecord {
+    /// Number of open episodes.
+    pub fn episode_count(&self) -> u32 {
+        self.episodes.len() as u32
+    }
+
+    /// Whether the last episode is still open.
+    pub fn is_open(&self) -> bool {
+        self.episodes.last().is_some_and(|e| e.closed_at.is_none())
+    }
+
+    /// Total seconds in conflict across episodes; `now` closes any
+    /// still-open tail.
+    pub fn open_secs(&self, now: u32) -> u64 {
+        self.episodes.iter().map(|e| e.open_secs(now)).sum()
+    }
+
+    /// First opening timestamp.
+    pub fn first_opened_at(&self) -> u32 {
+        self.episodes.first().map_or(0, |e| e.opened_at)
+    }
+
+    /// How many of the given snapshot cuts the conflict is open at —
+    /// the paper's day-granularity duration (§IV-B) reconstructed from
+    /// the record alone.
+    pub fn days_at_cuts(&self, cuts: &[u32]) -> u32 {
+        cuts.iter()
+            .filter(|&&cut| self.episodes.iter().any(|e| e.covers_cut(cut)))
+            .count() as u32
+    }
+}
+
+/// The compacted conflict table plus the §VI origin-pair affinity
+/// index, both built in one replay pass.
+#[derive(Debug)]
+pub struct ConflictStore {
+    records: BTreeMap<Prefix, ConflictRecord>,
+    affinity: AffinityIndex,
+    /// Timestamp of the last event replayed (0 for an empty log).
+    pub last_event_at: u32,
+    /// Events replayed.
+    pub events_replayed: u64,
+}
+
+/// Per-prefix replay state while compacting.
+#[derive(Default)]
+struct LiveEpisode {
+    opened_at: u32,
+    origins: Vec<Asn>,
+}
+
+impl ConflictStore {
+    /// Replays an event log (any order; it is re-sorted into per-shard
+    /// causal order first) into compacted records.
+    ///
+    /// Stray events are tolerated, not trusted: a duplicate `Opened`
+    /// merges origins into the running episode, and `Closed`/`Added`/
+    /// `Withdrawn` without an open episode are ignored — a scan that
+    /// lost a corrupt segment must still compact.
+    pub fn from_events(events: &[SeqEvent]) -> Self {
+        let mut causal: Vec<&SeqEvent> = events.iter().collect();
+        causal.sort_by_key(|e| (e.shard, e.seq));
+
+        let mut records: BTreeMap<Prefix, ConflictRecord> = BTreeMap::new();
+        let mut live: BTreeMap<Prefix, LiveEpisode> = BTreeMap::new();
+        let mut affinity = AffinityIndex::default();
+        let mut last_event_at = 0u32;
+
+        for e in &causal {
+            last_event_at = last_event_at.max(e.event.at());
+            match &e.event {
+                MonitorEvent::ConflictOpened {
+                    prefix, origins, ..
+                } => match live.get_mut(prefix) {
+                    Some(ep) => {
+                        for o in origins {
+                            if !ep.origins.contains(o) {
+                                ep.origins.push(*o);
+                            }
+                        }
+                    }
+                    None => {
+                        live.insert(
+                            *prefix,
+                            LiveEpisode {
+                                opened_at: e.event.at(),
+                                origins: origins.clone(),
+                            },
+                        );
+                    }
+                },
+                MonitorEvent::OriginAdded { prefix, origin, .. } => {
+                    if let Some(ep) = live.get_mut(prefix) {
+                        if !ep.origins.contains(origin) {
+                            ep.origins.push(*origin);
+                        }
+                        bump_flap(&mut records, *prefix);
+                    }
+                }
+                MonitorEvent::OriginWithdrawn { prefix, .. } => {
+                    // The origin stays in the episode's union (§IV-B
+                    // durations count "same ASes or not").
+                    if live.contains_key(prefix) {
+                        bump_flap(&mut records, *prefix);
+                    }
+                }
+                MonitorEvent::ConflictClosed { prefix, at, .. } => {
+                    if let Some(ep) = live.remove(prefix) {
+                        close_episode(&mut records, &mut affinity, *prefix, ep, Some(*at));
+                    }
+                }
+            }
+        }
+
+        // Still-open conflicts become open-tailed episodes.
+        for (prefix, ep) in live {
+            close_episode(&mut records, &mut affinity, prefix, ep, None);
+        }
+        for rec in records.values_mut() {
+            rec.origins.sort_unstable();
+            rec.origins.dedup();
+            rec.episodes.sort_by_key(|e| e.opened_at);
+        }
+
+        ConflictStore {
+            records,
+            affinity,
+            last_event_at,
+            events_replayed: causal.len() as u64,
+        }
+    }
+
+    /// The compacted records, keyed by prefix.
+    pub fn records(&self) -> &BTreeMap<Prefix, ConflictRecord> {
+        &self.records
+    }
+
+    /// The origin-pair affinity index built during compaction.
+    pub fn affinity(&self) -> &AffinityIndex {
+        &self.affinity
+    }
+
+    /// Snapshot-instant cuts for a window of dates (one per day, at
+    /// the end of the day's update stream) — the same cuts
+    /// [`moas_monitor::fold_events_into_timeline`] evaluates.
+    pub fn cuts(dates: &[Date]) -> Vec<u32> {
+        dates
+            .iter()
+            .map(|d| midnight_timestamp(*d).saturating_add(86_400))
+            .collect()
+    }
+
+    /// Distinct prefixes in conflict on at least one of the first
+    /// `core_len` days — the batch `Timeline::total_conflicts()`
+    /// reconstructed from the record table.
+    pub fn total_conflicts(&self, dates: &[Date], core_len: usize) -> usize {
+        let cuts = Self::cuts(&dates[..core_len.min(dates.len())]);
+        self.records
+            .values()
+            .filter(|r| r.days_at_cuts(&cuts) > 0)
+            .count()
+    }
+
+    /// Observed core-window day-durations of all conflicts — the batch
+    /// `Timeline::durations()` reconstructed from the record table
+    /// (prefix order; sort before comparing with a fold).
+    pub fn durations(&self, dates: &[Date], core_len: usize) -> Vec<u32> {
+        let cuts = Self::cuts(&dates[..core_len.min(dates.len())]);
+        self.records
+            .values()
+            .filter_map(|r| {
+                let d = r.days_at_cuts(&cuts);
+                (d > 0).then_some(d)
+            })
+            .collect()
+    }
+}
+
+fn bump_flap(records: &mut BTreeMap<Prefix, ConflictRecord>, prefix: Prefix) {
+    records
+        .entry(prefix)
+        .or_insert_with(|| empty_record(prefix))
+        .flap_count += 1;
+}
+
+fn close_episode(
+    records: &mut BTreeMap<Prefix, ConflictRecord>,
+    affinity: &mut AffinityIndex,
+    prefix: Prefix,
+    ep: LiveEpisode,
+    closed_at: Option<u32>,
+) {
+    affinity.note_episode(prefix, &ep.origins);
+    let rec = records
+        .entry(prefix)
+        .or_insert_with(|| empty_record(prefix));
+    rec.episodes.push(Episode {
+        opened_at: ep.opened_at,
+        closed_at,
+    });
+    for o in ep.origins {
+        if !rec.origins.contains(&o) {
+            rec.origins.push(o);
+        }
+    }
+}
+
+fn empty_record(prefix: Prefix) -> ConflictRecord {
+    ConflictRecord {
+        prefix,
+        origins: Vec::new(),
+        episodes: Vec::new(),
+        flap_count: 0,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(s: &str) -> Prefix {
+        s.parse().unwrap()
+    }
+
+    fn ev(seq: u64, event: MonitorEvent) -> SeqEvent {
+        SeqEvent {
+            shard: 0,
+            seq,
+            event,
+        }
+    }
+
+    #[test]
+    fn episodes_and_flaps_compact() {
+        let px = p("192.0.2.0/24");
+        let events = vec![
+            ev(
+                0,
+                MonitorEvent::ConflictOpened {
+                    prefix: px,
+                    origins: vec![Asn::new(7), Asn::new(9)],
+                    at: 100,
+                },
+            ),
+            ev(
+                1,
+                MonitorEvent::OriginAdded {
+                    prefix: px,
+                    origin: Asn::new(11),
+                    at: 150,
+                },
+            ),
+            ev(
+                2,
+                MonitorEvent::OriginWithdrawn {
+                    prefix: px,
+                    origin: Asn::new(11),
+                    at: 160,
+                },
+            ),
+            ev(
+                3,
+                MonitorEvent::ConflictClosed {
+                    prefix: px,
+                    opened_at: 100,
+                    at: 200,
+                },
+            ),
+            ev(
+                4,
+                MonitorEvent::ConflictOpened {
+                    prefix: px,
+                    origins: vec![Asn::new(7), Asn::new(9)],
+                    at: 500,
+                },
+            ),
+        ];
+        let store = ConflictStore::from_events(&events);
+        let rec = &store.records()[&px];
+        assert_eq!(rec.episode_count(), 2);
+        assert_eq!(rec.flap_count, 2);
+        assert!(rec.is_open());
+        assert_eq!(rec.origins, vec![Asn::new(7), Asn::new(9), Asn::new(11)]);
+        assert_eq!(rec.open_secs(600), 100 + 100);
+        assert_eq!(store.last_event_at, 500);
+        assert_eq!(
+            store
+                .affinity()
+                .co_announcements(px, Asn::new(7), Asn::new(9)),
+            2
+        );
+        assert_eq!(
+            store
+                .affinity()
+                .co_announcements(px, Asn::new(7), Asn::new(11)),
+            1
+        );
+    }
+
+    #[test]
+    fn durations_match_day_cut_semantics() {
+        let px = p("192.0.2.0/24");
+        let dates: Vec<Date> = (0..3).map(|i| Date::ymd(1970, 1, 1).plus_days(i)).collect();
+        // Open during day 0, closed during day 2: open at cuts 0 and 1.
+        let events = vec![
+            ev(
+                0,
+                MonitorEvent::ConflictOpened {
+                    prefix: px,
+                    origins: vec![Asn::new(7), Asn::new(9)],
+                    at: 1_000,
+                },
+            ),
+            ev(
+                1,
+                MonitorEvent::ConflictClosed {
+                    prefix: px,
+                    opened_at: 1_000,
+                    at: 2 * 86_400 + 10,
+                },
+            ),
+        ];
+        let store = ConflictStore::from_events(&events);
+        assert_eq!(store.total_conflicts(&dates, 3), 1);
+        assert_eq!(store.durations(&dates, 3), vec![2]);
+        // A conflict entirely past the window contributes nothing.
+        let late = vec![ev(
+            0,
+            MonitorEvent::ConflictOpened {
+                prefix: px,
+                origins: vec![Asn::new(7), Asn::new(9)],
+                at: 10 * 86_400,
+            },
+        )];
+        let store = ConflictStore::from_events(&late);
+        assert_eq!(store.total_conflicts(&dates, 3), 0);
+    }
+
+    #[test]
+    fn stray_events_tolerated() {
+        let px = p("192.0.2.0/24");
+        let events = vec![
+            ev(
+                0,
+                MonitorEvent::ConflictClosed {
+                    prefix: px,
+                    opened_at: 0,
+                    at: 10,
+                },
+            ),
+            ev(
+                1,
+                MonitorEvent::OriginAdded {
+                    prefix: px,
+                    origin: Asn::new(3),
+                    at: 20,
+                },
+            ),
+        ];
+        let store = ConflictStore::from_events(&events);
+        assert!(store.records().is_empty());
+        assert_eq!(store.events_replayed, 2);
+    }
+}

@@ -1,0 +1,61 @@
+//! # moas-history — persistent conflict history and §VI validity
+//!
+//! The paper's §VI argues that what separates valid MOAS conflicts
+//! (multihoming without BGP, exchange-point addresses) from faults and
+//! misconfiguration is, above all, *longevity* (§VI-F) — and follow-up
+//! work ("Live Long and Prosper: Analyzing Long-Lived MOAS Prefixes
+//! in BGP", arXiv:2307.08490) shows that measuring longevity honestly
+//! takes months of continuous history, far beyond what an in-memory
+//! monitor retains. This crate is that memory, downstream of
+//! `moas-monitor`:
+//!
+//! ```text
+//!   MonitorEngine ── drain_events() at day marks ──▶ HistoryStore
+//!                                                    (segmented log,
+//!                                                     CRC + rotation)
+//!        ▲                                                │ scan
+//!        │ single pass                                    ▼
+//!   pipeline::analyze_mrt_archive_streaming      ConflictStore
+//!   (reader pool over archive files,             (compacted records:
+//!    day-ordered diff streams)                    episodes, flaps,
+//!                                                 affinity index)
+//!                                                        │
+//!                                                        ▼
+//!                                                 ValidityReport
+//!                                                 (§VI-F threshold,
+//!                                                  longevity percentile,
+//!                                                  recurring upgrades,
+//!                                                  causes.rs reconcile)
+//! ```
+//!
+//! * [`codec`] — fixed-width binary frames for lifecycle events, plus
+//!   the CRC-32 the segments use.
+//! * [`segment`] — the on-disk unit: header, frames, CRC trailer;
+//!   corrupt segments are skipped and reported, never fatal.
+//! * [`store`] — [`store::HistoryStore`]: append, rotate at day
+//!   marks, fault-tolerant scans, metrics publishing into the
+//!   monitor's counter block.
+//! * [`compact`] — fold closed conflicts into
+//!   [`compact::ConflictRecord`]s (origin union, episodes, flaps) that
+//!   reproduce the batch `Timeline` durations exactly.
+//! * [`validity`] — §VI scoring: duration threshold, longevity
+//!   percentile, origin-pair affinity upgrades, and reconciliation
+//!   with `moas_core::causes`.
+//! * [`pipeline`] — single-pass streaming archive analysis: decode
+//!   files concurrently, drive the monitor in day order, persist
+//!   events as you go.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod codec;
+pub mod compact;
+pub mod pipeline;
+pub mod segment;
+pub mod store;
+pub mod validity;
+
+pub use compact::{ConflictRecord, ConflictStore, Episode};
+pub use pipeline::{analyze_mrt_archive_streaming, StreamingArchiveConfig, StreamingArchiveReport};
+pub use store::{HistoryStore, StoreScan, StoreStats};
+pub use validity::{AffinityIndex, ValidityConfig, ValidityReport, Verdict};

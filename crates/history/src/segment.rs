@@ -1,0 +1,310 @@
+//! Segment files: the on-disk unit of the append-only event log.
+//!
+//! A segment is `header · frames · trailer`:
+//!
+//! ```text
+//! header  (16 B)  magic "MHSEG001"  day_idx(4)  reserved(4)
+//! frames  (...)   codec frames, appended in arrival order
+//! trailer (16 B)  magic "MHTRL001"  frame_bytes(4)  crc32(4)
+//! ```
+//!
+//! The trailer CRC covers exactly the frame bytes, so a torn write, a
+//! crash before close, or bit rot anywhere in the frames is detected
+//! on read. A segment that fails validation is *skipped and reported*
+//! — never a panic and never an abort of the scan — mirroring the MRT
+//! reader's skip-and-continue ethos for multi-month archives.
+
+use crate::codec::{decode_event, encode_event, Crc32};
+use moas_monitor::SeqEvent;
+use std::fmt;
+use std::fs::File;
+use std::io::{self, BufWriter, Read, Write};
+use std::path::{Path, PathBuf};
+
+/// Segment header magic (version 001 baked in).
+pub const HEADER_MAGIC: &[u8; 8] = b"MHSEG001";
+/// Segment trailer magic.
+pub const TRAILER_MAGIC: &[u8; 8] = b"MHTRL001";
+/// Header / trailer size in bytes.
+pub const FIXED_LEN: usize = 16;
+/// `day_idx` value for segments not tied to a day mark.
+pub const NO_DAY: u32 = u32::MAX;
+
+/// Why a segment failed validation.
+#[derive(Debug)]
+pub enum SegmentError {
+    /// The file could not be read at all.
+    Io(io::Error),
+    /// Too short or wrong header magic.
+    BadHeader,
+    /// Missing or wrong trailer (torn write / crash before close).
+    BadTrailer,
+    /// CRC over the frame bytes did not match the trailer.
+    CrcMismatch {
+        /// CRC recorded in the trailer.
+        expected: u32,
+        /// CRC computed over the frame bytes.
+        got: u32,
+    },
+    /// A frame failed to decode even though the CRC matched (format
+    /// bug or a deliberate tamper that kept the CRC consistent).
+    Frame(crate::codec::CodecError),
+}
+
+impl fmt::Display for SegmentError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SegmentError::Io(e) => write!(f, "io: {e}"),
+            SegmentError::BadHeader => write!(f, "bad segment header"),
+            SegmentError::BadTrailer => write!(f, "bad or missing segment trailer"),
+            SegmentError::CrcMismatch { expected, got } => {
+                write!(
+                    f,
+                    "crc mismatch: trailer {expected:#010x}, frames {got:#010x}"
+                )
+            }
+            SegmentError::Frame(e) => write!(f, "frame decode: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for SegmentError {}
+
+/// An open segment being appended to.
+pub struct SegmentWriter {
+    path: PathBuf,
+    out: BufWriter<File>,
+    crc: Crc32,
+    frame_bytes: u64,
+    events: u64,
+    scratch: Vec<u8>,
+}
+
+impl SegmentWriter {
+    /// Creates (truncating) a segment file and writes its header.
+    pub fn create(path: &Path, day_idx: u32) -> io::Result<Self> {
+        let mut out = BufWriter::new(File::create(path)?);
+        out.write_all(HEADER_MAGIC)?;
+        out.write_all(&day_idx.to_be_bytes())?;
+        out.write_all(&[0u8; 4])?;
+        Ok(SegmentWriter {
+            path: path.to_path_buf(),
+            out,
+            crc: Crc32::new(),
+            frame_bytes: 0,
+            events: 0,
+            scratch: Vec::new(),
+        })
+    }
+
+    /// Appends one event frame. Fails without writing if the event is
+    /// unencodable or the segment would outgrow the u32 byte counter
+    /// its trailer records (the store rotates long before that).
+    pub fn append(&mut self, event: &SeqEvent) -> io::Result<()> {
+        self.scratch.clear();
+        encode_event(event, &mut self.scratch)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidInput, e.to_string()))?;
+        if self.frame_bytes + self.scratch.len() as u64 > u32::MAX as u64 {
+            return Err(io::Error::new(
+                io::ErrorKind::FileTooLarge,
+                "segment frame bytes would exceed the u32 trailer counter; rotate first",
+            ));
+        }
+        self.crc.update(&self.scratch);
+        self.out.write_all(&self.scratch)?;
+        self.frame_bytes += self.scratch.len() as u64;
+        self.events += 1;
+        Ok(())
+    }
+
+    /// Events appended so far.
+    pub fn events(&self) -> u64 {
+        self.events
+    }
+
+    /// Frame bytes appended so far.
+    pub fn frame_bytes(&self) -> u64 {
+        self.frame_bytes
+    }
+
+    /// The segment's path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Writes the trailer, flushes, and returns the segment's total
+    /// size on disk.
+    pub fn finish(mut self) -> io::Result<u64> {
+        self.out.write_all(TRAILER_MAGIC)?;
+        self.out
+            .write_all(&(self.frame_bytes as u32).to_be_bytes())?;
+        self.out.write_all(&self.crc.finish().to_be_bytes())?;
+        self.out.flush()?;
+        Ok(FIXED_LEN as u64 * 2 + self.frame_bytes)
+    }
+}
+
+/// A validated, fully decoded segment.
+#[derive(Debug)]
+pub struct SegmentData {
+    /// The day mark the segment was rotated at ([`NO_DAY`] if none).
+    pub day_idx: u32,
+    /// Every event frame, in append order.
+    pub events: Vec<SeqEvent>,
+    /// Bytes the segment occupies on disk.
+    pub bytes: u64,
+}
+
+/// Reads only a segment's header and returns its `day_idx` stamp —
+/// cheap enough to run over every segment when a store reopens, so
+/// day numbering survives process restarts.
+pub fn read_header_day(path: &Path) -> Result<u32, SegmentError> {
+    let mut header = [0u8; FIXED_LEN];
+    File::open(path)
+        .and_then(|mut f| f.read_exact(&mut header))
+        .map_err(SegmentError::Io)?;
+    if &header[..8] != HEADER_MAGIC {
+        return Err(SegmentError::BadHeader);
+    }
+    Ok(u32::from_be_bytes([
+        header[8], header[9], header[10], header[11],
+    ]))
+}
+
+/// Reads and validates one segment file end to end: header magic,
+/// trailer magic, CRC over the frames, then every frame decode.
+pub fn read_segment(path: &Path) -> Result<SegmentData, SegmentError> {
+    let mut bytes = Vec::new();
+    File::open(path)
+        .and_then(|mut f| f.read_to_end(&mut bytes))
+        .map_err(SegmentError::Io)?;
+
+    if bytes.len() < FIXED_LEN * 2 || &bytes[..8] != HEADER_MAGIC {
+        return Err(SegmentError::BadHeader);
+    }
+    let day_idx = u32::from_be_bytes([bytes[8], bytes[9], bytes[10], bytes[11]]);
+
+    let trailer = &bytes[bytes.len() - FIXED_LEN..];
+    if &trailer[..8] != TRAILER_MAGIC {
+        return Err(SegmentError::BadTrailer);
+    }
+    let frame_bytes =
+        u32::from_be_bytes([trailer[8], trailer[9], trailer[10], trailer[11]]) as usize;
+    let expected = u32::from_be_bytes([trailer[12], trailer[13], trailer[14], trailer[15]]);
+    let frames = &bytes[FIXED_LEN..bytes.len() - FIXED_LEN];
+    if frames.len() != frame_bytes {
+        return Err(SegmentError::BadTrailer);
+    }
+    let got = crate::codec::crc32(frames);
+    if got != expected {
+        return Err(SegmentError::CrcMismatch { expected, got });
+    }
+
+    let mut events = Vec::new();
+    let mut pos = 0;
+    while pos < frames.len() {
+        events.push(decode_event(frames, &mut pos).map_err(SegmentError::Frame)?);
+    }
+    Ok(SegmentData {
+        day_idx,
+        events,
+        bytes: bytes.len() as u64,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use moas_monitor::MonitorEvent;
+    use moas_net::{Asn, Prefix};
+
+    fn events(n: u64) -> Vec<SeqEvent> {
+        let p: Prefix = "192.0.2.0/24".parse().unwrap();
+        (0..n)
+            .map(|i| SeqEvent {
+                shard: 0,
+                seq: i,
+                event: MonitorEvent::ConflictOpened {
+                    prefix: p,
+                    origins: vec![Asn::new(7), Asn::new(9)],
+                    at: i as u32,
+                },
+            })
+            .collect()
+    }
+
+    fn tmp(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("moas-history-seg-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(name)
+    }
+
+    #[test]
+    fn segment_roundtrip() {
+        let path = tmp("roundtrip.mhl");
+        let evs = events(10);
+        let mut w = SegmentWriter::create(&path, 3).unwrap();
+        for e in &evs {
+            w.append(e).unwrap();
+        }
+        assert_eq!(w.events(), 10);
+        let size = w.finish().unwrap();
+        assert_eq!(size, std::fs::metadata(&path).unwrap().len());
+
+        let data = read_segment(&path).unwrap();
+        assert_eq!(data.day_idx, 3);
+        assert_eq!(data.events, evs);
+        assert_eq!(data.bytes, size);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn empty_segment_is_valid() {
+        let path = tmp("empty.mhl");
+        let w = SegmentWriter::create(&path, NO_DAY).unwrap();
+        w.finish().unwrap();
+        let data = read_segment(&path).unwrap();
+        assert_eq!(data.day_idx, NO_DAY);
+        assert!(data.events.is_empty());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn corrupted_frame_byte_fails_crc() {
+        let path = tmp("corrupt.mhl");
+        let mut w = SegmentWriter::create(&path, 0).unwrap();
+        for e in &events(4) {
+            w.append(e).unwrap();
+        }
+        w.finish().unwrap();
+        let mut bytes = std::fs::read(&path).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0xFF;
+        std::fs::write(&path, &bytes).unwrap();
+        assert!(matches!(
+            read_segment(&path),
+            Err(SegmentError::CrcMismatch { .. })
+        ));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn truncated_segment_reports_bad_trailer() {
+        let path = tmp("torn.mhl");
+        let mut w = SegmentWriter::create(&path, 0).unwrap();
+        for e in &events(4) {
+            w.append(e).unwrap();
+        }
+        w.finish().unwrap();
+        let bytes = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &bytes[..bytes.len() - 7]).unwrap();
+        assert!(matches!(read_segment(&path), Err(SegmentError::BadTrailer)));
+        // A crash before close (no trailer at all) is also detected.
+        std::fs::write(&path, &bytes[..20]).unwrap();
+        assert!(matches!(
+            read_segment(&path),
+            Err(SegmentError::BadHeader | SegmentError::BadTrailer)
+        ));
+        std::fs::remove_file(&path).ok();
+    }
+}

@@ -1,0 +1,321 @@
+//! The persistent store: a directory of rotating event-log segments.
+//!
+//! [`HistoryStore`] sits downstream of the monitor's drain hook
+//! ([`moas_monitor::MonitorEngine::drain_events`]): lifecycle events
+//! are appended to the current segment, segments rotate at day marks
+//! (so one segment ≈ one day of stream, the natural retention and
+//! shipping unit for months-long deployments), and every sealed
+//! segment carries a CRC trailer. Scans are fault-tolerant the same
+//! way the MRT reader is: a corrupt or torn segment is skipped and
+//! reported, never fatal.
+//!
+//! When attached to an engine's metrics block
+//! ([`HistoryStore::attach_metrics`]), the store publishes segments
+//! written, bytes on disk, and compacted record counts through the
+//! same [`moas_monitor::MetricsSnapshot`] the monitor report carries.
+
+use crate::compact::ConflictStore;
+use crate::segment::{read_header_day, read_segment, SegmentWriter};
+use moas_core::timeline::Timeline;
+use moas_monitor::metrics::EngineMetrics;
+use moas_monitor::{fold_events_into_timeline, SeqEvent};
+use moas_net::Date;
+use std::io;
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+/// Extension for segment files.
+const SEGMENT_EXT: &str = "mhl";
+
+/// Frame bytes after which a segment auto-rotates even without a day
+/// mark — far below the u32 limit the trailer counter imposes, so a
+/// pathologically heavy day can never produce an unsealable segment.
+const SEGMENT_ROTATE_BYTES: u64 = 1 << 30;
+
+/// Outcome of a full-store scan.
+#[derive(Debug, Default)]
+pub struct StoreScan {
+    /// Every event from every valid segment, in segment order.
+    pub events: Vec<SeqEvent>,
+    /// Segments that validated.
+    pub segments_ok: usize,
+    /// Segments skipped, with the reason — corruption is reported,
+    /// not fatal.
+    pub corrupt: Vec<(PathBuf, String)>,
+}
+
+/// Store-side counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StoreStats {
+    /// Sealed segments written.
+    pub segments_written: u64,
+    /// Bytes the sealed segments occupy on disk.
+    pub bytes_on_disk: u64,
+    /// Events appended (sealed or pending).
+    pub events_appended: u64,
+}
+
+/// A persistent, append-only conflict-history store.
+pub struct HistoryStore {
+    dir: PathBuf,
+    writer: Option<SegmentWriter>,
+    /// Monotonic segment file number.
+    next_file: u64,
+    /// Day position stamped into the next segment's header: the day
+    /// the segment's events lead into (0 before the first mark).
+    next_day: u32,
+    stats: StoreStats,
+    metrics: Option<Arc<EngineMetrics>>,
+}
+
+impl HistoryStore {
+    /// Opens (creating if needed) a store directory. Existing segments
+    /// are kept; new file numbering and day stamping continue from the
+    /// last segment on disk, so both survive process restarts.
+    pub fn open(dir: impl AsRef<Path>) -> io::Result<Self> {
+        let dir = dir.as_ref().to_path_buf();
+        std::fs::create_dir_all(&dir)?;
+        let last = segment_paths(&dir)?.into_iter().next_back();
+        let next_file = last.as_deref().and_then(file_number).map_or(0, |n| n + 1);
+        let next_day = last
+            .as_deref()
+            .and_then(|p| read_header_day(p).ok())
+            .unwrap_or(0);
+        Ok(HistoryStore {
+            dir,
+            writer: None,
+            next_file,
+            next_day,
+            stats: StoreStats::default(),
+            metrics: None,
+        })
+    }
+
+    /// Attaches an engine's metrics block; from now on the store
+    /// publishes its counters there too.
+    pub fn attach_metrics(&mut self, metrics: Arc<EngineMetrics>) {
+        self.metrics = Some(metrics);
+    }
+
+    /// The store directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Store-side counters so far.
+    pub fn stats(&self) -> StoreStats {
+        self.stats
+    }
+
+    /// Appends events to the current segment (opening one if needed;
+    /// rotating once a segment outgrows 1 GiB of frames, so the u32
+    /// trailer counter can never be the thing that fails).
+    pub fn append(&mut self, events: &[SeqEvent]) -> io::Result<()> {
+        for e in events {
+            if self
+                .writer
+                .as_ref()
+                .is_some_and(|w| w.frame_bytes() >= SEGMENT_ROTATE_BYTES)
+            {
+                self.seal()?;
+            }
+            if self.writer.is_none() {
+                let path = self
+                    .dir
+                    .join(format!("seg-{:08}.{SEGMENT_EXT}", self.next_file));
+                self.next_file += 1;
+                self.writer = Some(SegmentWriter::create(&path, self.next_day)?);
+            }
+            let w = self.writer.as_mut().expect("writer just ensured");
+            w.append(e)?;
+            self.stats.events_appended += 1;
+        }
+        Ok(())
+    }
+
+    /// Marks a day boundary: seals the current segment (if any events
+    /// were appended) so the next append starts a fresh one. `idx` is
+    /// the day position just completed.
+    pub fn mark_day(&mut self, idx: usize) -> io::Result<()> {
+        self.next_day = idx as u32 + 1;
+        self.seal()
+    }
+
+    /// Seals the current segment, writing its CRC trailer. A no-op
+    /// with no open segment.
+    pub fn seal(&mut self) -> io::Result<()> {
+        if let Some(w) = self.writer.take() {
+            let bytes = w.finish()?;
+            self.stats.segments_written += 1;
+            self.stats.bytes_on_disk += bytes;
+            if let Some(m) = &self.metrics {
+                EngineMetrics::add(&m.store_segments_written, 1);
+                EngineMetrics::set(&m.store_bytes_on_disk, self.stats.bytes_on_disk);
+            }
+        }
+        Ok(())
+    }
+
+    /// Paths of all sealed segments, in write order.
+    pub fn segments(&self) -> io::Result<Vec<PathBuf>> {
+        let mut paths = segment_paths(&self.dir)?;
+        if let Some(w) = &self.writer {
+            let open = w.path().to_path_buf();
+            paths.retain(|p| *p != open);
+        }
+        Ok(paths)
+    }
+
+    /// Reads every sealed segment back, skipping (and reporting)
+    /// corrupt ones. Seal first if events were appended since the last
+    /// day mark — an open segment has no trailer yet and is excluded.
+    pub fn scan(&self) -> io::Result<StoreScan> {
+        let mut scan = StoreScan::default();
+        for path in self.segments()? {
+            match read_segment(&path) {
+                Ok(data) => {
+                    scan.events.extend(data.events);
+                    scan.segments_ok += 1;
+                }
+                Err(e) => scan.corrupt.push((path, e.to_string())),
+            }
+        }
+        Ok(scan)
+    }
+
+    /// Scans and compacts the whole store into a [`ConflictStore`],
+    /// publishing the compacted record count to attached metrics.
+    /// Returns the scan alongside so callers see skipped segments.
+    pub fn compact(&self) -> io::Result<(ConflictStore, StoreScan)> {
+        let scan = self.scan()?;
+        let store = ConflictStore::from_events(&scan.events);
+        if let Some(m) = &self.metrics {
+            EngineMetrics::set(&m.store_records_compacted, store.records().len() as u64);
+        }
+        Ok((store, scan))
+    }
+
+    /// Scans the store and folds the stored event log into the batch
+    /// [`Timeline`] — the exactness anchor: for a complete archive
+    /// window this equals batch `analyze_mrt_archive`'s timeline on
+    /// `total_conflicts()` and sorted `durations()`.
+    pub fn fold_timeline(
+        &self,
+        dates: &[Date],
+        core_len: usize,
+    ) -> io::Result<(Timeline, StoreScan)> {
+        let scan = self.scan()?;
+        let tl = fold_events_into_timeline(&scan.events, dates, core_len);
+        Ok((tl, scan))
+    }
+}
+
+fn segment_paths(dir: &Path) -> io::Result<Vec<PathBuf>> {
+    let mut paths: Vec<PathBuf> = std::fs::read_dir(dir)?
+        .filter_map(|e| e.ok())
+        .map(|e| e.path())
+        .filter(|p| p.extension().and_then(|s| s.to_str()) == Some(SEGMENT_EXT))
+        .collect();
+    paths.sort();
+    Ok(paths)
+}
+
+fn file_number(path: &Path) -> Option<u64> {
+    path.file_stem()?
+        .to_str()?
+        .strip_prefix("seg-")?
+        .parse()
+        .ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use moas_monitor::MonitorEvent;
+    use moas_net::{Asn, Prefix};
+
+    fn tmp(name: &str) -> PathBuf {
+        std::env::temp_dir().join(format!("moas-history-store-{}-{name}", std::process::id()))
+    }
+
+    fn ev(seq: u64, at: u32, open: bool) -> SeqEvent {
+        let prefix: Prefix = "192.0.2.0/24".parse().unwrap();
+        SeqEvent {
+            shard: 0,
+            seq,
+            event: if open {
+                MonitorEvent::ConflictOpened {
+                    prefix,
+                    origins: vec![Asn::new(7), Asn::new(9)],
+                    at,
+                }
+            } else {
+                MonitorEvent::ConflictClosed {
+                    prefix,
+                    opened_at: 0,
+                    at,
+                }
+            },
+        }
+    }
+
+    #[test]
+    fn append_rotate_scan_roundtrip() {
+        let dir = tmp("roundtrip");
+        std::fs::remove_dir_all(&dir).ok();
+        let mut store = HistoryStore::open(&dir).unwrap();
+        store.append(&[ev(0, 100, true)]).unwrap();
+        store.mark_day(0).unwrap();
+        store.append(&[ev(1, 86_500, false)]).unwrap();
+        store.mark_day(1).unwrap();
+        store.mark_day(2).unwrap(); // day without events: no segment
+
+        let stats = store.stats();
+        assert_eq!(stats.segments_written, 2);
+        assert_eq!(stats.events_appended, 2);
+        assert!(stats.bytes_on_disk > 0);
+        assert_eq!(store.segments().unwrap().len(), 2);
+
+        let scan = store.scan().unwrap();
+        assert_eq!(scan.segments_ok, 2);
+        assert!(scan.corrupt.is_empty());
+        assert_eq!(scan.events.len(), 2);
+        assert_eq!(scan.events[0], ev(0, 100, true));
+
+        // Reopening continues both file numbering and day stamping
+        // instead of clobbering.
+        let mut store2 = HistoryStore::open(&dir).unwrap();
+        store2.append(&[ev(2, 200_000, true)]).unwrap();
+        store2.seal().unwrap();
+        let segments = store2.segments().unwrap();
+        assert_eq!(segments.len(), 3);
+        assert_eq!(store2.scan().unwrap().events.len(), 3);
+        let last_day = read_header_day(segments.last().unwrap()).unwrap();
+        assert_eq!(last_day, 1, "day stamp continues across restart");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn corrupt_segment_skipped_and_reported() {
+        let dir = tmp("corrupt");
+        std::fs::remove_dir_all(&dir).ok();
+        let mut store = HistoryStore::open(&dir).unwrap();
+        store.append(&[ev(0, 100, true)]).unwrap();
+        store.mark_day(0).unwrap();
+        store.append(&[ev(1, 200, false)]).unwrap();
+        store.mark_day(1).unwrap();
+
+        // Flip a byte inside the first segment's frames.
+        let victim = &store.segments().unwrap()[0];
+        let mut bytes = std::fs::read(victim).unwrap();
+        bytes[20] ^= 0xFF;
+        std::fs::write(victim, &bytes).unwrap();
+
+        let scan = store.scan().unwrap();
+        assert_eq!(scan.segments_ok, 1);
+        assert_eq!(scan.corrupt.len(), 1);
+        assert_eq!(&scan.corrupt[0].0, victim);
+        assert_eq!(scan.events.len(), 1, "good segment survives");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

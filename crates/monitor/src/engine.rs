@@ -14,11 +14,12 @@ use crate::query::{MoasSnapshot, MonitorReport};
 use crate::shard::{run_shard, DaySlice, ShardMsg, ShardOutput, ShardSnapshot};
 use crate::state::{RouteUpdate, SessionKey, UpdateAction};
 use moas_bgp::TableSnapshot;
-use moas_core::detector::{Anomaly, ProfilerConfig};
+use moas_core::detector::{Anomaly, OriginProfiler, ProfilerConfig};
 use moas_core::replay::{record_instructions, RouteInstruction};
 use moas_mrt::record::MrtRecord;
-use moas_net::{Date, Prefix};
+use moas_net::{Asn, Date, Prefix};
 use std::collections::hash_map::DefaultHasher;
+use std::collections::HashMap;
 use std::hash::{Hash, Hasher};
 use std::sync::{mpsc, Arc};
 use std::thread::JoinHandle;
@@ -75,6 +76,14 @@ pub struct MonitorEngine {
     handles: Vec<JoinHandle<ShardOutput>>,
     pending: Vec<Vec<RouteUpdate>>,
     metrics: Arc<EngineMetrics>,
+    /// The global §VII origin profiler. Each day mark merges every
+    /// shard's involvement counts before this profiler sees the day,
+    /// so its surge alarms exactly match the batch profiler run over
+    /// the merged day observation (per-shard baselines would not).
+    profiler: OriginProfiler,
+    /// Surge alarms the global profiler raised, tagged with day
+    /// position.
+    surge_alarms: Vec<(usize, Anomaly)>,
 }
 
 impl MonitorEngine {
@@ -88,18 +97,19 @@ impl MonitorEngine {
         for shard in 0..config.shards {
             let (tx, rx) = mpsc::sync_channel(config.queue_capacity.max(1));
             let m = Arc::clone(&metrics);
-            let profiler = config.profiler;
             let accept_after = config.accept_after;
             handles.push(
                 std::thread::Builder::new()
                     .name(format!("moas-shard-{shard}"))
-                    .spawn(move || run_shard(shard, rx, profiler, accept_after, m))
+                    .spawn(move || run_shard(shard, rx, accept_after, m))
                     .expect("spawn shard worker"),
             );
             senders.push(tx);
         }
         MonitorEngine {
             pending: vec![Vec::new(); config.shards],
+            profiler: OriginProfiler::new(config.profiler),
+            surge_alarms: Vec::new(),
             config,
             senders,
             handles,
@@ -115,6 +125,14 @@ impl MonitorEngine {
     /// A point-in-time copy of the engine counters.
     pub fn metrics(&self) -> MetricsSnapshot {
         self.metrics.snapshot()
+    }
+
+    /// The shared counter block itself. A downstream consumer (the
+    /// history store) holds this to publish its own store-side
+    /// counters through the same [`MetricsSnapshot`] the report
+    /// carries.
+    pub fn metrics_handle(&self) -> Arc<EngineMetrics> {
+        Arc::clone(&self.metrics)
     }
 
     fn shard_of(&self, prefix: &Prefix) -> usize {
@@ -201,16 +219,59 @@ impl MonitorEngine {
         }
     }
 
-    /// Marks a day boundary: flushes all pending updates, then asks
-    /// every shard to snapshot its slice for day position `idx` and
-    /// run its embedded §VII detectors over it.
+    /// Marks a day boundary: flushes all pending updates, asks every
+    /// shard to snapshot its slice for day position `idx` and run its
+    /// embedded new-origin detector over it, then aggregates the
+    /// shards' per-AS involvement counts and feeds the merged day to
+    /// the global §VII origin profiler — so surge alarms match the
+    /// batch profiler exactly at any shard count. The aggregation
+    /// waits for every shard to reach the mark (a barrier), which is
+    /// what makes the merged counts a consistent day snapshot.
     pub fn mark_day(&mut self, idx: usize, date: Date) {
         self.flush();
         EngineMetrics::add(&self.metrics.day_marks, 1);
-        for tx in &self.senders {
-            tx.send(ShardMsg::DayMark { idx, date })
+        let (tx, rx) = mpsc::channel::<Vec<(Asn, u32)>>();
+        for sender in &self.senders {
+            sender
+                .send(ShardMsg::DayMark {
+                    idx,
+                    date,
+                    involvement: tx.clone(),
+                })
                 .expect("shard worker alive");
         }
+        drop(tx);
+        let mut merged: HashMap<Asn, u32> = HashMap::new();
+        for counts in rx.iter() {
+            for (asn, n) in counts {
+                *merged.entry(asn).or_default() += n;
+            }
+        }
+        for alarm in self.profiler.observe_counts(date, &merged) {
+            self.surge_alarms.push((idx, alarm));
+        }
+    }
+
+    /// Hands over (and clears) every shard's event log accumulated
+    /// since the last drain — the subscription hook a persistent
+    /// conflict-history store uses to persist lifecycle events
+    /// mid-stream. Returned events are in replay order (see
+    /// [`sort_log`]); per-shard `seq` keeps counting across drains, so
+    /// concatenated drains plus the final report still form one
+    /// causally ordered log. Events drained here no longer appear in
+    /// [`MonitorEngine::finish`]'s report.
+    pub fn drain_events(&mut self) -> Vec<SeqEvent> {
+        self.flush();
+        let (tx, rx) = mpsc::channel::<Vec<SeqEvent>>();
+        for sender in &self.senders {
+            sender
+                .send(ShardMsg::Drain(tx.clone()))
+                .expect("shard worker alive");
+        }
+        drop(tx);
+        let mut events: Vec<SeqEvent> = rx.iter().flatten().collect();
+        sort_log(&mut events);
+        events
     }
 
     /// Takes an epoch-consistent-per-shard snapshot of the live MOAS
@@ -243,7 +304,9 @@ impl MonitorEngine {
 
         let mut events: Vec<SeqEvent> = Vec::new();
         let mut day_slices: Vec<DaySlice> = Vec::new();
-        let mut alarms: Vec<(usize, Anomaly)> = Vec::new();
+        // Global surge alarms first, then the shards' new-origin
+        // alarms; the stable sort below keeps that order within a day.
+        let mut alarms: Vec<(usize, Anomaly)> = std::mem::take(&mut self.surge_alarms);
         let mut routes = 0u64;
         let mut prefixes = 0usize;
         let mut spurious = 0u64;

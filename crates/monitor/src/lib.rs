@@ -16,11 +16,17 @@
 //!   [`event::MonitorEvent::ConflictOpened`], `OriginAdded`,
 //!   `OriginWithdrawn`, `ConflictClosed`.
 //! * [`shard`] — worker threads, each owning a prefix-hash slice of
-//!   the state plus embedded §VII detectors
-//!   (`moas_core::detector::{OriginProfiler, MoasMonitor}`) so alarms
-//!   fire in-stream at day marks.
+//!   the state plus an embedded `moas_core::detector::MoasMonitor`
+//!   (prefix-sharded, so its new-origin alarms are exact). At day
+//!   marks each shard also replies with its per-AS involvement
+//!   counts, which the engine sums into one global
+//!   `moas_core::detector::OriginProfiler` — surge alarms therefore
+//!   match the batch profiler exactly at any shard count.
 //! * [`engine`] — routing, per-peer batching, bounded channels with
-//!   backpressure, day marks, shutdown/collect.
+//!   backpressure, day marks, shutdown/collect, and the
+//!   [`engine::MonitorEngine::drain_events`] hook that hands
+//!   accumulated lifecycle events to a downstream consumer mid-stream
+//!   (the persistent `moas-history` store is built on it).
 //! * [`query`] — epoch snapshots of the live MOAS set
 //!   ("current conflicts", "open longer than D") without stopping
 //!   ingestion, and the fold that merges an event log into the batch

@@ -26,12 +26,23 @@ pub struct EngineMetrics {
     pub day_marks: AtomicU64,
     /// Epoch snapshots served.
     pub queries_served: AtomicU64,
+    /// Event-log segments an attached history store has written.
+    pub store_segments_written: AtomicU64,
+    /// Bytes an attached history store currently holds on disk.
+    pub store_bytes_on_disk: AtomicU64,
+    /// Conflict records an attached history store has compacted.
+    pub store_records_compacted: AtomicU64,
 }
 
 impl EngineMetrics {
     /// Adds `n` to a counter.
     pub fn add(counter: &AtomicU64, n: u64) {
         counter.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Overwrites a gauge-style counter (disk occupancy and the like).
+    pub fn set(counter: &AtomicU64, v: u64) {
+        counter.store(v, Ordering::Relaxed);
     }
 
     /// Reads a counter.
@@ -51,6 +62,9 @@ impl EngineMetrics {
             batches_sent: Self::get(&self.batches_sent),
             day_marks: Self::get(&self.day_marks),
             queries_served: Self::get(&self.queries_served),
+            store_segments_written: Self::get(&self.store_segments_written),
+            store_bytes_on_disk: Self::get(&self.store_bytes_on_disk),
+            store_records_compacted: Self::get(&self.store_records_compacted),
         }
     }
 }
@@ -76,4 +90,10 @@ pub struct MetricsSnapshot {
     pub day_marks: u64,
     /// Epoch snapshots served.
     pub queries_served: u64,
+    /// Event-log segments an attached history store has written.
+    pub store_segments_written: u64,
+    /// Bytes an attached history store currently holds on disk.
+    pub store_bytes_on_disk: u64,
+    /// Conflict records an attached history store has compacted.
+    pub store_records_compacted: u64,
 }

@@ -12,8 +12,9 @@ use crate::event::{MonitorEvent, SeqEvent};
 use crate::metrics::EngineMetrics;
 use crate::state::{LiveConflict, RouteUpdate, SetExcludedPrefix, ShardState};
 use moas_core::detect::{DayObservation, PrefixConflict};
-use moas_core::detector::{Anomaly, MoasMonitor, OriginProfiler, ProfilerConfig};
-use moas_net::Date;
+use moas_core::detector::{Anomaly, MoasMonitor};
+use moas_net::{Asn, Date};
+use std::collections::BTreeMap;
 use std::sync::{mpsc, Arc};
 
 /// Messages a shard worker consumes.
@@ -21,16 +22,24 @@ pub enum ShardMsg {
     /// A batch of route updates (per-prefix order preserved by the
     /// engine's routing).
     Batch(Vec<RouteUpdate>),
-    /// Day boundary: snapshot this shard's slice as a [`DaySlice`]
-    /// and run the embedded detectors over it.
+    /// Day boundary: snapshot this shard's slice as a [`DaySlice`],
+    /// run the embedded new-origin detector over it, and reply with
+    /// this shard's per-AS conflict-involvement counts so the engine
+    /// can aggregate them across shards for the §VII origin profiler.
     DayMark {
         /// Snapshot-day position in the study window.
         idx: usize,
         /// The calendar date of the day.
         date: Date,
+        /// Where to send this shard's involvement counts for the day.
+        involvement: mpsc::Sender<Vec<(Asn, u32)>>,
     },
     /// Epoch query: report the current open conflicts.
     Query(mpsc::Sender<ShardSnapshot>),
+    /// Event drain: hand over (and clear) the event log accumulated
+    /// since the last drain, so a downstream store can persist
+    /// lifecycle events mid-stream instead of waiting for shutdown.
+    Drain(mpsc::Sender<Vec<SeqEvent>>),
     /// Drain and exit.
     Shutdown,
 }
@@ -129,14 +138,15 @@ pub struct ShardOutput {
 
 /// Runs one shard worker until [`ShardMsg::Shutdown`].
 ///
-/// The embedded [`OriginProfiler`] and [`MoasMonitor`] see this
-/// shard's slice of each day (prefix-sharded, so `NewOrigin` alarms
-/// are exact; origin-surge baselines are per-shard involvement
-/// counts).
+/// The embedded [`MoasMonitor`] sees this shard's slice of each day —
+/// prefix-sharded, so its `NewOrigin` alarms are exact at any shard
+/// count. Origin-surge profiling is *not* per-shard: each day mark
+/// replies with this shard's involvement counts and the engine runs
+/// one global [`moas_core::detector::OriginProfiler`] over their sum,
+/// which makes surge alarms exactly match the batch profiler.
 pub fn run_shard(
     shard: usize,
     rx: mpsc::Receiver<ShardMsg>,
-    profiler_config: ProfilerConfig,
     accept_after: u32,
     metrics: Arc<EngineMetrics>,
 ) -> ShardOutput {
@@ -144,7 +154,6 @@ pub fn run_shard(
     let mut log: Vec<SeqEvent> = Vec::new();
     let mut slices: Vec<DaySlice> = Vec::new();
     let mut alarms: Vec<(usize, Anomaly)> = Vec::new();
-    let mut profiler = OriginProfiler::new(profiler_config);
     let mut moas_monitor = MoasMonitor::new(accept_after);
     let mut seq: u64 = 0;
     let mut epoch: u64 = 0;
@@ -173,7 +182,11 @@ pub fn run_shard(
                     }
                 }
             }
-            ShardMsg::DayMark { idx, date } => {
+            ShardMsg::DayMark {
+                idx,
+                date,
+                involvement,
+            } => {
                 let slice = DaySlice {
                     shard,
                     idx,
@@ -184,14 +197,26 @@ pub fn run_shard(
                     total_routes: state.route_count(),
                     empty_path_routes: state.empty_path_routes(),
                 };
-                let obs = slice.to_observation();
-                for a in profiler.observe(&obs) {
-                    alarms.push((idx, a));
+                // Per-AS involvement over this shard's slice; counts
+                // are integers, so the engine's cross-shard sum equals
+                // `involvement_by_origin` over the merged day exactly.
+                let mut counts: BTreeMap<Asn, u32> = BTreeMap::new();
+                for c in &slice.conflicts {
+                    for o in &c.origins {
+                        *counts.entry(*o).or_default() += 1;
+                    }
                 }
+                // A vanished engine is shutdown in progress, not a
+                // shard failure.
+                let _ = involvement.send(counts.into_iter().collect());
+                let obs = slice.to_observation();
                 for a in moas_monitor.observe(&obs) {
                     alarms.push((idx, a));
                 }
                 slices.push(slice);
+            }
+            ShardMsg::Drain(reply) => {
+                let _ = reply.send(std::mem::take(&mut log));
             }
             ShardMsg::Query(reply) => {
                 EngineMetrics::add(&metrics.queries_served, 1);

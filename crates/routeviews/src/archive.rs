@@ -1,0 +1,53 @@
+//! Rendering a study window into an on-disk multi-day MRT archive.
+//!
+//! The batch and streaming archive drivers both consume a directory of
+//! daily table-dump files — the shape of the genuine Route Views /
+//! NLANR archives. This module materializes that directory from the
+//! simulated collector, one MRT file per snapshot day, so multi-day
+//! single-pass ingestion (`moas_history::pipeline`) and the sharded
+//! batch scan (`moas_core::pipeline::analyze_mrt_archive`) can be
+//! exercised — and equivalence-tested — against the same bytes.
+
+use crate::collector::{BackgroundMode, Collector};
+use moas_mrt::snapshot::{snapshot_to_records, DumpFormat};
+use moas_mrt::MrtWriter;
+use std::fs::File;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// Writes snapshot positions `start..end` of the study window as one
+/// MRT table-dump file per day under `dir` (created if missing).
+///
+/// Returns `(day position relative to start, path)` pairs in day order
+/// — exactly the `files` argument the archive analyzers take. File
+/// names carry the calendar date (`rib.YYYYMMDD.mrt`), like a real
+/// collector archive.
+pub fn write_window_archive(
+    collector: &mut Collector<'_>,
+    dir: &Path,
+    start: usize,
+    end: usize,
+    background: BackgroundMode,
+    format: DumpFormat,
+) -> io::Result<Vec<(usize, PathBuf)>> {
+    std::fs::create_dir_all(dir)?;
+    let mut files = Vec::with_capacity(end.saturating_sub(start));
+    for idx in start..end {
+        let snap = collector.snapshot_at(idx, background);
+        let d = snap.date;
+        let path = dir.join(format!(
+            "rib.{:04}{:02}{:02}.mrt",
+            d.year(),
+            d.month(),
+            d.day()
+        ));
+        let records = snapshot_to_records(&snap, format);
+        let mut w = MrtWriter::new(File::create(&path)?);
+        w.write_all(&records)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
+        w.finish()
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
+        files.push((idx - start, path));
+    }
+    Ok(files)
+}

@@ -25,11 +25,13 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod archive;
 pub mod collector;
 pub mod peers;
 pub mod realize;
 pub mod updates;
 
+pub use archive::write_window_archive;
 pub use collector::{BackgroundMode, Collector};
 pub use peers::{PeerSet, Session};
 pub use realize::Realizer;

@@ -1,0 +1,240 @@
+//! Property tests for the conflict-history store.
+//!
+//! (1) Random open/close/flap event sequences round-trip through the
+//!     segmented log (append → rotate → scan) byte-exactly, and their
+//!     compaction into [`ConflictRecord`]s yields per-prefix day
+//!     durations identical to
+//!     [`moas_monitor::fold_events_into_timeline`] — the same fold the
+//!     monitor/batch equivalence tests anchor on.
+//!
+//! (2) Corrupting a random byte inside a random segment's frames is
+//!     *recovered from*: the scan skips exactly that segment, reports
+//!     it, keeps every other segment's events, and never panics.
+
+use moas_history::{ConflictStore, HistoryStore};
+use moas_monitor::{fold_events_into_timeline, MonitorEvent, SeqEvent};
+use moas_net::{Asn, Date, Prefix};
+use proptest::prelude::*;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+const WINDOW_DAYS: usize = 14;
+
+fn dates() -> Vec<Date> {
+    (0..WINDOW_DAYS as i64)
+        .map(|i| Date::ymd(1970, 1, 1).plus_days(i))
+        .collect()
+}
+
+fn unique_dir(tag: &str) -> PathBuf {
+    static NEXT: AtomicU64 = AtomicU64::new(0);
+    let n = NEXT.fetch_add(1, Ordering::Relaxed);
+    std::env::temp_dir().join(format!(
+        "moas-history-prop-{tag}-{}-{n}",
+        std::process::id()
+    ))
+}
+
+/// One conflict's scripted life: a prefix, an origin pair, and a list
+/// of (open offset, optional close offset, flaps) episodes.
+#[derive(Debug, Clone)]
+struct Script {
+    prefix_octet: u8,
+    episodes: Vec<(u32, Option<u32>, u8)>,
+}
+
+fn arb_script() -> impl Strategy<Value = Script> {
+    let episode = (
+        0u32..(WINDOW_DAYS as u32 + 2) * 86_400,
+        prop::option::of(0u32..5 * 86_400),
+        0u8..3,
+    );
+    (any::<u8>(), prop::collection::vec(episode, 1..4)).prop_map(|(prefix_octet, mut eps)| {
+        // Episodes are laid out in time order, non-overlapping: each
+        // opens after the previous closed. Only the last may stay open.
+        eps.sort_by_key(|(open, _, _)| *open);
+        let mut cursor = 0u32;
+        let mut episodes = Vec::new();
+        for (i, (open, close, flaps)) in eps.iter().enumerate() {
+            let open_at = cursor.max(*open);
+            let last = i == eps.len() - 1;
+            let close_at = if last && close.is_none() {
+                None
+            } else {
+                Some(open_at + 1 + close.unwrap_or(3_600))
+            };
+            cursor = close_at.map_or(u32::MAX, |c| c + 1);
+            episodes.push((open_at, close_at, *flaps));
+            if close_at.is_none() {
+                break;
+            }
+        }
+        Script {
+            prefix_octet,
+            episodes,
+        }
+    })
+}
+
+/// Renders scripts into a well-formed per-prefix event log (timestamps
+/// non-decreasing per prefix, as a causally ordered drain produces).
+fn events_from_scripts(scripts: &[Script]) -> Vec<SeqEvent> {
+    let mut events = Vec::new();
+    let mut seq = 0u64;
+    for (i, script) in scripts.iter().enumerate() {
+        // Distinct prefix per script even when octets collide.
+        let prefix: Prefix = format!("10.{}.{}.0/24", i, script.prefix_octet)
+            .parse()
+            .unwrap();
+        let a = Asn::new(100 + i as u32);
+        let b = Asn::new(200 + i as u32);
+        let c = Asn::new(300 + i as u32);
+        for (open_at, close_at, flaps) in &script.episodes {
+            let mut push = |event: MonitorEvent| {
+                events.push(SeqEvent {
+                    shard: i % 3,
+                    seq: {
+                        seq += 1;
+                        seq
+                    },
+                    event,
+                });
+            };
+            push(MonitorEvent::ConflictOpened {
+                prefix,
+                origins: vec![a, b],
+                at: *open_at,
+            });
+            let span = close_at.map_or(3_600, |cl| cl.saturating_sub(*open_at));
+            for f in 0..*flaps {
+                let at = open_at + 1 + (f as u32) % span.max(1);
+                push(MonitorEvent::OriginAdded {
+                    prefix,
+                    origin: c,
+                    at,
+                });
+                push(MonitorEvent::OriginWithdrawn {
+                    prefix,
+                    origin: c,
+                    at,
+                });
+            }
+            if let Some(cl) = close_at {
+                push(MonitorEvent::ConflictClosed {
+                    prefix,
+                    opened_at: *open_at,
+                    at: *cl,
+                });
+            }
+        }
+    }
+    events
+}
+
+proptest! {
+    #[test]
+    fn log_compaction_matches_timeline_fold(
+        scripts in prop::collection::vec(arb_script(), 1..8),
+        rotate_every in 1usize..10,
+    ) {
+        let events = events_from_scripts(&scripts);
+        let dates = dates();
+
+        // Through the on-disk log, rotating every few appends.
+        let dir = unique_dir("fold");
+        let mut store = HistoryStore::open(&dir).unwrap();
+        for (k, chunk) in events.chunks(rotate_every.max(1)).enumerate() {
+            store.append(chunk).unwrap();
+            if k % 2 == 0 {
+                store.mark_day(k % WINDOW_DAYS).unwrap();
+            }
+        }
+        store.seal().unwrap();
+
+        let scan = store.scan().unwrap();
+        prop_assert!(scan.corrupt.is_empty());
+        prop_assert_eq!(scan.events.len(), events.len());
+
+        // The reference fold over the raw (in-memory) events.
+        let tl = fold_events_into_timeline(&events, &dates, WINDOW_DAYS);
+
+        // Compaction from the scanned log: per-prefix durations match
+        // the fold's Timeline exactly.
+        let (conflicts, _) = store.compact().unwrap();
+        prop_assert_eq!(
+            conflicts.total_conflicts(&dates, WINDOW_DAYS),
+            tl.total_conflicts()
+        );
+        let mut got = conflicts.durations(&dates, WINDOW_DAYS);
+        let mut want = tl.durations();
+        got.sort_unstable();
+        want.sort_unstable();
+        prop_assert_eq!(got, want);
+        // And per prefix, not just in aggregate.
+        let cuts = ConflictStore::cuts(&dates);
+        for (prefix, rec) in tl.prefixes() {
+            if rec.core_days == 0 {
+                continue;
+            }
+            let stored = &conflicts.records()[prefix];
+            prop_assert_eq!(
+                stored.days_at_cuts(&cuts),
+                rec.core_days,
+                "prefix {}",
+                prefix
+            );
+        }
+
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn corrupted_segment_is_skipped_and_reported(
+        scripts in prop::collection::vec(arb_script(), 2..6),
+        victim_pick in any::<u16>(),
+        byte_pick in any::<u16>(),
+        flip in 1u8..=255,
+    ) {
+        let events = events_from_scripts(&scripts);
+        let dir = unique_dir("crc");
+        let mut store = HistoryStore::open(&dir).unwrap();
+        // Split the log across several segments on disk.
+        for (day, chunk) in events.chunks(events.len().div_ceil(3).max(1)).enumerate() {
+            store.append(chunk).unwrap();
+            store.mark_day(day).unwrap();
+        }
+        store.seal().unwrap();
+
+        let segments = store.segments().unwrap();
+        prop_assert!(!segments.is_empty());
+        let victim = &segments[victim_pick as usize % segments.len()];
+        let mut bytes = std::fs::read(victim).unwrap();
+        // Flip one byte strictly inside the frame region.
+        let lo = 16usize;
+        let hi = bytes.len() - 16;
+        prop_assert!(hi > lo, "segment has frames");
+        let pos = lo + (byte_pick as usize) % (hi - lo);
+        bytes[pos] ^= flip;
+        std::fs::write(victim, &bytes).unwrap();
+
+        // Never a panic: the bad segment is skipped and reported, the
+        // others' events survive intact.
+        let scan = store.scan().unwrap();
+        prop_assert_eq!(scan.corrupt.len(), 1);
+        prop_assert_eq!(&scan.corrupt[0].0, victim);
+        prop_assert_eq!(scan.segments_ok, segments.len() - 1);
+        let surviving: Vec<&SeqEvent> = events
+            .iter()
+            .filter(|e| scan.events.contains(e))
+            .collect();
+        prop_assert_eq!(surviving.len(), scan.events.len());
+        prop_assert!(scan.events.len() < events.len());
+
+        // Compaction over the partial log still works (no panic).
+        let (conflicts, scan2) = store.compact().unwrap();
+        prop_assert_eq!(scan2.corrupt.len(), 1);
+        prop_assert_eq!(conflicts.events_replayed, scan.events.len() as u64);
+
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

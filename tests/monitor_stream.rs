@@ -9,6 +9,7 @@
 //! materialized snapshot.
 
 use moas_core::detect::detect;
+use moas_core::detector::{Anomaly, OriginProfiler, ProfilerConfig};
 use moas_core::timeline::Timeline;
 use moas_lab::study::{Study, StudyConfig};
 use moas_monitor::{MonitorConfig, MonitorEngine};
@@ -54,15 +55,19 @@ fn window_dates(study: &Study) -> Vec<Date> {
         .collect()
 }
 
-fn run_monitor(study: &Study, shards: usize) -> moas_monitor::MonitorReport {
+fn run_monitor_with(study: &Study, config: MonitorConfig) -> moas_monitor::MonitorReport {
     let mut collector = Collector::new(&study.world, &study.peers);
-    let mut engine = MonitorEngine::new(MonitorConfig::with_shards(shards));
+    let mut engine = MonitorEngine::new(config);
     let mut stream = WindowStream::new(&mut collector, START, START + DAYS, BACKGROUND);
     for day in &mut stream {
         engine.ingest_all(&day.records);
         engine.mark_day(day.idx - START, day.snapshot.date);
     }
     engine.finish()
+}
+
+fn run_monitor(study: &Study, shards: usize) -> moas_monitor::MonitorReport {
+    run_monitor_with(study, MonitorConfig::with_shards(shards))
 }
 
 #[test]
@@ -106,6 +111,57 @@ fn streaming_batch_equivalence_across_shard_counts() {
                 .collect();
             assert_eq!(&monitor_set, batch_set, "day {i} at {shards} shards");
         }
+    }
+}
+
+/// Cross-shard §VII profiler aggregation: the monitor's origin-surge
+/// alarms must exactly match a batch [`OriginProfiler`] run over each
+/// day's full observation — per-shard involvement counts are merged at
+/// day marks before the (single, global) profiler sees them, so the
+/// alarm stream is identical at every shard count.
+#[test]
+fn origin_surge_alarms_match_batch_profiler() {
+    let study = study();
+    // Sensitive thresholds so the synthetic window actually surges
+    // (top per-day involvement in this window is 2).
+    let profiler_config = ProfilerConfig {
+        alpha: 0.1,
+        surge_factor: 1.5,
+        min_count: 2,
+    };
+
+    // Batch reference: one profiler over each materialized day.
+    let mut collector = Collector::new(&study.world, &study.peers);
+    let mut batch_profiler = OriginProfiler::new(profiler_config);
+    let mut batch_surges: Vec<(usize, Anomaly)> = Vec::new();
+    for i in 0..DAYS {
+        let snap = collector.snapshot_at(START + i, BACKGROUND);
+        let obs = detect(&snap);
+        for a in batch_profiler.observe(&obs) {
+            batch_surges.push((i, a));
+        }
+    }
+    assert!(
+        !batch_surges.is_empty(),
+        "thresholds must trip in-window for the test to mean anything"
+    );
+
+    for shards in [1usize, 4, 8] {
+        let config = MonitorConfig {
+            profiler: profiler_config,
+            ..MonitorConfig::with_shards(shards)
+        };
+        let report = run_monitor_with(&study, config);
+        let monitor_surges: Vec<(usize, Anomaly)> = report
+            .alarms
+            .iter()
+            .filter(|(_, a)| matches!(a, Anomaly::OriginSurge { .. }))
+            .cloned()
+            .collect();
+        assert_eq!(
+            monitor_surges, batch_surges,
+            "surge alarms diverged at {shards} shards"
+        );
     }
 }
 
