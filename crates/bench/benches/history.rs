@@ -5,63 +5,17 @@
 
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use moas_history::{ConflictStore, HistoryStore};
-use moas_monitor::{MonitorEvent, SeqEvent};
-use moas_net::{Asn, Prefix};
+use moas_monitor::SeqEvent;
+
 use std::path::PathBuf;
 
 const EVENTS: usize = 1_000_000;
 const PREFIXES: u32 = 4_096;
 
-/// A synthetic multi-month log: conflicts cycling over a prefix pool,
-/// each episode an open, a flap pair, and a close.
+/// See [`moas_bench::synth_history_events`] — shared with the
+/// quick-mode CI bench so both measure the same workload.
 fn synth_events(n: usize) -> Vec<SeqEvent> {
-    let prefixes: Vec<Prefix> = (0..PREFIXES)
-        .map(|i| {
-            format!("10.{}.{}.0/24", (i >> 8) & 0xFF, i & 0xFF)
-                .parse()
-                .unwrap()
-        })
-        .collect();
-    let mut events = Vec::with_capacity(n);
-    let mut seq = 0u64;
-    let mut at = 0u32;
-    while events.len() < n {
-        let p = prefixes[(seq % PREFIXES as u64) as usize];
-        let a = Asn::new(100 + (seq % 1024) as u32);
-        let b = Asn::new(4_000 + (seq % 512) as u32);
-        at += 30;
-        for event in [
-            MonitorEvent::ConflictOpened {
-                prefix: p,
-                origins: vec![a, b],
-                at,
-            },
-            MonitorEvent::OriginAdded {
-                prefix: p,
-                origin: Asn::new(9_000),
-                at: at + 5,
-            },
-            MonitorEvent::OriginWithdrawn {
-                prefix: p,
-                origin: Asn::new(9_000),
-                at: at + 10,
-            },
-            MonitorEvent::ConflictClosed {
-                prefix: p,
-                opened_at: at,
-                at: at + 20,
-            },
-        ] {
-            events.push(SeqEvent {
-                shard: (seq % 8) as usize,
-                seq,
-                event,
-            });
-            seq += 1;
-        }
-    }
-    events.truncate(n);
-    events
+    moas_bench::synth_history_events(n, PREFIXES)
 }
 
 fn bench_dir(name: &str) -> PathBuf {

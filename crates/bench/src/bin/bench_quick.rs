@@ -1,0 +1,153 @@
+//! Quick-mode benchmark runner for CI regression gating.
+//!
+//! Unlike the Criterion benches (tuned for precision), this binary
+//! runs a fixed small workload a few times, keeps the best run, and
+//! writes machine-readable JSON — `BENCH_monitor.json` and
+//! `BENCH_history.json` — for `tools/bench_gate.rs` to compare
+//! against the checked-in baseline (`ci/bench_baseline.json`). Total
+//! runtime is a few seconds, cheap enough for every push.
+//!
+//! ```sh
+//! cargo run --release -p moas-bench --bin bench_quick [-- OUT_DIR]
+//! ```
+
+use moas_bench::{bench_study, synth_history_events};
+use moas_bgp::message::BgpMessage;
+use moas_history::HistoryStore;
+use moas_monitor::{MonitorConfig, MonitorEngine};
+use moas_mrt::record::{MrtBody, MrtRecord};
+use moas_routeviews::updates::day_transition;
+use moas_routeviews::BackgroundMode;
+use std::hint::black_box;
+use std::path::{Path, PathBuf};
+use std::time::Instant;
+
+/// Repetitions per measurement; the best (least-noisy) run wins.
+const REPS: usize = 3;
+
+fn main() -> std::io::Result<()> {
+    let out_dir = std::env::args()
+        .nth(1)
+        .map(PathBuf::from)
+        .unwrap_or_else(|| PathBuf::from("."));
+    std::fs::create_dir_all(&out_dir)?;
+
+    let monitor = bench_monitor();
+    write_json(&out_dir.join("BENCH_monitor.json"), "monitor", &monitor)?;
+    let history = bench_history();
+    write_json(&out_dir.join("BENCH_history.json"), "history", &history)?;
+    Ok(())
+}
+
+/// Route-level updates (announced + withdrawn prefixes) in a stream.
+fn update_count(records: &[MrtRecord]) -> u64 {
+    records
+        .iter()
+        .map(|r| match &r.body {
+            MrtBody::Bgp4mpMessage(m) => match &m.message {
+                BgpMessage::Update(u) => (u.all_announced().len() + u.all_withdrawn().len()) as u64,
+                _ => 0,
+            },
+            _ => 0,
+        })
+        .sum()
+}
+
+/// Monitor: sustained route-updates/s through the 4-shard streaming
+/// engine on the synthetic incident-onset stream.
+fn bench_monitor() -> Vec<(&'static str, f64)> {
+    let study = bench_study(0.02);
+    let mut collector = moas_routeviews::Collector::new(&study.world, &study.peers);
+    let incident = study
+        .world
+        .window
+        .snapshot_index(moas_net::Date::ymd(1998, 4, 7).day_index())
+        .expect("incident day in window");
+    let (_, _, stream) =
+        day_transition(&mut collector, incident - 1, incident, BackgroundMode::None);
+    let updates = update_count(&stream);
+    // Replay the day transition enough times that one measurement is
+    // tens of milliseconds — a 30% gate needs headroom over timer and
+    // scheduler noise, which a single ~1 ms pass would not give.
+    let passes = (200_000 / updates.max(1)).clamp(1, 1_000);
+
+    let mut best_updates_per_sec = 0f64;
+    let mut events = 0u64;
+    for _ in 0..REPS {
+        let start = Instant::now();
+        let mut engine = MonitorEngine::new(MonitorConfig::with_shards(4));
+        for _ in 0..passes {
+            engine.ingest_all(&stream);
+        }
+        let report = engine.finish();
+        let secs = start.elapsed().as_secs_f64();
+        events = report.metrics.events_emitted;
+        best_updates_per_sec = best_updates_per_sec.max((updates * passes) as f64 / secs);
+        black_box(report.events.len());
+    }
+    eprintln!(
+        "monitor: {updates} updates x{passes}, {events} lifecycle events, best {best_updates_per_sec:.0} updates/s"
+    );
+    vec![("ingest_updates_per_sec", best_updates_per_sec)]
+}
+
+/// History: segmented-log append events/s, on-disk bytes/event, and
+/// table-seeded compaction events/s.
+fn bench_history() -> Vec<(&'static str, f64)> {
+    const EVENTS: usize = 200_000;
+    let events = synth_history_events(EVENTS, 2_048);
+    let dir = std::env::temp_dir().join(format!("moas-bench-quick-{}", std::process::id()));
+
+    let mut best_append = 0f64;
+    let mut bytes_per_event = f64::MAX;
+    for _ in 0..REPS {
+        std::fs::remove_dir_all(&dir).ok();
+        let start = Instant::now();
+        let mut store = HistoryStore::open(&dir).expect("open bench store");
+        for (day, chunk) in events.chunks(EVENTS / 30).enumerate() {
+            store.append(chunk).expect("append");
+            store.mark_day(day).expect("mark day");
+        }
+        store.seal().expect("seal");
+        let secs = start.elapsed().as_secs_f64();
+        best_append = best_append.max(EVENTS as f64 / secs);
+        bytes_per_event = bytes_per_event.min(store.stats().retained_bytes as f64 / EVENTS as f64);
+    }
+
+    // Compaction over the last store written above.
+    let store = HistoryStore::open(&dir).expect("reopen bench store");
+    let mut best_compact = 0f64;
+    for _ in 0..REPS {
+        let start = Instant::now();
+        let (conflicts, scan) = store.compact().expect("compact");
+        assert!(scan.corrupt.is_empty());
+        let secs = start.elapsed().as_secs_f64();
+        best_compact = best_compact.max(EVENTS as f64 / secs);
+        black_box(conflicts.records().len());
+    }
+    std::fs::remove_dir_all(&dir).ok();
+
+    eprintln!(
+        "history: best {best_append:.0} append events/s, {bytes_per_event:.1} bytes/event, best {best_compact:.0} compact events/s"
+    );
+    vec![
+        ("append_events_per_sec", best_append),
+        ("bytes_per_event", bytes_per_event),
+        ("compact_events_per_sec", best_compact),
+    ]
+}
+
+fn write_json(path: &Path, bench: &str, metrics: &[(&str, f64)]) -> std::io::Result<()> {
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str(&format!("  \"bench\": \"{bench}\",\n"));
+    out.push_str("  \"metrics\": {\n");
+    for (i, (name, value)) in metrics.iter().enumerate() {
+        let comma = if i + 1 < metrics.len() { "," } else { "" };
+        out.push_str(&format!("    \"{name}\": {value:.3}{comma}\n"));
+    }
+    out.push_str("  }\n}\n");
+    std::fs::write(path, out)?;
+    eprintln!("wrote {}", path.display());
+    Ok(())
+}

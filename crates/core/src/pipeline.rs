@@ -124,6 +124,27 @@ pub fn shard_archive_files<T: Clone>(files: &[T], threads: usize) -> Vec<Vec<T>>
     shards
 }
 
+/// Restricts an archive window to the days from `start` on: the
+/// retained dates, and the files re-positioned so day position 0 is
+/// the first retained day. This is what "the batch timeline restricted
+/// to the retained window" means when checking a retention-enabled
+/// history service for exactness — run [`analyze_mrt_archive`] over
+/// the restricted window and compare.
+pub fn restrict_archive_window(
+    dates: &[Date],
+    files: &[(usize, std::path::PathBuf)],
+    start: usize,
+) -> (Vec<Date>, Vec<(usize, std::path::PathBuf)>) {
+    let start = start.min(dates.len());
+    let dates = dates[start..].to_vec();
+    let files = files
+        .iter()
+        .filter(|(idx, _)| *idx >= start)
+        .map(|(idx, path)| (idx - start, path.clone()))
+        .collect();
+    (dates, files)
+}
+
 /// Default worker count for archive scans: one per core, capped by the
 /// number of files.
 fn archive_threads(files: usize) -> usize {

@@ -78,15 +78,19 @@ impl fmt::Display for CodecError {
 
 impl std::error::Error for CodecError {}
 
-fn put_u16(out: &mut Vec<u8>, v: u16) {
+pub(crate) fn put_u16(out: &mut Vec<u8>, v: u16) {
     out.extend_from_slice(&v.to_be_bytes());
 }
 
-fn put_u32(out: &mut Vec<u8>, v: u32) {
+pub(crate) fn put_u32(out: &mut Vec<u8>, v: u32) {
     out.extend_from_slice(&v.to_be_bytes());
 }
 
-fn put_prefix(out: &mut Vec<u8>, p: &Prefix) {
+pub(crate) fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_be_bytes());
+}
+
+pub(crate) fn put_prefix(out: &mut Vec<u8>, p: &Prefix) {
     match p {
         Prefix::V4(v4) => {
             out.push(4);
@@ -102,21 +106,21 @@ fn put_prefix(out: &mut Vec<u8>, p: &Prefix) {
     }
 }
 
-fn get_u16(buf: &[u8], pos: usize) -> u16 {
+pub(crate) fn get_u16(buf: &[u8], pos: usize) -> u16 {
     u16::from_be_bytes([buf[pos], buf[pos + 1]])
 }
 
-fn get_u32(buf: &[u8], pos: usize) -> u32 {
+pub(crate) fn get_u32(buf: &[u8], pos: usize) -> u32 {
     u32::from_be_bytes([buf[pos], buf[pos + 1], buf[pos + 2], buf[pos + 3]])
 }
 
-fn get_u64(buf: &[u8], pos: usize) -> u64 {
+pub(crate) fn get_u64(buf: &[u8], pos: usize) -> u64 {
     let mut b = [0u8; 8];
     b.copy_from_slice(&buf[pos..pos + 8]);
     u64::from_be_bytes(b)
 }
 
-fn get_prefix(body: &[u8]) -> Result<Prefix, CodecError> {
+pub(crate) fn get_prefix(body: &[u8]) -> Result<Prefix, CodecError> {
     let family = body[0];
     let len = body[1];
     match family {

@@ -13,13 +13,22 @@
 //! (`tests/history_proptests.rs` pins that equivalence against
 //! [`moas_monitor::fold_events_into_timeline`]).
 //!
+//! The fold itself lives in [`Compactor`], which the service layer
+//! drives incrementally: the compaction daemon seeds it from the
+//! previous on-disk table ([`crate::table`]) — records, still-open
+//! episodes, affinity counts — folds only the newly sealed segments on
+//! top, optionally prunes episodes that fell behind the retention
+//! horizon, and writes the result back out. Chunked folding is exact
+//! because per-shard sequence numbers keep counting across drains, so
+//! per-prefix causal order survives any chunking of the log.
+//!
 //! [`Timeline`]: moas_core::timeline::Timeline
 
 use crate::validity::AffinityIndex;
 use moas_monitor::{MonitorEvent, SeqEvent};
 use moas_mrt::snapshot::midnight_timestamp;
 use moas_net::{Asn, Date, Prefix};
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 
 /// One contiguous open interval of a conflict.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -89,16 +98,18 @@ impl ConflictRecord {
     }
 }
 
-/// The compacted conflict table plus the §VI origin-pair affinity
-/// index, both built in one replay pass.
-#[derive(Debug)]
-pub struct ConflictStore {
-    records: BTreeMap<Prefix, ConflictRecord>,
-    affinity: AffinityIndex,
-    /// Timestamp of the last event replayed (0 for an empty log).
-    pub last_event_at: u32,
-    /// Events replayed.
-    pub events_replayed: u64,
+/// An episode still open at a compaction boundary: the carried-over
+/// live state a table stores so the next fold (or the query-time tail
+/// replay) can resume exactly where the covered segments left off.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LiveConflict {
+    /// The conflicted prefix.
+    pub prefix: Prefix,
+    /// When the open episode began.
+    pub opened_at: u32,
+    /// Running origin union of the open episode (withdrawn origins
+    /// stay — §IV-B durations count "same ASes or not").
+    pub origins: Vec<Asn>,
 }
 
 /// Per-prefix replay state while compacting.
@@ -108,85 +119,244 @@ struct LiveEpisode {
     origins: Vec<Asn>,
 }
 
-impl ConflictStore {
-    /// Replays an event log (any order; it is re-sorted into per-shard
-    /// causal order first) into compacted records.
+/// The incremental event fold behind [`ConflictStore::from_events`]
+/// and the service layer's table rewrites.
+///
+/// Feed it any mix of [`Compactor::seed_record`] /
+/// [`Compactor::seed_live`] / [`Compactor::fold`] calls; each `fold`
+/// chunk is re-sorted into per-shard causal order internally, and
+/// chunks must arrive in drain order (per-shard `seq` ascending across
+/// chunks — exactly what concatenated [`moas_monitor`] drains give).
+#[derive(Default)]
+pub struct Compactor {
+    records: BTreeMap<Prefix, ConflictRecord>,
+    live: BTreeMap<Prefix, LiveEpisode>,
+    affinity: AffinityIndex,
+    truncated: BTreeSet<Prefix>,
+    last_event_at: u32,
+    events_replayed: u64,
+}
+
+impl Compactor {
+    /// An empty fold.
+    pub fn new() -> Self {
+        Compactor::default()
+    }
+
+    /// Seeds one compacted record (closed episodes, origin union, flap
+    /// count so far) from a previous compaction.
+    pub fn seed_record(&mut self, rec: ConflictRecord) {
+        self.records.insert(rec.prefix, rec);
+    }
+
+    /// Seeds one still-open episode from a previous compaction.
+    pub fn seed_live(&mut self, lc: LiveConflict) {
+        self.live.insert(
+            lc.prefix,
+            LiveEpisode {
+                opened_at: lc.opened_at,
+                origins: lc.origins,
+            },
+        );
+    }
+
+    /// Seeds one affinity count from a previous compaction.
+    pub fn seed_affinity(&mut self, prefix: Prefix, a: Asn, b: Asn, count: u32) {
+        self.affinity.add_pair_count(prefix, a, b, count);
+    }
+
+    /// Seeds the replay clock (last event timestamp, events replayed)
+    /// from a previous compaction.
+    pub fn seed_clock(&mut self, last_event_at: u32, events_replayed: u64) {
+        self.last_event_at = self.last_event_at.max(last_event_at);
+        self.events_replayed += events_replayed;
+    }
+
+    /// Marks a prefix's history as truncated (some of its episodes
+    /// were expired by retention in an earlier rewrite).
+    pub fn seed_truncated(&mut self, prefix: Prefix) {
+        self.truncated.insert(prefix);
+    }
+
+    /// Folds one chunk of the event log. The chunk is re-sorted into
+    /// per-shard causal order `(shard, seq)` before replay.
+    pub fn fold(&mut self, events: &[SeqEvent]) {
+        let mut causal: Vec<&SeqEvent> = events.iter().collect();
+        causal.sort_by_key(|e| (e.shard, e.seq));
+        for e in causal {
+            self.apply(e);
+        }
+    }
+
+    /// Replays one event.
     ///
     /// Stray events are tolerated, not trusted: a duplicate `Opened`
     /// merges origins into the running episode, and `Closed`/`Added`/
     /// `Withdrawn` without an open episode are ignored — a scan that
     /// lost a corrupt segment must still compact.
-    pub fn from_events(events: &[SeqEvent]) -> Self {
-        let mut causal: Vec<&SeqEvent> = events.iter().collect();
-        causal.sort_by_key(|e| (e.shard, e.seq));
-
-        let mut records: BTreeMap<Prefix, ConflictRecord> = BTreeMap::new();
-        let mut live: BTreeMap<Prefix, LiveEpisode> = BTreeMap::new();
-        let mut affinity = AffinityIndex::default();
-        let mut last_event_at = 0u32;
-
-        for e in &causal {
-            last_event_at = last_event_at.max(e.event.at());
-            match &e.event {
-                MonitorEvent::ConflictOpened {
-                    prefix, origins, ..
-                } => match live.get_mut(prefix) {
-                    Some(ep) => {
-                        for o in origins {
-                            if !ep.origins.contains(o) {
-                                ep.origins.push(*o);
-                            }
+    fn apply(&mut self, e: &SeqEvent) {
+        self.last_event_at = self.last_event_at.max(e.event.at());
+        self.events_replayed += 1;
+        match &e.event {
+            MonitorEvent::ConflictOpened {
+                prefix, origins, ..
+            } => match self.live.get_mut(prefix) {
+                Some(ep) => {
+                    for o in origins {
+                        if !ep.origins.contains(o) {
+                            ep.origins.push(*o);
                         }
                     }
-                    None => {
-                        live.insert(
-                            *prefix,
-                            LiveEpisode {
-                                opened_at: e.event.at(),
-                                origins: origins.clone(),
-                            },
-                        );
-                    }
-                },
-                MonitorEvent::OriginAdded { prefix, origin, .. } => {
-                    if let Some(ep) = live.get_mut(prefix) {
-                        if !ep.origins.contains(origin) {
-                            ep.origins.push(*origin);
-                        }
-                        bump_flap(&mut records, *prefix);
-                    }
                 }
-                MonitorEvent::OriginWithdrawn { prefix, .. } => {
-                    // The origin stays in the episode's union (§IV-B
-                    // durations count "same ASes or not").
-                    if live.contains_key(prefix) {
-                        bump_flap(&mut records, *prefix);
-                    }
+                None => {
+                    self.live.insert(
+                        *prefix,
+                        LiveEpisode {
+                            opened_at: e.event.at(),
+                            origins: origins.clone(),
+                        },
+                    );
                 }
-                MonitorEvent::ConflictClosed { prefix, at, .. } => {
-                    if let Some(ep) = live.remove(prefix) {
-                        close_episode(&mut records, &mut affinity, *prefix, ep, Some(*at));
+            },
+            MonitorEvent::OriginAdded { prefix, origin, .. } => {
+                if let Some(ep) = self.live.get_mut(prefix) {
+                    if !ep.origins.contains(origin) {
+                        ep.origins.push(*origin);
                     }
+                    bump_flap(&mut self.records, *prefix);
+                }
+            }
+            MonitorEvent::OriginWithdrawn { prefix, .. } => {
+                // The origin stays in the episode's union (§IV-B
+                // durations count "same ASes or not").
+                if self.live.contains_key(prefix) {
+                    bump_flap(&mut self.records, *prefix);
+                }
+            }
+            MonitorEvent::ConflictClosed { prefix, at, .. } => {
+                if let Some(ep) = self.live.remove(prefix) {
+                    close_episode(
+                        &mut self.records,
+                        &mut self.affinity,
+                        *prefix,
+                        ep,
+                        Some(*at),
+                    );
                 }
             }
         }
+    }
 
-        // Still-open conflicts become open-tailed episodes.
-        for (prefix, ep) in live {
-            close_episode(&mut records, &mut affinity, prefix, ep, None);
+    /// Applies a retention horizon: drops every episode that *closed*
+    /// before `cutoff` (a stream timestamp, normally the midnight of
+    /// the first retained day). Open episodes are never pruned — they
+    /// are current state, however old. Records that keep later
+    /// episodes (or a live one) are marked truncated; records left
+    /// with nothing are dropped entirely. Affinity counts survive
+    /// pruning by design — "seen before" is the index's whole point.
+    ///
+    /// Returns the prefixes whose records were dropped.
+    pub fn prune_closed_before(&mut self, cutoff: u32) -> Vec<Prefix> {
+        let mut dropped = Vec::new();
+        let prefixes: Vec<Prefix> = self.records.keys().copied().collect();
+        for prefix in prefixes {
+            let rec = self.records.get_mut(&prefix).expect("key just listed");
+            let before = rec.episodes.len();
+            rec.episodes
+                .retain(|ep| ep.closed_at.is_none_or(|c| c >= cutoff));
+            if rec.episodes.len() == before {
+                continue;
+            }
+            if rec.episodes.is_empty() && !self.live.contains_key(&prefix) {
+                self.records.remove(&prefix);
+                self.truncated.remove(&prefix);
+                dropped.push(prefix);
+            } else {
+                self.truncated.insert(prefix);
+            }
         }
-        for rec in records.values_mut() {
+        dropped
+    }
+
+    /// The records folded so far (closed episodes only — open episodes
+    /// are in [`Compactor::live_conflicts`]).
+    pub fn records(&self) -> &BTreeMap<Prefix, ConflictRecord> {
+        &self.records
+    }
+
+    /// Episodes still open at this point of the fold, in prefix order.
+    pub fn live_conflicts(&self) -> Vec<LiveConflict> {
+        self.live
+            .iter()
+            .map(|(prefix, ep)| LiveConflict {
+                prefix: *prefix,
+                opened_at: ep.opened_at,
+                origins: ep.origins.clone(),
+            })
+            .collect()
+    }
+
+    /// The affinity index accumulated so far.
+    pub fn affinity(&self) -> &AffinityIndex {
+        &self.affinity
+    }
+
+    /// Prefixes whose history lost episodes to retention.
+    pub fn truncated(&self) -> impl Iterator<Item = &Prefix> {
+        self.truncated.iter()
+    }
+
+    /// `(last_event_at, events_replayed)` of the fold so far.
+    pub fn clock(&self) -> (u32, u64) {
+        (self.last_event_at, self.events_replayed)
+    }
+
+    /// Finalizes the fold into a queryable [`ConflictStore`]:
+    /// still-open conflicts become open-tailed episodes and note their
+    /// affinity, origins are sorted and deduplicated, and episodes are
+    /// put in time order.
+    pub fn finish(mut self) -> ConflictStore {
+        let live = std::mem::take(&mut self.live);
+        for (prefix, ep) in live {
+            close_episode(&mut self.records, &mut self.affinity, prefix, ep, None);
+        }
+        for rec in self.records.values_mut() {
             rec.origins.sort_unstable();
             rec.origins.dedup();
             rec.episodes.sort_by_key(|e| e.opened_at);
         }
-
         ConflictStore {
-            records,
-            affinity,
-            last_event_at,
-            events_replayed: causal.len() as u64,
+            records: self.records,
+            affinity: self.affinity,
+            truncated: self.truncated.into_iter().collect(),
+            last_event_at: self.last_event_at,
+            events_replayed: self.events_replayed,
         }
+    }
+}
+
+/// The compacted conflict table plus the §VI origin-pair affinity
+/// index, both built in one replay pass.
+#[derive(Debug)]
+pub struct ConflictStore {
+    records: BTreeMap<Prefix, ConflictRecord>,
+    affinity: AffinityIndex,
+    /// Prefixes whose pre-horizon episodes were expired by retention
+    /// (empty unless a pruning rewrite ran).
+    truncated: Vec<Prefix>,
+    /// Timestamp of the last event replayed (0 for an empty log).
+    pub last_event_at: u32,
+    /// Events replayed.
+    pub events_replayed: u64,
+}
+
+impl ConflictStore {
+    /// Replays an event log (any order; it is re-sorted into per-shard
+    /// causal order first) into compacted records.
+    pub fn from_events(events: &[SeqEvent]) -> Self {
+        let mut comp = Compactor::new();
+        comp.fold(events);
+        comp.finish()
     }
 
     /// The compacted records, keyed by prefix.
@@ -197,6 +367,12 @@ impl ConflictStore {
     /// The origin-pair affinity index built during compaction.
     pub fn affinity(&self) -> &AffinityIndex {
         &self.affinity
+    }
+
+    /// Prefixes whose records are incomplete because retention expired
+    /// some of their episodes (sorted; empty without retention).
+    pub fn truncated_prefixes(&self) -> &[Prefix] {
+        &self.truncated
     }
 
     /// Snapshot-instant cuts for a window of dates (one per day, at
@@ -233,6 +409,13 @@ impl ConflictStore {
             })
             .collect()
     }
+}
+
+/// The stream timestamp below which a retention horizon at day
+/// position `horizon_day` prunes closed episodes: the midnight of the
+/// first retained day, for a window starting at `start_date`.
+pub fn horizon_cutoff(start_date: Date, horizon_day: u32) -> u32 {
+    midnight_timestamp(start_date.plus_days(horizon_day as i64))
 }
 
 fn bump_flap(records: &mut BTreeMap<Prefix, ConflictRecord>, prefix: Prefix) {
@@ -419,5 +602,143 @@ mod tests {
         let store = ConflictStore::from_events(&events);
         assert!(store.records().is_empty());
         assert_eq!(store.events_replayed, 2);
+    }
+
+    /// Chunked folding through a seeded compactor equals the one-shot
+    /// fold: the incremental path the service layer uses is exact.
+    #[test]
+    fn chunked_fold_matches_one_shot() {
+        let events: Vec<SeqEvent> = (0..60u64)
+            .map(|i| {
+                // A prefix lives on exactly one shard, like the real
+                // engine guarantees.
+                let px = p(&format!("10.0.{}.0/24", i % 5));
+                let at = (i as u32) * 1_000;
+                let event = match i % 4 {
+                    0 => MonitorEvent::ConflictOpened {
+                        prefix: px,
+                        origins: vec![Asn::new(7), Asn::new(9 + (i % 3) as u32)],
+                        at,
+                    },
+                    1 => MonitorEvent::OriginAdded {
+                        prefix: px,
+                        origin: Asn::new(40 + (i % 7) as u32),
+                        at,
+                    },
+                    2 => MonitorEvent::OriginWithdrawn {
+                        prefix: px,
+                        origin: Asn::new(9),
+                        at,
+                    },
+                    _ => MonitorEvent::ConflictClosed {
+                        prefix: px,
+                        opened_at: at.saturating_sub(3_000),
+                        at,
+                    },
+                };
+                SeqEvent {
+                    shard: ((i % 5) % 2) as usize,
+                    seq: i,
+                    event,
+                }
+            })
+            .collect();
+
+        let one_shot = ConflictStore::from_events(&events);
+        let mut comp = Compactor::new();
+        for chunk in events.chunks(7) {
+            comp.fold(chunk);
+        }
+        let chunked = comp.finish();
+        assert_eq!(one_shot.records(), chunked.records());
+        assert_eq!(one_shot.last_event_at, chunked.last_event_at);
+        assert_eq!(one_shot.events_replayed, chunked.events_replayed);
+    }
+
+    #[test]
+    fn pruning_drops_dead_episodes_and_marks_truncation() {
+        let px = p("192.0.2.0/24");
+        let py = p("198.51.100.0/24");
+        let mut comp = Compactor::new();
+        // px: one episode closed early, one closed late.
+        comp.fold(&[
+            ev(
+                0,
+                MonitorEvent::ConflictOpened {
+                    prefix: px,
+                    origins: vec![Asn::new(1), Asn::new(2)],
+                    at: 100,
+                },
+            ),
+            ev(
+                1,
+                MonitorEvent::ConflictClosed {
+                    prefix: px,
+                    opened_at: 100,
+                    at: 200,
+                },
+            ),
+            ev(
+                2,
+                MonitorEvent::ConflictOpened {
+                    prefix: px,
+                    origins: vec![Asn::new(1), Asn::new(2)],
+                    at: 9_000,
+                },
+            ),
+            ev(
+                3,
+                MonitorEvent::ConflictClosed {
+                    prefix: px,
+                    opened_at: 9_000,
+                    at: 9_500,
+                },
+            ),
+            // py: entirely before the horizon.
+            ev(
+                4,
+                MonitorEvent::ConflictOpened {
+                    prefix: py,
+                    origins: vec![Asn::new(5), Asn::new(6)],
+                    at: 150,
+                },
+            ),
+            ev(
+                5,
+                MonitorEvent::ConflictClosed {
+                    prefix: py,
+                    opened_at: 150,
+                    at: 300,
+                },
+            ),
+        ]);
+        let dropped = comp.prune_closed_before(5_000);
+        assert_eq!(dropped, vec![py]);
+        let store = comp.finish();
+        assert!(store.records().get(&py).is_none());
+        let rec = &store.records()[&px];
+        assert_eq!(rec.episode_count(), 1);
+        assert_eq!(rec.episodes[0].opened_at, 9_000);
+        assert_eq!(store.truncated_prefixes(), &[px]);
+    }
+
+    /// An episode still open is never pruned, no matter how old.
+    #[test]
+    fn pruning_keeps_open_episodes() {
+        let px = p("192.0.2.0/24");
+        let mut comp = Compactor::new();
+        comp.fold(&[ev(
+            0,
+            MonitorEvent::ConflictOpened {
+                prefix: px,
+                origins: vec![Asn::new(1), Asn::new(2)],
+                at: 100,
+            },
+        )]);
+        let dropped = comp.prune_closed_before(1_000_000);
+        assert!(dropped.is_empty());
+        let store = comp.finish();
+        assert_eq!(store.records()[&px].episode_count(), 1);
+        assert!(store.truncated_prefixes().is_empty());
     }
 }

@@ -7,55 +7,79 @@
 //! in BGP", arXiv:2307.08490) shows that measuring longevity honestly
 //! takes months of continuous history, far beyond what an in-memory
 //! monitor retains. This crate is that memory, downstream of
-//! `moas-monitor`:
+//! `moas-monitor`, and the service layer that keeps it queryable while
+//! it grows:
 //!
 //! ```text
-//!   MonitorEngine ── drain_events() at day marks ──▶ HistoryStore
-//!                                                    (segmented log,
-//!                                                     CRC + rotation)
-//!        ▲                                                │ scan
-//!        │ single pass                                    ▼
-//!   pipeline::analyze_mrt_archive_streaming      ConflictStore
-//!   (reader pool over archive files,             (compacted records:
-//!    day-ordered diff streams)                    episodes, flaps,
-//!                                                 affinity index)
-//!                                                        │
-//!                                                        ▼
-//!                                                 ValidityReport
-//!                                                 (§VI-F threshold,
-//!                                                  longevity percentile,
-//!                                                  recurring upgrades,
-//!                                                  causes.rs reconcile)
+//!   MonitorEngine ── drain_events() at day marks ──▶ HistoryService
+//!        ▲                                           │ writer: append,
+//!        │ single pass                               │ seal at day marks
+//!   pipeline::analyze_mrt_archive_service            ▼
+//!   (reader pool over archive files,           HistoryStore
+//!    day-ordered diff streams)                 seg·seg·…│tab  MANIFEST
+//!                                                       │   (atomic swap
+//!                        compaction daemon ─────────────┤    per epoch)
+//!                        (watermark sweeps:             │
+//!                         fold backlog into table,      ▼
+//!                         prune horizon, expire)   HistoryEpoch
+//!                                                  (immutable: table +
+//!                                                   hot tail chunks)
+//!                                                       │ Arc clone
+//!                                            readers: snapshot() ──▶
+//!                                            ConflictStore ──▶
+//!                                            ValidityReport (§VI-F)
 //! ```
 //!
 //! * [`codec`] — fixed-width binary frames for lifecycle events, plus
-//!   the CRC-32 the segments use.
-//! * [`segment`] — the on-disk unit: header, frames, CRC trailer;
+//!   the CRC-32 the segments and tables use.
+//! * [`segment`] — the raw-log unit: header, frames, CRC trailer;
 //!   corrupt segments are skipped and reported, never fatal.
+//! * [`table`] — the compacted unit: `ConflictRecord`s, carried-over
+//!   open episodes, affinity counts, an index block for point lookups,
+//!   all behind a CRC trailer so a partial rewrite is detected and
+//!   discarded at startup.
+//! * [`manifest`] — the atomically swapped root naming the live
+//!   segments and table; every swap is an epoch.
 //! * [`store`] — [`store::HistoryStore`]: append, rotate at day
-//!   marks, fault-tolerant scans, metrics publishing into the
-//!   monitor's counter block.
-//! * [`compact`] — fold closed conflicts into
-//!   [`compact::ConflictRecord`]s (origin union, episodes, flaps) that
-//!   reproduce the batch `Timeline` durations exactly.
+//!   marks, install tables, expire segments (retention), reconcile
+//!   crash leftovers at open, publish metrics.
+//! * [`compact`] — the seedable event fold ([`compact::Compactor`])
+//!   producing [`compact::ConflictRecord`]s that reproduce the batch
+//!   `Timeline` durations exactly.
+//! * [`daemon`] — the background compaction thread and
+//!   [`daemon::RetentionPolicy`] (age- and size-based expiry).
+//! * [`service`] — [`service::HistoryService`]: one writer, the
+//!   daemon, and concurrent epoch-pinned readers serving validity /
+//!   longevity / affinity queries mid-ingest.
 //! * [`validity`] — §VI scoring: duration threshold, longevity
 //!   percentile, origin-pair affinity upgrades, and reconciliation
 //!   with `moas_core::causes`.
 //! * [`pipeline`] — single-pass streaming archive analysis: decode
 //!   files concurrently, drive the monitor in day order, persist
-//!   events as you go.
+//!   events as you go — into a bare store or a running service.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod codec;
 pub mod compact;
+pub mod daemon;
+pub mod manifest;
 pub mod pipeline;
 pub mod segment;
+pub mod service;
 pub mod store;
+pub mod table;
 pub mod validity;
 
-pub use compact::{ConflictRecord, ConflictStore, Episode};
-pub use pipeline::{analyze_mrt_archive_streaming, StreamingArchiveConfig, StreamingArchiveReport};
-pub use store::{HistoryStore, StoreScan, StoreStats};
+pub use compact::{Compactor, ConflictRecord, ConflictStore, Episode, LiveConflict};
+pub use daemon::RetentionPolicy;
+pub use manifest::Manifest;
+pub use pipeline::{
+    analyze_mrt_archive_service, analyze_mrt_archive_streaming, StreamingArchiveConfig,
+    StreamingArchiveReport,
+};
+pub use service::{HistoryReader, HistoryService, HistorySnapshot, ServiceConfig};
+pub use store::{ExpiryOutcome, HistoryStore, SealedSegment, StoreScan, StoreStats};
+pub use table::{TableData, TableFile};
 pub use validity::{AffinityIndex, ValidityConfig, ValidityReport, Verdict};

@@ -1,0 +1,267 @@
+//! The store manifest: the atomically swapped root of the on-disk
+//! state.
+//!
+//! A store directory holds event-log segments, at most one record
+//! table, and a `MANIFEST` file naming which of them are *live*. Every
+//! mutation — sealing a segment, installing a rewritten table,
+//! expiring segments — builds the next manifest in memory, writes it
+//! to `MANIFEST.tmp`, and renames it over `MANIFEST`. The rename is
+//! the commit point: a crash on either side of it leaves either the
+//! old complete state or the new complete state, never a mix, and any
+//! file the surviving manifest does not reference is discarded at the
+//! next open. The `epoch` counter increments on every swap, which is
+//! what lets [`crate::service::HistoryService`] readers pin a
+//! consistent view while the writer and the compaction daemon keep
+//! mutating.
+
+use crate::codec::{crc32, get_u32, get_u64, put_u32, put_u64};
+use std::fmt;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// Manifest file name inside a store directory.
+pub const MANIFEST_NAME: &str = "MANIFEST";
+/// Manifest magic (version 001 baked in).
+pub const MANIFEST_MAGIC: &[u8; 8] = b"MHMAN001";
+
+/// Sentinel for "no table" in the encoded form.
+const NO_TABLE: u64 = u64::MAX;
+
+/// The live-state description a store directory is rooted at.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Manifest {
+    /// Incremented on every swap; the snapshot-isolation epoch.
+    pub epoch: u64,
+    /// First retained day position: whole days below this have been
+    /// expired by retention.
+    pub horizon_day: u32,
+    /// Day position stamped into the next segment's header.
+    pub next_day: u32,
+    /// Next segment file number.
+    pub next_file: u64,
+    /// Segments with file number below this are folded into the
+    /// current table (0 = nothing covered).
+    pub covered_below: u64,
+    /// Current record table number (`tab-NNNNNNNN.mht`), if any.
+    pub table: Option<u64>,
+    /// Live sealed segment file numbers, ascending.
+    pub segments: Vec<u64>,
+    /// Bytes ever written to disk (segments and tables), including
+    /// since-deleted ones.
+    pub lifetime_bytes: u64,
+    /// Bytes reclaimed by deleting expired segments and replaced
+    /// tables.
+    pub bytes_expired: u64,
+    /// Segments expired by retention.
+    pub segments_expired: u64,
+    /// Tables ever installed (also the next table number).
+    pub tables_written: u64,
+}
+
+impl Manifest {
+    /// The path of the table file this manifest references, if any.
+    pub fn table_path(&self, dir: &Path) -> Option<PathBuf> {
+        self.table
+            .map(|n| dir.join(format!("tab-{n:08}.{}", crate::table::TABLE_EXT)))
+    }
+}
+
+/// Why a manifest failed to load.
+#[derive(Debug)]
+pub enum ManifestError {
+    /// No manifest file (legacy or empty store directory).
+    Missing,
+    /// Unreadable, wrong magic, truncated, or CRC mismatch — the store
+    /// falls back to a directory scan and reports it.
+    Corrupt(String),
+}
+
+impl fmt::Display for ManifestError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ManifestError::Missing => write!(f, "no manifest"),
+            ManifestError::Corrupt(e) => write!(f, "corrupt manifest: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ManifestError {}
+
+fn encode(m: &Manifest) -> Vec<u8> {
+    let mut buf = Vec::with_capacity(80 + m.segments.len() * 8);
+    buf.extend_from_slice(MANIFEST_MAGIC);
+    put_u64(&mut buf, m.epoch);
+    put_u32(&mut buf, m.horizon_day);
+    put_u32(&mut buf, m.next_day);
+    put_u64(&mut buf, m.next_file);
+    put_u64(&mut buf, m.covered_below);
+    put_u64(&mut buf, m.table.unwrap_or(NO_TABLE));
+    put_u64(&mut buf, m.lifetime_bytes);
+    put_u64(&mut buf, m.bytes_expired);
+    put_u64(&mut buf, m.segments_expired);
+    put_u64(&mut buf, m.tables_written);
+    put_u32(&mut buf, m.segments.len() as u32);
+    for &s in &m.segments {
+        put_u64(&mut buf, s);
+    }
+    let crc = crc32(&buf);
+    put_u32(&mut buf, crc);
+    buf
+}
+
+fn decode(bytes: &[u8]) -> Result<Manifest, ManifestError> {
+    let fixed = 8 + 8 + 4 + 4 + 8 * 7 + 4; // magic..seg_count
+    if bytes.len() < fixed + 4 || &bytes[..8] != MANIFEST_MAGIC {
+        return Err(ManifestError::Corrupt("bad magic or truncated".into()));
+    }
+    let expected = get_u32(bytes, bytes.len() - 4);
+    let got = crc32(&bytes[..bytes.len() - 4]);
+    if expected != got {
+        return Err(ManifestError::Corrupt(format!(
+            "crc mismatch: stored {expected:#010x}, computed {got:#010x}"
+        )));
+    }
+    let mut pos = 8;
+    let u64_at = |p: &mut usize| {
+        let v = get_u64(bytes, *p);
+        *p += 8;
+        v
+    };
+    let epoch = u64_at(&mut pos);
+    let horizon_day = get_u32(bytes, pos);
+    let next_day = get_u32(bytes, pos + 4);
+    pos += 8;
+    let next_file = u64_at(&mut pos);
+    let covered_below = u64_at(&mut pos);
+    let table_raw = u64_at(&mut pos);
+    let lifetime_bytes = u64_at(&mut pos);
+    let bytes_expired = u64_at(&mut pos);
+    let segments_expired = u64_at(&mut pos);
+    let tables_written = u64_at(&mut pos);
+    let count = get_u32(bytes, pos) as usize;
+    pos += 4;
+    if bytes.len() - 4 - pos != count * 8 {
+        return Err(ManifestError::Corrupt(format!(
+            "segment list length {} does not match count {count}",
+            bytes.len() - 4 - pos
+        )));
+    }
+    let mut segments = Vec::with_capacity(count);
+    for _ in 0..count {
+        segments.push(u64_at(&mut pos));
+    }
+    Ok(Manifest {
+        epoch,
+        horizon_day,
+        next_day,
+        next_file,
+        covered_below,
+        table: (table_raw != NO_TABLE).then_some(table_raw),
+        segments,
+        lifetime_bytes,
+        bytes_expired,
+        segments_expired,
+        tables_written,
+    })
+}
+
+/// Atomically replaces the store's manifest: write and fsync
+/// `MANIFEST.tmp`, rename over `MANIFEST`, fsync the directory.
+///
+/// The directory fsync makes the rename — and any earlier rename in
+/// the same directory, such as a table installed just before this
+/// swap — durable before the caller goes on to *delete* files the new
+/// manifest no longer needs. Without it, a power loss could surface
+/// the old manifest pointing at already-unlinked history.
+pub fn write_manifest(dir: &Path, m: &Manifest) -> io::Result<()> {
+    let tmp = dir.join(format!("{MANIFEST_NAME}.tmp"));
+    {
+        let mut f = std::fs::File::create(&tmp)?;
+        std::io::Write::write_all(&mut f, &encode(m))?;
+        f.sync_all()?;
+    }
+    std::fs::rename(&tmp, dir.join(MANIFEST_NAME))?;
+    // Directory fsync is advisory on platforms that refuse it.
+    if let Ok(d) = std::fs::File::open(dir) {
+        d.sync_all().ok();
+    }
+    Ok(())
+}
+
+/// Loads the store's manifest.
+pub fn read_manifest(dir: &Path) -> Result<Manifest, ManifestError> {
+    let path = dir.join(MANIFEST_NAME);
+    let bytes = match std::fs::read(&path) {
+        Ok(b) => b,
+        Err(e) if e.kind() == io::ErrorKind::NotFound => return Err(ManifestError::Missing),
+        Err(e) => return Err(ManifestError::Corrupt(e.to_string())),
+    };
+    decode(&bytes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "moas-history-manifest-{}-{name}",
+            std::process::id()
+        ));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn manifest_roundtrip_and_swap() {
+        let dir = tmp("roundtrip");
+        assert!(matches!(read_manifest(&dir), Err(ManifestError::Missing)));
+
+        let m = Manifest {
+            epoch: 42,
+            horizon_day: 3,
+            next_day: 9,
+            next_file: 12,
+            covered_below: 10,
+            table: Some(2),
+            segments: vec![10, 11],
+            lifetime_bytes: 123_456,
+            bytes_expired: 999,
+            segments_expired: 10,
+            tables_written: 3,
+        };
+        write_manifest(&dir, &m).unwrap();
+        assert_eq!(read_manifest(&dir).unwrap(), m);
+        assert_eq!(
+            m.table_path(&dir).unwrap().file_name().unwrap(),
+            "tab-00000002.mht"
+        );
+
+        // Swapping replaces wholesale; no tmp file remains.
+        let m2 = Manifest {
+            epoch: 43,
+            table: None,
+            ..m
+        };
+        write_manifest(&dir, &m2).unwrap();
+        assert_eq!(read_manifest(&dir).unwrap(), m2);
+        assert!(!dir.join("MANIFEST.tmp").exists());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn corrupt_manifest_reported_not_trusted() {
+        let dir = tmp("corrupt");
+        write_manifest(&dir, &Manifest::default()).unwrap();
+        let path = dir.join(MANIFEST_NAME);
+        let mut bytes = std::fs::read(&path).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0xFF;
+        std::fs::write(&path, &bytes).unwrap();
+        assert!(matches!(
+            read_manifest(&dir),
+            Err(ManifestError::Corrupt(_))
+        ));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -12,7 +12,14 @@
 //! (`moas_routeviews::updates::diff_snapshots` — the same definition
 //! the equivalence-tested monitor ingests everywhere else), pushes it
 //! through a sharded [`MonitorEngine`], and drains the engine's
-//! lifecycle events into a [`HistoryStore`] at every day mark.
+//! lifecycle events into a sink at every day mark.
+//!
+//! Two sinks exist: [`analyze_mrt_archive_streaming`] persists into a
+//! bare [`HistoryStore`] (batch replays, backfills), and
+//! [`analyze_mrt_archive_service`] feeds a running
+//! [`HistoryService`] — the long-lived shape, where the compaction
+//! daemon and concurrent validity readers stay active throughout the
+//! pass.
 //!
 //! One pass therefore yields everything at once: the day slices and
 //! §VII alarms of the monitor, real-time conflict durations, and a
@@ -21,10 +28,12 @@
 //! and sorted `durations` against `analyze_mrt_archive` at multiple
 //! shard counts).
 
+use crate::service::HistoryService;
 use crate::store::HistoryStore;
 use moas_bgp::TableSnapshot;
 use moas_core::pipeline::shard_archive_files;
-use moas_monitor::{MonitorConfig, MonitorEngine, MonitorReport};
+use moas_monitor::metrics::EngineMetrics;
+use moas_monitor::{MonitorConfig, MonitorEngine, MonitorReport, SeqEvent};
 use moas_mrt::snapshot::SnapshotBuilder;
 use moas_mrt::MrtReader;
 use moas_net::Date;
@@ -32,7 +41,7 @@ use moas_routeviews::updates::diff_snapshots;
 use std::fs::File;
 use std::io;
 use std::path::PathBuf;
-use std::sync::mpsc;
+use std::sync::{mpsc, Arc};
 
 /// Tuning for the streaming archive driver.
 #[derive(Debug, Clone, Default)]
@@ -70,6 +79,56 @@ pub struct StreamingArchiveReport {
     pub events_stored: u64,
 }
 
+/// Where drained lifecycle events land — what distinguishes the bare
+/// store pass from the live service pass.
+trait EventSink {
+    fn attach_metrics(&mut self, metrics: Arc<EngineMetrics>);
+    fn day(&mut self, idx: usize, events: &[SeqEvent]) -> io::Result<()>;
+    fn tail(&mut self, events: &[SeqEvent]) -> io::Result<()>;
+    fn events_stored(&self) -> u64;
+}
+
+impl EventSink for &mut HistoryStore {
+    fn attach_metrics(&mut self, metrics: Arc<EngineMetrics>) {
+        HistoryStore::attach_metrics(self, metrics);
+    }
+
+    fn day(&mut self, idx: usize, events: &[SeqEvent]) -> io::Result<()> {
+        self.append(events)?;
+        self.mark_day(idx)?;
+        Ok(())
+    }
+
+    fn tail(&mut self, events: &[SeqEvent]) -> io::Result<()> {
+        self.append(events)?;
+        self.seal()?;
+        Ok(())
+    }
+
+    fn events_stored(&self) -> u64 {
+        self.stats().events_appended
+    }
+}
+
+impl EventSink for &HistoryService {
+    fn attach_metrics(&mut self, metrics: Arc<EngineMetrics>) {
+        HistoryService::attach_metrics(self, metrics);
+    }
+
+    fn day(&mut self, idx: usize, events: &[SeqEvent]) -> io::Result<()> {
+        self.append(events)?;
+        self.mark_day(idx)
+    }
+
+    fn tail(&mut self, events: &[SeqEvent]) -> io::Result<()> {
+        self.append(events)
+    }
+
+    fn events_stored(&self) -> u64 {
+        self.stats().events_appended
+    }
+}
+
 /// One decoded archive day, produced by the reader pool.
 type DecodedDay = (TableSnapshot, u64);
 
@@ -88,6 +147,29 @@ pub fn analyze_mrt_archive_streaming(
     files: &[(usize, PathBuf)],
     config: &StreamingArchiveConfig,
     store: &mut HistoryStore,
+) -> io::Result<StreamingArchiveReport> {
+    drive_archive(dates, files, config, store)
+}
+
+/// [`analyze_mrt_archive_streaming`] against a running
+/// [`HistoryService`]: day marks publish epochs to concurrent readers
+/// and wake the compaction daemon as the pass proceeds. The service
+/// stays open afterwards — call [`HistoryService::close`] (or
+/// `wait_idle`) when done.
+pub fn analyze_mrt_archive_service(
+    dates: &[Date],
+    files: &[(usize, PathBuf)],
+    config: &StreamingArchiveConfig,
+    service: &HistoryService,
+) -> io::Result<StreamingArchiveReport> {
+    drive_archive(dates, files, config, service)
+}
+
+fn drive_archive<S: EventSink>(
+    dates: &[Date],
+    files: &[(usize, PathBuf)],
+    config: &StreamingArchiveConfig,
+    mut sink: S,
 ) -> io::Result<StreamingArchiveReport> {
     let mut ordered: Vec<(usize, PathBuf)> = files.to_vec();
     ordered.sort_by_key(|(idx, _)| *idx);
@@ -121,7 +203,8 @@ pub fn analyze_mrt_archive_streaming(
     let shards = shard_archive_files(&ordered, threads);
 
     let mut engine = MonitorEngine::new(config.monitor);
-    store.attach_metrics(engine.metrics_handle());
+    let metrics = engine.metrics_handle();
+    sink.attach_metrics(Arc::clone(&metrics));
 
     let mut skipped_total = 0u64;
     let mut days = 0usize;
@@ -166,7 +249,7 @@ pub fn analyze_mrt_archive_streaming(
             engine.ingest_all(&records);
             engine.mark_day(idx, dates[idx]);
             let drained = engine.drain_events();
-            if let Err(e) = store.append(&drained).and_then(|()| store.mark_day(idx)) {
+            if let Err(e) = sink.day(idx, &drained) {
                 first_err = Some(e);
                 break;
             }
@@ -182,24 +265,19 @@ pub fn analyze_mrt_archive_streaming(
         return Err(e);
     }
 
-    // Persist whatever trickled in after the last day mark, then seal.
+    // Persist whatever trickled in after the last day mark, then
+    // refresh the frozen counters: the sink publishes store-side
+    // counters into the shared block on every seal, so a fresh
+    // snapshot includes the final one.
     let tail = std::mem::take(&mut report.events);
-    store.append(&tail)?;
-    store.seal()?;
-    report.metrics = {
-        // Refresh the snapshot so store-side counters include the seal.
-        let mut m = report.metrics;
-        let stats = store.stats();
-        m.store_segments_written = stats.segments_written;
-        m.store_bytes_on_disk = stats.bytes_on_disk;
-        m
-    };
+    sink.tail(&tail)?;
+    report.metrics = metrics.snapshot();
 
     Ok(StreamingArchiveReport {
         monitor: report,
         records_skipped: skipped_total,
         days,
-        events_stored: store.stats().events_appended,
+        events_stored: sink.events_stored(),
     })
 }
 

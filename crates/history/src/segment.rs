@@ -132,14 +132,17 @@ impl SegmentWriter {
         &self.path
     }
 
-    /// Writes the trailer, flushes, and returns the segment's total
-    /// size on disk.
+    /// Writes the trailer, syncs to stable storage, and returns the
+    /// segment's total size on disk. The fsync is what lets retention
+    /// later delete raw history that only this file (or a table
+    /// derived from it) carries — once per day, so the cost is noise.
     pub fn finish(mut self) -> io::Result<u64> {
         self.out.write_all(TRAILER_MAGIC)?;
         self.out
             .write_all(&(self.frame_bytes as u32).to_be_bytes())?;
         self.out.write_all(&self.crc.finish().to_be_bytes())?;
         self.out.flush()?;
+        self.out.get_ref().sync_all()?;
         Ok(FIXED_LEN as u64 * 2 + self.frame_bytes)
     }
 }

@@ -1,0 +1,496 @@
+//! The long-running service layer: one writer, one compaction daemon,
+//! any number of snapshot-isolated readers.
+//!
+//! [`HistoryService`] wraps a [`HistoryStore`] for continuous
+//! operation — the deployment shape "Live Long and Prosper"
+//! (arXiv:2307.08490) measures against, where validity is queried
+//! *while* months of history accumulate:
+//!
+//! ```text
+//!          writer thread                 compaction daemon
+//!   MonitorEngine::drain_events      watermark / retention sweeps
+//!              │ append / mark_day            │ rewrite + expire
+//!              ▼                              ▼
+//!        ┌───────────────── Mutex<StoreState> ─────────────────┐
+//!        │ HistoryStore (segments · table · MANIFEST)  + tail  │
+//!        └──────────────────────────┬───────────────────────────┘
+//!                   publish_epoch   │   (every manifest swap)
+//!                                   ▼
+//!                     RwLock<Arc<HistoryEpoch>>
+//!                                   │ clone Arc (no IO, no store lock)
+//!              ┌────────────────────┼────────────────────┐
+//!              ▼                    ▼                    ▼
+//!          reader A             reader B             reader C
+//!        snapshot(): table-seeded replay of the pinned epoch
+//! ```
+//!
+//! Every manifest swap publishes a new immutable [`HistoryEpoch`] —
+//! the decoded table plus the uncovered tail chunks — behind an
+//! `RwLock<Arc<_>>`. A reader pins an epoch by cloning the `Arc` (a
+//! few nanoseconds under the read lock) and then replays it entirely
+//! from shared immutable data: queries never block the writer, the
+//! daemon, or each other, and two snapshots of the same epoch answer
+//! identically no matter what the writer did in between.
+
+use crate::compact::{Compactor, ConflictStore};
+use crate::daemon::{run_daemon, RetentionPolicy};
+use crate::segment::read_segment;
+use crate::store::{HistoryStore, OpenReport, StoreStats};
+use crate::table::TableData;
+use crate::validity::{ValidityConfig, ValidityReport};
+use moas_monitor::metrics::EngineMetrics;
+use moas_monitor::SeqEvent;
+use moas_net::Date;
+use std::io;
+use std::path::{Path, PathBuf};
+use std::sync::{Arc, Condvar, Mutex, OnceLock, RwLock};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Service tuning knobs.
+#[derive(Debug, Clone, Copy)]
+pub struct ServiceConfig {
+    /// Date of day position 0 — what maps day indexes to stream
+    /// timestamps for retention pruning.
+    pub start_date: Date,
+    /// What retention may delete.
+    pub retention: RetentionPolicy,
+    /// Compact once this many sealed segments await coverage.
+    pub watermark_segments: usize,
+    /// Fallback daemon wakeup (time-based retention can become due
+    /// without a day mark).
+    pub poll_interval: Duration,
+    /// Spawn the background daemon thread. Disable for fully
+    /// deterministic tests and drive [`HistoryService::maintain_now`]
+    /// by hand.
+    pub daemon: bool,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        ServiceConfig {
+            start_date: Date::ymd(1970, 1, 1),
+            retention: RetentionPolicy::keep_everything(),
+            watermark_segments: 4,
+            poll_interval: Duration::from_millis(500),
+            daemon: true,
+        }
+    }
+}
+
+/// Writer-side state, all under one lock so every manifest swap and
+/// its tail update commit together.
+pub(crate) struct StoreState {
+    pub(crate) store: HistoryStore,
+    /// Uncovered sealed segments' events, ascending by file number —
+    /// what snapshots replay on top of the table.
+    pub(crate) tail: Vec<(u64, Arc<Vec<SeqEvent>>)>,
+    /// Events appended since the last seal, in order (the open
+    /// segment's contents; becomes the next tail chunk).
+    pending: Vec<SeqEvent>,
+}
+
+/// Daemon coordination.
+pub(crate) struct WorkState {
+    pub(crate) generation: u64,
+    pub(crate) completed: u64,
+    pub(crate) shutdown: bool,
+    pub(crate) notes: Vec<String>,
+}
+
+pub(crate) struct Shared {
+    pub(crate) dir: PathBuf,
+    pub(crate) config: ServiceConfig,
+    pub(crate) state: Mutex<StoreState>,
+    pub(crate) epoch: RwLock<Arc<HistoryEpoch>>,
+    pub(crate) work: Mutex<WorkState>,
+    pub(crate) work_cv: Condvar,
+    /// Serializes maintenance sweeps (daemon vs `maintain_now`).
+    pub(crate) maintain: Mutex<()>,
+}
+
+impl Shared {
+    /// Records a non-fatal observation (skipped corrupt segment,
+    /// failed sweep) for [`HistoryService::notes`].
+    pub(crate) fn note(&self, note: String) {
+        let mut ws = self.work.lock().expect("work lock poisoned");
+        if ws.notes.len() < 256 {
+            ws.notes.push(note);
+        }
+    }
+}
+
+/// One immutable published state: everything a snapshot replays.
+pub struct HistoryEpoch {
+    /// The manifest epoch this state was published at.
+    pub epoch: u64,
+    /// First retained day position (whole days below it expired).
+    pub horizon_day: u32,
+    /// Store counters at publication.
+    pub stats: StoreStats,
+    table: Option<Arc<TableData>>,
+    tail: Vec<(u64, Arc<Vec<SeqEvent>>)>,
+    /// The replay, memoized: the epoch is immutable, so every
+    /// snapshot of it answers from the same fold.
+    replayed: OnceLock<Arc<ConflictStore>>,
+}
+
+impl HistoryEpoch {
+    /// Replays the epoch into a queryable [`ConflictStore`]: seed from
+    /// the record table, fold the uncovered tail chunks on top. Pure
+    /// CPU over immutable shared data — no locks, no IO — and done at
+    /// most once per epoch: repeat snapshots share the cached fold.
+    pub fn replay(&self) -> Arc<ConflictStore> {
+        Arc::clone(self.replayed.get_or_init(|| {
+            let mut comp = Compactor::new();
+            if let Some(t) = &self.table {
+                t.seed_compactor(&mut comp);
+            }
+            for (_, chunk) in &self.tail {
+                comp.fold(chunk);
+            }
+            Arc::new(comp.finish())
+        }))
+    }
+
+    /// The cold table this epoch serves from, if one is installed.
+    pub fn table(&self) -> Option<&TableData> {
+        self.table.as_deref()
+    }
+
+    /// Events in the hot tail (not yet compacted into the table).
+    pub fn tail_events(&self) -> usize {
+        self.tail.iter().map(|(_, c)| c.len()).sum()
+    }
+}
+
+/// Publishes the current store state as a fresh epoch. Call with the
+/// state lock held so the epoch is consistent with the manifest.
+pub(crate) fn publish_epoch(shared: &Shared, st: &StoreState) {
+    let m = st.store.manifest();
+    let ep = Arc::new(HistoryEpoch {
+        epoch: m.epoch,
+        horizon_day: m.horizon_day,
+        stats: st.store.stats(),
+        table: st.store.table(),
+        tail: st.tail.clone(),
+        replayed: OnceLock::new(),
+    });
+    *shared.epoch.write().expect("epoch lock poisoned") = ep;
+}
+
+/// The long-running conflict-history service handle.
+///
+/// Writer methods ([`HistoryService::append`],
+/// [`HistoryService::mark_day`]) are `&self` and internally
+/// serialized; the service assumes one *logical* writer — the thread
+/// draining a [`moas_monitor::MonitorEngine`]. Readers come from
+/// [`HistoryService::reader`] and are fully concurrent.
+pub struct HistoryService {
+    shared: Arc<Shared>,
+    daemon: Option<JoinHandle<()>>,
+}
+
+impl HistoryService {
+    /// Opens the store directory and starts the service: loads the
+    /// manifest-rooted state (discarding any partial table or orphan
+    /// file a crash left behind), reads the uncovered tail, publishes
+    /// the first epoch, and spawns the compaction daemon (unless
+    /// disabled).
+    pub fn open(dir: impl AsRef<Path>, config: ServiceConfig) -> io::Result<Self> {
+        let store = HistoryStore::open(dir)?;
+        let dir = store.dir().to_path_buf();
+
+        let mut tail = Vec::new();
+        let mut notes = Vec::new();
+        for (n, path) in store.uncovered_segments() {
+            match read_segment(&path) {
+                Ok(data) => tail.push((n, Arc::new(data.events))),
+                Err(e) => notes.push(format!(
+                    "tail skipped corrupt segment {}: {e}",
+                    path.display()
+                )),
+            }
+        }
+        for (path, why) in &store.open_report().discarded {
+            notes.push(format!("open discarded {}: {why}", path.display()));
+        }
+        if let Some((path, why)) = &store.open_report().dropped_table {
+            notes.push(format!("open dropped table {}: {why}", path.display()));
+        }
+
+        let state = StoreState {
+            store,
+            tail,
+            pending: Vec::new(),
+        };
+        let m = state.store.manifest();
+        let first = Arc::new(HistoryEpoch {
+            epoch: m.epoch,
+            horizon_day: m.horizon_day,
+            stats: state.store.stats(),
+            table: state.store.table(),
+            tail: state.tail.clone(),
+            replayed: OnceLock::new(),
+        });
+        let shared = Arc::new(Shared {
+            dir,
+            config,
+            state: Mutex::new(state),
+            epoch: RwLock::new(first),
+            work: Mutex::new(WorkState {
+                generation: 0,
+                completed: 0,
+                shutdown: false,
+                notes,
+            }),
+            work_cv: Condvar::new(),
+            maintain: Mutex::new(()),
+        });
+
+        let daemon = config
+            .daemon
+            .then(|| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name("moas-history-daemon".into())
+                    .spawn(move || run_daemon(shared))
+            })
+            .transpose()?;
+
+        Ok(HistoryService { shared, daemon })
+    }
+
+    /// Attaches an engine's metrics block; the store publishes its
+    /// counters (retained/lifetime bytes, compaction lag, …) there.
+    pub fn attach_metrics(&self, metrics: Arc<EngineMetrics>) {
+        let mut st = self.shared.state.lock().expect("state lock poisoned");
+        st.store.attach_metrics(metrics);
+    }
+
+    /// Appends drained lifecycle events to the log. Rotation-sealed
+    /// segments (a pathologically heavy day) are published to readers
+    /// immediately; normally publication happens at the next
+    /// [`HistoryService::mark_day`].
+    pub fn append(&self, events: &[SeqEvent]) -> io::Result<()> {
+        if events.is_empty() {
+            return Ok(());
+        }
+        let mut st = self.shared.state.lock().expect("state lock poisoned");
+        let sealed = match st.store.append(events) {
+            Ok(sealed) => sealed,
+            Err(e) => {
+                // A partial write left the open segment holding frames
+                // `pending` never saw; drop both so store and buffer
+                // stay in lockstep (the unsealed data was doomed — a
+                // crash would have discarded it the same way).
+                st.store.discard_open();
+                st.pending.clear();
+                return Err(e);
+            }
+        };
+        st.pending.extend_from_slice(events);
+        if !sealed.is_empty() {
+            for seg in sealed {
+                let chunk: Vec<SeqEvent> = st.pending.drain(..seg.events as usize).collect();
+                st.tail.push((seg.file, Arc::new(chunk)));
+            }
+            publish_epoch(&self.shared, &st);
+        }
+        Ok(())
+    }
+
+    /// Marks day position `idx` complete: seals the day's segment,
+    /// publishes a new epoch so readers see the day, and wakes the
+    /// daemon for its watermark/retention check.
+    pub fn mark_day(&self, idx: usize) -> io::Result<()> {
+        {
+            let mut st = self.shared.state.lock().expect("state lock poisoned");
+            let sealed = match st.store.mark_day(idx) {
+                Ok(sealed) => sealed,
+                Err(e) => {
+                    st.store.discard_open();
+                    st.pending.clear();
+                    return Err(e);
+                }
+            };
+            if let Some(seg) = sealed {
+                debug_assert_eq!(seg.events as usize, st.pending.len());
+                let chunk: Vec<SeqEvent> = st.pending.drain(..).collect();
+                st.tail.push((seg.file, Arc::new(chunk)));
+            }
+            publish_epoch(&self.shared, &st);
+        }
+        self.kick();
+        Ok(())
+    }
+
+    /// Wakes the daemon for a sweep (also called by every day mark).
+    pub fn kick(&self) {
+        let mut ws = self.shared.work.lock().expect("work lock poisoned");
+        ws.generation += 1;
+        self.shared.work_cv.notify_all();
+    }
+
+    /// Runs one maintenance sweep on the calling thread — the
+    /// deterministic alternative to the daemon for tests and batch
+    /// use. Returns whether anything changed.
+    pub fn maintain_now(&self) -> io::Result<bool> {
+        crate::daemon::maintain_once(&self.shared)
+    }
+
+    /// Blocks until the daemon has completed a sweep for every day
+    /// mark issued so far.
+    pub fn wait_idle(&self) {
+        let mut ws = self.shared.work.lock().expect("work lock poisoned");
+        while ws.completed < ws.generation {
+            ws = self.shared.work_cv.wait(ws).expect("work cv poisoned");
+        }
+    }
+
+    /// A concurrent reader handle.
+    pub fn reader(&self) -> HistoryReader {
+        HistoryReader {
+            shared: Arc::clone(&self.shared),
+        }
+    }
+
+    /// Store counters right now.
+    pub fn stats(&self) -> StoreStats {
+        self.shared
+            .state
+            .lock()
+            .expect("state lock poisoned")
+            .store
+            .stats()
+    }
+
+    /// What opening found and fixed on disk.
+    pub fn open_report(&self) -> OpenReport {
+        self.shared
+            .state
+            .lock()
+            .expect("state lock poisoned")
+            .store
+            .open_report()
+            .clone()
+    }
+
+    /// Non-fatal observations so far (corrupt segments skipped, failed
+    /// sweeps, startup discards).
+    pub fn notes(&self) -> Vec<String> {
+        self.shared
+            .work
+            .lock()
+            .expect("work lock poisoned")
+            .notes
+            .clone()
+    }
+
+    /// Seals any pending events, runs a final maintenance sweep, stops
+    /// the daemon, and returns the final counters.
+    pub fn close(mut self) -> io::Result<StoreStats> {
+        {
+            let mut st = self.shared.state.lock().expect("state lock poisoned");
+            let sealed = st.store.seal()?;
+            if let Some(seg) = sealed {
+                let chunk: Vec<SeqEvent> = st.pending.drain(..).collect();
+                st.tail.push((seg.file, Arc::new(chunk)));
+            }
+            publish_epoch(&self.shared, &st);
+        }
+        if let Some(handle) = self.daemon.take() {
+            {
+                let mut ws = self.shared.work.lock().expect("work lock poisoned");
+                ws.generation += 1;
+                ws.shutdown = true;
+                self.shared.work_cv.notify_all();
+            }
+            handle.join().expect("daemon thread panicked");
+        } else {
+            self.maintain_now()?;
+        }
+        Ok(self.stats())
+    }
+}
+
+impl Drop for HistoryService {
+    fn drop(&mut self) {
+        if let Some(handle) = self.daemon.take() {
+            {
+                let mut ws = self.shared.work.lock().expect("work lock poisoned");
+                ws.shutdown = true;
+                self.shared.work_cv.notify_all();
+            }
+            handle.join().ok();
+        }
+    }
+}
+
+/// A cloneable, `Send` reader handle: pins epochs and builds
+/// snapshots without ever taking the store lock.
+#[derive(Clone)]
+pub struct HistoryReader {
+    shared: Arc<Shared>,
+}
+
+impl HistoryReader {
+    /// Pins the current epoch and replays it into a queryable
+    /// snapshot. Concurrent with the writer, the daemon, and other
+    /// readers; two snapshots of the same epoch answer identically.
+    pub fn snapshot(&self) -> HistorySnapshot {
+        let epoch = Arc::clone(&self.shared.epoch.read().expect("epoch lock poisoned"));
+        let conflicts = epoch.replay();
+        HistorySnapshot { epoch, conflicts }
+    }
+
+    /// The current epoch number without building a snapshot.
+    pub fn epoch(&self) -> u64 {
+        self.shared.epoch.read().expect("epoch lock poisoned").epoch
+    }
+}
+
+/// One pinned, fully replayed view of the history.
+pub struct HistorySnapshot {
+    epoch: Arc<HistoryEpoch>,
+    conflicts: Arc<ConflictStore>,
+}
+
+impl HistorySnapshot {
+    /// The epoch this snapshot pinned.
+    pub fn epoch(&self) -> u64 {
+        self.epoch.epoch
+    }
+
+    /// First retained day position (0 = nothing expired).
+    pub fn horizon_day(&self) -> u32 {
+        self.epoch.horizon_day
+    }
+
+    /// Store counters at the pinned epoch.
+    pub fn stats(&self) -> StoreStats {
+        self.epoch.stats
+    }
+
+    /// The replayed conflict store: records, affinity, truncation.
+    pub fn conflicts(&self) -> &ConflictStore {
+        &self.conflicts
+    }
+
+    /// §VI validity scoring over the snapshot.
+    pub fn validity(&self, config: ValidityConfig) -> ValidityReport {
+        ValidityReport::build(&self.conflicts, config)
+    }
+
+    /// Distinct conflicts observed on the given days (see
+    /// [`ConflictStore::total_conflicts`]).
+    pub fn total_conflicts(&self, dates: &[Date]) -> usize {
+        self.conflicts.total_conflicts(dates, dates.len())
+    }
+
+    /// Day-granularity durations over the given days (see
+    /// [`ConflictStore::durations`]).
+    pub fn durations(&self, dates: &[Date]) -> Vec<u32> {
+        self.conflicts.durations(dates, dates.len())
+    }
+}

@@ -1,0 +1,645 @@
+//! Record tables: the on-disk unit of *compacted* conflict history.
+//!
+//! Where a segment ([`crate::segment`]) stores raw lifecycle events, a
+//! table stores what the compaction daemon folded them into: one
+//! [`ConflictRecord`] per conflicted prefix, the still-open episodes
+//! carried over at the coverage boundary, the §VI affinity counts, and
+//! the prefixes whose history retention truncated. A table therefore
+//! replaces every event-log segment it covers for query purposes —
+//! cold history is served from the table; only the uncovered hot tail
+//! is replayed from raw events.
+//!
+//! Layout (all integers big-endian):
+//!
+//! ```text
+//! header  (32 B)  magic "MHTAB001"  covers_below(8)  horizon_day(4)
+//!                 last_event_at(4)  events_replayed(8)
+//! body    (...)   records · live · affinity · truncated · index
+//!                 (each block is count(4) then fixed-layout entries;
+//!                  index maps prefix → offset into the records block
+//!                  for point lookups without a full decode)
+//! trailer (16 B)  magic "MHTTR001"  body_len(4)  crc32(4)
+//! ```
+//!
+//! The trailer CRC covers the header *and* body, so a daemon crash
+//! mid-rewrite (torn file), a truncated copy, or bit rot anywhere is
+//! detected on read — a partial table is discarded at startup, never
+//! trusted. Tables are written to a temporary path and renamed into
+//! place only when complete, so the manifest never references a table
+//! that was not fully written.
+
+use crate::codec::{
+    get_prefix, get_u16, get_u32, get_u64, put_prefix, put_u16, put_u32, put_u64, PREFIX_LEN,
+};
+use crate::compact::{Compactor, ConflictRecord, Episode, LiveConflict};
+use moas_net::{Asn, Prefix};
+use std::fmt;
+use std::fs::File;
+use std::io::{self, Read, Write};
+use std::path::Path;
+
+/// Extension for table files.
+pub const TABLE_EXT: &str = "mht";
+/// Table header magic (version 001 baked in).
+pub const TABLE_HEADER_MAGIC: &[u8; 8] = b"MHTAB001";
+/// Table trailer magic.
+pub const TABLE_TRAILER_MAGIC: &[u8; 8] = b"MHTTR001";
+/// Header size in bytes.
+pub const TABLE_HEADER_LEN: usize = 32;
+/// Trailer size in bytes.
+pub const TABLE_TRAILER_LEN: usize = 16;
+
+/// Why a table failed validation.
+#[derive(Debug)]
+pub enum TableError {
+    /// The file could not be read at all.
+    Io(io::Error),
+    /// Too short or wrong header magic.
+    BadHeader,
+    /// Missing or wrong trailer (torn write / crash mid-rewrite).
+    BadTrailer,
+    /// CRC over header and body did not match the trailer.
+    CrcMismatch {
+        /// CRC recorded in the trailer.
+        expected: u32,
+        /// CRC computed over header and body.
+        got: u32,
+    },
+    /// A block failed to decode even though the CRC matched.
+    Decode(String),
+}
+
+impl fmt::Display for TableError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TableError::Io(e) => write!(f, "io: {e}"),
+            TableError::BadHeader => write!(f, "bad table header"),
+            TableError::BadTrailer => write!(f, "bad or missing table trailer"),
+            TableError::CrcMismatch { expected, got } => {
+                write!(
+                    f,
+                    "table crc mismatch: trailer {expected:#010x}, computed {got:#010x}"
+                )
+            }
+            TableError::Decode(e) => write!(f, "table decode: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for TableError {}
+
+/// A fully decoded record table.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TableData {
+    /// Event-log segments with file number below this are folded into
+    /// the table (the coverage watermark).
+    pub covers_below: u64,
+    /// Retention horizon applied when the table was written: episodes
+    /// that closed before the first retained day are pruned.
+    pub horizon_day: u32,
+    /// Timestamp of the last event folded in.
+    pub last_event_at: u32,
+    /// Events folded in across all rewrites.
+    pub events_replayed: u64,
+    /// Compacted records, sorted by prefix.
+    pub records: Vec<ConflictRecord>,
+    /// Episodes still open at the coverage boundary, sorted by prefix.
+    pub live: Vec<LiveConflict>,
+    /// §VI origin-pair affinity counts: `(prefix, low, high, count)`.
+    pub affinity: Vec<(Prefix, Asn, Asn, u32)>,
+    /// Prefixes whose pre-horizon episodes were expired.
+    pub truncated: Vec<Prefix>,
+}
+
+impl TableData {
+    /// Captures a [`Compactor`]'s partial state as table contents —
+    /// what the daemon writes after folding newly sealed segments.
+    pub fn from_compactor(comp: &Compactor, covers_below: u64, horizon_day: u32) -> Self {
+        let mut records: Vec<ConflictRecord> = comp.records().values().cloned().collect();
+        for rec in &mut records {
+            rec.origins.sort_unstable();
+            rec.origins.dedup();
+            rec.episodes.sort_by_key(|e| e.opened_at);
+        }
+        let mut affinity: Vec<(Prefix, Asn, Asn, u32)> = comp.affinity().entries().collect();
+        affinity.sort_unstable();
+        let (last_event_at, events_replayed) = comp.clock();
+        TableData {
+            covers_below,
+            horizon_day,
+            last_event_at,
+            events_replayed,
+            records,
+            live: comp.live_conflicts(),
+            affinity,
+            truncated: comp.truncated().copied().collect(),
+        }
+    }
+
+    /// Seeds a [`Compactor`] with this table's state, so folding the
+    /// uncovered tail on top resumes the replay exactly.
+    pub fn seed_compactor(&self, comp: &mut Compactor) {
+        for rec in &self.records {
+            comp.seed_record(rec.clone());
+        }
+        for lc in &self.live {
+            comp.seed_live(lc.clone());
+        }
+        for &(prefix, a, b, count) in &self.affinity {
+            comp.seed_affinity(prefix, a, b, count);
+        }
+        for &prefix in &self.truncated {
+            comp.seed_truncated(prefix);
+        }
+        comp.seed_clock(self.last_event_at, self.events_replayed);
+    }
+}
+
+fn put_episode(out: &mut Vec<u8>, ep: &Episode) {
+    out.push(ep.closed_at.is_some() as u8);
+    put_u32(out, ep.opened_at);
+    put_u32(out, ep.closed_at.unwrap_or(0));
+}
+
+fn put_record(out: &mut Vec<u8>, rec: &ConflictRecord) {
+    put_prefix(out, &rec.prefix);
+    put_u32(out, rec.flap_count);
+    put_u16(out, rec.origins.len() as u16);
+    put_u32(out, rec.episodes.len() as u32);
+    for o in &rec.origins {
+        put_u32(out, o.value());
+    }
+    for ep in &rec.episodes {
+        put_episode(out, ep);
+    }
+}
+
+/// Writes a complete table file (header, blocks, CRC trailer) and
+/// returns its size in bytes. Callers write to a temporary path and
+/// rename into place — see [`crate::store::HistoryStore::install_table`].
+pub fn write_table(path: &Path, data: &TableData) -> io::Result<u64> {
+    let mut buf: Vec<u8> = Vec::with_capacity(4096);
+    buf.extend_from_slice(TABLE_HEADER_MAGIC);
+    put_u64(&mut buf, data.covers_below);
+    put_u32(&mut buf, data.horizon_day);
+    put_u32(&mut buf, data.last_event_at);
+    put_u64(&mut buf, data.events_replayed);
+    debug_assert_eq!(buf.len(), TABLE_HEADER_LEN);
+
+    // Records block, collecting each record's offset for the index.
+    let mut index: Vec<(Prefix, u32)> = Vec::with_capacity(data.records.len());
+    put_u32(&mut buf, data.records.len() as u32);
+    let records_base = buf.len();
+    for rec in &data.records {
+        index.push((rec.prefix, (buf.len() - records_base) as u32));
+        put_record(&mut buf, rec);
+    }
+
+    put_u32(&mut buf, data.live.len() as u32);
+    for lc in &data.live {
+        put_prefix(&mut buf, &lc.prefix);
+        put_u32(&mut buf, lc.opened_at);
+        put_u16(&mut buf, lc.origins.len() as u16);
+        for o in &lc.origins {
+            put_u32(&mut buf, o.value());
+        }
+    }
+
+    put_u32(&mut buf, data.affinity.len() as u32);
+    for &(prefix, a, b, count) in &data.affinity {
+        put_prefix(&mut buf, &prefix);
+        put_u32(&mut buf, a.value());
+        put_u32(&mut buf, b.value());
+        put_u32(&mut buf, count);
+    }
+
+    put_u32(&mut buf, data.truncated.len() as u32);
+    for prefix in &data.truncated {
+        put_prefix(&mut buf, prefix);
+    }
+
+    // Index block: sorted by prefix (records are), offsets into the
+    // records block.
+    put_u32(&mut buf, index.len() as u32);
+    for (prefix, offset) in &index {
+        put_prefix(&mut buf, prefix);
+        put_u32(&mut buf, *offset);
+    }
+
+    let body_len = (buf.len() - TABLE_HEADER_LEN) as u32;
+    let crc = crate::codec::crc32(&buf);
+    buf.extend_from_slice(TABLE_TRAILER_MAGIC);
+    put_u32(&mut buf, body_len);
+    put_u32(&mut buf, crc);
+
+    let mut out = File::create(path)?;
+    out.write_all(&buf)?;
+    out.sync_all()?;
+    Ok(buf.len() as u64)
+}
+
+/// A validated table file held in memory, supporting indexed point
+/// lookups without a full decode.
+pub struct TableFile {
+    bytes: Vec<u8>,
+    records_base: usize,
+    index_base: usize,
+    index_count: usize,
+}
+
+/// Cursor-based decode helpers; every read is bounds-checked so a
+/// CRC-consistent but malformed body fails with [`TableError::Decode`]
+/// instead of panicking.
+struct Cursor<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn need(&self, n: usize) -> Result<(), TableError> {
+        if self.pos > self.buf.len() || self.buf.len() - self.pos < n {
+            return Err(TableError::Decode(format!(
+                "truncated block at offset {}",
+                self.pos
+            )));
+        }
+        Ok(())
+    }
+
+    fn u16(&mut self) -> Result<u16, TableError> {
+        self.need(2)?;
+        let v = get_u16(self.buf, self.pos);
+        self.pos += 2;
+        Ok(v)
+    }
+
+    fn u32(&mut self) -> Result<u32, TableError> {
+        self.need(4)?;
+        let v = get_u32(self.buf, self.pos);
+        self.pos += 4;
+        Ok(v)
+    }
+
+    fn u8(&mut self) -> Result<u8, TableError> {
+        self.need(1)?;
+        let v = self.buf[self.pos];
+        self.pos += 1;
+        Ok(v)
+    }
+
+    fn prefix(&mut self) -> Result<Prefix, TableError> {
+        self.need(PREFIX_LEN)?;
+        let p = get_prefix(&self.buf[self.pos..self.pos + PREFIX_LEN])
+            .map_err(|e| TableError::Decode(e.to_string()))?;
+        self.pos += PREFIX_LEN;
+        Ok(p)
+    }
+
+    fn record(&mut self) -> Result<ConflictRecord, TableError> {
+        let prefix = self.prefix()?;
+        let flap_count = self.u32()?;
+        let origin_count = self.u16()? as usize;
+        let episode_count = self.u32()? as usize;
+        self.need(origin_count * 4 + episode_count * 9)?;
+        let mut origins = Vec::with_capacity(origin_count);
+        for _ in 0..origin_count {
+            origins.push(Asn::new(self.u32()?));
+        }
+        let mut episodes = Vec::with_capacity(episode_count);
+        for _ in 0..episode_count {
+            let has_close = self.u8()? != 0;
+            let opened_at = self.u32()?;
+            let closed = self.u32()?;
+            episodes.push(Episode {
+                opened_at,
+                closed_at: has_close.then_some(closed),
+            });
+        }
+        Ok(ConflictRecord {
+            prefix,
+            origins,
+            episodes,
+            flap_count,
+        })
+    }
+}
+
+impl TableFile {
+    /// Reads and validates a table file end to end: header magic,
+    /// trailer magic, CRC over header and body, index bounds.
+    pub fn open(path: &Path) -> Result<Self, TableError> {
+        let mut bytes = Vec::new();
+        File::open(path)
+            .and_then(|mut f| f.read_to_end(&mut bytes))
+            .map_err(TableError::Io)?;
+
+        if bytes.len() < TABLE_HEADER_LEN + TABLE_TRAILER_LEN || &bytes[..8] != TABLE_HEADER_MAGIC {
+            return Err(TableError::BadHeader);
+        }
+        let trailer = &bytes[bytes.len() - TABLE_TRAILER_LEN..];
+        if &trailer[..8] != TABLE_TRAILER_MAGIC {
+            return Err(TableError::BadTrailer);
+        }
+        let body_len = get_u32(trailer, 8) as usize;
+        let expected = get_u32(trailer, 12);
+        if bytes.len() - TABLE_HEADER_LEN - TABLE_TRAILER_LEN != body_len {
+            return Err(TableError::BadTrailer);
+        }
+        let got = crate::codec::crc32(&bytes[..bytes.len() - TABLE_TRAILER_LEN]);
+        if got != expected {
+            return Err(TableError::CrcMismatch { expected, got });
+        }
+
+        // Walk the blocks once to find the records and index bases.
+        let mut cur = Cursor {
+            buf: &bytes[..bytes.len() - TABLE_TRAILER_LEN],
+            pos: TABLE_HEADER_LEN,
+        };
+        let record_count = cur.u32()? as usize;
+        let records_base = cur.pos;
+        for _ in 0..record_count {
+            cur.record()?;
+        }
+        let live_count = cur.u32()? as usize;
+        for _ in 0..live_count {
+            cur.prefix()?;
+            cur.u32()?;
+            let n = cur.u16()? as usize;
+            cur.need(n * 4)?;
+            cur.pos += n * 4;
+        }
+        let affinity_count = cur.u32()? as usize;
+        cur.need(affinity_count * (PREFIX_LEN + 12))?;
+        cur.pos += affinity_count * (PREFIX_LEN + 12);
+        let truncated_count = cur.u32()? as usize;
+        cur.need(truncated_count * PREFIX_LEN)?;
+        cur.pos += truncated_count * PREFIX_LEN;
+        let index_count = cur.u32()? as usize;
+        let index_base = cur.pos;
+        cur.need(index_count * (PREFIX_LEN + 4))?;
+        if index_count != record_count {
+            return Err(TableError::Decode(format!(
+                "index has {index_count} entries for {record_count} records"
+            )));
+        }
+
+        Ok(TableFile {
+            bytes,
+            records_base,
+            index_base,
+            index_count,
+        })
+    }
+
+    fn header_u64(&self, at: usize) -> u64 {
+        get_u64(&self.bytes, at)
+    }
+
+    /// The coverage watermark stored in the header.
+    pub fn covers_below(&self) -> u64 {
+        self.header_u64(8)
+    }
+
+    fn index_entry(&self, i: usize) -> Result<(Prefix, u32), TableError> {
+        let at = self.index_base + i * (PREFIX_LEN + 4);
+        let prefix = get_prefix(&self.bytes[at..at + PREFIX_LEN])
+            .map_err(|e| TableError::Decode(e.to_string()))?;
+        Ok((prefix, get_u32(&self.bytes, at + PREFIX_LEN)))
+    }
+
+    /// Point lookup through the index block: binary-searches the
+    /// sorted index and decodes only the one record, without touching
+    /// the rest of the body.
+    pub fn lookup(&self, prefix: &Prefix) -> Result<Option<ConflictRecord>, TableError> {
+        let (mut lo, mut hi) = (0usize, self.index_count);
+        while lo < hi {
+            let mid = (lo + hi) / 2;
+            let (p, offset) = self.index_entry(mid)?;
+            match p.cmp(prefix) {
+                std::cmp::Ordering::Less => lo = mid + 1,
+                std::cmp::Ordering::Greater => hi = mid,
+                std::cmp::Ordering::Equal => {
+                    let mut cur = Cursor {
+                        buf: &self.bytes[..self.index_base],
+                        pos: self.records_base + offset as usize,
+                    };
+                    return Ok(Some(cur.record()?));
+                }
+            }
+        }
+        Ok(None)
+    }
+
+    /// Fully decodes the table.
+    pub fn decode(&self) -> Result<TableData, TableError> {
+        let end = self.bytes.len() - TABLE_TRAILER_LEN;
+        let covers_below = get_u64(&self.bytes, 8);
+        let horizon_day = get_u32(&self.bytes, 16);
+        let last_event_at = get_u32(&self.bytes, 20);
+        let events_replayed = get_u64(&self.bytes, 24);
+
+        let mut cur = Cursor {
+            buf: &self.bytes[..end],
+            pos: TABLE_HEADER_LEN,
+        };
+        let record_count = cur.u32()? as usize;
+        let mut records = Vec::with_capacity(record_count);
+        for _ in 0..record_count {
+            records.push(cur.record()?);
+        }
+        let live_count = cur.u32()? as usize;
+        let mut live = Vec::with_capacity(live_count);
+        for _ in 0..live_count {
+            let prefix = cur.prefix()?;
+            let opened_at = cur.u32()?;
+            let n = cur.u16()? as usize;
+            let mut origins = Vec::with_capacity(n);
+            for _ in 0..n {
+                origins.push(Asn::new(cur.u32()?));
+            }
+            live.push(LiveConflict {
+                prefix,
+                opened_at,
+                origins,
+            });
+        }
+        let affinity_count = cur.u32()? as usize;
+        let mut affinity = Vec::with_capacity(affinity_count);
+        for _ in 0..affinity_count {
+            let prefix = cur.prefix()?;
+            let a = Asn::new(cur.u32()?);
+            let b = Asn::new(cur.u32()?);
+            let count = cur.u32()?;
+            affinity.push((prefix, a, b, count));
+        }
+        let truncated_count = cur.u32()? as usize;
+        let mut truncated = Vec::with_capacity(truncated_count);
+        for _ in 0..truncated_count {
+            truncated.push(cur.prefix()?);
+        }
+
+        Ok(TableData {
+            covers_below,
+            horizon_day,
+            last_event_at,
+            events_replayed,
+            records,
+            live,
+            affinity,
+            truncated,
+        })
+    }
+}
+
+/// Convenience: open and fully decode a table file.
+pub fn read_table(path: &Path) -> Result<TableData, TableError> {
+    TableFile::open(path)?.decode()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use moas_monitor::{MonitorEvent, SeqEvent};
+    use std::path::PathBuf;
+
+    fn p(s: &str) -> Prefix {
+        s.parse().unwrap()
+    }
+
+    fn tmp(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("moas-history-table-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(name)
+    }
+
+    fn sample() -> TableData {
+        let mut comp = Compactor::new();
+        let px = p("192.0.2.0/24");
+        let py = p("2001:db8::/32");
+        comp.fold(&[
+            SeqEvent {
+                shard: 0,
+                seq: 0,
+                event: MonitorEvent::ConflictOpened {
+                    prefix: px,
+                    origins: vec![Asn::new(7), Asn::new(9)],
+                    at: 100,
+                },
+            },
+            SeqEvent {
+                shard: 0,
+                seq: 1,
+                event: MonitorEvent::OriginAdded {
+                    prefix: px,
+                    origin: Asn::new(11),
+                    at: 150,
+                },
+            },
+            SeqEvent {
+                shard: 0,
+                seq: 2,
+                event: MonitorEvent::ConflictClosed {
+                    prefix: px,
+                    opened_at: 100,
+                    at: 900,
+                },
+            },
+            SeqEvent {
+                shard: 1,
+                seq: 0,
+                event: MonitorEvent::ConflictOpened {
+                    prefix: py,
+                    origins: vec![Asn::new(1), Asn::new(4_200_000_000)],
+                    at: 500,
+                },
+            },
+        ]);
+        comp.seed_truncated(p("10.9.9.0/24"));
+        TableData::from_compactor(&comp, 7, 3)
+    }
+
+    #[test]
+    fn table_roundtrip_and_lookup() {
+        let data = sample();
+        assert_eq!(data.records.len(), 1, "open conflict stays in live");
+        assert_eq!(data.live.len(), 1);
+        let path = tmp("roundtrip.mht");
+        let bytes = write_table(&path, &data).unwrap();
+        assert_eq!(bytes, std::fs::metadata(&path).unwrap().len());
+
+        let file = TableFile::open(&path).unwrap();
+        assert_eq!(file.covers_below(), 7);
+        let back = file.decode().unwrap();
+        assert_eq!(back, data);
+
+        // Indexed point lookup finds exactly the stored record.
+        let rec = file.lookup(&p("192.0.2.0/24")).unwrap().unwrap();
+        assert_eq!(rec, data.records[0]);
+        assert!(file.lookup(&p("203.0.113.0/24")).unwrap().is_none());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn seeded_compactor_resumes_exactly() {
+        let data = sample();
+        let mut comp = Compactor::new();
+        data.seed_compactor(&mut comp);
+        // Close the carried-over open conflict in the "tail".
+        comp.fold(&[SeqEvent {
+            shard: 1,
+            seq: 1,
+            event: MonitorEvent::ConflictClosed {
+                prefix: p("2001:db8::/32"),
+                opened_at: 500,
+                at: 2_000,
+            },
+        }]);
+        let store = comp.finish();
+        let rec = &store.records()[&p("2001:db8::/32")];
+        assert_eq!(rec.episodes.len(), 1);
+        assert_eq!(rec.episodes[0].closed_at, Some(2_000));
+        assert_eq!(store.last_event_at, 2_000);
+        assert_eq!(
+            store
+                .affinity()
+                .co_announcements(p("192.0.2.0/24"), Asn::new(7), Asn::new(9)),
+            1
+        );
+        assert_eq!(store.truncated_prefixes(), &[p("10.9.9.0/24")]);
+    }
+
+    #[test]
+    fn partial_or_corrupt_table_detected() {
+        let data = sample();
+        let path = tmp("corrupt.mht");
+        write_table(&path, &data).unwrap();
+        let bytes = std::fs::read(&path).unwrap();
+
+        // Torn write: a partial file has no valid trailer.
+        std::fs::write(&path, &bytes[..bytes.len() / 2]).unwrap();
+        assert!(matches!(
+            TableFile::open(&path),
+            Err(TableError::BadTrailer | TableError::BadHeader)
+        ));
+
+        // Bit rot inside the body fails the CRC.
+        let mut rotted = bytes.clone();
+        let mid = rotted.len() / 2;
+        rotted[mid] ^= 0xFF;
+        std::fs::write(&path, &rotted).unwrap();
+        assert!(matches!(
+            TableFile::open(&path),
+            Err(TableError::CrcMismatch { .. })
+        ));
+
+        // Header corruption is covered by the CRC too.
+        let mut header = bytes.clone();
+        header[10] ^= 0xFF;
+        std::fs::write(&path, &header).unwrap();
+        assert!(matches!(
+            TableFile::open(&path),
+            Err(TableError::CrcMismatch { .. })
+        ));
+        std::fs::remove_file(&path).ok();
+    }
+}

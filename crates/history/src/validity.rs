@@ -56,6 +56,20 @@ impl AffinityIndex {
         }
     }
 
+    /// Adds `count` episodes to a pair's tally (order-insensitive) —
+    /// how a table rewrite re-seeds the index from persisted counts.
+    pub fn add_pair_count(&mut self, prefix: Prefix, a: Asn, b: Asn, count: u32) {
+        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+        *self.counts.entry((prefix, lo, hi)).or_default() += count;
+    }
+
+    /// Every `(prefix, low ASN, high ASN, count)` entry, in
+    /// unspecified order — the serialization surface for
+    /// [`crate::table`].
+    pub fn entries(&self) -> impl Iterator<Item = (Prefix, Asn, Asn, u32)> + '_ {
+        self.counts.iter().map(|(&(p, a, b), &n)| (p, a, b, n))
+    }
+
     /// Episodes in which `a` and `b` both originated `prefix`.
     pub fn co_announcements(&self, prefix: Prefix, a: Asn, b: Asn) -> u32 {
         let (lo, hi) = if a <= b { (a, b) } else { (b, a) };

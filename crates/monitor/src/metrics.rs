@@ -26,10 +26,22 @@ pub struct EngineMetrics {
     pub day_marks: AtomicU64,
     /// Epoch snapshots served.
     pub queries_served: AtomicU64,
-    /// Event-log segments an attached history store has written.
+    /// Event-log segments an attached history store has written
+    /// (lifetime: live plus expired).
     pub store_segments_written: AtomicU64,
-    /// Bytes an attached history store currently holds on disk.
-    pub store_bytes_on_disk: AtomicU64,
+    /// Segments an attached history store's retention has expired.
+    pub store_segments_expired: AtomicU64,
+    /// Record tables an attached history store has installed.
+    pub store_tables_written: AtomicU64,
+    /// Bytes an attached history store currently holds on disk
+    /// (live segments plus the record table).
+    pub store_bytes_retained: AtomicU64,
+    /// Bytes an attached history store has ever written, including
+    /// since-expired segments and replaced tables.
+    pub store_bytes_lifetime: AtomicU64,
+    /// Sealed segments awaiting compaction into the record table —
+    /// the compaction daemon's backlog.
+    pub store_compaction_lag: AtomicU64,
     /// Conflict records an attached history store has compacted.
     pub store_records_compacted: AtomicU64,
 }
@@ -63,7 +75,11 @@ impl EngineMetrics {
             day_marks: Self::get(&self.day_marks),
             queries_served: Self::get(&self.queries_served),
             store_segments_written: Self::get(&self.store_segments_written),
-            store_bytes_on_disk: Self::get(&self.store_bytes_on_disk),
+            store_segments_expired: Self::get(&self.store_segments_expired),
+            store_tables_written: Self::get(&self.store_tables_written),
+            store_bytes_retained: Self::get(&self.store_bytes_retained),
+            store_bytes_lifetime: Self::get(&self.store_bytes_lifetime),
+            store_compaction_lag: Self::get(&self.store_compaction_lag),
             store_records_compacted: Self::get(&self.store_records_compacted),
         }
     }
@@ -90,10 +106,21 @@ pub struct MetricsSnapshot {
     pub day_marks: u64,
     /// Epoch snapshots served.
     pub queries_served: u64,
-    /// Event-log segments an attached history store has written.
+    /// Event-log segments an attached history store has written
+    /// (lifetime: live plus expired).
     pub store_segments_written: u64,
-    /// Bytes an attached history store currently holds on disk.
-    pub store_bytes_on_disk: u64,
+    /// Segments an attached history store's retention has expired.
+    pub store_segments_expired: u64,
+    /// Record tables an attached history store has installed.
+    pub store_tables_written: u64,
+    /// Bytes an attached history store currently holds on disk
+    /// (live segments plus the record table).
+    pub store_bytes_retained: u64,
+    /// Bytes an attached history store has ever written, including
+    /// since-expired segments and replaced tables.
+    pub store_bytes_lifetime: u64,
+    /// Sealed segments awaiting compaction into the record table.
+    pub store_compaction_lag: u64,
     /// Conflict records an attached history store has compacted.
     pub store_records_compacted: u64,
 }

@@ -4,7 +4,7 @@
 //! a materialized table, every route-level update adjusts per-prefix
 //! origin counters in O(1) and reports the conflict-state transition
 //! it caused. The invariant that makes streaming and batch agree is
-//! spelled out on [`PrefixState`]: a prefix is in conflict exactly
+//! spelled out on the internal `PrefixState`: a prefix is in conflict exactly
 //! when it holds no AS-set-terminated route (§III exclusion) and its
 //! live routes carry ≥ 2 distinct single origins — precisely the
 //! predicate `detect()` evaluates on a snapshot of the same routes.

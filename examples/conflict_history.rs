@@ -53,8 +53,8 @@ fn main() -> std::io::Result<()> {
     )?;
     let stats = store.stats();
     println!(
-        "   {} days, {} events persisted in {} segments ({} bytes on disk)",
-        report.days, report.events_stored, stats.segments_written, stats.bytes_on_disk
+        "   {} days, {} events persisted in {} segments ({} bytes retained)",
+        report.days, report.events_stored, stats.segments_written, stats.retained_bytes
     );
     println!(
         "   monitor: {} updates applied, {} §VII alarms",

@@ -1,0 +1,158 @@
+//! The long-running conflict-history service, end to end: render a
+//! multi-day window as an on-disk MRT archive, stream it through a
+//! live [`HistoryService`] — writer appending, compaction daemon
+//! rewriting cold segments into a record table, retention expiring
+//! whole days — while a concurrent reader thread takes §VI validity
+//! snapshots mid-ingest.
+//!
+//! ```sh
+//! cargo run --release --example history_service
+//! ```
+
+use moas_core::pipeline::{analyze_mrt_archive, restrict_archive_window};
+use moas_history::pipeline::{analyze_mrt_archive_service, StreamingArchiveConfig};
+use moas_history::{HistoryService, RetentionPolicy, ServiceConfig, ValidityConfig};
+use moas_lab::study::{Study, StudyConfig};
+use moas_mrt::snapshot::DumpFormat;
+use moas_net::Date;
+use moas_routeviews::{write_window_archive, BackgroundMode, Collector};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::Duration;
+
+fn main() -> std::io::Result<()> {
+    let days = 14usize;
+    let retain_days = 7u32;
+    let study = Study::build(StudyConfig::test(0.004));
+    let dates: Vec<Date> = study.world.window.all_days()[..days]
+        .iter()
+        .map(|d| d.date())
+        .collect();
+
+    let base = std::env::temp_dir().join("moas-history-service");
+    let archive_dir = base.join("archive");
+    let store_dir = base.join("store");
+    std::fs::remove_dir_all(&base).ok();
+
+    println!("== rendering a {days}-day MRT archive ==");
+    let files = {
+        let mut collector = Collector::new(&study.world, &study.peers);
+        write_window_archive(
+            &mut collector,
+            &archive_dir,
+            0,
+            days,
+            BackgroundMode::Sample(15),
+            DumpFormat::V2,
+        )?
+    };
+    println!("   {} files under {}", files.len(), archive_dir.display());
+
+    println!("== service up: retention keep {retain_days} days, daemon watermark 2 ==");
+    let service = HistoryService::open(
+        &store_dir,
+        ServiceConfig {
+            start_date: dates[0],
+            retention: RetentionPolicy::keep_days(retain_days),
+            watermark_segments: 2,
+            poll_interval: Duration::from_millis(50),
+            daemon: true,
+        },
+    )?;
+
+    // A reader polls validity while the writer ingests and the daemon
+    // compacts/expires underneath — never blocking either.
+    let stop = AtomicBool::new(false);
+    let report = std::thread::scope(|scope| {
+        let reader = service.reader();
+        let stop_ref = &stop;
+        scope.spawn(move || {
+            let mut last_epoch = u64::MAX;
+            while !stop_ref.load(Ordering::Relaxed) {
+                let snap = reader.snapshot();
+                if snap.epoch() != last_epoch {
+                    last_epoch = snap.epoch();
+                    let (valid, recurring, invalid) =
+                        snap.validity(ValidityConfig::default()).tally();
+                    println!(
+                        "   [reader] epoch {:>3}: horizon day {}, {} records ({} valid / {} recurring / {} invalid)",
+                        snap.epoch(),
+                        snap.horizon_day(),
+                        snap.conflicts().records().len(),
+                        valid,
+                        recurring,
+                        invalid,
+                    );
+                }
+                std::thread::sleep(Duration::from_millis(20));
+            }
+        });
+
+        let report = analyze_mrt_archive_service(
+            &dates,
+            &files,
+            &StreamingArchiveConfig::with_shards(4),
+            &service,
+        );
+        service.wait_idle();
+        stop.store(true, Ordering::Relaxed);
+        report
+    })?;
+    println!(
+        "   ingested {} days, {} events; monitor applied {} updates",
+        report.days, report.events_stored, report.monitor.metrics.updates_applied
+    );
+
+    println!("== final state ==");
+    let stats = service.stats();
+    println!(
+        "   {} segments written, {} expired by retention, {} table rewrites",
+        stats.segments_written, stats.segments_expired, stats.tables_written
+    );
+    println!(
+        "   bytes: {} retained / {} lifetime ({} reclaimed by expiry)",
+        stats.retained_bytes, stats.lifetime_bytes, stats.bytes_expired
+    );
+
+    let snap = service.reader().snapshot();
+    let horizon = snap.horizon_day() as usize;
+    println!(
+        "   horizon at day {horizon}: cold history served from the table, {} hot-tail events",
+        report.events_stored
+    );
+
+    // Exactness under expiry: the retained-window answers equal the
+    // batch scan restricted to the same window.
+    let (retained_dates, retained_files) = restrict_archive_window(&dates, &files, horizon);
+    let (batch_tl, _) = analyze_mrt_archive(
+        retained_dates.clone(),
+        retained_dates.len(),
+        &retained_files,
+    )?;
+    let mut got = snap.durations(&retained_dates);
+    got.sort_unstable();
+    let mut want = batch_tl.durations();
+    want.sort_unstable();
+    println!(
+        "   retained-window check: service {} conflicts vs batch {} — durations {}",
+        snap.total_conflicts(&retained_dates),
+        batch_tl.total_conflicts(),
+        if got == want { "MATCH" } else { "MISMATCH" },
+    );
+    assert_eq!(
+        snap.total_conflicts(&retained_dates),
+        batch_tl.total_conflicts()
+    );
+    assert_eq!(got, want);
+
+    let truncated = snap.conflicts().truncated_prefixes().len();
+    println!(
+        "   {} records marked truncated by retention; affinity index {} pairs",
+        truncated,
+        snap.conflicts().affinity().len()
+    );
+
+    service.close()?;
+    std::fs::remove_dir_all(&base).ok();
+    println!("done.");
+    Ok(())
+}

@@ -1,0 +1,402 @@
+//! Retention edge cases: expiry exactly at a day-mark boundary, open
+//! episodes straddling (or outliving) the horizon, a daemon crash
+//! mid-rewrite leaving a partial table, and the size cap — each
+//! driven deterministically through a daemonless [`HistoryService`]
+//! with [`HistoryService::maintain_now`].
+
+use moas_history::{HistoryService, RetentionPolicy, ServiceConfig, ValidityConfig, Verdict};
+use moas_monitor::{MonitorEvent, SeqEvent};
+use moas_mrt::snapshot::midnight_timestamp;
+use moas_net::{Asn, Date, Prefix};
+use std::path::PathBuf;
+
+fn start() -> Date {
+    Date::ymd(2001, 1, 1)
+}
+
+fn tmp(name: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("moas-history-ret-{}-{name}", std::process::id()))
+}
+
+fn config(retention: RetentionPolicy) -> ServiceConfig {
+    ServiceConfig {
+        start_date: start(),
+        retention,
+        // High watermark: compaction only runs when retention forces
+        // it (or maintain_now decides it must) — deterministic tests.
+        watermark_segments: 100,
+        daemon: false,
+        ..ServiceConfig::default()
+    }
+}
+
+fn dates(n: usize) -> Vec<Date> {
+    (0..n as i64).map(|i| start().plus_days(i)).collect()
+}
+
+/// Stream timestamp `secs` into day position `d`.
+fn at(d: u32, secs: u32) -> u32 {
+    midnight_timestamp(start()) + d * 86_400 + secs
+}
+
+fn p(s: &str) -> Prefix {
+    s.parse().unwrap()
+}
+
+struct EventFeed {
+    seq: u64,
+    events: Vec<SeqEvent>,
+}
+
+impl EventFeed {
+    fn new() -> Self {
+        EventFeed {
+            seq: 0,
+            events: Vec::new(),
+        }
+    }
+
+    fn open(&mut self, prefix: Prefix, origins: &[u32], at: u32) {
+        self.push(MonitorEvent::ConflictOpened {
+            prefix,
+            origins: origins.iter().map(|&o| Asn::new(o)).collect(),
+            at,
+        });
+    }
+
+    fn close(&mut self, prefix: Prefix, opened_at: u32, at: u32) {
+        self.push(MonitorEvent::ConflictClosed {
+            prefix,
+            opened_at,
+            at,
+        });
+    }
+
+    fn push(&mut self, event: MonitorEvent) {
+        self.events.push(SeqEvent {
+            shard: 0,
+            seq: self.seq,
+            event,
+        });
+        self.seq += 1;
+    }
+
+    fn drain(&mut self) -> Vec<SeqEvent> {
+        std::mem::take(&mut self.events)
+    }
+}
+
+/// Feeds one short conflict per day for days `0..n`, marking each
+/// day. Each conflict straddles its day's midnight (closes early the
+/// next day) so it covers exactly one snapshot cut — the same reason
+/// the daily-snapshot pipeline can see short conflicts at all.
+fn feed_daily_conflicts(service: &HistoryService, n: u32) {
+    let mut feed = EventFeed::new();
+    for d in 0..n {
+        let prefix = p(&format!("10.0.{d}.0/24"));
+        let opened = at(d, 1_000);
+        feed.open(prefix, &[100 + d, 200 + d], opened);
+        feed.close(prefix, opened, at(d + 1, 1_000));
+        service.append(&feed.drain()).unwrap();
+        service.mark_day(d as usize).unwrap();
+    }
+}
+
+/// Expiry is whole-segment at day granularity: with the horizon at
+/// day `h`, day `h-1` is expired and day `h` is retained — the
+/// boundary day itself survives.
+#[test]
+fn expiry_exactly_at_day_mark_boundary() {
+    let dir = tmp("boundary");
+    std::fs::remove_dir_all(&dir).ok();
+    let service = HistoryService::open(&dir, config(RetentionPolicy::keep_days(4))).unwrap();
+    feed_daily_conflicts(&service, 6); // days 0..=5, next_day = 6
+    assert!(service.maintain_now().unwrap());
+
+    let snap = service.reader().snapshot();
+    assert_eq!(snap.horizon_day(), 2, "6 days seen, keep 4: horizon at 2");
+    let stats = service.stats();
+    assert_eq!(
+        stats.segments_expired, 2,
+        "days 0 and 1 expired, day 2 kept"
+    );
+
+    // Day 2's conflict — exactly at the boundary — is still
+    // answerable; days 0 and 1 are gone.
+    let window = dates(6);
+    let durations = snap.durations(&window[2..]);
+    assert_eq!(durations.len(), 4, "days 2..=5 each contribute a conflict");
+    let records = snap.conflicts().records();
+    assert!(records.contains_key(&p("10.0.2.0/24")), "boundary day kept");
+    assert!(
+        records.contains_key(&p("10.0.1.0/24")),
+        "closes during the first retained day: episode intersects the window"
+    );
+    assert!(
+        !records.contains_key(&p("10.0.0.0/24")),
+        "fully pre-horizon: dropped"
+    );
+
+    // The boundary is stable: another sweep changes nothing.
+    assert!(!service.maintain_now().unwrap());
+    assert_eq!(service.stats().segments_expired, 2);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// An episode still open when the horizon passes it is never lost:
+/// the segment that recorded its opening may be expired (it is
+/// covered by the table first), but the open episode survives in the
+/// table's live block — episode reconstruction is unbroken and the
+/// conflict's §VI longevity keeps accruing from the true opening.
+#[test]
+fn open_episode_survives_expiry_of_its_opening_segment() {
+    let dir = tmp("open-episode");
+    std::fs::remove_dir_all(&dir).ok();
+    let service = HistoryService::open(&dir, config(RetentionPolicy::keep_days(3))).unwrap();
+
+    let long = p("192.0.2.0/24");
+    let mut feed = EventFeed::new();
+    feed.open(long, &[7, 9], at(0, 500));
+    service.append(&feed.drain()).unwrap();
+    service.mark_day(0).unwrap();
+    for d in 1..9u32 {
+        // Quiet days: conflict stays open; still mark the days.
+        service.mark_day(d as usize).unwrap();
+    }
+    // A late unrelated conflict sets the log's clock (validity values
+    // still-open episodes at the last event timestamp).
+    let clock = p("203.0.113.0/24");
+    feed.open(clock, &[30, 31], at(9, 1_000));
+    feed.close(clock, at(9, 1_000), at(9, 2_000));
+    service.append(&feed.drain()).unwrap();
+    service.mark_day(9).unwrap();
+    assert!(service.maintain_now().unwrap());
+
+    let snap = service.reader().snapshot();
+    assert_eq!(snap.horizon_day(), 7);
+    assert_eq!(
+        service.stats().segments_expired,
+        1,
+        "the opening day's segment is expired"
+    );
+    let rec = &snap.conflicts().records()[&long];
+    assert!(rec.is_open());
+    assert_eq!(rec.first_opened_at(), at(0, 500), "true opening preserved");
+    assert!(
+        !snap.conflicts().truncated_prefixes().contains(&long),
+        "an open episode kept whole is not truncated"
+    );
+    // Longevity: open across every retained cut.
+    assert_eq!(snap.durations(&dates(10)[7..]), vec![3]);
+    // §VI: it counts as long-lived valid practice.
+    let report = snap.validity(ValidityConfig::with_threshold_days(7));
+    assert_eq!(report.verdict_of(&long), Some(Verdict::LikelyValid));
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// A record that loses pre-horizon episodes but keeps later ones is
+/// recorded as truncated; a record that loses everything is dropped.
+#[test]
+fn pruned_records_marked_truncated() {
+    let dir = tmp("truncated");
+    std::fs::remove_dir_all(&dir).ok();
+    let service = HistoryService::open(&dir, config(RetentionPolicy::keep_days(3))).unwrap();
+
+    let recurring = p("192.0.2.0/24");
+    let early_only = p("198.51.100.0/24");
+    let mut feed = EventFeed::new();
+    // Both conflict on day 0; only `recurring` comes back on day 8.
+    feed.open(recurring, &[7, 9], at(0, 100));
+    feed.close(recurring, at(0, 100), at(0, 4_000));
+    feed.open(early_only, &[5, 6], at(0, 200));
+    feed.close(early_only, at(0, 200), at(0, 5_000));
+    service.append(&feed.drain()).unwrap();
+    service.mark_day(0).unwrap();
+    for d in 1..8 {
+        service.mark_day(d).unwrap();
+    }
+    feed.open(recurring, &[7, 9], at(8, 100));
+    feed.close(recurring, at(8, 100), at(8, 4_000)); // within day 8: retained
+    service.append(&feed.drain()).unwrap();
+    service.mark_day(8).unwrap();
+    for d in 9..11 {
+        service.mark_day(d).unwrap();
+    }
+    assert!(service.maintain_now().unwrap());
+
+    let snap = service.reader().snapshot();
+    assert_eq!(snap.horizon_day(), 8);
+    let records = snap.conflicts().records();
+    assert!(
+        !records.contains_key(&early_only),
+        "fully pre-horizon: dropped"
+    );
+    let rec = &records[&recurring];
+    assert_eq!(rec.episode_count(), 1, "day-0 episode pruned");
+    assert_eq!(
+        snap.conflicts().truncated_prefixes(),
+        &[recurring],
+        "incomplete history is recorded as truncated"
+    );
+    // Affinity memory survives retention by design: the pair is still
+    // known to have co-announced twice.
+    assert_eq!(
+        snap.conflicts()
+            .affinity()
+            .co_announcements(recurring, Asn::new(7), Asn::new(9)),
+        2
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// A daemon crash mid-rewrite leaves a partial table (a `.tmp` build
+/// file, or a fully named table the manifest never committed to).
+/// Startup must detect and discard both, and the store must still
+/// answer from segments and recompact cleanly.
+#[test]
+fn partial_table_from_crashed_rewrite_discarded_at_startup() {
+    let dir = tmp("crash");
+    std::fs::remove_dir_all(&dir).ok();
+    let service = HistoryService::open(&dir, config(RetentionPolicy::keep_everything())).unwrap();
+    feed_daily_conflicts(&service, 4);
+    let want = {
+        let snap = service.reader().snapshot();
+        let mut d = snap.durations(&dates(4));
+        d.sort_unstable();
+        d
+    };
+    service.close().unwrap();
+
+    // Crash shape 1: torn `.tmp` build file.
+    std::fs::write(dir.join("tab-build.tmp"), b"MHTAB001 torn mid-write").unwrap();
+    // Crash shape 2: renamed into place but manifest never swapped —
+    // content is garbage from an interrupted copy.
+    std::fs::write(dir.join("tab-00000042.mht"), b"MHTAB001 also garbage").unwrap();
+
+    let service = HistoryService::open(&dir, config(RetentionPolicy::keep_everything())).unwrap();
+    let report = service.open_report();
+    assert_eq!(report.discarded.len(), 2, "both crash leftovers discarded");
+    assert!(!dir.join("tab-build.tmp").exists());
+    assert!(!dir.join("tab-00000042.mht").exists());
+
+    let snap = service.reader().snapshot();
+    let mut got = snap.durations(&dates(4));
+    got.sort_unstable();
+    assert_eq!(got, want, "answers unaffected by the crash leftovers");
+
+    // And a fresh compaction still succeeds after the cleanup.
+    service.close().unwrap();
+    let mut eager = config(RetentionPolicy::keep_everything());
+    eager.watermark_segments = 1;
+    let service = HistoryService::open(&dir, eager).unwrap();
+    feed_daily_conflicts_from(&service, 4, 6);
+    assert!(service.maintain_now().unwrap());
+    assert!(service.stats().tables_written >= 1);
+    let snap = service.reader().snapshot();
+    let mut full = snap.durations(&dates(6));
+    full.sort_unstable();
+    assert_eq!(full.len(), 6, "all six days answerable after recompaction");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// A corrupt *committed* table (bit rot) is dropped at startup and the
+/// covered segments — still on disk — are recompacted, so answers
+/// survive.
+#[test]
+fn corrupt_committed_table_dropped_and_rebuilt() {
+    let dir = tmp("bitrot");
+    std::fs::remove_dir_all(&dir).ok();
+    let mut cfg = config(RetentionPolicy::keep_everything());
+    cfg.watermark_segments = 1; // compact eagerly
+    let service = HistoryService::open(&dir, cfg).unwrap();
+    feed_daily_conflicts(&service, 4);
+    assert!(service.maintain_now().unwrap());
+    let want = {
+        let snap = service.reader().snapshot();
+        assert!(snap.stats().tables_written >= 1);
+        let mut d = snap.durations(&dates(4));
+        d.sort_unstable();
+        d
+    };
+    service.close().unwrap();
+
+    // Rot a byte in the committed table.
+    let table = std::fs::read_dir(&dir)
+        .unwrap()
+        .filter_map(|e| e.ok())
+        .map(|e| e.path())
+        .find(|p| p.extension().and_then(|s| s.to_str()) == Some("mht"))
+        .expect("a committed table");
+    let mut bytes = std::fs::read(&table).unwrap();
+    let mid = bytes.len() / 2;
+    bytes[mid] ^= 0xFF;
+    std::fs::write(&table, &bytes).unwrap();
+
+    let service = HistoryService::open(&dir, cfg).unwrap();
+    let report = service.open_report();
+    assert!(report.dropped_table.is_some(), "bit rot detected at open");
+    let snap = service.reader().snapshot();
+    let mut got = snap.durations(&dates(4));
+    got.sort_unstable();
+    assert_eq!(got, want, "recovered from raw segments");
+    // The next sweep rebuilds the table.
+    assert!(service.maintain_now().unwrap());
+    assert!(service.reader().snapshot().stats().tables_written >= 2);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// The size cap deletes oldest raw segments (day-whole) once the
+/// table covers them, without changing answers — and the counters
+/// make the reclamation observable: retained + expired = lifetime.
+#[test]
+fn size_cap_expires_raw_segments_without_changing_answers() {
+    let dir = tmp("sizecap");
+    std::fs::remove_dir_all(&dir).ok();
+    let mut cfg = config(RetentionPolicy {
+        max_age_days: None,
+        max_bytes: Some(600),
+    });
+    cfg.watermark_segments = 1;
+    let service = HistoryService::open(&dir, cfg).unwrap();
+    feed_daily_conflicts(&service, 8);
+    let before = {
+        let snap = service.reader().snapshot();
+        let mut d = snap.durations(&dates(8));
+        d.sort_unstable();
+        d
+    };
+    assert!(service.maintain_now().unwrap());
+
+    let stats = service.stats();
+    assert!(stats.segments_expired > 0, "size cap reclaimed segments");
+    assert!(stats.retained_bytes < stats.lifetime_bytes);
+    assert_eq!(
+        stats.retained_bytes,
+        stats.lifetime_bytes - stats.bytes_expired
+    );
+
+    let snap = service.reader().snapshot();
+    assert_eq!(
+        snap.horizon_day(),
+        0,
+        "size cap expires raw logs, not history"
+    );
+    let mut after = snap.durations(&dates(8));
+    after.sort_unstable();
+    assert_eq!(after, before, "answers unchanged by size-cap expiry");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// Continues the daily-conflict feed at a later day range.
+fn feed_daily_conflicts_from(service: &HistoryService, from: u32, to: u32) {
+    let mut feed = EventFeed::new();
+    feed.seq = 10_000; // past any seq the earlier feed used
+    for d in from..to {
+        let prefix = p(&format!("10.0.{d}.0/24"));
+        let opened = at(d, 1_000);
+        feed.open(prefix, &[100 + d, 200 + d], opened);
+        feed.close(prefix, opened, at(d + 1, 1_000));
+        service.append(&feed.drain()).unwrap();
+        service.mark_day(d as usize).unwrap();
+    }
+}

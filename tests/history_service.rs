@@ -1,0 +1,199 @@
+//! Acceptance: the long-running history service is exact under
+//! retention, background compaction, and concurrent readers.
+//!
+//! A multi-day synthetic archive is driven through
+//! [`moas_history::pipeline::analyze_mrt_archive_service`] with the
+//! compaction daemon enabled and an age-based retention policy, while
+//! reader threads take validity snapshots throughout the ingest. At
+//! the end, days below the horizon have been expired from disk (raw
+//! segments deleted, cold history served from the record table), and
+//! the service's `total_conflicts` / `durations` answers on the
+//! retained window must equal batch `analyze_mrt_archive` restricted
+//! to that window — the §VI longevity answers survive expiry exactly.
+
+use moas_core::pipeline::{analyze_mrt_archive, restrict_archive_window};
+use moas_history::pipeline::{analyze_mrt_archive_service, StreamingArchiveConfig};
+use moas_history::{HistoryService, RetentionPolicy, ServiceConfig, ValidityConfig};
+use moas_lab::study::{Study, StudyConfig};
+use moas_mrt::snapshot::DumpFormat;
+use moas_net::Date;
+use moas_routeviews::{write_window_archive, BackgroundMode, Collector};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::time::Duration;
+
+const DAYS: usize = 12;
+const RETAIN_DAYS: u32 = 6;
+
+fn tmp(name: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("moas-history-svc-{}-{name}", std::process::id()))
+}
+
+#[test]
+fn service_with_retention_and_daemon_matches_batch_on_retained_window() {
+    let study = Study::build(StudyConfig::test(0.004));
+    let dates: Vec<Date> = study.world.window.all_days()[..DAYS]
+        .iter()
+        .map(|d| d.date())
+        .collect();
+
+    let archive_dir = tmp("archive");
+    std::fs::remove_dir_all(&archive_dir).ok();
+    let files = {
+        let mut collector = Collector::new(&study.world, &study.peers);
+        write_window_archive(
+            &mut collector,
+            &archive_dir,
+            0,
+            DAYS,
+            BackgroundMode::Sample(15),
+            DumpFormat::V2,
+        )
+        .expect("write synthetic archive")
+    };
+
+    let store_dir = tmp("store");
+    std::fs::remove_dir_all(&store_dir).ok();
+    let service = HistoryService::open(
+        &store_dir,
+        ServiceConfig {
+            start_date: dates[0],
+            retention: RetentionPolicy::keep_days(RETAIN_DAYS),
+            watermark_segments: 2,
+            poll_interval: Duration::from_millis(50),
+            daemon: true,
+        },
+    )
+    .expect("open service");
+
+    // Concurrent readers: snapshot and score §VI validity while the
+    // writer ingests and the daemon compacts/expires underneath.
+    let stop = AtomicBool::new(false);
+    let snapshots_taken = AtomicU64::new(0);
+    let report = std::thread::scope(|scope| {
+        for reader in [service.reader(), service.reader()] {
+            let stop = &stop;
+            let snapshots_taken = &snapshots_taken;
+            scope.spawn(move || {
+                let mut last_epoch = 0u64;
+                while !stop.load(Ordering::Relaxed) {
+                    let snap = reader.snapshot();
+                    assert!(
+                        snap.epoch() >= last_epoch,
+                        "epochs must be monotonic: {} then {}",
+                        last_epoch,
+                        snap.epoch()
+                    );
+                    last_epoch = snap.epoch();
+                    // Scoring a mid-ingest snapshot must always work;
+                    // the answer evolves but never tears.
+                    let report = snap.validity(ValidityConfig::default());
+                    let (v, r, i) = report.tally();
+                    assert_eq!(v + r + i, report.conflicts.len());
+                    snapshots_taken.fetch_add(1, Ordering::Relaxed);
+                }
+            });
+        }
+
+        let report = analyze_mrt_archive_service(
+            &dates,
+            &files,
+            &StreamingArchiveConfig::with_shards(4),
+            &service,
+        )
+        .expect("streaming service scan");
+        service.wait_idle();
+        stop.store(true, Ordering::Relaxed);
+        report
+    });
+
+    assert_eq!(report.days, DAYS);
+    assert_eq!(report.records_skipped, 0);
+    assert!(report.events_stored > 0);
+    assert!(
+        snapshots_taken.load(Ordering::Relaxed) > 0,
+        "readers must have snapshotted during ingestion"
+    );
+
+    // Retention actually happened: days below the horizon were expired
+    // from disk, cold history lives in the record table.
+    let stats = service.stats();
+    assert!(stats.tables_written >= 1, "daemon never compacted");
+    assert!(stats.segments_expired > 0, "retention never expired");
+    assert!(stats.bytes_expired > 0);
+    assert!(stats.retained_bytes < stats.lifetime_bytes);
+    assert_eq!(
+        stats.retained_bytes,
+        stats.lifetime_bytes - stats.bytes_expired,
+        "retained/lifetime/expired must reconcile"
+    );
+
+    let snap = service.reader().snapshot();
+    let horizon = snap.horizon_day();
+    assert_eq!(horizon, DAYS as u32 - RETAIN_DAYS, "age horizon applied");
+
+    // The pinned answers on the retained window equal the batch
+    // timeline restricted to that window.
+    let (retained_dates, retained_files) =
+        restrict_archive_window(&dates, &files, horizon as usize);
+    assert_eq!(retained_dates.len(), RETAIN_DAYS as usize);
+    let (batch_tl, batch_skipped) = analyze_mrt_archive(
+        retained_dates.clone(),
+        retained_dates.len(),
+        &retained_files,
+    )
+    .expect("batch scan of retained window");
+    assert_eq!(batch_skipped, 0);
+    assert!(
+        batch_tl.total_conflicts() > 0,
+        "retained window must contain conflicts for the test to mean anything"
+    );
+
+    assert_eq!(
+        snap.total_conflicts(&retained_dates),
+        batch_tl.total_conflicts(),
+        "total_conflicts diverged on the retained window"
+    );
+    let mut got = snap.durations(&retained_dates);
+    got.sort_unstable();
+    let mut want = batch_tl.durations();
+    want.sort_unstable();
+    assert_eq!(got, want, "durations diverged on the retained window");
+
+    // Longevity answers are part of the same replay: the §VI scoring
+    // over the snapshot is deterministic per epoch.
+    let snap2 = service.reader().snapshot();
+    assert_eq!(snap2.epoch(), snap.epoch());
+    assert_eq!(
+        snap.validity(ValidityConfig::default()).tally(),
+        snap2.validity(ValidityConfig::default()).tally(),
+        "same epoch, same answers"
+    );
+
+    // Restart: the manifest-rooted state survives, and the answers on
+    // the retained window are unchanged.
+    let stats_before = service.stats();
+    service.close().expect("close service");
+    let reopened = HistoryService::open(
+        &store_dir,
+        ServiceConfig {
+            start_date: dates[0],
+            retention: RetentionPolicy::keep_days(RETAIN_DAYS),
+            daemon: false,
+            ..ServiceConfig::default()
+        },
+    )
+    .expect("reopen service");
+    let snap3 = reopened.reader().snapshot();
+    assert_eq!(
+        snap3.total_conflicts(&retained_dates),
+        batch_tl.total_conflicts()
+    );
+    let mut got3 = snap3.durations(&retained_dates);
+    got3.sort_unstable();
+    assert_eq!(got3, want);
+    assert_eq!(reopened.stats().lifetime_bytes, stats_before.lifetime_bytes);
+
+    std::fs::remove_dir_all(&store_dir).ok();
+    std::fs::remove_dir_all(&archive_dir).ok();
+}

@@ -115,8 +115,14 @@ fn streaming_archive_store_matches_batch_timeline() {
         let m = &report.monitor.metrics;
         assert_eq!(m.store_segments_written, store.stats().segments_written);
         assert!(m.store_segments_written > 0);
-        assert_eq!(m.store_bytes_on_disk, store.stats().bytes_on_disk);
-        assert!(m.store_bytes_on_disk > 0);
+        assert_eq!(m.store_bytes_retained, store.stats().retained_bytes);
+        assert!(m.store_bytes_retained > 0);
+        assert_eq!(m.store_bytes_lifetime, store.stats().lifetime_bytes);
+        assert_eq!(
+            m.store_bytes_lifetime - m.store_bytes_retained,
+            store.stats().bytes_expired,
+            "retained vs lifetime difference is exactly what deletion reclaimed"
+        );
         assert_eq!(m.day_marks, DAYS as u64);
 
         std::fs::remove_dir_all(&store_dir).ok();

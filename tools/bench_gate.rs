@@ -1,0 +1,290 @@
+//! CI bench-regression gate: compares `bench_quick` JSON output
+//! against the checked-in baseline and fails on a >30% throughput
+//! regression.
+//!
+//! ```sh
+//! # gate (exit 1 on regression):
+//! cargo run --release --bin bench_gate -- \
+//!     --baseline ci/bench_baseline.json BENCH_monitor.json BENCH_history.json
+//! # refresh the baseline from current results:
+//! cargo run --release --bin bench_gate -- --write-baseline \
+//!     --baseline ci/bench_baseline.json BENCH_monitor.json BENCH_history.json
+//! ```
+//!
+//! Direction is inferred from the metric name: `*_per_sec` is
+//! higher-is-better; `bytes_per_event` (and anything else) is
+//! lower-is-better. The tolerance defaults to 0.30 and can be changed
+//! with `--tolerance 0.5` (or the `BENCH_GATE_TOLERANCE` env var) for
+//! noisier runners. Baseline numbers are machine-dependent: regenerate
+//! with `--write-baseline` when the reference machine changes.
+
+use std::collections::BTreeMap;
+use std::process::ExitCode;
+
+/// One bench file: its name and flat metric map.
+struct BenchResult {
+    bench: String,
+    metrics: BTreeMap<String, f64>,
+}
+
+fn main() -> ExitCode {
+    let mut baseline_path = String::from("ci/bench_baseline.json");
+    let mut tolerance: f64 = std::env::var("BENCH_GATE_TOLERANCE")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0.30);
+    let mut write_baseline = false;
+    let mut files: Vec<String> = Vec::new();
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--baseline" => baseline_path = args.next().expect("--baseline needs a path"),
+            "--tolerance" => {
+                tolerance = args
+                    .next()
+                    .expect("--tolerance needs a value")
+                    .parse()
+                    .expect("tolerance must be a number")
+            }
+            "--write-baseline" => write_baseline = true,
+            other => files.push(other.to_string()),
+        }
+    }
+    if files.is_empty() {
+        eprintln!(
+            "usage: bench_gate [--baseline FILE] [--tolerance F] [--write-baseline] BENCH_*.json"
+        );
+        return ExitCode::from(2);
+    }
+
+    let results: Vec<BenchResult> = files
+        .iter()
+        .map(|f| parse_bench_file(f).unwrap_or_else(|e| panic!("{f}: {e}")))
+        .collect();
+
+    if write_baseline {
+        let mut out = String::from("{\n");
+        for (i, r) in results.iter().enumerate() {
+            out.push_str(&format!("  \"{}\": {{\n", r.bench));
+            for (j, (name, value)) in r.metrics.iter().enumerate() {
+                let comma = if j + 1 < r.metrics.len() { "," } else { "" };
+                out.push_str(&format!("    \"{name}\": {value:.3}{comma}\n"));
+            }
+            let comma = if i + 1 < results.len() { "," } else { "" };
+            out.push_str(&format!("  }}{comma}\n"));
+        }
+        out.push_str("}\n");
+        std::fs::write(&baseline_path, out).expect("write baseline");
+        println!("baseline written to {baseline_path}");
+        return ExitCode::SUCCESS;
+    }
+
+    let baseline_text =
+        std::fs::read_to_string(&baseline_path).unwrap_or_else(|e| panic!("{baseline_path}: {e}"));
+    let baseline = parse_nested(&baseline_text).unwrap_or_else(|e| panic!("{baseline_path}: {e}"));
+
+    let mut failed = false;
+    for r in &results {
+        let Some(base) = baseline.get(&r.bench) else {
+            println!(
+                "~ {}: no baseline entry, skipping (run --write-baseline)",
+                r.bench
+            );
+            continue;
+        };
+        for (name, &base_value) in base {
+            let Some(&current) = r.metrics.get(name) else {
+                println!("! {}/{name}: metric missing from current run", r.bench);
+                failed = true;
+                continue;
+            };
+            let higher_is_better = name.ends_with("_per_sec");
+            let (ok, limit) = if higher_is_better {
+                (
+                    current >= base_value * (1.0 - tolerance),
+                    base_value * (1.0 - tolerance),
+                )
+            } else {
+                (
+                    current <= base_value * (1.0 + tolerance),
+                    base_value * (1.0 + tolerance),
+                )
+            };
+            let delta = if base_value != 0.0 {
+                (current / base_value - 1.0) * 100.0
+            } else {
+                0.0
+            };
+            let verdict = if ok { "ok" } else { "REGRESSION" };
+            println!(
+                "{} {}/{name}: {current:.1} vs baseline {base_value:.1} ({delta:+.1}%, limit {limit:.1})",
+                if ok { "✓" } else { "✗" },
+                r.bench,
+            );
+            if !ok {
+                eprintln!(
+                    "{verdict}: {}/{name} moved {delta:+.1}% against a ±{:.0}% gate",
+                    r.bench,
+                    tolerance * 100.0
+                );
+                failed = true;
+            }
+        }
+    }
+    if failed {
+        ExitCode::FAILURE
+    } else {
+        println!("bench gate passed (tolerance {:.0}%)", tolerance * 100.0);
+        ExitCode::SUCCESS
+    }
+}
+
+fn parse_bench_file(path: &str) -> Result<BenchResult, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| e.to_string())?;
+    let mut p = Parser::new(&text);
+    p.expect('{')?;
+    let mut bench = None;
+    let mut metrics = BTreeMap::new();
+    loop {
+        let key = p.string()?;
+        p.expect(':')?;
+        match key.as_str() {
+            "bench" => bench = Some(p.string()?),
+            "metrics" => metrics = p.flat_object()?,
+            other => return Err(format!("unexpected key {other:?}")),
+        }
+        if !p.comma_or_close('}')? {
+            break;
+        }
+    }
+    Ok(BenchResult {
+        bench: bench.ok_or("missing \"bench\" key")?,
+        metrics,
+    })
+}
+
+fn parse_nested(text: &str) -> Result<BTreeMap<String, BTreeMap<String, f64>>, String> {
+    let mut p = Parser::new(text);
+    p.expect('{')?;
+    let mut out = BTreeMap::new();
+    if p.peek() == Some('}') {
+        p.expect('}')?;
+        return Ok(out);
+    }
+    loop {
+        let key = p.string()?;
+        p.expect(':')?;
+        p.expect('{')?;
+        out.insert(key, p.flat_object_body()?);
+        if !p.comma_or_close('}')? {
+            break;
+        }
+    }
+    Ok(out)
+}
+
+/// The few square feet of JSON this repo needs: objects of strings
+/// and numbers. (The vendored `serde_json` only serializes.)
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn new(text: &'a str) -> Self {
+        Parser {
+            bytes: text.as_bytes(),
+            pos: 0,
+        }
+    }
+
+    fn skip_ws(&mut self) {
+        while self.pos < self.bytes.len() && self.bytes[self.pos].is_ascii_whitespace() {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&mut self) -> Option<char> {
+        self.skip_ws();
+        self.bytes.get(self.pos).map(|&b| b as char)
+    }
+
+    fn expect(&mut self, c: char) -> Result<(), String> {
+        self.skip_ws();
+        if self.bytes.get(self.pos) == Some(&(c as u8)) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(format!("expected {c:?} at byte {}", self.pos))
+        }
+    }
+
+    /// After a `,` returns true; after the closing delimiter returns
+    /// false.
+    fn comma_or_close(&mut self, close: char) -> Result<bool, String> {
+        self.skip_ws();
+        match self.bytes.get(self.pos).map(|&b| b as char) {
+            Some(',') => {
+                self.pos += 1;
+                Ok(true)
+            }
+            Some(c) if c == close => {
+                self.pos += 1;
+                Ok(false)
+            }
+            other => Err(format!("expected ',' or {close:?}, found {other:?}")),
+        }
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect('"')?;
+        let start = self.pos;
+        while self.pos < self.bytes.len() && self.bytes[self.pos] != b'"' {
+            self.pos += 1;
+        }
+        let s = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|e| e.to_string())?
+            .to_string();
+        self.expect('"')?;
+        Ok(s)
+    }
+
+    fn number(&mut self) -> Result<f64, String> {
+        self.skip_ws();
+        let start = self.pos;
+        while self
+            .bytes
+            .get(self.pos)
+            .is_some_and(|b| b.is_ascii_digit() || matches!(b, b'-' | b'+' | b'.' | b'e' | b'E'))
+        {
+            self.pos += 1;
+        }
+        std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|e| e.to_string())?
+            .parse()
+            .map_err(|_| format!("bad number at byte {start}"))
+    }
+
+    fn flat_object(&mut self) -> Result<BTreeMap<String, f64>, String> {
+        self.expect('{')?;
+        self.flat_object_body()
+    }
+
+    fn flat_object_body(&mut self) -> Result<BTreeMap<String, f64>, String> {
+        let mut out = BTreeMap::new();
+        if self.peek() == Some('}') {
+            self.expect('}')?;
+            return Ok(out);
+        }
+        loop {
+            let key = self.string()?;
+            self.expect(':')?;
+            out.insert(key, self.number()?);
+            if !self.comma_or_close('}')? {
+                break;
+            }
+        }
+        Ok(out)
+    }
+}
