@@ -2,10 +2,11 @@
 //!
 //! Unlike the Criterion benches (tuned for precision), this binary
 //! runs a fixed small workload a few times, keeps the best run, and
-//! writes machine-readable JSON — `BENCH_monitor.json` and
-//! `BENCH_history.json` — for `tools/bench_gate.rs` to compare
-//! against the checked-in baseline (`ci/bench_baseline.json`). Total
-//! runtime is a few seconds, cheap enough for every push.
+//! writes machine-readable JSON — `BENCH_monitor.json`,
+//! `BENCH_history.json`, and `BENCH_server.json` — for
+//! `tools/bench_gate.rs` to compare against the checked-in baseline
+//! (`ci/bench_baseline.json`). Total runtime is a few seconds, cheap
+//! enough for every push.
 //!
 //! ```sh
 //! cargo run --release -p moas-bench --bin bench_quick [-- OUT_DIR]
@@ -13,14 +14,18 @@
 
 use moas_bench::{bench_study, synth_history_events};
 use moas_bgp::message::BgpMessage;
-use moas_history::HistoryStore;
+use moas_history::{HistoryService, HistoryStore, ServiceConfig};
 use moas_monitor::{MonitorConfig, MonitorEngine};
 use moas_mrt::record::{MrtBody, MrtRecord};
 use moas_routeviews::updates::day_transition;
 use moas_routeviews::BackgroundMode;
+use moas_serve::{QueryServer, QueryService, ServerConfig};
 use std::hint::black_box;
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpStream};
 use std::path::{Path, PathBuf};
-use std::time::Instant;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 /// Repetitions per measurement; the best (least-noisy) run wins.
 const REPS: usize = 3;
@@ -36,6 +41,8 @@ fn main() -> std::io::Result<()> {
     write_json(&out_dir.join("BENCH_monitor.json"), "monitor", &monitor)?;
     let history = bench_history();
     write_json(&out_dir.join("BENCH_history.json"), "history", &history)?;
+    let server = bench_server()?;
+    write_json(&out_dir.join("BENCH_server.json"), "server", &server)?;
     Ok(())
 }
 
@@ -135,6 +142,133 @@ fn bench_history() -> Vec<(&'static str, f64)> {
         ("bytes_per_event", bytes_per_event),
         ("compact_events_per_sec", best_compact),
     ]
+}
+
+/// Server: loopback queries/s through the full stack (TCP + HTTP
+/// parse + router), cached vs uncached. The uncached mode disables
+/// the response cache so every request re-scores §VI validity from
+/// the pinned snapshot; the cached mode answers hot queries with one
+/// `Arc` clone. The ratio between the two is the cache's whole value
+/// proposition — the baseline keeps both ends honest.
+fn bench_server() -> std::io::Result<Vec<(&'static str, f64)>> {
+    const EVENTS: usize = 240_000;
+    const DAYS: usize = 30;
+    let events = synth_history_events(EVENTS, 8_192);
+    let dir = std::env::temp_dir().join(format!("moas-bench-server-{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    let service = HistoryService::open(
+        &dir,
+        ServiceConfig {
+            daemon: false,
+            ..ServiceConfig::default()
+        },
+    )?;
+    for (day, chunk) in events.chunks(EVENTS / DAYS).enumerate() {
+        service.append(chunk)?;
+        service.mark_day(day)?;
+    }
+
+    let mut best_cached = 0f64;
+    let mut best_uncached = 0f64;
+    for _ in 0..REPS {
+        best_cached = best_cached.max(measure_server(&service, 256)?);
+        best_uncached = best_uncached.max(measure_server(&service, 0)?);
+    }
+    service.close()?;
+    std::fs::remove_dir_all(&dir).ok();
+
+    eprintln!(
+        "server: best {best_cached:.0} cached queries/s, {best_uncached:.0} uncached (recompute) queries/s, {:.1}x speedup",
+        best_cached / best_uncached.max(1.0)
+    );
+    Ok(vec![
+        ("cached_queries_per_sec", best_cached),
+        ("uncached_queries_per_sec", best_uncached),
+    ])
+}
+
+/// One time-boxed measurement: `CLIENTS` keep-alive loopback clients
+/// hammering `/v1/validity?limit=0` for a fixed window.
+fn measure_server(service: &HistoryService, cache_capacity: usize) -> std::io::Result<f64> {
+    const CLIENTS: usize = 4;
+    const WINDOW: Duration = Duration::from_millis(350);
+    const TARGET: &str = "/v1/validity?limit=0";
+
+    let query = Arc::new(QueryService::new(
+        service.reader(),
+        ServerConfig {
+            workers: CLIENTS,
+            cache_capacity,
+            keep_alive_requests: u32::MAX,
+            ..ServerConfig::default()
+        },
+    ));
+    let server = QueryServer::bind("127.0.0.1:0", query)?;
+    let addr = server.local_addr();
+    // Warm the epoch replay (memoized per epoch) so both modes measure
+    // query serving, not the first fold.
+    loopback_get(addr, TARGET)?;
+
+    let start = Instant::now();
+    let total: u64 = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..CLIENTS)
+            .map(|_| {
+                scope.spawn(move || {
+                    let stream = TcpStream::connect(addr).expect("connect");
+                    let mut reader = BufReader::new(stream.try_clone().expect("clone"));
+                    let mut writer = stream;
+                    let mut n = 0u64;
+                    while start.elapsed() < WINDOW {
+                        request(&mut reader, &mut writer, TARGET).expect("request");
+                        n += 1;
+                    }
+                    n
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("client")).sum()
+    });
+    let secs = start.elapsed().as_secs_f64();
+    server.shutdown();
+    Ok(total as f64 / secs)
+}
+
+/// One GET over a fresh connection (used to warm the server).
+fn loopback_get(addr: SocketAddr, target: &str) -> std::io::Result<()> {
+    let stream = TcpStream::connect(addr)?;
+    let mut reader = BufReader::new(stream.try_clone()?);
+    let mut writer = stream;
+    request(&mut reader, &mut writer, target)
+}
+
+/// Sends one keep-alive GET and drains the response.
+fn request<R: BufRead, W: Write>(
+    reader: &mut R,
+    writer: &mut W,
+    target: &str,
+) -> std::io::Result<()> {
+    writer.write_all(format!("GET {target} HTTP/1.1\r\nhost: bench\r\n\r\n").as_bytes())?;
+    let mut line = String::new();
+    reader.read_line(&mut line)?;
+    assert!(line.contains("200"), "unexpected response: {line:?}");
+    let mut content_length = 0usize;
+    loop {
+        let mut header = String::new();
+        reader.read_line(&mut header)?;
+        let header = header.trim_end();
+        if header.is_empty() {
+            break;
+        }
+        if let Some((name, value)) = header.split_once(':') {
+            if name.trim().eq_ignore_ascii_case("content-length") {
+                content_length = value.trim().parse().expect("content-length");
+            }
+        }
+    }
+    let mut body = vec![0u8; content_length];
+    reader.read_exact(&mut body)?;
+    black_box(body.len());
+    Ok(())
 }
 
 fn write_json(path: &Path, bench: &str, metrics: &[(&str, f64)]) -> std::io::Result<()> {

@@ -82,4 +82,6 @@ pub use pipeline::{
 pub use service::{HistoryReader, HistoryService, HistorySnapshot, ServiceConfig};
 pub use store::{ExpiryOutcome, HistoryStore, SealedSegment, StoreScan, StoreStats};
 pub use table::{TableData, TableFile};
-pub use validity::{AffinityIndex, ValidityConfig, ValidityReport, Verdict};
+pub use validity::{
+    score_prefix, AffinityIndex, ConflictValidity, ValidityConfig, ValidityReport, Verdict,
+};

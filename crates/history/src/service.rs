@@ -32,15 +32,15 @@
 //! daemon, or each other, and two snapshots of the same epoch answer
 //! identically no matter what the writer did in between.
 
-use crate::compact::{Compactor, ConflictStore};
+use crate::compact::{Compactor, ConflictRecord, ConflictStore};
 use crate::daemon::{run_daemon, RetentionPolicy};
 use crate::segment::read_segment;
 use crate::store::{HistoryStore, OpenReport, StoreStats};
 use crate::table::TableData;
-use crate::validity::{ValidityConfig, ValidityReport};
+use crate::validity::{score_prefix, ConflictValidity, ValidityConfig, ValidityReport};
 use moas_monitor::metrics::EngineMetrics;
 use moas_monitor::SeqEvent;
-use moas_net::Date;
+use moas_net::{Date, Prefix};
 use std::io;
 use std::path::{Path, PathBuf};
 use std::sync::{Arc, Condvar, Mutex, OnceLock, RwLock};
@@ -268,6 +268,19 @@ impl HistoryService {
         st.store.attach_metrics(metrics);
     }
 
+    /// The metrics block attached via
+    /// [`HistoryService::attach_metrics`] (or by the streaming archive
+    /// pipeline), if any — what a query server surfaces under
+    /// `/v1/metrics`.
+    pub fn metrics_handle(&self) -> Option<Arc<EngineMetrics>> {
+        self.shared
+            .state
+            .lock()
+            .expect("state lock poisoned")
+            .store
+            .metrics_handle()
+    }
+
     /// Appends drained lifecycle events to the log. Rotation-sealed
     /// segments (a pathologically heavy day) are published to readers
     /// immediately; normally publication happens at the next
@@ -438,15 +451,31 @@ impl HistoryReader {
     /// Pins the current epoch and replays it into a queryable
     /// snapshot. Concurrent with the writer, the daemon, and other
     /// readers; two snapshots of the same epoch answer identically.
+    ///
+    /// Readers deliberately survive everything on the writer side: the
+    /// epoch slot only ever holds a fully published `Arc`, so even if
+    /// a writer-side thread panicked while holding the lock (poisoning
+    /// it), or the service has been [`HistoryService::close`]d, the
+    /// snapshot still serves the last published epoch.
     pub fn snapshot(&self) -> HistorySnapshot {
-        let epoch = Arc::clone(&self.shared.epoch.read().expect("epoch lock poisoned"));
+        let guard = self
+            .shared
+            .epoch
+            .read()
+            .unwrap_or_else(|poisoned| poisoned.into_inner());
+        let epoch = Arc::clone(&guard);
+        drop(guard);
         let conflicts = epoch.replay();
         HistorySnapshot { epoch, conflicts }
     }
 
     /// The current epoch number without building a snapshot.
     pub fn epoch(&self) -> u64 {
-        self.shared.epoch.read().expect("epoch lock poisoned").epoch
+        self.shared
+            .epoch
+            .read()
+            .unwrap_or_else(|poisoned| poisoned.into_inner())
+            .epoch
     }
 }
 
@@ -477,9 +506,28 @@ impl HistorySnapshot {
         &self.conflicts
     }
 
+    /// Events in the pinned epoch's hot tail (not yet compacted into
+    /// the table).
+    pub fn tail_events(&self) -> usize {
+        self.epoch.tail_events()
+    }
+
     /// §VI validity scoring over the snapshot.
     pub fn validity(&self, config: ValidityConfig) -> ValidityReport {
         ValidityReport::build(&self.conflicts, config)
+    }
+
+    /// Point lookup: the compacted record for one prefix, if it ever
+    /// conflicted in the retained history.
+    pub fn record(&self, prefix: &Prefix) -> Option<&ConflictRecord> {
+        self.conflicts.records().get(prefix)
+    }
+
+    /// Point lookup with §VI scoring: the exact row
+    /// [`HistorySnapshot::validity`] would contain for this prefix,
+    /// without scoring the other records.
+    pub fn validity_of(&self, prefix: &Prefix, config: ValidityConfig) -> Option<ConflictValidity> {
+        score_prefix(&self.conflicts, prefix, config)
     }
 
     /// Distinct conflicts observed on the given days (see

@@ -338,6 +338,11 @@ impl HistoryStore {
         self.publish_metrics();
     }
 
+    /// The attached metrics block, if any.
+    pub fn metrics_handle(&self) -> Option<Arc<EngineMetrics>> {
+        self.metrics.clone()
+    }
+
     /// The store directory.
     pub fn dir(&self) -> &Path {
         &self.dir

@@ -215,28 +215,7 @@ impl ValidityReport {
     ) -> ConflictValidity {
         let open_secs = rec.open_secs(now);
         let rank = sorted_durations.partition_point(|&d| d <= open_secs);
-        let longevity_percentile = if sorted_durations.is_empty() {
-            0.0
-        } else {
-            rank as f64 / sorted_durations.len() as f64
-        };
-        let verdict = if open_secs > config.threshold_secs {
-            Verdict::LikelyValid
-        } else if store.affinity().max_pair_count(rec.prefix, &rec.origins)
-            >= config.affinity_min_episodes
-        {
-            Verdict::RecurringValid
-        } else {
-            Verdict::LikelyInvalid
-        };
-        ConflictValidity {
-            prefix: rec.prefix,
-            open_secs,
-            episodes: rec.episode_count(),
-            flaps: rec.flap_count,
-            longevity_percentile,
-            verdict,
-        }
+        score_with_rank(rec, store, config, now, rank, sorted_durations.len())
     }
 
     /// The verdict for a prefix, if it ever conflicted.
@@ -272,6 +251,61 @@ impl ValidityReport {
     /// practice — the paper's "useful but not sufficient", quantified.
     pub fn reconcile(&self, tl: &Timeline, threshold_days: u32) -> HeuristicScore {
         score_duration_heuristic(tl, threshold_days, |p| self.is_valid(p))
+    }
+}
+
+/// Scores one prefix without building the whole report — the
+/// point-lookup path a query server takes for `GET /v1/prefix/{p}`.
+/// The rank is computed by a linear count instead of a sort, so the
+/// percentile (and everything else) is identical to the same prefix's
+/// row in [`ValidityReport::build`].
+pub fn score_prefix(
+    store: &ConflictStore,
+    prefix: &Prefix,
+    config: ValidityConfig,
+) -> Option<ConflictValidity> {
+    let rec = store.records().get(prefix)?;
+    let now = store.last_event_at;
+    let open_secs = rec.open_secs(now);
+    let total = store.records().len();
+    let rank = store
+        .records()
+        .values()
+        .filter(|r| r.open_secs(now) <= open_secs)
+        .count();
+    Some(score_with_rank(rec, store, config, now, rank, total))
+}
+
+fn score_with_rank(
+    rec: &ConflictRecord,
+    store: &ConflictStore,
+    config: ValidityConfig,
+    now: u32,
+    rank: usize,
+    total: usize,
+) -> ConflictValidity {
+    let open_secs = rec.open_secs(now);
+    let longevity_percentile = if total == 0 {
+        0.0
+    } else {
+        rank as f64 / total as f64
+    };
+    let verdict = if open_secs > config.threshold_secs {
+        Verdict::LikelyValid
+    } else if store.affinity().max_pair_count(rec.prefix, &rec.origins)
+        >= config.affinity_min_episodes
+    {
+        Verdict::RecurringValid
+    } else {
+        Verdict::LikelyInvalid
+    };
+    ConflictValidity {
+        prefix: rec.prefix,
+        open_secs,
+        episodes: rec.episode_count(),
+        flaps: rec.flap_count,
+        longevity_percentile,
+        verdict,
     }
 }
 
@@ -360,6 +394,37 @@ mod tests {
         assert_eq!(long_row.longevity_percentile, 1.0);
         let fault_row = report.conflicts.iter().find(|c| c.prefix == fault).unwrap();
         assert!(fault_row.longevity_percentile < 1.0);
+    }
+
+    /// The point-lookup scorer returns exactly the row the full report
+    /// would contain — percentile included.
+    #[test]
+    fn score_prefix_matches_full_report() {
+        let mut seq = 0;
+        let mut events = Vec::new();
+        for (i, days) in [30u32, 3, 1, 12, 5].iter().enumerate() {
+            let px = p(&format!("10.1.{i}.0/24"));
+            events.extend(open_close(
+                &mut seq,
+                px,
+                &[7, 9 + i as u32],
+                0,
+                Some(days * 86_400),
+            ));
+        }
+        let store = ConflictStore::from_events(&events);
+        let config = ValidityConfig::with_threshold_days(7);
+        let report = ValidityReport::build(&store, config);
+        for row in &report.conflicts {
+            let single = score_prefix(&store, &row.prefix, config).expect("prefix is in store");
+            assert_eq!(single.prefix, row.prefix);
+            assert_eq!(single.open_secs, row.open_secs);
+            assert_eq!(single.episodes, row.episodes);
+            assert_eq!(single.flaps, row.flaps);
+            assert_eq!(single.longevity_percentile, row.longevity_percentile);
+            assert_eq!(single.verdict, row.verdict);
+        }
+        assert!(score_prefix(&store, &p("203.0.113.0/24"), config).is_none());
     }
 
     #[test]

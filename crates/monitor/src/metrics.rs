@@ -124,3 +124,30 @@ pub struct MetricsSnapshot {
     /// Conflict records an attached history store has compacted.
     pub store_records_compacted: u64,
 }
+
+impl MetricsSnapshot {
+    /// Every counter with its name, in declaration order — the
+    /// serialization surface for exporters (the query server's
+    /// `/v1/metrics`, log lines) so they never fall out of sync with
+    /// the struct.
+    pub fn fields(&self) -> [(&'static str, u64); 16] {
+        [
+            ("records_ingested", self.records_ingested),
+            ("records_skipped", self.records_skipped),
+            ("updates_routed", self.updates_routed),
+            ("updates_applied", self.updates_applied),
+            ("spurious_withdrawals", self.spurious_withdrawals),
+            ("events_emitted", self.events_emitted),
+            ("batches_sent", self.batches_sent),
+            ("day_marks", self.day_marks),
+            ("queries_served", self.queries_served),
+            ("store_segments_written", self.store_segments_written),
+            ("store_segments_expired", self.store_segments_expired),
+            ("store_tables_written", self.store_tables_written),
+            ("store_bytes_retained", self.store_bytes_retained),
+            ("store_bytes_lifetime", self.store_bytes_lifetime),
+            ("store_compaction_lag", self.store_compaction_lag),
+            ("store_records_compacted", self.store_records_compacted),
+        ]
+    }
+}

@@ -1,0 +1,211 @@
+//! The epoch-keyed response cache.
+//!
+//! Every cached entry is keyed by `(epoch, canonical query)`: a hit
+//! costs one `Arc` clone instead of a validity recompute plus JSON
+//! render. Because history answers only change when the service
+//! publishes a new [`moas_history::service::HistoryEpoch`], the whole
+//! cache is invalidated the moment a request arrives pinned to a newer
+//! epoch — there is no per-entry TTL to tune and a stale answer can
+//! never be served for a fresh epoch.
+
+use crate::http::Response;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Point-in-time cache counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize)]
+pub struct CacheStats {
+    /// Lookups answered from the cache.
+    pub hits: u64,
+    /// Lookups that had to compute.
+    pub misses: u64,
+    /// Whole-cache invalidations caused by epoch advances.
+    pub invalidations: u64,
+    /// Entries evicted by the LRU capacity bound.
+    pub evictions: u64,
+    /// Entries currently held.
+    pub entries: u64,
+    /// Configured capacity (0 = caching disabled).
+    pub capacity: u64,
+}
+
+struct Entry {
+    response: Arc<Response>,
+    last_used: u64,
+}
+
+struct Inner {
+    /// The epoch current entries belong to.
+    epoch: u64,
+    /// LRU clock; bumped on every touch.
+    tick: u64,
+    map: HashMap<String, Entry>,
+}
+
+/// An LRU response cache keyed by `(epoch, canonical query)`.
+pub struct ResponseCache {
+    capacity: usize,
+    inner: Mutex<Inner>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    invalidations: AtomicU64,
+    evictions: AtomicU64,
+}
+
+impl ResponseCache {
+    /// A cache holding up to `capacity` rendered responses per epoch.
+    /// Zero disables caching (every lookup is a miss).
+    pub fn new(capacity: usize) -> Self {
+        ResponseCache {
+            capacity,
+            inner: Mutex::new(Inner {
+                epoch: 0,
+                tick: 0,
+                map: HashMap::new(),
+            }),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            invalidations: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+        }
+    }
+
+    /// Looks up a rendered response for `key` at `epoch`. An epoch
+    /// advance observed here drops every entry first.
+    pub fn get(&self, epoch: u64, key: &str) -> Option<Arc<Response>> {
+        let mut inner = self.inner.lock().expect("cache lock poisoned");
+        self.reconcile_epoch(&mut inner, epoch);
+        inner.tick += 1;
+        let tick = inner.tick;
+        match inner.map.get_mut(key) {
+            Some(entry) => {
+                entry.last_used = tick;
+                let resp = Arc::clone(&entry.response);
+                drop(inner);
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                Some(resp)
+            }
+            None => {
+                drop(inner);
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// Stores a rendered response for `key` at `epoch`, evicting the
+    /// least-recently-used entry if the cache is full.
+    pub fn put(&self, epoch: u64, key: String, response: Arc<Response>) {
+        if self.capacity == 0 {
+            return;
+        }
+        let mut inner = self.inner.lock().expect("cache lock poisoned");
+        self.reconcile_epoch(&mut inner, epoch);
+        if epoch != inner.epoch {
+            // A newer epoch was already observed; this render is stale.
+            return;
+        }
+        inner.tick += 1;
+        let tick = inner.tick;
+        inner.map.insert(
+            key,
+            Entry {
+                response,
+                last_used: tick,
+            },
+        );
+        if inner.map.len() > self.capacity {
+            if let Some(oldest) = inner
+                .map
+                .iter()
+                .min_by_key(|(_, e)| e.last_used)
+                .map(|(k, _)| k.clone())
+            {
+                inner.map.remove(&oldest);
+                self.evictions.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    }
+
+    fn reconcile_epoch(&self, inner: &mut Inner, epoch: u64) {
+        // Epochs published by the history service are monotonic;
+        // ignore a request pinned to an older epoch racing a newer
+        // one so the newer entries survive.
+        if epoch > inner.epoch {
+            if !inner.map.is_empty() {
+                self.invalidations.fetch_add(1, Ordering::Relaxed);
+                inner.map.clear();
+            }
+            inner.epoch = epoch;
+        }
+    }
+
+    /// Current counters.
+    pub fn stats(&self) -> CacheStats {
+        let entries = self.inner.lock().expect("cache lock poisoned").map.len() as u64;
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            invalidations: self.invalidations.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+            entries,
+            capacity: self.capacity as u64,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn resp(tag: &str) -> Arc<Response> {
+        Arc::new(Response::ok_json(format!("{{\"tag\":\"{tag}\"}}")))
+    }
+
+    #[test]
+    fn hit_after_put_same_epoch() {
+        let cache = ResponseCache::new(8);
+        assert!(cache.get(1, "/v1/stats").is_none());
+        cache.put(1, "/v1/stats".into(), resp("a"));
+        let hit = cache.get(1, "/v1/stats").expect("hit");
+        assert_eq!(hit.body, "{\"tag\":\"a\"}");
+        let stats = cache.stats();
+        assert_eq!((stats.hits, stats.misses), (1, 1));
+    }
+
+    #[test]
+    fn epoch_advance_invalidates_everything() {
+        let cache = ResponseCache::new(8);
+        cache.put(1, "a".into(), resp("a"));
+        cache.put(1, "b".into(), resp("b"));
+        assert!(cache.get(2, "a").is_none(), "old epoch entries dropped");
+        assert!(cache.get(2, "b").is_none());
+        assert_eq!(cache.stats().invalidations, 1);
+        assert_eq!(cache.stats().entries, 0);
+        // A put raced by a newer epoch must not resurrect stale data.
+        cache.put(1, "a".into(), resp("stale"));
+        assert!(cache.get(2, "a").is_none());
+    }
+
+    #[test]
+    fn lru_evicts_least_recently_used() {
+        let cache = ResponseCache::new(2);
+        cache.put(1, "a".into(), resp("a"));
+        cache.put(1, "b".into(), resp("b"));
+        cache.get(1, "a");
+        cache.put(1, "c".into(), resp("c"));
+        assert!(cache.get(1, "a").is_some(), "recently used survives");
+        assert!(cache.get(1, "b").is_none(), "LRU entry evicted");
+        assert!(cache.get(1, "c").is_some());
+        assert_eq!(cache.stats().evictions, 1);
+    }
+
+    #[test]
+    fn zero_capacity_disables_caching() {
+        let cache = ResponseCache::new(0);
+        cache.put(1, "a".into(), resp("a"));
+        assert!(cache.get(1, "a").is_none());
+        assert_eq!(cache.stats().entries, 0);
+    }
+}

@@ -1,0 +1,468 @@
+//! A minimal hand-rolled HTTP/1.1 layer — just enough protocol for a
+//! loopback-testable, dependency-free query API: request-line and
+//! header parsing, percent-decoding, `Content-Length` bodies,
+//! keep-alive negotiation, and status-mapped JSON responses.
+//!
+//! The parser is deliberately strict and bounded: a request head over
+//! [`MAX_HEAD_BYTES`] or a body over [`MAX_BODY_BYTES`] is rejected
+//! before it is buffered, so a misbehaving client cannot balloon a
+//! worker's memory. Anything malformed maps to a 400 response at the
+//! connection layer; route-level errors (404, 500) are produced by the
+//! router.
+
+use std::io::{self, BufRead, Write};
+
+/// Cap on the request line plus headers, in bytes.
+pub const MAX_HEAD_BYTES: usize = 8 * 1024;
+/// Cap on a declared `Content-Length` body, in bytes.
+pub const MAX_BODY_BYTES: usize = 64 * 1024;
+
+/// A parsed request.
+#[derive(Debug, Clone)]
+pub struct Request {
+    /// Request method, upper-case as received (`GET`, `POST`, …).
+    pub method: String,
+    /// Percent-decoded path, query string excluded. Always starts
+    /// with `/`.
+    pub path: String,
+    /// Percent-decoded query parameters in arrival order.
+    pub query: Vec<(String, String)>,
+    /// Headers as `(lower-cased name, value)` pairs.
+    pub headers: Vec<(String, String)>,
+    /// The body, if a `Content-Length` was declared.
+    pub body: Vec<u8>,
+    /// Whether the connection should stay open after the response
+    /// (HTTP/1.1 default, overridden by `Connection:` headers).
+    pub keep_alive: bool,
+}
+
+impl Request {
+    /// First header with the given (case-insensitive) name.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        let name = name.to_ascii_lowercase();
+        self.headers
+            .iter()
+            .find(|(n, _)| *n == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// First query parameter with the given name.
+    pub fn query_value(&self, key: &str) -> Option<&str> {
+        self.query
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// The canonical cache key for this request: the path plus the
+    /// query parameters sorted by name, so `?a=1&b=2` and `?b=2&a=1`
+    /// share a cache entry. Components are stored percent-*decoded*,
+    /// so the delimiters are re-escaped here — otherwise `?a=1&b=2`
+    /// and `?a=1%26b%3D2` (one parameter whose value contains `&`)
+    /// would collide on one key and be served each other's cached
+    /// answer.
+    pub fn canonical_query(&self) -> String {
+        let mut pairs: Vec<&(String, String)> = self.query.iter().collect();
+        pairs.sort();
+        let mut out = String::with_capacity(self.path.len() + 16);
+        escape_component(&self.path, &mut out);
+        for (i, (k, v)) in pairs.iter().enumerate() {
+            out.push(if i == 0 { '?' } else { '&' });
+            escape_component(k, &mut out);
+            out.push('=');
+            escape_component(v, &mut out);
+        }
+        out
+    }
+}
+
+/// Why reading a request off a connection failed.
+#[derive(Debug)]
+pub enum RequestError {
+    /// The peer closed the connection cleanly before sending a
+    /// request — the normal end of a keep-alive session.
+    Closed,
+    /// The read timed out (idle keep-alive connection).
+    Timeout,
+    /// The bytes were not a parseable HTTP/1.x request → 400.
+    Malformed(String),
+    /// Head or body exceeded the configured caps → 400.
+    TooLarge,
+    /// Transport error mid-request.
+    Io(io::Error),
+}
+
+/// Reads one request from a buffered connection.
+pub fn read_request<R: BufRead>(reader: &mut R) -> Result<Request, RequestError> {
+    let mut head = Vec::with_capacity(256);
+    let first = read_line(reader, &mut head)?;
+    if head.is_empty() {
+        // No bytes at all: the peer closed a (keep-alive) connection.
+        return Err(RequestError::Closed);
+    }
+    let (method, target) = parse_request_line(&first)?;
+
+    let mut headers = Vec::new();
+    loop {
+        if head.len() > MAX_HEAD_BYTES {
+            return Err(RequestError::TooLarge);
+        }
+        let line = read_line(reader, &mut head)?;
+        if line.is_empty() {
+            break;
+        }
+        let (name, value) = line
+            .split_once(':')
+            .ok_or_else(|| RequestError::Malformed(format!("header without ':': {line:?}")))?;
+        headers.push((name.trim().to_ascii_lowercase(), value.trim().to_string()));
+    }
+
+    let content_length = match headers.iter().find(|(n, _)| n == "content-length") {
+        Some((_, v)) => v
+            .parse::<usize>()
+            .map_err(|_| RequestError::Malformed(format!("bad content-length {v:?}")))?,
+        None => 0,
+    };
+    if content_length > MAX_BODY_BYTES {
+        return Err(RequestError::TooLarge);
+    }
+    let mut body = vec![0u8; content_length];
+    if content_length > 0 {
+        io::Read::read_exact(reader, &mut body).map_err(map_io)?;
+    }
+
+    let version_keep_alive = !first.ends_with("HTTP/1.0");
+    let keep_alive = match headers
+        .iter()
+        .find(|(n, _)| n == "connection")
+        .map(|(_, v)| v.to_ascii_lowercase())
+    {
+        Some(v) if v.contains("close") => false,
+        Some(v) if v.contains("keep-alive") => true,
+        _ => version_keep_alive,
+    };
+
+    let (path_raw, query_raw) = match target.split_once('?') {
+        Some((p, q)) => (p, Some(q)),
+        None => (target.as_str(), None),
+    };
+    let path = percent_decode(path_raw)?;
+    if !path.starts_with('/') {
+        return Err(RequestError::Malformed(format!(
+            "target must be origin-form, got {target:?}"
+        )));
+    }
+    let mut query = Vec::new();
+    if let Some(q) = query_raw {
+        for pair in q.split('&').filter(|p| !p.is_empty()) {
+            let (k, v) = pair.split_once('=').unwrap_or((pair, ""));
+            query.push((percent_decode(k)?, percent_decode(v)?));
+        }
+    }
+
+    Ok(Request {
+        method,
+        path,
+        query,
+        headers,
+        body,
+        keep_alive,
+    })
+}
+
+/// Reads one CRLF- (or LF-) terminated line, charging its bytes
+/// against the shared head budget.
+fn read_line<R: BufRead>(reader: &mut R, head: &mut Vec<u8>) -> Result<String, RequestError> {
+    let start = head.len();
+    loop {
+        let n = reader.read_until(b'\n', head).map_err(map_io)?;
+        if n == 0 {
+            // EOF: an empty buffer is a clean close, a partial line is
+            // a truncated request.
+            if head[start..].is_empty() {
+                return Ok(String::new());
+            }
+            return Err(RequestError::Malformed("truncated request head".into()));
+        }
+        if head.len() - start > MAX_HEAD_BYTES {
+            return Err(RequestError::TooLarge);
+        }
+        if head.ends_with(b"\n") {
+            break;
+        }
+    }
+    let mut line = &head[start..];
+    while line.last().is_some_and(|&b| b == b'\n' || b == b'\r') {
+        line = &line[..line.len() - 1];
+    }
+    String::from_utf8(line.to_vec())
+        .map_err(|_| RequestError::Malformed("non-utf8 request head".into()))
+}
+
+fn parse_request_line(line: &str) -> Result<(String, String), RequestError> {
+    let mut parts = line.split(' ');
+    let (method, target, version) = match (parts.next(), parts.next(), parts.next(), parts.next()) {
+        (Some(m), Some(t), Some(v), None) if !m.is_empty() && !t.is_empty() => (m, t, v),
+        _ => {
+            return Err(RequestError::Malformed(format!(
+                "bad request line {line:?}"
+            )))
+        }
+    };
+    if !version.starts_with("HTTP/1.") {
+        return Err(RequestError::Malformed(format!(
+            "unsupported version {version:?}"
+        )));
+    }
+    Ok((method.to_string(), target.to_string()))
+}
+
+fn map_io(e: io::Error) -> RequestError {
+    match e.kind() {
+        io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut => RequestError::Timeout,
+        io::ErrorKind::UnexpectedEof => RequestError::Malformed("truncated body".into()),
+        _ => RequestError::Io(e),
+    }
+}
+
+/// Re-escapes the characters that delimit cache-key components
+/// (`%`, `&`, `=`, `?`), making [`Request::canonical_query`]
+/// injective over decoded parts.
+fn escape_component(s: &str, out: &mut String) {
+    for c in s.chars() {
+        match c {
+            '%' => out.push_str("%25"),
+            '&' => out.push_str("%26"),
+            '=' => out.push_str("%3d"),
+            '?' => out.push_str("%3f"),
+            _ => out.push(c),
+        }
+    }
+}
+
+/// Decodes `%XX` escapes and `+`-as-space.
+fn percent_decode(s: &str) -> Result<String, RequestError> {
+    let bytes = s.as_bytes();
+    let mut out = Vec::with_capacity(bytes.len());
+    let mut i = 0;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'%' => {
+                let hex = bytes
+                    .get(i + 1..i + 3)
+                    .ok_or_else(|| RequestError::Malformed("truncated % escape".into()))?;
+                let v = u8::from_str_radix(
+                    std::str::from_utf8(hex)
+                        .map_err(|_| RequestError::Malformed("bad % escape".into()))?,
+                    16,
+                )
+                .map_err(|_| RequestError::Malformed(format!("bad %% escape in {s:?}")))?;
+                out.push(v);
+                i += 3;
+            }
+            b'+' => {
+                out.push(b' ');
+                i += 1;
+            }
+            b => {
+                out.push(b);
+                i += 1;
+            }
+        }
+    }
+    String::from_utf8(out).map_err(|_| RequestError::Malformed("non-utf8 percent data".into()))
+}
+
+/// A response ready to serialize onto the wire.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Response {
+    /// HTTP status code.
+    pub status: u16,
+    /// `Content-Type` header value.
+    pub content_type: &'static str,
+    /// The body bytes (always a complete JSON document here).
+    pub body: String,
+}
+
+impl Response {
+    /// A 200 with a JSON body.
+    pub fn ok_json(body: String) -> Self {
+        Response {
+            status: 200,
+            content_type: "application/json",
+            body,
+        }
+    }
+
+    /// An error response with a small JSON body naming the problem.
+    pub fn error(status: u16, message: &str) -> Self {
+        let body = serde_json::to_string(&serde::Value::Object(vec![
+            ("status".to_string(), serde::Value::U64(status as u64)),
+            (
+                "error".to_string(),
+                serde::Value::String(message.to_string()),
+            ),
+        ]))
+        .expect("value rendering is total");
+        Response {
+            status,
+            content_type: "application/json",
+            body,
+        }
+    }
+
+    /// The reason phrase for the statuses this server emits.
+    pub fn status_text(status: u16) -> &'static str {
+        match status {
+            200 => "OK",
+            400 => "Bad Request",
+            404 => "Not Found",
+            405 => "Method Not Allowed",
+            500 => "Internal Server Error",
+            503 => "Service Unavailable",
+            _ => "Unknown",
+        }
+    }
+
+    /// Writes the response, with `Content-Length` and the appropriate
+    /// `Connection` header.
+    pub fn write_to<W: Write>(&self, w: &mut W, keep_alive: bool) -> io::Result<()> {
+        let head = format!(
+            "HTTP/1.1 {} {}\r\ncontent-type: {}\r\ncontent-length: {}\r\nconnection: {}\r\n\r\n",
+            self.status,
+            Self::status_text(self.status),
+            self.content_type,
+            self.body.len(),
+            if keep_alive { "keep-alive" } else { "close" },
+        );
+        w.write_all(head.as_bytes())?;
+        w.write_all(self.body.as_bytes())?;
+        w.flush()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::BufReader;
+
+    fn parse(text: &str) -> Result<Request, RequestError> {
+        read_request(&mut BufReader::new(text.as_bytes()))
+    }
+
+    #[test]
+    fn parses_request_line_query_and_headers() {
+        let req = parse(
+            "GET /v1/validity?min_duration=60&limit=2 HTTP/1.1\r\nHost: x\r\nX-Trace: 7\r\n\r\n",
+        )
+        .unwrap();
+        assert_eq!(req.method, "GET");
+        assert_eq!(req.path, "/v1/validity");
+        assert_eq!(req.query_value("min_duration"), Some("60"));
+        assert_eq!(req.query_value("limit"), Some("2"));
+        assert_eq!(req.header("host"), Some("x"));
+        assert_eq!(req.header("HOST"), Some("x"));
+        assert!(req.keep_alive, "HTTP/1.1 defaults to keep-alive");
+    }
+
+    #[test]
+    fn canonical_query_sorts_parameters() {
+        let a = parse("GET /v1/x?b=2&a=1 HTTP/1.1\r\n\r\n").unwrap();
+        let b = parse("GET /v1/x?a=1&b=2 HTTP/1.1\r\n\r\n").unwrap();
+        assert_eq!(a.canonical_query(), b.canonical_query());
+        assert_eq!(a.canonical_query(), "/v1/x?a=1&b=2");
+        let bare = parse("GET /v1/x HTTP/1.1\r\n\r\n").unwrap();
+        assert_eq!(bare.canonical_query(), "/v1/x");
+    }
+
+    /// Decoded delimiters are re-escaped in the cache key: a value
+    /// *containing* `&`/`=` must not collide with two real
+    /// parameters (they would be served each other's cached answer).
+    #[test]
+    fn canonical_query_is_injective_over_decoded_components() {
+        let two_params = parse("GET /v1/x?foo=1&limit=5 HTTP/1.1\r\n\r\n").unwrap();
+        let one_param = parse("GET /v1/x?foo=1%26limit%3D5 HTTP/1.1\r\n\r\n").unwrap();
+        assert_eq!(one_param.query_value("foo"), Some("1&limit=5"));
+        assert_ne!(two_params.canonical_query(), one_param.canonical_query());
+        let tricky_path = parse("GET /v1/x%3Fa=1 HTTP/1.1\r\n\r\n").unwrap();
+        assert_eq!(tricky_path.path, "/v1/x?a=1");
+        assert_ne!(
+            tricky_path.canonical_query(),
+            parse("GET /v1/x?a=1 HTTP/1.1\r\n\r\n")
+                .unwrap()
+                .canonical_query()
+        );
+    }
+
+    #[test]
+    fn percent_decoding_applies_to_path_and_query() {
+        let req = parse("GET /v1/prefix/192.0.2.0%2F24?x=a+b%21 HTTP/1.1\r\n\r\n").unwrap();
+        assert_eq!(req.path, "/v1/prefix/192.0.2.0/24");
+        assert_eq!(req.query_value("x"), Some("a b!"));
+    }
+
+    #[test]
+    fn connection_header_overrides_version_default() {
+        let close = parse("GET / HTTP/1.1\r\nConnection: close\r\n\r\n").unwrap();
+        assert!(!close.keep_alive);
+        let old = parse("GET / HTTP/1.0\r\n\r\n").unwrap();
+        assert!(!old.keep_alive, "HTTP/1.0 defaults to close");
+        let ka = parse("GET / HTTP/1.0\r\nConnection: keep-alive\r\n\r\n").unwrap();
+        assert!(ka.keep_alive);
+    }
+
+    #[test]
+    fn content_length_body_is_read() {
+        let req = parse("POST /x HTTP/1.1\r\nContent-Length: 5\r\n\r\nhello").unwrap();
+        assert_eq!(req.body, b"hello");
+    }
+
+    #[test]
+    fn malformed_requests_are_rejected() {
+        for bad in [
+            "\r\n\r\n",
+            "GET\r\n\r\n",
+            "GET /x HTTP/2\r\n\r\n",
+            "GET /x HTTP/1.1\r\nno-colon-header\r\n\r\n",
+            "GET /x HTTP/1.1\r\nContent-Length: nan\r\n\r\n",
+            "GET x HTTP/1.1\r\n\r\n",
+            "GET /%zz HTTP/1.1\r\n\r\n",
+        ] {
+            assert!(
+                matches!(parse(bad), Err(RequestError::Malformed(_))),
+                "{bad:?} must be malformed"
+            );
+        }
+    }
+
+    #[test]
+    fn clean_eof_is_closed_oversize_is_too_large() {
+        assert!(matches!(parse(""), Err(RequestError::Closed)));
+        let huge = format!(
+            "GET /x HTTP/1.1\r\npad: {}\r\n\r\n",
+            "y".repeat(MAX_HEAD_BYTES)
+        );
+        assert!(matches!(parse(&huge), Err(RequestError::TooLarge)));
+        let body = format!(
+            "POST /x HTTP/1.1\r\nContent-Length: {}\r\n\r\n",
+            MAX_BODY_BYTES + 1
+        );
+        assert!(matches!(parse(&body), Err(RequestError::TooLarge)));
+    }
+
+    #[test]
+    fn response_wire_format() {
+        let mut out = Vec::new();
+        Response::ok_json("{\"a\":1}".to_string())
+            .write_to(&mut out, true)
+            .unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.starts_with("HTTP/1.1 200 OK\r\n"));
+        assert!(text.contains("content-length: 7\r\n"));
+        assert!(text.contains("connection: keep-alive\r\n"));
+        assert!(text.ends_with("\r\n\r\n{\"a\":1}"));
+
+        let err = Response::error(404, "no such route");
+        assert_eq!(err.body, "{\"status\":404,\"error\":\"no such route\"}");
+    }
+}

@@ -1,0 +1,89 @@
+//! # moas-serve — the concurrent MOAS query-serving subsystem
+//!
+//! The ROADMAP's north star is a system that *serves* — and the
+//! history service already publishes lock-free, epoch-pinned
+//! snapshots that nothing outside the process could reach. This crate
+//! is the network surface over them: a std-only (no async runtime,
+//! loopback-testable offline) HTTP/1.1 query server in the mold of
+//! operator-facing BGP analysis systems, answering the per-prefix
+//! longevity and validity questions the long-lived-MOAS literature
+//! shows users actually ask.
+//!
+//! ```text
+//!               clients (curl, dashboards, tests)
+//!                      │ GET /v1/...
+//!                      ▼
+//!   accept loop ─▶ bounded queue ─▶ workers ─▶ QueryService::respond
+//!        │ 503 when full                           │
+//!        │                                         ├─ cache (epoch, query) ── hit: Arc clone
+//!        ▼                                         ▼ miss
+//!   ServerMetrics                        HistoryReader::snapshot()
+//!   (requests, in-flight,                epoch-pinned replay → JSON
+//!    latency rings, cache)               (never blocks the writer)
+//! ```
+//!
+//! * [`http`] — minimal hand-rolled HTTP/1.1: bounded head/body
+//!   parsing, percent-decoding, keep-alive, status-mapped responses.
+//! * [`server`] — [`QueryServer`]: accept loop, bounded worker pool,
+//!   backpressure (503), per-connection read timeouts, graceful
+//!   shutdown.
+//! * [`routes`] — [`QueryService`]: the router over an epoch-pinned
+//!   [`moas_history::HistorySnapshot`] (`/v1/stats`, `/v1/validity`,
+//!   `/v1/conflicts`, `/v1/prefix/{prefix}`, `/v1/timeline`,
+//!   `/v1/metrics`).
+//! * [`cache`] — the epoch-keyed LRU response cache: hot queries cost
+//!   one `Arc` clone; every epoch advance invalidates wholesale.
+//! * [`metrics`] — [`metrics::ServerMetrics`]: request and connection
+//!   counters plus p50/p99 latency rings, served under `/v1/metrics`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cache;
+pub mod http;
+pub mod metrics;
+pub mod routes;
+pub mod server;
+
+pub use cache::{CacheStats, ResponseCache};
+pub use http::{Request, RequestError, Response};
+pub use metrics::{ServerMetrics, ServerStats};
+pub use routes::QueryService;
+pub use server::QueryServer;
+
+use moas_net::Date;
+use std::time::Duration;
+
+/// Server tuning knobs.
+#[derive(Debug, Clone, Copy)]
+pub struct ServerConfig {
+    /// Worker threads handling connections.
+    pub workers: usize,
+    /// Accepted connections that may wait for a worker before the
+    /// accept loop answers 503.
+    pub queue_depth: usize,
+    /// Per-connection read timeout; an idle keep-alive connection is
+    /// closed when it trips.
+    pub read_timeout: Duration,
+    /// Requests served per connection before it is closed (bounds the
+    /// damage of a stuck client).
+    pub keep_alive_requests: u32,
+    /// Response-cache entries per epoch (0 disables caching).
+    pub cache_capacity: usize,
+    /// Date of day position 0 — how `/v1/timeline` maps day offsets to
+    /// dates (mirror [`moas_history::ServiceConfig::start_date`]).
+    pub start_date: Date,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            workers: std::thread::available_parallelism().map_or(4, |n| n.get().min(8)),
+            queue_depth: 64,
+            read_timeout: Duration::from_secs(5),
+            keep_alive_requests: 10_000,
+            cache_capacity: 256,
+            start_date: Date::ymd(1970, 1, 1),
+        }
+    }
+}

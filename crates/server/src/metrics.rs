@@ -1,0 +1,183 @@
+//! Server-side counters and latency tracking.
+//!
+//! Counters are plain relaxed atomics — recording them never contends
+//! with request handling. Latency is kept in a fixed ring of the most
+//! recent [`LATENCY_RING`] request durations; p50/p99 are computed on
+//! demand by copying and sorting the ring, which is cheap enough for a
+//! metrics endpoint and keeps the hot path to one store per request.
+
+use crate::cache::CacheStats;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Number of recent request latencies retained for percentiles.
+pub const LATENCY_RING: usize = 1024;
+
+/// Live counters for a running query server.
+pub struct ServerMetrics {
+    /// Connections accepted by the listener.
+    pub connections_accepted: AtomicU64,
+    /// Connections rejected with 503 because the queue was full.
+    pub connections_rejected: AtomicU64,
+    /// Requests parsed and routed.
+    pub requests: AtomicU64,
+    /// Requests currently being handled (gauge).
+    pub in_flight: AtomicU64,
+    /// Responses with a 2xx status.
+    pub responses_ok: AtomicU64,
+    /// Responses with a 4xx status.
+    pub responses_client_error: AtomicU64,
+    /// Responses with a 5xx status.
+    pub responses_server_error: AtomicU64,
+    /// Connections dropped by the idle read timeout.
+    pub read_timeouts: AtomicU64,
+    /// Connections dropped because the request did not parse.
+    pub malformed_requests: AtomicU64,
+    ring: [AtomicU64; LATENCY_RING],
+    ring_cursor: AtomicU64,
+    ring_filled: AtomicU64,
+}
+
+impl Default for ServerMetrics {
+    fn default() -> Self {
+        ServerMetrics {
+            connections_accepted: AtomicU64::new(0),
+            connections_rejected: AtomicU64::new(0),
+            requests: AtomicU64::new(0),
+            in_flight: AtomicU64::new(0),
+            responses_ok: AtomicU64::new(0),
+            responses_client_error: AtomicU64::new(0),
+            responses_server_error: AtomicU64::new(0),
+            read_timeouts: AtomicU64::new(0),
+            malformed_requests: AtomicU64::new(0),
+            ring: std::array::from_fn(|_| AtomicU64::new(0)),
+            ring_cursor: AtomicU64::new(0),
+            ring_filled: AtomicU64::new(0),
+        }
+    }
+}
+
+impl ServerMetrics {
+    /// Records one request's wall-clock duration.
+    pub fn record_latency(&self, micros: u64) {
+        let slot = self.ring_cursor.fetch_add(1, Ordering::Relaxed) as usize % LATENCY_RING;
+        self.ring[slot].store(micros, Ordering::Relaxed);
+        self.ring_filled
+            .fetch_max(slot as u64 + 1, Ordering::Relaxed);
+    }
+
+    /// Tallies a response by status class.
+    pub fn record_status(&self, status: u16) {
+        let counter = match status {
+            200..=299 => &self.responses_ok,
+            400..=499 => &self.responses_client_error,
+            _ => &self.responses_server_error,
+        };
+        counter.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A point-in-time copy of every counter plus ring percentiles.
+    pub fn stats(&self, cache: CacheStats) -> ServerStats {
+        let filled = (self.ring_filled.load(Ordering::Relaxed) as usize).min(LATENCY_RING);
+        let mut window: Vec<u64> = self.ring[..filled]
+            .iter()
+            .map(|s| s.load(Ordering::Relaxed))
+            .collect();
+        window.sort_unstable();
+        let pct = |p: f64| -> u64 {
+            if window.is_empty() {
+                0
+            } else {
+                let idx = ((window.len() - 1) as f64 * p).round() as usize;
+                window[idx]
+            }
+        };
+        ServerStats {
+            connections_accepted: self.connections_accepted.load(Ordering::Relaxed),
+            connections_rejected: self.connections_rejected.load(Ordering::Relaxed),
+            requests: self.requests.load(Ordering::Relaxed),
+            in_flight: self.in_flight.load(Ordering::Relaxed),
+            responses_ok: self.responses_ok.load(Ordering::Relaxed),
+            responses_client_error: self.responses_client_error.load(Ordering::Relaxed),
+            responses_server_error: self.responses_server_error.load(Ordering::Relaxed),
+            read_timeouts: self.read_timeouts.load(Ordering::Relaxed),
+            malformed_requests: self.malformed_requests.load(Ordering::Relaxed),
+            latency_samples: window.len() as u64,
+            p50_micros: pct(0.50),
+            p99_micros: pct(0.99),
+            cache,
+        }
+    }
+}
+
+/// A frozen copy of [`ServerMetrics`], served under `/v1/metrics`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize)]
+pub struct ServerStats {
+    /// Connections accepted by the listener.
+    pub connections_accepted: u64,
+    /// Connections rejected with 503 (queue full).
+    pub connections_rejected: u64,
+    /// Requests parsed and routed.
+    pub requests: u64,
+    /// Requests currently being handled.
+    pub in_flight: u64,
+    /// 2xx responses.
+    pub responses_ok: u64,
+    /// 4xx responses.
+    pub responses_client_error: u64,
+    /// 5xx responses.
+    pub responses_server_error: u64,
+    /// Connections dropped by the idle read timeout.
+    pub read_timeouts: u64,
+    /// Connections dropped because the request did not parse.
+    pub malformed_requests: u64,
+    /// Latency samples currently in the ring.
+    pub latency_samples: u64,
+    /// Median request latency over the ring, in microseconds.
+    pub p50_micros: u64,
+    /// 99th-percentile request latency over the ring.
+    pub p99_micros: u64,
+    /// Response-cache counters.
+    pub cache: CacheStats,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cache::ResponseCache;
+
+    #[test]
+    fn percentiles_over_partial_ring() {
+        let m = ServerMetrics::default();
+        for v in [10u64, 20, 30, 40, 1000] {
+            m.record_latency(v);
+        }
+        let stats = m.stats(ResponseCache::new(4).stats());
+        assert_eq!(stats.latency_samples, 5);
+        assert_eq!(stats.p50_micros, 30);
+        assert_eq!(stats.p99_micros, 1000);
+    }
+
+    #[test]
+    fn ring_wraps_without_growing() {
+        let m = ServerMetrics::default();
+        for v in 0..(LATENCY_RING as u64 * 2) {
+            m.record_latency(v);
+        }
+        let stats = m.stats(ResponseCache::new(4).stats());
+        assert_eq!(stats.latency_samples, LATENCY_RING as u64);
+        // Only the second pass's values remain.
+        assert!(stats.p50_micros >= LATENCY_RING as u64);
+    }
+
+    #[test]
+    fn status_classes_tally() {
+        let m = ServerMetrics::default();
+        for s in [200, 200, 404, 400, 500, 503] {
+            m.record_status(s);
+        }
+        let stats = m.stats(ResponseCache::new(4).stats());
+        assert_eq!(stats.responses_ok, 2);
+        assert_eq!(stats.responses_client_error, 2);
+        assert_eq!(stats.responses_server_error, 2);
+    }
+}

@@ -1,0 +1,440 @@
+//! The query router: maps `GET /v1/...` requests onto epoch-pinned
+//! [`HistorySnapshot`] queries and renders the answers as JSON.
+//!
+//! Every request pins one epoch up front; all reads inside the handler
+//! come from that snapshot, so an answer can never mix two epochs no
+//! matter what the writer and compaction daemon do meanwhile. The
+//! response cache sits directly in [`QueryService::respond`], keyed by
+//! `(epoch, canonical query)`; `/v1/metrics` is the one uncached route
+//! (its answer changes with every request).
+//!
+//! | Route | Answer |
+//! |---|---|
+//! | `/v1/stats` | epoch, horizon, record counts, store counters |
+//! | `/v1/validity` | §VI validity report (threshold, affinity, percentile) |
+//! | `/v1/conflicts?date=` | prefixes in conflict on a day |
+//! | `/v1/prefix/{prefix}` | point lookup: record + §VI score |
+//! | `/v1/timeline?days=` | conflicts open per day |
+//! | `/v1/metrics` | server + engine counters |
+
+use crate::cache::{CacheStats, ResponseCache};
+use crate::http::{Request, Response};
+use crate::metrics::{ServerMetrics, ServerStats};
+use crate::ServerConfig;
+use moas_history::service::{HistoryReader, HistorySnapshot};
+use moas_history::{ConflictStore, ValidityConfig, Verdict};
+use moas_monitor::metrics::EngineMetrics;
+use moas_net::{Date, Prefix};
+use serde::{Serialize, Value};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::str::FromStr;
+use std::sync::Arc;
+
+/// The socket-independent request handler: an epoch-pinned router plus
+/// the response cache and server metrics. [`crate::QueryServer`] wraps
+/// it in TCP; tests can call [`QueryService::respond`] directly and
+/// compare byte-for-byte with what the wire returned.
+pub struct QueryService {
+    reader: HistoryReader,
+    config: ServerConfig,
+    cache: ResponseCache,
+    metrics: ServerMetrics,
+    engine: Option<Arc<EngineMetrics>>,
+}
+
+impl QueryService {
+    /// A service answering from the given reader.
+    pub fn new(reader: HistoryReader, config: ServerConfig) -> Self {
+        QueryService {
+            reader,
+            cache: ResponseCache::new(config.cache_capacity),
+            config,
+            metrics: ServerMetrics::default(),
+            engine: None,
+        }
+    }
+
+    /// Attaches a monitor engine's metrics block, surfaced under
+    /// `/v1/metrics` next to the server's own counters.
+    pub fn with_engine_metrics(mut self, engine: Arc<EngineMetrics>) -> Self {
+        self.engine = Some(engine);
+        self
+    }
+
+    /// The server-side counters (shared with the connection layer).
+    pub fn metrics(&self) -> &ServerMetrics {
+        &self.metrics
+    }
+
+    /// Response-cache counters.
+    pub fn cache_stats(&self) -> CacheStats {
+        self.cache.stats()
+    }
+
+    /// The tuning knobs this service runs with.
+    pub fn config(&self) -> &ServerConfig {
+        &self.config
+    }
+
+    /// Routes one request to a response. Hot queries are answered from
+    /// the epoch-keyed cache; a panicking handler maps to a 500 and
+    /// never takes the worker down.
+    pub fn respond(&self, req: &Request) -> Arc<Response> {
+        if req.method != "GET" {
+            return Arc::new(Response::error(
+                405,
+                &format!("method {} not allowed; only GET is supported", req.method),
+            ));
+        }
+        let snap = self.reader.snapshot();
+        let cacheable = req.path != "/v1/metrics";
+        let key = req.canonical_query();
+        if cacheable {
+            if let Some(hit) = self.cache.get(snap.epoch(), &key) {
+                return hit;
+            }
+        }
+        let response = catch_unwind(AssertUnwindSafe(|| {
+            self.route(&snap, req).unwrap_or_else(|err| err)
+        }))
+        .unwrap_or_else(|_| Response::error(500, "handler panicked"));
+        let response = Arc::new(response);
+        if cacheable && response.status == 200 {
+            self.cache.put(snap.epoch(), key, Arc::clone(&response));
+        }
+        response
+    }
+
+    fn route(&self, snap: &HistorySnapshot, req: &Request) -> Result<Response, Response> {
+        match req.path.as_str() {
+            "/v1/stats" => Ok(self.stats_route(snap)),
+            "/v1/validity" => self.validity_route(snap, req),
+            "/v1/conflicts" => self.conflicts_route(snap, req),
+            "/v1/timeline" => self.timeline_route(snap, req),
+            "/v1/metrics" => Ok(self.metrics_route()),
+            p => match p.strip_prefix("/v1/prefix/") {
+                Some(rest) if !rest.is_empty() => self.prefix_route(snap, rest, req),
+                _ => Err(Response::error(404, &format!("no such route: {p}"))),
+            },
+        }
+    }
+
+    fn stats_route(&self, snap: &HistorySnapshot) -> Response {
+        let store = snap.conflicts();
+        let s = snap.stats();
+        json(&StatsResponse {
+            epoch: snap.epoch(),
+            horizon_day: snap.horizon_day(),
+            last_event_at: store.last_event_at,
+            events_replayed: store.events_replayed,
+            records: store.records().len() as u64,
+            open_conflicts: store.records().values().filter(|r| r.is_open()).count() as u64,
+            truncated_prefixes: store.truncated_prefixes().len() as u64,
+            affinity_pairs: store.affinity().len() as u64,
+            tail_events: snap.tail_events() as u64,
+            store: StoreCounters {
+                segments_written: s.segments_written,
+                segments_expired: s.segments_expired,
+                tables_written: s.tables_written,
+                retained_bytes: s.retained_bytes,
+                lifetime_bytes: s.lifetime_bytes,
+                bytes_expired: s.bytes_expired,
+                events_appended: s.events_appended,
+            },
+        })
+    }
+
+    fn validity_route(&self, snap: &HistorySnapshot, req: &Request) -> Result<Response, Response> {
+        let config = validity_config(req)?;
+        let min_duration: u64 = param(req, "min_duration", 0)?;
+        let limit: usize = param(req, "limit", 100)?;
+        let report = snap.validity(config);
+        let (likely_valid, recurring_valid, likely_invalid) = report.tally();
+        let mut rows: Vec<&moas_history::ConflictValidity> = report
+            .conflicts
+            .iter()
+            .filter(|c| c.open_secs >= min_duration)
+            .collect();
+        // Longest-lived first — §VI's strongest-signal ordering; ties
+        // break on prefix so the rendering is deterministic.
+        rows.sort_by(|a, b| b.open_secs.cmp(&a.open_secs).then(a.prefix.cmp(&b.prefix)));
+        let matched = rows.len() as u64;
+        rows.truncate(limit);
+        Ok(json(&ValidityResponse {
+            epoch: snap.epoch(),
+            now: report.now,
+            threshold_days: config.threshold_days(),
+            affinity_min_episodes: config.affinity_min_episodes,
+            min_duration_secs: min_duration,
+            total: report.conflicts.len() as u64,
+            matched,
+            tally: Tally {
+                likely_valid: likely_valid as u64,
+                recurring_valid: recurring_valid as u64,
+                likely_invalid: likely_invalid as u64,
+            },
+            conflicts: rows.into_iter().map(validity_row).collect(),
+        }))
+    }
+
+    fn conflicts_route(&self, snap: &HistorySnapshot, req: &Request) -> Result<Response, Response> {
+        let date: Date = required_param(req, "date")?;
+        let cut = ConflictStore::cuts(&[date])[0];
+        let prefixes: Vec<String> = snap
+            .conflicts()
+            .records()
+            .values()
+            .filter(|r| r.days_at_cuts(&[cut]) > 0)
+            .map(|r| r.prefix.to_string())
+            .collect();
+        Ok(json(&ConflictsResponse {
+            epoch: snap.epoch(),
+            date: date.to_string(),
+            count: prefixes.len() as u64,
+            prefixes,
+        }))
+    }
+
+    fn prefix_route(
+        &self,
+        snap: &HistorySnapshot,
+        raw: &str,
+        req: &Request,
+    ) -> Result<Response, Response> {
+        let prefix = Prefix::from_str(raw)
+            .map_err(|e| Response::error(400, &format!("bad prefix {raw:?}: {e}")))?;
+        let config = validity_config(req)?;
+        let rec = snap
+            .record(&prefix)
+            .ok_or_else(|| Response::error(404, &format!("prefix {prefix} never conflicted")))?;
+        let validity = snap
+            .validity_of(&prefix, config)
+            .expect("record exists, so it scores");
+        Ok(json(&PrefixResponse {
+            epoch: snap.epoch(),
+            prefix: prefix.to_string(),
+            origins: rec.origins.iter().map(|a| a.value()).collect(),
+            episodes: rec
+                .episodes
+                .iter()
+                .map(|e| EpisodeBody {
+                    opened_at: e.opened_at,
+                    closed_at: e.closed_at,
+                })
+                .collect(),
+            flap_count: rec.flap_count,
+            is_open: rec.is_open(),
+            truncated: snap
+                .conflicts()
+                .truncated_prefixes()
+                .binary_search(&prefix)
+                .is_ok(),
+            affinity_max_pair: snap
+                .conflicts()
+                .affinity()
+                .max_pair_count(prefix, &rec.origins),
+            validity: validity_row(&validity),
+        }))
+    }
+
+    fn timeline_route(&self, snap: &HistorySnapshot, req: &Request) -> Result<Response, Response> {
+        let days: u32 = required_param(req, "days")?;
+        if days == 0 || days > 3_650 {
+            return Err(Response::error(
+                400,
+                &format!("days must be in 1..=3650, got {days}"),
+            ));
+        }
+        let start: Date = param(req, "start", self.config.start_date)?;
+        let dates: Vec<Date> = (0..days).map(|i| start.plus_days(i as i64)).collect();
+        let cuts = ConflictStore::cuts(&dates);
+        let store = snap.conflicts();
+        let days_out: Vec<TimelineDay> = dates
+            .iter()
+            .zip(&cuts)
+            .map(|(date, &cut)| TimelineDay {
+                date: date.to_string(),
+                conflicts: store
+                    .records()
+                    .values()
+                    .filter(|r| r.days_at_cuts(&[cut]) > 0)
+                    .count() as u64,
+            })
+            .collect();
+        Ok(json(&TimelineResponse {
+            epoch: snap.epoch(),
+            start: start.to_string(),
+            days: days_out,
+        }))
+    }
+
+    fn metrics_route(&self) -> Response {
+        let engine = self.engine.as_ref().map(|m| {
+            Value::Object(
+                m.snapshot()
+                    .fields()
+                    .iter()
+                    .map(|&(name, v)| (name.to_string(), Value::U64(v)))
+                    .collect(),
+            )
+        });
+        json(&MetricsResponse {
+            server: self.metrics.stats(self.cache.stats()),
+            engine,
+        })
+    }
+}
+
+/// Builds the §VI scoring config from `threshold_days` /
+/// `affinity_min` query parameters (defaults match
+/// [`ValidityConfig::default`]).
+fn validity_config(req: &Request) -> Result<ValidityConfig, Response> {
+    let defaults = ValidityConfig::default();
+    let threshold_days: u32 = param(req, "threshold_days", defaults.threshold_days())?;
+    let affinity_min: u32 = param(req, "affinity_min", defaults.affinity_min_episodes)?;
+    Ok(ValidityConfig {
+        threshold_secs: threshold_days as u64 * 86_400,
+        affinity_min_episodes: affinity_min,
+    })
+}
+
+fn param<T: FromStr>(req: &Request, name: &str, default: T) -> Result<T, Response> {
+    match req.query_value(name) {
+        None => Ok(default),
+        Some(raw) => raw.parse().map_err(|_| {
+            Response::error(400, &format!("bad value {raw:?} for parameter {name:?}"))
+        }),
+    }
+}
+
+fn required_param<T: FromStr>(req: &Request, name: &str) -> Result<T, Response> {
+    let raw = req
+        .query_value(name)
+        .ok_or_else(|| Response::error(400, &format!("missing required parameter {name:?}")))?;
+    raw.parse()
+        .map_err(|_| Response::error(400, &format!("bad value {raw:?} for parameter {name:?}")))
+}
+
+fn json<T: Serialize>(value: &T) -> Response {
+    Response::ok_json(serde_json::to_string(value).expect("value rendering is total"))
+}
+
+fn verdict_str(v: Verdict) -> &'static str {
+    match v {
+        Verdict::LikelyValid => "likely_valid",
+        Verdict::RecurringValid => "recurring_valid",
+        Verdict::LikelyInvalid => "likely_invalid",
+    }
+}
+
+fn validity_row(c: &moas_history::ConflictValidity) -> ValidityRow {
+    ValidityRow {
+        prefix: c.prefix.to_string(),
+        open_secs: c.open_secs,
+        episodes: c.episodes,
+        flaps: c.flaps,
+        longevity_percentile: c.longevity_percentile,
+        verdict: verdict_str(c.verdict),
+    }
+}
+
+#[derive(Serialize)]
+struct StoreCounters {
+    segments_written: u64,
+    segments_expired: u64,
+    tables_written: u64,
+    retained_bytes: u64,
+    lifetime_bytes: u64,
+    bytes_expired: u64,
+    events_appended: u64,
+}
+
+#[derive(Serialize)]
+struct StatsResponse {
+    epoch: u64,
+    horizon_day: u32,
+    last_event_at: u32,
+    events_replayed: u64,
+    records: u64,
+    open_conflicts: u64,
+    truncated_prefixes: u64,
+    affinity_pairs: u64,
+    tail_events: u64,
+    store: StoreCounters,
+}
+
+#[derive(Serialize)]
+struct Tally {
+    likely_valid: u64,
+    recurring_valid: u64,
+    likely_invalid: u64,
+}
+
+#[derive(Serialize)]
+struct ValidityRow {
+    prefix: String,
+    open_secs: u64,
+    episodes: u32,
+    flaps: u32,
+    longevity_percentile: f64,
+    verdict: &'static str,
+}
+
+#[derive(Serialize)]
+struct ValidityResponse {
+    epoch: u64,
+    now: u32,
+    threshold_days: u32,
+    affinity_min_episodes: u32,
+    min_duration_secs: u64,
+    total: u64,
+    matched: u64,
+    tally: Tally,
+    conflicts: Vec<ValidityRow>,
+}
+
+#[derive(Serialize)]
+struct ConflictsResponse {
+    epoch: u64,
+    date: String,
+    count: u64,
+    prefixes: Vec<String>,
+}
+
+#[derive(Serialize)]
+struct EpisodeBody {
+    opened_at: u32,
+    closed_at: Option<u32>,
+}
+
+#[derive(Serialize)]
+struct PrefixResponse {
+    epoch: u64,
+    prefix: String,
+    origins: Vec<u32>,
+    episodes: Vec<EpisodeBody>,
+    flap_count: u32,
+    is_open: bool,
+    truncated: bool,
+    affinity_max_pair: u32,
+    validity: ValidityRow,
+}
+
+#[derive(Serialize)]
+struct TimelineDay {
+    date: String,
+    conflicts: u64,
+}
+
+#[derive(Serialize)]
+struct TimelineResponse {
+    epoch: u64,
+    start: String,
+    days: Vec<TimelineDay>,
+}
+
+#[derive(Serialize)]
+struct MetricsResponse {
+    server: ServerStats,
+    engine: Option<Value>,
+}

@@ -1,0 +1,255 @@
+//! The connection layer: a TCP accept loop feeding a bounded worker
+//! thread pool.
+//!
+//! ```text
+//!    accept loop ──▶ bounded queue (Mutex<VecDeque> + Condvar)
+//!         │               │ pop
+//!         │ full?         ▼
+//!         └─▶ 503     worker 1..N: read_request → respond → write
+//!                     (keep-alive until close / timeout / shutdown)
+//! ```
+//!
+//! Backpressure is explicit: when the queue is at capacity the accept
+//! loop answers 503 inline and closes, so overload degrades into fast
+//! rejections instead of unbounded memory growth. Shutdown is
+//! graceful: a stop flag flips, the accept loop is woken by a loopback
+//! connection, workers finish their in-flight request, and
+//! [`QueryServer::shutdown`] joins every thread.
+
+use crate::http::{read_request, RequestError, Response};
+use crate::routes::QueryService;
+use std::collections::VecDeque;
+use std::io::BufReader;
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// The bounded connection queue between the accept loop and workers.
+struct ConnQueue {
+    capacity: usize,
+    inner: Mutex<VecDeque<TcpStream>>,
+    cv: Condvar,
+    stop: AtomicBool,
+}
+
+impl ConnQueue {
+    /// Enqueues a connection; a full queue hands the stream back so
+    /// the caller can answer 503 on it.
+    fn push(&self, stream: TcpStream) -> Result<(), TcpStream> {
+        let mut q = self.inner.lock().expect("queue lock poisoned");
+        if q.len() >= self.capacity {
+            return Err(stream);
+        }
+        q.push_back(stream);
+        drop(q);
+        self.cv.notify_one();
+        Ok(())
+    }
+
+    /// Dequeues the next connection, or `None` at shutdown.
+    fn pop(&self) -> Option<TcpStream> {
+        let mut q = self.inner.lock().expect("queue lock poisoned");
+        loop {
+            if let Some(stream) = q.pop_front() {
+                return Some(stream);
+            }
+            if self.stop.load(Ordering::Acquire) {
+                return None;
+            }
+            q = self.cv.wait(q).expect("queue cv poisoned");
+        }
+    }
+}
+
+/// A running query server: sockets plus threads around a
+/// [`QueryService`].
+pub struct QueryServer {
+    service: Arc<QueryService>,
+    queue: Arc<ConnQueue>,
+    local_addr: SocketAddr,
+    accept: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl QueryServer {
+    /// Binds `addr` (use port 0 for an ephemeral port) and starts the
+    /// accept loop and worker pool.
+    pub fn bind<A: ToSocketAddrs>(addr: A, service: Arc<QueryService>) -> std::io::Result<Self> {
+        let listener = TcpListener::bind(addr)?;
+        let local_addr = listener.local_addr()?;
+        let config = *service.config();
+        let queue = Arc::new(ConnQueue {
+            capacity: config.queue_depth.max(1),
+            inner: Mutex::new(VecDeque::new()),
+            cv: Condvar::new(),
+            stop: AtomicBool::new(false),
+        });
+
+        let mut workers = Vec::with_capacity(config.workers.max(1));
+        for i in 0..config.workers.max(1) {
+            let service = Arc::clone(&service);
+            let queue = Arc::clone(&queue);
+            workers.push(
+                std::thread::Builder::new()
+                    .name(format!("moas-serve-worker-{i}"))
+                    .spawn(move || {
+                        while let Some(stream) = queue.pop() {
+                            // A broken connection only ends that
+                            // connection, never the worker.
+                            let _ = serve_connection(&service, &queue, stream);
+                        }
+                    })?,
+            );
+        }
+
+        let accept = {
+            let service = Arc::clone(&service);
+            let queue = Arc::clone(&queue);
+            std::thread::Builder::new()
+                .name("moas-serve-accept".into())
+                .spawn(move || {
+                    for incoming in listener.incoming() {
+                        if queue.stop.load(Ordering::Acquire) {
+                            break;
+                        }
+                        let Ok(stream) = incoming else { continue };
+                        let m = service.metrics();
+                        m.connections_accepted.fetch_add(1, Ordering::Relaxed);
+                        if let Err(mut rejected) = queue.push(stream_configured(stream, &config)) {
+                            // Backpressure: answer 503 inline (best
+                            // effort) and close, so overload degrades
+                            // into fast rejections.
+                            m.connections_rejected.fetch_add(1, Ordering::Relaxed);
+                            m.record_status(503);
+                            let _ = Response::error(503, "server busy: connection queue is full")
+                                .write_to(&mut rejected, false);
+                        }
+                    }
+                })?
+        };
+
+        Ok(QueryServer {
+            service,
+            queue,
+            local_addr,
+            accept: Some(accept),
+            workers,
+        })
+    }
+
+    /// The bound address (the ephemeral port to aim clients at).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// The service behind the sockets.
+    pub fn service(&self) -> &Arc<QueryService> {
+        &self.service
+    }
+
+    /// Stops accepting, drains the workers, and joins every thread.
+    /// Queued-but-unserved connections are closed.
+    pub fn shutdown(mut self) {
+        self.stop_threads();
+    }
+
+    fn stop_threads(&mut self) {
+        self.queue.stop.store(true, Ordering::Release);
+        self.queue.cv.notify_all();
+        // Unblock the accept loop with a throwaway loopback connection.
+        let _ = TcpStream::connect_timeout(&self.local_addr, Duration::from_millis(250));
+        if let Some(handle) = self.accept.take() {
+            handle.join().ok();
+        }
+        for handle in self.workers.drain(..) {
+            handle.join().ok();
+        }
+        self.queue
+            .inner
+            .lock()
+            .expect("queue lock poisoned")
+            .clear();
+    }
+}
+
+impl Drop for QueryServer {
+    fn drop(&mut self) {
+        if self.accept.is_some() || !self.workers.is_empty() {
+            self.stop_threads();
+        }
+    }
+}
+
+fn stream_configured(stream: TcpStream, config: &crate::ServerConfig) -> TcpStream {
+    // A failed timeout set just means the idle-connection guard is
+    // weaker for this connection; serving still works. The write
+    // timeout matters as much as the read one: a client that sends
+    // requests but never reads responses would otherwise block a
+    // worker in write_all forever once the kernel send buffer fills.
+    let _ = stream.set_read_timeout(Some(config.read_timeout));
+    let _ = stream.set_write_timeout(Some(config.read_timeout));
+    let _ = stream.set_nodelay(true);
+    stream
+}
+
+/// Serves one connection until it closes, errs, times out, hits the
+/// keep-alive cap, or the server shuts down.
+fn serve_connection(
+    service: &QueryService,
+    queue: &ConnQueue,
+    stream: TcpStream,
+) -> std::io::Result<()> {
+    // Backpressure answered inline for connections that were queued
+    // while the pool drained into shutdown.
+    if queue.stop.load(Ordering::Acquire) {
+        let mut out = stream;
+        return Response::error(503, "server is shutting down").write_to(&mut out, false);
+    }
+    let mut reader = BufReader::new(stream.try_clone()?);
+    let mut out = stream;
+    let metrics = service.metrics();
+    let keep_alive_cap = service.config().keep_alive_requests.max(1);
+
+    for served in 0..keep_alive_cap {
+        let req = match read_request(&mut reader) {
+            Ok(req) => req,
+            Err(RequestError::Closed) => break,
+            Err(RequestError::Timeout) => {
+                metrics.read_timeouts.fetch_add(1, Ordering::Relaxed);
+                break;
+            }
+            Err(RequestError::Malformed(why)) => {
+                metrics.malformed_requests.fetch_add(1, Ordering::Relaxed);
+                metrics.record_status(400);
+                let _ = Response::error(400, &why).write_to(&mut out, false);
+                break;
+            }
+            Err(RequestError::TooLarge) => {
+                metrics.malformed_requests.fetch_add(1, Ordering::Relaxed);
+                metrics.record_status(400);
+                let _ =
+                    Response::error(400, "request exceeds size limits").write_to(&mut out, false);
+                break;
+            }
+            Err(RequestError::Io(_)) => break,
+        };
+
+        metrics.requests.fetch_add(1, Ordering::Relaxed);
+        metrics.in_flight.fetch_add(1, Ordering::Relaxed);
+        let started = Instant::now();
+        let response = service.respond(&req);
+        let keep_alive =
+            req.keep_alive && served + 1 < keep_alive_cap && !queue.stop.load(Ordering::Acquire);
+        let write = response.write_to(&mut out, keep_alive);
+        metrics.record_latency(started.elapsed().as_micros() as u64);
+        metrics.record_status(response.status);
+        metrics.in_flight.fetch_sub(1, Ordering::Relaxed);
+        write?;
+        if !keep_alive {
+            break;
+        }
+    }
+    Ok(())
+}

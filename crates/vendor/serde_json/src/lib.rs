@@ -1,15 +1,15 @@
-//! JSON rendering for the in-tree serde stand-in. Implements the
-//! `to_string` / `to_string_pretty` entry points this workspace uses,
-//! matching serde_json's output format (2-space indent, `": "`
-//! separators).
+//! JSON rendering and parsing for the in-tree serde stand-in.
+//! Implements the `to_string` / `to_string_pretty` entry points this
+//! workspace uses, matching serde_json's output format (2-space
+//! indent, `": "` separators), plus a [`from_str`] parser into the
+//! [`Value`] tree so tests and tools can decode what they rendered.
 
 #![forbid(unsafe_code)]
 
 use serde::{Serialize, Value};
 use std::fmt;
 
-/// Serialization error. The stand-in's value-tree rendering is total,
-/// so this is never actually produced; it exists for API parity.
+/// Serialization or parse error.
 #[derive(Debug)]
 pub struct Error(String);
 
@@ -105,6 +105,229 @@ fn newline_indent(indent: Option<usize>, depth: usize, out: &mut String) {
     }
 }
 
+/// Parses JSON text into a [`Value`] tree. Numbers with a decimal
+/// point or exponent become [`Value::F64`]; negative integers become
+/// [`Value::I64`]; everything else non-negative becomes [`Value::U64`]
+/// (falling back to `F64` when out of range). Trailing non-whitespace
+/// after the top-level value is an error.
+pub fn from_str(text: &str) -> Result<Value, Error> {
+    let mut p = Parser {
+        bytes: text.as_bytes(),
+        pos: 0,
+    };
+    let v = p.value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(Error(format!("trailing data at byte {}", p.pos)));
+    }
+    Ok(v)
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn skip_ws(&mut self) {
+        while self
+            .bytes
+            .get(self.pos)
+            .is_some_and(|b| b.is_ascii_whitespace())
+        {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&mut self) -> Result<u8, Error> {
+        self.skip_ws();
+        self.bytes
+            .get(self.pos)
+            .copied()
+            .ok_or_else(|| Error("unexpected end of input".to_string()))
+    }
+
+    fn expect(&mut self, c: u8) -> Result<(), Error> {
+        if self.peek()? == c {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(Error(format!(
+                "expected {:?} at byte {}",
+                c as char, self.pos
+            )))
+        }
+    }
+
+    fn literal(&mut self, word: &str, v: Value) -> Result<Value, Error> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(v)
+        } else {
+            Err(Error(format!("bad literal at byte {}", self.pos)))
+        }
+    }
+
+    fn value(&mut self) -> Result<Value, Error> {
+        match self.peek()? {
+            b'n' => self.literal("null", Value::Null),
+            b't' => self.literal("true", Value::Bool(true)),
+            b'f' => self.literal("false", Value::Bool(false)),
+            b'"' => Ok(Value::String(self.string()?)),
+            b'[' => {
+                self.expect(b'[')?;
+                let mut items = Vec::new();
+                if self.peek()? == b']' {
+                    self.pos += 1;
+                    return Ok(Value::Array(items));
+                }
+                loop {
+                    items.push(self.value()?);
+                    match self.peek()? {
+                        b',' => self.pos += 1,
+                        b']' => {
+                            self.pos += 1;
+                            return Ok(Value::Array(items));
+                        }
+                        _ => return Err(Error(format!("expected ',' or ']' at {}", self.pos))),
+                    }
+                }
+            }
+            b'{' => {
+                self.expect(b'{')?;
+                let mut pairs = Vec::new();
+                if self.peek()? == b'}' {
+                    self.pos += 1;
+                    return Ok(Value::Object(pairs));
+                }
+                loop {
+                    let key = self.string()?;
+                    self.expect(b':')?;
+                    pairs.push((key, self.value()?));
+                    match self.peek()? {
+                        b',' => self.pos += 1,
+                        b'}' => {
+                            self.pos += 1;
+                            return Ok(Value::Object(pairs));
+                        }
+                        _ => return Err(Error(format!("expected ',' or '}}' at {}", self.pos))),
+                    }
+                }
+            }
+            _ => self.number(),
+        }
+    }
+
+    fn string(&mut self) -> Result<String, Error> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            let b = *self
+                .bytes
+                .get(self.pos)
+                .ok_or_else(|| Error("unterminated string".to_string()))?;
+            self.pos += 1;
+            match b {
+                b'"' => return Ok(out),
+                b'\\' => {
+                    let e = *self
+                        .bytes
+                        .get(self.pos)
+                        .ok_or_else(|| Error("unterminated escape".to_string()))?;
+                    self.pos += 1;
+                    match e {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'b' => out.push('\u{8}'),
+                        b'f' => out.push('\u{c}'),
+                        b'u' => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos..self.pos + 4)
+                                .ok_or_else(|| Error("truncated \\u escape".to_string()))?;
+                            let code = u32::from_str_radix(
+                                std::str::from_utf8(hex)
+                                    .map_err(|_| Error("bad \\u escape".to_string()))?,
+                                16,
+                            )
+                            .map_err(|_| Error("bad \\u escape".to_string()))?;
+                            self.pos += 4;
+                            // Surrogate pairs are beyond what this
+                            // workspace emits; map them to U+FFFD.
+                            out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                        }
+                        other => {
+                            return Err(Error(format!("bad escape \\{}", other as char)));
+                        }
+                    }
+                }
+                _ => {
+                    // Multi-byte UTF-8: copy the whole scalar through.
+                    let start = self.pos - 1;
+                    let len = utf8_len(b);
+                    let end = start + len;
+                    let chunk = self
+                        .bytes
+                        .get(start..end)
+                        .ok_or_else(|| Error("truncated utf-8".to_string()))?;
+                    out.push_str(
+                        std::str::from_utf8(chunk).map_err(|_| Error("bad utf-8".to_string()))?,
+                    );
+                    self.pos = end;
+                }
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<Value, Error> {
+        self.skip_ws();
+        let start = self.pos;
+        while self
+            .bytes
+            .get(self.pos)
+            .is_some_and(|b| b.is_ascii_digit() || matches!(b, b'-' | b'+' | b'.' | b'e' | b'E'))
+        {
+            self.pos += 1;
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| Error(format!("bad number at byte {start}")))?;
+        if text.is_empty() {
+            return Err(Error(format!("expected a value at byte {start}")));
+        }
+        if text.contains(['.', 'e', 'E']) {
+            return text
+                .parse::<f64>()
+                .map(Value::F64)
+                .map_err(|_| Error(format!("bad number {text:?}")));
+        }
+        if let Some(stripped) = text.strip_prefix('-') {
+            let _ = stripped;
+            return text
+                .parse::<i64>()
+                .map(Value::I64)
+                .or_else(|_| text.parse::<f64>().map(Value::F64))
+                .map_err(|_| Error(format!("bad number {text:?}")));
+        }
+        text.parse::<u64>()
+            .map(Value::U64)
+            .or_else(|_| text.parse::<f64>().map(Value::F64))
+            .map_err(|_| Error(format!("bad number {text:?}")))
+    }
+}
+
+fn utf8_len(first: u8) -> usize {
+    match first {
+        0x00..=0x7F => 1,
+        0xC0..=0xDF => 2,
+        0xE0..=0xEF => 3,
+        _ => 4,
+    }
+}
+
 fn escape_into(s: &str, out: &mut String) {
     out.push('"');
     for c in s.chars() {
@@ -155,6 +378,50 @@ mod tests {
             }
         }
         assert_eq!(to_string(&S).unwrap(), "\"a\\\"b\\\\c\\n\"");
+    }
+
+    #[test]
+    fn parse_roundtrips_rendered_json() {
+        let v = Value::Object(vec![
+            ("n".to_string(), Value::Null),
+            ("b".to_string(), Value::Bool(true)),
+            ("u".to_string(), Value::U64(42)),
+            ("i".to_string(), Value::I64(-7)),
+            ("f".to_string(), Value::F64(1.5)),
+            ("s".to_string(), Value::String("a\"b\\c\nd".to_string())),
+            (
+                "a".to_string(),
+                Value::Array(vec![Value::U64(1), Value::String("x".to_string())]),
+            ),
+            ("e".to_string(), Value::Object(vec![])),
+        ]);
+        struct Wrap(Value);
+        impl Serialize for Wrap {
+            fn to_value(&self) -> Value {
+                self.0.clone()
+            }
+        }
+        for text in [
+            to_string(&Wrap(v.clone())).unwrap(),
+            to_string_pretty(&Wrap(v.clone())).unwrap(),
+        ] {
+            assert_eq!(from_str(&text).unwrap(), v);
+        }
+    }
+
+    #[test]
+    fn parse_rejects_malformed() {
+        for bad in ["", "{", "[1,", "{\"a\" 1}", "tru", "1 2", "\"unterminated"] {
+            assert!(from_str(bad).is_err(), "{bad:?} must not parse");
+        }
+    }
+
+    #[test]
+    fn parse_handles_unicode_and_escapes() {
+        assert_eq!(
+            from_str("\"caf\\u00e9 — ü\"").unwrap(),
+            Value::String("café — ü".to_string())
+        );
     }
 
     #[test]

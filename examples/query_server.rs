@@ -1,0 +1,194 @@
+//! The query-serving subsystem end to end: render a multi-day MRT
+//! archive, ingest it through a live [`HistoryService`], then put a
+//! [`QueryServer`] on an ephemeral loopback port and walk every
+//! endpoint with a small in-process HTTP client — including the error
+//! mapping and the epoch-keyed response cache.
+//!
+//! ```sh
+//! cargo run --release --example query_server
+//! ```
+
+use moas_history::pipeline::{analyze_mrt_archive_service, StreamingArchiveConfig};
+use moas_history::{HistoryService, RetentionPolicy, ServiceConfig};
+use moas_lab::study::{Study, StudyConfig};
+use moas_mrt::snapshot::DumpFormat;
+use moas_net::Date;
+use moas_routeviews::{write_window_archive, BackgroundMode, Collector};
+use moas_serve::{QueryServer, QueryService, ServerConfig};
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::sync::Arc;
+use std::time::Duration;
+
+fn main() -> std::io::Result<()> {
+    let days = 10usize;
+    let study = Study::build(StudyConfig::test(0.004));
+    let dates: Vec<Date> = study.world.window.all_days()[..days]
+        .iter()
+        .map(|d| d.date())
+        .collect();
+
+    let base = std::env::temp_dir().join("moas-query-server");
+    let archive_dir = base.join("archive");
+    let store_dir = base.join("store");
+    std::fs::remove_dir_all(&base).ok();
+
+    println!("== rendering a {days}-day MRT archive ==");
+    let files = {
+        let mut collector = Collector::new(&study.world, &study.peers);
+        write_window_archive(
+            &mut collector,
+            &archive_dir,
+            0,
+            days,
+            BackgroundMode::Sample(15),
+            DumpFormat::V2,
+        )?
+    };
+    println!("   {} files under {}", files.len(), archive_dir.display());
+
+    println!("== ingesting through the history service ==");
+    let service = HistoryService::open(
+        &store_dir,
+        ServiceConfig {
+            start_date: dates[0],
+            retention: RetentionPolicy::keep_everything(),
+            watermark_segments: 2,
+            poll_interval: Duration::from_millis(50),
+            daemon: true,
+        },
+    )?;
+    let report = analyze_mrt_archive_service(
+        &dates,
+        &files,
+        &StreamingArchiveConfig::with_shards(4),
+        &service,
+    )?;
+    service.wait_idle();
+    println!(
+        "   {} days, {} events stored, {} monitor updates applied",
+        report.days, report.events_stored, report.monitor.metrics.updates_applied
+    );
+
+    println!("== query server up on an ephemeral loopback port ==");
+    let mut query = QueryService::new(
+        service.reader(),
+        ServerConfig {
+            start_date: dates[0],
+            ..ServerConfig::default()
+        },
+    );
+    // The streaming pipeline attached the engine's metrics block to
+    // the service; surface it under /v1/metrics too.
+    if let Some(engine) = service.metrics_handle() {
+        query = query.with_engine_metrics(engine);
+    }
+    let query = Arc::new(query);
+    let server = QueryServer::bind("127.0.0.1:0", Arc::clone(&query))?;
+    let addr = server.local_addr();
+    println!("   listening on {addr}");
+
+    let sample_prefix = service
+        .reader()
+        .snapshot()
+        .conflicts()
+        .records()
+        .keys()
+        .next()
+        .map(|p| p.to_string())
+        .expect("the synthetic window contains conflicts");
+
+    let targets = [
+        "/v1/stats".to_string(),
+        "/v1/validity?limit=3".to_string(),
+        format!("/v1/conflicts?date={}", dates[1]),
+        format!("/v1/prefix/{sample_prefix}"),
+        format!("/v1/timeline?days={days}"),
+        "/v1/metrics".to_string(),
+    ];
+    for target in &targets {
+        let (status, body) = get(addr, target)?;
+        println!("   GET {target}\n      {status} {}", truncate(&body, 160));
+        assert_eq!(status, 200, "{target} must succeed");
+    }
+
+    println!("== the cache answers repeats from the pinned epoch ==");
+    get(addr, "/v1/validity?limit=3")?;
+    get(addr, "/v1/validity?limit=3")?;
+    let cache = query.cache_stats();
+    println!(
+        "   cache: {} hits / {} misses / {} entries",
+        cache.hits, cache.misses, cache.entries
+    );
+    assert!(cache.hits > 0, "repeat queries must hit the cache");
+
+    println!("== errors map to JSON statuses ==");
+    for target in [
+        "/nope",
+        "/v1/conflicts?date=banana",
+        "/v1/prefix/not-a-prefix",
+    ] {
+        let (status, body) = get(addr, target)?;
+        println!("   GET {target}\n      {status} {}", truncate(&body, 120));
+        assert!(status == 400 || status == 404);
+    }
+
+    println!("== shutdown: close the service, server keeps the last epoch ==");
+    service.close()?;
+    let (status, body) = get(addr, "/v1/stats")?;
+    println!(
+        "   post-close GET /v1/stats: {status} {}",
+        truncate(&body, 120)
+    );
+    assert_eq!(status, 200);
+    server.shutdown();
+    std::fs::remove_dir_all(&base).ok();
+    println!("done.");
+    Ok(())
+}
+
+/// One GET over a fresh loopback connection.
+fn get(addr: SocketAddr, target: &str) -> std::io::Result<(u16, String)> {
+    let stream = TcpStream::connect(addr)?;
+    stream.set_read_timeout(Some(Duration::from_secs(10)))?;
+    let mut reader = BufReader::new(stream.try_clone()?);
+    let mut writer = stream;
+    writer.write_all(
+        format!("GET {target} HTTP/1.1\r\nhost: example\r\nconnection: close\r\n\r\n").as_bytes(),
+    )?;
+    let mut line = String::new();
+    reader.read_line(&mut line)?;
+    let status: u16 = line
+        .split(' ')
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0);
+    let mut content_length = 0usize;
+    loop {
+        let mut header = String::new();
+        reader.read_line(&mut header)?;
+        let header = header.trim_end();
+        if header.is_empty() {
+            break;
+        }
+        if let Some((name, value)) = header.split_once(':') {
+            if name.trim().eq_ignore_ascii_case("content-length") {
+                content_length = value.trim().parse().unwrap_or(0);
+            }
+        }
+    }
+    let mut body = vec![0u8; content_length];
+    reader.read_exact(&mut body)?;
+    Ok((status, String::from_utf8_lossy(&body).into_owned()))
+}
+
+fn truncate(s: &str, n: usize) -> String {
+    if s.len() <= n {
+        return s.to_string();
+    }
+    let mut cut = n;
+    while !s.is_char_boundary(cut) {
+        cut -= 1;
+    }
+    format!("{}…", &s[..cut])
+}

@@ -1,0 +1,592 @@
+//! Acceptance for the query-serving subsystem: the HTTP surface must
+//! answer exactly what the pinned `HistorySnapshot` answers
+//! in-process, while ingestion and compaction run underneath.
+//!
+//! * ≥8 concurrent client threads hammer every endpoint mid-ingest,
+//!   checking epoch monotonicity and internal consistency;
+//! * once the epoch settles, every JSON answer is pinned against the
+//!   equivalent direct snapshot computation, and the wire bytes are
+//!   pinned byte-for-byte against `QueryService::respond`;
+//! * an epoch advance invalidates the response cache;
+//! * malformed requests map to 400/404/405, backpressure to 503;
+//! * and a server holding `HistoryReader`s keeps serving the last
+//!   published epoch after `HistoryService::close` (regression).
+
+use moas_history::pipeline::{analyze_mrt_archive_service, StreamingArchiveConfig};
+use moas_history::{HistoryService, RetentionPolicy, ServiceConfig, ValidityConfig};
+use moas_lab::study::{Study, StudyConfig};
+use moas_monitor::{MonitorEvent, SeqEvent};
+use moas_mrt::snapshot::DumpFormat;
+use moas_net::Date;
+use moas_routeviews::{write_window_archive, BackgroundMode, Collector};
+use moas_serve::{QueryServer, QueryService, Request, ServerConfig};
+use serde::Value;
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+const DAYS: usize = 8;
+const CLIENT_THREADS: usize = 8;
+
+fn tmp(name: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("moas-server-api-{}-{name}", std::process::id()))
+}
+
+/// A keep-alive HTTP/1.1 test client.
+struct Client {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+impl Client {
+    fn connect(addr: SocketAddr) -> Client {
+        let stream = TcpStream::connect(addr).expect("connect");
+        stream
+            .set_read_timeout(Some(Duration::from_secs(30)))
+            .expect("set client timeout");
+        Client {
+            reader: BufReader::new(stream.try_clone().expect("clone stream")),
+            writer: stream,
+        }
+    }
+
+    fn get(&mut self, target: &str) -> (u16, String) {
+        self.writer
+            .write_all(format!("GET {target} HTTP/1.1\r\nhost: test\r\n\r\n").as_bytes())
+            .expect("send request");
+        read_response(&mut self.reader)
+    }
+}
+
+fn read_response<R: BufRead>(reader: &mut R) -> (u16, String) {
+    let mut line = String::new();
+    reader.read_line(&mut line).expect("read status line");
+    let status: u16 = line
+        .split(' ')
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or_else(|| panic!("bad status line {line:?}"));
+    let mut content_length = 0usize;
+    loop {
+        let mut header = String::new();
+        reader.read_line(&mut header).expect("read header");
+        let header = header.trim_end();
+        if header.is_empty() {
+            break;
+        }
+        if let Some((name, value)) = header.split_once(':') {
+            if name.trim().eq_ignore_ascii_case("content-length") {
+                content_length = value.trim().parse().expect("content-length");
+            }
+        }
+    }
+    let mut body = vec![0u8; content_length];
+    reader.read_exact(&mut body).expect("read body");
+    (status, String::from_utf8(body).expect("utf8 body"))
+}
+
+/// One-shot GET over a fresh connection.
+fn get_once(addr: SocketAddr, target: &str) -> (u16, String) {
+    Client::connect(addr).get(target)
+}
+
+/// The same request routed in-process, bypassing the sockets.
+fn respond_direct(service: &QueryService, target: &str) -> (u16, String) {
+    let (path, query_raw) = match target.split_once('?') {
+        Some((p, q)) => (p, Some(q)),
+        None => (target, None),
+    };
+    let query = query_raw
+        .map(|q| {
+            q.split('&')
+                .map(|pair| {
+                    let (k, v) = pair.split_once('=').unwrap_or((pair, ""));
+                    (k.to_string(), v.to_string())
+                })
+                .collect()
+        })
+        .unwrap_or_default();
+    let resp = service.respond(&Request {
+        method: "GET".to_string(),
+        path: path.to_string(),
+        query,
+        headers: Vec::new(),
+        body: Vec::new(),
+        keep_alive: true,
+    });
+    (resp.status, resp.body.clone())
+}
+
+fn parse(body: &str) -> Value {
+    serde_json::from_str(body).unwrap_or_else(|e| panic!("unparseable JSON ({e}): {body}"))
+}
+
+fn u(v: &Value, key: &str) -> u64 {
+    v.get(key)
+        .and_then(Value::as_u64)
+        .unwrap_or_else(|| panic!("missing u64 field {key:?} in {v:?}"))
+}
+
+#[test]
+fn served_answers_match_snapshot_under_concurrency() {
+    let study = Study::build(StudyConfig::test(0.004));
+    let dates: Vec<Date> = study.world.window.all_days()[..DAYS]
+        .iter()
+        .map(|d| d.date())
+        .collect();
+
+    let archive_dir = tmp("archive");
+    std::fs::remove_dir_all(&archive_dir).ok();
+    let files = {
+        let mut collector = Collector::new(&study.world, &study.peers);
+        write_window_archive(
+            &mut collector,
+            &archive_dir,
+            0,
+            DAYS,
+            BackgroundMode::Sample(15),
+            DumpFormat::V2,
+        )
+        .expect("write synthetic archive")
+    };
+
+    let store_dir = tmp("store");
+    std::fs::remove_dir_all(&store_dir).ok();
+    let service = HistoryService::open(
+        &store_dir,
+        ServiceConfig {
+            start_date: dates[0],
+            retention: RetentionPolicy::keep_everything(),
+            watermark_segments: 2,
+            poll_interval: Duration::from_millis(50),
+            daemon: true,
+        },
+    )
+    .expect("open service");
+
+    let query = Arc::new(QueryService::new(
+        service.reader(),
+        ServerConfig {
+            workers: 8,
+            keep_alive_requests: u32::MAX,
+            start_date: dates[0],
+            ..ServerConfig::default()
+        },
+    ));
+    let server = QueryServer::bind("127.0.0.1:0", Arc::clone(&query)).expect("bind server");
+    let addr = server.local_addr();
+
+    // Phase 1: ≥8 client threads hammer the API while the writer
+    // ingests and the daemon compacts underneath.
+    let done = AtomicBool::new(false);
+    let total_rounds = std::sync::atomic::AtomicU64::new(0);
+    std::thread::scope(|scope| {
+        for t in 0..CLIENT_THREADS {
+            let done = &done;
+            let dates = &dates;
+            let total_rounds = &total_rounds;
+            scope.spawn(move || {
+                let mut client = Client::connect(addr);
+                let mut last_epoch = 0u64;
+                let mut rounds = 0u64;
+                while !done.load(Ordering::Relaxed) {
+                    let (status, body) = client.get("/v1/stats");
+                    assert_eq!(status, 200, "stats failed: {body}");
+                    let stats = parse(&body);
+                    let epoch = u(&stats, "epoch");
+                    assert!(
+                        epoch >= last_epoch,
+                        "epoch went backwards: {last_epoch} then {epoch}"
+                    );
+                    last_epoch = epoch;
+
+                    let (status, body) = client.get(&format!("/v1/validity?limit={}", t % 5));
+                    assert_eq!(status, 200, "validity failed: {body}");
+                    let val = parse(&body);
+                    let tally = val.get("tally").expect("tally");
+                    assert_eq!(
+                        u(tally, "likely_valid")
+                            + u(tally, "recurring_valid")
+                            + u(tally, "likely_invalid"),
+                        u(&val, "total"),
+                        "tally must cover every scored conflict"
+                    );
+
+                    let date = dates[(t + rounds as usize) % DAYS];
+                    let (status, body) = client.get(&format!("/v1/conflicts?date={date}"));
+                    assert_eq!(status, 200, "conflicts failed: {body}");
+                    let con = parse(&body);
+                    assert_eq!(
+                        u(&con, "count"),
+                        con.get("prefixes")
+                            .and_then(Value::as_array)
+                            .expect("prefixes array")
+                            .len() as u64
+                    );
+
+                    let (status, body) = client.get("/v1/timeline?days=3");
+                    assert_eq!(status, 200, "timeline failed: {body}");
+                    let (status, body) = client.get("/v1/metrics");
+                    assert_eq!(status, 200, "metrics failed: {body}");
+                    let metrics = parse(&body);
+                    assert!(metrics.get("server").is_some());
+                    rounds += 1;
+                }
+                total_rounds.fetch_add(rounds, Ordering::Relaxed);
+            });
+        }
+
+        let report = analyze_mrt_archive_service(
+            &dates,
+            &files,
+            &StreamingArchiveConfig::with_shards(4),
+            &service,
+        )
+        .expect("streaming service scan");
+        service.wait_idle();
+        done.store(true, Ordering::Relaxed);
+        assert_eq!(report.days, DAYS);
+        assert!(report.events_stored > 0);
+    });
+    assert!(
+        total_rounds.load(Ordering::Relaxed) > 0,
+        "clients must have completed rounds during ingestion"
+    );
+
+    // Phase 2: the epoch is stable — pin every served answer against
+    // the direct snapshot, and the wire bytes against the in-process
+    // router.
+    let snap = service.reader().snapshot();
+    let store = snap.conflicts();
+    assert!(!store.records().is_empty(), "window must contain conflicts");
+
+    let some_prefix = *store.records().keys().next().expect("at least one record");
+    let targets = [
+        "/v1/stats".to_string(),
+        "/v1/validity?limit=10000".to_string(),
+        "/v1/validity?threshold_days=3&affinity_min=2&min_duration=60".to_string(),
+        format!("/v1/conflicts?date={}", dates[2]),
+        format!("/v1/prefix/{some_prefix}"),
+        format!("/v1/timeline?days={DAYS}"),
+    ];
+    for target in &targets {
+        let (wire_status, wire_body) = get_once(addr, target);
+        let (direct_status, direct_body) = respond_direct(&query, target);
+        assert_eq!(wire_status, 200, "{target} failed: {wire_body}");
+        assert_eq!(wire_status, direct_status, "{target}: status diverged");
+        assert_eq!(
+            wire_body, direct_body,
+            "{target}: wire bytes diverged from the in-process router"
+        );
+    }
+
+    // /v1/stats vs direct snapshot calls.
+    let stats = parse(&get_once(addr, "/v1/stats").1);
+    assert_eq!(u(&stats, "epoch"), snap.epoch());
+    assert_eq!(u(&stats, "records"), store.records().len() as u64);
+    assert_eq!(u(&stats, "last_event_at"), store.last_event_at as u64);
+    assert_eq!(u(&stats, "events_replayed"), store.events_replayed);
+    assert_eq!(
+        u(&stats, "open_conflicts"),
+        store.records().values().filter(|r| r.is_open()).count() as u64
+    );
+
+    // /v1/conflicts vs the snapshot's per-day answer.
+    for date in &dates {
+        let body = parse(&get_once(addr, &format!("/v1/conflicts?date={date}")).1);
+        assert_eq!(
+            u(&body, "count"),
+            snap.total_conflicts(&[*date]) as u64,
+            "conflict count diverged on {date}"
+        );
+    }
+
+    // /v1/timeline: each day equals the single-day conflict count.
+    let timeline = parse(&get_once(addr, &format!("/v1/timeline?days={DAYS}")).1);
+    let days = timeline
+        .get("days")
+        .and_then(Value::as_array)
+        .expect("days");
+    assert_eq!(days.len(), DAYS);
+    for (i, day) in days.iter().enumerate() {
+        assert_eq!(
+            day.get("date").and_then(Value::as_str),
+            Some(dates[i].to_string().as_str())
+        );
+        assert_eq!(
+            u(day, "conflicts"),
+            snap.total_conflicts(&[dates[i]]) as u64,
+            "timeline diverged on day {i}"
+        );
+    }
+
+    // /v1/validity vs the snapshot's §VI report (same ordering rule).
+    let config = ValidityConfig::default();
+    let report = snap.validity(config);
+    let (lv, rv, li) = report.tally();
+    let validity = parse(&get_once(addr, "/v1/validity?limit=10000").1);
+    let tally = validity.get("tally").expect("tally");
+    assert_eq!(u(tally, "likely_valid"), lv as u64);
+    assert_eq!(u(tally, "recurring_valid"), rv as u64);
+    assert_eq!(u(tally, "likely_invalid"), li as u64);
+    assert_eq!(u(&validity, "total"), report.conflicts.len() as u64);
+    let rows = validity
+        .get("conflicts")
+        .and_then(Value::as_array)
+        .expect("conflicts rows");
+    assert_eq!(rows.len(), report.conflicts.len());
+    let mut expected: Vec<_> = report.conflicts.iter().collect();
+    expected.sort_by(|a, b| b.open_secs.cmp(&a.open_secs).then(a.prefix.cmp(&b.prefix)));
+    for (row, want) in rows.iter().zip(&expected) {
+        assert_eq!(
+            row.get("prefix").and_then(Value::as_str),
+            Some(want.prefix.to_string().as_str())
+        );
+        assert_eq!(u(row, "open_secs"), want.open_secs);
+        assert_eq!(
+            row.get("longevity_percentile").and_then(Value::as_f64),
+            Some(want.longevity_percentile)
+        );
+    }
+
+    // /v1/prefix point lookup vs the direct record + single-row score.
+    let rec = snap.record(&some_prefix).expect("record");
+    let row = snap.validity_of(&some_prefix, config).expect("scores");
+    let body = parse(&get_once(addr, &format!("/v1/prefix/{some_prefix}")).1);
+    assert_eq!(
+        body.get("prefix").and_then(Value::as_str),
+        Some(some_prefix.to_string().as_str())
+    );
+    assert_eq!(u(&body, "flap_count"), rec.flap_count as u64);
+    assert_eq!(
+        body.get("episodes")
+            .and_then(Value::as_array)
+            .unwrap()
+            .len(),
+        rec.episodes.len()
+    );
+    let served_row = body.get("validity").expect("validity row");
+    assert_eq!(u(served_row, "open_secs"), row.open_secs);
+    assert_eq!(
+        served_row
+            .get("longevity_percentile")
+            .and_then(Value::as_f64),
+        Some(row.longevity_percentile)
+    );
+
+    // Phase 3: cache behavior. Repeats hit; an epoch advance misses
+    // and re-renders against the new epoch.
+    let hits_before = query.cache_stats().hits;
+    let (_, first) = get_once(addr, "/v1/validity?limit=7");
+    let (_, second) = get_once(addr, "/v1/validity?limit=7");
+    assert_eq!(first, second);
+    assert!(
+        query.cache_stats().hits > hits_before,
+        "repeat query must hit the cache"
+    );
+
+    let epoch_before = snap.epoch();
+    let stray = SeqEvent {
+        shard: 0,
+        seq: u64::MAX,
+        event: MonitorEvent::ConflictClosed {
+            prefix: "203.0.113.0/24".parse().expect("prefix"),
+            opened_at: 0,
+            at: 1,
+        },
+    };
+    service.append(&[stray]).expect("append stray event");
+    service.mark_day(DAYS).expect("mark day");
+    service.wait_idle();
+    let invalidations_before = query.cache_stats().invalidations;
+    let stats = parse(&get_once(addr, "/v1/stats").1);
+    assert!(
+        u(&stats, "epoch") > epoch_before,
+        "day mark must advance the epoch"
+    );
+    assert!(
+        query.cache_stats().invalidations > invalidations_before,
+        "epoch advance must flush the cache"
+    );
+    // Served answers re-pin against the new epoch.
+    let snap2 = service.reader().snapshot();
+    assert_eq!(u(&stats, "epoch"), snap2.epoch());
+    assert_eq!(
+        u(&stats, "records"),
+        snap2.conflicts().records().len() as u64
+    );
+
+    // Phase 4: error mapping over the wire.
+    for (target, want) in [
+        ("/nope", 404),
+        ("/v1/prefix/", 404),
+        ("/v1/prefix/203.0.113.0/24", 404), // stray Closed never opened a record
+        ("/v1/prefix/999.999.0.0%2F99", 400),
+        ("/v1/conflicts", 400),
+        ("/v1/conflicts?date=banana", 400),
+        ("/v1/timeline", 400),
+        ("/v1/timeline?days=0", 400),
+        ("/v1/validity?limit=minus", 400),
+    ] {
+        let (status, body) = get_once(addr, target);
+        assert_eq!(status, want, "{target} must map to {want}: {body}");
+        let err = parse(&body);
+        assert_eq!(u(&err, "status"), want as u64);
+        assert!(err.get("error").is_some());
+    }
+    {
+        let mut client = Client::connect(addr);
+        client
+            .writer
+            .write_all(b"POST /v1/stats HTTP/1.1\r\nhost: t\r\ncontent-length: 0\r\n\r\n")
+            .expect("send post");
+        let (status, _) = read_response(&mut client.reader);
+        assert_eq!(status, 405, "non-GET must be rejected");
+    }
+    {
+        let mut client = Client::connect(addr);
+        client
+            .writer
+            .write_all(b"this is not http\r\n\r\n")
+            .expect("send garbage");
+        let (status, _) = read_response(&mut client.reader);
+        assert_eq!(status, 400, "garbage must map to 400");
+    }
+
+    // Phase 5 (regression): the server outlives the service. Readers
+    // keep serving the last published epoch after close().
+    let final_epoch = service.reader().epoch();
+    service.close().expect("close service");
+    let (status, body) = get_once(addr, "/v1/stats");
+    assert_eq!(status, 200, "server must keep serving after close()");
+    assert_eq!(u(&parse(&body), "epoch"), final_epoch);
+    let (status, _) = get_once(addr, "/v1/validity?limit=1");
+    assert_eq!(status, 200);
+
+    server.shutdown();
+    std::fs::remove_dir_all(&store_dir).ok();
+    std::fs::remove_dir_all(&archive_dir).ok();
+}
+
+/// Backpressure: with one worker pinned by an idle connection and the
+/// queue at capacity, further connections are answered 503 inline by
+/// the accept loop.
+#[test]
+fn full_queue_rejects_with_503() {
+    let store_dir = tmp("backpressure");
+    std::fs::remove_dir_all(&store_dir).ok();
+    let service = HistoryService::open(
+        &store_dir,
+        ServiceConfig {
+            daemon: false,
+            ..ServiceConfig::default()
+        },
+    )
+    .expect("open service");
+
+    let query = Arc::new(QueryService::new(
+        service.reader(),
+        ServerConfig {
+            workers: 1,
+            queue_depth: 1,
+            read_timeout: Duration::from_secs(2),
+            ..ServerConfig::default()
+        },
+    ));
+    let server = QueryServer::bind("127.0.0.1:0", Arc::clone(&query)).expect("bind server");
+    let addr = server.local_addr();
+
+    // Pin the single worker with an idle connection, fill the queue
+    // with another, then expect a 503 on the next.
+    let _pin = TcpStream::connect(addr).expect("pin connection");
+    let _queued = TcpStream::connect(addr).expect("queued connection");
+    let mut rejected = None;
+    for _ in 0..50 {
+        let extra = TcpStream::connect(addr).expect("extra connection");
+        extra
+            .set_read_timeout(Some(Duration::from_millis(500)))
+            .expect("timeout");
+        let mut reader = BufReader::new(extra);
+        let mut line = String::new();
+        if reader.read_line(&mut line).is_ok() && line.contains("503") {
+            rejected = Some(line);
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    let line = rejected.expect("some connection must be rejected with 503");
+    assert!(line.starts_with("HTTP/1.1 503"), "got {line:?}");
+    assert!(query.metrics().connections_rejected.load(Ordering::Relaxed) >= 1);
+
+    server.shutdown();
+    service.close().expect("close service");
+    std::fs::remove_dir_all(&store_dir).ok();
+}
+
+/// Regression for the close/shutdown ordering: a reader (and a server
+/// built over it) taken before `close()` keeps answering afterwards,
+/// serving the last published epoch.
+#[test]
+fn reader_and_server_outlive_service_close() {
+    let store_dir = tmp("outlive");
+    std::fs::remove_dir_all(&store_dir).ok();
+    let service = HistoryService::open(
+        &store_dir,
+        ServiceConfig {
+            daemon: false,
+            ..ServiceConfig::default()
+        },
+    )
+    .expect("open service");
+
+    let events: Vec<SeqEvent> = (0..4u64)
+        .map(|i| SeqEvent {
+            shard: 0,
+            seq: i,
+            event: if i % 2 == 0 {
+                MonitorEvent::ConflictOpened {
+                    prefix: format!("10.0.{i}.0/24").parse().expect("prefix"),
+                    origins: vec![moas_net::Asn::new(7), moas_net::Asn::new(9)],
+                    at: 100 + i as u32,
+                }
+            } else {
+                MonitorEvent::ConflictClosed {
+                    prefix: format!("10.0.{}.0/24", i - 1).parse().expect("prefix"),
+                    opened_at: 100 + (i - 1) as u32,
+                    at: 900 + i as u32,
+                }
+            },
+        })
+        .collect();
+    service.append(&events).expect("append");
+    service.mark_day(0).expect("mark day");
+
+    let reader = service.reader();
+    let epoch_before = reader.epoch();
+    let records_before = reader.snapshot().conflicts().records().len();
+    assert!(records_before > 0);
+
+    let query = Arc::new(QueryService::new(reader.clone(), ServerConfig::default()));
+    let server = QueryServer::bind("127.0.0.1:0", Arc::clone(&query)).expect("bind server");
+    let addr = server.local_addr();
+
+    service.close().expect("close service");
+
+    // The bare reader still snapshots the last published epoch...
+    let snap = reader.snapshot();
+    assert!(snap.epoch() >= epoch_before);
+    assert_eq!(snap.conflicts().records().len(), records_before);
+
+    // ...and so does the server built over it.
+    let (status, body) = get_once(addr, "/v1/stats");
+    assert_eq!(status, 200);
+    let stats = parse(&body);
+    assert_eq!(u(&stats, "records"), records_before as u64);
+    assert_eq!(u(&stats, "epoch"), snap.epoch());
+
+    server.shutdown();
+    std::fs::remove_dir_all(&store_dir).ok();
+}
