@@ -43,6 +43,8 @@ fn main() -> std::io::Result<()> {
     write_json(&out_dir.join("BENCH_history.json"), "history", &history)?;
     let server = bench_server()?;
     write_json(&out_dir.join("BENCH_server.json"), "server", &server)?;
+    let feed = bench_feed()?;
+    write_json(&out_dir.join("BENCH_feed.json"), "feed", &feed)?;
     Ok(())
 }
 
@@ -184,6 +186,103 @@ fn bench_server() -> std::io::Result<Vec<(&'static str, f64)>> {
     Ok(vec![
         ("cached_queries_per_sec", best_cached),
         ("uncached_queries_per_sec", best_uncached),
+    ])
+}
+
+/// Feed: catch-up throughput (files/s over a pre-rendered simulated
+/// collector window) and end-to-end update lag (a freshly landed
+/// update file → the previous day's epoch published to readers).
+fn bench_feed() -> std::io::Result<Vec<(&'static str, f64)>> {
+    use moas_feed::{FeedConfig, FeedFollower};
+    use moas_monitor::MonitorConfig;
+    use moas_routeviews::SimFeed;
+
+    const CATCHUP_DAYS: usize = 20;
+    const LAG_DAYS: usize = 5;
+
+    let study = bench_study(0.02);
+    let start = study.world.window.all_days()[0].date();
+    let archive = std::env::temp_dir().join(format!("moas-bench-feed-{}", std::process::id()));
+    let store = std::env::temp_dir().join(format!("moas-bench-feedstore-{}", std::process::id()));
+    std::fs::remove_dir_all(&archive).ok();
+
+    let mut collector = moas_routeviews::Collector::new(&study.world, &study.peers);
+    let mut sim = SimFeed::new(
+        &mut collector,
+        &archive,
+        0,
+        CATCHUP_DAYS + LAG_DAYS,
+        moas_routeviews::BackgroundMode::Sample(10),
+    )?;
+    let mut total_records = 0u64;
+    for _ in 0..CATCHUP_DAYS {
+        total_records += sim.append_day()?.expect("day in window").records as u64;
+    }
+
+    // Catch-up: best files/s over fresh follower+store runs.
+    let mut best_files_per_sec = 0f64;
+    for _ in 0..REPS {
+        std::fs::remove_dir_all(&store).ok();
+        let service = Arc::new(HistoryService::open(
+            &store,
+            ServiceConfig {
+                start_date: start,
+                daemon: false,
+                ..ServiceConfig::default()
+            },
+        )?);
+        let config = FeedConfig {
+            monitor: MonitorConfig::with_shards(4),
+            ..FeedConfig::new(archive.clone(), start)
+        };
+        let t0 = Instant::now();
+        let mut follower = FeedFollower::open(config, Arc::clone(&service))?;
+        while !follower.poll_once()?.caught_up {}
+        let secs = t0.elapsed().as_secs_f64();
+        best_files_per_sec = best_files_per_sec.max(CATCHUP_DAYS as f64 / secs);
+        follower.shutdown()?;
+        drop(service);
+    }
+
+    // Lag: land one more day, poll until its predecessor's day mark
+    // publishes a new epoch. Best (least-noisy) of LAG_DAYS landings.
+    std::fs::remove_dir_all(&store).ok();
+    let service = Arc::new(HistoryService::open(
+        &store,
+        ServiceConfig {
+            start_date: start,
+            daemon: false,
+            ..ServiceConfig::default()
+        },
+    )?);
+    let config = FeedConfig {
+        monitor: MonitorConfig::with_shards(4),
+        ..FeedConfig::new(archive.clone(), start)
+    };
+    let mut follower = FeedFollower::open(config, Arc::clone(&service))?;
+    while !follower.poll_once()?.caught_up {}
+    let reader = service.reader();
+    let mut best_lag_ms = f64::MAX;
+    for _ in 0..LAG_DAYS {
+        let epoch = reader.epoch();
+        let t0 = Instant::now();
+        sim.append_day()?.expect("lag day in window");
+        while reader.epoch() == epoch {
+            follower.poll_once()?;
+        }
+        best_lag_ms = best_lag_ms.min(t0.elapsed().as_secs_f64() * 1_000.0);
+    }
+    follower.shutdown()?;
+    drop(service);
+    std::fs::remove_dir_all(&archive).ok();
+    std::fs::remove_dir_all(&store).ok();
+
+    eprintln!(
+        "feed: {total_records} records over {CATCHUP_DAYS} files, best {best_files_per_sec:.1} files/s catch-up, best {best_lag_ms:.2} ms update lag"
+    );
+    Ok(vec![
+        ("catchup_files_per_sec", best_files_per_sec),
+        ("update_lag_ms", best_lag_ms),
     ])
 }
 

@@ -1,0 +1,181 @@
+//! The durable feed cursor: `(file, byte offset)` plus progress
+//! counters, persisted next to the history store's `MANIFEST`.
+//!
+//! The cursor is the feed's whole restart contract. It is only ever
+//! written *after* the events covering its position are durable in
+//! the history log (a [`moas_history::HistoryService::checkpoint`] or
+//! day mark sealed them), and it is swapped atomically
+//! (`FEED_CURSOR.tmp` + rename), so at any crash point the disk holds
+//! a cursor that is *at or behind* the durable log — never ahead of
+//! it. A restarted follower replays the archive up to the cursor to
+//! rebuild monitor state without re-appending, then resumes at the
+//! exact byte offset; the narrow window where the log is ahead of the
+//! cursor (crash between seal and rename) is closed by per-shard
+//! sequence watermarks (see `follower.rs`).
+
+use moas_history::codec::crc32;
+use std::io;
+use std::path::Path;
+
+/// File name of the cursor, in the history store directory.
+pub const CURSOR_NAME: &str = "FEED_CURSOR";
+const CURSOR_MAGIC: &str = "MFCUR001";
+
+/// A follower's durable position in the collector archive.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct FeedCursor {
+    /// Update-file name currently being consumed (empty before the
+    /// first file is opened).
+    pub file: String,
+    /// Bytes of `file` fully consumed and persisted — always a
+    /// record boundary (or the poisoned-scan end of the file).
+    pub offset: u64,
+    /// Next day position awaiting its mark (day positions below this
+    /// are complete in the history store).
+    pub next_day: u32,
+    /// Update files fully consumed.
+    pub files_done: u64,
+    /// Feed gaps (missing archive days) observed so far.
+    pub gaps: u64,
+    /// MRT records ingested (lifetime, survives restarts).
+    pub records: u64,
+    /// Monitor shard count the events were generated with. Shard
+    /// routing and per-shard sequence numbers depend on it, so a
+    /// resumed follower must run the same count — a mismatch is
+    /// refused rather than silently double-counting.
+    pub shards: u32,
+}
+
+impl FeedCursor {
+    /// Serializes to the single-line on-disk format, CRC-trailed.
+    fn render(&self) -> String {
+        let payload = format!(
+            "{CURSOR_MAGIC} file={} offset={} next_day={} files_done={} gaps={} records={} shards={}",
+            if self.file.is_empty() { "-" } else { &self.file },
+            self.offset,
+            self.next_day,
+            self.files_done,
+            self.gaps,
+            self.records,
+            self.shards,
+        );
+        format!("{payload} crc={:08x}\n", crc32(payload.as_bytes()))
+    }
+
+    /// Parses the on-disk format, verifying magic and CRC.
+    fn parse(text: &str) -> Result<FeedCursor, String> {
+        let line = text.trim_end();
+        let (payload, crc_field) = line
+            .rsplit_once(" crc=")
+            .ok_or_else(|| "missing crc field".to_string())?;
+        let stored = u32::from_str_radix(crc_field, 16).map_err(|_| "bad crc hex".to_string())?;
+        if crc32(payload.as_bytes()) != stored {
+            return Err("crc mismatch".to_string());
+        }
+        let mut parts = payload.split(' ');
+        if parts.next() != Some(CURSOR_MAGIC) {
+            return Err("bad magic".to_string());
+        }
+        let mut cursor = FeedCursor::default();
+        for part in parts {
+            let (k, v) = part
+                .split_once('=')
+                .ok_or_else(|| format!("bad field {part:?}"))?;
+            let num = || v.parse::<u64>().map_err(|_| format!("bad number {v:?}"));
+            match k {
+                "file" => {
+                    cursor.file = if v == "-" {
+                        String::new()
+                    } else {
+                        v.to_string()
+                    }
+                }
+                "offset" => cursor.offset = num()?,
+                "next_day" => cursor.next_day = num()? as u32,
+                "files_done" => cursor.files_done = num()?,
+                "gaps" => cursor.gaps = num()?,
+                "records" => cursor.records = num()?,
+                "shards" => cursor.shards = num()? as u32,
+                other => return Err(format!("unknown field {other:?}")),
+            }
+        }
+        Ok(cursor)
+    }
+
+    /// Persists atomically: write `FEED_CURSOR.tmp`, fsync, rename.
+    pub fn persist(&self, dir: &Path) -> io::Result<()> {
+        let tmp = dir.join(format!("{CURSOR_NAME}.tmp"));
+        std::fs::write(&tmp, self.render())?;
+        let f = std::fs::File::open(&tmp)?;
+        f.sync_all()?;
+        drop(f);
+        std::fs::rename(&tmp, dir.join(CURSOR_NAME))
+    }
+
+    /// Loads the cursor if one exists. `Ok(None)` when no cursor was
+    /// ever persisted (a fresh follower); a corrupt cursor is an
+    /// error — resuming from a guessed position could double-count,
+    /// so the caller must decide (typically: fail loudly).
+    pub fn load(dir: &Path) -> io::Result<Option<FeedCursor>> {
+        let path = dir.join(CURSOR_NAME);
+        let text = match std::fs::read_to_string(&path) {
+            Ok(t) => t,
+            Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(None),
+            Err(e) => return Err(e),
+        };
+        FeedCursor::parse(&text)
+            .map(Some)
+            .map_err(|why| io::Error::new(io::ErrorKind::InvalidData, format!("{path:?}: {why}")))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmpdir(name: &str) -> std::path::PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("moas-feed-cursor-{}-{name}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn roundtrips_and_survives_reload() {
+        let dir = tmpdir("roundtrip");
+        assert_eq!(FeedCursor::load(&dir).unwrap(), None);
+        let cursor = FeedCursor {
+            file: "updates.20010101.0000.mrt".into(),
+            offset: 4_242,
+            next_day: 3,
+            files_done: 2,
+            gaps: 1,
+            records: 917,
+            shards: 4,
+        };
+        cursor.persist(&dir).unwrap();
+        assert_eq!(FeedCursor::load(&dir).unwrap(), Some(cursor.clone()));
+        // Overwrite is atomic and total.
+        let later = FeedCursor {
+            offset: 9_000,
+            ..cursor
+        };
+        later.persist(&dir).unwrap();
+        assert_eq!(FeedCursor::load(&dir).unwrap(), Some(later));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn corrupt_cursor_is_an_error_not_a_guess() {
+        let dir = tmpdir("corrupt");
+        let cursor = FeedCursor::default();
+        cursor.persist(&dir).unwrap();
+        let path = dir.join(CURSOR_NAME);
+        let mut text = std::fs::read_to_string(&path).unwrap();
+        text = text.replace("offset=0", "offset=7");
+        std::fs::write(&path, text).unwrap();
+        assert!(FeedCursor::load(&dir).is_err(), "crc must catch the edit");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

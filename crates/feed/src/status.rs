@@ -1,0 +1,230 @@
+//! Live feed status: the shared block `/v1/feed` answers from.
+//!
+//! The follower updates plain relaxed atomics on its thread; any
+//! number of server workers snapshot them without coordination. Gap
+//! events keep a small bounded history (most recent first out) so a
+//! dashboard can show *which* days went missing, not just how many.
+
+use moas_net::Date;
+use serde::Value;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Most gap events retained for the status answer.
+const GAP_HISTORY: usize = 64;
+
+/// One detected feed gap: an archive day that never landed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FeedGap {
+    /// The missing day's date.
+    pub date: Date,
+    /// Its day position in the window.
+    pub day: u32,
+}
+
+/// Shared live counters, updated by the follower and read by servers.
+#[derive(Default)]
+pub struct FeedStatus {
+    running: AtomicBool,
+    caught_up: AtomicBool,
+    current_file: Mutex<String>,
+    cursor_offset: AtomicU64,
+    files_done: AtomicU64,
+    files_pending: AtomicU64,
+    days_marked: AtomicU64,
+    records: AtomicU64,
+    records_skipped: AtomicU64,
+    gap_count: AtomicU64,
+    late_files: AtomicU64,
+    truncated_tails: AtomicU64,
+    checkpoints: AtomicU64,
+    resumes: AtomicU64,
+    suppressed_duplicates: AtomicU64,
+    last_event_at: AtomicU64,
+    gaps: Mutex<Vec<FeedGap>>,
+}
+
+/// A point-in-time copy of [`FeedStatus`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FeedStatusSnapshot {
+    /// Whether a follower currently drives the feed.
+    pub running: bool,
+    /// Whether the follower has consumed everything discovered.
+    pub caught_up: bool,
+    /// Update file currently being tailed (empty before the first).
+    pub current_file: String,
+    /// Durable cursor byte offset within `current_file`.
+    pub cursor_offset: u64,
+    /// Update files fully consumed.
+    pub files_done: u64,
+    /// Files discovered but not yet fully consumed — the feed's lag,
+    /// in files.
+    pub files_pending: u64,
+    /// Day marks issued to the history service.
+    pub days_marked: u64,
+    /// MRT records ingested (lifetime, across restarts).
+    pub records: u64,
+    /// Records skipped as undecodable.
+    pub records_skipped: u64,
+    /// Missing archive days detected (lifetime, across restarts).
+    pub gap_count: u64,
+    /// Files that arrived after the follower had advanced past their
+    /// timestamp slot (ignored — the history cannot rewind).
+    pub late_files: u64,
+    /// Finalized files that ended mid-record.
+    pub truncated_tails: u64,
+    /// Durable cursor checkpoints written.
+    pub checkpoints: u64,
+    /// Times a follower resumed from a persisted cursor.
+    pub resumes: u64,
+    /// Events dropped at resume because the durable log already held
+    /// them (crash-window duplicates).
+    pub suppressed_duplicates: u64,
+    /// Largest update-stream timestamp ingested — stream time, for
+    /// lag-behind-the-collector dashboards.
+    pub last_event_at: u64,
+    /// Recent gaps, oldest first.
+    pub gaps: Vec<FeedGap>,
+}
+
+impl FeedStatus {
+    pub(crate) fn set_running(&self, v: bool) {
+        self.running.store(v, Ordering::Relaxed);
+    }
+
+    pub(crate) fn set_caught_up(&self, v: bool) {
+        self.caught_up.store(v, Ordering::Relaxed);
+    }
+
+    pub(crate) fn set_position(&self, file: &str, offset: u64) {
+        *self.current_file.lock().expect("status lock") = file.to_string();
+        self.cursor_offset.store(offset, Ordering::Relaxed);
+    }
+
+    pub(crate) fn set_files(&self, done: u64, pending: u64) {
+        self.files_done.store(done, Ordering::Relaxed);
+        self.files_pending.store(pending, Ordering::Relaxed);
+    }
+
+    pub(crate) fn set_counts(&self, records: u64, gaps: u64, days_marked: u64) {
+        self.records.store(records, Ordering::Relaxed);
+        self.gap_count.store(gaps, Ordering::Relaxed);
+        self.days_marked.store(days_marked, Ordering::Relaxed);
+    }
+
+    pub(crate) fn add_skipped(&self, n: u64) {
+        self.records_skipped.fetch_add(n, Ordering::Relaxed);
+    }
+
+    pub(crate) fn add_late_file(&self) {
+        self.late_files.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn add_truncated_tail(&self) {
+        self.truncated_tails.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn add_checkpoint(&self) {
+        self.checkpoints.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn add_resume(&self) {
+        self.resumes.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn add_suppressed(&self, n: u64) {
+        self.suppressed_duplicates.fetch_add(n, Ordering::Relaxed);
+    }
+
+    pub(crate) fn observe_event_at(&self, at: u64) {
+        self.last_event_at.fetch_max(at, Ordering::Relaxed);
+    }
+
+    pub(crate) fn push_gap(&self, gap: FeedGap) {
+        let mut gaps = self.gaps.lock().expect("status lock");
+        if gaps.len() >= GAP_HISTORY {
+            gaps.remove(0);
+        }
+        gaps.push(gap);
+    }
+
+    /// A point-in-time copy of every counter.
+    pub fn snapshot(&self) -> FeedStatusSnapshot {
+        FeedStatusSnapshot {
+            running: self.running.load(Ordering::Relaxed),
+            caught_up: self.caught_up.load(Ordering::Relaxed),
+            current_file: self.current_file.lock().expect("status lock").clone(),
+            cursor_offset: self.cursor_offset.load(Ordering::Relaxed),
+            files_done: self.files_done.load(Ordering::Relaxed),
+            files_pending: self.files_pending.load(Ordering::Relaxed),
+            days_marked: self.days_marked.load(Ordering::Relaxed),
+            records: self.records.load(Ordering::Relaxed),
+            records_skipped: self.records_skipped.load(Ordering::Relaxed),
+            gap_count: self.gap_count.load(Ordering::Relaxed),
+            late_files: self.late_files.load(Ordering::Relaxed),
+            truncated_tails: self.truncated_tails.load(Ordering::Relaxed),
+            checkpoints: self.checkpoints.load(Ordering::Relaxed),
+            resumes: self.resumes.load(Ordering::Relaxed),
+            suppressed_duplicates: self.suppressed_duplicates.load(Ordering::Relaxed),
+            last_event_at: self.last_event_at.load(Ordering::Relaxed),
+            gaps: self.gaps.lock().expect("status lock").clone(),
+        }
+    }
+
+    /// The JSON shape `/v1/feed` serves.
+    pub fn to_json(&self) -> Value {
+        let s = self.snapshot();
+        Value::Object(vec![
+            ("running".into(), Value::Bool(s.running)),
+            ("caught_up".into(), Value::Bool(s.caught_up)),
+            (
+                "cursor".into(),
+                Value::Object(vec![
+                    ("file".into(), Value::String(s.current_file.clone())),
+                    ("offset".into(), Value::U64(s.cursor_offset)),
+                ]),
+            ),
+            (
+                "lag".into(),
+                Value::Object(vec![
+                    ("files_pending".into(), Value::U64(s.files_pending)),
+                    ("last_event_at".into(), Value::U64(s.last_event_at)),
+                ]),
+            ),
+            ("files_done".into(), Value::U64(s.files_done)),
+            ("days_marked".into(), Value::U64(s.days_marked)),
+            ("records".into(), Value::U64(s.records)),
+            ("records_skipped".into(), Value::U64(s.records_skipped)),
+            ("gap_count".into(), Value::U64(s.gap_count)),
+            (
+                "gaps".into(),
+                Value::Array(
+                    s.gaps
+                        .iter()
+                        .map(|g| {
+                            Value::Object(vec![
+                                ("date".into(), Value::String(g.date.to_string())),
+                                ("day".into(), Value::U64(g.day as u64)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+            ("late_files".into(), Value::U64(s.late_files)),
+            ("truncated_tails".into(), Value::U64(s.truncated_tails)),
+            ("checkpoints".into(), Value::U64(s.checkpoints)),
+            ("resumes".into(), Value::U64(s.resumes)),
+            (
+                "suppressed_duplicates".into(),
+                Value::U64(s.suppressed_duplicates),
+            ),
+        ])
+    }
+
+    /// A provider closure for `moas-serve`'s `/v1/feed` route: the
+    /// server crate stays feed-agnostic, the feed supplies the JSON.
+    pub fn json_provider(self: &Arc<Self>) -> Arc<dyn Fn() -> Value + Send + Sync> {
+        let status = Arc::clone(self);
+        Arc::new(move || status.to_json())
+    }
+}

@@ -313,6 +313,56 @@ impl HistoryService {
         Ok(())
     }
 
+    /// The store directory this service runs over — where a feed
+    /// driver persists its cursor next to the `MANIFEST`.
+    pub fn dir(&self) -> &Path {
+        &self.shared.dir
+    }
+
+    /// Seals the open segment mid-day and publishes the epoch, without
+    /// marking a day boundary. This is the durability point a live
+    /// feed's cursor rides on: events appended before a checkpoint
+    /// survive a crash (sealed segments are recovered at open),
+    /// events after it are discarded with the unsealed segment — so a
+    /// cursor persisted right after a checkpoint is never ahead of
+    /// the durable log. A no-op (no manifest swap, no epoch) when
+    /// nothing was appended since the last seal.
+    pub fn checkpoint(&self) -> io::Result<()> {
+        let mut st = self.shared.state.lock().expect("state lock poisoned");
+        let sealed = match st.store.seal() {
+            Ok(sealed) => sealed,
+            Err(e) => {
+                st.store.discard_open();
+                st.pending.clear();
+                return Err(e);
+            }
+        };
+        if let Some(seg) = sealed {
+            debug_assert_eq!(seg.events as usize, st.pending.len());
+            let chunk: Vec<SeqEvent> = st.pending.drain(..).collect();
+            st.tail.push((seg.file, Arc::new(chunk)));
+            publish_epoch(&self.shared, &st);
+        }
+        Ok(())
+    }
+
+    /// Per-shard maximum event sequence numbers across the durable
+    /// uncovered tail (sealed segments not yet compacted into the
+    /// table). A restarted feed uses these as suppression watermarks:
+    /// any event it regenerates with `seq` at or below the watermark
+    /// is already in the durable log and must not be appended again.
+    pub fn tail_watermarks(&self) -> Vec<(usize, u64)> {
+        let st = self.shared.state.lock().expect("state lock poisoned");
+        let mut max: std::collections::BTreeMap<usize, u64> = std::collections::BTreeMap::new();
+        for (_, chunk) in &st.tail {
+            for e in chunk.iter() {
+                let entry = max.entry(e.shard).or_insert(e.seq);
+                *entry = (*entry).max(e.seq);
+            }
+        }
+        max.into_iter().collect()
+    }
+
     /// Marks day position `idx` complete: seals the day's segment,
     /// publishes a new epoch so readers see the day, and wakes the
     /// daemon for its watermark/retention check.

@@ -31,7 +31,9 @@ pub mod peers;
 pub mod realize;
 pub mod updates;
 
-pub use archive::write_window_archive;
+pub use archive::{
+    update_file_name, write_update_archive, write_window_archive, AppendedDay, SimFeed,
+};
 pub use collector::{BackgroundMode, Collector};
 pub use peers::{PeerSet, Session};
 pub use realize::Realizer;

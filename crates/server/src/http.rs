@@ -146,7 +146,7 @@ pub fn read_request<R: BufRead>(reader: &mut R) -> Result<Request, RequestError>
         Some((p, q)) => (p, Some(q)),
         None => (target.as_str(), None),
     };
-    let path = percent_decode(path_raw)?;
+    let path = percent_decode(path_raw, false)?;
     if !path.starts_with('/') {
         return Err(RequestError::Malformed(format!(
             "target must be origin-form, got {target:?}"
@@ -156,7 +156,7 @@ pub fn read_request<R: BufRead>(reader: &mut R) -> Result<Request, RequestError>
     if let Some(q) = query_raw {
         for pair in q.split('&').filter(|p| !p.is_empty()) {
             let (k, v) = pair.split_once('=').unwrap_or((pair, ""));
-            query.push((percent_decode(k)?, percent_decode(v)?));
+            query.push((percent_decode(k, true)?, percent_decode(v, true)?));
         }
     }
 
@@ -240,27 +240,37 @@ fn escape_component(s: &str, out: &mut String) {
     }
 }
 
-/// Decodes `%XX` escapes and `+`-as-space.
-fn percent_decode(s: &str) -> Result<String, RequestError> {
+/// Decodes `%XX` escapes. `+` is the *form-encoding* space escape and
+/// applies only inside query components (`plus_is_space`); in a path
+/// it is an ordinary literal character — decoding it there would make
+/// `/v1/prefix/a+b` and `/v1/prefix/a%20b` collide.
+///
+/// Escapes are validated strictly: exactly two ASCII hex digits, in
+/// either case (`%2F` and `%2f` decode to the same byte, so the
+/// canonical cache key cannot split on escape casing). A bare `%`, a
+/// truncated escape at end of input, or any non-hexdigit byte — in
+/// particular `+`/`-`, which `u8::from_str_radix` would otherwise
+/// accept as a sign — is rejected as malformed.
+fn percent_decode(s: &str, plus_is_space: bool) -> Result<String, RequestError> {
     let bytes = s.as_bytes();
     let mut out = Vec::with_capacity(bytes.len());
     let mut i = 0;
     while i < bytes.len() {
         match bytes[i] {
             b'%' => {
-                let hex = bytes
-                    .get(i + 1..i + 3)
-                    .ok_or_else(|| RequestError::Malformed("truncated % escape".into()))?;
-                let v = u8::from_str_radix(
-                    std::str::from_utf8(hex)
-                        .map_err(|_| RequestError::Malformed("bad % escape".into()))?,
-                    16,
-                )
-                .map_err(|_| RequestError::Malformed(format!("bad %% escape in {s:?}")))?;
+                let hex = bytes.get(i + 1..i + 3).ok_or_else(|| {
+                    RequestError::Malformed(format!("truncated % escape in {s:?}"))
+                })?;
+                if !hex.iter().all(u8::is_ascii_hexdigit) {
+                    return Err(RequestError::Malformed(format!("bad % escape in {s:?}")));
+                }
+                let v =
+                    u8::from_str_radix(std::str::from_utf8(hex).expect("hex digits are ascii"), 16)
+                        .expect("two hex digits parse");
                 out.push(v);
                 i += 3;
             }
-            b'+' => {
+            b'+' if plus_is_space => {
                 out.push(b' ');
                 i += 1;
             }
@@ -282,6 +292,9 @@ pub struct Response {
     pub content_type: &'static str,
     /// The body bytes (always a complete JSON document here).
     pub body: String,
+    /// Seconds for a `Retry-After` header — overload/shutdown answers
+    /// tell well-behaved clients when to come back.
+    pub retry_after: Option<u32>,
 }
 
 impl Response {
@@ -291,6 +304,7 @@ impl Response {
             status: 200,
             content_type: "application/json",
             body,
+            retry_after: None,
         }
     }
 
@@ -308,6 +322,17 @@ impl Response {
             status,
             content_type: "application/json",
             body,
+            retry_after: None,
+        }
+    }
+
+    /// A 503 for overload or shutdown: carries `Retry-After` and is
+    /// always written with `Connection: close` — a rejected connection
+    /// must never be left open holding server resources.
+    pub fn unavailable(message: &str, retry_after_secs: u32) -> Self {
+        Response {
+            retry_after: Some(retry_after_secs),
+            ..Response::error(503, message)
         }
     }
 
@@ -325,10 +350,17 @@ impl Response {
     }
 
     /// Writes the response, with `Content-Length` and the appropriate
-    /// `Connection` header.
+    /// `Connection` header. A 503 always goes out `Connection: close`
+    /// no matter what the caller negotiated — the whole point of the
+    /// rejection is to shed the connection.
     pub fn write_to<W: Write>(&self, w: &mut W, keep_alive: bool) -> io::Result<()> {
+        let keep_alive = keep_alive && self.status != 503;
+        let retry = match self.retry_after {
+            Some(secs) => format!("retry-after: {secs}\r\n"),
+            None => String::new(),
+        };
         let head = format!(
-            "HTTP/1.1 {} {}\r\ncontent-type: {}\r\ncontent-length: {}\r\nconnection: {}\r\n\r\n",
+            "HTTP/1.1 {} {}\r\ncontent-type: {}\r\ncontent-length: {}\r\n{retry}connection: {}\r\n\r\n",
             self.status,
             Self::status_text(self.status),
             self.content_type,
@@ -401,6 +433,55 @@ mod tests {
         assert_eq!(req.query_value("x"), Some("a b!"));
     }
 
+    /// `+` is the form-encoding space escape: it applies to query
+    /// components only. In a path it is a literal plus — decoding it
+    /// there would make `/a+b` and `/a%20b` collide.
+    #[test]
+    fn plus_is_space_in_query_but_literal_in_path() {
+        let req = parse("GET /v1/prefix/a+b?x=a+b HTTP/1.1\r\n\r\n").unwrap();
+        assert_eq!(req.path, "/v1/prefix/a+b");
+        assert_eq!(req.query_value("x"), Some("a b"));
+        let spaced = parse("GET /v1/prefix/a%20b HTTP/1.1\r\n\r\n").unwrap();
+        assert_eq!(spaced.path, "/v1/prefix/a b");
+        assert_ne!(req.canonical_query(), spaced.canonical_query());
+    }
+
+    /// Truncated and malformed escapes are rejected consistently in
+    /// both the path and the query — including the `%+5` shape, which
+    /// `u8::from_str_radix` would happily parse as a signed `5`.
+    #[test]
+    fn bad_percent_escapes_rejected_in_path_and_query() {
+        for bad in [
+            "GET /x% HTTP/1.1\r\n\r\n",
+            "GET /x%a HTTP/1.1\r\n\r\n",
+            "GET /x%+5 HTTP/1.1\r\n\r\n",
+            "GET /x%-5 HTTP/1.1\r\n\r\n",
+            "GET /x%g1 HTTP/1.1\r\n\r\n",
+            "GET /x?q=% HTTP/1.1\r\n\r\n",
+            "GET /x?q=%a HTTP/1.1\r\n\r\n",
+            "GET /x?q=%+5 HTTP/1.1\r\n\r\n",
+            "GET /x?q=%zz HTTP/1.1\r\n\r\n",
+            "GET /x?%5=1 HTTP/1.1\r\n\r\n",
+        ] {
+            assert!(
+                matches!(parse(bad), Err(RequestError::Malformed(_))),
+                "{bad:?} must be malformed"
+            );
+        }
+    }
+
+    /// Escape hex case is insignificant: `%2F` and `%2f` decode to the
+    /// same byte, so the canonical cache key cannot split one resource
+    /// across two entries (or serve one variant a stale answer).
+    #[test]
+    fn hex_case_decodes_identically() {
+        let upper = parse("GET /v1/prefix/10.0.0.0%2F8?x=a%21 HTTP/1.1\r\n\r\n").unwrap();
+        let lower = parse("GET /v1/prefix/10.0.0.0%2f8?x=a%21 HTTP/1.1\r\n\r\n").unwrap();
+        assert_eq!(upper.path, lower.path);
+        assert_eq!(upper.query, lower.query);
+        assert_eq!(upper.canonical_query(), lower.canonical_query());
+    }
+
     #[test]
     fn connection_header_overrides_version_default() {
         let close = parse("GET / HTTP/1.1\r\nConnection: close\r\n\r\n").unwrap();
@@ -464,5 +545,20 @@ mod tests {
 
         let err = Response::error(404, "no such route");
         assert_eq!(err.body, "{\"status\":404,\"error\":\"no such route\"}");
+    }
+
+    /// A 503 always sheds the connection and tells the client when to
+    /// retry — even if the caller asked for keep-alive.
+    #[test]
+    fn unavailable_always_closes_and_carries_retry_after() {
+        let mut out = Vec::new();
+        Response::unavailable("busy", 7)
+            .write_to(&mut out, true)
+            .unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.starts_with("HTTP/1.1 503 Service Unavailable\r\n"));
+        assert!(text.contains("retry-after: 7\r\n"));
+        assert!(text.contains("connection: close\r\n"));
+        assert!(!text.contains("keep-alive"));
     }
 }

@@ -48,7 +48,7 @@ pub mod server;
 pub use cache::{CacheStats, ResponseCache};
 pub use http::{Request, RequestError, Response};
 pub use metrics::{ServerMetrics, ServerStats};
-pub use routes::QueryService;
+pub use routes::{FeedStatusProvider, QueryService};
 pub use server::QueryServer;
 
 use moas_net::Date;
@@ -73,6 +73,8 @@ pub struct ServerConfig {
     /// Date of day position 0 — how `/v1/timeline` maps day offsets to
     /// dates (mirror [`moas_history::ServiceConfig::start_date`]).
     pub start_date: Date,
+    /// `Retry-After` seconds on 503 overload/shutdown rejections.
+    pub retry_after_secs: u32,
 }
 
 impl Default for ServerConfig {
@@ -84,6 +86,7 @@ impl Default for ServerConfig {
             keep_alive_requests: 10_000,
             cache_capacity: 256,
             start_date: Date::ymd(1970, 1, 1),
+            retry_after_secs: 1,
         }
     }
 }

@@ -30,6 +30,10 @@ use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::str::FromStr;
 use std::sync::Arc;
 
+/// A pluggable live-status source for `/v1/feed` — the feed subsystem
+/// supplies its own JSON, so this crate stays ingestion-agnostic.
+pub type FeedStatusProvider = Arc<dyn Fn() -> Value + Send + Sync>;
+
 /// The socket-independent request handler: an epoch-pinned router plus
 /// the response cache and server metrics. [`crate::QueryServer`] wraps
 /// it in TCP; tests can call [`QueryService::respond`] directly and
@@ -40,6 +44,7 @@ pub struct QueryService {
     cache: ResponseCache,
     metrics: ServerMetrics,
     engine: Option<Arc<EngineMetrics>>,
+    feed: Option<FeedStatusProvider>,
 }
 
 impl QueryService {
@@ -51,6 +56,7 @@ impl QueryService {
             config,
             metrics: ServerMetrics::default(),
             engine: None,
+            feed: None,
         }
     }
 
@@ -58,6 +64,13 @@ impl QueryService {
     /// `/v1/metrics` next to the server's own counters.
     pub fn with_engine_metrics(mut self, engine: Arc<EngineMetrics>) -> Self {
         self.engine = Some(engine);
+        self
+    }
+
+    /// Attaches a live-feed status source, served under `/v1/feed`
+    /// (cursor, lag, gap count). Without one the route answers 404.
+    pub fn with_feed_status(mut self, feed: FeedStatusProvider) -> Self {
+        self.feed = Some(feed);
         self
     }
 
@@ -87,7 +100,9 @@ impl QueryService {
             ));
         }
         let snap = self.reader.snapshot();
-        let cacheable = req.path != "/v1/metrics";
+        // Metrics and feed status change with every request (and the
+        // feed cursor advances independently of epochs): never cached.
+        let cacheable = req.path != "/v1/metrics" && req.path != "/v1/feed";
         let key = req.canonical_query();
         if cacheable {
             if let Some(hit) = self.cache.get(snap.epoch(), &key) {
@@ -112,6 +127,7 @@ impl QueryService {
             "/v1/conflicts" => self.conflicts_route(snap, req),
             "/v1/timeline" => self.timeline_route(snap, req),
             "/v1/metrics" => Ok(self.metrics_route()),
+            "/v1/feed" => self.feed_route(),
             p => match p.strip_prefix("/v1/prefix/") {
                 Some(rest) if !rest.is_empty() => self.prefix_route(snap, rest, req),
                 _ => Err(Response::error(404, &format!("no such route: {p}"))),
@@ -177,8 +193,31 @@ impl QueryService {
         }))
     }
 
+    /// Whether `date` falls below the snapshot's retention horizon —
+    /// i.e. the whole day's segments have been expired, so the store
+    /// can no longer distinguish "no conflicts that day" from "data
+    /// deleted". Such days must be reported as truncated, never as
+    /// zero conflicts (§VI longevity statistics would silently skew).
+    /// Dates before day position 0 are equally unanswerable (the
+    /// history never covered them) and get the same marker, so a
+    /// pre-window day answers identically whether or not retention
+    /// has ever expired anything.
+    fn day_expired(&self, snap: &HistorySnapshot, date: Date) -> bool {
+        self.config.start_date.days_until(&date) < snap.horizon_day() as i64
+    }
+
     fn conflicts_route(&self, snap: &HistorySnapshot, req: &Request) -> Result<Response, Response> {
         let date: Date = required_param(req, "date")?;
+        if self.day_expired(snap, date) {
+            return Ok(json(&ConflictsResponse {
+                epoch: snap.epoch(),
+                date: date.to_string(),
+                horizon_day: snap.horizon_day(),
+                truncated: true,
+                count: None,
+                prefixes: Vec::new(),
+            }));
+        }
         let cut = ConflictStore::cuts(&[date])[0];
         let prefixes: Vec<String> = snap
             .conflicts()
@@ -190,7 +229,9 @@ impl QueryService {
         Ok(json(&ConflictsResponse {
             epoch: snap.epoch(),
             date: date.to_string(),
-            count: prefixes.len() as u64,
+            horizon_day: snap.horizon_day(),
+            truncated: false,
+            count: Some(prefixes.len() as u64),
             prefixes,
         }))
     }
@@ -249,23 +290,48 @@ impl QueryService {
         let dates: Vec<Date> = (0..days).map(|i| start.plus_days(i as i64)).collect();
         let cuts = ConflictStore::cuts(&dates);
         let store = snap.conflicts();
+        // Days behind the retention horizon are absent, not zero: the
+        // segments that would answer them have been expired.
         let days_out: Vec<TimelineDay> = dates
             .iter()
             .zip(&cuts)
-            .map(|(date, &cut)| TimelineDay {
-                date: date.to_string(),
-                conflicts: store
-                    .records()
-                    .values()
-                    .filter(|r| r.days_at_cuts(&[cut]) > 0)
-                    .count() as u64,
+            .map(|(date, &cut)| {
+                if self.day_expired(snap, *date) {
+                    return TimelineDay {
+                        date: date.to_string(),
+                        conflicts: None,
+                        truncated: true,
+                    };
+                }
+                TimelineDay {
+                    date: date.to_string(),
+                    conflicts: Some(
+                        store
+                            .records()
+                            .values()
+                            .filter(|r| r.days_at_cuts(&[cut]) > 0)
+                            .count() as u64,
+                    ),
+                    truncated: false,
+                }
             })
             .collect();
+        let truncated_days = days_out.iter().filter(|d| d.truncated).count() as u64;
         Ok(json(&TimelineResponse {
             epoch: snap.epoch(),
             start: start.to_string(),
+            horizon_day: snap.horizon_day(),
+            truncated_days,
             days: days_out,
         }))
+    }
+
+    fn feed_route(&self) -> Result<Response, Response> {
+        let feed = self
+            .feed
+            .as_ref()
+            .ok_or_else(|| Response::error(404, "no live feed attached to this server"))?;
+        Ok(json(&feed()))
     }
 
     fn metrics_route(&self) -> Response {
@@ -397,7 +463,9 @@ struct ValidityResponse {
 struct ConflictsResponse {
     epoch: u64,
     date: String,
-    count: u64,
+    horizon_day: u32,
+    truncated: bool,
+    count: Option<u64>,
     prefixes: Vec<String>,
 }
 
@@ -423,13 +491,16 @@ struct PrefixResponse {
 #[derive(Serialize)]
 struct TimelineDay {
     date: String,
-    conflicts: u64,
+    conflicts: Option<u64>,
+    truncated: bool,
 }
 
 #[derive(Serialize)]
 struct TimelineResponse {
     epoch: u64,
     start: String,
+    horizon_day: u32,
+    truncated_days: u64,
     days: Vec<TimelineDay>,
 }
 

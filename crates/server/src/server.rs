@@ -117,14 +117,16 @@ impl QueryServer {
                         let Ok(stream) = incoming else { continue };
                         let m = service.metrics();
                         m.connections_accepted.fetch_add(1, Ordering::Relaxed);
-                        if let Err(mut rejected) = queue.push(stream_configured(stream, &config)) {
+                        if let Err(rejected) = queue.push(stream_configured(stream, &config)) {
                             // Backpressure: answer 503 inline (best
                             // effort) and close, so overload degrades
                             // into fast rejections.
-                            m.connections_rejected.fetch_add(1, Ordering::Relaxed);
-                            m.record_status(503);
-                            let _ = Response::error(503, "server busy: connection queue is full")
-                                .write_to(&mut rejected, false);
+                            reject_unavailable(
+                                rejected,
+                                m,
+                                "server busy: connection queue is full",
+                                config.retry_after_secs,
+                            );
                         }
                     }
                 })?
@@ -182,6 +184,23 @@ impl Drop for QueryServer {
     }
 }
 
+/// The one 503 path: whether a connection is shed by the accept loop
+/// (queue full) or by a worker draining into shutdown, the response
+/// carries `Retry-After`, goes out `Connection: close`, and lands in
+/// [`crate::ServerMetrics`] exactly like any worker-path status —
+/// overload must be visible in `/v1/metrics`, not just in client
+/// error logs.
+fn reject_unavailable(
+    mut stream: TcpStream,
+    metrics: &crate::ServerMetrics,
+    message: &str,
+    retry_after_secs: u32,
+) {
+    metrics.connections_rejected.fetch_add(1, Ordering::Relaxed);
+    metrics.record_status(503);
+    let _ = Response::unavailable(message, retry_after_secs).write_to(&mut stream, false);
+}
+
 fn stream_configured(stream: TcpStream, config: &crate::ServerConfig) -> TcpStream {
     // A failed timeout set just means the idle-connection guard is
     // weaker for this connection; serving still works. The write
@@ -202,10 +221,16 @@ fn serve_connection(
     stream: TcpStream,
 ) -> std::io::Result<()> {
     // Backpressure answered inline for connections that were queued
-    // while the pool drained into shutdown.
+    // while the pool drained into shutdown — counted and headed the
+    // same as an accept-loop rejection.
     if queue.stop.load(Ordering::Acquire) {
-        let mut out = stream;
-        return Response::error(503, "server is shutting down").write_to(&mut out, false);
+        reject_unavailable(
+            stream,
+            service.metrics(),
+            "server is shutting down",
+            service.config().retry_after_secs,
+        );
+        return Ok(());
     }
     let mut reader = BufReader::new(stream.try_clone()?);
     let mut out = stream;

@@ -500,7 +500,10 @@ fn full_queue_rejects_with_503() {
     let addr = server.local_addr();
 
     // Pin the single worker with an idle connection, fill the queue
-    // with another, then expect a 503 on the next.
+    // with another, then expect a 503 on the next. The inline
+    // rejection must carry the full overload contract: `Connection:
+    // close`, a `Retry-After`, and a tally in the status metrics —
+    // not just a bare status line.
     let _pin = TcpStream::connect(addr).expect("pin connection");
     let _queued = TcpStream::connect(addr).expect("queued connection");
     let mut rejected = None;
@@ -510,16 +513,38 @@ fn full_queue_rejects_with_503() {
             .set_read_timeout(Some(Duration::from_millis(500)))
             .expect("timeout");
         let mut reader = BufReader::new(extra);
-        let mut line = String::new();
-        if reader.read_line(&mut line).is_ok() && line.contains("503") {
-            rejected = Some(line);
+        let mut head = Vec::new();
+        loop {
+            let mut line = String::new();
+            match reader.read_line(&mut line) {
+                Ok(n) if n > 0 && line.trim_end() != "" => head.push(line.trim_end().to_string()),
+                _ => break,
+            }
+        }
+        if head.first().is_some_and(|l| l.contains("503")) {
+            rejected = Some(head);
             break;
         }
         std::thread::sleep(Duration::from_millis(20));
     }
-    let line = rejected.expect("some connection must be rejected with 503");
-    assert!(line.starts_with("HTTP/1.1 503"), "got {line:?}");
-    assert!(query.metrics().connections_rejected.load(Ordering::Relaxed) >= 1);
+    let head = rejected.expect("some connection must be rejected with 503");
+    assert!(head[0].starts_with("HTTP/1.1 503"), "got {:?}", head[0]);
+    let has = |needle: &str| head.iter().any(|l| l.eq_ignore_ascii_case(needle));
+    assert!(
+        has("connection: close"),
+        "503 must shed the connection: {head:?}"
+    );
+    assert!(
+        has("retry-after: 1"),
+        "503 must tell the client when to retry: {head:?}"
+    );
+    let metrics = query.metrics();
+    assert!(metrics.connections_rejected.load(Ordering::Relaxed) >= 1);
+    assert!(
+        metrics.responses_server_error.load(Ordering::Relaxed)
+            >= metrics.connections_rejected.load(Ordering::Relaxed),
+        "inline 503s must be tallied like worker-path statuses"
+    );
 
     server.shutdown();
     service.close().expect("close service");

@@ -1,0 +1,187 @@
+//! Regression: day-cut queries at the retention horizon.
+//!
+//! Once retention has expired a day's segments, the store can no
+//! longer distinguish "no conflicts that day" from "data deleted".
+//! `/v1/timeline` and `/v1/conflicts` must therefore report expired
+//! days as *truncated/absent* — `conflicts: null` with a `truncated`
+//! marker — never as zero conflicts, which would silently skew any
+//! §VI longevity statistic computed from the answers.
+
+use moas_history::{HistoryService, RetentionPolicy, ServiceConfig};
+use moas_monitor::{MonitorEvent, SeqEvent};
+use moas_mrt::snapshot::midnight_timestamp;
+use moas_net::{Asn, Date, Prefix};
+use moas_serve::{QueryService, Request, Response, ServerConfig};
+use serde::Value;
+use std::path::PathBuf;
+use std::sync::Arc;
+
+fn start() -> Date {
+    Date::ymd(2001, 1, 1)
+}
+
+fn tmp(name: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("moas-server-horizon-{}-{name}", std::process::id()))
+}
+
+/// Stream timestamp `secs` into day position `d`.
+fn at(d: u32, secs: u32) -> u32 {
+    midnight_timestamp(start()) + d * 86_400 + secs
+}
+
+fn parse(body: &str) -> Value {
+    serde_json::from_str(body).unwrap_or_else(|e| panic!("unparseable JSON ({e}): {body}"))
+}
+
+fn u(v: &Value, key: &str) -> u64 {
+    v.get(key)
+        .and_then(Value::as_u64)
+        .unwrap_or_else(|| panic!("missing u64 field {key:?} in {v:?}"))
+}
+
+fn b(v: &Value, key: &str) -> bool {
+    v.get(key)
+        .and_then(Value::as_bool)
+        .unwrap_or_else(|| panic!("missing bool field {key:?} in {v:?}"))
+}
+
+fn get(service: &QueryService, target: &str) -> Arc<Response> {
+    let (path, query_raw) = match target.split_once('?') {
+        Some((p, q)) => (p, Some(q)),
+        None => (target, None),
+    };
+    let query = query_raw
+        .map(|q| {
+            q.split('&')
+                .map(|pair| {
+                    let (k, v) = pair.split_once('=').unwrap_or((pair, ""));
+                    (k.to_string(), v.to_string())
+                })
+                .collect()
+        })
+        .unwrap_or_default();
+    service.respond(&Request {
+        method: "GET".to_string(),
+        path: path.to_string(),
+        query,
+        headers: Vec::new(),
+        body: Vec::new(),
+        keep_alive: true,
+    })
+}
+
+/// One short conflict per day for days `0..n`, each straddling its
+/// day's midnight so it covers exactly one snapshot cut.
+fn feed_daily_conflicts(service: &HistoryService, n: u32) {
+    let mut seq = 0u64;
+    for d in 0..n {
+        let prefix: Prefix = format!("10.0.{d}.0/24").parse().unwrap();
+        let opened = at(d, 1_000);
+        let events = vec![
+            SeqEvent {
+                shard: 0,
+                seq,
+                event: MonitorEvent::ConflictOpened {
+                    prefix,
+                    origins: vec![Asn::new(100 + d), Asn::new(200 + d)],
+                    at: opened,
+                },
+            },
+            SeqEvent {
+                shard: 0,
+                seq: seq + 1,
+                event: MonitorEvent::ConflictClosed {
+                    prefix,
+                    opened_at: opened,
+                    at: at(d + 1, 1_000),
+                },
+            },
+        ];
+        seq += 2;
+        service.append(&events).unwrap();
+        service.mark_day(d as usize).unwrap();
+    }
+}
+
+#[test]
+fn timeline_and_conflicts_report_expired_days_as_truncated() {
+    let dir = tmp("truncated");
+    std::fs::remove_dir_all(&dir).ok();
+    let service = HistoryService::open(
+        &dir,
+        ServiceConfig {
+            start_date: start(),
+            retention: RetentionPolicy::keep_days(4),
+            watermark_segments: 100,
+            daemon: false,
+            ..ServiceConfig::default()
+        },
+    )
+    .unwrap();
+    feed_daily_conflicts(&service, 6); // days 0..=5; keep 4 → horizon 2
+    assert!(service.maintain_now().unwrap());
+    let snap = service.reader().snapshot();
+    assert_eq!(snap.horizon_day(), 2, "days 0 and 1 must be expired");
+
+    let query = QueryService::new(
+        service.reader(),
+        ServerConfig {
+            start_date: start(),
+            ..ServerConfig::default()
+        },
+    );
+
+    // Timeline spanning the horizon: expired days are absent, not 0.
+    let resp = get(&query, "/v1/timeline?days=6");
+    assert_eq!(resp.status, 200, "{}", resp.body);
+    let tl = parse(&resp.body);
+    assert_eq!(u(&tl, "horizon_day"), 2);
+    assert_eq!(u(&tl, "truncated_days"), 2);
+    let days = tl.get("days").and_then(Value::as_array).unwrap();
+    assert_eq!(days.len(), 6);
+    for (i, day) in days.iter().enumerate() {
+        let expired = i < 2;
+        assert_eq!(
+            b(day, "truncated"),
+            expired,
+            "day {i} truncation flag wrong: {day:?}"
+        );
+        if expired {
+            assert_eq!(
+                day.get("conflicts"),
+                Some(&Value::Null),
+                "expired day {i} must be absent, not a count"
+            );
+        } else {
+            assert_eq!(u(day, "conflicts"), 1, "retained day {i} has its conflict");
+        }
+    }
+
+    // Point query for an expired day: truncated, count absent.
+    let resp = get(&query, "/v1/conflicts?date=2001-01-01");
+    assert_eq!(resp.status, 200, "{}", resp.body);
+    let body = parse(&resp.body);
+    assert!(b(&body, "truncated"));
+    assert_eq!(body.get("count"), Some(&Value::Null));
+    assert_eq!(u(&body, "horizon_day"), 2);
+
+    // A retained day still answers a real count.
+    let resp = get(&query, "/v1/conflicts?date=2001-01-03");
+    let body = parse(&resp.body);
+    assert!(!b(&body, "truncated"));
+    assert_eq!(u(&body, "count"), 1);
+
+    // The boundary day itself (horizon) is retained, not truncated.
+    let resp = get(&query, "/v1/conflicts?date=2001-01-05");
+    assert!(!b(&parse(&resp.body), "truncated"));
+
+    // A date before the window ever began is just as unanswerable as
+    // an expired one, and gets the same marker.
+    let resp = get(&query, "/v1/conflicts?date=2000-12-31");
+    let body = parse(&resp.body);
+    assert!(b(&body, "truncated"));
+    assert_eq!(body.get("count"), Some(&Value::Null));
+
+    service.close().unwrap();
+    std::fs::remove_dir_all(&dir).ok();
+}
