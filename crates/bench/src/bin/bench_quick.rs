@@ -3,7 +3,8 @@
 //! Unlike the Criterion benches (tuned for precision), this binary
 //! runs a fixed small workload a few times, keeps the best run, and
 //! writes machine-readable JSON — `BENCH_monitor.json`,
-//! `BENCH_history.json`, and `BENCH_server.json` — for
+//! `BENCH_history.json`, `BENCH_server.json`, `BENCH_feed.json`, and
+//! `BENCH_obs.json` — for
 //! `tools/bench_gate.rs` to compare against the checked-in baseline
 //! (`ci/bench_baseline.json`). Total runtime is a few seconds, cheap
 //! enough for every push.
@@ -45,6 +46,8 @@ fn main() -> std::io::Result<()> {
     write_json(&out_dir.join("BENCH_server.json"), "server", &server)?;
     let feed = bench_feed()?;
     write_json(&out_dir.join("BENCH_feed.json"), "feed", &feed)?;
+    let obs = bench_obs();
+    write_json(&out_dir.join("BENCH_obs.json"), "obs", &obs)?;
     Ok(())
 }
 
@@ -284,6 +287,88 @@ fn bench_feed() -> std::io::Result<Vec<(&'static str, f64)>> {
         ("catchup_files_per_sec", best_files_per_sec),
         ("update_lag_ms", best_lag_ms),
     ])
+}
+
+/// Observability: cost of the hot record path (counter add, histogram
+/// observe — both on the ingest fast path, so they must stay in the
+/// nanoseconds) and of one full `/metrics` render over a registry
+/// populated like a live pipeline's.
+fn bench_obs() -> Vec<(&'static str, f64)> {
+    use moas_obs::Registry;
+
+    const OPS: u64 = 4_000_000;
+    const RENDERS: u32 = 200;
+
+    let registry = Arc::new(Registry::new());
+    let counter = registry.counter("bench_ops_total", "Bench counter.");
+    let hist = registry.histogram("bench_lat_us", "Bench histogram.");
+
+    let mut best_counter_ns = f64::MAX;
+    let mut best_observe_ns = f64::MAX;
+    for _ in 0..REPS {
+        let start = Instant::now();
+        for _ in 0..OPS {
+            counter.add(1);
+        }
+        best_counter_ns = best_counter_ns.min(start.elapsed().as_nanos() as f64 / OPS as f64);
+
+        let start = Instant::now();
+        for i in 0..OPS {
+            hist.observe(i % 100_000);
+        }
+        best_observe_ns = best_observe_ns.min(start.elapsed().as_nanos() as f64 / OPS as f64);
+    }
+    black_box(counter.get());
+
+    // A render-side registry shaped like a live deployment: every
+    // pipeline stage, plus a spread of counters and gauges per
+    // subsystem, all with recorded data.
+    let full = Registry::new();
+    for stage in [
+        "mrt_decode",
+        "shard_apply",
+        "event_append",
+        "segment_seal",
+        "compaction",
+        "epoch_publish",
+        "feed_poll",
+        "feed_tail",
+        "request_parse",
+        "request_route",
+        "request_serialize",
+    ] {
+        let h = full.stage_histogram(stage);
+        for i in 0..64 {
+            h.observe(1 << (i % 20));
+        }
+    }
+    for i in 0..40 {
+        full.counter_with(
+            "bench_requests_total",
+            &[("path", &format!("/v{i}"))],
+            "Req.",
+        )
+        .add(i);
+        full.gauge_with("bench_depth", &[("shard", &format!("{i}"))], "Depth.")
+            .set(i);
+    }
+    let mut best_render_ns = f64::MAX;
+    for _ in 0..REPS {
+        let start = Instant::now();
+        for _ in 0..RENDERS {
+            black_box(full.render_prometheus().len());
+        }
+        best_render_ns = best_render_ns.min(start.elapsed().as_nanos() as f64 / RENDERS as f64);
+    }
+
+    eprintln!(
+        "obs: best {best_counter_ns:.2} ns/counter-add, {best_observe_ns:.2} ns/observe, {best_render_ns:.0} ns/render"
+    );
+    vec![
+        ("counter_add_ns", best_counter_ns),
+        ("histogram_observe_ns", best_observe_ns),
+        ("render_ns", best_render_ns),
+    ]
 }
 
 /// One time-boxed measurement: `CLIENTS` keep-alive loopback clients

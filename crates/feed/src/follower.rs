@@ -53,15 +53,17 @@ use crate::layout::{scan_layout, FeedFile};
 use crate::status::{FeedGap, FeedStatus};
 use crate::tail::FileTailer;
 use moas_history::HistoryService;
+use moas_monitor::metrics::EngineMetrics;
 use moas_monitor::{MonitorConfig, MonitorEngine, MonitorReport, SeqEvent};
 use moas_net::Date;
+use moas_obs::{Histogram, Registry};
 use std::collections::{HashMap, HashSet};
 use std::io;
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// Follower tuning.
 #[derive(Debug, Clone)]
@@ -115,6 +117,14 @@ fn floor(k: &(Date, u16, String)) -> (Date, u16, &str) {
     (k.0, k.1, k.2.as_str())
 }
 
+/// The unix timestamp a feed file's name encodes (UTC day + HHMM) —
+/// the same clock MRT record timestamps use, so the difference against
+/// the last ingested event is a real stream-time lag.
+fn file_head_ts(f: &FeedFile) -> u64 {
+    let days = f.date.day_index().0.max(0) as u64;
+    days * 86_400 + (f.hhmm as u64 / 100) * 3_600 + (f.hhmm as u64 % 100) * 60
+}
+
 /// A live follower over one collector directory, driving one
 /// [`HistoryService`].
 pub struct FeedFollower {
@@ -123,6 +133,15 @@ pub struct FeedFollower {
     engine: Option<MonitorEngine>,
     cursor: FeedCursor,
     status: Arc<FeedStatus>,
+    /// Cached engine metrics handle — feeds the ingest-side watermark
+    /// of the `ingest_to_serve_lag` gauge.
+    engine_metrics: Arc<EngineMetrics>,
+    /// Stage timers: one whole discovery-and-ingest pass.
+    stage_poll: Histogram,
+    /// Stage timers: one tail read over the in-flight file.
+    stage_tail: Histogram,
+    /// Stage timers: the MRT decode loop inside a tail pass.
+    stage_decode: Histogram,
     /// Per-shard suppression watermarks from the durable tail at
     /// resume: regenerated events at or below them are already on
     /// disk.
@@ -151,12 +170,29 @@ impl FeedFollower {
     /// replayed up to the cursor (sink disabled) to rebuild monitor
     /// state, and ingestion resumes at the exact byte offset.
     pub fn open(config: FeedConfig, service: Arc<HistoryService>) -> io::Result<FeedFollower> {
-        let status = Arc::new(FeedStatus::default());
+        FeedFollower::open_with_registry(config, service, Arc::new(Registry::new()))
+    }
+
+    /// [`FeedFollower::open`] with the feed and engine metrics on
+    /// `registry` — share it with the query server so one `/metrics`
+    /// scrape covers ingest and serving in the same document.
+    pub fn open_with_registry(
+        config: FeedConfig,
+        service: Arc<HistoryService>,
+        registry: Arc<Registry>,
+    ) -> io::Result<FeedFollower> {
+        let status = Arc::new(FeedStatus::new(&registry));
+        let engine = MonitorEngine::with_registry(config.monitor, Arc::clone(&registry));
+        let engine_metrics = engine.metrics_handle();
         let cursor = FeedCursor::load(service.dir())?;
         let mut follower = FeedFollower {
-            engine: Some(MonitorEngine::new(config.monitor)),
+            engine: Some(engine),
             cursor: FeedCursor::default(),
             status,
+            engine_metrics,
+            stage_poll: registry.stage_histogram("feed_poll"),
+            stage_tail: registry.stage_histogram("feed_tail"),
+            stage_decode: registry.stage_histogram("mrt_decode"),
             watermarks: HashMap::new(),
             done_key: None,
             current: None,
@@ -340,6 +376,7 @@ impl FeedFollower {
         self.service.mark_day(idx as usize)?;
         self.cursor.next_day = idx + 1;
         self.days_marked += 1;
+        self.status.reset_day_files();
         Ok(())
     }
 
@@ -364,10 +401,16 @@ impl FeedFollower {
 
     /// Folds one tail pass into the engine and the counters.
     fn ingest_pass(&mut self, pass: &crate::tail::TailPass, progress: &mut FeedProgress) {
+        if pass.bytes_read > 0 || !pass.records.is_empty() {
+            self.stage_decode.observe(pass.decode_micros);
+        }
         if !pass.records.is_empty() {
+            let mut newest = 0u64;
             for rec in &pass.records {
                 self.status.observe_event_at(rec.timestamp as u64);
+                newest = newest.max(rec.timestamp as u64);
             }
+            self.engine_metrics.lag.observe_ingested(newest);
             self.engine
                 .as_mut()
                 .expect("engine present")
@@ -417,6 +460,13 @@ impl FeedFollower {
     /// gaps), and tail the in-flight newest file. Returns what
     /// happened; call in a loop (or via [`FeedFollower::run`]).
     pub fn poll_once(&mut self) -> io::Result<FeedProgress> {
+        let started = Instant::now();
+        let result = self.poll_once_inner();
+        self.stage_poll.observe_duration(started.elapsed());
+        result
+    }
+
+    fn poll_once_inner(&mut self) -> io::Result<FeedProgress> {
         let mut progress = FeedProgress::default();
         let layout = scan_layout(&self.config.archive_dir)?;
 
@@ -428,6 +478,7 @@ impl FeedFollower {
                 continue;
             }
             self.seen.insert(file.name.clone());
+            self.status.add_file_seen();
             let below_floor = self
                 .done_key
                 .as_ref()
@@ -468,7 +519,9 @@ impl FeedFollower {
                     self.persist_cursor()?;
                 }
                 Some((file, mut tailer)) => {
+                    let tail_started = Instant::now();
                     let pass = tailer.poll()?;
+                    self.stage_tail.observe_duration(tail_started.elapsed());
                     self.current = Some((file, tailer));
                     self.ingest_pass(&pass, &mut progress);
                     let (file, mut tailer) = self.current.take().expect("just stored");
@@ -492,6 +545,7 @@ impl FeedFollower {
                         self.durable_checkpoint()?;
                         self.current = None;
                         progress.files_closed += 1;
+                        self.status.add_file_done();
                         continue; // next file (or catch-up exit)
                     }
 
@@ -521,6 +575,18 @@ impl FeedFollower {
                 })
                 .count() as u64,
         );
+        // Stream-time lag: how far the ingest position trails the
+        // newest discovered file's encoded timestamp. Both sides are
+        // unix seconds (file names encode UTC day + HHMM, records
+        // carry unix timestamps). Caught up means zero by definition —
+        // everything discovered has been consumed.
+        let lag = if progress.caught_up {
+            0
+        } else {
+            let newest = layout.iter().map(file_head_ts).max().unwrap_or(0);
+            newest.saturating_sub(self.status.snapshot().last_event_at)
+        };
+        self.status.set_lag_seconds(lag);
         self.publish_status(progress.caught_up);
         Ok(progress)
     }
@@ -546,11 +612,13 @@ impl FeedFollower {
         self.last_ingested_date = Some(file.date);
         self.done_key = Some((file.date, file.hhmm, file.name.clone()));
         self.current = Some((file, tailer));
+        self.status.add_file_done();
         // The file's own day is complete too: mark through it.
         self.mark_days_before(pos + 1, &mut progress)?;
         self.persist_cursor()?;
         self.status.add_checkpoint();
         progress.files_closed += 1;
+        self.status.set_lag_seconds(0);
         self.publish_status(true);
         Ok(progress)
     }

@@ -1,13 +1,16 @@
 //! Live feed status: the shared block `/v1/feed` answers from.
 //!
-//! The follower updates plain relaxed atomics on its thread; any
-//! number of server workers snapshot them without coordination. Gap
-//! events keep a small bounded history (most recent first out) so a
-//! dashboard can show *which* days went missing, not just how many.
+//! Every counter lives on a [`moas_obs::Registry`] — the follower
+//! updates typed handles on its thread; any number of server workers
+//! snapshot them without coordination, and the same series appear in
+//! the Prometheus `GET /metrics` scrape. Gap events keep a small
+//! bounded history (most recent first out) so a dashboard can show
+//! *which* days went missing, not just how many — and each gap is
+//! also recorded in the registry's operational event journal.
 
 use moas_net::Date;
+use moas_obs::{Counter, Gauge, Registry};
 use serde::Value;
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 
 /// Most gap events retained for the status answer.
@@ -22,26 +25,38 @@ pub struct FeedGap {
     pub day: u32,
 }
 
-/// Shared live counters, updated by the follower and read by servers.
-#[derive(Default)]
+/// Shared live counters, updated by the follower and read by servers
+/// (and by Prometheus scrapes, through the shared registry).
 pub struct FeedStatus {
-    running: AtomicBool,
-    caught_up: AtomicBool,
+    running: Gauge,
+    caught_up: Gauge,
     current_file: Mutex<String>,
-    cursor_offset: AtomicU64,
-    files_done: AtomicU64,
-    files_pending: AtomicU64,
-    days_marked: AtomicU64,
-    records: AtomicU64,
-    records_skipped: AtomicU64,
-    gap_count: AtomicU64,
-    late_files: AtomicU64,
-    truncated_tails: AtomicU64,
-    checkpoints: AtomicU64,
-    resumes: AtomicU64,
-    suppressed_duplicates: AtomicU64,
-    last_event_at: AtomicU64,
+    cursor_offset: Gauge,
+    files_done: Gauge,
+    files_pending: Gauge,
+    days_marked: Gauge,
+    records: Gauge,
+    records_skipped: Counter,
+    gap_count: Gauge,
+    late_files: Counter,
+    truncated_tails: Counter,
+    checkpoints: Counter,
+    resumes: Counter,
+    suppressed_duplicates: Counter,
+    last_event_at: Gauge,
+    lag_seconds: Gauge,
+    files_seen_total: Counter,
+    files_done_total: Counter,
+    day_files_seen: Gauge,
+    day_files_done: Gauge,
     gaps: Mutex<Vec<FeedGap>>,
+    registry: Arc<Registry>,
+}
+
+impl Default for FeedStatus {
+    fn default() -> Self {
+        FeedStatus::new(&Arc::new(Registry::new()))
+    }
 }
 
 /// A point-in-time copy of [`FeedStatus`].
@@ -83,64 +98,196 @@ pub struct FeedStatusSnapshot {
     /// Largest update-stream timestamp ingested — stream time, for
     /// lag-behind-the-collector dashboards.
     pub last_event_at: u64,
+    /// Seconds the ingest position trails the newest discovered
+    /// archive file's encoded timestamp (0 while caught up).
+    pub lag_seconds: u64,
+    /// Archive files ever discovered (this process).
+    pub files_seen_total: u64,
+    /// Archive files fully consumed (this process).
+    pub files_done_total: u64,
+    /// Files discovered since the last day mark.
+    pub day_files_seen: u64,
+    /// Files fully consumed since the last day mark.
+    pub day_files_done: u64,
     /// Recent gaps, oldest first.
     pub gaps: Vec<FeedGap>,
 }
 
 impl FeedStatus {
+    /// Registers every feed series on `registry` — share the registry
+    /// with the monitor engine and the query server so one scrape
+    /// covers the pipeline.
+    pub fn new(registry: &Arc<Registry>) -> Self {
+        let r = registry.as_ref();
+        FeedStatus {
+            running: r.gauge("moas_feed_running", "1 while a follower drives the feed."),
+            caught_up: r.gauge(
+                "moas_feed_caught_up",
+                "1 when everything discovered has been consumed.",
+            ),
+            current_file: Mutex::new(String::new()),
+            cursor_offset: r.gauge(
+                "moas_feed_cursor_offset_bytes",
+                "Durable cursor byte offset within the current file.",
+            ),
+            files_done: r.gauge(
+                "moas_feed_files_done",
+                "Update files fully consumed (lifetime, across restarts).",
+            ),
+            files_pending: r.gauge(
+                "moas_feed_files_pending",
+                "Files discovered but not yet fully consumed.",
+            ),
+            days_marked: r.gauge(
+                "moas_feed_days_marked",
+                "Day marks issued to the history service this run.",
+            ),
+            records: r.gauge(
+                "moas_feed_records",
+                "MRT records ingested (lifetime, across restarts).",
+            ),
+            records_skipped: r.counter(
+                "moas_feed_records_skipped_total",
+                "Records skipped as undecodable.",
+            ),
+            gap_count: r.gauge(
+                "moas_feed_gaps",
+                "Missing archive days detected (lifetime, across restarts).",
+            ),
+            late_files: r.counter(
+                "moas_feed_late_files_total",
+                "Files that arrived after the follower passed their slot.",
+            ),
+            truncated_tails: r.counter(
+                "moas_feed_truncated_tails_total",
+                "Finalized files that ended mid-record.",
+            ),
+            checkpoints: r.counter(
+                "moas_feed_checkpoints_total",
+                "Durable cursor checkpoints written.",
+            ),
+            resumes: r.counter(
+                "moas_feed_resumes_total",
+                "Followers resumed from a persisted cursor.",
+            ),
+            suppressed_duplicates: r.counter(
+                "moas_feed_suppressed_duplicates_total",
+                "Events dropped at resume as already durable.",
+            ),
+            last_event_at: r.gauge(
+                "moas_feed_last_event_timestamp_seconds",
+                "Largest update-stream timestamp ingested.",
+            ),
+            lag_seconds: r.gauge(
+                "moas_feed_lag_seconds",
+                "Seconds the ingest position trails the newest discovered file.",
+            ),
+            files_seen_total: r.counter(
+                "moas_feed_files_seen_total",
+                "Archive files discovered by this process.",
+            ),
+            files_done_total: r.counter(
+                "moas_feed_files_done_total",
+                "Archive files fully consumed by this process.",
+            ),
+            day_files_seen: r.gauge(
+                "moas_feed_day_files_seen",
+                "Files discovered since the last day mark.",
+            ),
+            day_files_done: r.gauge(
+                "moas_feed_day_files_done",
+                "Files fully consumed since the last day mark.",
+            ),
+            gaps: Mutex::new(Vec::new()),
+            registry: Arc::clone(registry),
+        }
+    }
+
+    /// The registry the feed series live on.
+    pub fn registry(&self) -> &Arc<Registry> {
+        &self.registry
+    }
+
     pub(crate) fn set_running(&self, v: bool) {
-        self.running.store(v, Ordering::Relaxed);
+        self.running.set(v as u64);
     }
 
     pub(crate) fn set_caught_up(&self, v: bool) {
-        self.caught_up.store(v, Ordering::Relaxed);
+        self.caught_up.set(v as u64);
     }
 
     pub(crate) fn set_position(&self, file: &str, offset: u64) {
         *self.current_file.lock().expect("status lock") = file.to_string();
-        self.cursor_offset.store(offset, Ordering::Relaxed);
+        self.cursor_offset.set(offset);
     }
 
     pub(crate) fn set_files(&self, done: u64, pending: u64) {
-        self.files_done.store(done, Ordering::Relaxed);
-        self.files_pending.store(pending, Ordering::Relaxed);
+        self.files_done.set(done);
+        self.files_pending.set(pending);
     }
 
     pub(crate) fn set_counts(&self, records: u64, gaps: u64, days_marked: u64) {
-        self.records.store(records, Ordering::Relaxed);
-        self.gap_count.store(gaps, Ordering::Relaxed);
-        self.days_marked.store(days_marked, Ordering::Relaxed);
+        self.records.set(records);
+        self.gap_count.set(gaps);
+        self.days_marked.set(days_marked);
+    }
+
+    pub(crate) fn set_lag_seconds(&self, secs: u64) {
+        self.lag_seconds.set(secs);
+    }
+
+    pub(crate) fn add_file_seen(&self) {
+        self.files_seen_total.inc();
+        self.day_files_seen.add(1);
+    }
+
+    pub(crate) fn add_file_done(&self) {
+        self.files_done_total.inc();
+        self.day_files_done.add(1);
+    }
+
+    /// Resets the per-day file counters at a day boundary.
+    pub(crate) fn reset_day_files(&self) {
+        self.day_files_seen.set(0);
+        self.day_files_done.set(0);
     }
 
     pub(crate) fn add_skipped(&self, n: u64) {
-        self.records_skipped.fetch_add(n, Ordering::Relaxed);
+        self.records_skipped.add(n);
     }
 
     pub(crate) fn add_late_file(&self) {
-        self.late_files.fetch_add(1, Ordering::Relaxed);
+        self.late_files.inc();
     }
 
     pub(crate) fn add_truncated_tail(&self) {
-        self.truncated_tails.fetch_add(1, Ordering::Relaxed);
+        self.truncated_tails.inc();
     }
 
     pub(crate) fn add_checkpoint(&self) {
-        self.checkpoints.fetch_add(1, Ordering::Relaxed);
+        self.checkpoints.inc();
     }
 
     pub(crate) fn add_resume(&self) {
-        self.resumes.fetch_add(1, Ordering::Relaxed);
+        self.resumes.inc();
     }
 
     pub(crate) fn add_suppressed(&self, n: u64) {
-        self.suppressed_duplicates.fetch_add(n, Ordering::Relaxed);
+        self.suppressed_duplicates.add(n);
     }
 
     pub(crate) fn observe_event_at(&self, at: u64) {
-        self.last_event_at.fetch_max(at, Ordering::Relaxed);
+        self.last_event_at.max(at);
     }
 
     pub(crate) fn push_gap(&self, gap: FeedGap) {
+        self.registry.journal().record(
+            "feed_gap",
+            format!(
+                "archive day {} (day position {}) never landed",
+                gap.date, gap.day
+            ),
+        );
         let mut gaps = self.gaps.lock().expect("status lock");
         if gaps.len() >= GAP_HISTORY {
             gaps.remove(0);
@@ -151,22 +298,27 @@ impl FeedStatus {
     /// A point-in-time copy of every counter.
     pub fn snapshot(&self) -> FeedStatusSnapshot {
         FeedStatusSnapshot {
-            running: self.running.load(Ordering::Relaxed),
-            caught_up: self.caught_up.load(Ordering::Relaxed),
+            running: self.running.get() != 0,
+            caught_up: self.caught_up.get() != 0,
             current_file: self.current_file.lock().expect("status lock").clone(),
-            cursor_offset: self.cursor_offset.load(Ordering::Relaxed),
-            files_done: self.files_done.load(Ordering::Relaxed),
-            files_pending: self.files_pending.load(Ordering::Relaxed),
-            days_marked: self.days_marked.load(Ordering::Relaxed),
-            records: self.records.load(Ordering::Relaxed),
-            records_skipped: self.records_skipped.load(Ordering::Relaxed),
-            gap_count: self.gap_count.load(Ordering::Relaxed),
-            late_files: self.late_files.load(Ordering::Relaxed),
-            truncated_tails: self.truncated_tails.load(Ordering::Relaxed),
-            checkpoints: self.checkpoints.load(Ordering::Relaxed),
-            resumes: self.resumes.load(Ordering::Relaxed),
-            suppressed_duplicates: self.suppressed_duplicates.load(Ordering::Relaxed),
-            last_event_at: self.last_event_at.load(Ordering::Relaxed),
+            cursor_offset: self.cursor_offset.get(),
+            files_done: self.files_done.get(),
+            files_pending: self.files_pending.get(),
+            days_marked: self.days_marked.get(),
+            records: self.records.get(),
+            records_skipped: self.records_skipped.get(),
+            gap_count: self.gap_count.get(),
+            late_files: self.late_files.get(),
+            truncated_tails: self.truncated_tails.get(),
+            checkpoints: self.checkpoints.get(),
+            resumes: self.resumes.get(),
+            suppressed_duplicates: self.suppressed_duplicates.get(),
+            last_event_at: self.last_event_at.get(),
+            lag_seconds: self.lag_seconds.get(),
+            files_seen_total: self.files_seen_total.get(),
+            files_done_total: self.files_done_total.get(),
+            day_files_seen: self.day_files_seen.get(),
+            day_files_done: self.day_files_done.get(),
             gaps: self.gaps.lock().expect("status lock").clone(),
         }
     }
@@ -189,8 +341,17 @@ impl FeedStatus {
                 Value::Object(vec![
                     ("files_pending".into(), Value::U64(s.files_pending)),
                     ("last_event_at".into(), Value::U64(s.last_event_at)),
+                    ("lag_seconds".into(), Value::U64(s.lag_seconds)),
                 ]),
             ),
+            (
+                "day".into(),
+                Value::Object(vec![
+                    ("files_seen".into(), Value::U64(s.day_files_seen)),
+                    ("files_done".into(), Value::U64(s.day_files_done)),
+                ]),
+            ),
+            ("files_seen".into(), Value::U64(s.files_seen_total)),
             ("files_done".into(), Value::U64(s.files_done)),
             ("days_marked".into(), Value::U64(s.days_marked)),
             ("records".into(), Value::U64(s.records)),
@@ -220,11 +381,14 @@ impl FeedStatus {
             ),
         ])
     }
+}
 
-    /// A provider closure for `moas-serve`'s `/v1/feed` route: the
-    /// server crate stays feed-agnostic, the feed supplies the JSON.
-    pub fn json_provider(self: &Arc<Self>) -> Arc<dyn Fn() -> Value + Send + Sync> {
-        let status = Arc::clone(self);
-        Arc::new(move || status.to_json())
+impl moas_serve::FeedStatusSource for FeedStatus {
+    fn status_json(&self) -> Value {
+        self.to_json()
+    }
+
+    fn lag_seconds(&self) -> u64 {
+        self.lag_seconds.get()
     }
 }

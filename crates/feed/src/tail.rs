@@ -34,6 +34,9 @@ pub struct TailPass {
     pub records_skipped: u64,
     /// New bytes read from the file this pass.
     pub bytes_read: u64,
+    /// Microseconds spent in the MRT decode loop this pass — the
+    /// follower feeds this into the `mrt_decode` stage histogram.
+    pub decode_micros: u64,
 }
 
 /// An open position in one growing update file.
@@ -109,6 +112,7 @@ impl FileTailer {
         }
 
         // Decode complete records off the front of the pending buffer.
+        let decode_started = std::time::Instant::now();
         let mut at = 0usize;
         while self.pending.len() - at >= 12 {
             let head = &self.pending[at..at + 12];
@@ -134,6 +138,7 @@ impl FileTailer {
                 Err(_) => pass.records_skipped += 1,
             }
         }
+        pass.decode_micros = decode_started.elapsed().as_micros() as u64;
         if at > 0 {
             self.pending.drain(..at);
             self.consumed += at as u64;

@@ -103,8 +103,15 @@ pub(crate) fn maintain_once(shared: &Shared) -> io::Result<bool> {
     let need_compact = !backlog.is_empty()
         && (backlog.len() >= shared.config.watermark_segments || expiry_blocked || size_pressure);
 
+    let registry = shared
+        .registry
+        .lock()
+        .expect("registry slot poisoned")
+        .clone();
+
     let mut did_work = false;
     if need_compact {
+        let started = std::time::Instant::now();
         let mut comp = Compactor::new();
         let mut horizon = horizon_target;
         if let Some(t) = &table {
@@ -133,6 +140,19 @@ pub(crate) fn maintain_once(shared: &Shared) -> io::Result<bool> {
             let cb = installed.covers_below;
             st.tail.retain(|(n, _)| *n >= cb);
             publish_epoch(shared, &st);
+        }
+        if let Some(r) = &registry {
+            r.stage_histogram("compaction")
+                .observe_duration(started.elapsed());
+            r.journal().record(
+                "compaction",
+                format!(
+                    "compacted {} segment(s), horizon day {}, in {}ms",
+                    backlog.len(),
+                    horizon,
+                    started.elapsed().as_millis()
+                ),
+            );
         }
         did_work = true;
     }

@@ -107,16 +107,33 @@ pub(crate) struct Shared {
     pub(crate) work_cv: Condvar,
     /// Serializes maintenance sweeps (daemon vs `maintain_now`).
     pub(crate) maintain: Mutex<()>,
+    /// The metric registry that arrived with `attach_metrics`; once
+    /// set, notes are mirrored into its operational event journal.
+    pub(crate) registry: Mutex<Option<Arc<moas_obs::Registry>>>,
 }
 
 impl Shared {
     /// Records a non-fatal observation (skipped corrupt segment,
-    /// failed sweep) for [`HistoryService::notes`].
+    /// failed sweep) for [`HistoryService::notes`], mirrored into the
+    /// attached registry's event journal when one is present.
     pub(crate) fn note(&self, note: String) {
+        if let Some(r) = &*self.registry.lock().expect("registry slot poisoned") {
+            r.journal().record(note_kind(&note), note.as_str());
+        }
         let mut ws = self.work.lock().expect("work lock poisoned");
         if ws.notes.len() < 256 {
             ws.notes.push(note);
         }
+    }
+}
+
+/// Journal kind for a store note: corrupt-data skips get their own
+/// kind so an operator can alert on them specifically.
+fn note_kind(note: &str) -> &'static str {
+    if note.contains("corrupt") {
+        "corrupt_segment"
+    } else {
+        "store_note"
     }
 }
 
@@ -167,6 +184,7 @@ impl HistoryEpoch {
 /// Publishes the current store state as a fresh epoch. Call with the
 /// state lock held so the epoch is consistent with the manifest.
 pub(crate) fn publish_epoch(shared: &Shared, st: &StoreState) {
+    let started = std::time::Instant::now();
     let m = st.store.manifest();
     let ep = Arc::new(HistoryEpoch {
         epoch: m.epoch,
@@ -177,6 +195,22 @@ pub(crate) fn publish_epoch(shared: &Shared, st: &StoreState) {
         replayed: OnceLock::new(),
     });
     *shared.epoch.write().expect("epoch lock poisoned") = ep;
+    if let Some(metrics) = st.store.metrics_handle() {
+        // The newest event timestamp now visible to readers — the
+        // serve side of the ingest-to-serve lag. The watermark gauge
+        // absorbs re-publishing the same chunk.
+        if let Some(newest) = st
+            .tail
+            .last()
+            .and_then(|(_, chunk)| chunk.iter().map(|e| e.event.at()).max())
+        {
+            metrics.lag.observe_served(newest as u64);
+        }
+        metrics
+            .registry()
+            .stage_histogram("epoch_publish")
+            .observe_duration(started.elapsed());
+    }
 }
 
 /// The long-running conflict-history service handle.
@@ -246,6 +280,7 @@ impl HistoryService {
             }),
             work_cv: Condvar::new(),
             maintain: Mutex::new(()),
+            registry: Mutex::new(None),
         });
 
         let daemon = config
@@ -262,8 +297,15 @@ impl HistoryService {
     }
 
     /// Attaches an engine's metrics block; the store publishes its
-    /// counters (retained/lifetime bytes, compaction lag, …) there.
+    /// counters (retained/lifetime bytes, compaction lag, …) there,
+    /// and notes — including the ones startup already collected —
+    /// flow into the registry's operational event journal.
     pub fn attach_metrics(&self, metrics: Arc<EngineMetrics>) {
+        let registry = Arc::clone(metrics.registry());
+        for note in self.notes() {
+            registry.journal().record(note_kind(&note), note.as_str());
+        }
+        *self.shared.registry.lock().expect("registry slot poisoned") = Some(registry);
         let mut st = self.shared.state.lock().expect("state lock poisoned");
         st.store.attach_metrics(metrics);
     }

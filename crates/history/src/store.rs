@@ -152,7 +152,16 @@ pub struct HistoryStore {
     table_bytes: u64,
     events_appended: u64,
     metrics: Option<Arc<EngineMetrics>>,
+    /// Stage timers registered when metrics attach (the registry
+    /// arrives with them); `None` means timing is off.
+    stages: Option<StoreStageTimers>,
     open_report: OpenReport,
+}
+
+/// Per-stage latency histograms for the store's disk work.
+struct StoreStageTimers {
+    append: moas_obs::Histogram,
+    seal: moas_obs::Histogram,
 }
 
 impl HistoryStore {
@@ -323,6 +332,7 @@ impl HistoryStore {
             table_bytes,
             events_appended: 0,
             metrics: None,
+            stages: None,
             open_report: report,
         };
         if changed {
@@ -332,8 +342,14 @@ impl HistoryStore {
     }
 
     /// Attaches an engine's metrics block; from now on the store
-    /// publishes its counters there too.
+    /// publishes its counters there too, and times its append/seal
+    /// stages on the block's registry.
     pub fn attach_metrics(&mut self, metrics: Arc<EngineMetrics>) {
+        let registry = metrics.registry();
+        self.stages = Some(StoreStageTimers {
+            append: registry.stage_histogram("event_append"),
+            seal: registry.stage_histogram("segment_seal"),
+        });
         self.metrics = Some(metrics);
         self.publish_metrics();
     }
@@ -395,6 +411,7 @@ impl HistoryStore {
     /// trailer counter can never be the thing that fails). Returns any
     /// segments sealed by rotation (normally none — day marks seal).
     pub fn append(&mut self, events: &[SeqEvent]) -> io::Result<Vec<SealedSegment>> {
+        let started = std::time::Instant::now();
         let mut sealed = Vec::new();
         for e in events {
             if self
@@ -419,6 +436,11 @@ impl HistoryStore {
             w.writer.append(e)?;
             self.events_appended += 1;
         }
+        if let Some(s) = &self.stages {
+            // One observation per append call (a drained batch), the
+            // unit of work the service hands the store.
+            s.append.observe_duration(started.elapsed());
+        }
         Ok(sealed)
     }
 
@@ -442,6 +464,7 @@ impl HistoryStore {
         let Some(open) = self.writer.take() else {
             return Ok(None);
         };
+        let started = std::time::Instant::now();
         let events = open.writer.events();
         let bytes = open.writer.finish()?;
         self.seg_info.insert(
@@ -455,6 +478,9 @@ impl HistoryStore {
         self.manifest.lifetime_bytes += bytes;
         self.swap_manifest()?;
         self.publish_metrics();
+        if let Some(s) = &self.stages {
+            s.seal.observe_duration(started.elapsed());
+        }
         Ok(Some(SealedSegment {
             file: open.file,
             bytes,

@@ -87,11 +87,19 @@ pub struct MonitorEngine {
 }
 
 impl MonitorEngine {
-    /// Spawns the shard workers.
+    /// Spawns the shard workers on a private metric registry.
     pub fn new(config: MonitorConfig) -> Self {
+        Self::with_registry(config, Arc::new(moas_obs::Registry::new()))
+    }
+
+    /// Spawns the shard workers with every engine metric registered on
+    /// `registry` — the deployment path, where the history store, feed
+    /// follower, and query server share the same registry so one
+    /// scrape covers the whole pipeline.
+    pub fn with_registry(config: MonitorConfig, registry: Arc<moas_obs::Registry>) -> Self {
         assert!(config.shards >= 1, "need at least one shard");
         assert!(config.batch_size >= 1, "need a positive batch size");
-        let metrics = Arc::new(EngineMetrics::default());
+        let metrics = Arc::new(EngineMetrics::new(&registry));
         let mut senders = Vec::with_capacity(config.shards);
         let mut handles = Vec::with_capacity(config.shards);
         for shard in 0..config.shards {

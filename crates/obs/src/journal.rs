@@ -1,0 +1,120 @@
+//! A bounded ring of structured operational events.
+//!
+//! The journal captures the facts an operator reaches for first when a
+//! live deployment misbehaves — slow requests over the latency
+//! threshold, feed gaps, compaction runs, corrupt-segment skips —
+//! without unbounded memory: the ring keeps the most recent `cap`
+//! events and drops the oldest. A monotonically increasing sequence
+//! number makes the drop visible (a gap in `seq` means events aged
+//! out), and each event carries a wall-clock timestamp so entries from
+//! several journals can be merged into one timeline.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::{SystemTime, UNIX_EPOCH};
+
+/// Default ring capacity: enough for a useful incident window, small
+/// enough to never matter for memory.
+pub const DEFAULT_JOURNAL_CAPACITY: usize = 256;
+
+/// One recorded operational event.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JournalEvent {
+    /// Monotonically increasing sequence number (gaps mean older
+    /// events were dropped from the ring).
+    pub seq: u64,
+    /// Wall-clock time of the event, milliseconds since the Unix
+    /// epoch.
+    pub unix_ms: u64,
+    /// Short machine-stable event kind, e.g. `slow_request`,
+    /// `feed_gap`, `compaction`, `corrupt_segment`.
+    pub kind: String,
+    /// Human-readable detail line.
+    pub message: String,
+}
+
+/// A bounded, thread-safe ring buffer of [`JournalEvent`]s.
+#[derive(Debug)]
+pub struct EventJournal {
+    cap: usize,
+    seq: AtomicU64,
+    ring: Mutex<VecDeque<JournalEvent>>,
+}
+
+impl Default for EventJournal {
+    fn default() -> Self {
+        EventJournal::with_capacity(DEFAULT_JOURNAL_CAPACITY)
+    }
+}
+
+impl EventJournal {
+    /// A journal keeping at most `cap` events (minimum 1).
+    pub fn with_capacity(cap: usize) -> Self {
+        let cap = cap.max(1);
+        EventJournal {
+            cap,
+            seq: AtomicU64::new(0),
+            ring: Mutex::new(VecDeque::with_capacity(cap)),
+        }
+    }
+
+    /// Records one event, evicting the oldest if the ring is full.
+    /// Off the hot path by design: takes the ring mutex and allocates
+    /// the strings — callers should journal *notable* events, not
+    /// per-record traffic.
+    pub fn record(&self, kind: &str, message: impl Into<String>) {
+        let seq = self.seq.fetch_add(1, Ordering::Relaxed);
+        let unix_ms = SystemTime::now()
+            .duration_since(UNIX_EPOCH)
+            .map(|d| d.as_millis() as u64)
+            .unwrap_or(0);
+        let event = JournalEvent {
+            seq,
+            unix_ms,
+            kind: kind.to_string(),
+            message: message.into(),
+        };
+        let mut ring = self.ring.lock().expect("journal lock poisoned");
+        if ring.len() == self.cap {
+            ring.pop_front();
+        }
+        ring.push_back(event);
+    }
+
+    /// The retained events, oldest first.
+    pub fn events(&self) -> Vec<JournalEvent> {
+        self.ring
+            .lock()
+            .expect("journal lock poisoned")
+            .iter()
+            .cloned()
+            .collect()
+    }
+
+    /// Total events ever recorded (including those already evicted).
+    pub fn recorded(&self) -> u64 {
+        self.seq.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ring_evicts_oldest_and_keeps_sequence() {
+        let j = EventJournal::with_capacity(3);
+        for i in 0..5 {
+            j.record("test", format!("event {i}"));
+        }
+        let events = j.events();
+        assert_eq!(events.len(), 3);
+        assert_eq!(
+            events.iter().map(|e| e.seq).collect::<Vec<_>>(),
+            vec![2, 3, 4]
+        );
+        assert_eq!(events[0].message, "event 2");
+        assert_eq!(j.recorded(), 5);
+    }
+}

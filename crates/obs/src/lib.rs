@@ -1,0 +1,53 @@
+//! # moas-obs — the unified observability layer
+//!
+//! Every long-running crate in this workspace (monitor, history,
+//! feed, server) used to grow its own ad-hoc atomics. This crate
+//! replaces that with one std-only subsystem the whole pipeline
+//! shares:
+//!
+//! * [`Registry`] — a central registry of named [`Counter`]s,
+//!   [`Gauge`]s, and fixed-bucket log-scale [`Histogram`]s. Handles
+//!   are registered once at startup and recorded through relaxed
+//!   atomics: the hot path is one atomic add per counter observation
+//!   (two for a histogram: bucket + sum), no locks, no allocation.
+//! * Prometheus text exposition — [`Registry::render_prometheus`]
+//!   renders every registered series in the text format 0.0.4 shape
+//!   (`# HELP`/`# TYPE`, escaped labels, cumulative
+//!   `_bucket`/`_sum`/`_count` histogram series) for a `GET /metrics`
+//!   scrape endpoint.
+//! * Stage timing — [`Registry::stage_histogram`] names one pipeline
+//!   stage (MRT decode, shard apply, event append, segment seal,
+//!   compaction, epoch publish, feed poll/tail, request
+//!   parse/route/serialize) as a labeled series of one shared
+//!   `moas_stage_duration_us` histogram family.
+//! * [`LagTracker`] — the derived end-to-end `ingest_to_serve_lag`
+//!   gauge: newest record timestamp ingested vs. the timestamp
+//!   horizon of the epoch currently served.
+//! * [`EventJournal`] — a bounded ring of structured operational
+//!   events (slow requests, feed gaps, compaction runs, corrupt
+//!   segment skips), served under `/v1/events/log`.
+//!
+//! ```
+//! use moas_obs::Registry;
+//! use std::sync::Arc;
+//!
+//! let registry = Arc::new(Registry::new());
+//! let ingested = registry.counter("demo_records_ingested_total", "Records ingested.");
+//! let latency = registry.stage_histogram("demo_stage");
+//! ingested.add(3);
+//! latency.observe(250);
+//! let text = registry.render_prometheus();
+//! assert!(text.contains("demo_records_ingested_total 3"));
+//! assert!(text.contains("moas_stage_duration_us_bucket{stage=\"demo_stage\",le=\"256\"} 1"));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod journal;
+pub mod lag;
+pub mod registry;
+
+pub use journal::{EventJournal, JournalEvent};
+pub use lag::LagTracker;
+pub use registry::{Counter, Gauge, Histogram, HistogramSnapshot, MetricKind, Registry};

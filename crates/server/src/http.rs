@@ -308,6 +308,16 @@ impl Response {
         }
     }
 
+    /// A 200 with a plain-text body (Prometheus exposition, probes).
+    pub fn ok_text(body: String) -> Self {
+        Response {
+            status: 200,
+            content_type: "text/plain; charset=utf-8",
+            body,
+            retry_after: None,
+        }
+    }
+
     /// An error response with a small JSON body naming the problem.
     pub fn error(status: u16, message: &str) -> Self {
         let body = serde_json::to_string(&serde::Value::Object(vec![

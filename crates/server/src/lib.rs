@@ -47,8 +47,8 @@ pub mod server;
 
 pub use cache::{CacheStats, ResponseCache};
 pub use http::{Request, RequestError, Response};
-pub use metrics::{ServerMetrics, ServerStats};
-pub use routes::{FeedStatusProvider, QueryService};
+pub use metrics::{InFlightGuard, ServerMetrics, ServerStats};
+pub use routes::{FeedStatusProvider, FeedStatusSource, QueryService};
 pub use server::QueryServer;
 
 use moas_net::Date;
@@ -75,6 +75,12 @@ pub struct ServerConfig {
     pub start_date: Date,
     /// `Retry-After` seconds on 503 overload/shutdown rejections.
     pub retry_after_secs: u32,
+    /// `/readyz` answers 503 while an attached feed reports a lag
+    /// above this many seconds.
+    pub ready_max_feed_lag_secs: u64,
+    /// Requests at least this slow (microseconds) are recorded in the
+    /// operational event journal (`/v1/events/log`); 0 disables.
+    pub slow_request_micros: u64,
 }
 
 impl Default for ServerConfig {
@@ -87,6 +93,8 @@ impl Default for ServerConfig {
             cache_capacity: 256,
             start_date: Date::ymd(1970, 1, 1),
             retry_after_secs: 1,
+            ready_max_feed_lag_secs: 86_400,
+            slow_request_micros: 250_000,
         }
     }
 }

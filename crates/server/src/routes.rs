@@ -15,7 +15,12 @@
 //! | `/v1/conflicts?date=` | prefixes in conflict on a day |
 //! | `/v1/prefix/{prefix}` | point lookup: record + §VI score |
 //! | `/v1/timeline?days=` | conflicts open per day |
-//! | `/v1/metrics` | server + engine counters |
+//! | `/v1/metrics` | server + engine counters (JSON view) |
+//! | `/v1/feed` | live-feed cursor, lag, gaps |
+//! | `/v1/events/log` | recent operational events (ring journal) |
+//! | `/metrics` | Prometheus text exposition of the shared registry |
+//! | `/healthz` | liveness: 200 whenever the process answers |
+//! | `/readyz` | readiness: 200 once an epoch is published and the feed (if any) is not lagging |
 
 use crate::cache::{CacheStats, ResponseCache};
 use crate::http::{Request, Response};
@@ -25,14 +30,27 @@ use moas_history::service::{HistoryReader, HistorySnapshot};
 use moas_history::{ConflictStore, ValidityConfig, Verdict};
 use moas_monitor::metrics::EngineMetrics;
 use moas_net::{Date, Prefix};
+use moas_obs::Registry;
 use serde::{Serialize, Value};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::str::FromStr;
 use std::sync::Arc;
 
-/// A pluggable live-status source for `/v1/feed` — the feed subsystem
-/// supplies its own JSON, so this crate stays ingestion-agnostic.
-pub type FeedStatusProvider = Arc<dyn Fn() -> Value + Send + Sync>;
+/// A pluggable live-status source for `/v1/feed` and the `/readyz`
+/// feed-lag check — the feed subsystem supplies its own JSON and lag
+/// figure, so this crate stays ingestion-agnostic.
+pub trait FeedStatusSource: Send + Sync {
+    /// The JSON document `/v1/feed` serves.
+    fn status_json(&self) -> Value;
+    /// Seconds the ingest position trails the newest discovered
+    /// input; `/readyz` answers 503 while this exceeds
+    /// [`ServerConfig::ready_max_feed_lag_secs`].
+    fn lag_seconds(&self) -> u64;
+}
+
+/// How a feed status source is attached: any [`FeedStatusSource`]
+/// behind an `Arc` (e.g. the feed crate's `FeedStatus`).
+pub type FeedStatusProvider = Arc<dyn FeedStatusSource>;
 
 /// The socket-independent request handler: an epoch-pinned router plus
 /// the response cache and server metrics. [`crate::QueryServer`] wraps
@@ -43,21 +61,40 @@ pub struct QueryService {
     config: ServerConfig,
     cache: ResponseCache,
     metrics: ServerMetrics,
+    registry: Arc<Registry>,
     engine: Option<Arc<EngineMetrics>>,
     feed: Option<FeedStatusProvider>,
 }
 
 impl QueryService {
-    /// A service answering from the given reader.
+    /// A service answering from the given reader, with its metrics on
+    /// a private registry.
     pub fn new(reader: HistoryReader, config: ServerConfig) -> Self {
+        QueryService::with_registry(reader, config, Arc::new(Registry::new()))
+    }
+
+    /// A service whose metrics live on `registry` — share it with the
+    /// monitor engine and feed so one `/metrics` scrape covers the
+    /// whole pipeline.
+    pub fn with_registry(
+        reader: HistoryReader,
+        config: ServerConfig,
+        registry: Arc<Registry>,
+    ) -> Self {
         QueryService {
             reader,
             cache: ResponseCache::new(config.cache_capacity),
             config,
-            metrics: ServerMetrics::default(),
+            metrics: ServerMetrics::new(&registry),
+            registry,
             engine: None,
             feed: None,
         }
+    }
+
+    /// The registry this service's series live on.
+    pub fn registry(&self) -> &Arc<Registry> {
+        &self.registry
     }
 
     /// Attaches a monitor engine's metrics block, surfaced under
@@ -100,9 +137,7 @@ impl QueryService {
             ));
         }
         let snap = self.reader.snapshot();
-        // Metrics and feed status change with every request (and the
-        // feed cursor advances independently of epochs): never cached.
-        let cacheable = req.path != "/v1/metrics" && req.path != "/v1/feed";
+        let cacheable = is_cacheable(&req.path);
         let key = req.canonical_query();
         if cacheable {
             if let Some(hit) = self.cache.get(snap.epoch(), &key) {
@@ -128,6 +163,10 @@ impl QueryService {
             "/v1/timeline" => self.timeline_route(snap, req),
             "/v1/metrics" => Ok(self.metrics_route()),
             "/v1/feed" => self.feed_route(),
+            "/v1/events/log" => Ok(self.events_route()),
+            "/metrics" => Ok(self.prometheus_route()),
+            "/healthz" => Ok(Response::ok_text("ok\n".to_string())),
+            "/readyz" => Ok(self.readyz_route(snap)),
             p => match p.strip_prefix("/v1/prefix/") {
                 Some(rest) if !rest.is_empty() => self.prefix_route(snap, rest, req),
                 _ => Err(Response::error(404, &format!("no such route: {p}"))),
@@ -331,7 +370,85 @@ impl QueryService {
             .feed
             .as_ref()
             .ok_or_else(|| Response::error(404, "no live feed attached to this server"))?;
-        Ok(json(&feed()))
+        Ok(json(&feed.status_json()))
+    }
+
+    /// The Prometheus text exposition of the shared registry. When an
+    /// engine was attached with its own (unshared) registry, its
+    /// families are appended with duplicate `# HELP`/`# TYPE` headers
+    /// elided so the combined document still parses.
+    fn prometheus_route(&self) -> Response {
+        let mut body = self.registry.render_prometheus();
+        if let Some(engine) = &self.engine {
+            let theirs = engine.registry();
+            if !Arc::ptr_eq(theirs, &self.registry) {
+                append_exposition(&mut body, &theirs.render_prometheus());
+            }
+        }
+        Response::ok_text(body)
+    }
+
+    /// Readiness: the history must have published at least one epoch
+    /// (a fresh store sits at epoch 0 until its first seal), and an
+    /// attached feed must not be lagging beyond the configured bound.
+    /// The 503 body names the failing check so probes are debuggable.
+    fn readyz_route(&self, snap: &HistorySnapshot) -> Response {
+        if snap.epoch() == 0 {
+            return Response::error(503, "not ready: no history epoch published yet");
+        }
+        if let Some(feed) = &self.feed {
+            let lag = feed.lag_seconds();
+            let max = self.config.ready_max_feed_lag_secs;
+            if lag > max {
+                return Response::error(
+                    503,
+                    &format!("not ready: feed lag {lag}s exceeds limit {max}s"),
+                );
+            }
+        }
+        Response::ok_text("ready\n".to_string())
+    }
+
+    /// Recent operational events from the registry journal(s): slow
+    /// requests, feed gaps, compaction runs, corrupt-segment skips.
+    fn events_route(&self) -> Response {
+        let mut recorded = self.registry.journal().recorded();
+        let mut events = self.registry.journal().events();
+        if let Some(engine) = &self.engine {
+            let theirs = engine.registry();
+            if !Arc::ptr_eq(theirs, &self.registry) {
+                recorded += theirs.journal().recorded();
+                events.extend(theirs.journal().events());
+            }
+        }
+        events.sort_by_key(|e| (e.unix_ms, e.seq));
+        let rows = events
+            .iter()
+            .map(|e| {
+                Value::Object(vec![
+                    ("seq".into(), Value::U64(e.seq)),
+                    ("unix_ms".into(), Value::U64(e.unix_ms)),
+                    ("kind".into(), Value::String(e.kind.clone())),
+                    ("message".into(), Value::String(e.message.clone())),
+                ])
+            })
+            .collect();
+        json(&Value::Object(vec![
+            ("recorded".into(), Value::U64(recorded)),
+            ("events".into(), Value::Array(rows)),
+        ]))
+    }
+
+    /// Records a completed request's latency, journaling it when it
+    /// crossed the slow-request threshold.
+    pub(crate) fn note_request(&self, path: &str, micros: u64) {
+        self.metrics.record_latency(micros);
+        let slow = self.config.slow_request_micros;
+        if slow > 0 && micros >= slow {
+            self.registry
+                .journal()
+                .record("slow_request", format!("{path} took {micros}us"));
+        }
     }
 
     fn metrics_route(&self) -> Response {
@@ -348,6 +465,39 @@ impl QueryService {
             server: self.metrics.stats(self.cache.stats()),
             engine,
         })
+    }
+}
+
+/// Whether a route's answers may enter the epoch-keyed cache.
+/// Metrics, feed status, the event journal, and the probes change
+/// with every request (or independently of epochs): never cached.
+fn is_cacheable(path: &str) -> bool {
+    !matches!(
+        path,
+        "/v1/metrics" | "/v1/feed" | "/v1/events/log" | "/metrics" | "/healthz" | "/readyz"
+    )
+}
+
+/// Appends a second registry's exposition onto `body`, skipping
+/// `# HELP`/`# TYPE` lines for families the first render already
+/// declared (Prometheus rejects a duplicate `TYPE` line).
+fn append_exposition(body: &mut String, extra: &str) {
+    let declared: std::collections::HashSet<String> = body
+        .lines()
+        .filter_map(|l| l.strip_prefix("# TYPE "))
+        .filter_map(|rest| rest.split(' ').next())
+        .map(str::to_string)
+        .collect();
+    for line in extra.lines() {
+        let family = line
+            .strip_prefix("# HELP ")
+            .or_else(|| line.strip_prefix("# TYPE "))
+            .and_then(|rest| rest.split(' ').next());
+        if family.is_some_and(|f| declared.contains(f)) {
+            continue;
+        }
+        body.push_str(line);
+        body.push('\n');
     }
 }
 

@@ -116,7 +116,7 @@ impl QueryServer {
                         }
                         let Ok(stream) = incoming else { continue };
                         let m = service.metrics();
-                        m.connections_accepted.fetch_add(1, Ordering::Relaxed);
+                        m.connections_accepted.inc();
                         if let Err(rejected) = queue.push(stream_configured(stream, &config)) {
                             // Backpressure: answer 503 inline (best
                             // effort) and close, so overload degrades
@@ -196,7 +196,7 @@ fn reject_unavailable(
     message: &str,
     retry_after_secs: u32,
 ) {
-    metrics.connections_rejected.fetch_add(1, Ordering::Relaxed);
+    metrics.connections_rejected.inc();
     metrics.record_status(503);
     let _ = Response::unavailable(message, retry_after_secs).write_to(&mut stream, false);
 }
@@ -238,21 +238,25 @@ fn serve_connection(
     let keep_alive_cap = service.config().keep_alive_requests.max(1);
 
     for served in 0..keep_alive_cap {
+        // Parse timing spans from "ready for a request" to "head
+        // parsed", so on a keep-alive connection it includes the idle
+        // wait for the client's next byte.
+        let parse_started = Instant::now();
         let req = match read_request(&mut reader) {
             Ok(req) => req,
             Err(RequestError::Closed) => break,
             Err(RequestError::Timeout) => {
-                metrics.read_timeouts.fetch_add(1, Ordering::Relaxed);
+                metrics.read_timeouts.inc();
                 break;
             }
             Err(RequestError::Malformed(why)) => {
-                metrics.malformed_requests.fetch_add(1, Ordering::Relaxed);
+                metrics.malformed_requests.inc();
                 metrics.record_status(400);
                 let _ = Response::error(400, &why).write_to(&mut out, false);
                 break;
             }
             Err(RequestError::TooLarge) => {
-                metrics.malformed_requests.fetch_add(1, Ordering::Relaxed);
+                metrics.malformed_requests.inc();
                 metrics.record_status(400);
                 let _ =
                     Response::error(400, "request exceeds size limits").write_to(&mut out, false);
@@ -260,17 +264,24 @@ fn serve_connection(
             }
             Err(RequestError::Io(_)) => break,
         };
+        metrics
+            .stage_parse
+            .observe_duration(parse_started.elapsed());
 
-        metrics.requests.fetch_add(1, Ordering::Relaxed);
-        metrics.in_flight.fetch_add(1, Ordering::Relaxed);
+        let in_flight = metrics.begin_request();
         let started = Instant::now();
         let response = service.respond(&req);
+        metrics.stage_route.observe_duration(started.elapsed());
         let keep_alive =
             req.keep_alive && served + 1 < keep_alive_cap && !queue.stop.load(Ordering::Acquire);
+        let write_started = Instant::now();
         let write = response.write_to(&mut out, keep_alive);
-        metrics.record_latency(started.elapsed().as_micros() as u64);
+        metrics
+            .stage_serialize
+            .observe_duration(write_started.elapsed());
+        service.note_request(&req.path, started.elapsed().as_micros() as u64);
         metrics.record_status(response.status);
-        metrics.in_flight.fetch_sub(1, Ordering::Relaxed);
+        drop(in_flight);
         write?;
         if !keep_alive {
             break;

@@ -70,7 +70,7 @@ fn main() -> std::io::Result<()> {
             ..ServerConfig::default()
         },
     )
-    .with_feed_status(follower.status().json_provider());
+    .with_feed_status(follower.status());
     if let Some(engine) = service.metrics_handle() {
         query = query.with_engine_metrics(engine);
     }
@@ -140,7 +140,7 @@ fn main() -> std::io::Result<()> {
                 ..ServerConfig::default()
             },
         )
-        .with_feed_status(follower.status().json_provider()),
+        .with_feed_status(follower.status()),
     );
     let server2 = QueryServer::bind("127.0.0.1:0", Arc::clone(&query2))?;
     for target in [

@@ -112,6 +112,30 @@ fn main() -> std::io::Result<()> {
         assert_eq!(status, 200, "{target} must succeed");
     }
 
+    println!("== observability: probes and the Prometheus scrape ==");
+    let (status, body) = get(addr, "/healthz")?;
+    println!("   GET /healthz\n      {status} {}", truncate(&body, 40));
+    assert_eq!((status, body.as_str()), (200, "ok\n"));
+    let (status, body) = get(addr, "/readyz")?;
+    println!("   GET /readyz\n      {status} {}", truncate(&body, 40));
+    assert_eq!(
+        (status, body.as_str()),
+        (200, "ready\n"),
+        "epochs are published, so the server is ready"
+    );
+    let (status, body) = get(addr, "/metrics")?;
+    assert_eq!(status, 200);
+    let families = body.lines().filter(|l| l.starts_with("# TYPE ")).count();
+    println!(
+        "   GET /metrics: {} bytes, {families} metric families, e.g.:",
+        body.len()
+    );
+    for line in body.lines().filter(|l| !l.starts_with('#')).take(4) {
+        println!("      {line}");
+    }
+    assert!(body.contains("moas_serve_requests_total"));
+    assert!(body.contains("moas_monitor_records_ingested_total"));
+
     println!("== the cache answers repeats from the pinned epoch ==");
     get(addr, "/v1/validity?limit=3")?;
     get(addr, "/v1/validity?limit=3")?;

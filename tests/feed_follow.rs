@@ -196,7 +196,7 @@ fn feed_catchup_matches_batch_and_serves_status() {
                 ..ServerConfig::default()
             },
         )
-        .with_feed_status(follower.status().json_provider()),
+        .with_feed_status(follower.status()),
     );
     let server = QueryServer::bind("127.0.0.1:0", Arc::clone(&query)).expect("bind");
     let (status, feed) = get_json(server.local_addr(), "/v1/feed");
@@ -432,7 +432,7 @@ fn gap_day_is_marked_and_surfaced() {
     // Served under /v1/feed.
     let query = Arc::new(
         QueryService::new(service.reader(), ServerConfig::default())
-            .with_feed_status(follower.status().json_provider()),
+            .with_feed_status(follower.status()),
     );
     let server = QueryServer::bind("127.0.0.1:0", Arc::clone(&query)).expect("bind");
     let (status, feed) = get_json(server.local_addr(), "/v1/feed");

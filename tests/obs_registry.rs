@@ -1,0 +1,179 @@
+//! Acceptance for the observability registry: the record path must
+//! stay exact under concurrency while a scraper renders, and the
+//! Prometheus exposition must be byte-stable (label escaping,
+//! histogram `_bucket`/`_sum`/`_count` invariants, type lines).
+
+use moas_obs::Registry;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+/// Pulls every value for `series` (exact name match, any labels) out
+/// of a rendered exposition, in document order.
+fn series_values(body: &str, series: &str) -> Vec<u64> {
+    body.lines()
+        .filter_map(|line| {
+            let rest = line.strip_prefix(series)?;
+            if !(rest.starts_with('{') || rest.starts_with(' ')) {
+                return None;
+            }
+            line.rsplit(' ').next()?.parse().ok()
+        })
+        .collect()
+}
+
+/// Threads hammer a shared counter and histogram while a scraper
+/// renders continuously: every render must be internally consistent
+/// (cumulative buckets monotone, `+Inf` equal to `_count`), and the
+/// final totals must be exact — no lost updates, no torn reads.
+#[test]
+fn record_path_is_exact_while_scraper_renders() {
+    const THREADS: usize = 8;
+    const PER_THREAD: u64 = 20_000;
+
+    let registry = Arc::new(Registry::new());
+    let counter = registry.counter("hammer_ops_total", "Operations performed.");
+    let hist = registry.histogram("hammer_lat_us", "Synthetic latency.");
+    let done = AtomicBool::new(false);
+
+    std::thread::scope(|scope| {
+        let hammers: Vec<_> = (0..THREADS)
+            .map(|t| {
+                let counter = counter.clone();
+                let hist = hist.clone();
+                scope.spawn(move || {
+                    for i in 0..PER_THREAD {
+                        counter.add(1);
+                        hist.observe((t as u64 * 7 + i) % 5_000);
+                    }
+                })
+            })
+            .collect();
+
+        let scraper = {
+            let registry = Arc::clone(&registry);
+            let done = &done;
+            scope.spawn(move || {
+                let mut renders = 0u32;
+                while !done.load(Ordering::Relaxed) || renders == 0 {
+                    let body = registry.render_prometheus();
+                    let buckets = series_values(&body, "hammer_lat_us_bucket");
+                    assert!(
+                        buckets.windows(2).all(|w| w[0] <= w[1]),
+                        "cumulative buckets must never decrease: {buckets:?}"
+                    );
+                    let count = series_values(&body, "hammer_lat_us_count");
+                    assert_eq!(
+                        buckets.last().copied(),
+                        count.first().copied(),
+                        "+Inf bucket must equal _count in every render"
+                    );
+                    let ops = series_values(&body, "hammer_ops_total");
+                    assert!(ops[0] <= THREADS as u64 * PER_THREAD);
+                    renders += 1;
+                }
+            })
+        };
+
+        for h in hammers {
+            h.join().expect("hammer thread");
+        }
+        done.store(true, Ordering::Relaxed);
+        scraper.join().expect("scraper thread");
+    });
+
+    let total = THREADS as u64 * PER_THREAD;
+    assert_eq!(counter.get(), total, "counter adds must be exact");
+    let snap = hist.snapshot();
+    assert_eq!(snap.count(), total, "histogram observations must be exact");
+    let body = registry.render_prometheus();
+    assert_eq!(series_values(&body, "hammer_ops_total"), vec![total]);
+    assert_eq!(series_values(&body, "hammer_lat_us_count"), vec![total]);
+}
+
+/// The exposition format, pinned byte-for-byte: `# HELP`/`# TYPE`
+/// once per family, label values escaped (backslash, quote, newline),
+/// cumulative histogram buckets with trailing empties elided, `+Inf`
+/// always present and equal to `_count`.
+#[test]
+fn exposition_format_is_pinned() {
+    let r = Registry::new();
+    let g = r.gauge("demo_depth", "Queue depth.");
+    g.set(7);
+    let h = r.histogram("demo_lat_us", "Latency in microseconds.");
+    h.observe(1);
+    h.observe(3);
+    h.observe(300);
+    let c = r.counter_with(
+        "demo_requests_total",
+        &[("path", "a\\b\"c\nd")],
+        "Requests by path.",
+    );
+    c.add(2);
+
+    let expected = concat!(
+        "# HELP demo_depth Queue depth.\n",
+        "# TYPE demo_depth gauge\n",
+        "demo_depth 7\n",
+        "# HELP demo_lat_us Latency in microseconds.\n",
+        "# TYPE demo_lat_us histogram\n",
+        "demo_lat_us_bucket{le=\"1\"} 1\n",
+        "demo_lat_us_bucket{le=\"2\"} 1\n",
+        "demo_lat_us_bucket{le=\"4\"} 2\n",
+        "demo_lat_us_bucket{le=\"8\"} 2\n",
+        "demo_lat_us_bucket{le=\"16\"} 2\n",
+        "demo_lat_us_bucket{le=\"32\"} 2\n",
+        "demo_lat_us_bucket{le=\"64\"} 2\n",
+        "demo_lat_us_bucket{le=\"128\"} 2\n",
+        "demo_lat_us_bucket{le=\"256\"} 2\n",
+        "demo_lat_us_bucket{le=\"512\"} 3\n",
+        "demo_lat_us_bucket{le=\"+Inf\"} 3\n",
+        "demo_lat_us_sum 304\n",
+        "demo_lat_us_count 3\n",
+        "# HELP demo_requests_total Requests by path.\n",
+        "# TYPE demo_requests_total counter\n",
+        "demo_requests_total{path=\"a\\\\b\\\"c\\nd\"} 2\n",
+    );
+    assert_eq!(r.render_prometheus(), expected);
+}
+
+/// Labeled series of one family share a single `# TYPE` declaration,
+/// and an empty histogram still renders `+Inf`/`_sum`/`_count`.
+#[test]
+fn families_group_and_empty_histograms_render() {
+    let r = Registry::new();
+    r.counter_with("multi_total", &[("k", "a")], "Multi.").inc();
+    r.counter_with("multi_total", &[("k", "b")], "Multi.")
+        .add(2);
+    let _empty = r.histogram("quiet_us", "Never observed.");
+
+    let body = r.render_prometheus();
+    assert_eq!(body.matches("# TYPE multi_total counter").count(), 1);
+    assert!(body.contains("multi_total{k=\"a\"} 1\n"));
+    assert!(body.contains("multi_total{k=\"b\"} 2\n"));
+    assert!(body.contains("quiet_us_bucket{le=\"+Inf\"} 0\n"));
+    assert!(body.contains("quiet_us_sum 0\n"));
+    assert!(body.contains("quiet_us_count 0\n"));
+}
+
+/// The shared stage family keeps every pipeline stage one label
+/// apart, and quantile estimation answers "no data" explicitly.
+#[test]
+fn stage_family_and_quantile_no_data_rule() {
+    let r = Registry::new();
+    let a = r.stage_histogram("alpha");
+    let b = r.stage_histogram("beta");
+    assert_eq!(a.snapshot().quantile(0.99), None, "no data is None, not 0");
+    a.observe(100);
+    b.observe(1_000_000);
+    let body = r.render_prometheus();
+    assert_eq!(
+        body.matches("# TYPE moas_stage_duration_us histogram")
+            .count(),
+        1,
+        "stages are labels, not families"
+    );
+    assert!(body.contains("moas_stage_duration_us_count{stage=\"alpha\"} 1\n"));
+    assert!(body.contains("moas_stage_duration_us_count{stage=\"beta\"} 1\n"));
+    assert!(a.snapshot().quantile(0.5).unwrap() <= 128);
+    assert!(b.snapshot().quantile(0.5).unwrap() > 65_536);
+}

@@ -539,10 +539,9 @@ fn full_queue_rejects_with_503() {
         "503 must tell the client when to retry: {head:?}"
     );
     let metrics = query.metrics();
-    assert!(metrics.connections_rejected.load(Ordering::Relaxed) >= 1);
+    assert!(metrics.connections_rejected.get() >= 1);
     assert!(
-        metrics.responses_server_error.load(Ordering::Relaxed)
-            >= metrics.connections_rejected.load(Ordering::Relaxed),
+        metrics.responses_server_error.get() >= metrics.connections_rejected.get(),
         "inline 503s must be tallied like worker-path statuses"
     );
 
