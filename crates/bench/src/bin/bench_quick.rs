@@ -361,13 +361,57 @@ fn bench_obs() -> Vec<(&'static str, f64)> {
         best_render_ns = best_render_ns.min(start.elapsed().as_nanos() as f64 / RENDERS as f64);
     }
 
+    // Tracing: the unsampled path (sampling off — one relaxed load
+    // per would-be span; this is what every hot-path request pays when
+    // head sampling skips it) vs. the sampled path (full root span:
+    // id allocation, two clock reads, ring write).
+    const SPAN_OPS: u64 = 1_000_000;
+    let tracer = registry.tracer();
+    let mut best_unsampled_ns = f64::MAX;
+    let mut best_sampled_ns = f64::MAX;
+    for _ in 0..REPS {
+        tracer.set_sampling(0);
+        let start = Instant::now();
+        for _ in 0..SPAN_OPS {
+            black_box(tracer.span("bench_span")).finish();
+        }
+        best_unsampled_ns =
+            best_unsampled_ns.min(start.elapsed().as_nanos() as f64 / SPAN_OPS as f64);
+
+        tracer.set_sampling(1);
+        let start = Instant::now();
+        for _ in 0..SPAN_OPS {
+            black_box(tracer.span("bench_span")).finish();
+        }
+        best_sampled_ns = best_sampled_ns.min(start.elapsed().as_nanos() as f64 / SPAN_OPS as f64);
+    }
+    tracer.set_sampling(1);
+
+    // Tsdb: one full sample tick over the live-shaped registry above
+    // (every scalar + windowed histogram quantiles) — the cost the
+    // background sampler pays every 10 s.
+    const TICKS: u64 = 2_000;
+    let tsdb = moas_obs::Tsdb::default();
+    let mut best_tick_us = f64::MAX;
+    for rep in 0..REPS as u64 {
+        let start = Instant::now();
+        for i in 0..TICKS {
+            tsdb.sample(&full, 1_000_000 + (rep * TICKS + i) * 10);
+        }
+        best_tick_us = best_tick_us.min(start.elapsed().as_micros() as f64 / TICKS as f64);
+    }
+    black_box(tsdb.series_count());
+
     eprintln!(
-        "obs: best {best_counter_ns:.2} ns/counter-add, {best_observe_ns:.2} ns/observe, {best_render_ns:.0} ns/render"
+        "obs: best {best_counter_ns:.2} ns/counter-add, {best_observe_ns:.2} ns/observe, {best_render_ns:.0} ns/render, {best_unsampled_ns:.2}/{best_sampled_ns:.0} ns/span (unsampled/sampled), {best_tick_us:.1} us/tsdb-tick"
     );
     vec![
         ("counter_add_ns", best_counter_ns),
         ("histogram_observe_ns", best_observe_ns),
         ("render_ns", best_render_ns),
+        ("span_unsampled_ns", best_unsampled_ns),
+        ("span_sampled_ns", best_sampled_ns),
+        ("tsdb_tick_us", best_tick_us),
     ]
 }
 

@@ -68,6 +68,102 @@ impl Default for ProfilerConfig {
     }
 }
 
+/// One EWMA smoothing step: `(1 - alpha) * baseline + alpha * value`.
+/// The update shared by the per-AS profiler and [`EwmaSurge`].
+pub fn ewma_step(baseline: f64, alpha: f64, value: f64) -> f64 {
+    (1.0 - alpha) * baseline + alpha * value
+}
+
+/// The §VII surge test shared by the per-AS profiler and
+/// [`EwmaSurge`]: `value` breaches when it exceeds
+/// `max(baseline, 1) * surge_factor`. The `max(…, 1)` floor keeps a
+/// near-zero baseline from flagging every small uptick.
+pub fn surge_breach(baseline: f64, value: f64, surge_factor: f64) -> bool {
+    value > baseline.max(1.0) * surge_factor
+}
+
+/// Configuration for a scalar [`EwmaSurge`] detector.
+#[derive(Debug, Clone, Copy)]
+pub struct SurgeConfig {
+    /// EWMA smoothing factor for the baseline.
+    pub alpha: f64,
+    /// Multiplicative surge threshold over the baseline.
+    pub surge_factor: f64,
+    /// Absolute minimum value to consider a surge (suppresses noise
+    /// from tiny values — the scalar analogue of
+    /// [`ProfilerConfig::min_count`]).
+    pub min_value: f64,
+}
+
+impl Default for SurgeConfig {
+    fn default() -> Self {
+        SurgeConfig {
+            alpha: 0.1,
+            surge_factor: 10.0,
+            min_value: 20.0,
+        }
+    }
+}
+
+/// The paper's §VII EWMA surge detector over a single scalar series —
+/// exactly the [`OriginProfiler`] machinery (test-before-update
+/// against `max(baseline, 1) * surge_factor`, first observation
+/// priming the baseline at `alpha * value`) with the per-AS map
+/// replaced by one baseline. This is what the operational alerting
+/// layer runs over its own metrics: a feed-lag spike or ingest-rate
+/// collapse is the same statistical object as an origin surge.
+#[derive(Debug, Clone)]
+pub struct EwmaSurge {
+    config: SurgeConfig,
+    baseline: Option<f64>,
+}
+
+impl EwmaSurge {
+    /// A detector with no baseline yet (first observation primes it).
+    pub fn new(config: SurgeConfig) -> Self {
+        EwmaSurge {
+            config,
+            baseline: None,
+        }
+    }
+
+    /// The detector's configuration.
+    pub fn config(&self) -> &SurgeConfig {
+        &self.config
+    }
+
+    /// The smoothed baseline (0 until primed).
+    pub fn baseline(&self) -> f64 {
+        self.baseline.unwrap_or(0.0)
+    }
+
+    /// Whether `value` breaches right now, *without* advancing the
+    /// baseline — the hysteresis hook: an alert engine freezes the
+    /// baseline while a rule is pending/firing so an ongoing anomaly
+    /// cannot absorb itself into normality.
+    pub fn breach(&self, value: f64) -> bool {
+        value >= self.config.min_value
+            && surge_breach(self.baseline(), value, self.config.surge_factor)
+    }
+
+    /// Advances the baseline one EWMA step (priming it on the first
+    /// call, mirroring the profiler's `or_insert(alpha * count)`).
+    pub fn advance(&mut self, value: f64) {
+        self.baseline = Some(match self.baseline {
+            Some(b) => ewma_step(b, self.config.alpha, value),
+            None => self.config.alpha * value,
+        });
+    }
+
+    /// Tests then advances — the profiler's test-before-update order,
+    /// so a surge does not immediately absorb itself.
+    pub fn observe(&mut self, value: f64) -> bool {
+        let breach = self.breach(value);
+        self.advance(value);
+        breach
+    }
+}
+
 /// Learns per-AS conflict-involvement baselines and flags surges.
 #[derive(Debug, Clone)]
 pub struct OriginProfiler {
@@ -103,7 +199,7 @@ impl OriginProfiler {
         for (&asn, &count) in today {
             let base = self.baseline.get(&asn).copied().unwrap_or(0.0);
             if count >= self.config.min_count
-                && count as f64 > (base.max(1.0)) * self.config.surge_factor
+                && surge_breach(base, count as f64, self.config.surge_factor)
             {
                 anomalies.push(Anomaly::OriginSurge {
                     asn,
@@ -117,7 +213,7 @@ impl OriginProfiler {
         let alpha = self.config.alpha;
         for (asn, base) in self.baseline.iter_mut() {
             let today_count = today.get(asn).copied().unwrap_or(0) as f64;
-            *base = (1.0 - alpha) * *base + alpha * today_count;
+            *base = ewma_step(*base, alpha, today_count);
         }
         for (&asn, &count) in today {
             self.baseline.entry(asn).or_insert(alpha * count as f64);
@@ -337,6 +433,57 @@ mod tests {
         // Re-appearance after acceptance: silent.
         let again = obs(Date::ymd(2001, 2, 1), &[("192.0.2.0/24", &[7, 9])]);
         assert!(mon.observe(&again).is_empty());
+    }
+
+    /// The scalar detector must be the profiler's machinery exactly:
+    /// feeding one AS's counts through both yields identical breach
+    /// decisions and baselines.
+    #[test]
+    fn ewma_surge_matches_profiler_on_one_series() {
+        let cfg = ProfilerConfig::default();
+        let mut profiler = OriginProfiler::new(cfg);
+        let mut scalar = EwmaSurge::new(SurgeConfig {
+            alpha: cfg.alpha,
+            surge_factor: cfg.surge_factor,
+            min_value: cfg.min_count as f64,
+        });
+        let asn = Asn::new(42);
+        for (day, count) in [5u32, 6, 5, 400, 7, 5].iter().enumerate() {
+            let mut today = HashMap::new();
+            today.insert(asn, *count);
+            let date = Date::ymd(2001, 1, 1).plus_days(day as i64);
+            let profiler_alarm = !profiler.observe_counts(date, &today).is_empty();
+            let scalar_alarm = scalar.observe(*count as f64);
+            assert_eq!(
+                profiler_alarm, scalar_alarm,
+                "day {day} count {count}: breach decisions must agree"
+            );
+            let diff = (profiler.baseline_of(asn) - scalar.baseline()).abs();
+            assert!(diff < 1e-12, "baselines must track exactly, diff {diff}");
+        }
+    }
+
+    /// Frozen-baseline hysteresis: `breach` alone never advances, so a
+    /// sustained anomaly cannot absorb itself (unlike `observe`, which
+    /// keeps the profiler's absorb-into-baseline behavior).
+    #[test]
+    fn ewma_surge_breach_does_not_advance() {
+        let mut s = EwmaSurge::new(SurgeConfig::default());
+        for _ in 0..5 {
+            s.observe(5.0);
+        }
+        let base = s.baseline();
+        for _ in 0..50 {
+            assert!(s.breach(400.0), "frozen baseline keeps breaching");
+        }
+        assert_eq!(s.baseline(), base, "breach() must not move the baseline");
+        // observe() absorbs, eventually un-breaching — the profiler's
+        // repeated_surge_absorbs_into_baseline behavior.
+        let mut absorbed = s.clone();
+        for _ in 0..50 {
+            absorbed.observe(400.0);
+        }
+        assert!(!absorbed.breach(400.0), "observe() absorbs the surge");
     }
 
     #[test]

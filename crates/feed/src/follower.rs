@@ -136,6 +136,11 @@ pub struct FeedFollower {
     /// Cached engine metrics handle — feeds the ingest-side watermark
     /// of the `ingest_to_serve_lag` gauge.
     engine_metrics: Arc<EngineMetrics>,
+    /// The shared registry — the tracer lives here; each poll pass
+    /// opens a `feed_poll` root span and publishes it as the ambient
+    /// ingest context so downstream stages (decode, shard apply,
+    /// append, seal, publish) attach to the same trace.
+    registry: Arc<Registry>,
     /// Stage timers: one whole discovery-and-ingest pass.
     stage_poll: Histogram,
     /// Stage timers: one tail read over the in-flight file.
@@ -193,6 +198,7 @@ impl FeedFollower {
             stage_poll: registry.stage_histogram("feed_poll"),
             stage_tail: registry.stage_histogram("feed_tail"),
             stage_decode: registry.stage_histogram("mrt_decode"),
+            registry: Arc::clone(&registry),
             watermarks: HashMap::new(),
             done_key: None,
             current: None,
@@ -403,6 +409,12 @@ impl FeedFollower {
     fn ingest_pass(&mut self, pass: &crate::tail::TailPass, progress: &mut FeedProgress) {
         if pass.bytes_read > 0 || !pass.records.is_empty() {
             self.stage_decode.observe(pass.decode_micros);
+            let tracer = self.registry.tracer();
+            tracer.record_child(
+                tracer.current(),
+                "mrt_decode",
+                std::time::Duration::from_micros(pass.decode_micros),
+            );
         }
         if !pass.records.is_empty() {
             let mut newest = 0u64;
@@ -461,7 +473,17 @@ impl FeedFollower {
     /// happened; call in a loop (or via [`FeedFollower::run`]).
     pub fn poll_once(&mut self) -> io::Result<FeedProgress> {
         let started = Instant::now();
+        // Root span of the ingest trace. Published as the ambient
+        // context for the duration of the pass: tail/decode record
+        // under it directly, shard-apply contexts cross the channel
+        // in `ShardMsg::Batch`, and the history append/seal/publish
+        // stages (driven from this thread) pick it up ambiently.
+        let registry = Arc::clone(&self.registry);
+        let span = registry.tracer().span("feed_poll");
+        registry.tracer().set_current(span.context());
         let result = self.poll_once_inner();
+        registry.tracer().clear_current();
+        span.finish();
         self.stage_poll.observe_duration(started.elapsed());
         result
     }
@@ -522,6 +544,8 @@ impl FeedFollower {
                     let tail_started = Instant::now();
                     let pass = tailer.poll()?;
                     self.stage_tail.observe_duration(tail_started.elapsed());
+                    let tracer = self.registry.tracer();
+                    tracer.record_child(tracer.current(), "feed_tail", tail_started.elapsed());
                     self.current = Some((file, tailer));
                     self.ingest_pass(&pass, &mut progress);
                     let (file, mut tailer) = self.current.take().expect("just stored");

@@ -144,6 +144,10 @@ pub(crate) fn maintain_once(shared: &Shared) -> io::Result<bool> {
         if let Some(r) = &registry {
             r.stage_histogram("compaction")
                 .observe_duration(started.elapsed());
+            // Opportunistic: if an ingest poll trace is ambient when
+            // the sweep finishes, the compaction span joins it.
+            let t = r.tracer();
+            t.record_child(t.current(), "compaction", started.elapsed());
             r.journal().record(
                 "compaction",
                 format!(

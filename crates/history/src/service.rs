@@ -210,6 +210,11 @@ pub(crate) fn publish_epoch(shared: &Shared, st: &StoreState) {
             .registry()
             .stage_histogram("epoch_publish")
             .observe_duration(started.elapsed());
+        // Publishes triggered by the writer thread carry its ambient
+        // poll context, completing the discovery-to-served-epoch
+        // trace.
+        let t = metrics.registry().tracer();
+        t.record_child(t.current(), "epoch_publish", started.elapsed());
     }
 }
 

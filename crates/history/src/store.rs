@@ -441,6 +441,12 @@ impl HistoryStore {
             // unit of work the service hands the store.
             s.append.observe_duration(started.elapsed());
         }
+        if let Some(m) = &self.metrics {
+            // Appends run on the writer thread while its poll span is
+            // the ambient context, so the span lands in that trace.
+            let t = m.registry().tracer();
+            t.record_child(t.current(), "event_append", started.elapsed());
+        }
         Ok(sealed)
     }
 
@@ -480,6 +486,10 @@ impl HistoryStore {
         self.publish_metrics();
         if let Some(s) = &self.stages {
             s.seal.observe_duration(started.elapsed());
+        }
+        if let Some(m) = &self.metrics {
+            let t = m.registry().tracer();
+            t.record_child(t.current(), "segment_seal", started.elapsed());
         }
         Ok(Some(SealedSegment {
             file: open.file,

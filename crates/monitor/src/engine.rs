@@ -164,8 +164,12 @@ impl MonitorEngine {
         }
         let batch = std::mem::take(&mut self.pending[shard]);
         EngineMetrics::add(&self.metrics.batches_sent, 1);
+        // Capture the ambient ingest trace context at flush time so
+        // the shard's apply span joins the trace of the poll pass
+        // that filled (most of) the batch.
+        let ctx = self.metrics.registry().tracer().current();
         self.senders[shard]
-            .send(ShardMsg::Batch(batch))
+            .send(ShardMsg::Batch(batch, ctx))
             .expect("shard worker alive");
     }
 

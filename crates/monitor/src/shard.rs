@@ -14,14 +14,17 @@ use crate::state::{LiveConflict, RouteUpdate, SetExcludedPrefix, ShardState};
 use moas_core::detect::{DayObservation, PrefixConflict};
 use moas_core::detector::{Anomaly, MoasMonitor};
 use moas_net::{Asn, Date};
+use moas_obs::SpanContext;
 use std::collections::BTreeMap;
 use std::sync::{mpsc, Arc};
 
 /// Messages a shard worker consumes.
 pub enum ShardMsg {
     /// A batch of route updates (per-prefix order preserved by the
-    /// engine's routing).
-    Batch(Vec<RouteUpdate>),
+    /// engine's routing), plus the ingest trace context captured when
+    /// the engine flushed the batch — the shard's `shard_apply` span
+    /// attaches there, so one trace id crosses the channel.
+    Batch(Vec<RouteUpdate>, SpanContext),
     /// Day boundary: snapshot this shard's slice as a [`DaySlice`],
     /// run the embedded new-origin detector over it, and reply with
     /// this shard's per-AS conflict-involvement counts so the engine
@@ -172,7 +175,7 @@ pub fn run_shard(
 
     while let Ok(msg) = rx.recv() {
         match msg {
-            ShardMsg::Batch(updates) => {
+            ShardMsg::Batch(updates, ctx) => {
                 EngineMetrics::add(&metrics.updates_applied, updates.len() as u64);
                 let started = std::time::Instant::now();
                 for update in &updates {
@@ -186,9 +189,12 @@ pub fn run_shard(
                 // stage histogram prices the unit of work the channel
                 // moves, and the hot path pays two atomic adds per
                 // batch instead of per route.
+                let elapsed = started.elapsed();
+                metrics.stage_shard_apply.observe_duration(elapsed);
                 metrics
-                    .stage_shard_apply
-                    .observe_duration(started.elapsed());
+                    .registry()
+                    .tracer()
+                    .record_child(ctx, "shard_apply", elapsed);
             }
             ShardMsg::DayMark {
                 idx,

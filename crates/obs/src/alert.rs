@@ -1,0 +1,549 @@
+//! Operational alerting: the paper's §VII surge machinery turned on
+//! the system itself.
+//!
+//! §VII flags an AS whose conflict involvement suddenly exceeds
+//! `max(baseline, 1) × surge_factor` of its EWMA profile. A feed-lag
+//! spike, an ingest-rate collapse, a 5xx burst, a compaction backlog,
+//! or a p99 latency surge is the same statistical object over an
+//! operational series — so each [`AlertRule`] wraps one
+//! [`moas_core::detector::EwmaSurge`] (the profiler machinery with the
+//! per-AS map replaced by one baseline) and evaluates it over the
+//! latest [`crate::tsdb`] sample on every tick.
+//!
+//! Rules run a pending → firing → resolved state machine with
+//! hysteresis: a breach must persist `pending_ticks` before firing
+//! (suppressing single-sample blips), a firing rule needs
+//! `resolve_ticks` consecutive clean samples to resolve (suppressing
+//! flapping), and while a rule is pending or firing its baseline is
+//! *frozen* — a sustained incident cannot absorb itself into the
+//! baseline the way a repeated §VII origin surge eventually does.
+//! Every state transition lands in the registry's event journal
+//! (`alert_pending` / `alert_firing` / `alert_resolved` / `alert_ok`),
+//! and [`AlertEngine::firing_page`] feeds the server's `/readyz` so a
+//! page-severity alert sheds traffic at the load balancer.
+
+use crate::registry::Registry;
+use crate::tsdb::Tsdb;
+use moas_core::detector::{EwmaSurge, SurgeConfig};
+use std::sync::{Arc, Mutex};
+
+/// How loud a firing rule is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AlertSeverity {
+    /// Worth a look; does not affect readiness.
+    Warn,
+    /// Page the operator; a firing page rule fails `/readyz`.
+    Page,
+}
+
+impl AlertSeverity {
+    /// Lower-case wire name.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            AlertSeverity::Warn => "warn",
+            AlertSeverity::Page => "page",
+        }
+    }
+}
+
+/// What the rule evaluates each tick.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AlertInput {
+    /// The sampled value itself (gauges, derived quantiles).
+    Level,
+    /// The per-second derivative between consecutive samples
+    /// (counters: updates/s, responses/s).
+    Rate,
+}
+
+/// Which way the anomaly points.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AlertDirection {
+    /// Breach when the value surges *above* the baseline
+    /// (`value > max(baseline, 1) × surge_factor`, §VII's test).
+    Up,
+    /// Breach when the value collapses *below* the baseline
+    /// (`baseline ≥ min_value` and `value < baseline / surge_factor`)
+    /// — an ingest rate falling off a cliff.
+    Down,
+}
+
+/// One alert rule over one tsdb series.
+#[derive(Debug, Clone)]
+pub struct AlertRule {
+    /// Stable rule name (journal lines, `/v1/alerts`, runbooks).
+    pub name: &'static str,
+    /// The tsdb series the rule watches.
+    pub series: String,
+    /// Exact label set of the watched series.
+    pub labels: Vec<(String, String)>,
+    /// Level or per-second rate input.
+    pub input: AlertInput,
+    /// Surge (up) or collapse (down) detection.
+    pub direction: AlertDirection,
+    /// The §VII detector parameters (alpha, surge factor, floor).
+    pub detector: SurgeConfig,
+    /// Consecutive breaching ticks before pending becomes firing.
+    pub pending_ticks: u32,
+    /// Consecutive clean ticks before firing becomes resolved.
+    pub resolve_ticks: u32,
+    /// Warn or page.
+    pub severity: AlertSeverity,
+}
+
+/// The rule state machine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum RuleState {
+    Ok,
+    /// Breaching, counting up to `pending_ticks`.
+    Pending(u32),
+    /// Firing; the counter is the current clean-tick streak.
+    Firing(u32),
+    /// Fired and recovered; sticky until the next breach.
+    Resolved,
+}
+
+impl RuleState {
+    fn as_str(self) -> &'static str {
+        match self {
+            RuleState::Ok => "ok",
+            RuleState::Pending(_) => "pending",
+            RuleState::Firing(_) => "firing",
+            RuleState::Resolved => "resolved",
+        }
+    }
+}
+
+/// One rule's current standing, for `/v1/alerts`.
+#[derive(Debug, Clone)]
+pub struct AlertStatus {
+    /// Rule name.
+    pub name: &'static str,
+    /// Watched series.
+    pub series: String,
+    /// `warn` / `page`.
+    pub severity: AlertSeverity,
+    /// `ok` / `pending` / `firing` / `resolved`.
+    pub state: &'static str,
+    /// Last evaluated input value (level or rate), if any sample has
+    /// been seen.
+    pub value: Option<f64>,
+    /// The detector's current EWMA baseline.
+    pub baseline: f64,
+    /// Unix seconds when the rule entered its current state.
+    pub since_unix: u64,
+}
+
+struct RuleRuntime {
+    rule: AlertRule,
+    detector: EwmaSurge,
+    state: RuleState,
+    /// Last evaluated input value.
+    value: Option<f64>,
+    /// Previous raw sample `(unix, value)` for rate derivation.
+    prev_raw: Option<(u64, f64)>,
+    since_unix: u64,
+}
+
+/// The alert engine: rules plus the tsdb they watch and the journal
+/// they report transitions to.
+pub struct AlertEngine {
+    registry: Arc<Registry>,
+    tsdb: Arc<Tsdb>,
+    rules: Mutex<Vec<RuleRuntime>>,
+}
+
+impl std::fmt::Debug for AlertEngine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let n = self.rules.lock().expect("alert lock poisoned").len();
+        write!(f, "AlertEngine({n} rules)")
+    }
+}
+
+impl AlertEngine {
+    /// An engine running the standard rule set (see
+    /// [`standard_rules`]).
+    pub fn new(registry: Arc<Registry>, tsdb: Arc<Tsdb>) -> Self {
+        AlertEngine::with_rules(registry, tsdb, standard_rules())
+    }
+
+    /// An engine running a custom rule set.
+    pub fn with_rules(registry: Arc<Registry>, tsdb: Arc<Tsdb>, rules: Vec<AlertRule>) -> Self {
+        let runtimes = rules
+            .into_iter()
+            .map(|rule| RuleRuntime {
+                detector: EwmaSurge::new(rule.detector),
+                rule,
+                state: RuleState::Ok,
+                value: None,
+                prev_raw: None,
+                since_unix: 0,
+            })
+            .collect();
+        AlertEngine {
+            registry,
+            tsdb,
+            rules: Mutex::new(runtimes),
+        }
+    }
+
+    /// Evaluates every rule against the latest tsdb samples. Call
+    /// after each [`Tsdb::sample`] tick (the background
+    /// [`crate::tsdb::Sampler`] hook does exactly this).
+    pub fn tick(&self, now_unix: u64) {
+        let mut rules = self.rules.lock().expect("alert lock poisoned");
+        for rt in rules.iter_mut() {
+            let Some((sample_ts, raw)) = self.tsdb.latest(&rt.rule.series, &rt.rule.labels) else {
+                continue; // series not sampled yet
+            };
+            let value = match rt.rule.input {
+                AlertInput::Level => raw,
+                AlertInput::Rate => {
+                    let prev = rt.prev_raw.replace((sample_ts, raw));
+                    match prev {
+                        Some((pt, pv)) if sample_ts > pt => {
+                            (raw - pv).max(0.0) / (sample_ts - pt) as f64
+                        }
+                        // First sample, or no new sample since the
+                        // last tick: no rate to evaluate.
+                        _ => continue,
+                    }
+                }
+            };
+            rt.value = Some(value);
+
+            let breach = match rt.rule.direction {
+                AlertDirection::Up => rt.detector.breach(value),
+                AlertDirection::Down => {
+                    let baseline = rt.detector.baseline();
+                    baseline >= rt.detector.config().min_value
+                        && value < baseline / rt.detector.config().surge_factor
+                }
+            };
+            // Hysteresis: the baseline only learns from clean samples,
+            // so an ongoing incident cannot absorb itself.
+            if !breach {
+                rt.detector.advance(value);
+            }
+
+            let next = match (rt.state, breach) {
+                (RuleState::Ok | RuleState::Resolved, true) => RuleState::Pending(1),
+                (RuleState::Pending(n), true) => RuleState::Pending(n + 1),
+                (RuleState::Pending(_), false) => RuleState::Ok,
+                (RuleState::Firing(_), true) => RuleState::Firing(0),
+                (RuleState::Firing(n), false) => RuleState::Firing(n + 1),
+                (s, _) => s,
+            };
+            // Promotions out of counting states.
+            let next = match next {
+                RuleState::Pending(n) if n >= rt.rule.pending_ticks => RuleState::Firing(0),
+                RuleState::Firing(n) if n >= rt.rule.resolve_ticks && rt.rule.resolve_ticks > 0 => {
+                    RuleState::Resolved
+                }
+                s => s,
+            };
+
+            if std::mem::discriminant(&next) != std::mem::discriminant(&rt.state) {
+                rt.since_unix = now_unix;
+                let kind = match next {
+                    RuleState::Pending(_) => "alert_pending",
+                    RuleState::Firing(_) => "alert_firing",
+                    RuleState::Resolved => "alert_resolved",
+                    RuleState::Ok => "alert_ok",
+                };
+                self.registry.journal().record(
+                    kind,
+                    format!(
+                        "alert {} {}: {} = {:.2} (baseline {:.2})",
+                        rt.rule.name,
+                        next.as_str(),
+                        rt.rule.series,
+                        value,
+                        rt.detector.baseline(),
+                    ),
+                );
+            }
+            rt.state = next;
+        }
+    }
+
+    /// Every rule's current standing, rule order.
+    pub fn report(&self) -> Vec<AlertStatus> {
+        let rules = self.rules.lock().expect("alert lock poisoned");
+        rules
+            .iter()
+            .map(|rt| AlertStatus {
+                name: rt.rule.name,
+                series: rt.rule.series.clone(),
+                severity: rt.rule.severity,
+                state: rt.state.as_str(),
+                value: rt.value,
+                baseline: rt.detector.baseline(),
+                since_unix: rt.since_unix,
+            })
+            .collect()
+    }
+
+    /// The first page-severity rule currently firing, if any — the
+    /// readiness check's input.
+    pub fn firing_page(&self) -> Option<&'static str> {
+        let rules = self.rules.lock().expect("alert lock poisoned");
+        rules
+            .iter()
+            .find(|rt| {
+                matches!(rt.state, RuleState::Firing(_)) && rt.rule.severity == AlertSeverity::Page
+            })
+            .map(|rt| rt.rule.name)
+    }
+
+    /// The tsdb this engine evaluates over.
+    pub fn tsdb(&self) -> &Arc<Tsdb> {
+        &self.tsdb
+    }
+}
+
+/// The standard operational rule set — the §VII parameters table the
+/// README runbook documents.
+pub fn standard_rules() -> Vec<AlertRule> {
+    vec![
+        AlertRule {
+            name: "feed_lag",
+            series: "moas_feed_lag_seconds".to_string(),
+            labels: Vec::new(),
+            input: AlertInput::Level,
+            direction: AlertDirection::Up,
+            detector: SurgeConfig {
+                alpha: 0.3,
+                surge_factor: 10.0,
+                min_value: 300.0,
+            },
+            pending_ticks: 2,
+            resolve_ticks: 2,
+            severity: AlertSeverity::Page,
+        },
+        AlertRule {
+            name: "ingest_rate_collapse",
+            series: "moas_monitor_updates_applied_total".to_string(),
+            labels: Vec::new(),
+            input: AlertInput::Rate,
+            direction: AlertDirection::Down,
+            detector: SurgeConfig {
+                alpha: 0.2,
+                surge_factor: 10.0,
+                min_value: 100.0,
+            },
+            pending_ticks: 3,
+            resolve_ticks: 3,
+            severity: AlertSeverity::Warn,
+        },
+        AlertRule {
+            name: "server_5xx",
+            series: "moas_serve_responses_total".to_string(),
+            labels: vec![("class".to_string(), "5xx".to_string())],
+            input: AlertInput::Rate,
+            direction: AlertDirection::Up,
+            detector: SurgeConfig {
+                alpha: 0.2,
+                surge_factor: 10.0,
+                min_value: 1.0,
+            },
+            pending_ticks: 2,
+            resolve_ticks: 3,
+            severity: AlertSeverity::Page,
+        },
+        AlertRule {
+            name: "compaction_backlog",
+            series: "moas_store_compaction_lag".to_string(),
+            labels: Vec::new(),
+            input: AlertInput::Level,
+            direction: AlertDirection::Up,
+            detector: SurgeConfig {
+                alpha: 0.1,
+                surge_factor: 4.0,
+                min_value: 8.0,
+            },
+            pending_ticks: 3,
+            resolve_ticks: 2,
+            severity: AlertSeverity::Warn,
+        },
+        AlertRule {
+            name: "request_p99_latency",
+            series: "moas_serve_request_duration_us:p99".to_string(),
+            labels: Vec::new(),
+            input: AlertInput::Level,
+            direction: AlertDirection::Up,
+            detector: SurgeConfig {
+                alpha: 0.2,
+                surge_factor: 8.0,
+                min_value: 250_000.0,
+            },
+            pending_ticks: 2,
+            resolve_ticks: 2,
+            severity: AlertSeverity::Warn,
+        },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lag_rule() -> AlertRule {
+        AlertRule {
+            name: "feed_lag",
+            series: "moas_feed_lag_seconds".to_string(),
+            labels: Vec::new(),
+            input: AlertInput::Level,
+            direction: AlertDirection::Up,
+            detector: SurgeConfig {
+                alpha: 0.3,
+                surge_factor: 10.0,
+                min_value: 300.0,
+            },
+            pending_ticks: 2,
+            resolve_ticks: 2,
+            severity: AlertSeverity::Page,
+        }
+    }
+
+    fn setup() -> (Arc<Registry>, Arc<Tsdb>, AlertEngine) {
+        let registry = Arc::new(Registry::new());
+        let tsdb = Arc::new(Tsdb::default());
+        let engine =
+            AlertEngine::with_rules(Arc::clone(&registry), Arc::clone(&tsdb), vec![lag_rule()]);
+        (registry, tsdb, engine)
+    }
+
+    #[test]
+    fn level_rule_walks_pending_firing_resolved() {
+        let (registry, tsdb, engine) = setup();
+        let lag = registry.gauge("moas_feed_lag_seconds", "Lag.");
+
+        // Calm samples: rule stays ok and learns the baseline.
+        let mut now = 1_000u64;
+        for _ in 0..3 {
+            lag.set(5);
+            tsdb.sample(&registry, now);
+            engine.tick(now);
+            now += 10;
+        }
+        assert_eq!(engine.report()[0].state, "ok");
+
+        // The stall: lag jumps past min_value and 10x baseline.
+        lag.set(1_200);
+        tsdb.sample(&registry, now);
+        engine.tick(now);
+        assert_eq!(engine.report()[0].state, "pending");
+        assert!(engine.firing_page().is_none(), "pending is not firing");
+        now += 10;
+
+        tsdb.sample(&registry, now);
+        engine.tick(now);
+        assert_eq!(engine.report()[0].state, "firing");
+        assert_eq!(engine.firing_page(), Some("feed_lag"));
+        now += 10;
+
+        // Still breaching: stays firing, baseline stays frozen.
+        let frozen = engine.report()[0].baseline;
+        tsdb.sample(&registry, now);
+        engine.tick(now);
+        assert_eq!(engine.report()[0].state, "firing");
+        assert_eq!(engine.report()[0].baseline, frozen, "hysteresis freeze");
+        now += 10;
+
+        // Recovery needs resolve_ticks clean samples.
+        lag.set(0);
+        tsdb.sample(&registry, now);
+        engine.tick(now);
+        assert_eq!(engine.report()[0].state, "firing", "one clean tick");
+        now += 10;
+        tsdb.sample(&registry, now);
+        engine.tick(now);
+        assert_eq!(engine.report()[0].state, "resolved");
+        assert!(engine.firing_page().is_none());
+
+        // Transitions were journaled in order.
+        let kinds: Vec<String> = registry
+            .journal()
+            .events()
+            .iter()
+            .map(|e| e.kind.clone())
+            .collect();
+        assert_eq!(
+            kinds,
+            vec!["alert_pending", "alert_firing", "alert_resolved"]
+        );
+    }
+
+    #[test]
+    fn single_blip_cancels_back_to_ok() {
+        let (registry, tsdb, engine) = setup();
+        let lag = registry.gauge("moas_feed_lag_seconds", "Lag.");
+        lag.set(1_200);
+        tsdb.sample(&registry, 1_000);
+        engine.tick(1_000);
+        assert_eq!(engine.report()[0].state, "pending");
+        lag.set(0);
+        tsdb.sample(&registry, 1_010);
+        engine.tick(1_010);
+        assert_eq!(engine.report()[0].state, "ok");
+        let kinds: Vec<String> = registry
+            .journal()
+            .events()
+            .iter()
+            .map(|e| e.kind.clone())
+            .collect();
+        assert_eq!(kinds, vec!["alert_pending", "alert_ok"]);
+    }
+
+    #[test]
+    fn rate_collapse_rule_fires_downward() {
+        let registry = Arc::new(Registry::new());
+        let tsdb = Arc::new(Tsdb::default());
+        let rule = AlertRule {
+            name: "ingest_rate_collapse",
+            series: "moas_monitor_updates_applied_total".to_string(),
+            labels: Vec::new(),
+            input: AlertInput::Rate,
+            direction: AlertDirection::Down,
+            detector: SurgeConfig {
+                alpha: 0.5,
+                surge_factor: 10.0,
+                min_value: 100.0,
+            },
+            pending_ticks: 1,
+            resolve_ticks: 1,
+            severity: AlertSeverity::Warn,
+        };
+        let engine = AlertEngine::with_rules(Arc::clone(&registry), Arc::clone(&tsdb), vec![rule]);
+        let c = registry.counter("moas_monitor_updates_applied_total", "Applied.");
+
+        // Healthy ingest: 10k updates per 10 s tick → 1000/s.
+        let mut now = 1_000u64;
+        for _ in 0..4 {
+            c.add(10_000);
+            tsdb.sample(&registry, now);
+            engine.tick(now);
+            now += 10;
+        }
+        assert_eq!(engine.report()[0].state, "ok");
+        let baseline = engine.report()[0].baseline;
+        assert!(baseline > 500.0, "baseline learned the rate: {baseline}");
+
+        // Collapse: the counter stops moving → rate 0 < baseline/10.
+        tsdb.sample(&registry, now);
+        engine.tick(now);
+        assert_eq!(engine.report()[0].state, "firing");
+    }
+
+    #[test]
+    fn min_value_floor_suppresses_cold_start_noise() {
+        let (registry, tsdb, engine) = setup();
+        let lag = registry.gauge("moas_feed_lag_seconds", "Lag.");
+        // 120 > 10x baseline(0→max1)=10 but below the 300 s floor.
+        lag.set(120);
+        tsdb.sample(&registry, 1_000);
+        engine.tick(1_000);
+        assert_eq!(engine.report()[0].state, "ok", "floor suppresses");
+    }
+}

@@ -2,13 +2,19 @@
 //!
 //! The journal captures the facts an operator reaches for first when a
 //! live deployment misbehaves — slow requests over the latency
-//! threshold, feed gaps, compaction runs, corrupt-segment skips —
-//! without unbounded memory: the ring keeps the most recent `cap`
-//! events and drops the oldest. A monotonically increasing sequence
-//! number makes the drop visible (a gap in `seq` means events aged
-//! out), and each event carries a wall-clock timestamp so entries from
-//! several journals can be merged into one timeline.
+//! threshold, feed gaps, compaction runs, corrupt-segment skips, alert
+//! transitions — without unbounded memory: the ring keeps the most
+//! recent `cap` events and drops the oldest. A monotonically
+//! increasing sequence number makes the drop visible (a gap in `seq`
+//! means events aged out), evictions are tallied on a [`Counter`]
+//! (registries expose it as `moas_journal_dropped_total`), and each
+//! event carries a wall-clock timestamp so entries from several
+//! journals can be merged into one timeline. Events may carry a trace
+//! id linking them to a span tree in [`crate::trace`] — the exemplar
+//! hook from "this request was slow" to *which* request and *where*
+//! the time went.
 
+use crate::registry::Counter;
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
@@ -28,10 +34,12 @@ pub struct JournalEvent {
     /// epoch.
     pub unix_ms: u64,
     /// Short machine-stable event kind, e.g. `slow_request`,
-    /// `feed_gap`, `compaction`, `corrupt_segment`.
+    /// `feed_gap`, `compaction`, `corrupt_segment`, `alert_firing`.
     pub kind: String,
     /// Human-readable detail line.
     pub message: String,
+    /// Trace id of the span tree this event belongs to (0 = none).
+    pub trace: u64,
 }
 
 /// A bounded, thread-safe ring buffer of [`JournalEvent`]s.
@@ -40,6 +48,9 @@ pub struct EventJournal {
     cap: usize,
     seq: AtomicU64,
     ring: Mutex<VecDeque<JournalEvent>>,
+    /// Evicted-event tally; a registry-owned journal shares this with
+    /// the `moas_journal_dropped_total` series.
+    dropped: Counter,
 }
 
 impl Default for EventJournal {
@@ -51,12 +62,25 @@ impl Default for EventJournal {
 impl EventJournal {
     /// A journal keeping at most `cap` events (minimum 1).
     pub fn with_capacity(cap: usize) -> Self {
+        EventJournal::with_capacity_and_counter(cap, Counter::default())
+    }
+
+    /// A journal keeping at most `cap` events whose evictions tally on
+    /// `dropped` — how [`crate::Registry`] wires the journal to its
+    /// pre-registered `moas_journal_dropped_total` series.
+    pub fn with_capacity_and_counter(cap: usize, dropped: Counter) -> Self {
         let cap = cap.max(1);
         EventJournal {
             cap,
             seq: AtomicU64::new(0),
             ring: Mutex::new(VecDeque::with_capacity(cap)),
+            dropped,
         }
+    }
+
+    /// Ring capacity in events.
+    pub fn capacity(&self) -> usize {
+        self.cap
     }
 
     /// Records one event, evicting the oldest if the ring is full.
@@ -64,6 +88,13 @@ impl EventJournal {
     /// the strings — callers should journal *notable* events, not
     /// per-record traffic.
     pub fn record(&self, kind: &str, message: impl Into<String>) {
+        self.record_with_trace(kind, message, 0);
+    }
+
+    /// Records one event carrying the trace id of the span tree it
+    /// belongs to (0 for none), so operators can jump from the journal
+    /// line to `/v1/trace/{id}`.
+    pub fn record_with_trace(&self, kind: &str, message: impl Into<String>, trace: u64) {
         let seq = self.seq.fetch_add(1, Ordering::Relaxed);
         let unix_ms = SystemTime::now()
             .duration_since(UNIX_EPOCH)
@@ -74,10 +105,12 @@ impl EventJournal {
             unix_ms,
             kind: kind.to_string(),
             message: message.into(),
+            trace,
         };
         let mut ring = self.ring.lock().expect("journal lock poisoned");
         if ring.len() == self.cap {
             ring.pop_front();
+            self.dropped.inc();
         }
         ring.push_back(event);
     }
@@ -95,6 +128,11 @@ impl EventJournal {
     /// Total events ever recorded (including those already evicted).
     pub fn recorded(&self) -> u64 {
         self.seq.load(Ordering::Relaxed)
+    }
+
+    /// Events evicted from the ring before being read.
+    pub fn dropped(&self) -> u64 {
+        self.dropped.get()
     }
 }
 
@@ -116,5 +154,31 @@ mod tests {
         );
         assert_eq!(events[0].message, "event 2");
         assert_eq!(j.recorded(), 5);
+        assert_eq!(j.dropped(), 2, "two evictions must be tallied");
+    }
+
+    #[test]
+    fn registry_journal_capacity_and_dropped_series_are_wired() {
+        let r = crate::Registry::with_journal_capacity(2);
+        assert_eq!(r.journal().capacity(), 2);
+        for i in 0..5 {
+            r.journal().record("test", format!("event {i}"));
+        }
+        assert_eq!(r.journal().dropped(), 3);
+        assert_eq!(
+            r.value("moas_journal_dropped_total", &[]),
+            Some(3),
+            "evictions must be visible as a registry series"
+        );
+    }
+
+    #[test]
+    fn trace_ids_ride_along() {
+        let j = EventJournal::default();
+        j.record_with_trace("slow_request", "GET /v1/stats took 2s", 0xabcd);
+        j.record("feed_gap", "day 3 missing");
+        let events = j.events();
+        assert_eq!(events[0].trace, 0xabcd);
+        assert_eq!(events[1].trace, 0);
     }
 }

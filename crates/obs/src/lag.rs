@@ -11,8 +11,16 @@
 //! Both sides use high-watermark updates, so out-of-order observations
 //! (shards finishing at different points, replayed files) can only
 //! move the gauges forward.
+//!
+//! Collector clocks skew: a collector can stamp records *ahead* of the
+//! serving side's clock, making the served watermark overtake the
+//! ingested one. A naive signed difference would publish a bogus
+//! negative (or, as `u64`, astronomically huge) lag; instead the lag
+//! clamps to 0 and each skewed refresh tallies on
+//! `moas_lag_clock_skew_total`, so the pathology is visible without
+//! poisoning the gauge.
 
-use crate::registry::{Gauge, Registry};
+use crate::registry::{Counter, Gauge, Registry};
 
 /// Tracks newest-ingested vs. newest-served record timestamps and
 /// keeps the derived lag gauge current.
@@ -21,6 +29,7 @@ pub struct LagTracker {
     ingested: Gauge,
     served: Gauge,
     lag: Gauge,
+    clock_skew: Counter,
 }
 
 impl LagTracker {
@@ -40,6 +49,10 @@ impl LagTracker {
             lag: registry.gauge(
                 "moas_ingest_to_serve_lag_seconds",
                 "Ingest-to-serve lag: newest ingested minus newest served timestamp.",
+            ),
+            clock_skew: registry.counter(
+                "moas_lag_clock_skew_total",
+                "Lag refreshes where the served watermark was ahead of the ingested one.",
             ),
         }
     }
@@ -67,7 +80,15 @@ impl LagTracker {
         let ingested = self.ingested.get();
         let served = self.served.get();
         if served > 0 {
-            self.lag.set(ingested.saturating_sub(served));
+            if served > ingested && ingested > 0 {
+                // Clock skew: the serving side's watermark overtook
+                // ingest. Clamp to 0 (never a negative-as-huge-u64
+                // gauge) and make the skew itself countable.
+                self.clock_skew.inc();
+                self.lag.set(0);
+            } else {
+                self.lag.set(ingested.saturating_sub(served));
+            }
         }
     }
 }
@@ -91,6 +112,30 @@ mod tests {
         assert_eq!(lag.lag_seconds(), 600);
         lag.observe_served(1_000);
         assert_eq!(lag.lag_seconds(), 0);
+    }
+
+    /// Skewed watermarks (served ahead of ingested — collector clock
+    /// drift) must clamp the lag to 0 and count the skew, never
+    /// publish a wrapped/huge value.
+    #[test]
+    fn skewed_watermarks_clamp_to_zero_and_count() {
+        let r = Registry::new();
+        let lag = LagTracker::new(&r);
+        lag.observe_ingested(1_000);
+        lag.observe_served(1_500); // served clock runs 500s ahead
+        assert_eq!(lag.lag_seconds(), 0, "skew must clamp, not wrap");
+        assert_eq!(r.value("moas_lag_clock_skew_total", &[]), Some(1));
+        lag.observe_served(1_600);
+        assert_eq!(lag.lag_seconds(), 0);
+        assert_eq!(r.value("moas_lag_clock_skew_total", &[]), Some(2));
+        // Ingest catching back up resumes normal lag arithmetic.
+        lag.observe_ingested(2_000);
+        assert_eq!(lag.lag_seconds(), 400);
+        assert_eq!(
+            r.value("moas_lag_clock_skew_total", &[]),
+            Some(2),
+            "no skew once ingest is ahead again"
+        );
     }
 
     #[test]

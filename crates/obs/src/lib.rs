@@ -25,7 +25,25 @@
 //!   horizon of the epoch currently served.
 //! * [`EventJournal`] — a bounded ring of structured operational
 //!   events (slow requests, feed gaps, compaction runs, corrupt
-//!   segment skips), served under `/v1/events/log`.
+//!   segment skips, alert transitions), served under
+//!   `/v1/events/log`, with an eviction counter
+//!   (`moas_journal_dropped_total`) so overflow is visible.
+//! * [`Tracer`] — head-sampled span trees ([`trace`]): one trace id
+//!   follows an MRT file from `feed_poll` through decode, shard
+//!   apply, append, seal, and `epoch_publish`, and a served request
+//!   from parse to serialize. Spans land in a bounded ring; the
+//!   unsampled path is a single relaxed atomic load.
+//! * [`Tsdb`] — a fixed-memory two-tier ring time-series store
+//!   ([`tsdb`]): a background [`Sampler`] snapshots every registry
+//!   scalar (plus windowed `:p99` series derived from histograms)
+//!   every 10 s into a 1 h fine ring and a 24 h five-minute coarse
+//!   ring, queryable under `/v1/series`.
+//! * [`AlertEngine`] — §VII-style operational alerting ([`alert`]):
+//!   each rule runs the paper's EWMA surge detector over one tsdb
+//!   series (feed lag, ingest rate, 5xx rate, compaction backlog,
+//!   p99 latency) with pending → firing → resolved hysteresis,
+//!   journal events on transitions, and a firing-page hook for
+//!   `/readyz`.
 //!
 //! ```
 //! use moas_obs::Registry;
@@ -44,10 +62,16 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod alert;
 pub mod journal;
 pub mod lag;
 pub mod registry;
+pub mod trace;
+pub mod tsdb;
 
+pub use alert::{AlertDirection, AlertEngine, AlertInput, AlertRule, AlertSeverity, AlertStatus};
 pub use journal::{EventJournal, JournalEvent};
 pub use lag::LagTracker;
 pub use registry::{Counter, Gauge, Histogram, HistogramSnapshot, MetricKind, Registry};
+pub use trace::{Span, SpanContext, SpanRecord, Tracer};
+pub use tsdb::{Sampler, SeriesPoints, Tsdb, TsdbConfig};

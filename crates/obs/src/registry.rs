@@ -19,6 +19,7 @@
 //! the `+Inf` bucket.
 
 use crate::journal::EventJournal;
+use crate::trace::Tracer;
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
@@ -37,6 +38,14 @@ pub enum MetricKind {
     /// Log-scale distribution of u64 observations.
     Histogram,
 }
+
+/// One scraped counter or gauge: `(name, labels, kind, value)` — see
+/// [`Registry::scalar_values`].
+pub type ScalarValue = (String, Vec<(String, String)>, MetricKind, u64);
+
+/// One scraped histogram: `(name, labels, snapshot)` — see
+/// [`Registry::histogram_snapshots`].
+pub type HistogramSample = (String, Vec<(String, String)>, HistogramSnapshot);
 
 impl MetricKind {
     fn as_str(self) -> &'static str {
@@ -186,6 +195,17 @@ impl HistogramSnapshot {
         self.counts.iter().sum()
     }
 
+    /// The observations recorded since `prev` was taken (per-bucket
+    /// saturating difference) — what a windowed quantile works over,
+    /// so a long-running process's p99 reflects the last sampling
+    /// interval rather than its whole lifetime.
+    pub fn delta(&self, prev: &HistogramSnapshot) -> HistogramSnapshot {
+        HistogramSnapshot {
+            counts: std::array::from_fn(|i| self.counts[i].saturating_sub(prev.counts[i])),
+            sum: self.sum.saturating_sub(prev.sum),
+        }
+    }
+
     /// Estimated `q`-quantile (`0.0..=1.0`) by linear interpolation
     /// within the owning log-scale bucket. Returns `None` before the
     /// first observation — "no data" is an explicit answer, never `0`
@@ -251,6 +271,7 @@ type SeriesKey = (String, Vec<(String, String)>);
 pub struct Registry {
     series: Mutex<BTreeMap<SeriesKey, Entry>>,
     journal: EventJournal,
+    tracer: Tracer,
 }
 
 impl Default for Registry {
@@ -269,15 +290,42 @@ impl std::fmt::Debug for Registry {
 impl Registry {
     /// An empty registry with a default-capacity event journal.
     pub fn new() -> Self {
-        Registry {
+        Registry::with_journal_capacity(crate::journal::DEFAULT_JOURNAL_CAPACITY)
+    }
+
+    /// An empty registry whose event journal holds `journal_capacity`
+    /// events. The journal's eviction counter is pre-registered as
+    /// `moas_journal_dropped_total`, so silently overwritten events
+    /// are visible from the metric data itself.
+    pub fn with_journal_capacity(journal_capacity: usize) -> Self {
+        let dropped = Counter::default();
+        let registry = Registry {
             series: Mutex::new(BTreeMap::new()),
-            journal: EventJournal::default(),
-        }
+            journal: EventJournal::with_capacity_and_counter(journal_capacity, dropped.clone()),
+            tracer: Tracer::default(),
+        };
+        registry
+            .series
+            .lock()
+            .expect("registry lock poisoned")
+            .insert(
+                ("moas_journal_dropped_total".to_string(), Vec::new()),
+                Entry {
+                    help: "Journal events evicted by ring overflow before being read.".to_string(),
+                    series: Series::Counter(dropped),
+                },
+            );
+        registry
     }
 
     /// The embedded operational event journal.
     pub fn journal(&self) -> &EventJournal {
         &self.journal
+    }
+
+    /// The embedded span tracer (see [`crate::trace`]).
+    pub fn tracer(&self) -> &Tracer {
+        &self.tracer
     }
 
     fn register(
@@ -392,6 +440,38 @@ impl Registry {
             Series::Gauge(g) => Some(g.get()),
             Series::Histogram(_) => None,
         }
+    }
+
+    /// Every registered counter and gauge as
+    /// `(name, labels, kind, value)` — the sampling surface the
+    /// [`crate::tsdb`] store scrapes on its cadence. Histograms are
+    /// excluded (see [`Registry::histogram_snapshots`]).
+    pub fn scalar_values(&self) -> Vec<ScalarValue> {
+        let map = self.series.lock().expect("registry lock poisoned");
+        map.iter()
+            .filter_map(|((name, labels), entry)| match &entry.series {
+                Series::Counter(c) => {
+                    Some((name.clone(), labels.clone(), MetricKind::Counter, c.get()))
+                }
+                Series::Gauge(g) => {
+                    Some((name.clone(), labels.clone(), MetricKind::Gauge, g.get()))
+                }
+                Series::Histogram(_) => None,
+            })
+            .collect()
+    }
+
+    /// A point-in-time snapshot of every registered histogram as
+    /// `(name, labels, snapshot)` — the surface the tsdb derives
+    /// windowed quantile series from.
+    pub fn histogram_snapshots(&self) -> Vec<HistogramSample> {
+        let map = self.series.lock().expect("registry lock poisoned");
+        map.iter()
+            .filter_map(|((name, labels), entry)| match &entry.series {
+                Series::Histogram(h) => Some((name.clone(), labels.clone(), h.snapshot())),
+                _ => None,
+            })
+            .collect()
     }
 
     /// Renders every registered series as Prometheus text exposition

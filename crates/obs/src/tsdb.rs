@@ -1,0 +1,430 @@
+//! A fixed-memory in-process time-series store over the registry.
+//!
+//! Prometheus answers "what is it now"; incident response needs "what
+//! was it two minutes ago". The tsdb closes that gap without an
+//! external system: on every tick ([`Tsdb::sample`]) it copies each
+//! registry counter and gauge into a two-tier ring per series —
+//! a *fine* tier (default 10 s × 360 slots = the last hour) and a
+//! *coarse* downsampled tier (default 5 min × 288 slots = the last
+//! day, slot mean of the fine samples that landed in it). Memory is
+//! fixed at construction: `series × (fine + coarse)` slots of
+//! `(bucket, value)` pairs, independent of uptime.
+//!
+//! Histograms are sampled as *windowed* quantiles: each tick diffs the
+//! histogram against its previous snapshot and records the p99 of just
+//! that window as a derived series named `<family>:p99` (same labels),
+//! so `moas_serve_request_duration_us:p99` is the alerting-grade tail
+//! latency of the last interval, not of process lifetime.
+//!
+//! Sampling is driven either manually (tests, deterministic clocks)
+//! or by a background [`Sampler`] thread. Everything is queryable by
+//! series name over a time range — the data behind `GET /v1/series`
+//! and the input the [`crate::alert`] engine evaluates its rules over.
+
+use crate::registry::Registry;
+use crate::HistogramSnapshot;
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, SystemTime, UNIX_EPOCH};
+
+/// Ring geometry: slot widths and counts for both tiers.
+#[derive(Debug, Clone, Copy)]
+pub struct TsdbConfig {
+    /// Fine-tier slot width in seconds.
+    pub fine_step_secs: u64,
+    /// Fine-tier slot count.
+    pub fine_slots: usize,
+    /// Coarse-tier slot width in seconds.
+    pub coarse_step_secs: u64,
+    /// Coarse-tier slot count.
+    pub coarse_slots: usize,
+}
+
+impl Default for TsdbConfig {
+    /// 10 s × 360 (one hour fine) + 5 min × 288 (one day coarse).
+    fn default() -> Self {
+        TsdbConfig {
+            fine_step_secs: 10,
+            fine_slots: 360,
+            coarse_step_secs: 300,
+            coarse_slots: 288,
+        }
+    }
+}
+
+impl TsdbConfig {
+    /// Slots held per series across both tiers (the memory-budget
+    /// number: each slot is one `(u64, f64)` or `(u64, f64, u32)`).
+    pub fn slots_per_series(&self) -> usize {
+        self.fine_slots + self.coarse_slots
+    }
+}
+
+/// One series' two ring tiers.
+struct SeriesRings {
+    /// `(bucket, value)` — bucket is `ts / fine_step`.
+    fine: Vec<Option<(u64, f64)>>,
+    /// `(bucket, sum, count)` — downsampled mean accumulator.
+    coarse: Vec<Option<(u64, f64, u32)>>,
+}
+
+type SeriesKey = (String, Vec<(String, String)>);
+
+struct Inner {
+    series: BTreeMap<SeriesKey, SeriesRings>,
+    /// Previous histogram snapshots, for windowed quantile deltas.
+    hist_prev: BTreeMap<SeriesKey, HistogramSnapshot>,
+}
+
+/// One matched series in a [`Tsdb::query`] answer.
+#[derive(Debug, Clone)]
+pub struct SeriesPoints {
+    /// Series name (possibly a derived one like `...:p99`).
+    pub name: String,
+    /// Label set of the series.
+    pub labels: Vec<(String, String)>,
+    /// `(unix_seconds, value)` points, oldest first.
+    pub points: Vec<(u64, f64)>,
+}
+
+/// The fixed-memory ring time-series store. See the module docs.
+pub struct Tsdb {
+    config: TsdbConfig,
+    inner: Mutex<Inner>,
+}
+
+impl Default for Tsdb {
+    fn default() -> Self {
+        Tsdb::new(TsdbConfig::default())
+    }
+}
+
+impl std::fmt::Debug for Tsdb {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let n = self.inner.lock().expect("tsdb lock poisoned").series.len();
+        write!(f, "Tsdb({n} series)")
+    }
+}
+
+impl Tsdb {
+    /// An empty store with the given ring geometry.
+    pub fn new(config: TsdbConfig) -> Self {
+        Tsdb {
+            config,
+            inner: Mutex::new(Inner {
+                series: BTreeMap::new(),
+                hist_prev: BTreeMap::new(),
+            }),
+        }
+    }
+
+    /// The ring geometry.
+    pub fn config(&self) -> &TsdbConfig {
+        &self.config
+    }
+
+    /// Samples every registry counter and gauge (plus the windowed
+    /// `:p99` of every histogram) at `now_unix`. One tick of the
+    /// background cadence; call with [`unix_now`] outside tests.
+    pub fn sample(&self, registry: &Registry, now_unix: u64) {
+        let scalars = registry.scalar_values();
+        let hists = registry.histogram_snapshots();
+        let mut inner = self.inner.lock().expect("tsdb lock poisoned");
+        for (name, labels, _kind, value) in scalars {
+            Self::record(
+                &self.config,
+                &mut inner.series,
+                (name, labels),
+                now_unix,
+                value as f64,
+            );
+        }
+        for (name, labels, snap) in hists {
+            let key: SeriesKey = (name, labels);
+            let window = match inner.hist_prev.get(&key) {
+                Some(prev) => snap.delta(prev),
+                None => snap.clone(),
+            };
+            if let Some(p99) = window.quantile(0.99) {
+                let derived = (format!("{}:p99", key.0), key.1.clone());
+                Self::record(
+                    &self.config,
+                    &mut inner.series,
+                    derived,
+                    now_unix,
+                    p99 as f64,
+                );
+            }
+            inner.hist_prev.insert(key, snap);
+        }
+    }
+
+    fn record(
+        config: &TsdbConfig,
+        series: &mut BTreeMap<SeriesKey, SeriesRings>,
+        key: SeriesKey,
+        now_unix: u64,
+        value: f64,
+    ) {
+        let rings = series.entry(key).or_insert_with(|| SeriesRings {
+            fine: vec![None; config.fine_slots],
+            coarse: vec![None; config.coarse_slots],
+        });
+        let fine_bucket = now_unix / config.fine_step_secs;
+        let fi = (fine_bucket % config.fine_slots as u64) as usize;
+        // Same-bucket re-sampling overwrites (last value wins); a new
+        // bucket displaces whatever aged into this slot a full window
+        // ago.
+        rings.fine[fi] = Some((fine_bucket, value));
+
+        let coarse_bucket = now_unix / config.coarse_step_secs;
+        let ci = (coarse_bucket % config.coarse_slots as u64) as usize;
+        rings.coarse[ci] = match rings.coarse[ci] {
+            Some((b, sum, count)) if b == coarse_bucket => {
+                Some((coarse_bucket, sum + value, count + 1))
+            }
+            _ => Some((coarse_bucket, value, 1)),
+        };
+    }
+
+    /// Every series matching `name` exactly (all label sets), with the
+    /// points falling in `[now - range_secs, now]`, oldest first. The
+    /// fine tier answers what it still covers; older points come from
+    /// the coarse tier as slot means.
+    pub fn query(&self, name: &str, range_secs: u64, now_unix: u64) -> Vec<SeriesPoints> {
+        let from = now_unix.saturating_sub(range_secs);
+        let fine_window = self.config.fine_step_secs * self.config.fine_slots as u64;
+        let fine_floor = now_unix.saturating_sub(fine_window);
+        let inner = self.inner.lock().expect("tsdb lock poisoned");
+        inner
+            .series
+            .iter()
+            .filter(|((n, _), _)| n == name)
+            .map(|((n, labels), rings)| {
+                let mut points: Vec<(u64, f64)> = Vec::new();
+                for slot in rings.coarse.iter().flatten() {
+                    let (bucket, sum, count) = *slot;
+                    let ts = bucket * self.config.coarse_step_secs;
+                    // The fine tier owns everything it still covers;
+                    // the coarse tier fills in the older range only.
+                    if ts >= from && ts <= now_unix && ts < fine_floor && count > 0 {
+                        points.push((ts, sum / count as f64));
+                    }
+                }
+                for slot in rings.fine.iter().flatten() {
+                    let (bucket, value) = *slot;
+                    let ts = bucket * self.config.fine_step_secs;
+                    if ts >= from && ts <= now_unix {
+                        points.push((ts, value));
+                    }
+                }
+                points.sort_by_key(|&(ts, _)| ts);
+                SeriesPoints {
+                    name: n.clone(),
+                    labels: labels.clone(),
+                    points,
+                }
+            })
+            .filter(|s| !s.points.is_empty())
+            .collect()
+    }
+
+    /// The newest sampled point of the series with exactly `name` and
+    /// `labels`, as `(unix_seconds, value)`.
+    pub fn latest(&self, name: &str, labels: &[(String, String)]) -> Option<(u64, f64)> {
+        let inner = self.inner.lock().expect("tsdb lock poisoned");
+        let key: SeriesKey = (name.to_string(), labels.to_vec());
+        let rings = inner.series.get(&key)?;
+        rings
+            .fine
+            .iter()
+            .flatten()
+            .max_by_key(|(bucket, _)| *bucket)
+            .map(|(bucket, value)| (bucket * self.config.fine_step_secs, *value))
+    }
+
+    /// Distinct series names currently held (including derived `:p99`
+    /// names), sorted.
+    pub fn series_names(&self) -> Vec<String> {
+        let inner = self.inner.lock().expect("tsdb lock poisoned");
+        let mut names: Vec<String> = inner.series.keys().map(|(n, _)| n.clone()).collect();
+        names.dedup();
+        names
+    }
+
+    /// Number of series currently held.
+    pub fn series_count(&self) -> usize {
+        self.inner.lock().expect("tsdb lock poisoned").series.len()
+    }
+}
+
+/// Wall clock as Unix seconds — the `now` to drive live sampling with.
+pub fn unix_now() -> u64 {
+    SystemTime::now()
+        .duration_since(UNIX_EPOCH)
+        .map(|d| d.as_secs())
+        .unwrap_or(0)
+}
+
+/// A background sampling thread: every `interval` it ticks
+/// [`Tsdb::sample`] and then the supplied hook (the alert engine's
+/// tick, typically). Stops and joins on drop.
+pub struct Sampler {
+    stop: Arc<AtomicBool>,
+    handle: Option<JoinHandle<()>>,
+}
+
+impl Sampler {
+    /// Spawns the sampling loop. `on_tick(now)` runs after each
+    /// sample — pass the alert engine's tick, or a no-op.
+    pub fn spawn(
+        registry: Arc<Registry>,
+        tsdb: Arc<Tsdb>,
+        interval: Duration,
+        on_tick: impl Fn(u64) + Send + 'static,
+    ) -> std::io::Result<Sampler> {
+        let stop = Arc::new(AtomicBool::new(false));
+        let stop_flag = Arc::clone(&stop);
+        let handle = std::thread::Builder::new()
+            .name("moas-obs-sampler".into())
+            .spawn(move || {
+                while !stop_flag.load(Ordering::Acquire) {
+                    let now = unix_now();
+                    tsdb.sample(&registry, now);
+                    on_tick(now);
+                    // Sleep in small steps so drop() never waits a
+                    // full interval to join.
+                    let mut remaining = interval;
+                    while !stop_flag.load(Ordering::Acquire) && remaining > Duration::ZERO {
+                        let step = remaining.min(Duration::from_millis(50));
+                        std::thread::sleep(step);
+                        remaining = remaining.saturating_sub(step);
+                    }
+                }
+            })?;
+        Ok(Sampler {
+            stop,
+            handle: Some(handle),
+        })
+    }
+}
+
+impl Drop for Sampler {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::Release);
+        if let Some(h) = self.handle.take() {
+            h.join().ok();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> Tsdb {
+        Tsdb::new(TsdbConfig {
+            fine_step_secs: 10,
+            fine_slots: 6, // one fine minute
+            coarse_step_secs: 30,
+            coarse_slots: 4, // two coarse minutes
+        })
+    }
+
+    #[test]
+    fn samples_counters_and_gauges_and_answers_ranges() {
+        let r = Registry::new();
+        let c = r.counter("ops_total", "Ops.");
+        let g = r.gauge("depth", "Depth.");
+        let db = small();
+        for (i, now) in [1_000u64, 1_010, 1_020].iter().enumerate() {
+            c.add(5);
+            g.set(i as u64);
+            db.sample(&r, *now);
+        }
+        let series = db.query("ops_total", 60, 1_020);
+        assert_eq!(series.len(), 1);
+        assert_eq!(
+            series[0].points,
+            vec![(1_000, 5.0), (1_010, 10.0), (1_020, 15.0)]
+        );
+        assert_eq!(db.latest("depth", &[]), Some((1_020, 2.0)));
+        // A narrow range excludes old points.
+        let narrow = db.query("ops_total", 10, 1_020);
+        assert_eq!(narrow[0].points, vec![(1_010, 10.0), (1_020, 15.0)]);
+        assert!(db.query("nope", 60, 1_020).is_empty());
+    }
+
+    #[test]
+    fn fine_ring_rotates_and_coarse_tier_keeps_means() {
+        let r = Registry::new();
+        let g = r.gauge("depth", "Depth.");
+        let db = small();
+        // 12 ticks × 10 s: twice the fine window (60 s), within the
+        // coarse window (120 s).
+        for i in 0..12u64 {
+            g.set(i);
+            db.sample(&r, 1_000 + i * 10);
+        }
+        let now = 1_110;
+        let fine_only = db.query("depth", 50, now);
+        assert_eq!(
+            fine_only[0].points.len(),
+            6,
+            "fine tier covers the last minute"
+        );
+        // Full range: old points come from the coarse tier as means.
+        let all = db.query("depth", 200, now);
+        let pts = &all[0].points;
+        assert!(pts.len() > 6, "coarse points cover the aged-out range");
+        // The 4-slot coarse ring covers 120 s; the tick at 1110
+        // (bucket 37) displaced bucket 33 (990..1020), so the oldest
+        // surviving coarse slot is 1020..1050: samples 2, 3, 4 →
+        // slot mean 3.0.
+        assert_eq!(pts.first(), Some(&(1_020, 3.0)));
+        assert!(
+            pts.iter().all(|(ts, _)| *ts < 1_050 || *ts % 10 == 0),
+            "fine tier owns the covered window"
+        );
+    }
+
+    #[test]
+    fn histogram_p99_is_windowed_not_lifetime() {
+        let r = Registry::new();
+        let h = r.histogram("lat_us", "Latency.");
+        let db = small();
+        // First window: all slow.
+        for _ in 0..100 {
+            h.observe(100_000);
+        }
+        db.sample(&r, 1_000);
+        let (_, slow) = db.latest("lat_us:p99", &[]).expect("p99 series");
+        assert!(slow > 60_000.0, "first window p99 is slow: {slow}");
+        // Second window: all fast. A lifetime p99 would stay slow.
+        for _ in 0..100 {
+            h.observe(10);
+        }
+        db.sample(&r, 1_010);
+        let (_, fast) = db.latest("lat_us:p99", &[]).expect("p99 series");
+        assert!(fast < 100.0, "windowed p99 must reflect the window: {fast}");
+        // An idle window records no new p99 point.
+        db.sample(&r, 1_020);
+        let (ts, _) = db.latest("lat_us:p99", &[]).unwrap();
+        assert_eq!(ts, 1_010, "no observations, no point");
+    }
+
+    #[test]
+    fn memory_is_fixed_by_geometry() {
+        let cfg = TsdbConfig::default();
+        assert_eq!(cfg.slots_per_series(), 360 + 288);
+        let r = Registry::new();
+        r.counter("a_total", "A.");
+        let db = Tsdb::default();
+        for i in 0..10_000u64 {
+            db.sample(&r, i * 10);
+        }
+        assert_eq!(db.series_count(), 2, "a_total + moas_journal_dropped_total");
+    }
+}

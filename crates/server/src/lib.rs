@@ -30,7 +30,10 @@
 //! * [`routes`] — [`QueryService`]: the router over an epoch-pinned
 //!   [`moas_history::HistorySnapshot`] (`/v1/stats`, `/v1/validity`,
 //!   `/v1/conflicts`, `/v1/prefix/{prefix}`, `/v1/timeline`,
-//!   `/v1/metrics`).
+//!   `/v1/metrics`), plus the self-monitoring surface (`/v1/alerts`,
+//!   `/v1/series`, `/v1/trace/{id}`, `/v1/traces`) when a
+//!   [`moas_obs::Tsdb`] + [`moas_obs::AlertEngine`] pair is attached
+//!   via [`QueryService::with_self_monitor`].
 //! * [`cache`] — the epoch-keyed LRU response cache: hot queries cost
 //!   one `Arc` clone; every epoch advance invalidates wholesale.
 //! * [`metrics`] — [`metrics::ServerMetrics`]: request and connection

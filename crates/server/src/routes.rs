@@ -18,9 +18,13 @@
 //! | `/v1/metrics` | server + engine counters (JSON view) |
 //! | `/v1/feed` | live-feed cursor, lag, gaps |
 //! | `/v1/events/log` | recent operational events (ring journal) |
+//! | `/v1/alerts` | §VII-style operational alert rules and their states |
+//! | `/v1/series?name=&range=` | in-process tsdb points for one series |
+//! | `/v1/trace/{id}` | one trace's span tree (hex trace id) |
+//! | `/v1/traces?slow=N` | slowest recorded root spans |
 //! | `/metrics` | Prometheus text exposition of the shared registry |
 //! | `/healthz` | liveness: 200 whenever the process answers |
-//! | `/readyz` | readiness: 200 once an epoch is published and the feed (if any) is not lagging |
+//! | `/readyz` | readiness: 200 once an epoch is published, the feed (if any) is not lagging, and no page-severity alert fires |
 
 use crate::cache::{CacheStats, ResponseCache};
 use crate::http::{Request, Response};
@@ -30,7 +34,7 @@ use moas_history::service::{HistoryReader, HistorySnapshot};
 use moas_history::{ConflictStore, ValidityConfig, Verdict};
 use moas_monitor::metrics::EngineMetrics;
 use moas_net::{Date, Prefix};
-use moas_obs::Registry;
+use moas_obs::{AlertEngine, Counter, Histogram, Registry, Tsdb};
 use serde::{Serialize, Value};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::str::FromStr;
@@ -64,6 +68,14 @@ pub struct QueryService {
     registry: Arc<Registry>,
     engine: Option<Arc<EngineMetrics>>,
     feed: Option<FeedStatusProvider>,
+    /// Self-monitoring attachments ([`QueryService::with_self_monitor`]):
+    /// the tsdb behind `/v1/series` and the alert engine behind
+    /// `/v1/alerts` and the `/readyz` page check.
+    tsdb: Option<Arc<Tsdb>>,
+    alerts: Option<Arc<AlertEngine>>,
+    /// Meta-observability: cost of `/metrics` scrapes themselves.
+    scrapes: Counter,
+    scrape_duration: Histogram,
 }
 
 impl QueryService {
@@ -86,9 +98,19 @@ impl QueryService {
             cache: ResponseCache::new(config.cache_capacity),
             config,
             metrics: ServerMetrics::new(&registry),
+            scrapes: registry.counter(
+                "moas_scrapes_total",
+                "Prometheus exposition renders served under /metrics.",
+            ),
+            scrape_duration: registry.histogram(
+                "moas_scrape_duration_us",
+                "Time spent rendering one /metrics exposition, microseconds.",
+            ),
             registry,
             engine: None,
             feed: None,
+            tsdb: None,
+            alerts: None,
         }
     }
 
@@ -108,6 +130,17 @@ impl QueryService {
     /// (cursor, lag, gap count). Without one the route answers 404.
     pub fn with_feed_status(mut self, feed: FeedStatusProvider) -> Self {
         self.feed = Some(feed);
+        self
+    }
+
+    /// Attaches the self-monitoring pair: the [`Tsdb`] (served under
+    /// `/v1/series`) and the [`AlertEngine`] (served under
+    /// `/v1/alerts`; a firing page-severity rule fails `/readyz`).
+    /// Without them those routes answer 404 and readiness ignores
+    /// alerts.
+    pub fn with_self_monitor(mut self, tsdb: Arc<Tsdb>, alerts: Arc<AlertEngine>) -> Self {
+        self.tsdb = Some(tsdb);
+        self.alerts = Some(alerts);
         self
     }
 
@@ -164,12 +197,18 @@ impl QueryService {
             "/v1/metrics" => Ok(self.metrics_route()),
             "/v1/feed" => self.feed_route(),
             "/v1/events/log" => Ok(self.events_route()),
+            "/v1/alerts" => self.alerts_route(),
+            "/v1/series" => self.series_route(req),
+            "/v1/traces" => self.traces_route(req),
             "/metrics" => Ok(self.prometheus_route()),
             "/healthz" => Ok(Response::ok_text("ok\n".to_string())),
             "/readyz" => Ok(self.readyz_route(snap)),
             p => match p.strip_prefix("/v1/prefix/") {
                 Some(rest) if !rest.is_empty() => self.prefix_route(snap, rest, req),
-                _ => Err(Response::error(404, &format!("no such route: {p}"))),
+                _ => match p.strip_prefix("/v1/trace/") {
+                    Some(rest) if !rest.is_empty() => self.trace_route(rest),
+                    _ => Err(Response::error(404, &format!("no such route: {p}"))),
+                },
             },
         }
     }
@@ -378,6 +417,11 @@ impl QueryService {
     /// families are appended with duplicate `# HELP`/`# TYPE` headers
     /// elided so the combined document still parses.
     fn prometheus_route(&self) -> Response {
+        // Meta-observability: the scrape itself is priced. A scrape
+        // that balloons (series cardinality creep) shows up in its own
+        // exposition on the next pull.
+        let started = std::time::Instant::now();
+        self.scrapes.inc();
         let mut body = self.registry.render_prometheus();
         if let Some(engine) = &self.engine {
             let theirs = engine.registry();
@@ -385,6 +429,7 @@ impl QueryService {
                 append_exposition(&mut body, &theirs.render_prometheus());
             }
         }
+        self.scrape_duration.observe_duration(started.elapsed());
         Response::ok_text(body)
     }
 
@@ -406,6 +451,13 @@ impl QueryService {
                 );
             }
         }
+        // A firing page-severity alert sheds traffic at the load
+        // balancer until the incident resolves.
+        if let Some(alerts) = &self.alerts {
+            if let Some(rule) = alerts.firing_page() {
+                return Response::error(503, &format!("not ready: page alert {rule} is firing"));
+            }
+        }
         Response::ok_text("ready\n".to_string())
     }
 
@@ -413,11 +465,13 @@ impl QueryService {
     /// requests, feed gaps, compaction runs, corrupt-segment skips.
     fn events_route(&self) -> Response {
         let mut recorded = self.registry.journal().recorded();
+        let mut dropped = self.registry.journal().dropped();
         let mut events = self.registry.journal().events();
         if let Some(engine) = &self.engine {
             let theirs = engine.registry();
             if !Arc::ptr_eq(theirs, &self.registry) {
                 recorded += theirs.journal().recorded();
+                dropped += theirs.journal().dropped();
                 events.extend(theirs.journal().events());
             }
         }
@@ -425,29 +479,147 @@ impl QueryService {
         let rows = events
             .iter()
             .map(|e| {
-                Value::Object(vec![
+                let mut row = vec![
                     ("seq".into(), Value::U64(e.seq)),
                     ("unix_ms".into(), Value::U64(e.unix_ms)),
                     ("kind".into(), Value::String(e.kind.clone())),
                     ("message".into(), Value::String(e.message.clone())),
-                ])
+                ];
+                if e.trace != 0 {
+                    // Hex, matching what /v1/trace/{id} accepts.
+                    row.push(("trace".into(), Value::String(format!("{:x}", e.trace))));
+                }
+                Value::Object(row)
             })
             .collect();
         json(&Value::Object(vec![
             ("recorded".into(), Value::U64(recorded)),
+            ("dropped".into(), Value::U64(dropped)),
             ("events".into(), Value::Array(rows)),
         ]))
     }
 
+    /// Every alert rule's current standing: name, watched series,
+    /// severity, state machine position, last value, and baseline.
+    fn alerts_route(&self) -> Result<Response, Response> {
+        let alerts = self
+            .alerts
+            .as_ref()
+            .ok_or_else(|| Response::error(404, "no alert engine attached to this server"))?;
+        let rows = alerts
+            .report()
+            .into_iter()
+            .map(|a| {
+                Value::Object(vec![
+                    ("name".into(), Value::String(a.name.to_string())),
+                    ("series".into(), Value::String(a.series)),
+                    ("severity".into(), Value::String(a.severity.as_str().into())),
+                    ("state".into(), Value::String(a.state.to_string())),
+                    ("value".into(), a.value.map_or(Value::Null, Value::F64)),
+                    ("baseline".into(), Value::F64(a.baseline)),
+                    ("since_unix".into(), Value::U64(a.since_unix)),
+                ])
+            })
+            .collect();
+        Ok(json(&Value::Object(vec![(
+            "alerts".into(),
+            Value::Array(rows),
+        )])))
+    }
+
+    /// Points of one tsdb series over `range` seconds (default one
+    /// hour): `?name=moas_feed_lag_seconds&range=600`.
+    fn series_route(&self, req: &Request) -> Result<Response, Response> {
+        let tsdb = self
+            .tsdb
+            .as_ref()
+            .ok_or_else(|| Response::error(404, "no time-series store attached to this server"))?;
+        let name = req
+            .query_value("name")
+            .ok_or_else(|| Response::error(400, "missing required parameter \"name\""))?
+            .to_string();
+        let range: u64 = param(req, "range", 3_600)?;
+        let now = moas_obs::tsdb::unix_now();
+        let series = tsdb
+            .query(&name, range, now)
+            .into_iter()
+            .map(|s| {
+                Value::Object(vec![
+                    ("name".into(), Value::String(s.name)),
+                    (
+                        "labels".into(),
+                        Value::Object(
+                            s.labels
+                                .into_iter()
+                                .map(|(k, v)| (k, Value::String(v)))
+                                .collect(),
+                        ),
+                    ),
+                    (
+                        "points".into(),
+                        Value::Array(
+                            s.points
+                                .into_iter()
+                                .map(|(ts, v)| Value::Array(vec![Value::U64(ts), Value::F64(v)]))
+                                .collect(),
+                        ),
+                    ),
+                ])
+            })
+            .collect();
+        Ok(json(&Value::Object(vec![
+            ("name".into(), Value::String(name)),
+            ("range_secs".into(), Value::U64(range)),
+            ("now_unix".into(), Value::U64(now)),
+            ("series".into(), Value::Array(series)),
+        ])))
+    }
+
+    /// One trace's span tree, parents before children. The id is the
+    /// hex string journal entries and `/v1/traces` hand out.
+    fn trace_route(&self, raw: &str) -> Result<Response, Response> {
+        let id = u64::from_str_radix(raw.trim_start_matches("0x"), 16)
+            .map_err(|_| Response::error(400, &format!("bad trace id {raw:?}: expected hex")))?;
+        let spans = self.registry.tracer().trace_spans(id);
+        if spans.is_empty() {
+            return Err(Response::error(
+                404,
+                &format!("trace {raw} not found (never sampled, or rotated out of the ring)"),
+            ));
+        }
+        Ok(json(&Value::Object(vec![
+            ("trace".into(), Value::String(format!("{id:x}"))),
+            (
+                "spans".into(),
+                Value::Array(spans.iter().map(span_row).collect()),
+            ),
+        ])))
+    }
+
+    /// The slowest recorded root spans, longest first:
+    /// `?slow=10` bounds the answer (default 10, max 100).
+    fn traces_route(&self, req: &Request) -> Result<Response, Response> {
+        let limit: usize = param(req, "slow", 10)?;
+        let roots = self.registry.tracer().slowest_roots(limit.min(100));
+        Ok(json(&Value::Object(vec![(
+            "traces".into(),
+            Value::Array(roots.iter().map(span_row).collect()),
+        )])))
+    }
+
     /// Records a completed request's latency, journaling it when it
-    /// crossed the slow-request threshold.
-    pub(crate) fn note_request(&self, path: &str, micros: u64) {
+    /// crossed the slow-request threshold. `trace` is the request's
+    /// trace id (0 when unsampled) — the journal entry carries it, so
+    /// a slow request resolves to its span tree at `/v1/trace/{id}`.
+    pub(crate) fn note_request(&self, path: &str, micros: u64, trace: u64) {
         self.metrics.record_latency(micros);
         let slow = self.config.slow_request_micros;
         if slow > 0 && micros >= slow {
-            self.registry
-                .journal()
-                .record("slow_request", format!("{path} took {micros}us"));
+            self.registry.journal().record_with_trace(
+                "slow_request",
+                format!("{path} took {micros}us"),
+                trace,
+            );
         }
     }
 
@@ -469,13 +641,35 @@ impl QueryService {
 }
 
 /// Whether a route's answers may enter the epoch-keyed cache.
-/// Metrics, feed status, the event journal, and the probes change
-/// with every request (or independently of epochs): never cached.
+/// Metrics, feed status, the event journal, the self-monitoring
+/// routes, and the probes change with every request (or independently
+/// of epochs): never cached.
 fn is_cacheable(path: &str) -> bool {
     !matches!(
         path,
-        "/v1/metrics" | "/v1/feed" | "/v1/events/log" | "/metrics" | "/healthz" | "/readyz"
-    )
+        "/v1/metrics"
+            | "/v1/feed"
+            | "/v1/events/log"
+            | "/v1/alerts"
+            | "/v1/series"
+            | "/v1/traces"
+            | "/metrics"
+            | "/healthz"
+            | "/readyz"
+    ) && !path.starts_with("/v1/trace/")
+}
+
+/// One span as a JSON row (trace ids in hex, everything else
+/// numeric).
+fn span_row(s: &moas_obs::SpanRecord) -> Value {
+    Value::Object(vec![
+        ("trace".into(), Value::String(format!("{:x}", s.trace))),
+        ("span".into(), Value::U64(s.span)),
+        ("parent".into(), Value::U64(s.parent)),
+        ("name".into(), Value::String(s.name.to_string())),
+        ("start_unix_us".into(), Value::U64(s.start_unix_us)),
+        ("duration_us".into(), Value::U64(s.duration_us)),
+    ])
 }
 
 /// Appends a second registry's exposition onto `body`, skipping

@@ -264,22 +264,32 @@ fn serve_connection(
             }
             Err(RequestError::Io(_)) => break,
         };
-        metrics
-            .stage_parse
-            .observe_duration(parse_started.elapsed());
+        let parse_elapsed = parse_started.elapsed();
+        metrics.stage_parse.observe_duration(parse_elapsed);
+
+        // Per-request trace: a root span covering route + serialize,
+        // with the already-measured parse stage backdated under it.
+        // When head sampling skips the request all of this is no-ops.
+        let tracer = service.registry().tracer();
+        let span = tracer.span("request");
+        let ctx = span.context();
+        tracer.record_child(ctx, "request_parse", parse_elapsed);
 
         let in_flight = metrics.begin_request();
         let started = Instant::now();
         let response = service.respond(&req);
-        metrics.stage_route.observe_duration(started.elapsed());
+        let route_elapsed = started.elapsed();
+        metrics.stage_route.observe_duration(route_elapsed);
+        tracer.record_child(ctx, "request_route", route_elapsed);
         let keep_alive =
             req.keep_alive && served + 1 < keep_alive_cap && !queue.stop.load(Ordering::Acquire);
         let write_started = Instant::now();
         let write = response.write_to(&mut out, keep_alive);
-        metrics
-            .stage_serialize
-            .observe_duration(write_started.elapsed());
-        service.note_request(&req.path, started.elapsed().as_micros() as u64);
+        let write_elapsed = write_started.elapsed();
+        metrics.stage_serialize.observe_duration(write_elapsed);
+        tracer.record_child(ctx, "request_serialize", write_elapsed);
+        span.finish();
+        service.note_request(&req.path, started.elapsed().as_micros() as u64, ctx.trace);
         metrics.record_status(response.status);
         drop(in_flight);
         write?;

@@ -13,8 +13,10 @@ use moas_history::{HistoryService, RetentionPolicy, ServiceConfig};
 use moas_lab::study::{Study, StudyConfig};
 use moas_mrt::snapshot::DumpFormat;
 use moas_net::Date;
+use moas_obs::{tsdb::unix_now, AlertEngine, Tsdb};
 use moas_routeviews::{write_window_archive, BackgroundMode, Collector};
 use moas_serve::{QueryServer, QueryService, ServerConfig};
+use serde::Value;
 use std::io::{BufRead, BufReader, Read, Write};
 use std::net::{SocketAddr, TcpStream};
 use std::sync::Arc;
@@ -83,6 +85,14 @@ fn main() -> std::io::Result<()> {
     if let Some(engine) = service.metrics_handle() {
         query = query.with_engine_metrics(engine);
     }
+    // Self-monitoring: an in-process tsdb over the server's registry
+    // and the §VII-style alert engine evaluating over it. A real
+    // deployment runs a background `Sampler`; the example ticks them
+    // by hand for determinism.
+    let registry = Arc::clone(query.registry());
+    let tsdb = Arc::new(Tsdb::default());
+    let alerts = Arc::new(AlertEngine::new(Arc::clone(&registry), Arc::clone(&tsdb)));
+    query = query.with_self_monitor(Arc::clone(&tsdb), Arc::clone(&alerts));
     let query = Arc::new(query);
     let server = QueryServer::bind("127.0.0.1:0", Arc::clone(&query))?;
     let addr = server.local_addr();
@@ -135,6 +145,61 @@ fn main() -> std::io::Result<()> {
     }
     assert!(body.contains("moas_serve_requests_total"));
     assert!(body.contains("moas_monitor_records_ingested_total"));
+
+    println!("== self-monitoring: alerts, series, and trace spans ==");
+    // Tick the sampler twice so the tsdb holds points and every alert
+    // rule has evaluated at least once.
+    let now = unix_now();
+    tsdb.sample(&registry, now.saturating_sub(10));
+    alerts.tick(now.saturating_sub(10));
+    tsdb.sample(&registry, now);
+    alerts.tick(now);
+    let (status, body) = get(addr, "/v1/alerts")?;
+    println!("   GET /v1/alerts\n      {status} {}", truncate(&body, 200));
+    assert_eq!(status, 200);
+    let doc: Value = serde_json::from_str(&body).expect("alerts parse");
+    let rules = match doc.get("alerts") {
+        Some(Value::Array(rows)) => rows.len(),
+        _ => 0,
+    };
+    assert!(rules >= 5, "the standard rule set is loaded");
+    assert!(body.contains("\"feed_lag\""), "feed-lag rule present");
+
+    let series_target = "/v1/series?name=moas_serve_requests_total&range=600";
+    let (status, body) = get(addr, series_target)?;
+    println!(
+        "   GET {series_target}\n      {status} {}",
+        truncate(&body, 200)
+    );
+    assert_eq!(status, 200);
+    assert!(body.contains("\"points\""), "sampled points are served");
+
+    // Every request above was traced (default sampling records all);
+    // pull the slowest roots and resolve one full span tree.
+    let (status, body) = get(addr, "/v1/traces?slow=3")?;
+    assert_eq!(status, 200);
+    let doc: Value = serde_json::from_str(&body).expect("traces parse");
+    let trace_id = match doc.get("traces") {
+        Some(Value::Array(rows)) => rows
+            .first()
+            .and_then(|r| r.get("trace"))
+            .and_then(|t| match t {
+                Value::String(s) => Some(s.clone()),
+                _ => None,
+            })
+            .expect("at least one recorded root span"),
+        _ => panic!("traces is an array"),
+    };
+    let (status, body) = get(addr, &format!("/v1/trace/{trace_id}"))?;
+    println!(
+        "   GET /v1/trace/{trace_id}\n      {status} {}",
+        truncate(&body, 200)
+    );
+    assert_eq!(status, 200);
+    assert!(
+        body.contains("\"request_route\""),
+        "the span tree names its pipeline stages"
+    );
 
     println!("== the cache answers repeats from the pinned epoch ==");
     get(addr, "/v1/validity?limit=3")?;

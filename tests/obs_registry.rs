@@ -132,6 +132,11 @@ fn exposition_format_is_pinned() {
         "# HELP demo_requests_total Requests by path.\n",
         "# TYPE demo_requests_total counter\n",
         "demo_requests_total{path=\"a\\\\b\\\"c\\nd\"} 2\n",
+        // Every registry pre-registers its journal's eviction counter
+        // so dropped events are visible without any journal traffic.
+        "# HELP moas_journal_dropped_total Journal events evicted by ring overflow before being read.\n",
+        "# TYPE moas_journal_dropped_total counter\n",
+        "moas_journal_dropped_total 0\n",
     );
     assert_eq!(r.render_prometheus(), expected);
 }
