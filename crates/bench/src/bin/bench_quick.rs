@@ -179,6 +179,41 @@ fn bench_server() -> std::io::Result<Vec<(&'static str, f64)>> {
         best_cached = best_cached.max(measure_server(&service, 256)?);
         best_uncached = best_uncached.max(measure_server(&service, 0)?);
     }
+
+    // Replicated read path: two read-only replicas over the writer's
+    // (now quiesced) store — the serve-for-millions topology. Hot
+    // cached queries and all-304 conditional replays split across the
+    // replicas; cursor crawls page the writer.
+    let replica_a = HistoryService::open_read_only(
+        &dir,
+        ServiceConfig {
+            daemon: false,
+            ..ServiceConfig::default()
+        },
+    )?;
+    let replica_b = HistoryService::open_read_only(
+        &dir,
+        ServiceConfig {
+            daemon: false,
+            ..ServiceConfig::default()
+        },
+    )?;
+    let mut best_replica = 0f64;
+    let mut best_replica_p99_us = f64::MAX;
+    let mut best_not_modified = 0f64;
+    let mut best_paged = 0f64;
+    for _ in 0..REPS {
+        let (qps, p99) = measure_mix(&[&replica_a, &replica_b], Mix::Hot)?;
+        best_replica = best_replica.max(qps);
+        if let Some(p99) = p99 {
+            best_replica_p99_us = best_replica_p99_us.min(p99 as f64);
+        }
+        best_not_modified =
+            best_not_modified.max(measure_mix(&[&replica_a, &replica_b], Mix::NotModified)?.0);
+        best_paged = best_paged.max(measure_mix(&[&service], Mix::Paged)?.0);
+    }
+    replica_a.close()?;
+    replica_b.close()?;
     service.close()?;
     std::fs::remove_dir_all(&dir).ok();
 
@@ -186,10 +221,142 @@ fn bench_server() -> std::io::Result<Vec<(&'static str, f64)>> {
         "server: best {best_cached:.0} cached queries/s, {best_uncached:.0} uncached (recompute) queries/s, {:.1}x speedup",
         best_cached / best_uncached.max(1.0)
     );
+    eprintln!(
+        "server: best {best_replica:.0} replica queries/s (p99 {best_replica_p99_us:.0} us), {best_not_modified:.0} 304s/s, {best_paged:.0} paged queries/s"
+    );
     Ok(vec![
         ("cached_queries_per_sec", best_cached),
         ("uncached_queries_per_sec", best_uncached),
+        ("replica_queries_per_sec", best_replica),
+        ("replica_p99_us", best_replica_p99_us),
+        ("not_modified_per_sec", best_not_modified),
+        ("paginated_queries_per_sec", best_paged),
     ])
+}
+
+/// The request mix one replicated-topology measurement drives.
+#[derive(Clone, Copy)]
+enum Mix {
+    /// Hot cached GETs of the validity summary.
+    Hot,
+    /// Conditional GETs replaying a captured `ETag`; every answer is
+    /// a bodyless 304.
+    NotModified,
+    /// Cursor crawls: page through `/v1/validity` following
+    /// `next_cursor`, restarting each time a crawl completes.
+    Paged,
+}
+
+/// One time-boxed measurement over one server per service (clients
+/// round-robin across them). Returns requests/s and the worst
+/// server-side p99 in microseconds.
+fn measure_mix(services: &[&HistoryService], mix: Mix) -> std::io::Result<(f64, Option<u64>)> {
+    const CLIENTS: usize = 4;
+    const WINDOW: Duration = Duration::from_millis(350);
+    const TARGET: &str = "/v1/validity?limit=0";
+    const PAGE_TARGET: &str = "/v1/validity?limit=500";
+
+    let queries: Vec<Arc<QueryService>> = services
+        .iter()
+        .map(|service| {
+            Arc::new(QueryService::new(
+                service.reader(),
+                ServerConfig {
+                    workers: CLIENTS,
+                    cache_capacity: 256,
+                    keep_alive_requests: u32::MAX,
+                    ..ServerConfig::default()
+                },
+            ))
+        })
+        .collect();
+    let servers: Vec<QueryServer> = queries
+        .iter()
+        .map(|q| QueryServer::bind("127.0.0.1:0", Arc::clone(q)))
+        .collect::<std::io::Result<_>>()?;
+    let addrs: Vec<SocketAddr> = servers.iter().map(|s| s.local_addr()).collect();
+    for &addr in &addrs {
+        loopback_get(addr, TARGET)?;
+    }
+
+    let start = Instant::now();
+    let total: u64 = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..CLIENTS)
+            .map(|i| {
+                let addr = addrs[i % addrs.len()];
+                scope.spawn(move || {
+                    let stream = TcpStream::connect(addr).expect("connect");
+                    let mut reader = BufReader::new(stream.try_clone().expect("clone"));
+                    let mut writer = stream;
+                    let mut n = 0u64;
+                    match mix {
+                        Mix::Hot => {
+                            while start.elapsed() < WINDOW {
+                                request(&mut reader, &mut writer, TARGET).expect("request");
+                                n += 1;
+                            }
+                        }
+                        Mix::NotModified => {
+                            let (status, etag, _) = request_raw(
+                                &mut reader,
+                                &mut writer,
+                                &format!("GET {TARGET} HTTP/1.1\r\nhost: bench\r\n\r\n"),
+                            )
+                            .expect("capture etag");
+                            assert_eq!(status, 200);
+                            let etag = etag.expect("cacheable 200 must carry an etag");
+                            let head = format!(
+                                "GET {TARGET} HTTP/1.1\r\nhost: bench\r\nif-none-match: {etag}\r\n\r\n"
+                            );
+                            while start.elapsed() < WINDOW {
+                                let (status, _, _) = request_raw(&mut reader, &mut writer, &head)
+                                    .expect("conditional request");
+                                assert_eq!(status, 304, "validator must match");
+                                n += 1;
+                            }
+                        }
+                        Mix::Paged => {
+                            let mut cursor: Option<String> = None;
+                            while start.elapsed() < WINDOW {
+                                let target = match &cursor {
+                                    None => PAGE_TARGET.to_string(),
+                                    Some(c) => format!("{PAGE_TARGET}&cursor={c}"),
+                                };
+                                let (status, _, body) = request_raw(
+                                    &mut reader,
+                                    &mut writer,
+                                    &format!("GET {target} HTTP/1.1\r\nhost: bench\r\n\r\n"),
+                                )
+                                .expect("page request");
+                                assert_eq!(status, 200, "page must render");
+                                cursor = next_cursor(&body);
+                                n += 1;
+                            }
+                        }
+                    }
+                    n
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("client")).sum()
+    });
+    let secs = start.elapsed().as_secs_f64();
+    for server in servers {
+        server.shutdown();
+    }
+    let p99 = queries
+        .iter()
+        .filter_map(|q| q.metrics().stats(q.cache_stats()).p99_micros)
+        .max();
+    Ok((total as f64 / secs, p99))
+}
+
+/// Pulls `"next_cursor":"..."` out of a compact JSON body without a
+/// full parse (`None` on `null`, i.e. the crawl's last page).
+fn next_cursor(body: &[u8]) -> Option<String> {
+    let body = std::str::from_utf8(body).ok()?;
+    let rest = body.split_once("\"next_cursor\":\"")?.1;
+    Some(rest.split_once('"')?.0.to_string())
 }
 
 /// Feed: catch-up throughput (files/s over a pre-rendered simulated
@@ -469,17 +636,39 @@ fn loopback_get(addr: SocketAddr, target: &str) -> std::io::Result<()> {
     request(&mut reader, &mut writer, target)
 }
 
-/// Sends one keep-alive GET and drains the response.
+/// Sends one keep-alive GET and drains the response, asserting 200.
 fn request<R: BufRead, W: Write>(
     reader: &mut R,
     writer: &mut W,
     target: &str,
 ) -> std::io::Result<()> {
-    writer.write_all(format!("GET {target} HTTP/1.1\r\nhost: bench\r\n\r\n").as_bytes())?;
+    let (status, _, body) = request_raw(
+        reader,
+        writer,
+        &format!("GET {target} HTTP/1.1\r\nhost: bench\r\n\r\n"),
+    )?;
+    assert_eq!(status, 200, "unexpected response status");
+    black_box(body.len());
+    Ok(())
+}
+
+/// Sends one raw keep-alive request and drains the response,
+/// returning (status, etag header, body).
+fn request_raw<R: BufRead, W: Write>(
+    reader: &mut R,
+    writer: &mut W,
+    head: &str,
+) -> std::io::Result<(u16, Option<String>, Vec<u8>)> {
+    writer.write_all(head.as_bytes())?;
     let mut line = String::new();
     reader.read_line(&mut line)?;
-    assert!(line.contains("200"), "unexpected response: {line:?}");
+    let status: u16 = line
+        .split(' ')
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or_else(|| panic!("bad status line {line:?}"));
     let mut content_length = 0usize;
+    let mut etag = None;
     loop {
         let mut header = String::new();
         reader.read_line(&mut header)?;
@@ -488,15 +677,17 @@ fn request<R: BufRead, W: Write>(
             break;
         }
         if let Some((name, value)) = header.split_once(':') {
-            if name.trim().eq_ignore_ascii_case("content-length") {
+            let name = name.trim();
+            if name.eq_ignore_ascii_case("content-length") {
                 content_length = value.trim().parse().expect("content-length");
+            } else if name.eq_ignore_ascii_case("etag") {
+                etag = Some(value.trim().to_string());
             }
         }
     }
     let mut body = vec![0u8; content_length];
     reader.read_exact(&mut body)?;
-    black_box(body.len());
-    Ok(())
+    Ok((status, etag, body))
 }
 
 fn write_json(path: &Path, bench: &str, metrics: &[(&str, f64)]) -> std::io::Result<()> {

@@ -79,7 +79,9 @@ pub use pipeline::{
     analyze_mrt_archive_service, analyze_mrt_archive_streaming, StreamingArchiveConfig,
     StreamingArchiveReport,
 };
-pub use service::{HistoryReader, HistoryService, HistorySnapshot, ServiceConfig};
+pub use service::{
+    HistoryReader, HistoryService, HistorySnapshot, RoleHandle, ServiceConfig, ServiceRole,
+};
 pub use store::{ExpiryOutcome, HistoryStore, SealedSegment, StoreScan, StoreStats};
 pub use table::{TableData, TableFile};
 pub use validity::{

@@ -21,8 +21,12 @@ use std::path::{Path, PathBuf};
 
 /// Manifest file name inside a store directory.
 pub const MANIFEST_NAME: &str = "MANIFEST";
-/// Manifest magic (version 001 baked in).
-pub const MANIFEST_MAGIC: &[u8; 8] = b"MHMAN001";
+/// Manifest magic written by this version.
+pub const MANIFEST_MAGIC: &[u8; 8] = b"MHMAN002";
+/// Version-1 magic, still accepted on read (`events_appended` decodes
+/// as 0) so stores written before the counter moved into the manifest
+/// open cleanly.
+pub const MANIFEST_MAGIC_V1: &[u8; 8] = b"MHMAN001";
 
 /// Sentinel for "no table" in the encoded form.
 const NO_TABLE: u64 = u64::MAX;
@@ -56,6 +60,10 @@ pub struct Manifest {
     pub segments_expired: u64,
     /// Tables ever installed (also the next table number).
     pub tables_written: u64,
+    /// Events appended over the store's lifetime. Carried in the
+    /// manifest so a read-only replica reports the same counter as the
+    /// writer without scanning segments.
+    pub events_appended: u64,
 }
 
 impl Manifest {
@@ -100,6 +108,7 @@ fn encode(m: &Manifest) -> Vec<u8> {
     put_u64(&mut buf, m.bytes_expired);
     put_u64(&mut buf, m.segments_expired);
     put_u64(&mut buf, m.tables_written);
+    put_u64(&mut buf, m.events_appended);
     put_u32(&mut buf, m.segments.len() as u32);
     for &s in &m.segments {
         put_u64(&mut buf, s);
@@ -110,8 +119,16 @@ fn encode(m: &Manifest) -> Vec<u8> {
 }
 
 fn decode(bytes: &[u8]) -> Result<Manifest, ManifestError> {
-    let fixed = 8 + 8 + 4 + 4 + 8 * 7 + 4; // magic..seg_count
-    if bytes.len() < fixed + 4 || &bytes[..8] != MANIFEST_MAGIC {
+    if bytes.len() < 8 {
+        return Err(ManifestError::Corrupt("bad magic or truncated".into()));
+    }
+    let v2 = &bytes[..8] == MANIFEST_MAGIC;
+    if !v2 && &bytes[..8] != MANIFEST_MAGIC_V1 {
+        return Err(ManifestError::Corrupt("bad magic or truncated".into()));
+    }
+    // magic..seg_count; v2 appends events_appended to the fixed part.
+    let fixed = 8 + 8 + 4 + 4 + 8 * 7 + if v2 { 8 } else { 0 } + 4;
+    if bytes.len() < fixed + 4 {
         return Err(ManifestError::Corrupt("bad magic or truncated".into()));
     }
     let expected = get_u32(bytes, bytes.len() - 4);
@@ -138,6 +155,7 @@ fn decode(bytes: &[u8]) -> Result<Manifest, ManifestError> {
     let bytes_expired = u64_at(&mut pos);
     let segments_expired = u64_at(&mut pos);
     let tables_written = u64_at(&mut pos);
+    let events_appended = if v2 { u64_at(&mut pos) } else { 0 };
     let count = get_u32(bytes, pos) as usize;
     pos += 4;
     if bytes.len() - 4 - pos != count * 8 {
@@ -162,6 +180,7 @@ fn decode(bytes: &[u8]) -> Result<Manifest, ManifestError> {
         bytes_expired,
         segments_expired,
         tables_written,
+        events_appended,
     })
 }
 
@@ -229,6 +248,7 @@ mod tests {
             bytes_expired: 999,
             segments_expired: 10,
             tables_written: 3,
+            events_appended: 77,
         };
         write_manifest(&dir, &m).unwrap();
         assert_eq!(read_manifest(&dir).unwrap(), m);
@@ -246,6 +266,58 @@ mod tests {
         write_manifest(&dir, &m2).unwrap();
         assert_eq!(read_manifest(&dir).unwrap(), m2);
         assert!(!dir.join("MANIFEST.tmp").exists());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    /// A version-1 manifest (no `events_appended` field) still decodes;
+    /// the counter defaults to 0 and the next swap rewrites it as v2.
+    #[test]
+    fn v1_manifest_accepted_with_zero_events() {
+        let dir = tmp("v1-compat");
+        let m = Manifest {
+            epoch: 7,
+            horizon_day: 1,
+            next_day: 4,
+            next_file: 3,
+            covered_below: 2,
+            table: Some(0),
+            segments: vec![2],
+            lifetime_bytes: 512,
+            bytes_expired: 64,
+            segments_expired: 1,
+            tables_written: 1,
+            events_appended: 0,
+        };
+        // Hand-encode the v1 layout: same fields, old magic, no
+        // events_appended word.
+        let mut buf = Vec::new();
+        buf.extend_from_slice(MANIFEST_MAGIC_V1);
+        put_u64(&mut buf, m.epoch);
+        put_u32(&mut buf, m.horizon_day);
+        put_u32(&mut buf, m.next_day);
+        put_u64(&mut buf, m.next_file);
+        put_u64(&mut buf, m.covered_below);
+        put_u64(&mut buf, m.table.unwrap());
+        put_u64(&mut buf, m.lifetime_bytes);
+        put_u64(&mut buf, m.bytes_expired);
+        put_u64(&mut buf, m.segments_expired);
+        put_u64(&mut buf, m.tables_written);
+        put_u32(&mut buf, m.segments.len() as u32);
+        for &s in &m.segments {
+            put_u64(&mut buf, s);
+        }
+        let crc = crc32(&buf);
+        put_u32(&mut buf, crc);
+        std::fs::write(dir.join(MANIFEST_NAME), &buf).unwrap();
+        assert_eq!(read_manifest(&dir).unwrap(), m);
+
+        // Re-writing produces v2; the roundtrip then carries the field.
+        let upgraded = Manifest {
+            events_appended: 9,
+            ..m
+        };
+        write_manifest(&dir, &upgraded).unwrap();
+        assert_eq!(read_manifest(&dir).unwrap(), upgraded);
         std::fs::remove_dir_all(&dir).ok();
     }
 

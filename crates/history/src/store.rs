@@ -81,7 +81,8 @@ pub struct StoreStats {
     /// Bytes reclaimed by deleting expired segments and replaced
     /// tables.
     pub bytes_expired: u64,
-    /// Events appended by this process.
+    /// Events appended over the store's lifetime (persisted in the
+    /// manifest, so restarts and read-only replicas agree on it).
     pub events_appended: u64,
 }
 
@@ -150,7 +151,6 @@ pub struct HistoryStore {
     /// The validated current table, decoded (None without one).
     table: Option<Arc<TableData>>,
     table_bytes: u64,
-    events_appended: u64,
     metrics: Option<Arc<EngineMetrics>>,
     /// Stage timers registered when metrics attach (the registry
     /// arrives with them); `None` means timing is off.
@@ -330,7 +330,6 @@ impl HistoryStore {
             seg_info,
             table,
             table_bytes,
-            events_appended: 0,
             metrics: None,
             stages: None,
             open_report: report,
@@ -388,7 +387,7 @@ impl HistoryStore {
             retained_bytes: self.retained_bytes(),
             lifetime_bytes: self.manifest.lifetime_bytes,
             bytes_expired: self.manifest.bytes_expired,
-            events_appended: self.events_appended,
+            events_appended: self.manifest.events_appended,
         }
     }
 
@@ -434,7 +433,9 @@ impl HistoryStore {
             }
             let w = self.writer.as_mut().expect("writer just ensured");
             w.writer.append(e)?;
-            self.events_appended += 1;
+            // Persisted at the next manifest swap (the seal that makes
+            // these events durable), so replicas read the same count.
+            self.manifest.events_appended += 1;
         }
         if let Some(s) = &self.stages {
             // One observation per append call (a drained batch), the
@@ -736,11 +737,11 @@ impl HistoryStore {
     }
 }
 
-fn seg_path(dir: &Path, n: u64) -> PathBuf {
+pub(crate) fn seg_path(dir: &Path, n: u64) -> PathBuf {
     dir.join(format!("seg-{n:08}.{SEGMENT_EXT}"))
 }
 
-fn table_path(dir: &Path, n: u64) -> PathBuf {
+pub(crate) fn table_path(dir: &Path, n: u64) -> PathBuf {
     dir.join(format!("tab-{n:08}.{TABLE_EXT}"))
 }
 
@@ -857,6 +858,11 @@ mod tests {
         // accounting from the manifest instead of clobbering.
         let mut store2 = HistoryStore::open(&dir).unwrap();
         assert_eq!(store2.stats().lifetime_bytes, stats.lifetime_bytes);
+        assert_eq!(
+            store2.stats().events_appended,
+            2,
+            "event count survives restart via manifest"
+        );
         store2.append(&[ev(2, 300_000, true)]).unwrap();
         store2.seal().unwrap();
         let segments = store2.segments().unwrap();

@@ -186,10 +186,7 @@ impl Tracer {
         let sampled = match every {
             0 => false,
             1 => true,
-            n => self
-                .heads
-                .fetch_add(1, Ordering::Relaxed)
-                .is_multiple_of(n),
+            n => self.heads.fetch_add(1, Ordering::Relaxed).is_multiple_of(n),
         };
         if !sampled {
             return Span {

@@ -295,6 +295,12 @@ pub struct Response {
     /// Seconds for a `Retry-After` header — overload/shutdown answers
     /// tell well-behaved clients when to come back.
     pub retry_after: Option<u32>,
+    /// `ETag` header value (already quoted). Cacheable `/v1` answers
+    /// carry the epoch-derived validator that `If-None-Match` checks
+    /// against.
+    pub etag: Option<String>,
+    /// `Allow` header value — required alongside a 405.
+    pub allow: Option<&'static str>,
 }
 
 impl Response {
@@ -305,6 +311,8 @@ impl Response {
             content_type: "application/json",
             body,
             retry_after: None,
+            etag: None,
+            allow: None,
         }
     }
 
@@ -315,24 +323,67 @@ impl Response {
             content_type: "text/plain; charset=utf-8",
             body,
             retry_after: None,
+            etag: None,
+            allow: None,
         }
     }
 
-    /// An error response with a small JSON body naming the problem.
-    pub fn error(status: u16, message: &str) -> Self {
-        let body = serde_json::to_string(&serde::Value::Object(vec![
-            ("status".to_string(), serde::Value::U64(status as u64)),
-            (
-                "error".to_string(),
-                serde::Value::String(message.to_string()),
-            ),
-        ]))
-        .expect("value rendering is total");
+    /// A 304 answering a matched `If-None-Match`: no body, but the
+    /// same validator the full answer would carry.
+    pub fn not_modified(etag: String) -> Self {
+        Response {
+            status: 304,
+            content_type: "application/json",
+            body: String::new(),
+            retry_after: None,
+            etag: Some(etag),
+            allow: None,
+        }
+    }
+
+    /// An error response in the uniform envelope every non-2xx JSON
+    /// answer uses: `{"error":{"code":…,"message":…,"retry_after":…}}`.
+    /// `code` is a stable machine-readable token (`bad_request`,
+    /// `not_found`, `method_not_allowed`, `cursor_expired`,
+    /// `internal`, `unavailable`, `not_ready`); `message` is for
+    /// humans. A 405 automatically carries `Allow: GET` — this server
+    /// serves nothing else.
+    pub fn error(status: u16, code: &str, message: &str) -> Self {
+        Response::error_with_retry(status, code, message, None)
+    }
+
+    /// [`Response::error`] with a `Retry-After` value, mirrored into
+    /// the envelope's `retry_after` field.
+    pub fn error_with_retry(
+        status: u16,
+        code: &str,
+        message: &str,
+        retry_after: Option<u32>,
+    ) -> Self {
+        let envelope = serde::Value::Object(vec![(
+            "error".to_string(),
+            serde::Value::Object(vec![
+                ("code".to_string(), serde::Value::String(code.to_string())),
+                (
+                    "message".to_string(),
+                    serde::Value::String(message.to_string()),
+                ),
+                (
+                    "retry_after".to_string(),
+                    match retry_after {
+                        Some(secs) => serde::Value::U64(secs as u64),
+                        None => serde::Value::Null,
+                    },
+                ),
+            ]),
+        )]);
         Response {
             status,
             content_type: "application/json",
-            body,
-            retry_after: None,
+            body: serde_json::to_string(&envelope).expect("value rendering is total"),
+            retry_after,
+            etag: None,
+            allow: (status == 405).then_some("GET"),
         }
     }
 
@@ -340,19 +391,18 @@ impl Response {
     /// always written with `Connection: close` — a rejected connection
     /// must never be left open holding server resources.
     pub fn unavailable(message: &str, retry_after_secs: u32) -> Self {
-        Response {
-            retry_after: Some(retry_after_secs),
-            ..Response::error(503, message)
-        }
+        Response::error_with_retry(503, "unavailable", message, Some(retry_after_secs))
     }
 
     /// The reason phrase for the statuses this server emits.
     pub fn status_text(status: u16) -> &'static str {
         match status {
             200 => "OK",
+            304 => "Not Modified",
             400 => "Bad Request",
             404 => "Not Found",
             405 => "Method Not Allowed",
+            410 => "Gone",
             500 => "Internal Server Error",
             503 => "Service Unavailable",
             _ => "Unknown",
@@ -369,8 +419,16 @@ impl Response {
             Some(secs) => format!("retry-after: {secs}\r\n"),
             None => String::new(),
         };
+        let etag = match &self.etag {
+            Some(tag) => format!("etag: {tag}\r\n"),
+            None => String::new(),
+        };
+        let allow = match self.allow {
+            Some(methods) => format!("allow: {methods}\r\n"),
+            None => String::new(),
+        };
         let head = format!(
-            "HTTP/1.1 {} {}\r\ncontent-type: {}\r\ncontent-length: {}\r\n{retry}connection: {}\r\n\r\n",
+            "HTTP/1.1 {} {}\r\ncontent-type: {}\r\ncontent-length: {}\r\n{retry}{etag}{allow}connection: {}\r\n\r\n",
             self.status,
             Self::status_text(self.status),
             self.content_type,
@@ -553,8 +611,36 @@ mod tests {
         assert!(text.contains("connection: keep-alive\r\n"));
         assert!(text.ends_with("\r\n\r\n{\"a\":1}"));
 
-        let err = Response::error(404, "no such route");
-        assert_eq!(err.body, "{\"status\":404,\"error\":\"no such route\"}");
+        let err = Response::error(404, "not_found", "no such route");
+        assert_eq!(
+            err.body,
+            "{\"error\":{\"code\":\"not_found\",\"message\":\"no such route\",\"retry_after\":null}}"
+        );
+    }
+
+    /// Every status gets the envelope; a 405 carries `Allow` and a
+    /// 304 carries the validator with an empty body.
+    #[test]
+    fn envelope_allow_and_not_modified_wire_format() {
+        let mut out = Vec::new();
+        Response::error(405, "method_not_allowed", "only GET is supported")
+            .write_to(&mut out, true)
+            .unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.starts_with("HTTP/1.1 405 Method Not Allowed\r\n"));
+        assert!(text.contains("allow: GET\r\n"));
+        assert!(text.contains("\"code\":\"method_not_allowed\""));
+
+        let mut out = Vec::new();
+        Response::not_modified("\"e5-abc\"".to_string())
+            .write_to(&mut out, true)
+            .unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.starts_with("HTTP/1.1 304 Not Modified\r\n"));
+        assert!(text.contains("etag: \"e5-abc\"\r\n"));
+        assert!(text.contains("content-length: 0\r\n"));
+        assert!(text.contains("connection: keep-alive\r\n"));
+        assert!(text.ends_with("\r\n\r\n"));
     }
 
     /// A 503 always sheds the connection and tells the client when to

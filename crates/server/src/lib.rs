@@ -84,6 +84,18 @@ pub struct ServerConfig {
     /// Requests at least this slow (microseconds) are recorded in the
     /// operational event journal (`/v1/events/log`); 0 disables.
     pub slow_request_micros: u64,
+    /// `/readyz` answers 503 while this replica serves an epoch more
+    /// than this many manifest swaps behind the store on disk (only
+    /// checked when a [`moas_history::RoleHandle`] is attached and
+    /// reports the replica role).
+    pub ready_max_replica_lag_epochs: u64,
+    /// How often `/v1/events/stream` polls the journal for fresh
+    /// events between pushes.
+    pub sse_poll_interval: Duration,
+    /// Events pushed per `/v1/events/stream` connection before the
+    /// server ends the stream (`event: end_of_stream`); 0 means
+    /// unbounded.
+    pub sse_max_events: u64,
 }
 
 impl Default for ServerConfig {
@@ -98,6 +110,9 @@ impl Default for ServerConfig {
             retry_after_secs: 1,
             ready_max_feed_lag_secs: 86_400,
             slow_request_micros: 250_000,
+            ready_max_replica_lag_epochs: 64,
+            sse_poll_interval: Duration::from_millis(150),
+            sse_max_events: 10_000,
         }
     }
 }

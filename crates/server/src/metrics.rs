@@ -31,10 +31,19 @@ pub struct ServerMetrics {
     pub in_flight: Gauge,
     /// Responses with a 2xx status.
     pub responses_ok: Counter,
+    /// Responses with a 3xx status (all of them 304s here).
+    pub responses_not_modified: Counter,
     /// Responses with a 4xx status.
     pub responses_client_error: Counter,
     /// Responses with a 5xx status.
     pub responses_server_error: Counter,
+    /// `/v1/events/stream` connections opened.
+    pub sse_connections: Counter,
+    /// Events written to `/v1/events/stream` subscribers.
+    pub sse_events_sent: Counter,
+    /// Stream subscribers disconnected for not keeping up (write
+    /// timeout while pushing an event).
+    pub sse_slow_disconnects: Counter,
     /// Connections dropped by the idle read timeout.
     pub read_timeouts: Counter,
     /// Connections dropped because the request did not parse.
@@ -101,8 +110,21 @@ impl ServerMetrics {
             requests: r.counter("moas_serve_requests_total", "Requests parsed and routed."),
             in_flight: r.gauge("moas_serve_in_flight", "Requests currently being handled."),
             responses_ok: response_class("2xx"),
+            responses_not_modified: response_class("3xx"),
             responses_client_error: response_class("4xx"),
             responses_server_error: response_class("5xx"),
+            sse_connections: r.counter(
+                "moas_serve_sse_connections_total",
+                "Event-stream connections opened.",
+            ),
+            sse_events_sent: r.counter(
+                "moas_serve_sse_events_sent_total",
+                "Events written to event-stream subscribers.",
+            ),
+            sse_slow_disconnects: r.counter(
+                "moas_serve_sse_slow_disconnects_total",
+                "Event-stream subscribers disconnected for not keeping up.",
+            ),
             read_timeouts: r.counter(
                 "moas_serve_read_timeouts_total",
                 "Connections dropped by the idle read timeout.",
@@ -153,6 +175,7 @@ impl ServerMetrics {
     pub fn record_status(&self, status: u16) {
         let counter = match status {
             200..=299 => &self.responses_ok,
+            300..=399 => &self.responses_not_modified,
             400..=499 => &self.responses_client_error,
             _ => &self.responses_server_error,
         };
@@ -183,8 +206,12 @@ impl ServerMetrics {
             requests: self.requests.get(),
             in_flight: self.in_flight.get(),
             responses_ok: self.responses_ok.get(),
+            responses_not_modified: self.responses_not_modified.get(),
             responses_client_error: self.responses_client_error.get(),
             responses_server_error: self.responses_server_error.get(),
+            sse_connections: self.sse_connections.get(),
+            sse_events_sent: self.sse_events_sent.get(),
+            sse_slow_disconnects: self.sse_slow_disconnects.get(),
             read_timeouts: self.read_timeouts.get(),
             malformed_requests: self.malformed_requests.get(),
             latency_samples: window.len() as u64,
@@ -208,10 +235,18 @@ pub struct ServerStats {
     pub in_flight: u64,
     /// 2xx responses.
     pub responses_ok: u64,
+    /// 3xx responses (304 conditional-request answers).
+    pub responses_not_modified: u64,
     /// 4xx responses.
     pub responses_client_error: u64,
     /// 5xx responses.
     pub responses_server_error: u64,
+    /// `/v1/events/stream` connections opened.
+    pub sse_connections: u64,
+    /// Events written to `/v1/events/stream` subscribers.
+    pub sse_events_sent: u64,
+    /// Stream subscribers disconnected for not keeping up.
+    pub sse_slow_disconnects: u64,
     /// Connections dropped by the idle read timeout.
     pub read_timeouts: u64,
     /// Connections dropped because the request did not parse.
@@ -271,11 +306,12 @@ mod tests {
     #[test]
     fn status_classes_tally() {
         let m = ServerMetrics::default();
-        for s in [200, 200, 404, 400, 500, 503] {
+        for s in [200, 200, 304, 404, 400, 500, 503] {
             m.record_status(s);
         }
         let stats = m.stats(ResponseCache::new(4).stats());
         assert_eq!(stats.responses_ok, 2);
+        assert_eq!(stats.responses_not_modified, 1);
         assert_eq!(stats.responses_client_error, 2);
         assert_eq!(stats.responses_server_error, 2);
     }

@@ -5,19 +5,22 @@
 //! come from that snapshot, so an answer can never mix two epochs no
 //! matter what the writer and compaction daemon do meanwhile. The
 //! response cache sits directly in [`QueryService::respond`], keyed by
-//! `(epoch, canonical query)`; `/v1/metrics` is the one uncached route
-//! (its answer changes with every request).
+//! `(epoch, canonical query)`, and cacheable answers carry an
+//! epoch-derived `ETag` so `If-None-Match` revisits cost no body at
+//! all; operational routes (metrics, feed, stats, probes) are uncached
+//! — their answers change independently of epochs.
 //!
 //! | Route | Answer |
 //! |---|---|
 //! | `/v1/stats` | epoch, horizon, record counts, store counters |
 //! | `/v1/validity` | §VI validity report (threshold, affinity, percentile) |
-//! | `/v1/conflicts?date=` | prefixes in conflict on a day |
+//! | `/v1/conflicts?date=` | prefixes in conflict on a day (`limit=`/`cursor=` to page) |
 //! | `/v1/prefix/{prefix}` | point lookup: record + §VI score |
 //! | `/v1/timeline?days=` | conflicts open per day |
 //! | `/v1/metrics` | server + engine counters (JSON view) |
 //! | `/v1/feed` | live-feed cursor, lag, gaps |
 //! | `/v1/events/log` | recent operational events (ring journal) |
+//! | `/v1/events/stream` | SSE live tail of the event journal (connection layer) |
 //! | `/v1/alerts` | §VII-style operational alert rules and their states |
 //! | `/v1/series?name=&range=` | in-process tsdb points for one series |
 //! | `/v1/trace/{id}` | one trace's span tree (hex trace id) |
@@ -31,7 +34,7 @@ use crate::http::{Request, Response};
 use crate::metrics::{ServerMetrics, ServerStats};
 use crate::ServerConfig;
 use moas_history::service::{HistoryReader, HistorySnapshot};
-use moas_history::{ConflictStore, ValidityConfig, Verdict};
+use moas_history::{ConflictStore, RoleHandle, ServiceRole, ValidityConfig, Verdict};
 use moas_monitor::metrics::EngineMetrics;
 use moas_net::{Date, Prefix};
 use moas_obs::{AlertEngine, Counter, Histogram, Registry, Tsdb};
@@ -73,6 +76,10 @@ pub struct QueryService {
     /// `/v1/alerts` and the `/readyz` page check.
     tsdb: Option<Arc<Tsdb>>,
     alerts: Option<Arc<AlertEngine>>,
+    /// Which side of the store this server fronts
+    /// ([`QueryService::with_role`]): `/v1/stats` reports it and
+    /// `/readyz` checks replica staleness through it.
+    role: Option<RoleHandle>,
     /// Meta-observability: cost of `/metrics` scrapes themselves.
     scrapes: Counter,
     scrape_duration: Histogram,
@@ -111,6 +118,7 @@ impl QueryService {
             feed: None,
             tsdb: None,
             alerts: None,
+            role: None,
         }
     }
 
@@ -144,6 +152,16 @@ impl QueryService {
         self
     }
 
+    /// Attaches the history service's role descriptor: `/v1/stats`
+    /// gains a `role` block (writer/replica, published vs on-disk
+    /// epoch, lag) and on a replica `/readyz` answers 503 while the
+    /// served epoch trails the manifest by more than
+    /// [`ServerConfig::ready_max_replica_lag_epochs`].
+    pub fn with_role(mut self, role: RoleHandle) -> Self {
+        self.role = Some(role);
+        self
+    }
+
     /// The server-side counters (shared with the connection layer).
     pub fn metrics(&self) -> &ServerMetrics {
         &self.metrics
@@ -166,21 +184,35 @@ impl QueryService {
         if req.method != "GET" {
             return Arc::new(Response::error(
                 405,
+                "method_not_allowed",
                 &format!("method {} not allowed; only GET is supported", req.method),
             ));
         }
         let snap = self.reader.snapshot();
         let cacheable = is_cacheable(&req.path);
         let key = req.canonical_query();
+        // Conditional requests short-circuit before the cache lookup:
+        // the validator is (epoch, canonical query), so a client — or
+        // a shared proxy in front of N replicas — holding a current
+        // ETag costs no body bytes and no cache traffic at all.
+        let etag = cacheable.then(|| make_etag(snap.epoch(), &key));
+        if let Some(tag) = &etag {
+            if if_none_match(req, tag) {
+                return Arc::new(Response::not_modified(tag.clone()));
+            }
+        }
         if cacheable {
             if let Some(hit) = self.cache.get(snap.epoch(), &key) {
                 return hit;
             }
         }
-        let response = catch_unwind(AssertUnwindSafe(|| {
+        let mut response = catch_unwind(AssertUnwindSafe(|| {
             self.route(&snap, req).unwrap_or_else(|err| err)
         }))
-        .unwrap_or_else(|_| Response::error(500, "handler panicked"));
+        .unwrap_or_else(|_| Response::error(500, "internal", "handler panicked"));
+        if response.status == 200 {
+            response.etag = etag;
+        }
         let response = Arc::new(response);
         if cacheable && response.status == 200 {
             self.cache.put(snap.epoch(), key, Arc::clone(&response));
@@ -203,11 +235,23 @@ impl QueryService {
             "/metrics" => Ok(self.prometheus_route()),
             "/healthz" => Ok(Response::ok_text("ok\n".to_string())),
             "/readyz" => Ok(self.readyz_route(snap)),
+            // The stream is served at the connection layer (it never
+            // terminates, so it cannot be a buffered Response); a
+            // direct router call explains itself instead of 404ing.
+            "/v1/events/stream" => Err(Response::error(
+                400,
+                "bad_request",
+                "event stream is served at the connection layer; connect with a streaming client",
+            )),
             p => match p.strip_prefix("/v1/prefix/") {
                 Some(rest) if !rest.is_empty() => self.prefix_route(snap, rest, req),
                 _ => match p.strip_prefix("/v1/trace/") {
                     Some(rest) if !rest.is_empty() => self.trace_route(rest),
-                    _ => Err(Response::error(404, &format!("no such route: {p}"))),
+                    _ => Err(Response::error(
+                        404,
+                        "not_found",
+                        &format!("no such route: {p}"),
+                    )),
                 },
             },
         }
@@ -216,8 +260,15 @@ impl QueryService {
     fn stats_route(&self, snap: &HistorySnapshot) -> Response {
         let store = snap.conflicts();
         let s = snap.stats();
+        let role = self.role.as_ref().map(|r| RoleBody {
+            mode: r.role().as_str(),
+            published_epoch: r.published_epoch(),
+            disk_epoch: r.disk_epoch(),
+            epoch_lag: r.epoch_lag(),
+        });
         json(&StatsResponse {
             epoch: snap.epoch(),
+            role,
             horizon_day: snap.horizon_day(),
             last_event_at: store.last_event_at,
             events_replayed: store.events_replayed,
@@ -242,6 +293,7 @@ impl QueryService {
         let config = validity_config(req)?;
         let min_duration: u64 = param(req, "min_duration", 0)?;
         let limit: usize = param(req, "limit", 100)?;
+        let offset = cursor_offset(req, snap.epoch())?;
         let report = snap.validity(config);
         let (likely_valid, recurring_valid, likely_invalid) = report.tally();
         let mut rows: Vec<&moas_history::ConflictValidity> = report
@@ -250,10 +302,17 @@ impl QueryService {
             .filter(|c| c.open_secs >= min_duration)
             .collect();
         // Longest-lived first — §VI's strongest-signal ordering; ties
-        // break on prefix so the rendering is deterministic.
+        // break on prefix so the rendering is deterministic (and so
+        // cursor pages tile the full answer within one epoch).
         rows.sort_by(|a, b| b.open_secs.cmp(&a.open_secs).then(a.prefix.cmp(&b.prefix)));
         let matched = rows.len() as u64;
-        rows.truncate(limit);
+        let page: Vec<&moas_history::ConflictValidity> =
+            rows.into_iter().skip(offset).take(limit).collect();
+        // A follow-up cursor only when the client opted into paging
+        // (the default-limit shape stays exactly as it always was).
+        let next_cursor = (req.query_value("limit").is_some()
+            && offset + page.len() < matched as usize)
+            .then(|| encode_cursor(snap.epoch(), (offset + page.len()) as u64));
         Ok(json(&ValidityResponse {
             epoch: snap.epoch(),
             now: report.now,
@@ -267,7 +326,8 @@ impl QueryService {
                 recurring_valid: recurring_valid as u64,
                 likely_invalid: likely_invalid as u64,
             },
-            conflicts: rows.into_iter().map(validity_row).collect(),
+            next_cursor,
+            conflicts: page.into_iter().map(validity_row).collect(),
         }))
     }
 
@@ -286,31 +346,59 @@ impl QueryService {
 
     fn conflicts_route(&self, snap: &HistorySnapshot, req: &Request) -> Result<Response, Response> {
         let date: Date = required_param(req, "date")?;
-        if self.day_expired(snap, date) {
+        let limit: Option<usize> = match req.query_value("limit") {
+            Some(_) => Some(param(req, "limit", 0)?),
+            None => None,
+        };
+        if let Some(0) = limit {
+            return Err(Response::error(
+                400,
+                "bad_request",
+                "limit must be at least 1",
+            ));
+        }
+        let offset = cursor_offset(req, snap.epoch())?;
+        let truncated = self.day_expired(snap, date);
+        let prefixes: Vec<String> = if truncated {
+            Vec::new()
+        } else {
+            let cut = ConflictStore::cuts(&[date])[0];
+            snap.conflicts()
+                .records()
+                .values()
+                .filter(|r| r.days_at_cuts(&[cut]) > 0)
+                .map(|r| r.prefix.to_string())
+                .collect()
+        };
+        let count = (!truncated).then_some(prefixes.len() as u64);
+        // Without `limit` the answer keeps its original unpaginated
+        // shape, byte for byte. With it, the page plus an
+        // epoch-stamped cursor (records iterate in prefix order, so
+        // pages tile the full set within one epoch).
+        let Some(limit) = limit else {
             return Ok(json(&ConflictsResponse {
                 epoch: snap.epoch(),
                 date: date.to_string(),
                 horizon_day: snap.horizon_day(),
-                truncated: true,
-                count: None,
-                prefixes: Vec::new(),
+                truncated,
+                count,
+                prefixes,
             }));
-        }
-        let cut = ConflictStore::cuts(&[date])[0];
-        let prefixes: Vec<String> = snap
-            .conflicts()
-            .records()
-            .values()
-            .filter(|r| r.days_at_cuts(&[cut]) > 0)
-            .map(|r| r.prefix.to_string())
-            .collect();
-        Ok(json(&ConflictsResponse {
+        };
+        let total = prefixes.len();
+        let page: Vec<String> = prefixes.into_iter().skip(offset).take(limit).collect();
+        let next_cursor = (offset + page.len() < total)
+            .then(|| encode_cursor(snap.epoch(), (offset + page.len()) as u64));
+        Ok(json(&PagedConflictsResponse {
             epoch: snap.epoch(),
             date: date.to_string(),
             horizon_day: snap.horizon_day(),
-            truncated: false,
-            count: Some(prefixes.len() as u64),
-            prefixes,
+            truncated,
+            count,
+            offset: offset as u64,
+            returned: page.len() as u64,
+            next_cursor,
+            prefixes: page,
         }))
     }
 
@@ -320,12 +408,17 @@ impl QueryService {
         raw: &str,
         req: &Request,
     ) -> Result<Response, Response> {
-        let prefix = Prefix::from_str(raw)
-            .map_err(|e| Response::error(400, &format!("bad prefix {raw:?}: {e}")))?;
+        let prefix = Prefix::from_str(raw).map_err(|e| {
+            Response::error(400, "bad_request", &format!("bad prefix {raw:?}: {e}"))
+        })?;
         let config = validity_config(req)?;
-        let rec = snap
-            .record(&prefix)
-            .ok_or_else(|| Response::error(404, &format!("prefix {prefix} never conflicted")))?;
+        let rec = snap.record(&prefix).ok_or_else(|| {
+            Response::error(
+                404,
+                "not_found",
+                &format!("prefix {prefix} never conflicted"),
+            )
+        })?;
         let validity = snap
             .validity_of(&prefix, config)
             .expect("record exists, so it scores");
@@ -361,6 +454,7 @@ impl QueryService {
         if days == 0 || days > 3_650 {
             return Err(Response::error(
                 400,
+                "bad_request",
                 &format!("days must be in 1..=3650, got {days}"),
             ));
         }
@@ -405,10 +499,9 @@ impl QueryService {
     }
 
     fn feed_route(&self) -> Result<Response, Response> {
-        let feed = self
-            .feed
-            .as_ref()
-            .ok_or_else(|| Response::error(404, "no live feed attached to this server"))?;
+        let feed = self.feed.as_ref().ok_or_else(|| {
+            Response::error(404, "not_found", "no live feed attached to this server")
+        })?;
         Ok(json(&feed.status_json()))
     }
 
@@ -439,7 +532,11 @@ impl QueryService {
     /// The 503 body names the failing check so probes are debuggable.
     fn readyz_route(&self, snap: &HistorySnapshot) -> Response {
         if snap.epoch() == 0 {
-            return Response::error(503, "not ready: no history epoch published yet");
+            return Response::error(
+                503,
+                "not_ready",
+                "not ready: no history epoch published yet",
+            );
         }
         if let Some(feed) = &self.feed {
             let lag = feed.lag_seconds();
@@ -447,15 +544,35 @@ impl QueryService {
             if lag > max {
                 return Response::error(
                     503,
+                    "not_ready",
                     &format!("not ready: feed lag {lag}s exceeds limit {max}s"),
                 );
+            }
+        }
+        // A replica serving an epoch far behind the store on disk is
+        // stale: take it out of rotation until its watcher catches up.
+        if let Some(role) = &self.role {
+            if role.role() == ServiceRole::Replica {
+                let lag = role.epoch_lag();
+                let max = self.config.ready_max_replica_lag_epochs;
+                if lag > max {
+                    return Response::error(
+                        503,
+                        "not_ready",
+                        &format!("not ready: replica epoch lag {lag} exceeds limit {max}"),
+                    );
+                }
             }
         }
         // A firing page-severity alert sheds traffic at the load
         // balancer until the incident resolves.
         if let Some(alerts) = &self.alerts {
             if let Some(rule) = alerts.firing_page() {
-                return Response::error(503, &format!("not ready: page alert {rule} is firing"));
+                return Response::error(
+                    503,
+                    "not_ready",
+                    &format!("not ready: page alert {rule} is firing"),
+                );
             }
         }
         Response::ok_text("ready\n".to_string())
@@ -502,10 +619,9 @@ impl QueryService {
     /// Every alert rule's current standing: name, watched series,
     /// severity, state machine position, last value, and baseline.
     fn alerts_route(&self) -> Result<Response, Response> {
-        let alerts = self
-            .alerts
-            .as_ref()
-            .ok_or_else(|| Response::error(404, "no alert engine attached to this server"))?;
+        let alerts = self.alerts.as_ref().ok_or_else(|| {
+            Response::error(404, "not_found", "no alert engine attached to this server")
+        })?;
         let rows = alerts
             .report()
             .into_iter()
@@ -530,13 +646,18 @@ impl QueryService {
     /// Points of one tsdb series over `range` seconds (default one
     /// hour): `?name=moas_feed_lag_seconds&range=600`.
     fn series_route(&self, req: &Request) -> Result<Response, Response> {
-        let tsdb = self
-            .tsdb
-            .as_ref()
-            .ok_or_else(|| Response::error(404, "no time-series store attached to this server"))?;
+        let tsdb = self.tsdb.as_ref().ok_or_else(|| {
+            Response::error(
+                404,
+                "not_found",
+                "no time-series store attached to this server",
+            )
+        })?;
         let name = req
             .query_value("name")
-            .ok_or_else(|| Response::error(400, "missing required parameter \"name\""))?
+            .ok_or_else(|| {
+                Response::error(400, "bad_request", "missing required parameter \"name\"")
+            })?
             .to_string();
         let range: u64 = param(req, "range", 3_600)?;
         let now = moas_obs::tsdb::unix_now();
@@ -578,12 +699,18 @@ impl QueryService {
     /// One trace's span tree, parents before children. The id is the
     /// hex string journal entries and `/v1/traces` hand out.
     fn trace_route(&self, raw: &str) -> Result<Response, Response> {
-        let id = u64::from_str_radix(raw.trim_start_matches("0x"), 16)
-            .map_err(|_| Response::error(400, &format!("bad trace id {raw:?}: expected hex")))?;
+        let id = u64::from_str_radix(raw.trim_start_matches("0x"), 16).map_err(|_| {
+            Response::error(
+                400,
+                "bad_request",
+                &format!("bad trace id {raw:?}: expected hex"),
+            )
+        })?;
         let spans = self.registry.tracer().trace_spans(id);
         if spans.is_empty() {
             return Err(Response::error(
                 404,
+                "not_found",
                 &format!("trace {raw} not found (never sampled, or rotated out of the ring)"),
             ));
         }
@@ -611,6 +738,21 @@ impl QueryService {
     /// crossed the slow-request threshold. `trace` is the request's
     /// trace id (0 when unsampled) — the journal entry carries it, so
     /// a slow request resolves to its span tree at `/v1/trace/{id}`.
+    /// Journal events newer than `last` (by ring sequence number), in
+    /// order — what one `/v1/events/stream` poll pushes. Reads the
+    /// server registry's journal only: an engine attached with a
+    /// *separate* registry has its own sequence space, and
+    /// interleaving the two would make `Last-Event-ID` resume
+    /// ambiguous. (Production wiring shares one registry anyway.)
+    /// `last` is `None` on a fresh subscription (sequence numbers
+    /// start at 0, so "everything" has no numeric sentinel).
+    pub(crate) fn journal_events_after(&self, last: Option<u64>) -> Vec<moas_obs::JournalEvent> {
+        let mut events = self.registry.journal().events();
+        events.retain(|e| last.is_none_or(|l| e.seq > l));
+        events.sort_by_key(|e| e.seq);
+        events
+    }
+
     pub(crate) fn note_request(&self, path: &str, micros: u64, trace: u64) {
         self.metrics.record_latency(micros);
         let slow = self.config.slow_request_micros;
@@ -640,16 +782,20 @@ impl QueryService {
     }
 }
 
-/// Whether a route's answers may enter the epoch-keyed cache.
-/// Metrics, feed status, the event journal, the self-monitoring
-/// routes, and the probes change with every request (or independently
-/// of epochs): never cached.
+/// Whether a route's answers may enter the epoch-keyed cache (and
+/// carry an epoch-derived `ETag`). Metrics, feed status, stats (its
+/// `role` block tracks on-disk state, not the pinned epoch), the
+/// event journal and stream, the self-monitoring routes, and the
+/// probes change with every request (or independently of epochs):
+/// never cached.
 fn is_cacheable(path: &str) -> bool {
     !matches!(
         path,
-        "/v1/metrics"
+        "/v1/stats"
+            | "/v1/metrics"
             | "/v1/feed"
             | "/v1/events/log"
+            | "/v1/events/stream"
             | "/v1/alerts"
             | "/v1/series"
             | "/v1/traces"
@@ -712,17 +858,110 @@ fn param<T: FromStr>(req: &Request, name: &str, default: T) -> Result<T, Respons
     match req.query_value(name) {
         None => Ok(default),
         Some(raw) => raw.parse().map_err(|_| {
-            Response::error(400, &format!("bad value {raw:?} for parameter {name:?}"))
+            Response::error(
+                400,
+                "bad_request",
+                &format!("bad value {raw:?} for parameter {name:?}"),
+            )
         }),
     }
 }
 
 fn required_param<T: FromStr>(req: &Request, name: &str) -> Result<T, Response> {
-    let raw = req
-        .query_value(name)
-        .ok_or_else(|| Response::error(400, &format!("missing required parameter {name:?}")))?;
-    raw.parse()
-        .map_err(|_| Response::error(400, &format!("bad value {raw:?} for parameter {name:?}")))
+    let raw = req.query_value(name).ok_or_else(|| {
+        Response::error(
+            400,
+            "bad_request",
+            &format!("missing required parameter {name:?}"),
+        )
+    })?;
+    raw.parse().map_err(|_| {
+        Response::error(
+            400,
+            "bad_request",
+            &format!("bad value {raw:?} for parameter {name:?}"),
+        )
+    })
+}
+
+/// The entity validator for a cacheable answer: the history epoch plus
+/// a digest of the canonical query. Epoch-prefixed, so every manifest
+/// swap invalidates every tag at once — on the writer and on every
+/// replica, identically, which is what makes a captured ETag reusable
+/// against any server over the same store.
+fn make_etag(epoch: u64, canonical_query: &str) -> String {
+    format!(
+        "\"e{epoch:x}-{:016x}\"",
+        fnv1a64(canonical_query.as_bytes())
+    )
+}
+
+/// FNV-1a, the usual dependency-free 64-bit string hash.
+fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Whether the request's `If-None-Match` matches `tag`. Weak
+/// validators compare by their opaque part (`W/"x"` matches `"x"`);
+/// the `*` form is deliberately not honored — these endpoints always
+/// have a current representation, so `*` would 304 everything.
+fn if_none_match(req: &Request, tag: &str) -> bool {
+    let Some(header) = req.header("if-none-match") else {
+        return false;
+    };
+    header
+        .split(',')
+        .map(|t| t.trim())
+        .map(|t| t.strip_prefix("W/").unwrap_or(t))
+        .any(|t| t == tag)
+}
+
+/// Renders the opaque page cursor: epoch-stamped so a cursor cannot
+/// silently tile two different epochs' orderings.
+fn encode_cursor(epoch: u64, offset: u64) -> String {
+    format!("{epoch:x}.{offset:x}")
+}
+
+/// Parses `cursor=` into a row offset, enforcing the protocol rules:
+/// a cursor requires `limit`, must parse, and must carry the pinned
+/// epoch — a cursor minted against an older epoch answers `410
+/// cursor_expired` (typed, so crawlers know to restart rather than
+/// retry).
+fn cursor_offset(req: &Request, epoch: u64) -> Result<usize, Response> {
+    let Some(raw) = req.query_value("cursor") else {
+        return Ok(0);
+    };
+    if req.query_value("limit").is_none() {
+        return Err(Response::error(400, "bad_request", "cursor requires limit"));
+    }
+    let parsed = raw.split_once('.').and_then(|(e, o)| {
+        Some((
+            u64::from_str_radix(e, 16).ok()?,
+            u64::from_str_radix(o, 16).ok()?,
+        ))
+    });
+    let Some((cursor_epoch, offset)) = parsed else {
+        return Err(Response::error(
+            400,
+            "bad_request",
+            &format!("malformed cursor {raw:?}"),
+        ));
+    };
+    if cursor_epoch != epoch {
+        return Err(Response::error(
+            410,
+            "cursor_expired",
+            &format!(
+                "cursor was minted at epoch {cursor_epoch}, store is now at epoch {epoch}; restart the crawl"
+            ),
+        ));
+    }
+    Ok(offset as usize)
 }
 
 fn json<T: Serialize>(value: &T) -> Response {
@@ -760,8 +999,17 @@ struct StoreCounters {
 }
 
 #[derive(Serialize)]
+struct RoleBody {
+    mode: &'static str,
+    published_epoch: u64,
+    disk_epoch: Option<u64>,
+    epoch_lag: u64,
+}
+
+#[derive(Serialize)]
 struct StatsResponse {
     epoch: u64,
+    role: Option<RoleBody>,
     horizon_day: u32,
     last_event_at: u32,
     events_replayed: u64,
@@ -800,6 +1048,7 @@ struct ValidityResponse {
     total: u64,
     matched: u64,
     tally: Tally,
+    next_cursor: Option<String>,
     conflicts: Vec<ValidityRow>,
 }
 
@@ -810,6 +1059,19 @@ struct ConflictsResponse {
     horizon_day: u32,
     truncated: bool,
     count: Option<u64>,
+    prefixes: Vec<String>,
+}
+
+#[derive(Serialize)]
+struct PagedConflictsResponse {
+    epoch: u64,
+    date: String,
+    horizon_day: u32,
+    truncated: bool,
+    count: Option<u64>,
+    offset: u64,
+    returned: u64,
+    next_cursor: Option<String>,
     prefixes: Vec<String>,
 }
 

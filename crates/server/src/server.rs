@@ -16,10 +16,11 @@
 //! connection, workers finish their in-flight request, and
 //! [`QueryServer::shutdown`] joins every thread.
 
-use crate::http::{read_request, RequestError, Response};
+use crate::http::{read_request, Request, RequestError, Response};
 use crate::routes::QueryService;
+use serde::Value;
 use std::collections::VecDeque;
-use std::io::BufReader;
+use std::io::{BufReader, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
@@ -252,20 +253,32 @@ fn serve_connection(
             Err(RequestError::Malformed(why)) => {
                 metrics.malformed_requests.inc();
                 metrics.record_status(400);
-                let _ = Response::error(400, &why).write_to(&mut out, false);
+                let _ = Response::error(400, "bad_request", &why).write_to(&mut out, false);
                 break;
             }
             Err(RequestError::TooLarge) => {
                 metrics.malformed_requests.inc();
                 metrics.record_status(400);
-                let _ =
-                    Response::error(400, "request exceeds size limits").write_to(&mut out, false);
+                let _ = Response::error(400, "bad_request", "request exceeds size limits")
+                    .write_to(&mut out, false);
                 break;
             }
             Err(RequestError::Io(_)) => break,
         };
         let parse_elapsed = parse_started.elapsed();
         metrics.stage_parse.observe_duration(parse_elapsed);
+
+        // The live tail is served right here at the connection layer:
+        // it never terminates on its own, so it cannot be a buffered
+        // Response. The worker is dedicated to the subscriber until it
+        // disconnects, falls behind, or hits the per-connection bound.
+        if req.method == "GET" && req.path == "/v1/events/stream" {
+            let in_flight = metrics.begin_request();
+            metrics.record_status(200);
+            stream_events(service, queue, &req, &mut out);
+            drop(in_flight);
+            break;
+        }
 
         // Per-request trace: a root span covering route + serialize,
         // with the already-measured parse stage backdated under it.
@@ -298,4 +311,98 @@ fn serve_connection(
         }
     }
     Ok(())
+}
+
+/// Serves `GET /v1/events/stream`: an SSE tail of the operational
+/// event journal, so dashboards follow conflicts and incidents live
+/// instead of polling `/v1/events/log`.
+///
+/// Protocol: standard `text/event-stream` frames (`id:` = journal
+/// sequence, `event:` = journal kind, `data:` = the JSON row
+/// `/v1/events/log` would serve), a `retry:` hint up front, and
+/// comment pings while idle so intermediaries keep the connection
+/// alive. Resume with the standard `Last-Event-ID` header (or an
+/// `after=` query parameter) to skip already-seen sequences. The body
+/// is delimited by connection close — no `Content-Length`, and the
+/// `connection: close` header says so up front.
+///
+/// Bounds: at most [`crate::ServerConfig::sse_max_events`] events are
+/// pushed per connection (then an `end_of_stream` event and a clean
+/// close — clients resume with their last id), and a subscriber that
+/// stops reading trips the socket write timeout and is disconnected,
+/// counted in `sse_slow_disconnects`.
+fn stream_events(service: &QueryService, queue: &ConnQueue, req: &Request, out: &mut TcpStream) {
+    let metrics = service.metrics();
+    let config = *service.config();
+    metrics.sse_connections.inc();
+    // `None` means a fresh subscription: replay the whole ring,
+    // including seq 0 (the journal's first-ever event).
+    let mut last: Option<u64> = req
+        .header("last-event-id")
+        .and_then(|v| v.parse().ok())
+        .or_else(|| req.query_value("after").and_then(|v| v.parse().ok()));
+    let head = "HTTP/1.1 200 OK\r\ncontent-type: text/event-stream\r\ncache-control: no-store\r\nconnection: close\r\n\r\nretry: 2000\n\n";
+    if out
+        .write_all(head.as_bytes())
+        .and_then(|()| out.flush())
+        .is_err()
+    {
+        return;
+    }
+    let mut sent: u64 = 0;
+    let mut polls_since_ping = 0u32;
+    loop {
+        if queue.stop.load(Ordering::Acquire) {
+            return;
+        }
+        for e in service.journal_events_after(last) {
+            last = Some(e.seq);
+            let mut row = vec![
+                ("seq".to_string(), Value::U64(e.seq)),
+                ("unix_ms".to_string(), Value::U64(e.unix_ms)),
+                ("kind".to_string(), Value::String(e.kind.clone())),
+                ("message".to_string(), Value::String(e.message.clone())),
+            ];
+            if e.trace != 0 {
+                row.push(("trace".to_string(), Value::String(format!("{:x}", e.trace))));
+            }
+            let data =
+                serde_json::to_string(&Value::Object(row)).expect("value rendering is total");
+            let frame = format!("id: {}\nevent: {}\ndata: {data}\n\n", e.seq, e.kind);
+            if let Err(err) = out.write_all(frame.as_bytes()).and_then(|()| out.flush()) {
+                // A write timeout means the subscriber stopped
+                // reading: shed it rather than wedge the worker.
+                if matches!(
+                    err.kind(),
+                    std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                ) {
+                    metrics.sse_slow_disconnects.inc();
+                }
+                return;
+            }
+            metrics.sse_events_sent.inc();
+            sent += 1;
+            polls_since_ping = 0;
+            if config.sse_max_events > 0 && sent >= config.sse_max_events {
+                let _ = out
+                    .write_all(b"event: end_of_stream\ndata: {}\n\n")
+                    .and_then(|()| out.flush());
+                return;
+            }
+        }
+        // Comment pings keep idle connections visibly alive (and let
+        // us notice a dead peer without an event to push).
+        polls_since_ping += 1;
+        if polls_since_ping >= 20 {
+            polls_since_ping = 0;
+            if out
+                .write_all(b": ping\n\n")
+                .and_then(|()| out.flush())
+                .is_err()
+            {
+                return;
+            }
+        }
+        std::thread::sleep(config.sse_poll_interval);
+    }
 }

@@ -407,6 +407,11 @@ fn served_answers_match_snapshot_under_concurrency() {
         u(&stats, "epoch") > epoch_before,
         "day mark must advance the epoch"
     );
+    // A cacheable route re-rendered under the new epoch flushes the
+    // old epoch's entries (stats itself is uncached: its role/lag
+    // block tracks on-disk state, not the pinned epoch).
+    let (_, third) = get_once(addr, "/v1/validity?limit=7");
+    assert_ne!(first, third, "new epoch must re-render, not reuse");
     assert!(
         query.cache_stats().invalidations > invalidations_before,
         "epoch advance must flush the cache"
@@ -419,23 +424,35 @@ fn served_answers_match_snapshot_under_concurrency() {
         snap2.conflicts().records().len() as u64
     );
 
-    // Phase 4: error mapping over the wire.
-    for (target, want) in [
-        ("/nope", 404),
-        ("/v1/prefix/", 404),
-        ("/v1/prefix/203.0.113.0/24", 404), // stray Closed never opened a record
-        ("/v1/prefix/999.999.0.0%2F99", 400),
-        ("/v1/conflicts", 400),
-        ("/v1/conflicts?date=banana", 400),
-        ("/v1/timeline", 400),
-        ("/v1/timeline?days=0", 400),
-        ("/v1/validity?limit=minus", 400),
+    // Phase 4: error mapping over the wire — every error path answers
+    // the uniform envelope {"error":{code, message, retry_after}}.
+    for (target, want, code) in [
+        ("/nope", 404, "not_found"),
+        ("/v1/prefix/", 404, "not_found"),
+        // stray Closed never opened a record
+        ("/v1/prefix/203.0.113.0/24", 404, "not_found"),
+        ("/v1/prefix/999.999.0.0%2F99", 400, "bad_request"),
+        ("/v1/conflicts", 400, "bad_request"),
+        ("/v1/conflicts?date=banana", 400, "bad_request"),
+        ("/v1/timeline", 400, "bad_request"),
+        ("/v1/timeline?days=0", 400, "bad_request"),
+        ("/v1/validity?limit=minus", 400, "bad_request"),
     ] {
         let (status, body) = get_once(addr, target);
         assert_eq!(status, want, "{target} must map to {want}: {body}");
         let err = parse(&body);
-        assert_eq!(u(&err, "status"), want as u64);
-        assert!(err.get("error").is_some());
+        let env = err.get("error").expect("error envelope");
+        assert_eq!(
+            env.get("code").and_then(Value::as_str),
+            Some(code),
+            "{target}: wrong error code: {body}"
+        );
+        assert!(
+            env.get("message")
+                .and_then(Value::as_str)
+                .is_some_and(|m| !m.is_empty()),
+            "{target}: envelope must carry a message: {body}"
+        );
     }
     {
         let mut client = Client::connect(addr);

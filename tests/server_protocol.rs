@@ -1,0 +1,642 @@
+//! Acceptance for the `/v1` protocol redesign: conditional requests,
+//! cursor pagination, the uniform error envelope, and the SSE tail.
+//!
+//! * **Cursor crawl exactness:** paging `/v1/conflicts` and
+//!   `/v1/validity` with `limit=` + `cursor=` reassembles exactly the
+//!   unpaginated answer, page fields (`offset`, `returned`,
+//!   `next_cursor`) are consistent, and a cursor minted at an older
+//!   epoch answers a typed `410 cursor_expired`.
+//! * **Conditional requests:** every cacheable 200 carries an `ETag`;
+//!   replaying it via `If-None-Match` (exact, weak, or in a list)
+//!   answers `304` with an empty body, counted in
+//!   `responses_not_modified`; a non-matching validator re-renders.
+//! * **Error envelope:** every error path — 400, 404, 405 (with
+//!   `Allow`), 410 — answers
+//!   `{"error":{"code","message","retry_after"}}`.
+//! * **SSE tail:** `/v1/events/stream` frames journal events as
+//!   `id:`/`event:`/`data:`, pushes events recorded mid-stream,
+//!   resumes from `Last-Event-ID`, ends the stream cleanly at
+//!   `sse_max_events`, and keeps idle connections alive with comment
+//!   pings — all visible in the SSE server counters.
+
+use moas_history::pipeline::{analyze_mrt_archive_service, StreamingArchiveConfig};
+use moas_history::{HistoryService, RetentionPolicy, ServiceConfig};
+use moas_lab::study::{Study, StudyConfig};
+use moas_monitor::{MonitorEvent, SeqEvent};
+use moas_mrt::snapshot::DumpFormat;
+use moas_net::Date;
+use moas_routeviews::{write_window_archive, BackgroundMode, Collector};
+use moas_serve::{QueryServer, QueryService, Request, ServerConfig};
+use serde::Value;
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::time::Duration;
+
+const DAYS: usize = 8;
+
+fn fresh(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "moas-server-protocol-{}-{name}",
+        std::process::id()
+    ));
+    std::fs::remove_dir_all(&dir).ok();
+    dir
+}
+
+/// One-shot request from raw head lines; returns status, headers
+/// (lowercased names), and body.
+fn raw_request(addr: SocketAddr, head: &str) -> (u16, Vec<(String, String)>, String) {
+    let stream = TcpStream::connect(addr).expect("connect");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(30)))
+        .expect("set timeout");
+    let mut reader = BufReader::new(stream.try_clone().expect("clone stream"));
+    let mut writer = stream;
+    writer.write_all(head.as_bytes()).expect("send request");
+    let mut line = String::new();
+    reader.read_line(&mut line).expect("read status line");
+    let status: u16 = line
+        .split(' ')
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or_else(|| panic!("bad status line {line:?}"));
+    let mut headers = Vec::new();
+    let mut content_length = 0usize;
+    loop {
+        let mut header = String::new();
+        reader.read_line(&mut header).expect("read header");
+        let header = header.trim_end();
+        if header.is_empty() {
+            break;
+        }
+        if let Some((name, value)) = header.split_once(':') {
+            let name = name.trim().to_ascii_lowercase();
+            let value = value.trim().to_string();
+            if name == "content-length" {
+                content_length = value.parse().expect("content-length");
+            }
+            headers.push((name, value));
+        }
+    }
+    let mut body = vec![0u8; content_length];
+    reader.read_exact(&mut body).expect("read body");
+    (status, headers, String::from_utf8(body).expect("utf8 body"))
+}
+
+fn get_full(addr: SocketAddr, target: &str) -> (u16, Vec<(String, String)>, String) {
+    raw_request(
+        addr,
+        &format!("GET {target} HTTP/1.1\r\nhost: t\r\nconnection: close\r\n\r\n"),
+    )
+}
+
+fn get_conditional(
+    addr: SocketAddr,
+    target: &str,
+    validator: &str,
+) -> (u16, Vec<(String, String)>, String) {
+    raw_request(
+        addr,
+        &format!(
+            "GET {target} HTTP/1.1\r\nhost: t\r\nif-none-match: {validator}\r\nconnection: close\r\n\r\n"
+        ),
+    )
+}
+
+fn header<'h>(headers: &'h [(String, String)], name: &str) -> Option<&'h str> {
+    headers
+        .iter()
+        .find(|(n, _)| n == name)
+        .map(|(_, v)| v.as_str())
+}
+
+fn parse(body: &str) -> Value {
+    serde_json::from_str(body).unwrap_or_else(|e| panic!("unparseable JSON ({e}): {body}"))
+}
+
+fn u(v: &Value, key: &str) -> u64 {
+    v.get(key)
+        .and_then(Value::as_u64)
+        .unwrap_or_else(|| panic!("missing u64 field {key:?} in {v:?}"))
+}
+
+fn strings(v: &Value, key: &str) -> Vec<String> {
+    v.get(key)
+        .and_then(Value::as_array)
+        .unwrap_or_else(|| panic!("missing array {key:?} in {v:?}"))
+        .iter()
+        .map(|s| s.as_str().expect("string element").to_string())
+        .collect()
+}
+
+/// Asserts the body is the uniform error envelope and returns it.
+fn assert_envelope(body: &str, code: &str) -> Value {
+    let err = parse(body);
+    let env = err
+        .get("error")
+        .unwrap_or_else(|| panic!("missing error envelope: {body}"))
+        .clone();
+    assert_eq!(
+        env.get("code").and_then(Value::as_str),
+        Some(code),
+        "wrong error code: {body}"
+    );
+    assert!(
+        env.get("message")
+            .and_then(Value::as_str)
+            .is_some_and(|m| !m.is_empty()),
+        "envelope must carry a message: {body}"
+    );
+    assert!(
+        env.get("retry_after").is_some(),
+        "envelope must carry the retry_after key: {body}"
+    );
+    env
+}
+
+#[test]
+fn cursors_etags_and_error_envelope() {
+    let study = Study::build(StudyConfig::test(0.004));
+    let dates: Vec<Date> = study.world.window.all_days()[..DAYS]
+        .iter()
+        .map(|d| d.date())
+        .collect();
+
+    let archive_dir = fresh("archive");
+    let files = {
+        let mut collector = Collector::new(&study.world, &study.peers);
+        write_window_archive(
+            &mut collector,
+            &archive_dir,
+            0,
+            DAYS,
+            BackgroundMode::Sample(15),
+            DumpFormat::V2,
+        )
+        .expect("write synthetic archive")
+    };
+
+    let store_dir = fresh("store");
+    let service = HistoryService::open(
+        &store_dir,
+        ServiceConfig {
+            start_date: dates[0],
+            retention: RetentionPolicy::keep_everything(),
+            watermark_segments: 100,
+            daemon: false,
+            ..ServiceConfig::default()
+        },
+    )
+    .expect("open service");
+    analyze_mrt_archive_service(
+        &dates,
+        &files,
+        &StreamingArchiveConfig::with_shards(4),
+        &service,
+    )
+    .expect("streaming service scan");
+
+    let query = Arc::new(QueryService::new(
+        service.reader(),
+        ServerConfig {
+            start_date: dates[0],
+            ..ServerConfig::default()
+        },
+    ));
+    let server = QueryServer::bind("127.0.0.1:0", Arc::clone(&query)).expect("bind server");
+    let addr = server.local_addr();
+
+    // A day with enough conflicts to need several pages at limit=2.
+    let (date, unpaged) = dates
+        .iter()
+        .find_map(|date| {
+            let (status, _, body) = get_full(addr, &format!("/v1/conflicts?date={date}"));
+            assert_eq!(status, 200, "conflicts failed: {body}");
+            let parsed = parse(&body);
+            (u(&parsed, "count") >= 5).then_some((*date, parsed))
+        })
+        .expect("some day must hold at least 5 conflicts");
+    let all_prefixes = strings(&unpaged, "prefixes");
+
+    // A full cursor crawl of /v1/conflicts reassembles the
+    // unpaginated body exactly.
+    let mut crawled: Vec<String> = Vec::new();
+    let mut cursor: Option<String> = None;
+    for _ in 0..1_000 {
+        let target = match &cursor {
+            None => format!("/v1/conflicts?date={date}&limit=2"),
+            Some(c) => format!("/v1/conflicts?date={date}&limit=2&cursor={c}"),
+        };
+        let (status, _, body) = get_full(addr, &target);
+        assert_eq!(status, 200, "{target} failed: {body}");
+        let page = parse(&body);
+        assert_eq!(u(&page, "epoch"), u(&unpaged, "epoch"));
+        assert_eq!(u(&page, "count"), all_prefixes.len() as u64);
+        assert_eq!(u(&page, "offset"), crawled.len() as u64);
+        let prefixes = strings(&page, "prefixes");
+        assert_eq!(u(&page, "returned"), prefixes.len() as u64);
+        assert!(prefixes.len() <= 2, "page must respect limit");
+        crawled.extend(prefixes);
+        match page.get("next_cursor").and_then(Value::as_str) {
+            Some(c) => cursor = Some(c.to_string()),
+            None => {
+                cursor = None;
+                break;
+            }
+        }
+    }
+    assert!(cursor.is_none(), "crawl must terminate");
+    assert_eq!(
+        crawled, all_prefixes,
+        "cursor crawl must reassemble the unpaginated prefix list"
+    );
+
+    // Same protocol on /v1/validity: the paged rows reassemble the
+    // single-page answer.
+    let (_, _, body) = get_full(addr, "/v1/validity?limit=100000");
+    let reference = parse(&body);
+    let reference_rows: Vec<(String, u64)> = reference
+        .get("conflicts")
+        .and_then(Value::as_array)
+        .expect("rows")
+        .iter()
+        .map(|row| {
+            (
+                row.get("prefix")
+                    .and_then(Value::as_str)
+                    .unwrap()
+                    .to_string(),
+                u(row, "open_secs"),
+            )
+        })
+        .collect();
+    assert!(
+        reference_rows.len() >= 5,
+        "window must score at least 5 conflicts"
+    );
+    let mut crawled_rows: Vec<(String, u64)> = Vec::new();
+    let mut cursor: Option<String> = None;
+    for _ in 0..1_000 {
+        let target = match &cursor {
+            None => "/v1/validity?limit=3".to_string(),
+            Some(c) => format!("/v1/validity?limit=3&cursor={c}"),
+        };
+        let (status, _, body) = get_full(addr, &target);
+        assert_eq!(status, 200, "{target} failed: {body}");
+        let page = parse(&body);
+        assert_eq!(u(&page, "matched"), reference_rows.len() as u64);
+        for row in page
+            .get("conflicts")
+            .and_then(Value::as_array)
+            .expect("rows")
+        {
+            crawled_rows.push((
+                row.get("prefix")
+                    .and_then(Value::as_str)
+                    .unwrap()
+                    .to_string(),
+                u(row, "open_secs"),
+            ));
+        }
+        match page.get("next_cursor").and_then(Value::as_str) {
+            Some(c) => cursor = Some(c.to_string()),
+            None => break,
+        }
+    }
+    assert_eq!(
+        crawled_rows, reference_rows,
+        "validity crawl must reassemble the single-page rows in order"
+    );
+
+    // Conditional requests: capture every ETag, replay it, and every
+    // replay must answer 304 with an empty body.
+    let conditional_targets = [
+        format!("/v1/conflicts?date={date}"),
+        format!("/v1/conflicts?date={date}&limit=2"),
+        "/v1/validity?limit=3".to_string(),
+        format!("/v1/timeline?days={DAYS}"),
+    ];
+    let mut replays = 0u64;
+    for target in &conditional_targets {
+        let (status, headers, body) = get_full(addr, target);
+        assert_eq!(status, 200, "{target} failed: {body}");
+        let etag = header(&headers, "etag")
+            .unwrap_or_else(|| panic!("{target}: cacheable 200 must carry an etag"))
+            .to_string();
+
+        for validator in [
+            etag.clone(),
+            format!("W/{etag}"),
+            format!("\"bogus\", {etag}"),
+        ] {
+            let (status, headers, not_modified) = get_conditional(addr, target, &validator);
+            assert_eq!(
+                status, 304,
+                "{target} with {validator:?} must answer 304: {not_modified}"
+            );
+            assert!(not_modified.is_empty(), "304 must carry no body");
+            assert_eq!(
+                header(&headers, "etag"),
+                Some(etag.as_str()),
+                "304 must restate the etag"
+            );
+            replays += 1;
+        }
+
+        // A non-matching validator re-renders the full body.
+        let (status, _, rendered) = get_conditional(addr, target, "\"bogus\"");
+        assert_eq!(status, 200);
+        assert_eq!(rendered, body, "re-render must equal the original body");
+    }
+    let (_, _, metrics_body) = get_full(addr, "/v1/metrics");
+    let metrics = parse(&metrics_body);
+    let server_stats = metrics.get("server").expect("server metrics");
+    assert_eq!(
+        u(server_stats, "responses_not_modified"),
+        replays,
+        "every 304 must be counted"
+    );
+
+    // Cursor misuse: each is a typed envelope.
+    let first_cursor = {
+        let (_, _, body) = get_full(addr, &format!("/v1/conflicts?date={date}&limit=2"));
+        parse(&body)
+            .get("next_cursor")
+            .and_then(Value::as_str)
+            .expect("5+ conflicts at limit=2 must leave a next page")
+            .to_string()
+    };
+    for (target, want, code) in [
+        (
+            format!("/v1/conflicts?date={date}&cursor={first_cursor}"),
+            400,
+            "bad_request", // cursor without limit
+        ),
+        (
+            format!("/v1/conflicts?date={date}&limit=2&cursor=zzz"),
+            400,
+            "bad_request", // malformed cursor
+        ),
+        (
+            format!("/v1/conflicts?date={date}&limit=0"),
+            400,
+            "bad_request", // zero limit
+        ),
+        (
+            "/v1/validity?limit=3&cursor=zzz.1".to_string(),
+            400,
+            "bad_request",
+        ),
+    ] {
+        let (status, _, body) = get_full(addr, &target);
+        assert_eq!(status, want, "{target} must answer {want}: {body}");
+        assert_envelope(&body, code);
+    }
+
+    // A stale cursor: the epoch advances underneath the crawl.
+    let stray = SeqEvent {
+        shard: 0,
+        seq: u64::MAX,
+        event: MonitorEvent::ConflictClosed {
+            prefix: "203.0.113.0/24".parse().expect("prefix"),
+            opened_at: 0,
+            at: 1,
+        },
+    };
+    service.append(&[stray]).expect("append stray event");
+    service.mark_day(DAYS).expect("mark day");
+    let (status, _, body) = get_full(
+        addr,
+        &format!("/v1/conflicts?date={date}&limit=2&cursor={first_cursor}"),
+    );
+    assert_eq!(status, 410, "stale cursor must answer 410: {body}");
+    assert_envelope(&body, "cursor_expired");
+
+    // Method and route errors carry the envelope too; 405 names the
+    // allowed method.
+    let (status, headers, body) = raw_request(
+        addr,
+        "POST /v1/stats HTTP/1.1\r\nhost: t\r\ncontent-length: 0\r\nconnection: close\r\n\r\n",
+    );
+    assert_eq!(status, 405, "POST must answer 405: {body}");
+    assert_eq!(header(&headers, "allow"), Some("GET"));
+    assert_envelope(&body, "method_not_allowed");
+
+    let (status, _, body) = get_full(addr, "/nope");
+    assert_eq!(status, 404);
+    assert_envelope(&body, "not_found");
+
+    // The stream route never goes through the JSON router.
+    let resp = query.respond(&Request {
+        method: "GET".to_string(),
+        path: "/v1/events/stream".to_string(),
+        query: Vec::new(),
+        headers: Vec::new(),
+        body: Vec::new(),
+        keep_alive: true,
+    });
+    assert_eq!(resp.status, 400);
+    assert_envelope(&resp.body, "bad_request");
+
+    server.shutdown();
+    drop(query);
+    service.close().expect("close service");
+    std::fs::remove_dir_all(&archive_dir).ok();
+    std::fs::remove_dir_all(&store_dir).ok();
+}
+
+/// One SSE frame: `(id, event, data)` — `id` absent on comment-less
+/// control frames like `end_of_stream`.
+type Frame = (Option<u64>, String, String);
+
+/// Reads one SSE frame (skipping `: ping` comments); `None` on EOF.
+fn read_frame<R: BufRead>(reader: &mut R) -> Option<Frame> {
+    let mut id = None;
+    let mut event = String::new();
+    let mut data = String::new();
+    let mut saw_field = false;
+    loop {
+        let mut line = String::new();
+        if reader.read_line(&mut line).expect("read frame line") == 0 {
+            return None;
+        }
+        let line = line.trim_end_matches('\n');
+        if line.is_empty() {
+            if saw_field {
+                return Some((id, event, data));
+            }
+            continue; // blank after a comment / the retry preamble
+        }
+        if let Some(rest) = line.strip_prefix("id: ") {
+            id = Some(rest.parse().expect("numeric id"));
+            saw_field = true;
+        } else if let Some(rest) = line.strip_prefix("event: ") {
+            event = rest.to_string();
+            saw_field = true;
+        } else if let Some(rest) = line.strip_prefix("data: ") {
+            data = rest.to_string();
+            saw_field = true;
+        } else if line.starts_with(':') || line.starts_with("retry: ") {
+            continue; // comment ping / reconnect hint
+        } else {
+            panic!("unexpected SSE line {line:?}");
+        }
+    }
+}
+
+/// Opens the SSE stream and returns the buffered reader positioned
+/// after the response headers.
+fn open_stream(addr: SocketAddr, head: &str) -> BufReader<TcpStream> {
+    let stream = TcpStream::connect(addr).expect("connect");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(30)))
+        .expect("set timeout");
+    let mut reader = BufReader::new(stream.try_clone().expect("clone stream"));
+    let mut writer = stream;
+    writer.write_all(head.as_bytes()).expect("send request");
+    let mut line = String::new();
+    reader.read_line(&mut line).expect("read status line");
+    assert!(
+        line.starts_with("HTTP/1.1 200"),
+        "stream must open with 200: {line:?}"
+    );
+    let mut saw_content_type = false;
+    loop {
+        let mut header = String::new();
+        reader.read_line(&mut header).expect("read header");
+        let header = header.trim_end();
+        if header.is_empty() {
+            break;
+        }
+        if header.eq_ignore_ascii_case("content-type: text/event-stream") {
+            saw_content_type = true;
+        }
+    }
+    assert!(saw_content_type, "stream must be text/event-stream");
+    reader
+}
+
+#[test]
+fn sse_tail_streams_resumes_and_bounds() {
+    let store_dir = fresh("sse-store");
+    let service = HistoryService::open(
+        &store_dir,
+        ServiceConfig {
+            start_date: Date::ymd(2024, 1, 1),
+            daemon: false,
+            ..ServiceConfig::default()
+        },
+    )
+    .expect("open service");
+
+    let query = Arc::new(QueryService::new(
+        service.reader(),
+        ServerConfig {
+            start_date: Date::ymd(2024, 1, 1),
+            sse_poll_interval: Duration::from_millis(20),
+            sse_max_events: 4,
+            // Keep the journal quiet: no slow-request entries.
+            slow_request_micros: 0,
+            ..ServerConfig::default()
+        },
+    ));
+    let server = QueryServer::bind("127.0.0.1:0", Arc::clone(&query)).expect("bind server");
+    let addr = server.local_addr();
+
+    let journal = query.registry().journal();
+    journal.record("proto_marker", "m1");
+    journal.record("proto_marker", "m2");
+    let seqs: Vec<u64> = journal
+        .events()
+        .iter()
+        .filter(|e| e.kind == "proto_marker")
+        .map(|e| e.seq)
+        .collect();
+    assert_eq!(seqs.len(), 2);
+
+    // Connection 1: a fresh subscription replays the whole ring —
+    // including seq 0, the journal's first-ever event. Two frames
+    // arrive immediately, two more as they are recorded, then the
+    // per-connection bound ends the stream cleanly.
+    let mut stream = open_stream(addr, "GET /v1/events/stream HTTP/1.1\r\nhost: t\r\n\r\n");
+    let first = read_frame(&mut stream).expect("first frame");
+    assert_eq!(first.0, Some(seqs[0]));
+    assert_eq!(first.1, "proto_marker");
+    let data = parse(&first.2);
+    assert_eq!(u(&data, "seq"), seqs[0]);
+    assert_eq!(
+        data.get("kind").and_then(Value::as_str),
+        Some("proto_marker")
+    );
+    assert_eq!(data.get("message").and_then(Value::as_str), Some("m1"));
+    let second = read_frame(&mut stream).expect("second frame");
+    assert_eq!(second.0, Some(seqs[1]));
+
+    journal.record("proto_marker", "m3");
+    journal.record("proto_marker", "m4");
+    let third = read_frame(&mut stream).expect("third frame");
+    assert_eq!(
+        parse(&third.2).get("message").and_then(Value::as_str),
+        Some("m3")
+    );
+    let fourth = read_frame(&mut stream).expect("fourth frame");
+    assert_eq!(
+        parse(&fourth.2).get("message").and_then(Value::as_str),
+        Some("m4")
+    );
+
+    let end = read_frame(&mut stream).expect("end_of_stream frame");
+    assert_eq!(end.1, "end_of_stream", "bound must end the stream");
+    assert!(
+        read_frame(&mut stream).is_none(),
+        "server must close after end_of_stream"
+    );
+    drop(stream);
+
+    // Connection 2: Last-Event-ID resumes mid-journal; only the later
+    // markers replay, and an idle stream keeps pinging.
+    let mut stream = open_stream(
+        addr,
+        &format!(
+            "GET /v1/events/stream HTTP/1.1\r\nhost: t\r\nlast-event-id: {}\r\n\r\n",
+            seqs[1]
+        ),
+    );
+    let replay = read_frame(&mut stream).expect("resumed frame");
+    assert_eq!(
+        parse(&replay.2).get("message").and_then(Value::as_str),
+        Some("m3")
+    );
+    let replay = read_frame(&mut stream).expect("resumed frame");
+    assert_eq!(
+        parse(&replay.2).get("message").and_then(Value::as_str),
+        Some("m4")
+    );
+    // With a 20ms poll interval a comment ping lands within a second.
+    let mut line = String::new();
+    loop {
+        line.clear();
+        assert!(
+            stream.read_line(&mut line).expect("read ping") > 0,
+            "stream must stay open while idle"
+        );
+        if line.starts_with(": ping") {
+            break;
+        }
+    }
+    drop(stream);
+
+    let (_, _, body) = get_full(addr, "/v1/metrics");
+    let metrics = parse(&body);
+    let server_stats = metrics.get("server").expect("server metrics");
+    assert_eq!(u(server_stats, "sse_connections"), 2);
+    assert_eq!(u(server_stats, "sse_events_sent"), 6);
+    assert_eq!(u(server_stats, "sse_slow_disconnects"), 0);
+
+    server.shutdown();
+    drop(query);
+    service.close().expect("close service");
+    std::fs::remove_dir_all(&store_dir).ok();
+}
