@@ -569,8 +569,73 @@ fn bench_obs() -> Vec<(&'static str, f64)> {
     }
     black_box(tsdb.series_count());
 
+    // Per-thread CPU attribution: one full /proc/self/task sweep —
+    // the price the sampler tick (and every /metrics scrape) pays.
+    const CPU_SAMPLES: u32 = 200;
+    let cpu = moas_obs::CpuLedger::new(Arc::clone(&registry));
+    let mut best_cpu_sample_us = f64::MAX;
+    for _ in 0..REPS {
+        let start = Instant::now();
+        for _ in 0..CPU_SAMPLES {
+            black_box(cpu.sample());
+        }
+        best_cpu_sample_us =
+            best_cpu_sample_us.min(start.elapsed().as_micros() as f64 / CPU_SAMPLES as f64);
+    }
+
+    // Folded-stack rendering over a profiler holding a realistic
+    // window: ~500 ingest-shaped traces folded into the ring.
+    const FOLD_RENDERS: u32 = 200;
+    let prof_registry = Arc::new(Registry::new());
+    let profiler = moas_obs::Profiler::new(Arc::clone(&prof_registry));
+    let prof_tracer = prof_registry.tracer();
+    for _ in 0..500 {
+        let root = prof_tracer.span("feed_poll");
+        let ctx = root.context();
+        prof_tracer.record_child(ctx, "mrt_decode", Duration::from_micros(700));
+        prof_tracer.record_child(ctx, "shard_apply", Duration::from_micros(200));
+        prof_tracer.record_child(ctx, "event_append", Duration::from_micros(90));
+        root.finish();
+        profiler.collect();
+    }
+    let fold_now = moas_obs::tsdb::unix_now();
+    let mut best_folded_us = f64::MAX;
+    for _ in 0..REPS {
+        let start = Instant::now();
+        for _ in 0..FOLD_RENDERS {
+            black_box(profiler.folded(3_600, fold_now).len());
+        }
+        best_folded_us =
+            best_folded_us.min(start.elapsed().as_micros() as f64 / FOLD_RENDERS as f64);
+    }
+
+    // Workload recording: the per-request cost of the top-k sketch,
+    // the lazy per-endpoint histograms, and the slow-log check, over
+    // a realistic endpoint/key spread.
+    const WORKLOAD_OPS: u64 = 400_000;
+    let workload = moas_obs::Workload::new(Arc::new(Registry::new()), 250_000);
+    let endpoints = ["/v1/stats", "/v1/conflicts", "/v1/prefix/{prefix}"];
+    let mut best_workload_ns = f64::MAX;
+    for _ in 0..REPS {
+        let start = Instant::now();
+        for i in 0..WORKLOAD_OPS {
+            workload.record(
+                endpoints[(i % 3) as usize],
+                black_box("10.0.0.0/8"),
+                "/v1/x?y=1",
+                i % 10_000,
+                512,
+                200,
+                i,
+            );
+        }
+        best_workload_ns =
+            best_workload_ns.min(start.elapsed().as_nanos() as f64 / WORKLOAD_OPS as f64);
+    }
+    black_box(workload.report(10).recorded);
+
     eprintln!(
-        "obs: best {best_counter_ns:.2} ns/counter-add, {best_observe_ns:.2} ns/observe, {best_render_ns:.0} ns/render, {best_unsampled_ns:.2}/{best_sampled_ns:.0} ns/span (unsampled/sampled), {best_tick_us:.1} us/tsdb-tick"
+        "obs: best {best_counter_ns:.2} ns/counter-add, {best_observe_ns:.2} ns/observe, {best_render_ns:.0} ns/render, {best_unsampled_ns:.2}/{best_sampled_ns:.0} ns/span (unsampled/sampled), {best_tick_us:.1} us/tsdb-tick, {best_cpu_sample_us:.1} us/cpu-sample, {best_folded_us:.1} us/folded-render, {best_workload_ns:.0} ns/workload-record"
     );
     vec![
         ("counter_add_ns", best_counter_ns),
@@ -579,6 +644,9 @@ fn bench_obs() -> Vec<(&'static str, f64)> {
         ("span_unsampled_ns", best_unsampled_ns),
         ("span_sampled_ns", best_sampled_ns),
         ("tsdb_tick_us", best_tick_us),
+        ("cpu_sample_us", best_cpu_sample_us),
+        ("folded_render_us", best_folded_us),
+        ("workload_record_ns", best_workload_ns),
     ]
 }
 

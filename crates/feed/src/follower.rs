@@ -410,7 +410,7 @@ impl FeedFollower {
         if pass.bytes_read > 0 || !pass.records.is_empty() {
             self.stage_decode.observe(pass.decode_micros);
             let tracer = self.registry.tracer();
-            tracer.record_child(
+            tracer.record_stage(
                 tracer.current(),
                 "mrt_decode",
                 std::time::Duration::from_micros(pass.decode_micros),
@@ -545,7 +545,7 @@ impl FeedFollower {
                     let pass = tailer.poll()?;
                     self.stage_tail.observe_duration(tail_started.elapsed());
                     let tracer = self.registry.tracer();
-                    tracer.record_child(tracer.current(), "feed_tail", tail_started.elapsed());
+                    tracer.record_stage(tracer.current(), "feed_tail", tail_started.elapsed());
                     self.current = Some((file, tailer));
                     self.ingest_pass(&pass, &mut progress);
                     let (file, mut tailer) = self.current.take().expect("just stored");
@@ -682,6 +682,9 @@ impl FeedFollower {
     ) -> io::Result<JoinHandle<io::Result<FeedCursor>>> {
         std::thread::Builder::new()
             .name("moas-feed-follower".into())
-            .spawn(move || self.run(interval, stop))
+            .spawn(move || {
+                let _registered = moas_obs::prof::register_thread();
+                self.run(interval, stop)
+            })
     }
 }

@@ -144,10 +144,11 @@ pub(crate) fn maintain_once(shared: &Shared) -> io::Result<bool> {
         if let Some(r) = &registry {
             r.stage_histogram("compaction")
                 .observe_duration(started.elapsed());
-            // Opportunistic: if an ingest poll trace is ambient when
-            // the sweep finishes, the compaction span joins it.
+            // If an ingest poll trace is ambient when the sweep
+            // finishes, the compaction span joins it; a standalone
+            // sweep profiles as its own root.
             let t = r.tracer();
-            t.record_child(t.current(), "compaction", started.elapsed());
+            t.record_stage(t.current(), "compaction", started.elapsed());
             r.journal().record(
                 "compaction",
                 format!(

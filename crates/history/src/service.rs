@@ -301,7 +301,7 @@ pub(crate) fn publish_epoch(shared: &Shared, st: &StoreState) {
         // poll context, completing the discovery-to-served-epoch
         // trace.
         let t = metrics.registry().tracer();
-        t.record_child(t.current(), "epoch_publish", started.elapsed());
+        t.record_stage(t.current(), "epoch_publish", started.elapsed());
     }
 }
 
@@ -661,7 +661,10 @@ impl HistoryService {
                 let shared = Arc::clone(&shared);
                 std::thread::Builder::new()
                     .name("moas-history-daemon".into())
-                    .spawn(move || run_daemon(shared))
+                    .spawn(move || {
+                        let _registered = moas_obs::prof::register_thread();
+                        run_daemon(shared)
+                    })
             })
             .transpose()?;
 
@@ -710,7 +713,10 @@ impl HistoryService {
                 let shared = Arc::clone(&shared);
                 std::thread::Builder::new()
                     .name("moas-history-replica".into())
-                    .spawn(move || run_replica_watcher(shared))
+                    .spawn(move || {
+                        let _registered = moas_obs::prof::register_thread();
+                        run_replica_watcher(shared)
+                    })
             })
             .transpose()?;
         Ok(HistoryService {

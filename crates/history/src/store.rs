@@ -444,9 +444,11 @@ impl HistoryStore {
         }
         if let Some(m) = &self.metrics {
             // Appends run on the writer thread while its poll span is
-            // the ambient context, so the span lands in that trace.
+            // the ambient context, so the span lands in that trace;
+            // appends outside any trace still profile as their own
+            // root.
             let t = m.registry().tracer();
-            t.record_child(t.current(), "event_append", started.elapsed());
+            t.record_stage(t.current(), "event_append", started.elapsed());
         }
         Ok(sealed)
     }
@@ -490,7 +492,7 @@ impl HistoryStore {
         }
         if let Some(m) = &self.metrics {
             let t = m.registry().tracer();
-            t.record_child(t.current(), "segment_seal", started.elapsed());
+            t.record_stage(t.current(), "segment_seal", started.elapsed());
         }
         Ok(Some(SealedSegment {
             file: open.file,

@@ -109,7 +109,10 @@ impl MonitorEngine {
             handles.push(
                 std::thread::Builder::new()
                     .name(format!("moas-shard-{shard}"))
-                    .spawn(move || run_shard(shard, rx, accept_after, m))
+                    .spawn(move || {
+                        let _registered = moas_obs::prof::register_thread();
+                        run_shard(shard, rx, accept_after, m)
+                    })
                     .expect("spawn shard worker"),
             );
             senders.push(tx);

@@ -160,6 +160,15 @@ pub fn run_shard(
     let mut moas_monitor = MoasMonitor::new(accept_after);
     let mut seq: u64 = 0;
     let mut epoch: u64 = 0;
+    // Retained-footprint gauge, refreshed on a coarse cadence:
+    // approx_bytes walks the whole slice, so pricing it per batch
+    // would tax the hot path.
+    let state_bytes = metrics.registry().gauge_with(
+        "moas_shard_state_bytes",
+        &[("shard", &shard.to_string())],
+        "Approximate retained bytes of one shard's origin state.",
+    );
+    let mut batches: u64 = 0;
 
     let emit = |log: &mut Vec<SeqEvent>, seq: &mut u64, events: Vec<MonitorEvent>| {
         EngineMetrics::add(&metrics.events_emitted, events.len() as u64);
@@ -194,7 +203,11 @@ pub fn run_shard(
                 metrics
                     .registry()
                     .tracer()
-                    .record_child(ctx, "shard_apply", elapsed);
+                    .record_stage(ctx, "shard_apply", elapsed);
+                batches += 1;
+                if batches % 64 == 1 {
+                    state_bytes.set(state.approx_bytes());
+                }
             }
             ShardMsg::DayMark {
                 idx,
@@ -234,6 +247,7 @@ pub fn run_shard(
             }
             ShardMsg::Query(reply) => {
                 EngineMetrics::add(&metrics.queries_served, 1);
+                state_bytes.set(state.approx_bytes());
                 // A disconnected requester is not a shard failure.
                 let _ = reply.send(ShardSnapshot {
                     shard,

@@ -258,6 +258,26 @@ impl ShardState {
         self.spurious_withdrawals
     }
 
+    /// Approximate retained bytes of this shard's origin state — the
+    /// input behind `moas_shard_state_bytes{shard=...}` and the
+    /// `moas_resource_bytes{component="shard_state"}` ledger. Container
+    /// geometry (entries × struct sizes plus per-route path hops), not
+    /// an allocator measurement; O(prefixes + routes), so callers
+    /// publish it on a coarse cadence, not per update.
+    pub fn approx_bytes(&self) -> u64 {
+        use std::mem::size_of;
+        let mut total = size_of::<ShardState>() as u64;
+        for state in self.prefixes.values() {
+            total += (size_of::<Prefix>() + size_of::<PrefixState>()) as u64;
+            total += (state.single_origins.len() * (size_of::<Asn>() + size_of::<u32>())) as u64;
+            for held in state.routes.values() {
+                total += (size_of::<SessionKey>() + size_of::<HeldRoute>()) as u64
+                    + (held.path.hop_count() * size_of::<Asn>()) as u64;
+            }
+        }
+        total
+    }
+
     /// Live routes whose path has no extractable origin.
     pub fn empty_path_routes(&self) -> u64 {
         self.prefixes.values().map(|p| p.none_routes as u64).sum()

@@ -125,6 +125,15 @@ impl EventJournal {
             .collect()
     }
 
+    /// Approximate retained bytes: held events plus their strings —
+    /// the `moas_resource_bytes{component="journal"}` probe.
+    pub fn approx_bytes(&self) -> u64 {
+        let ring = self.ring.lock().expect("journal lock poisoned");
+        ring.iter()
+            .map(|e| (std::mem::size_of::<JournalEvent>() + e.kind.len() + e.message.len()) as u64)
+            .sum()
+    }
+
     /// Total events ever recorded (including those already evicted).
     pub fn recorded(&self) -> u64 {
         self.seq.load(Ordering::Relaxed)

@@ -44,6 +44,21 @@
 //!   p99 latency) with pending → firing → resolved hysteresis,
 //!   journal events on transitions, and a firing-page hook for
 //!   `/readyz`.
+//! * Continuous profiling ([`prof`]) — the process-global thread-name
+//!   registry ([`prof::register_thread`]) plus the [`CpuLedger`]
+//!   attributing `/proc/self/task/*/stat` CPU to named pipeline
+//!   threads, and the [`Profiler`] folding the span ring into
+//!   per-stage self-time profiles and flamegraph.pl folded stacks
+//!   for `GET /v1/profile`.
+//! * Resource attribution ([`resource`]) — the [`ResourceLedger`] of
+//!   per-component retained-byte probes
+//!   (`moas_resource_bytes{component=...}`), process RSS, and the
+//!   standard `moas_build_info` / `moas_process_start_time_seconds`
+//!   gauges.
+//! * Workload analytics ([`workload`]) — the [`Workload`] recorder
+//!   behind `GET /v1/workload`: a space-saving hot-key sketch,
+//!   per-endpoint latency/size histograms, and a bounded slow-query
+//!   log carrying trace ids.
 //!
 //! ```
 //! use moas_obs::Registry;
@@ -65,13 +80,19 @@
 pub mod alert;
 pub mod journal;
 pub mod lag;
+pub mod prof;
 pub mod registry;
+pub mod resource;
 pub mod trace;
 pub mod tsdb;
+pub mod workload;
 
 pub use alert::{AlertDirection, AlertEngine, AlertInput, AlertRule, AlertSeverity, AlertStatus};
 pub use journal::{EventJournal, JournalEvent};
 pub use lag::LagTracker;
+pub use prof::{CpuLedger, Profiler, StageProfile};
 pub use registry::{Counter, Gauge, Histogram, HistogramSnapshot, MetricKind, Registry};
+pub use resource::ResourceLedger;
 pub use trace::{Span, SpanContext, SpanRecord, Tracer};
 pub use tsdb::{Sampler, SeriesPoints, Tsdb, TsdbConfig};
+pub use workload::{SlowQuery, TopEntry, Workload, WorkloadReport};

@@ -40,8 +40,10 @@ pub enum MetricKind {
 }
 
 /// One scraped counter or gauge: `(name, labels, kind, value)` — see
-/// [`Registry::scalar_values`].
-pub type ScalarValue = (String, Vec<(String, String)>, MetricKind, u64);
+/// [`Registry::scalar_values`]. Values are `f64` so seconds-unit
+/// counters (stored internally in microseconds) sample into the tsdb
+/// in the unit their name declares.
+pub type ScalarValue = (String, Vec<(String, String)>, MetricKind, f64);
 
 /// One scraped histogram: `(name, labels, snapshot)` — see
 /// [`Registry::histogram_snapshots`].
@@ -243,12 +245,17 @@ enum Series {
     Counter(Counter),
     Gauge(Gauge),
     Histogram(Histogram),
+    /// A counter whose handle records *microseconds* but whose series
+    /// renders as fractional *seconds* — the shape Prometheus
+    /// conventions demand of `*_seconds_total` CPU-time families while
+    /// the registry stays integer-atomic inside.
+    SecondsCounter(Counter),
 }
 
 impl Series {
     fn kind(&self) -> MetricKind {
         match self {
-            Series::Counter(_) => MetricKind::Counter,
+            Series::Counter(_) | Series::SecondsCounter(_) => MetricKind::Counter,
             Series::Gauge(_) => MetricKind::Gauge,
             Series::Histogram(_) => MetricKind::Histogram,
         }
@@ -343,7 +350,10 @@ impl Registry {
                 .collect(),
         );
         let mut map = self.series.lock().expect("registry lock poisoned");
-        // One name, one kind — across all label sets.
+        // One name, one shape — across all label sets. Discriminants,
+        // not kinds: a seconds counter and a plain counter both render
+        // as TYPE counter but record in different units, so mixing
+        // them under one name is the same configuration bug.
         let wanted = make();
         if let Some((_, existing)) = map
             .range((key.0.clone(), Vec::new())..)
@@ -351,10 +361,10 @@ impl Registry {
             .next()
         {
             assert!(
-                existing.series.kind() == wanted.kind(),
+                std::mem::discriminant(&existing.series) == std::mem::discriminant(&wanted),
                 "metric {name:?} already registered as {}, re-registered as {}",
-                existing.series.kind().as_str(),
-                wanted.kind().as_str(),
+                shape_str(&existing.series),
+                shape_str(&wanted),
             );
         }
         match map.entry(key) {
@@ -396,6 +406,20 @@ impl Registry {
         }
     }
 
+    /// Registers (or finds) a seconds-unit counter with a static label
+    /// set. The returned handle records **microseconds** (`add` takes
+    /// µs); the series renders and samples as fractional seconds, the
+    /// conventional unit for `*_seconds_total` families like the
+    /// per-thread CPU ledger's `moas_thread_cpu_seconds_total`.
+    pub fn seconds_counter_with(&self, name: &str, labels: &[(&str, &str)], help: &str) -> Counter {
+        match self.register(name, labels, help, || {
+            Series::SecondsCounter(Counter::default())
+        }) {
+            Series::SecondsCounter(c) => c,
+            _ => unreachable!("shape checked in register"),
+        }
+    }
+
     /// Registers (or finds) an unlabeled histogram.
     pub fn histogram(&self, name: &str, help: &str) -> Histogram {
         self.histogram_with(name, &[], help)
@@ -425,7 +449,8 @@ impl Registry {
 
     /// The value of a registered counter or gauge, for tests and
     /// report views (`None` if the series does not exist or is a
-    /// histogram).
+    /// histogram). Seconds counters report their raw microsecond
+    /// tally.
     pub fn value(&self, name: &str, labels: &[(&str, &str)]) -> Option<u64> {
         let key: SeriesKey = (
             name.to_string(),
@@ -436,7 +461,7 @@ impl Registry {
         );
         let map = self.series.lock().expect("registry lock poisoned");
         match &map.get(&key)?.series {
-            Series::Counter(c) => Some(c.get()),
+            Series::Counter(c) | Series::SecondsCounter(c) => Some(c.get()),
             Series::Gauge(g) => Some(g.get()),
             Series::Histogram(_) => None,
         }
@@ -450,12 +475,24 @@ impl Registry {
         let map = self.series.lock().expect("registry lock poisoned");
         map.iter()
             .filter_map(|((name, labels), entry)| match &entry.series {
-                Series::Counter(c) => {
-                    Some((name.clone(), labels.clone(), MetricKind::Counter, c.get()))
-                }
-                Series::Gauge(g) => {
-                    Some((name.clone(), labels.clone(), MetricKind::Gauge, g.get()))
-                }
+                Series::Counter(c) => Some((
+                    name.clone(),
+                    labels.clone(),
+                    MetricKind::Counter,
+                    c.get() as f64,
+                )),
+                Series::SecondsCounter(c) => Some((
+                    name.clone(),
+                    labels.clone(),
+                    MetricKind::Counter,
+                    c.get() as f64 / 1e6,
+                )),
+                Series::Gauge(g) => Some((
+                    name.clone(),
+                    labels.clone(),
+                    MetricKind::Gauge,
+                    g.get() as f64,
+                )),
                 Series::Histogram(_) => None,
             })
             .collect()
@@ -502,6 +539,16 @@ impl Registry {
                 Series::Counter(c) => {
                     render_series_line(&mut out, name, labels, None, c.get());
                 }
+                Series::SecondsCounter(c) => {
+                    let micros = c.get();
+                    render_series_text(
+                        &mut out,
+                        name,
+                        labels,
+                        None,
+                        &format!("{}.{:06}", micros / 1_000_000, micros % 1_000_000),
+                    );
+                }
                 Series::Gauge(g) => {
                     render_series_line(&mut out, name, labels, None, g.get());
                 }
@@ -539,6 +586,18 @@ fn clone_series(s: &Series) -> Series {
         Series::Counter(c) => Series::Counter(c.clone()),
         Series::Gauge(g) => Series::Gauge(g.clone()),
         Series::Histogram(h) => Series::Histogram(h.clone()),
+        Series::SecondsCounter(c) => Series::SecondsCounter(c.clone()),
+    }
+}
+
+/// The registration-shape name for conflict diagnostics (unlike
+/// [`MetricKind::as_str`], distinguishes seconds counters).
+fn shape_str(s: &Series) -> &'static str {
+    match s {
+        Series::Counter(_) => "counter",
+        Series::Gauge(_) => "gauge",
+        Series::Histogram(_) => "histogram",
+        Series::SecondsCounter(_) => "seconds counter",
     }
 }
 
@@ -548,6 +607,16 @@ fn render_series_line(
     labels: &[(String, String)],
     le: Option<&str>,
     value: u64,
+) {
+    render_series_text(out, name, labels, le, &value.to_string());
+}
+
+fn render_series_text(
+    out: &mut String,
+    name: &str,
+    labels: &[(String, String)],
+    le: Option<&str>,
+    value: &str,
 ) {
     out.push_str(name);
     if !labels.is_empty() || le.is_some() {
@@ -574,7 +643,7 @@ fn render_series_line(
         out.push('}');
     }
     out.push(' ');
-    out.push_str(&value.to_string());
+    out.push_str(value);
     out.push('\n');
 }
 
@@ -636,6 +705,35 @@ mod tests {
         let r = Registry::new();
         let _ = r.counter("x_total", "x");
         let _ = r.gauge("x_total", "x");
+    }
+
+    #[test]
+    fn seconds_counter_renders_fractional_seconds() {
+        let r = Registry::new();
+        let c = r.seconds_counter_with("cpu_seconds_total", &[("thread", "w0")], "CPU.");
+        c.add(1_234_567); // microseconds
+        let text = r.render_prometheus();
+        assert!(text.contains("# TYPE cpu_seconds_total counter"), "{text}");
+        assert!(
+            text.contains("cpu_seconds_total{thread=\"w0\"} 1.234567"),
+            "{text}"
+        );
+        // Samples into the tsdb surface in seconds, not micros.
+        let (_, _, kind, v) = r
+            .scalar_values()
+            .into_iter()
+            .find(|(n, _, _, _)| n == "cpu_seconds_total")
+            .unwrap();
+        assert_eq!(kind, MetricKind::Counter);
+        assert!((v - 1.234567).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "already registered")]
+    fn seconds_counter_and_counter_shapes_conflict() {
+        let r = Registry::new();
+        let _ = r.counter_with("x_seconds_total", &[("thread", "a")], "x");
+        let _ = r.seconds_counter_with("x_seconds_total", &[("thread", "b")], "x");
     }
 
     #[test]

@@ -1,0 +1,218 @@
+//! Component-level resource attribution: the byte ledger and the
+//! standard process-identity gauges.
+//!
+//! The [`ResourceLedger`] answers "where do the bytes go" the way the
+//! CPU ledger answers it for cycles: each retaining subsystem (store,
+//! response cache, tsdb, journal, span ring, shard state) registers a
+//! *probe* — a closure reporting its current retained footprint — and
+//! every [`ResourceLedger::sample`] publishes the probes as
+//! `moas_resource_bytes{component=...}` gauges next to the kernel's
+//! own view of the process (`moas_process_rss_bytes` from
+//! `/proc/self/statm`). The gap between Σ components and RSS is the
+//! unattributed remainder (allocator slack, stacks, code); watching
+//! both is what makes month-scale capacity drift visible before it
+//! kills a deployment.
+//!
+//! [`register_process_metrics`] fills the standard-convention gap
+//! from PR 6: `moas_build_info{version,profile} 1` and
+//! `moas_process_start_time_seconds` (from `/proc/self/stat`
+//! starttime + `/proc/stat` btime, falling back to first-registration
+//! time off Linux).
+
+use crate::registry::{Gauge, Registry};
+use std::sync::{Arc, Mutex, OnceLock};
+
+/// Bytes per page for `/proc/self/statm` accounting. Linux reports
+/// statm in pages; 4 KiB is the page size on every platform this
+/// workspace targets (no libc available to ask `sysconf`).
+const PAGE_BYTES: u64 = 4096;
+
+type Probe = Box<dyn Fn() -> u64 + Send + Sync>;
+
+/// The component byte ledger. See the module docs.
+pub struct ResourceLedger {
+    registry: Arc<Registry>,
+    probes: Mutex<Vec<(String, Gauge, Probe)>>,
+    rss: Gauge,
+}
+
+impl ResourceLedger {
+    /// A ledger publishing onto `registry`; also registers the
+    /// process-identity gauges ([`register_process_metrics`]) so any
+    /// wiring site that attaches a ledger gets them for free.
+    pub fn new(registry: Arc<Registry>) -> Self {
+        register_process_metrics(&registry);
+        let rss = registry.gauge(
+            "moas_process_rss_bytes",
+            "Resident set size from /proc/self/statm.",
+        );
+        ResourceLedger {
+            registry,
+            probes: Mutex::new(Vec::new()),
+            rss,
+        }
+    }
+
+    /// Registers a component probe. The closure reports the
+    /// component's current retained bytes and runs on every
+    /// [`ResourceLedger::sample`]; it must not block (take a quick
+    /// lock, read an atomic, do geometry math). Re-registering a
+    /// component name replaces its probe.
+    pub fn probe(&self, component: &str, f: impl Fn() -> u64 + Send + Sync + 'static) {
+        let gauge = self.registry.gauge_with(
+            "moas_resource_bytes",
+            &[("component", component)],
+            "Retained bytes attributed to a component.",
+        );
+        let mut probes = self.probes.lock().expect("resource probes poisoned");
+        if let Some(slot) = probes.iter_mut().find(|(name, _, _)| name == component) {
+            slot.2 = Box::new(f);
+        } else {
+            probes.push((component.to_string(), gauge, Box::new(f)));
+        }
+    }
+
+    /// Runs every probe into its gauge and refreshes process RSS.
+    /// Returns the number of components sampled.
+    pub fn sample(&self) -> usize {
+        let probes = self.probes.lock().expect("resource probes poisoned");
+        for (_, gauge, probe) in probes.iter() {
+            gauge.set(probe());
+        }
+        if let Some(rss) = read_rss_bytes() {
+            self.rss.set(rss);
+        }
+        probes.len()
+    }
+
+    /// Current `(component, bytes)` readings, sorted by component —
+    /// the JSON-facing view (probes are run fresh, not cached).
+    pub fn components(&self) -> Vec<(String, u64)> {
+        let probes = self.probes.lock().expect("resource probes poisoned");
+        let mut out: Vec<(String, u64)> = probes
+            .iter()
+            .map(|(name, _, probe)| (name.clone(), probe()))
+            .collect();
+        out.sort();
+        out
+    }
+}
+
+/// Resident set size in bytes from `/proc/self/statm` (second field,
+/// pages). `None` off Linux.
+pub fn read_rss_bytes() -> Option<u64> {
+    let statm = std::fs::read_to_string("/proc/self/statm").ok()?;
+    let pages: u64 = statm.split_ascii_whitespace().nth(1)?.parse().ok()?;
+    Some(pages * PAGE_BYTES)
+}
+
+/// Unix time the process started, seconds: `/proc/stat` btime plus
+/// `/proc/self/stat` starttime (field 22, clock ticks since boot at
+/// `USER_HZ = 100`).
+fn read_process_start_seconds() -> Option<u64> {
+    let btime = std::fs::read_to_string("/proc/stat")
+        .ok()?
+        .lines()
+        .find_map(|line| line.strip_prefix("btime ")?.trim().parse::<u64>().ok())?;
+    let stat = std::fs::read_to_string("/proc/self/stat").ok()?;
+    let tail = &stat[stat.rfind(')')? + 1..];
+    let starttime_ticks: u64 = tail.split_ascii_whitespace().nth(19)?.parse().ok()?;
+    Some(btime + starttime_ticks / 100)
+}
+
+/// Registers `moas_build_info{version,profile} 1` and
+/// `moas_process_start_time_seconds` on `registry`. Idempotent; every
+/// registry a process exposes should carry both (Prometheus uses the
+/// start time to spot restarts, build_info to join dashboards to
+/// releases).
+pub fn register_process_metrics(registry: &Registry) {
+    static START: OnceLock<u64> = OnceLock::new();
+    let start =
+        *START.get_or_init(|| read_process_start_seconds().unwrap_or_else(crate::tsdb::unix_now));
+    registry
+        .gauge_with(
+            "moas_build_info",
+            &[
+                ("version", env!("CARGO_PKG_VERSION")),
+                (
+                    "profile",
+                    if cfg!(debug_assertions) {
+                        "debug"
+                    } else {
+                        "release"
+                    },
+                ),
+            ],
+            "Build identity; always 1.",
+        )
+        .set(1);
+    registry
+        .gauge(
+            "moas_process_start_time_seconds",
+            "Unix time the process started.",
+        )
+        .set(start);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn probes_publish_gauges_and_rss() {
+        let registry = Arc::new(Registry::new());
+        let ledger = ResourceLedger::new(Arc::clone(&registry));
+        let bytes = Arc::new(std::sync::atomic::AtomicU64::new(1_000));
+        let src = Arc::clone(&bytes);
+        ledger.probe("cache", move || {
+            src.load(std::sync::atomic::Ordering::Relaxed)
+        });
+        assert_eq!(ledger.sample(), 1);
+        assert_eq!(
+            registry.value("moas_resource_bytes", &[("component", "cache")]),
+            Some(1_000)
+        );
+        bytes.store(2_500, std::sync::atomic::Ordering::Relaxed);
+        ledger.sample();
+        assert_eq!(
+            registry.value("moas_resource_bytes", &[("component", "cache")]),
+            Some(2_500)
+        );
+        assert_eq!(ledger.components(), vec![("cache".to_string(), 2_500)]);
+        if read_rss_bytes().is_some() {
+            assert!(registry.value("moas_process_rss_bytes", &[]).unwrap() > 0);
+        }
+    }
+
+    #[test]
+    fn process_metrics_follow_prometheus_conventions() {
+        let registry = Registry::new();
+        register_process_metrics(&registry);
+        register_process_metrics(&registry); // idempotent
+        assert_eq!(
+            registry.value(
+                "moas_build_info",
+                &[
+                    ("version", env!("CARGO_PKG_VERSION")),
+                    (
+                        "profile",
+                        if cfg!(debug_assertions) {
+                            "debug"
+                        } else {
+                            "release"
+                        }
+                    ),
+                ]
+            ),
+            Some(1)
+        );
+        let start = registry
+            .value("moas_process_start_time_seconds", &[])
+            .unwrap();
+        assert!(start > 1_000_000_000, "plausible unix time, got {start}");
+        assert!(start <= crate::tsdb::unix_now());
+        let text = registry.render_prometheus();
+        assert!(text.contains("moas_build_info{"));
+        assert!(text.contains("moas_process_start_time_seconds"));
+    }
+}

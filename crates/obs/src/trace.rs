@@ -131,8 +131,10 @@ pub struct Tracer {
     /// Bounded span ring: per-slot mutexes stay uncontended (each
     /// writer owns a distinct slot via the cursor), keeping the write
     /// path lock-free in practice while staying within
-    /// `forbid(unsafe_code)`.
-    slots: Vec<Mutex<Option<SpanRecord>>>,
+    /// `forbid(unsafe_code)`. Each slot remembers the push sequence
+    /// that wrote it, so [`Tracer::drain_new`] can hand out each span
+    /// exactly once even while writers race the drain.
+    slots: Vec<Mutex<Option<(u64, SpanRecord)>>>,
     cursor: AtomicU64,
     /// Ambient (trace, span) of the active ingest trace.
     current_trace: AtomicU64,
@@ -177,6 +179,13 @@ impl Tracer {
     /// Ring capacity in spans.
     pub fn capacity(&self) -> usize {
         self.slots.len()
+    }
+
+    /// Retained bytes of the span ring — fixed at construction
+    /// (capacity × slot size); the
+    /// `moas_resource_bytes{component="spans"}` probe.
+    pub fn approx_bytes(&self) -> u64 {
+        (self.slots.len() * std::mem::size_of::<Mutex<Option<(u64, SpanRecord)>>>()) as u64
     }
 
     /// Starts a root span, making the head-sampling decision for the
@@ -266,6 +275,49 @@ impl Tracer {
         }
     }
 
+    /// Records an already-measured stage span: under `parent` when
+    /// that trace is sampled, otherwise as its own single-span root
+    /// trace, subject to a fresh head-sampling decision. Stages that
+    /// observe a duration histogram should record through this rather
+    /// than [`Tracer::record_child`]: work that runs outside any
+    /// trace — a daemon flush, a finalize drain — still reaches the
+    /// wall-clock profiler, which is what keeps per-stage profile
+    /// time reconciled with the `moas_stage_duration_us` sums.
+    pub fn record_stage(
+        &self,
+        parent: SpanContext,
+        name: &'static str,
+        duration: Duration,
+    ) -> SpanContext {
+        if parent.is_sampled() {
+            return self.record_child(parent, name, duration);
+        }
+        let every = self.sample_every.load(Ordering::Relaxed);
+        let sampled = match every {
+            0 => false,
+            1 => true,
+            n => self.heads.fetch_add(1, Ordering::Relaxed).is_multiple_of(n),
+        };
+        if !sampled {
+            return SpanContext::NONE;
+        }
+        let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+        let duration_us = duration.as_micros() as u64;
+        let now_us = unix_micros(SystemTime::now());
+        self.push(SpanRecord {
+            trace: id,
+            span: id,
+            parent: 0,
+            name,
+            start_unix_us: now_us.saturating_sub(duration_us),
+            duration_us,
+        });
+        SpanContext {
+            trace: id,
+            span: id,
+        }
+    }
+
     /// Publishes `ctx` as the ambient ingest context (see the module
     /// docs); downstream stages pick it up via [`Tracer::current`].
     pub fn set_current(&self, ctx: SpanContext) {
@@ -288,8 +340,9 @@ impl Tracer {
     }
 
     fn push(&self, record: SpanRecord) {
-        let i = self.cursor.fetch_add(1, Ordering::Relaxed) as usize % self.slots.len();
-        *self.slots[i].lock().expect("span slot poisoned") = Some(record);
+        let seq = self.cursor.fetch_add(1, Ordering::Relaxed);
+        let i = seq as usize % self.slots.len();
+        *self.slots[i].lock().expect("span slot poisoned") = Some((seq, record));
     }
 
     /// All spans of one trace, parents before children (start order,
@@ -299,6 +352,7 @@ impl Tracer {
             .slots
             .iter()
             .filter_map(|s| s.lock().expect("span slot poisoned").clone())
+            .map(|(_, r)| r)
             .filter(|r| r.trace == trace)
             .collect();
         spans.sort_by_key(|r| (r.parent != 0, r.start_unix_us, r.span));
@@ -312,6 +366,7 @@ impl Tracer {
             .slots
             .iter()
             .filter_map(|s| s.lock().expect("span slot poisoned").clone())
+            .map(|(_, r)| r)
             .filter(|r| r.parent == 0)
             .collect();
         roots.sort_by_key(|r| (std::cmp::Reverse(r.duration_us), r.span));
@@ -326,6 +381,34 @@ impl Tracer {
             .filter(|s| s.lock().expect("span slot poisoned").is_some())
             .count()
     }
+
+    /// Spans pushed since a previous checkpoint, exactly once.
+    ///
+    /// `from` is the cursor a prior call returned (0 to start).
+    /// Returns `(spans, next_cursor, missed)` where `missed` counts
+    /// spans that were overwritten by ring wrap before this drain
+    /// reached them — the continuous profiler's signal to tick more
+    /// often (surfaced as `moas_profile_spans_dropped_total`). Each
+    /// slot is matched against the push sequence that should occupy
+    /// it, so a racing writer can neither duplicate an old span into
+    /// the answer nor leak one pushed after `next_cursor`.
+    pub fn drain_new(&self, from: u64) -> (Vec<SpanRecord>, u64, u64) {
+        let end = self.cursor.load(Ordering::Relaxed);
+        let cap = self.slots.len() as u64;
+        let start = from.max(end.saturating_sub(cap));
+        let missed = start - from;
+        let mut spans = Vec::with_capacity((end - start) as usize);
+        for seq in start..end {
+            let i = seq as usize % self.slots.len();
+            let slot = self.slots[i].lock().expect("span slot poisoned");
+            if let Some((slot_seq, record)) = &*slot {
+                if *slot_seq == seq {
+                    spans.push(record.clone());
+                }
+            }
+        }
+        (spans, end, missed)
+    }
 }
 
 fn unix_micros(t: SystemTime) -> u64 {
@@ -337,6 +420,29 @@ fn unix_micros(t: SystemTime) -> u64 {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn record_stage_falls_back_to_a_root_trace_outside_any_parent() {
+        let tracer = Tracer::default();
+        // With a sampled parent it behaves exactly like record_child.
+        let root = tracer.span("feed_poll");
+        let ctx = tracer.record_stage(root.context(), "shard_apply", Duration::from_micros(9));
+        assert_eq!(ctx.trace, root.context().trace);
+        root.finish();
+        // Without one, the stage still records — as its own root —
+        // so profiles stay reconciled with the stage histograms.
+        let orphan =
+            tracer.record_stage(SpanContext::NONE, "shard_apply", Duration::from_micros(4));
+        assert!(orphan.is_sampled());
+        let spans = tracer.trace_spans(orphan.trace);
+        assert_eq!(spans.len(), 1);
+        assert_eq!(spans[0].parent, 0, "the fallback span is a root");
+        assert_eq!(spans[0].duration_us, 4);
+        // Sampling 0 silences the fallback path too.
+        tracer.set_sampling(0);
+        let none = tracer.record_stage(SpanContext::NONE, "shard_apply", Duration::from_micros(4));
+        assert!(!none.is_sampled());
+    }
 
     #[test]
     fn root_and_children_share_a_trace_and_link_parents() {
@@ -433,6 +539,28 @@ mod tests {
             .windows(2)
             .all(|w| w[0].duration_us >= w[1].duration_us));
         assert_eq!(tracer.slowest_roots(1).len(), 1);
+    }
+
+    #[test]
+    fn drain_new_hands_out_each_span_exactly_once_and_counts_misses() {
+        let tracer = Tracer::with_capacity(4);
+        tracer.span("a").finish();
+        tracer.span("b").finish();
+        let (spans, cursor, missed) = tracer.drain_new(0);
+        assert_eq!(spans.len(), 2);
+        assert_eq!((cursor, missed), (2, 0));
+        // Nothing new: an empty drain from the checkpoint.
+        let (spans, cursor2, missed) = tracer.drain_new(cursor);
+        assert!(spans.is_empty());
+        assert_eq!((cursor2, missed), (2, 0));
+        // Overflow the 4-slot ring by 6 pushes: 2 are unrecoverable.
+        for _ in 0..6 {
+            tracer.span("c").finish();
+        }
+        let (spans, cursor3, missed) = tracer.drain_new(cursor2);
+        assert_eq!(spans.len(), 4, "only the ring's worth survives");
+        assert_eq!(cursor3, 8);
+        assert_eq!(missed, 2, "overwritten spans are counted, not silent");
     }
 
     #[test]

@@ -138,7 +138,7 @@ impl Tsdb {
                 &mut inner.series,
                 (name, labels),
                 now_unix,
-                value as f64,
+                value,
             );
         }
         for (name, labels, snap) in hists {
@@ -258,6 +258,24 @@ impl Tsdb {
     pub fn series_count(&self) -> usize {
         self.inner.lock().expect("tsdb lock poisoned").series.len()
     }
+
+    /// Approximate retained bytes — ring geometry × series count plus
+    /// key strings and histogram snapshots. The
+    /// `moas_resource_bytes{component="tsdb"}` probe; geometry math,
+    /// not an allocator measurement.
+    pub fn approx_bytes(&self) -> u64 {
+        let inner = self.inner.lock().expect("tsdb lock poisoned");
+        let fine = std::mem::size_of::<Option<(u64, f64)>>() * self.config.fine_slots;
+        let coarse = std::mem::size_of::<Option<(u64, f64, u32)>>() * self.config.coarse_slots;
+        let mut total = 0u64;
+        for (name, labels) in inner.series.keys() {
+            let key_bytes: usize =
+                name.len() + labels.iter().map(|(k, v)| k.len() + v.len()).sum::<usize>();
+            total += (fine + coarse + key_bytes) as u64;
+        }
+        total += (inner.hist_prev.len() * std::mem::size_of::<HistogramSnapshot>()) as u64;
+        total
+    }
 }
 
 /// Wall clock as Unix seconds — the `now` to drive live sampling with.
@@ -271,6 +289,13 @@ pub fn unix_now() -> u64 {
 /// A background sampling thread: every `interval` it ticks
 /// [`Tsdb::sample`] and then the supplied hook (the alert engine's
 /// tick, typically). Stops and joins on drop.
+///
+/// The loop watches its own cadence: a tick that starts more than
+/// twice the interval after the previous one (a wedged hook, a
+/// starved scheduler — the self-monitoring layer itself degrading)
+/// lands a `sampler_stall` event in the registry journal, so the
+/// stall surfaces in `/v1/events/log` and the SSE tail like any other
+/// incident.
 pub struct Sampler {
     stop: Arc<AtomicBool>,
     handle: Option<JoinHandle<()>>,
@@ -290,7 +315,24 @@ impl Sampler {
         let handle = std::thread::Builder::new()
             .name("moas-obs-sampler".into())
             .spawn(move || {
+                let _registered = crate::prof::register_thread();
+                let mut last_tick: Option<std::time::Instant> = None;
                 while !stop_flag.load(Ordering::Acquire) {
+                    let tick_started = std::time::Instant::now();
+                    if let Some(prev) = last_tick {
+                        let gap = tick_started.duration_since(prev);
+                        if !interval.is_zero() && gap > interval * 2 {
+                            registry.journal().record(
+                                "sampler_stall",
+                                format!(
+                                    "sampler tick gap {}ms exceeds 2x interval {}ms",
+                                    gap.as_millis(),
+                                    interval.as_millis()
+                                ),
+                            );
+                        }
+                    }
+                    last_tick = Some(tick_started);
                     let now = unix_now();
                     tsdb.sample(&registry, now);
                     on_tick(now);

@@ -1,0 +1,377 @@
+//! Query workload analytics: who is asking what, how hot, how slow.
+//!
+//! A serving replica needs three views of its own traffic to be
+//! operable: the *hot keys* (which endpoint × prefix combinations
+//! dominate — the cache-sizing and shard-balancing input), the
+//! *per-endpoint distributions* (latency and response-size histograms,
+//! published on the registry as `moas_endpoint_duration_us{endpoint=}`
+//! and `moas_endpoint_response_bytes{endpoint=}`), and the *slow tail*
+//! (a bounded ring of the slowest recent queries, each carrying its
+//! trace id so `/v1/trace/{id}` explains it). All three are bounded:
+//! the top-k sketch is a fixed-capacity space-saving summary
+//! (Metwally et al. — evict the minimum, inherit its count as the
+//! error bound), endpoint cardinality is capped by route
+//! normalization at the call site, and the slow log is a ring.
+//!
+//! [`Workload::record`] is the single entry point, designed to sit on
+//! the server's per-request path: one short mutex hold, no
+//! allocation for repeat endpoints.
+
+use crate::registry::{Histogram, Registry};
+use std::collections::BTreeMap;
+use std::collections::HashMap;
+use std::collections::VecDeque;
+use std::sync::{Arc, Mutex};
+
+/// Default space-saving sketch capacity (distinct keys tracked).
+pub const DEFAULT_TOPK_CAPACITY: usize = 64;
+/// Default slow-query ring capacity.
+pub const DEFAULT_SLOW_LOG_CAPACITY: usize = 64;
+
+/// One entry of the space-saving top-k summary.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TopEntry {
+    /// Normalized endpoint (`/v1/prefix/{prefix}`, …).
+    pub endpoint: String,
+    /// The request's key within the endpoint (a prefix, a series
+    /// name); empty for keyless endpoints.
+    pub key: String,
+    /// Estimated hit count (an overestimate by at most `error`).
+    pub count: u64,
+    /// Maximum overestimation inherited from evicted entries.
+    pub error: u64,
+}
+
+/// Fixed-capacity space-saving frequency sketch: when full, the
+/// minimum-count entry is evicted and the newcomer inherits its count
+/// as both floor and error bound, so heavy hitters are never
+/// undercounted and the error is tracked per entry.
+struct SpaceSaving {
+    capacity: usize,
+    counts: HashMap<(String, String), (u64, u64)>,
+}
+
+impl SpaceSaving {
+    fn new(capacity: usize) -> Self {
+        SpaceSaving {
+            capacity: capacity.max(1),
+            counts: HashMap::new(),
+        }
+    }
+
+    fn record(&mut self, endpoint: &str, key: &str) {
+        if let Some((count, _)) = self
+            .counts
+            .get_mut(&(endpoint.to_string(), key.to_string()))
+        {
+            *count += 1;
+            return;
+        }
+        if self.counts.len() < self.capacity {
+            self.counts
+                .insert((endpoint.to_string(), key.to_string()), (1, 0));
+            return;
+        }
+        let (min_key, &(min_count, _)) = self
+            .counts
+            .iter()
+            .min_by_key(|(_, &(count, _))| count)
+            .expect("sketch non-empty at capacity");
+        let min_key = min_key.clone();
+        self.counts.remove(&min_key);
+        self.counts.insert(
+            (endpoint.to_string(), key.to_string()),
+            (min_count + 1, min_count),
+        );
+    }
+
+    fn top(&self, limit: usize) -> Vec<TopEntry> {
+        let mut entries: Vec<TopEntry> = self
+            .counts
+            .iter()
+            .map(|((endpoint, key), &(count, error))| TopEntry {
+                endpoint: endpoint.clone(),
+                key: key.clone(),
+                count,
+                error,
+            })
+            .collect();
+        entries.sort_by(|a, b| {
+            b.count
+                .cmp(&a.count)
+                .then_with(|| a.endpoint.cmp(&b.endpoint))
+                .then_with(|| a.key.cmp(&b.key))
+        });
+        entries.truncate(limit);
+        entries
+    }
+}
+
+/// One slow-query record.
+#[derive(Debug, Clone)]
+pub struct SlowQuery {
+    /// Wall-clock milliseconds since the Unix epoch.
+    pub unix_ms: u64,
+    /// Normalized endpoint.
+    pub endpoint: String,
+    /// The raw request target (path plus query string).
+    pub target: String,
+    /// Service time, microseconds.
+    pub micros: u64,
+    /// Response status code.
+    pub status: u16,
+    /// Trace id (0 when the request was unsampled).
+    pub trace: u64,
+}
+
+struct EndpointStats {
+    latency: Histogram,
+    bytes: Histogram,
+    count: u64,
+}
+
+struct WorkloadInner {
+    topk: SpaceSaving,
+    endpoints: BTreeMap<String, EndpointStats>,
+    slow: VecDeque<SlowQuery>,
+    slow_capacity: usize,
+    recorded: u64,
+}
+
+/// Per-endpoint aggregate for the JSON report.
+#[derive(Debug, Clone)]
+pub struct EndpointReport {
+    /// Normalized endpoint.
+    pub endpoint: String,
+    /// Requests recorded.
+    pub count: u64,
+    /// Latency quantiles, microseconds (p50, p99); `None` when empty.
+    pub p50_us: Option<u64>,
+    /// See `p50_us`.
+    pub p99_us: Option<u64>,
+    /// Response-size p99, bytes.
+    pub p99_bytes: Option<u64>,
+}
+
+/// The full workload report backing `GET /v1/workload`.
+#[derive(Debug, Clone)]
+pub struct WorkloadReport {
+    /// Total requests recorded since start.
+    pub recorded: u64,
+    /// Hot keys, heaviest first.
+    pub top: Vec<TopEntry>,
+    /// Per-endpoint aggregates, sorted by endpoint.
+    pub endpoints: Vec<EndpointReport>,
+    /// Slow queries, most recent last.
+    pub slow: Vec<SlowQuery>,
+    /// The slow-log threshold in effect, microseconds.
+    pub slow_threshold_us: u64,
+}
+
+/// The workload analytics recorder. See the module docs.
+pub struct Workload {
+    registry: Arc<Registry>,
+    slow_threshold_us: u64,
+    inner: Mutex<WorkloadInner>,
+}
+
+impl Workload {
+    /// A recorder publishing histograms onto `registry`; requests at
+    /// or above `slow_threshold_us` enter the slow log.
+    pub fn new(registry: Arc<Registry>, slow_threshold_us: u64) -> Self {
+        Workload::with_capacities(
+            registry,
+            slow_threshold_us,
+            DEFAULT_TOPK_CAPACITY,
+            DEFAULT_SLOW_LOG_CAPACITY,
+        )
+    }
+
+    /// A recorder with explicit sketch and slow-log capacities.
+    pub fn with_capacities(
+        registry: Arc<Registry>,
+        slow_threshold_us: u64,
+        topk_capacity: usize,
+        slow_capacity: usize,
+    ) -> Self {
+        Workload {
+            registry,
+            slow_threshold_us,
+            inner: Mutex::new(WorkloadInner {
+                topk: SpaceSaving::new(topk_capacity),
+                endpoints: BTreeMap::new(),
+                slow: VecDeque::with_capacity(slow_capacity.max(1)),
+                slow_capacity: slow_capacity.max(1),
+                recorded: 0,
+            }),
+        }
+    }
+
+    /// The slow-log threshold, microseconds.
+    pub fn slow_threshold_us(&self) -> u64 {
+        self.slow_threshold_us
+    }
+
+    /// Records one served request. `endpoint` must already be
+    /// normalized to a bounded set (the caller knows its routes);
+    /// `key` is the hot-key dimension within the endpoint (prefix,
+    /// series name — empty for keyless endpoints); `target` is the
+    /// raw path+query kept only if the request enters the slow log.
+    #[allow(clippy::too_many_arguments)] // hot-path record; a builder would cost an alloc
+    pub fn record(
+        &self,
+        endpoint: &str,
+        key: &str,
+        target: &str,
+        micros: u64,
+        response_bytes: u64,
+        status: u16,
+        trace: u64,
+    ) {
+        let mut inner = self.inner.lock().expect("workload poisoned");
+        inner.recorded += 1;
+        inner.topk.record(endpoint, key);
+        if !inner.endpoints.contains_key(endpoint) {
+            let latency = self.registry.histogram_with(
+                "moas_endpoint_duration_us",
+                &[("endpoint", endpoint)],
+                "Request service time by normalized endpoint.",
+            );
+            let bytes = self.registry.histogram_with(
+                "moas_endpoint_response_bytes",
+                &[("endpoint", endpoint)],
+                "Response body size by normalized endpoint.",
+            );
+            inner.endpoints.insert(
+                endpoint.to_string(),
+                EndpointStats {
+                    latency,
+                    bytes,
+                    count: 0,
+                },
+            );
+        }
+        let stats = inner.endpoints.get_mut(endpoint).expect("just inserted");
+        stats.latency.observe(micros);
+        stats.bytes.observe(response_bytes);
+        stats.count += 1;
+        if micros >= self.slow_threshold_us {
+            let entry = SlowQuery {
+                unix_ms: crate::tsdb::unix_now() * 1_000,
+                endpoint: endpoint.to_string(),
+                target: target.to_string(),
+                micros,
+                status,
+                trace,
+            };
+            if inner.slow.len() == inner.slow_capacity {
+                inner.slow.pop_front();
+            }
+            inner.slow.push_back(entry);
+        }
+    }
+
+    /// The current report, hot keys capped at `top_limit`.
+    pub fn report(&self, top_limit: usize) -> WorkloadReport {
+        let inner = self.inner.lock().expect("workload poisoned");
+        let endpoints = inner
+            .endpoints
+            .iter()
+            .map(|(endpoint, stats)| {
+                let lat = stats.latency.snapshot();
+                let bytes = stats.bytes.snapshot();
+                EndpointReport {
+                    endpoint: endpoint.clone(),
+                    count: stats.count,
+                    p50_us: lat.quantile(0.50),
+                    p99_us: lat.quantile(0.99),
+                    p99_bytes: bytes.quantile(0.99),
+                }
+            })
+            .collect();
+        WorkloadReport {
+            recorded: inner.recorded,
+            top: inner.topk.top(top_limit),
+            endpoints,
+            slow: inner.slow.iter().cloned().collect(),
+            slow_threshold_us: self.slow_threshold_us,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn space_saving_never_undercounts_heavy_hitters() {
+        let mut sketch = SpaceSaving::new(4);
+        // 60 hits on the heavy key, noise spread over 20 cold keys.
+        for i in 0..60 {
+            sketch.record("/v1/prefix/{prefix}", "10.0.0.0/8");
+            sketch.record("/v1/prefix/{prefix}", &format!("cold-{}", i % 20));
+        }
+        let top = sketch.top(4);
+        assert_eq!(top[0].key, "10.0.0.0/8");
+        // Space-saving guarantees count ≥ true count, error-bounded.
+        assert!(top[0].count >= 60, "heavy hitter count {}", top[0].count);
+        assert!(top[0].count - top[0].error <= 60);
+        assert_eq!(sketch.counts.len(), 4, "sketch stays bounded");
+    }
+
+    #[test]
+    fn workload_records_histograms_slow_log_and_report() {
+        let registry = Arc::new(Registry::new());
+        let workload = Workload::new(Arc::clone(&registry), 10_000);
+        for _ in 0..9 {
+            workload.record(
+                "/v1/prefix/{prefix}",
+                "10.0.0.0/8",
+                "/v1/prefix/10.0.0.0%2F8",
+                500,
+                2_000,
+                200,
+                0,
+            );
+        }
+        workload.record(
+            "/v1/history",
+            "",
+            "/v1/history?origins=2",
+            25_000,
+            100_000,
+            200,
+            77,
+        );
+        let report = workload.report(10);
+        assert_eq!(report.recorded, 10);
+        assert_eq!(report.top[0].endpoint, "/v1/prefix/{prefix}");
+        assert_eq!(report.top[0].count, 9);
+        assert_eq!(report.slow.len(), 1, "only the 25ms query is slow");
+        assert_eq!(report.slow[0].trace, 77);
+        assert_eq!(report.slow[0].endpoint, "/v1/history");
+        let history = report
+            .endpoints
+            .iter()
+            .find(|e| e.endpoint == "/v1/history")
+            .unwrap();
+        assert_eq!(history.count, 1);
+        assert!(history.p99_us.unwrap() >= 25_000);
+        // The histograms are on the shared registry for scraping.
+        let text = registry.render_prometheus();
+        assert!(text.contains("moas_endpoint_duration_us"));
+        assert!(text.contains("moas_endpoint_response_bytes"));
+    }
+
+    #[test]
+    fn slow_log_is_a_bounded_ring() {
+        let registry = Arc::new(Registry::new());
+        let workload = Workload::with_capacities(registry, 0, 8, 3);
+        for i in 0..10u64 {
+            workload.record("/metrics", "", "/metrics", i, 10, 200, 0);
+        }
+        let report = workload.report(5);
+        let kept: Vec<u64> = report.slow.iter().map(|s| s.micros).collect();
+        assert_eq!(kept, vec![7, 8, 9], "oldest entries evicted first");
+    }
+}

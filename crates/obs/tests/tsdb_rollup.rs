@@ -1,0 +1,141 @@
+//! Property test for tsdb fine→coarse tier rollup continuity: the
+//! coarse tier's slot means across the 10s→5min boundary must agree
+//! with a reference fold of the raw samples that landed in each
+//! coarse bucket, and a query spanning the boundary must hand the
+//! covered window to the fine tier without gaps or double counting.
+
+use moas_obs::{Registry, Tsdb, TsdbConfig};
+use proptest::prelude::*;
+
+/// Small two-tier geometry with the production 1:30 step ratio shape
+/// (10 s fine, 5 slots of fine per coarse slot): a 60 s fine window
+/// over a 600 s coarse window keeps the proptest cases fast while
+/// still rotating both rings.
+fn small_config() -> TsdbConfig {
+    TsdbConfig {
+        fine_step_secs: 10,
+        fine_slots: 6,
+        coarse_step_secs: 50,
+        coarse_slots: 12,
+    }
+}
+
+proptest! {
+    #[test]
+    fn coarse_means_agree_with_a_reference_fold(
+        values in prop::collection::vec(0u64..100_000, 8..40),
+        start_bucket in 1_000u64..1_000_000,
+    ) {
+        let cfg = small_config();
+        let registry = Registry::new();
+        let gauge = registry.gauge("rollup_probe", "Rollup probe.");
+        let db = Tsdb::new(cfg);
+        // One sample per fine step, gauges driven by the generated
+        // values — the exact stream the reference fold sees.
+        let start = start_bucket * cfg.fine_step_secs;
+        let mut samples: Vec<(u64, f64)> = Vec::new();
+        for (i, v) in values.iter().enumerate() {
+            let now = start + i as u64 * cfg.fine_step_secs;
+            gauge.set(*v);
+            db.sample(&registry, now);
+            samples.push((now, *v as f64));
+        }
+        let now = start + (values.len() as u64 - 1) * cfg.fine_step_secs;
+
+        // Reference fold: group raw samples by coarse bucket, mean.
+        let mut reference: std::collections::BTreeMap<u64, (f64, u32)> =
+            std::collections::BTreeMap::new();
+        for &(ts, v) in &samples {
+            let e = reference.entry(ts / cfg.coarse_step_secs).or_insert((0.0, 0));
+            e.0 += v;
+            e.1 += 1;
+        }
+
+        let range = cfg.coarse_step_secs * cfg.coarse_slots as u64;
+        let series = db.query("rollup_probe", range, now);
+        prop_assert_eq!(series.len(), 1);
+        let points = &series[0].points;
+
+        // Continuity: strictly increasing timestamps, no duplicates.
+        for pair in points.windows(2) {
+            prop_assert!(pair[0].0 < pair[1].0, "sorted, deduped: {:?}", points);
+        }
+
+        let fine_window = cfg.fine_step_secs * cfg.fine_slots as u64;
+        let fine_floor = now.saturating_sub(fine_window);
+        for &(ts, value) in points {
+            if ts < fine_floor {
+                // Coarse-tier point: must be the reference mean of the
+                // raw samples in its bucket, timestamped at the bucket.
+                prop_assert_eq!(ts % cfg.coarse_step_secs, 0, "coarse ts aligned");
+                let (sum, count) = reference[&(ts / cfg.coarse_step_secs)];
+                let mean = sum / count as f64;
+                prop_assert!(
+                    (value - mean).abs() < 1e-9,
+                    "coarse slot at {} is {} but reference fold says {}",
+                    ts, value, mean
+                );
+            } else {
+                // Fine-tier point: must be the raw sample itself.
+                let raw = samples.iter().find(|(t, _)| *t == ts);
+                prop_assert_eq!(raw.map(|(_, v)| *v), Some(value));
+            }
+        }
+
+        // Coverage across the boundary: every raw sample still inside
+        // the fine window is answered verbatim, and every wholly
+        // aged-out coarse bucket that the ring still holds is
+        // answered as a mean — the boundary loses nothing the rings
+        // still cover.
+        let answered: std::collections::BTreeSet<u64> =
+            points.iter().map(|(ts, _)| *ts).collect();
+        for &(ts, _) in &samples {
+            if ts >= fine_floor && ts / cfg.fine_step_secs + (cfg.fine_slots as u64) > now / cfg.fine_step_secs {
+                prop_assert!(answered.contains(&ts), "fine sample at {} missing", ts);
+            }
+        }
+        let oldest_live_coarse = (now / cfg.coarse_step_secs + 1)
+            .saturating_sub(cfg.coarse_slots as u64);
+        for (&bucket, _) in reference.iter() {
+            let ts = bucket * cfg.coarse_step_secs;
+            // Buckets fully older than the fine floor and still in the
+            // coarse ring must be present.
+            if bucket >= oldest_live_coarse && ts + cfg.coarse_step_secs <= fine_floor {
+                prop_assert!(
+                    answered.contains(&ts),
+                    "coarse bucket at {} lost across the boundary",
+                    ts
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn rollup_of_a_constant_series_is_the_constant(
+        value in 0u64..1_000_000,
+        ticks in 10usize..40,
+    ) {
+        // Means of a constant must be the constant in both tiers — the
+        // cheapest possible distortion detector.
+        let cfg = small_config();
+        let registry = Registry::new();
+        let gauge = registry.gauge("flat_probe", "Flat probe.");
+        let db = Tsdb::new(cfg);
+        let start = 50_000u64;
+        gauge.set(value);
+        let mut now = start;
+        for i in 0..ticks {
+            now = start + i as u64 * cfg.fine_step_secs;
+            db.sample(&registry, now);
+        }
+        let series = db.query("flat_probe", cfg.coarse_step_secs * cfg.coarse_slots as u64, now);
+        prop_assert_eq!(series.len(), 1);
+        for &(ts, v) in &series[0].points {
+            prop_assert!(
+                (v - value as f64).abs() < 1e-9,
+                "constant distorted at {}: {} != {}",
+                ts, v, value
+            );
+        }
+    }
+}

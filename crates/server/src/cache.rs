@@ -141,6 +141,24 @@ impl ResponseCache {
         }
     }
 
+    /// Approximate retained bytes: keys plus response bodies plus
+    /// per-entry bookkeeping. The
+    /// `moas_resource_bytes{component="cache"}` probe; the capacity
+    /// bound keeps the walk trivially cheap.
+    pub fn approx_bytes(&self) -> u64 {
+        let inner = self.inner.lock().expect("cache lock poisoned");
+        inner
+            .map
+            .iter()
+            .map(|(key, entry)| {
+                (key.len()
+                    + entry.response.body.len()
+                    + std::mem::size_of::<Entry>()
+                    + std::mem::size_of::<Response>()) as u64
+            })
+            .sum()
+    }
+
     /// Current counters.
     pub fn stats(&self) -> CacheStats {
         let entries = self.inner.lock().expect("cache lock poisoned").map.len() as u64;

@@ -33,7 +33,12 @@
 //!   `/v1/metrics`), plus the self-monitoring surface (`/v1/alerts`,
 //!   `/v1/series`, `/v1/trace/{id}`, `/v1/traces`) when a
 //!   [`moas_obs::Tsdb`] + [`moas_obs::AlertEngine`] pair is attached
-//!   via [`QueryService::with_self_monitor`].
+//!   via [`QueryService::with_self_monitor`], and the profiling &
+//!   workload surface — flamegraph-ready folded stacks at
+//!   `/v1/profile` ([`QueryService::with_profiler`]), query analytics
+//!   at `/v1/workload` (always on), per-thread CPU and component byte
+//!   gauges folded into `/metrics` ([`QueryService::with_cpu_ledger`],
+//!   [`QueryService::with_resources`]).
 //! * [`cache`] — the epoch-keyed LRU response cache: hot queries cost
 //!   one `Arc` clone; every epoch advance invalidates wholesale.
 //! * [`metrics`] — [`metrics::ServerMetrics`]: request and connection

@@ -25,6 +25,8 @@
 //! | `/v1/series?name=&range=` | in-process tsdb points for one series |
 //! | `/v1/trace/{id}` | one trace's span tree (hex trace id) |
 //! | `/v1/traces?slow=N` | slowest recorded root spans |
+//! | `/v1/profile?range=` | folded flamegraph stacks (`format=json` for per-stage self/total time) |
+//! | `/v1/workload` | query workload analytics: hot keys, per-endpoint latency, slow-query log |
 //! | `/metrics` | Prometheus text exposition of the shared registry |
 //! | `/healthz` | liveness: 200 whenever the process answers |
 //! | `/readyz` | readiness: 200 once an epoch is published, the feed (if any) is not lagging, and no page-severity alert fires |
@@ -37,7 +39,9 @@ use moas_history::service::{HistoryReader, HistorySnapshot};
 use moas_history::{ConflictStore, RoleHandle, ServiceRole, ValidityConfig, Verdict};
 use moas_monitor::metrics::EngineMetrics;
 use moas_net::{Date, Prefix};
-use moas_obs::{AlertEngine, Counter, Histogram, Registry, Tsdb};
+use moas_obs::{
+    AlertEngine, Counter, CpuLedger, Histogram, Profiler, Registry, ResourceLedger, Tsdb, Workload,
+};
 use serde::{Serialize, Value};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::str::FromStr;
@@ -80,6 +84,17 @@ pub struct QueryService {
     /// ([`QueryService::with_role`]): `/v1/stats` reports it and
     /// `/readyz` checks replica staleness through it.
     role: Option<RoleHandle>,
+    /// Profiling attachments ([`QueryService::with_profiler`],
+    /// [`QueryService::with_cpu_ledger`],
+    /// [`QueryService::with_resources`]): the continuous profiler
+    /// behind `/v1/profile`, and the CPU/resource ledgers sampled on
+    /// every `/metrics` scrape so their gauges are never stale.
+    profiler: Option<Arc<Profiler>>,
+    cpu: Option<Arc<CpuLedger>>,
+    resources: Option<Arc<ResourceLedger>>,
+    /// Always-on workload analytics behind `/v1/workload`: every
+    /// served request is recorded by normalized endpoint.
+    workload: Workload,
     /// Meta-observability: cost of `/metrics` scrapes themselves.
     scrapes: Counter,
     scrape_duration: Histogram,
@@ -100,11 +115,20 @@ impl QueryService {
         config: ServerConfig,
         registry: Arc<Registry>,
     ) -> Self {
+        moas_obs::resource::register_process_metrics(&registry);
+        // slow_request_micros == 0 disables slow-request journaling;
+        // the workload slow log follows the same convention.
+        let slow = if config.slow_request_micros == 0 {
+            u64::MAX
+        } else {
+            config.slow_request_micros
+        };
         QueryService {
             reader,
             cache: ResponseCache::new(config.cache_capacity),
             config,
             metrics: ServerMetrics::new(&registry),
+            workload: Workload::new(Arc::clone(&registry), slow),
             scrapes: registry.counter(
                 "moas_scrapes_total",
                 "Prometheus exposition renders served under /metrics.",
@@ -119,6 +143,9 @@ impl QueryService {
             tsdb: None,
             alerts: None,
             role: None,
+            profiler: None,
+            cpu: None,
+            resources: None,
         }
     }
 
@@ -162,6 +189,38 @@ impl QueryService {
         self
     }
 
+    /// Attaches the continuous profiler, served under `/v1/profile`
+    /// (folded flamegraph stacks, `format=json` for per-stage
+    /// aggregates). Without one the route answers 404.
+    pub fn with_profiler(mut self, profiler: Arc<Profiler>) -> Self {
+        self.profiler = Some(profiler);
+        self
+    }
+
+    /// Attaches the per-thread CPU ledger; it is sampled on every
+    /// `/metrics` scrape so `moas_thread_cpu_seconds_total` is always
+    /// current at scrape time (a background [`moas_obs::Sampler`]
+    /// hook normally also drives it on the tsdb cadence).
+    pub fn with_cpu_ledger(mut self, cpu: Arc<CpuLedger>) -> Self {
+        self.cpu = Some(cpu);
+        self
+    }
+
+    /// Attaches the component byte ledger; like the CPU ledger it is
+    /// re-sampled on every `/metrics` scrape, so
+    /// `moas_resource_bytes{component=...}` and process RSS are
+    /// current in every exposition.
+    pub fn with_resources(mut self, resources: Arc<ResourceLedger>) -> Self {
+        self.resources = Some(resources);
+        self
+    }
+
+    /// The workload analytics recorder (exposed for wiring sites that
+    /// want to record non-HTTP work against the same sketches).
+    pub fn workload(&self) -> &Workload {
+        &self.workload
+    }
+
     /// The server-side counters (shared with the connection layer).
     pub fn metrics(&self) -> &ServerMetrics {
         &self.metrics
@@ -170,6 +229,12 @@ impl QueryService {
     /// Response-cache counters.
     pub fn cache_stats(&self) -> CacheStats {
         self.cache.stats()
+    }
+
+    /// Approximate response-cache footprint — what the
+    /// `moas_resource_bytes{component="cache"}` probe reports.
+    pub fn cache_bytes(&self) -> u64 {
+        self.cache.approx_bytes()
     }
 
     /// The tuning knobs this service runs with.
@@ -232,6 +297,8 @@ impl QueryService {
             "/v1/alerts" => self.alerts_route(),
             "/v1/series" => self.series_route(req),
             "/v1/traces" => self.traces_route(req),
+            "/v1/profile" => self.profile_route(req),
+            "/v1/workload" => self.workload_route(req),
             "/metrics" => Ok(self.prometheus_route()),
             "/healthz" => Ok(Response::ok_text("ok\n".to_string())),
             "/readyz" => Ok(self.readyz_route(snap)),
@@ -515,6 +582,15 @@ impl QueryService {
         // exposition on the next pull.
         let started = std::time::Instant::now();
         self.scrapes.inc();
+        // Pull-model ledgers refresh at scrape time: thread CPU and
+        // component bytes in the exposition are of *now*, not of the
+        // last background tick.
+        if let Some(cpu) = &self.cpu {
+            cpu.sample();
+        }
+        if let Some(resources) = &self.resources {
+            resources.sample();
+        }
         let mut body = self.registry.render_prometheus();
         if let Some(engine) = &self.engine {
             let theirs = engine.registry();
@@ -660,6 +736,16 @@ impl QueryService {
             })?
             .to_string();
         let range: u64 = param(req, "range", 3_600)?;
+        // An unknown series is a 404, not an empty answer: an empty
+        // 200 is indistinguishable from "known series, idle window",
+        // and dashboards typo'ing a name must fail loudly.
+        if !tsdb.series_names().contains(&name) {
+            return Err(Response::error(
+                404,
+                "not_found",
+                &format!("series {name:?} not found (never sampled on this server)"),
+            ));
+        }
         let now = moas_obs::tsdb::unix_now();
         let series = tsdb
             .query(&name, range, now)
@@ -734,6 +820,117 @@ impl QueryService {
         )])))
     }
 
+    /// The continuous wall-clock profile over `range` seconds
+    /// (default 600). The default rendering is flamegraph.pl folded
+    /// stacks (`stage;child weight` lines, weight = self-time µs) —
+    /// pipe straight into `flamegraph.pl`; `format=json` answers
+    /// per-stage self/total/count aggregates instead.
+    fn profile_route(&self, req: &Request) -> Result<Response, Response> {
+        let profiler = self.profiler.as_ref().ok_or_else(|| {
+            Response::error(404, "not_found", "no profiler attached to this server")
+        })?;
+        let range: u64 = param(req, "range", 600)?;
+        let now = moas_obs::tsdb::unix_now();
+        // Fold whatever accumulated in the span ring since the last
+        // collection, so the answer includes work finished an instant
+        // ago even between background ticks.
+        profiler.collect();
+        match req.query_value("format") {
+            None | Some("folded") => Ok(Response::ok_text(profiler.folded(range, now))),
+            Some("json") => {
+                let stages = profiler
+                    .stages(range, now)
+                    .into_iter()
+                    .map(|(stage, agg)| {
+                        Value::Object(vec![
+                            ("stage".into(), Value::String(stage)),
+                            ("self_us".into(), Value::U64(agg.self_us)),
+                            ("total_us".into(), Value::U64(agg.total_us)),
+                            ("count".into(), Value::U64(agg.count)),
+                        ])
+                    })
+                    .collect();
+                Ok(json(&Value::Object(vec![
+                    ("range_secs".into(), Value::U64(range)),
+                    ("now_unix".into(), Value::U64(now)),
+                    ("spans_dropped".into(), Value::U64(profiler.spans_dropped())),
+                    ("stages".into(), Value::Array(stages)),
+                ])))
+            }
+            Some(other) => Err(Response::error(
+                400,
+                "bad_request",
+                &format!(
+                    "bad value {other:?} for parameter \"format\": expected \"folded\" or \"json\""
+                ),
+            )),
+        }
+    }
+
+    /// Query workload analytics: the hot-key sketch (`?top=` bounds
+    /// it, default 20, max 100), per-endpoint latency/size
+    /// aggregates, and the slow-query log with trace ids.
+    fn workload_route(&self, req: &Request) -> Result<Response, Response> {
+        let limit: usize = param(req, "top", 20)?;
+        let report = self.workload.report(limit.min(100));
+        let top = report
+            .top
+            .into_iter()
+            .map(|t| {
+                Value::Object(vec![
+                    ("endpoint".into(), Value::String(t.endpoint)),
+                    ("key".into(), Value::String(t.key)),
+                    ("count".into(), Value::U64(t.count)),
+                    ("error".into(), Value::U64(t.error)),
+                ])
+            })
+            .collect();
+        let endpoints = report
+            .endpoints
+            .into_iter()
+            .map(|e| {
+                Value::Object(vec![
+                    ("endpoint".into(), Value::String(e.endpoint)),
+                    ("count".into(), Value::U64(e.count)),
+                    ("p50_us".into(), e.p50_us.map_or(Value::Null, Value::U64)),
+                    ("p99_us".into(), e.p99_us.map_or(Value::Null, Value::U64)),
+                    (
+                        "p99_bytes".into(),
+                        e.p99_bytes.map_or(Value::Null, Value::U64),
+                    ),
+                ])
+            })
+            .collect();
+        let slow = report
+            .slow
+            .into_iter()
+            .map(|s| {
+                let mut row = vec![
+                    ("unix_ms".into(), Value::U64(s.unix_ms)),
+                    ("endpoint".into(), Value::String(s.endpoint)),
+                    ("target".into(), Value::String(s.target)),
+                    ("micros".into(), Value::U64(s.micros)),
+                    ("status".into(), Value::U64(s.status as u64)),
+                ];
+                if s.trace != 0 {
+                    // Hex, matching what /v1/trace/{id} accepts.
+                    row.push(("trace".into(), Value::String(format!("{:x}", s.trace))));
+                }
+                Value::Object(row)
+            })
+            .collect();
+        Ok(json(&Value::Object(vec![
+            ("recorded".into(), Value::U64(report.recorded)),
+            (
+                "slow_threshold_us".into(),
+                Value::U64(report.slow_threshold_us),
+            ),
+            ("top".into(), Value::Array(top)),
+            ("endpoints".into(), Value::Array(endpoints)),
+            ("slow".into(), Value::Array(slow)),
+        ])))
+    }
+
     /// Records a completed request's latency, journaling it when it
     /// crossed the slow-request threshold. `trace` is the request's
     /// trace id (0 when unsampled) — the journal entry carries it, so
@@ -753,8 +950,26 @@ impl QueryService {
         events
     }
 
-    pub(crate) fn note_request(&self, path: &str, micros: u64, trace: u64) {
+    pub(crate) fn note_request(
+        &self,
+        req: &Request,
+        status: u16,
+        response_bytes: u64,
+        micros: u64,
+        trace: u64,
+    ) {
         self.metrics.record_latency(micros);
+        let path = req.path.as_str();
+        let (endpoint, key) = normalize_endpoint(req);
+        self.workload.record(
+            endpoint,
+            &key,
+            &req.canonical_query(),
+            micros,
+            response_bytes,
+            status,
+            trace,
+        );
         let slow = self.config.slow_request_micros;
         if slow > 0 && micros >= slow {
             self.registry.journal().record_with_trace(
@@ -799,10 +1014,51 @@ fn is_cacheable(path: &str) -> bool {
             | "/v1/alerts"
             | "/v1/series"
             | "/v1/traces"
+            | "/v1/profile"
+            | "/v1/workload"
             | "/metrics"
             | "/healthz"
             | "/readyz"
     ) && !path.starts_with("/v1/trace/")
+}
+
+/// Folds a request onto a bounded (endpoint, key) pair for workload
+/// accounting: path parameters become placeholders (the endpoint set
+/// stays finite no matter what clients ask for) and the interesting
+/// dimension of each route becomes the hot-key `key` — the prefix for
+/// point lookups, the series name for tsdb reads, the date for
+/// per-day scans. Unrouted paths all pool under `"other"`.
+fn normalize_endpoint(req: &Request) -> (&'static str, String) {
+    const STATIC_ROUTES: &[&str] = &[
+        "/v1/stats",
+        "/v1/validity",
+        "/v1/timeline",
+        "/v1/metrics",
+        "/v1/feed",
+        "/v1/events/log",
+        "/v1/events/stream",
+        "/v1/alerts",
+        "/v1/traces",
+        "/v1/profile",
+        "/v1/workload",
+        "/metrics",
+        "/healthz",
+        "/readyz",
+    ];
+    let path = req.path.as_str();
+    let keyed = |name: &str| req.query_value(name).unwrap_or_default().to_string();
+    if let Some(&endpoint) = STATIC_ROUTES.iter().find(|&&r| r == path) {
+        return (endpoint, String::new());
+    }
+    match path {
+        "/v1/conflicts" => ("/v1/conflicts", keyed("date")),
+        "/v1/series" => ("/v1/series", keyed("name")),
+        p if p.starts_with("/v1/prefix/") => {
+            ("/v1/prefix/{prefix}", p["/v1/prefix/".len()..].to_string())
+        }
+        p if p.starts_with("/v1/trace/") => ("/v1/trace/{id}", String::new()),
+        _ => ("other", String::new()),
+    }
 }
 
 /// One span as a JSON row (trace ids in hex, everything else

@@ -96,6 +96,7 @@ impl QueryServer {
                 std::thread::Builder::new()
                     .name(format!("moas-serve-worker-{i}"))
                     .spawn(move || {
+                        let _registered = moas_obs::prof::register_thread();
                         while let Some(stream) = queue.pop() {
                             // A broken connection only ends that
                             // connection, never the worker.
@@ -111,6 +112,7 @@ impl QueryServer {
             std::thread::Builder::new()
                 .name("moas-serve-accept".into())
                 .spawn(move || {
+                    let _registered = moas_obs::prof::register_thread();
                     for incoming in listener.incoming() {
                         if queue.stop.load(Ordering::Acquire) {
                             break;
@@ -302,7 +304,13 @@ fn serve_connection(
         metrics.stage_serialize.observe_duration(write_elapsed);
         tracer.record_child(ctx, "request_serialize", write_elapsed);
         span.finish();
-        service.note_request(&req.path, started.elapsed().as_micros() as u64, ctx.trace);
+        service.note_request(
+            &req,
+            response.status,
+            response.body.len() as u64,
+            started.elapsed().as_micros() as u64,
+            ctx.trace,
+        );
         metrics.record_status(response.status);
         drop(in_flight);
         write?;

@@ -13,7 +13,7 @@ use moas_history::{HistoryService, RetentionPolicy, ServiceConfig};
 use moas_lab::study::{Study, StudyConfig};
 use moas_mrt::snapshot::DumpFormat;
 use moas_net::Date;
-use moas_obs::{tsdb::unix_now, AlertEngine, Tsdb};
+use moas_obs::{tsdb::unix_now, AlertEngine, CpuLedger, Profiler, ResourceLedger, Tsdb};
 use moas_routeviews::{write_window_archive, BackgroundMode, Collector};
 use moas_serve::{QueryServer, QueryService, ServerConfig};
 use serde::Value;
@@ -93,7 +93,46 @@ fn main() -> std::io::Result<()> {
     let tsdb = Arc::new(Tsdb::default());
     let alerts = Arc::new(AlertEngine::new(Arc::clone(&registry), Arc::clone(&tsdb)));
     query = query.with_self_monitor(Arc::clone(&tsdb), Arc::clone(&alerts));
+    // The profiling & resource-attribution layer: the continuous
+    // wall-clock profiler over the span ring, the per-thread CPU
+    // ledger, and the component byte ledger with one probe per
+    // retaining subsystem. A deployment drives all three from the
+    // background `Sampler`'s on_tick; /metrics and /v1/profile also
+    // refresh them at request time, which is what this example relies
+    // on.
+    let profiler = Arc::new(Profiler::new(Arc::clone(&registry)));
+    let cpu = Arc::new(CpuLedger::new(Arc::clone(&registry)));
+    let resources = Arc::new(ResourceLedger::new(Arc::clone(&registry)));
+    let store_reader = service.reader();
+    resources.probe("store", move || {
+        store_reader.snapshot().stats().retained_bytes
+    });
+    let tsdb_probe = Arc::clone(&tsdb);
+    resources.probe("tsdb", move || tsdb_probe.approx_bytes());
+    let journal_registry = Arc::clone(&registry);
+    resources.probe("journal", move || journal_registry.journal().approx_bytes());
+    let spans_registry = Arc::clone(&registry);
+    resources.probe("spans", move || spans_registry.tracer().approx_bytes());
+    let shard_registry = Arc::clone(&registry);
+    resources.probe("shard_state", move || {
+        shard_registry
+            .scalar_values()
+            .into_iter()
+            .filter(|(name, _, _, _)| name == "moas_shard_state_bytes")
+            .map(|(_, _, _, v)| v as u64)
+            .sum()
+    });
+    query = query
+        .with_profiler(Arc::clone(&profiler))
+        .with_cpu_ledger(Arc::clone(&cpu))
+        .with_resources(Arc::clone(&resources));
     let query = Arc::new(query);
+    // The cache probe needs the finished service; a Weak keeps the
+    // ledger from cycling ownership back into it.
+    let cache_query = Arc::downgrade(&query);
+    resources.probe("cache", move || {
+        cache_query.upgrade().map_or(0, |q| q.cache_bytes())
+    });
     let server = QueryServer::bind("127.0.0.1:0", Arc::clone(&query))?;
     let addr = server.local_addr();
     println!("   listening on {addr}");
@@ -200,6 +239,66 @@ fn main() -> std::io::Result<()> {
         body.contains("\"request_route\""),
         "the span tree names its pipeline stages"
     );
+
+    println!("== profiling: folded stacks, thread CPU, resource ledger ==");
+    let (status, body) = get(addr, "/v1/profile?range=600")?;
+    assert_eq!(status, 200);
+    let folded_lines = body.lines().count();
+    println!("   GET /v1/profile?range=600: {folded_lines} folded stacks, e.g.:");
+    for line in body.lines().take(3) {
+        println!("      {line}");
+    }
+    assert!(
+        body.lines().any(|l| l.contains("request_route")),
+        "request spans appear in the folded profile"
+    );
+    let (status, body) = get(addr, "/v1/profile?range=600&format=json")?;
+    assert_eq!(status, 200);
+    let doc: Value = serde_json::from_str(&body).expect("profile parses");
+    let stages = match doc.get("stages") {
+        Some(Value::Array(rows)) => rows.len(),
+        _ => 0,
+    };
+    println!("   GET /v1/profile?format=json: {stages} stages profiled");
+    assert!(stages > 0, "the profiler folded at least one stage");
+
+    let (status, body) = get(addr, "/v1/workload")?;
+    assert_eq!(status, 200);
+    let doc: Value = serde_json::from_str(&body).expect("workload parses");
+    let top = match doc.get("top") {
+        Some(Value::Array(rows)) => rows.len(),
+        _ => 0,
+    };
+    println!(
+        "   GET /v1/workload\n      {status} {}",
+        truncate(&body, 200)
+    );
+    assert!(top > 0, "the top-k sketch saw the walk above");
+
+    // The scrape itself samples the CPU and resource ledgers, so
+    // thread attribution and component bytes are fresh afterwards.
+    let (status, body) = get(addr, "/metrics")?;
+    assert_eq!(status, 200);
+    let threads = body
+        .lines()
+        .filter(|l| l.starts_with("moas_thread_cpu_seconds_total"))
+        .count();
+    let components: Vec<&str> = body
+        .lines()
+        .filter(|l| l.starts_with("moas_resource_bytes"))
+        .collect();
+    println!("   /metrics: {threads} attributed threads, component bytes:");
+    for line in &components {
+        println!("      {line}");
+    }
+    assert!(threads > 0, "named threads report CPU");
+    assert!(
+        components.iter().any(|l| l.contains("component=\"store\"")),
+        "the store probe published"
+    );
+    assert!(body.contains("moas_process_rss_bytes"));
+    assert!(body.contains("moas_build_info"));
+    assert!(body.contains("moas_process_start_time_seconds"));
 
     println!("== the cache answers repeats from the pinned epoch ==");
     get(addr, "/v1/validity?limit=3")?;
