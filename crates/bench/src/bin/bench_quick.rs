@@ -3,7 +3,8 @@
 //! Unlike the Criterion benches (tuned for precision), this binary
 //! runs a fixed small workload a few times, keeps the best run, and
 //! writes machine-readable JSON — `BENCH_monitor.json`,
-//! `BENCH_history.json`, `BENCH_server.json`, `BENCH_feed.json`, and
+//! `BENCH_history.json`, `BENCH_server.json`, `BENCH_feed.json`,
+//! `BENCH_federation.json`, and
 //! `BENCH_obs.json` — for
 //! `tools/bench_gate.rs` to compare against the checked-in baseline
 //! (`ci/bench_baseline.json`). Total runtime is a few seconds, cheap
@@ -46,6 +47,12 @@ fn main() -> std::io::Result<()> {
     write_json(&out_dir.join("BENCH_server.json"), "server", &server)?;
     let feed = bench_feed()?;
     write_json(&out_dir.join("BENCH_feed.json"), "feed", &feed)?;
+    let federation = bench_federation()?;
+    write_json(
+        &out_dir.join("BENCH_federation.json"),
+        "federation",
+        &federation,
+    )?;
     let obs = bench_obs();
     write_json(&out_dir.join("BENCH_obs.json"), "obs", &obs)?;
     Ok(())
@@ -453,6 +460,119 @@ fn bench_feed() -> std::io::Result<Vec<(&'static str, f64)>> {
     Ok(vec![
         ("catchup_files_per_sec", best_files_per_sec),
         ("update_lag_ms", best_lag_ms),
+    ])
+}
+
+/// Federation: merged catch-up over four identical archives vs the
+/// same content through one collector — merged files/s, the marginal
+/// dedup cost per duplicate update, and the §VI corroborated-validity
+/// recompute rate over the resulting store.
+fn bench_federation() -> std::io::Result<Vec<(&'static str, f64)>> {
+    use moas_feed::{Federation, FederationConfig};
+    use moas_history::ValidityConfig;
+    use moas_monitor::MonitorConfig;
+    use moas_routeviews::{SimCollectorSpec, SimFederation};
+
+    const DAYS: usize = 12;
+    // One validity report builds in well under a millisecond; batch
+    // enough passes per measurement to rise above timer noise.
+    const VALIDITY_PASSES: usize = 50;
+
+    let study = bench_study(0.02);
+    let start = study.world.window.all_days()[0].date();
+    let base = std::env::temp_dir().join(format!("moas-bench-fed-{}", std::process::id()));
+    let store = std::env::temp_dir().join(format!("moas-bench-fedstore-{}", std::process::id()));
+    std::fs::remove_dir_all(&base).ok();
+
+    let mut collector = moas_routeviews::Collector::new(&study.world, &study.peers);
+    let mut sim = SimFederation::new(
+        &mut collector,
+        &base,
+        0,
+        DAYS,
+        moas_routeviews::BackgroundMode::Sample(10),
+        vec![
+            SimCollectorSpec::new("a"),
+            SimCollectorSpec::new("b").skewed(30),
+            SimCollectorSpec::new("c").skewed(-45),
+            SimCollectorSpec::new("d").skewed(60),
+        ],
+    )?;
+    let mut records = 0u64;
+    while let Some(day) = sim.append_day()? {
+        records += day.collectors[0].as_ref().expect("no skip days").1 as u64;
+    }
+    let dirs = sim.dirs();
+    let names = ["a", "b", "c", "d"];
+
+    // One full catch-up over the first `width` collectors into a
+    // fresh store (cursors live in the store, so each run replays the
+    // whole archive). Returns elapsed seconds and the service.
+    let run = |width: usize| -> std::io::Result<(f64, Arc<HistoryService>)> {
+        std::fs::remove_dir_all(&store).ok();
+        let service = Arc::new(HistoryService::open(
+            &store,
+            ServiceConfig {
+                start_date: start,
+                daemon: false,
+                ..ServiceConfig::default()
+            },
+        )?);
+        let mut config = FederationConfig {
+            monitor: MonitorConfig::with_shards(4),
+            ..FederationConfig::new(start)
+        };
+        for (name, dir) in names.iter().zip(&dirs).take(width) {
+            config = config.collector(*name, dir);
+        }
+        let t0 = Instant::now();
+        let mut fed = Federation::open(config, Arc::clone(&service))?;
+        while !fed.poll_once()?.caught_up {}
+        let secs = t0.elapsed().as_secs_f64();
+        fed.shutdown()?;
+        Ok((secs, service))
+    };
+
+    let mut best_single = f64::MAX;
+    for _ in 0..REPS {
+        best_single = best_single.min(run(1)?.0);
+    }
+    let mut best_merged = f64::MAX;
+    let mut last_service = None;
+    for _ in 0..REPS {
+        let (secs, service) = run(4)?;
+        best_merged = best_merged.min(secs);
+        last_service = Some(service);
+    }
+    let service = last_service.expect("REPS >= 1");
+    let files_per_sec = (4 * DAYS) as f64 / best_merged;
+    // The merged run consumes four copies of every update but
+    // releases one: its extra time over the single fold, spread over
+    // the 3x`records` duplicates, is the dedup tax per duplicate.
+    let dedup_ns = ((best_merged - best_single).max(0.0) / (3 * records.max(1)) as f64) * 1e9;
+
+    let snap = service.reader().snapshot();
+    let mut best_validity_per_sec = 0f64;
+    for _ in 0..REPS {
+        let t0 = Instant::now();
+        for _ in 0..VALIDITY_PASSES {
+            black_box(snap.validity(ValidityConfig::default()).tally());
+        }
+        let secs = t0.elapsed().as_secs_f64();
+        best_validity_per_sec = best_validity_per_sec.max(VALIDITY_PASSES as f64 / secs);
+    }
+    drop(snap);
+    drop(service);
+    std::fs::remove_dir_all(&base).ok();
+    std::fs::remove_dir_all(&store).ok();
+
+    eprintln!(
+        "federation: {records} records x4 collectors over {DAYS} days, best {files_per_sec:.1} merged files/s, {dedup_ns:.1} ns/update dedup overhead, {best_validity_per_sec:.0} validity recomputes/s"
+    );
+    Ok(vec![
+        ("merged_catchup_files_per_sec", files_per_sec),
+        ("dedup_overhead_ns_per_update", dedup_ns),
+        ("validity_recompute_per_sec", best_validity_per_sec),
     ])
 }
 

@@ -20,6 +20,21 @@ use std::path::Path;
 /// File name of the cursor, in the history store directory.
 pub const CURSOR_NAME: &str = "FEED_CURSOR";
 const CURSOR_MAGIC: &str = "MFCUR001";
+/// Version-2 magic: the federated format, carrying the collector id.
+/// Version 1 is still parsed (and adopted as collector 0's position —
+/// the in-place upgrade path); a federation always rewrites v2.
+const CURSOR_MAGIC_V2: &str = "MFCUR002";
+
+/// File name of collector `id`'s cursor: collector 0 keeps the
+/// legacy `FEED_CURSOR` name (so a v1 single-follower cursor is
+/// adopted in place on upgrade), others append their id.
+pub fn cursor_name(id: u32) -> String {
+    if id == 0 {
+        CURSOR_NAME.to_string()
+    } else {
+        format!("{CURSOR_NAME}.{id}")
+    }
+}
 
 /// A follower's durable position in the collector archive.
 #[derive(Debug, Clone, PartialEq, Eq, Default)]
@@ -44,6 +59,9 @@ pub struct FeedCursor {
     /// resumed follower must run the same count — a mismatch is
     /// refused rather than silently double-counting.
     pub shards: u32,
+    /// Collector id this cursor belongs to (0 for the legacy single
+    /// follower; only rendered in the v2 format).
+    pub collector: u32,
 }
 
 impl FeedCursor {
@@ -62,8 +80,27 @@ impl FeedCursor {
         format!("{payload} crc={:08x}\n", crc32(payload.as_bytes()))
     }
 
-    /// Parses the on-disk format, verifying magic and CRC.
-    fn parse(text: &str) -> Result<FeedCursor, String> {
+    /// Serializes to the version-2 format — the v1 line plus the
+    /// `collector=` field under the `MFCUR002` magic.
+    fn render_v2(&self) -> String {
+        let payload = format!(
+            "{CURSOR_MAGIC_V2} collector={} file={} offset={} next_day={} files_done={} gaps={} records={} shards={}",
+            self.collector,
+            if self.file.is_empty() { "-" } else { &self.file },
+            self.offset,
+            self.next_day,
+            self.files_done,
+            self.gaps,
+            self.records,
+            self.shards,
+        );
+        format!("{payload} crc={:08x}\n", crc32(payload.as_bytes()))
+    }
+
+    /// Parses either on-disk format, verifying magic and CRC.
+    /// Returns the cursor and whether it was the v1 (pre-federation)
+    /// format — what tells a federation to migrate it.
+    fn parse(text: &str) -> Result<(FeedCursor, bool), String> {
         let line = text.trim_end();
         let (payload, crc_field) = line
             .rsplit_once(" crc=")
@@ -73,9 +110,11 @@ impl FeedCursor {
             return Err("crc mismatch".to_string());
         }
         let mut parts = payload.split(' ');
-        if parts.next() != Some(CURSOR_MAGIC) {
-            return Err("bad magic".to_string());
-        }
+        let v1 = match parts.next() {
+            Some(m) if m == CURSOR_MAGIC => true,
+            Some(m) if m == CURSOR_MAGIC_V2 => false,
+            _ => return Err("bad magic".to_string()),
+        };
         let mut cursor = FeedCursor::default();
         for part in parts {
             let (k, v) = part
@@ -96,13 +135,15 @@ impl FeedCursor {
                 "gaps" => cursor.gaps = num()?,
                 "records" => cursor.records = num()?,
                 "shards" => cursor.shards = num()? as u32,
+                "collector" if !v1 => cursor.collector = num()? as u32,
                 other => return Err(format!("unknown field {other:?}")),
             }
         }
-        Ok(cursor)
+        Ok((cursor, v1))
     }
 
     /// Persists atomically: write `FEED_CURSOR.tmp`, fsync, rename.
+    /// The legacy single-follower path — always the v1 format.
     pub fn persist(&self, dir: &Path) -> io::Result<()> {
         let tmp = dir.join(format!("{CURSOR_NAME}.tmp"));
         std::fs::write(&tmp, self.render())?;
@@ -112,20 +153,73 @@ impl FeedCursor {
         std::fs::rename(&tmp, dir.join(CURSOR_NAME))
     }
 
+    /// Stage one v2 cursor for an atomic multi-cursor swap: the tmp
+    /// file is written and fsynced, but not yet renamed into place.
+    /// A federation stages every collector's cursor first and only
+    /// then commits them all — no rename happens until every write
+    /// has safely hit disk.
+    pub fn stage_v2(&self, dir: &Path) -> io::Result<CursorStage> {
+        let name = cursor_name(self.collector);
+        let tmp = dir.join(format!("{name}.tmp"));
+        std::fs::write(&tmp, self.render_v2())?;
+        let f = std::fs::File::open(&tmp)?;
+        f.sync_all()?;
+        drop(f);
+        Ok(CursorStage {
+            tmp,
+            dest: dir.join(name),
+        })
+    }
+
     /// Loads the cursor if one exists. `Ok(None)` when no cursor was
     /// ever persisted (a fresh follower); a corrupt cursor is an
     /// error — resuming from a guessed position could double-count,
     /// so the caller must decide (typically: fail loudly).
     pub fn load(dir: &Path) -> io::Result<Option<FeedCursor>> {
-        let path = dir.join(CURSOR_NAME);
+        FeedCursor::load_for(dir, 0).map(|found| found.map(|(cursor, _)| cursor))
+    }
+
+    /// Loads collector `id`'s cursor if one exists, reporting whether
+    /// it was the pre-federation v1 format (only possible for
+    /// collector 0, whose file name is shared with the legacy
+    /// follower). A v2 cursor recorded for a different collector id
+    /// is refused — the store was laid out for another topology.
+    pub fn load_for(dir: &Path, id: u32) -> io::Result<Option<(FeedCursor, bool)>> {
+        let path = dir.join(cursor_name(id));
+        let bad =
+            |why: String| io::Error::new(io::ErrorKind::InvalidData, format!("{path:?}: {why}"));
         let text = match std::fs::read_to_string(&path) {
             Ok(t) => t,
             Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(None),
             Err(e) => return Err(e),
         };
-        FeedCursor::parse(&text)
-            .map(Some)
-            .map_err(|why| io::Error::new(io::ErrorKind::InvalidData, format!("{path:?}: {why}")))
+        let (mut cursor, v1) = FeedCursor::parse(&text).map_err(bad)?;
+        if v1 {
+            // A v1 cursor carries no id: it is collector 0's by
+            // definition (the file name proves it).
+            cursor.collector = 0;
+        } else if cursor.collector != id {
+            return Err(bad(format!(
+                "cursor belongs to collector {}, expected {id}",
+                cursor.collector
+            )));
+        }
+        Ok(Some((cursor, v1)))
+    }
+}
+
+/// A staged (written + fsynced, not yet renamed) v2 cursor — see
+/// [`FeedCursor::stage_v2`].
+#[derive(Debug)]
+pub struct CursorStage {
+    tmp: std::path::PathBuf,
+    dest: std::path::PathBuf,
+}
+
+impl CursorStage {
+    /// Renames the staged cursor into place (atomic per cursor).
+    pub fn commit(self) -> io::Result<()> {
+        std::fs::rename(&self.tmp, &self.dest)
     }
 }
 
@@ -153,6 +247,7 @@ mod tests {
             gaps: 1,
             records: 917,
             shards: 4,
+            collector: 0,
         };
         cursor.persist(&dir).unwrap();
         assert_eq!(FeedCursor::load(&dir).unwrap(), Some(cursor.clone()));
@@ -163,6 +258,45 @@ mod tests {
         };
         later.persist(&dir).unwrap();
         assert_eq!(FeedCursor::load(&dir).unwrap(), Some(later));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn v2_roundtrips_per_collector_and_migrates_v1_in_place() {
+        let dir = tmpdir("v2");
+        let mut cursor = FeedCursor {
+            file: "updates.20010102.0000.mrt".into(),
+            offset: 128,
+            next_day: 1,
+            files_done: 1,
+            gaps: 0,
+            records: 40,
+            shards: 4,
+            collector: 2,
+        };
+        cursor.stage_v2(&dir).unwrap().commit().unwrap();
+        assert_eq!(
+            FeedCursor::load_for(&dir, 2).unwrap(),
+            Some((cursor.clone(), false))
+        );
+        // A cursor claiming another collector's id is refused.
+        assert!(FeedCursor::load_for(&dir, 0).unwrap().is_none());
+        std::fs::rename(dir.join("FEED_CURSOR.2"), dir.join("FEED_CURSOR.3")).unwrap();
+        assert!(FeedCursor::load_for(&dir, 3).is_err());
+
+        // A v1 cursor at the legacy name is adopted as collector 0's
+        // (and flagged for migration); rewriting it lands as v2.
+        cursor.collector = 0;
+        cursor.persist(&dir).unwrap();
+        let (loaded, was_v1) = FeedCursor::load_for(&dir, 0).unwrap().unwrap();
+        assert!(was_v1);
+        assert_eq!(loaded, cursor);
+        loaded.stage_v2(&dir).unwrap().commit().unwrap();
+        let (migrated, was_v1) = FeedCursor::load_for(&dir, 0).unwrap().unwrap();
+        assert!(!was_v1, "rewrite must land in the v2 format");
+        assert_eq!(migrated, cursor);
+        // The legacy loader still reads the v2 file (same position).
+        assert_eq!(FeedCursor::load(&dir).unwrap(), Some(cursor));
         std::fs::remove_dir_all(&dir).ok();
     }
 

@@ -29,12 +29,14 @@
 #![warn(missing_docs)]
 
 pub mod cursor;
+pub mod federation;
 pub mod follower;
 pub mod layout;
 pub mod status;
 pub mod tail;
 
 pub use cursor::FeedCursor;
+pub use federation::{CollectorSpec, Federation, FederationConfig, FederationStatus};
 pub use follower::{FeedConfig, FeedFollower, FeedProgress};
 pub use layout::{parse_update_name, scan_layout, FeedFile};
 pub use status::{FeedGap, FeedStatus, FeedStatusSnapshot};

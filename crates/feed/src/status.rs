@@ -51,6 +51,14 @@ pub struct FeedStatus {
     day_files_done: Gauge,
     gaps: Mutex<Vec<FeedGap>>,
     registry: Arc<Registry>,
+    /// Collector name when this block is one vantage point of a
+    /// federation: every series carries a `collector` label (the
+    /// per-collector `moas_feed_lag_seconds{collector=...}` gauges
+    /// replace the single ambient one), gap journal events are scoped
+    /// to it, and the status JSON leads with it. `None` for the
+    /// legacy single follower — registration and JSON shape are
+    /// byte-identical to pre-federation builds.
+    collector: Option<String>,
 }
 
 impl Default for FeedStatus {
@@ -118,89 +126,113 @@ impl FeedStatus {
     /// with the monitor engine and the query server so one scrape
     /// covers the pipeline.
     pub fn new(registry: &Arc<Registry>) -> Self {
+        FeedStatus::build(registry, None)
+    }
+
+    /// A status block for one vantage point of a federation: every
+    /// series is registered with a `collector` label, so N collectors
+    /// coexist on one registry as N labeled series per family.
+    pub fn for_collector(registry: &Arc<Registry>, collector: &str) -> Self {
+        FeedStatus::build(registry, Some(collector.to_string()))
+    }
+
+    fn build(registry: &Arc<Registry>, collector: Option<String>) -> Self {
         let r = registry.as_ref();
+        let labels: Vec<(&str, &str)> = match &collector {
+            Some(name) => vec![("collector", name.as_str())],
+            None => Vec::new(),
+        };
+        let gauge = |name, help| r.gauge_with(name, &labels, help);
+        let counter = |name, help| r.counter_with(name, &labels, help);
         FeedStatus {
-            running: r.gauge("moas_feed_running", "1 while a follower drives the feed."),
-            caught_up: r.gauge(
+            running: gauge("moas_feed_running", "1 while a follower drives the feed."),
+            caught_up: gauge(
                 "moas_feed_caught_up",
                 "1 when everything discovered has been consumed.",
             ),
             current_file: Mutex::new(String::new()),
-            cursor_offset: r.gauge(
+            cursor_offset: gauge(
                 "moas_feed_cursor_offset_bytes",
                 "Durable cursor byte offset within the current file.",
             ),
-            files_done: r.gauge(
+            files_done: gauge(
                 "moas_feed_files_done",
                 "Update files fully consumed (lifetime, across restarts).",
             ),
-            files_pending: r.gauge(
+            files_pending: gauge(
                 "moas_feed_files_pending",
                 "Files discovered but not yet fully consumed.",
             ),
-            days_marked: r.gauge(
+            days_marked: gauge(
                 "moas_feed_days_marked",
                 "Day marks issued to the history service this run.",
             ),
-            records: r.gauge(
+            records: gauge(
                 "moas_feed_records",
                 "MRT records ingested (lifetime, across restarts).",
             ),
-            records_skipped: r.counter(
+            records_skipped: counter(
                 "moas_feed_records_skipped_total",
                 "Records skipped as undecodable.",
             ),
-            gap_count: r.gauge(
+            gap_count: gauge(
                 "moas_feed_gaps",
                 "Missing archive days detected (lifetime, across restarts).",
             ),
-            late_files: r.counter(
+            late_files: counter(
                 "moas_feed_late_files_total",
                 "Files that arrived after the follower passed their slot.",
             ),
-            truncated_tails: r.counter(
+            truncated_tails: counter(
                 "moas_feed_truncated_tails_total",
                 "Finalized files that ended mid-record.",
             ),
-            checkpoints: r.counter(
+            checkpoints: counter(
                 "moas_feed_checkpoints_total",
                 "Durable cursor checkpoints written.",
             ),
-            resumes: r.counter(
+            resumes: counter(
                 "moas_feed_resumes_total",
                 "Followers resumed from a persisted cursor.",
             ),
-            suppressed_duplicates: r.counter(
+            suppressed_duplicates: counter(
                 "moas_feed_suppressed_duplicates_total",
                 "Events dropped at resume as already durable.",
             ),
-            last_event_at: r.gauge(
+            last_event_at: gauge(
                 "moas_feed_last_event_timestamp_seconds",
                 "Largest update-stream timestamp ingested.",
             ),
-            lag_seconds: r.gauge(
+            lag_seconds: gauge(
                 "moas_feed_lag_seconds",
                 "Seconds the ingest position trails the newest discovered file.",
             ),
-            files_seen_total: r.counter(
+            files_seen_total: counter(
                 "moas_feed_files_seen_total",
                 "Archive files discovered by this process.",
             ),
-            files_done_total: r.counter(
+            files_done_total: counter(
                 "moas_feed_files_done_total",
                 "Archive files fully consumed by this process.",
             ),
-            day_files_seen: r.gauge(
+            day_files_seen: gauge(
                 "moas_feed_day_files_seen",
                 "Files discovered since the last day mark.",
             ),
-            day_files_done: r.gauge(
+            day_files_done: gauge(
                 "moas_feed_day_files_done",
                 "Files fully consumed since the last day mark.",
             ),
             gaps: Mutex::new(Vec::new()),
             registry: Arc::clone(registry),
+            collector,
         }
+    }
+
+    /// The collector name when this block is one federation vantage
+    /// point (`None` for the legacy single follower).
+    pub fn collector(&self) -> Option<&str> {
+        self.collector.as_deref()
     }
 
     /// The registry the feed series live on.
@@ -281,13 +313,17 @@ impl FeedStatus {
     }
 
     pub(crate) fn push_gap(&self, gap: FeedGap) {
-        self.registry.journal().record(
-            "feed_gap",
-            format!(
-                "archive day {} (day position {}) never landed",
-                gap.date, gap.day
-            ),
+        let message = format!(
+            "archive day {} (day position {}) never landed",
+            gap.date, gap.day
         );
+        match &self.collector {
+            Some(name) => self
+                .registry
+                .journal()
+                .record_with_collector("feed_gap", message, name),
+            None => self.registry.journal().record("feed_gap", message),
+        }
         let mut gaps = self.gaps.lock().expect("status lock");
         if gaps.len() >= GAP_HISTORY {
             gaps.remove(0);
@@ -323,10 +359,16 @@ impl FeedStatus {
         }
     }
 
-    /// The JSON shape `/v1/feed` serves.
+    /// The JSON shape `/v1/feed` serves. A federation vantage point
+    /// leads with its collector name; the legacy single follower's
+    /// shape is unchanged.
     pub fn to_json(&self) -> Value {
         let s = self.snapshot();
-        Value::Object(vec![
+        let mut fields = Vec::new();
+        if let Some(name) = &self.collector {
+            fields.push(("collector".into(), Value::String(name.clone())));
+        }
+        fields.extend(vec![
             ("running".into(), Value::Bool(s.running)),
             ("caught_up".into(), Value::Bool(s.caught_up)),
             (
@@ -379,7 +421,8 @@ impl FeedStatus {
                 "suppressed_duplicates".into(),
                 Value::U64(s.suppressed_duplicates),
             ),
-        ])
+        ]);
+        Value::Object(fields)
     }
 }
 

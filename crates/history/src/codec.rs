@@ -30,6 +30,7 @@ mod kind {
     pub const ORIGIN_ADDED: u8 = 2;
     pub const ORIGIN_WITHDRAWN: u8 = 3;
     pub const CLOSED: u8 = 4;
+    pub const CORROBORATED: u8 = 5;
 }
 
 /// A frame-level decode failure. The enclosing segment machinery
@@ -158,6 +159,7 @@ pub fn encode_event(ev: &SeqEvent, out: &mut Vec<u8>) -> Result<(), CodecError> 
         MonitorEvent::OriginAdded { at, .. } => (kind::ORIGIN_ADDED, *at),
         MonitorEvent::OriginWithdrawn { at, .. } => (kind::ORIGIN_WITHDRAWN, *at),
         MonitorEvent::ConflictClosed { at, .. } => (kind::CLOSED, *at),
+        MonitorEvent::OriginCorroborated { at, .. } => (kind::CORROBORATED, *at),
     };
 
     let mut body: Vec<u8> = Vec::with_capacity(PREFIX_LEN + 8);
@@ -173,6 +175,10 @@ pub fn encode_event(ev: &SeqEvent, out: &mut Vec<u8>) -> Result<(), CodecError> 
         }
         MonitorEvent::ConflictClosed { opened_at, .. } => {
             put_u32(&mut body, *opened_at);
+        }
+        MonitorEvent::OriginCorroborated { origin, mask, .. } => {
+            put_u32(&mut body, origin.value());
+            put_u64(&mut body, *mask);
         }
     }
 
@@ -253,6 +259,17 @@ pub fn decode_event(buf: &[u8], pos: &mut usize) -> Result<SeqEvent, CodecError>
             MonitorEvent::ConflictClosed {
                 prefix,
                 opened_at: get_u32(rest, 0),
+                at,
+            }
+        }
+        kind::CORROBORATED => {
+            if rest.len() != 12 {
+                return Err(CodecError::BadBodyLength(body.len()));
+            }
+            MonitorEvent::OriginCorroborated {
+                prefix,
+                origin: Asn::new(get_u32(rest, 0)),
+                mask: get_u64(rest, 4),
                 at,
             }
         }
@@ -363,6 +380,16 @@ mod tests {
                     prefix: p6,
                     opened_at: 900,
                     at: u32::MAX,
+                },
+            },
+            SeqEvent {
+                shard: 2,
+                seq: 77,
+                event: MonitorEvent::OriginCorroborated {
+                    prefix: p4,
+                    origin: Asn::new(65_000),
+                    mask: 0x8000_0000_0000_000Fu64,
+                    at: 2_500,
                 },
             },
         ]

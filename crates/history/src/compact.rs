@@ -64,9 +64,35 @@ pub struct ConflictRecord {
     pub episodes: Vec<Episode>,
     /// Origin additions/withdrawals observed inside open episodes.
     pub flap_count: u32,
+    /// Per-origin vantage bitmasks, sorted by origin: bit `c` set
+    /// means collector `c` observed the origin announced for this
+    /// prefix. Empty when corroboration was never tracked
+    /// (single-collector deployments). Masks are OR-merged across
+    /// episodes and across fold chunks, which is what makes
+    /// corroboration counts permutation-invariant in collector order.
+    pub corroboration: Vec<(Asn, u64)>,
 }
 
 impl ConflictRecord {
+    /// The corroboration count: how many distinct vantage points
+    /// observed the *least*-corroborated tracked origin. 0 means
+    /// corroboration was never tracked for this record — untracked,
+    /// not "unseen".
+    pub fn corroboration_count(&self) -> u32 {
+        self.corroboration
+            .iter()
+            .map(|&(_, mask)| mask.count_ones())
+            .min()
+            .unwrap_or(0)
+    }
+
+    /// The vantage mask for one origin (0 when untracked).
+    pub fn corroboration_mask(&self, origin: Asn) -> u64 {
+        self.corroboration
+            .binary_search_by_key(&origin, |&(o, _)| o)
+            .map(|i| self.corroboration[i].1)
+            .unwrap_or(0)
+    }
     /// Number of open episodes.
     pub fn episode_count(&self) -> u32 {
         self.episodes.len() as u32
@@ -110,6 +136,9 @@ pub struct LiveConflict {
     /// Running origin union of the open episode (withdrawn origins
     /// stay — §IV-B durations count "same ASes or not").
     pub origins: Vec<Asn>,
+    /// Latest per-origin vantage masks observed in the open episode,
+    /// sorted by origin (empty when corroboration is untracked).
+    pub masks: Vec<(Asn, u64)>,
 }
 
 /// Per-prefix replay state while compacting.
@@ -117,6 +146,7 @@ pub struct LiveConflict {
 struct LiveEpisode {
     opened_at: u32,
     origins: Vec<Asn>,
+    masks: BTreeMap<Asn, u64>,
 }
 
 /// The incremental event fold behind [`ConflictStore::from_events`]
@@ -156,6 +186,7 @@ impl Compactor {
             LiveEpisode {
                 opened_at: lc.opened_at,
                 origins: lc.origins,
+                masks: lc.masks.into_iter().collect(),
             },
         );
     }
@@ -214,6 +245,7 @@ impl Compactor {
                         LiveEpisode {
                             opened_at: e.event.at(),
                             origins: origins.clone(),
+                            masks: BTreeMap::new(),
                         },
                     );
                 }
@@ -242,6 +274,20 @@ impl Compactor {
                         ep,
                         Some(*at),
                     );
+                }
+            }
+            MonitorEvent::OriginCorroborated {
+                prefix,
+                origin,
+                mask,
+                ..
+            } => {
+                // Masks are cumulative from the engine, so "latest
+                // wins" per episode; without an open episode the
+                // sighting is stray and ignored, like other strays.
+                if let Some(ep) = self.live.get_mut(prefix) {
+                    let slot = ep.masks.entry(*origin).or_insert(0);
+                    *slot |= *mask;
                 }
             }
         }
@@ -292,6 +338,7 @@ impl Compactor {
                 prefix: *prefix,
                 opened_at: ep.opened_at,
                 origins: ep.origins.clone(),
+                masks: ep.masks.iter().map(|(&o, &m)| (o, m)).collect(),
             })
             .collect()
     }
@@ -445,6 +492,14 @@ fn close_episode(
             rec.origins.push(o);
         }
     }
+    // OR the episode's vantage masks into the record's, keeping the
+    // list sorted by origin.
+    for (origin, mask) in ep.masks {
+        match rec.corroboration.binary_search_by_key(&origin, |&(o, _)| o) {
+            Ok(i) => rec.corroboration[i].1 |= mask,
+            Err(i) => rec.corroboration.insert(i, (origin, mask)),
+        }
+    }
 }
 
 fn empty_record(prefix: Prefix) -> ConflictRecord {
@@ -453,6 +508,7 @@ fn empty_record(prefix: Prefix) -> ConflictRecord {
         origins: Vec::new(),
         episodes: Vec::new(),
         flap_count: 0,
+        corroboration: Vec::new(),
     }
 }
 
@@ -720,6 +776,91 @@ mod tests {
         assert_eq!(rec.episode_count(), 1);
         assert_eq!(rec.episodes[0].opened_at, 9_000);
         assert_eq!(store.truncated_prefixes(), &[px]);
+    }
+
+    #[test]
+    fn corroboration_masks_fold_into_records() {
+        let px = p("192.0.2.0/24");
+        let events = vec![
+            ev(
+                0,
+                MonitorEvent::ConflictOpened {
+                    prefix: px,
+                    origins: vec![Asn::new(7), Asn::new(9)],
+                    at: 100,
+                },
+            ),
+            ev(
+                1,
+                MonitorEvent::OriginCorroborated {
+                    prefix: px,
+                    origin: Asn::new(7),
+                    mask: 0b0001,
+                    at: 100,
+                },
+            ),
+            ev(
+                2,
+                MonitorEvent::OriginCorroborated {
+                    prefix: px,
+                    origin: Asn::new(9),
+                    mask: 0b0001,
+                    at: 100,
+                },
+            ),
+            ev(
+                3,
+                MonitorEvent::OriginCorroborated {
+                    prefix: px,
+                    origin: Asn::new(7),
+                    mask: 0b1011,
+                    at: 150,
+                },
+            ),
+            ev(
+                4,
+                MonitorEvent::ConflictClosed {
+                    prefix: px,
+                    opened_at: 100,
+                    at: 200,
+                },
+            ),
+            // Second episode widens origin 9 only.
+            ev(
+                5,
+                MonitorEvent::ConflictOpened {
+                    prefix: px,
+                    origins: vec![Asn::new(7), Asn::new(9)],
+                    at: 500,
+                },
+            ),
+            ev(
+                6,
+                MonitorEvent::OriginCorroborated {
+                    prefix: px,
+                    origin: Asn::new(9),
+                    mask: 0b0101,
+                    at: 550,
+                },
+            ),
+        ];
+        let store = ConflictStore::from_events(&events);
+        let rec = &store.records()[&px];
+        assert_eq!(rec.corroboration_mask(Asn::new(7)), 0b1011);
+        assert_eq!(rec.corroboration_mask(Asn::new(9)), 0b0101);
+        assert_eq!(rec.corroboration_count(), 2, "min popcount across origins");
+        // A stray corroboration without an open episode is ignored.
+        let stray = vec![ev(
+            0,
+            MonitorEvent::OriginCorroborated {
+                prefix: px,
+                origin: Asn::new(7),
+                mask: 0b1,
+                at: 10,
+            },
+        )];
+        let store = ConflictStore::from_events(&stray);
+        assert!(store.records().is_empty());
     }
 
     /// An episode still open is never pruned, no matter how old.

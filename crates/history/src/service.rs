@@ -26,7 +26,7 @@
 //!
 //! Every manifest swap publishes a new immutable [`HistoryEpoch`] —
 //! the decoded table plus the uncovered tail chunks — into an
-//! [`EpochSlot`]. A reader pins an epoch by cloning the `Arc` (a few
+//! `EpochSlot`. A reader pins an epoch by cloning the `Arc` (a few
 //! nanoseconds under the read lock) and then replays it entirely from
 //! shared immutable data: queries never block the writer, the daemon,
 //! or each other, and two snapshots of the same epoch answer

@@ -40,8 +40,12 @@ use std::path::Path;
 
 /// Extension for table files.
 pub const TABLE_EXT: &str = "mht";
-/// Table header magic (version 001 baked in).
-pub const TABLE_HEADER_MAGIC: &[u8; 8] = b"MHTAB001";
+/// Version-1 table header magic: records carry no corroboration
+/// blocks. Still read (as corroboration-untracked), never written.
+pub const TABLE_HEADER_MAGIC_V1: &[u8; 8] = b"MHTAB001";
+/// Table header magic (version 002: per-origin vantage masks in the
+/// records and live blocks).
+pub const TABLE_HEADER_MAGIC: &[u8; 8] = b"MHTAB002";
 /// Table trailer magic.
 pub const TABLE_TRAILER_MAGIC: &[u8; 8] = b"MHTTR001";
 /// Header size in bytes.
@@ -172,6 +176,12 @@ fn put_record(out: &mut Vec<u8>, rec: &ConflictRecord) {
     for ep in &rec.episodes {
         put_episode(out, ep);
     }
+    // v2: per-origin vantage masks.
+    put_u16(out, rec.corroboration.len() as u16);
+    for &(origin, mask) in &rec.corroboration {
+        put_u32(out, origin.value());
+        put_u64(out, mask);
+    }
 }
 
 /// Writes a complete table file (header, blocks, CRC trailer) and
@@ -202,6 +212,11 @@ pub fn write_table(path: &Path, data: &TableData) -> io::Result<u64> {
         put_u16(&mut buf, lc.origins.len() as u16);
         for o in &lc.origins {
             put_u32(&mut buf, o.value());
+        }
+        put_u16(&mut buf, lc.masks.len() as u16);
+        for &(origin, mask) in &lc.masks {
+            put_u32(&mut buf, origin.value());
+            put_u64(&mut buf, mask);
         }
     }
 
@@ -245,6 +260,8 @@ pub struct TableFile {
     records_base: usize,
     index_base: usize,
     index_count: usize,
+    /// False for a version-1 table (no corroboration blocks).
+    v2: bool,
 }
 
 /// Cursor-based decode helpers; every read is bounds-checked so a
@@ -253,6 +270,8 @@ pub struct TableFile {
 struct Cursor<'a> {
     buf: &'a [u8],
     pos: usize,
+    /// Whether record/live entries carry v2 corroboration blocks.
+    v2: bool,
 }
 
 impl<'a> Cursor<'a> {
@@ -295,6 +314,23 @@ impl<'a> Cursor<'a> {
         Ok(p)
     }
 
+    fn masks(&mut self) -> Result<Vec<(Asn, u64)>, TableError> {
+        if !self.v2 {
+            return Ok(Vec::new());
+        }
+        let count = self.u16()? as usize;
+        self.need(count * 12)?;
+        let mut masks = Vec::with_capacity(count);
+        for _ in 0..count {
+            let origin = Asn::new(self.u32()?);
+            let mut b = [0u8; 8];
+            b.copy_from_slice(&self.buf[self.pos..self.pos + 8]);
+            self.pos += 8;
+            masks.push((origin, u64::from_be_bytes(b)));
+        }
+        Ok(masks)
+    }
+
     fn record(&mut self) -> Result<ConflictRecord, TableError> {
         let prefix = self.prefix()?;
         let flap_count = self.u32()?;
@@ -315,11 +351,13 @@ impl<'a> Cursor<'a> {
                 closed_at: has_close.then_some(closed),
             });
         }
+        let corroboration = self.masks()?;
         Ok(ConflictRecord {
             prefix,
             origins,
             episodes,
             flap_count,
+            corroboration,
         })
     }
 }
@@ -333,9 +371,14 @@ impl TableFile {
             .and_then(|mut f| f.read_to_end(&mut bytes))
             .map_err(TableError::Io)?;
 
-        if bytes.len() < TABLE_HEADER_LEN + TABLE_TRAILER_LEN || &bytes[..8] != TABLE_HEADER_MAGIC {
+        if bytes.len() < TABLE_HEADER_LEN + TABLE_TRAILER_LEN {
             return Err(TableError::BadHeader);
         }
+        let v2 = match &bytes[..8] {
+            m if m == TABLE_HEADER_MAGIC => true,
+            m if m == TABLE_HEADER_MAGIC_V1 => false,
+            _ => return Err(TableError::BadHeader),
+        };
         let trailer = &bytes[bytes.len() - TABLE_TRAILER_LEN..];
         if &trailer[..8] != TABLE_TRAILER_MAGIC {
             return Err(TableError::BadTrailer);
@@ -354,6 +397,7 @@ impl TableFile {
         let mut cur = Cursor {
             buf: &bytes[..bytes.len() - TABLE_TRAILER_LEN],
             pos: TABLE_HEADER_LEN,
+            v2,
         };
         let record_count = cur.u32()? as usize;
         let records_base = cur.pos;
@@ -367,6 +411,7 @@ impl TableFile {
             let n = cur.u16()? as usize;
             cur.need(n * 4)?;
             cur.pos += n * 4;
+            cur.masks()?;
         }
         let affinity_count = cur.u32()? as usize;
         cur.need(affinity_count * (PREFIX_LEN + 12))?;
@@ -388,6 +433,7 @@ impl TableFile {
             records_base,
             index_base,
             index_count,
+            v2,
         })
     }
 
@@ -422,6 +468,7 @@ impl TableFile {
                     let mut cur = Cursor {
                         buf: &self.bytes[..self.index_base],
                         pos: self.records_base + offset as usize,
+                        v2: self.v2,
                     };
                     return Ok(Some(cur.record()?));
                 }
@@ -441,6 +488,7 @@ impl TableFile {
         let mut cur = Cursor {
             buf: &self.bytes[..end],
             pos: TABLE_HEADER_LEN,
+            v2: self.v2,
         };
         let record_count = cur.u32()? as usize;
         let mut records = Vec::with_capacity(record_count);
@@ -457,10 +505,12 @@ impl TableFile {
             for _ in 0..n {
                 origins.push(Asn::new(cur.u32()?));
             }
+            let masks = cur.masks()?;
             live.push(LiveConflict {
                 prefix,
                 opened_at,
                 origins,
+                masks,
             });
         }
         let affinity_count = cur.u32()? as usize;
@@ -606,6 +656,97 @@ mod tests {
             1
         );
         assert_eq!(store.truncated_prefixes(), &[p("10.9.9.0/24")]);
+    }
+
+    /// Encodes `data` in the version-1 layout (no corroboration
+    /// blocks, `MHTAB001` magic) — what a pre-federation daemon wrote.
+    fn write_table_v1(path: &Path, data: &TableData) {
+        let mut buf: Vec<u8> = Vec::new();
+        buf.extend_from_slice(TABLE_HEADER_MAGIC_V1);
+        put_u64(&mut buf, data.covers_below);
+        put_u32(&mut buf, data.horizon_day);
+        put_u32(&mut buf, data.last_event_at);
+        put_u64(&mut buf, data.events_replayed);
+
+        let mut index: Vec<(Prefix, u32)> = Vec::new();
+        put_u32(&mut buf, data.records.len() as u32);
+        let records_base = buf.len();
+        for rec in &data.records {
+            index.push((rec.prefix, (buf.len() - records_base) as u32));
+            put_prefix(&mut buf, &rec.prefix);
+            put_u32(&mut buf, rec.flap_count);
+            put_u16(&mut buf, rec.origins.len() as u16);
+            put_u32(&mut buf, rec.episodes.len() as u32);
+            for o in &rec.origins {
+                put_u32(&mut buf, o.value());
+            }
+            for ep in &rec.episodes {
+                put_episode(&mut buf, ep);
+            }
+        }
+        put_u32(&mut buf, data.live.len() as u32);
+        for lc in &data.live {
+            put_prefix(&mut buf, &lc.prefix);
+            put_u32(&mut buf, lc.opened_at);
+            put_u16(&mut buf, lc.origins.len() as u16);
+            for o in &lc.origins {
+                put_u32(&mut buf, o.value());
+            }
+        }
+        put_u32(&mut buf, data.affinity.len() as u32);
+        for &(prefix, a, b, count) in &data.affinity {
+            put_prefix(&mut buf, &prefix);
+            put_u32(&mut buf, a.value());
+            put_u32(&mut buf, b.value());
+            put_u32(&mut buf, count);
+        }
+        put_u32(&mut buf, data.truncated.len() as u32);
+        for prefix in &data.truncated {
+            put_prefix(&mut buf, prefix);
+        }
+        put_u32(&mut buf, index.len() as u32);
+        for (prefix, offset) in &index {
+            put_prefix(&mut buf, prefix);
+            put_u32(&mut buf, *offset);
+        }
+
+        let body_len = (buf.len() - TABLE_HEADER_LEN) as u32;
+        let crc = crate::codec::crc32(&buf);
+        buf.extend_from_slice(TABLE_TRAILER_MAGIC);
+        put_u32(&mut buf, body_len);
+        put_u32(&mut buf, crc);
+        std::fs::write(path, &buf).unwrap();
+    }
+
+    #[test]
+    fn v1_table_reads_as_corroboration_untracked() {
+        let data = sample();
+        assert!(
+            data.records.iter().all(|r| r.corroboration.is_empty()),
+            "single-collector fold carries no masks, so v1 encoding is lossless here"
+        );
+        let path = tmp("v1-compat.mht");
+        write_table_v1(&path, &data);
+
+        let file = TableFile::open(&path).unwrap();
+        let back = file.decode().unwrap();
+        assert_eq!(back, data);
+        assert!(back.live.iter().all(|lc| lc.masks.is_empty()));
+
+        // Point lookups through the index work on the v1 layout too.
+        let rec = file.lookup(&p("192.0.2.0/24")).unwrap().unwrap();
+        assert_eq!(rec, data.records[0]);
+        assert!(rec.corroboration.is_empty());
+        assert_eq!(rec.corroboration_count(), 0);
+
+        // Rewriting what we read produces a v2 file that decodes to
+        // the same data — the upgrade path is a plain rewrite.
+        let path2 = tmp("v1-upgraded.mht");
+        write_table(&path2, &back).unwrap();
+        assert_eq!(read_table(&path2).unwrap(), data);
+        assert_eq!(&std::fs::read(&path2).unwrap()[..8], TABLE_HEADER_MAGIC);
+        std::fs::remove_file(&path).ok();
+        std::fs::remove_file(&path2).ok();
     }
 
     #[test]

@@ -107,6 +107,13 @@ pub struct ValidityConfig {
     /// Episodes an origin pair must have co-announced a prefix for a
     /// short-lived recurrence to be upgraded to likely-valid.
     pub affinity_min_episodes: u32,
+    /// Distinct vantage points each origin must have been observed
+    /// from before a valid-looking verdict is trusted. Conflicts whose
+    /// tracked corroboration count falls below this are demoted to
+    /// [`Verdict::WeaklyCorroborated`]. Untracked records
+    /// (corroboration count 0 — single-collector deployments) are
+    /// never demoted, so the term only bites in federated mode.
+    pub corroboration_min: u32,
 }
 
 impl Default for ValidityConfig {
@@ -116,6 +123,7 @@ impl Default for ValidityConfig {
         ValidityConfig {
             threshold_secs: 7 * 86_400,
             affinity_min_episodes: 3,
+            corroboration_min: 2,
         }
     }
 }
@@ -148,12 +156,18 @@ pub enum Verdict {
     /// Short-lived and unestablished: presumed fault or
     /// misconfiguration.
     LikelyInvalid,
+    /// Would qualify as valid on duration or affinity grounds, but too
+    /// few vantage points corroborate its origins (tracked count below
+    /// [`ValidityConfig::corroboration_min`]) — a conflict one
+    /// collector swears by and the rest of the federation never saw.
+    /// Treated as not-valid until more vantage points agree.
+    WeaklyCorroborated,
 }
 
 impl Verdict {
     /// Whether the verdict treats the conflict as valid practice.
     pub fn is_valid(self) -> bool {
-        !matches!(self, Verdict::LikelyInvalid)
+        !matches!(self, Verdict::LikelyInvalid | Verdict::WeaklyCorroborated)
     }
 }
 
@@ -171,6 +185,9 @@ pub struct ConflictValidity {
     /// Fraction of conflicts with total open time ≤ this one's
     /// (rank among peers; 1.0 = longest-lived).
     pub longevity_percentile: f64,
+    /// Distinct vantage points that observed the least-corroborated
+    /// origin (0 = corroboration untracked).
+    pub corroboration: u32,
     /// The verdict.
     pub verdict: Verdict,
 }
@@ -232,16 +249,30 @@ impl ValidityReport {
     }
 
     /// Conflicts per verdict: `(likely_valid, recurring, likely_invalid)`.
+    /// [`Verdict::WeaklyCorroborated`] conflicts count toward the
+    /// invalid bucket — they are demotions *out of* the valid buckets,
+    /// and the three counts always sum to the total. Use
+    /// [`ValidityReport::weakly_corroborated`] for the demotion count
+    /// itself.
     pub fn tally(&self) -> (usize, usize, usize) {
         let mut t = (0, 0, 0);
         for c in &self.conflicts {
             match c.verdict {
                 Verdict::LikelyValid => t.0 += 1,
                 Verdict::RecurringValid => t.1 += 1,
-                Verdict::LikelyInvalid => t.2 += 1,
+                Verdict::LikelyInvalid | Verdict::WeaklyCorroborated => t.2 += 1,
             }
         }
         t
+    }
+
+    /// Conflicts demoted for weak corroboration (a subset of the
+    /// invalid bucket in [`ValidityReport::tally`]).
+    pub fn weakly_corroborated(&self) -> usize {
+        self.conflicts
+            .iter()
+            .filter(|c| c.verdict == Verdict::WeaklyCorroborated)
+            .count()
     }
 
     /// Scores the *batch* duration heuristic (day-granularity, over a
@@ -290,7 +321,8 @@ fn score_with_rank(
     } else {
         rank as f64 / total as f64
     };
-    let verdict = if open_secs > config.threshold_secs {
+    let corroboration = rec.corroboration_count();
+    let base = if open_secs > config.threshold_secs {
         Verdict::LikelyValid
     } else if store.affinity().max_pair_count(rec.prefix, &rec.origins)
         >= config.affinity_min_episodes
@@ -299,12 +331,23 @@ fn score_with_rank(
     } else {
         Verdict::LikelyInvalid
     };
+    // The corroboration term only ever demotes: a valid-looking
+    // conflict too few vantage points agree on becomes weakly
+    // corroborated. LikelyInvalid is never promoted, and untracked
+    // records (count 0) keep single-collector scoring bit-identical.
+    let verdict =
+        if base.is_valid() && corroboration > 0 && corroboration < config.corroboration_min {
+            Verdict::WeaklyCorroborated
+        } else {
+            base
+        };
     ConflictValidity {
         prefix: rec.prefix,
         open_secs,
         episodes: rec.episode_count(),
         flaps: rec.flap_count,
         longevity_percentile,
+        corroboration,
         verdict,
     }
 }
@@ -425,6 +468,83 @@ mod tests {
             assert_eq!(single.verdict, row.verdict);
         }
         assert!(score_prefix(&store, &p("203.0.113.0/24"), config).is_none());
+    }
+
+    #[test]
+    fn weak_corroboration_demotes_but_never_promotes() {
+        let solo = p("10.2.0.0/24"); // long-lived, one vantage point
+        let broad = p("10.2.1.0/24"); // long-lived, three vantage points
+        let fault = p("10.2.2.0/24"); // short-lived, one vantage point
+        let corroborate = |seq: &mut u64, prefix, origin: u32, mask: u64| SeqEvent {
+            shard: 0,
+            seq: {
+                *seq += 1;
+                *seq
+            },
+            event: MonitorEvent::OriginCorroborated {
+                prefix,
+                origin: Asn::new(origin),
+                mask,
+                at: 10,
+            },
+        };
+        // Corroborations must land inside the open episode, so they
+        // are interleaved right after each open.
+        let mut seq = 0;
+        let mut events: Vec<SeqEvent> = Vec::new();
+        events.extend(open_close(&mut seq, solo, &[7, 9], 0, None));
+        events.push(corroborate(&mut seq, solo, 7, 0b1));
+        events.push(corroborate(&mut seq, solo, 9, 0b1));
+        events.extend(open_close(&mut seq, broad, &[7, 9], 0, None));
+        events.push(corroborate(&mut seq, broad, 7, 0b111));
+        events.push(corroborate(&mut seq, broad, 9, 0b111));
+        events.extend(open_close(&mut seq, fault, &[30, 31], 0, None));
+        events.push(corroborate(&mut seq, fault, 30, 0b1));
+        events.push(corroborate(&mut seq, fault, 31, 0b1));
+        // Close solo and broad late (long-lived); fault early.
+        for (px, at) in [(solo, 30 * 86_400), (broad, 30 * 86_400), (fault, 3_600u32)] {
+            events.push(SeqEvent {
+                shard: 0,
+                seq: {
+                    seq += 1;
+                    seq
+                },
+                event: MonitorEvent::ConflictClosed {
+                    prefix: px,
+                    opened_at: 0,
+                    at,
+                },
+            });
+        }
+        let store = ConflictStore::from_events(&events);
+        let report = ValidityReport::build(&store, ValidityConfig::with_threshold_days(7));
+        assert_eq!(report.verdict_of(&solo), Some(Verdict::WeaklyCorroborated));
+        assert_eq!(report.verdict_of(&broad), Some(Verdict::LikelyValid));
+        // LikelyInvalid stays invalid — weak corroboration never
+        // changes an already-invalid verdict.
+        assert_eq!(report.verdict_of(&fault), Some(Verdict::LikelyInvalid));
+        assert!(!report.is_valid(&solo).unwrap());
+        // Weak demotions land in the invalid tally bucket.
+        assert_eq!(report.tally(), (1, 0, 2));
+        assert_eq!(report.weakly_corroborated(), 1);
+        let solo_row = report.conflicts.iter().find(|c| c.prefix == solo).unwrap();
+        assert_eq!(solo_row.corroboration, 1);
+        let broad_row = report.conflicts.iter().find(|c| c.prefix == broad).unwrap();
+        assert_eq!(broad_row.corroboration, 3);
+        // Raising corroboration_min demotes broad too; min 1 demotes
+        // nothing.
+        let strict = ValidityConfig {
+            corroboration_min: 4,
+            ..ValidityConfig::with_threshold_days(7)
+        };
+        let report = ValidityReport::build(&store, strict);
+        assert_eq!(report.verdict_of(&broad), Some(Verdict::WeaklyCorroborated));
+        let lax = ValidityConfig {
+            corroboration_min: 1,
+            ..ValidityConfig::with_threshold_days(7)
+        };
+        let report = ValidityReport::build(&store, lax);
+        assert_eq!(report.verdict_of(&solo), Some(Verdict::LikelyValid));
     }
 
     #[test]

@@ -38,6 +38,12 @@ pub struct MonitorConfig {
     /// Days a new origin must persist before the embedded
     /// [`moas_core::detector::MoasMonitor`] auto-accepts it.
     pub accept_after: u32,
+    /// Vantage points feeding this engine. 1 (the default) keeps the
+    /// single-collector behavior bit-for-bit: no vantage masks are
+    /// tracked and no [`crate::event::MonitorEvent::OriginCorroborated`]
+    /// events are emitted. A federation sets its collector count here
+    /// (capped at 64 — masks are `u64` bitsets).
+    pub collectors: usize,
 }
 
 impl Default for MonitorConfig {
@@ -48,6 +54,7 @@ impl Default for MonitorConfig {
             batch_size: 256,
             profiler: ProfilerConfig::default(),
             accept_after: 2,
+            collectors: 1,
         }
     }
 }
@@ -99,6 +106,10 @@ impl MonitorEngine {
     pub fn with_registry(config: MonitorConfig, registry: Arc<moas_obs::Registry>) -> Self {
         assert!(config.shards >= 1, "need at least one shard");
         assert!(config.batch_size >= 1, "need a positive batch size");
+        assert!(
+            (1..=64).contains(&config.collectors),
+            "collectors must be in 1..=64 (vantage masks are u64 bitsets)"
+        );
         let metrics = Arc::new(EngineMetrics::new(&registry));
         let mut senders = Vec::with_capacity(config.shards);
         let mut handles = Vec::with_capacity(config.shards);
@@ -106,12 +117,13 @@ impl MonitorEngine {
             let (tx, rx) = mpsc::sync_channel(config.queue_capacity.max(1));
             let m = Arc::clone(&metrics);
             let accept_after = config.accept_after;
+            let collectors = config.collectors;
             handles.push(
                 std::thread::Builder::new()
                     .name(format!("moas-shard-{shard}"))
                     .spawn(move || {
                         let _registered = moas_obs::prof::register_thread();
-                        run_shard(shard, rx, accept_after, m)
+                        run_shard(shard, rx, accept_after, collectors, m)
                     })
                     .expect("spawn shard worker"),
             );
@@ -194,17 +206,24 @@ impl MonitorEngine {
                 prefix: e.route.prefix,
                 action: UpdateAction::Announce(e.route.path.clone()),
                 at,
+                collector: 0,
             });
         }
     }
 
-    /// Ingests one MRT record. BGP4MP UPDATEs mutate state; everything
-    /// else is counted and skipped, like the batch reader's fault
-    /// tolerance. What a record *means* at the route level comes from
+    /// Ingests one MRT record as seen from collector 0.
+    pub fn ingest_record(&mut self, record: &MrtRecord) {
+        self.ingest_record_from(0, record);
+    }
+
+    /// Ingests one MRT record observed by `collector`. BGP4MP UPDATEs
+    /// mutate state; everything else is counted and skipped, like the
+    /// batch reader's fault tolerance. What a record *means* at the
+    /// route level comes from
     /// [`moas_core::replay::record_instructions`] — the same
     /// definition the batch replayer applies, so the two pipelines
     /// cannot drift.
-    pub fn ingest_record(&mut self, record: &MrtRecord) {
+    pub fn ingest_record_from(&mut self, collector: u16, record: &MrtRecord) {
         EngineMetrics::add(&self.metrics.records_ingested, 1);
         let Some((session, instructions)) = record_instructions(record) else {
             EngineMetrics::add(&self.metrics.records_skipped, 1);
@@ -223,7 +242,35 @@ impl MonitorEngine {
                 prefix,
                 action,
                 at: record.timestamp,
+                collector,
             });
+        }
+    }
+
+    /// Registers a deduplicated cross-collector sighting: `collector`
+    /// saw an identical copy of a record another collector already
+    /// delivered. Route state is untouched; only the vantage masks of
+    /// the record's announced origins widen. Withdraw instructions
+    /// carry no origin and are dropped. Rides the normal prefix-routed
+    /// batch channel, so per-prefix ordering against real updates is
+    /// preserved.
+    pub fn corroborate_record(&mut self, collector: u16, record: &MrtRecord) {
+        let Some((session, instructions)) = record_instructions(record) else {
+            return;
+        };
+        let session: SessionKey = session;
+        for instruction in instructions {
+            if let RouteInstruction::Announce { prefix, route } = instruction {
+                if let moas_net::Origin::Single(origin) = route.path.origin() {
+                    self.route(RouteUpdate {
+                        session,
+                        prefix,
+                        action: UpdateAction::Corroborate(origin),
+                        at: record.timestamp,
+                        collector,
+                    });
+                }
+            }
         }
     }
 

@@ -52,6 +52,23 @@ pub enum MonitorEvent {
         /// Update-stream timestamp of the close.
         at: u32,
     },
+    /// The set of vantage points (collectors) that have observed an
+    /// origin of an open conflict changed. Only emitted when the
+    /// engine runs federated (`MonitorConfig::collectors > 1`); the
+    /// mask is cumulative — bit `c` set means collector `c` has seen
+    /// this origin announced for this prefix — so downstream folds can
+    /// keep the latest mask per `(prefix, origin)` without replaying
+    /// deltas.
+    OriginCorroborated {
+        /// The conflicted prefix.
+        prefix: Prefix,
+        /// The origin whose vantage set changed.
+        origin: Asn,
+        /// Cumulative collector bitmask (bit `c` = collector `c`).
+        mask: u64,
+        /// Update-stream timestamp.
+        at: u32,
+    },
 }
 
 impl MonitorEvent {
@@ -61,7 +78,8 @@ impl MonitorEvent {
             MonitorEvent::ConflictOpened { prefix, .. }
             | MonitorEvent::OriginAdded { prefix, .. }
             | MonitorEvent::OriginWithdrawn { prefix, .. }
-            | MonitorEvent::ConflictClosed { prefix, .. } => *prefix,
+            | MonitorEvent::ConflictClosed { prefix, .. }
+            | MonitorEvent::OriginCorroborated { prefix, .. } => *prefix,
         }
     }
 
@@ -71,7 +89,8 @@ impl MonitorEvent {
             MonitorEvent::ConflictOpened { at, .. }
             | MonitorEvent::OriginAdded { at, .. }
             | MonitorEvent::OriginWithdrawn { at, .. }
-            | MonitorEvent::ConflictClosed { at, .. } => *at,
+            | MonitorEvent::ConflictClosed { at, .. }
+            | MonitorEvent::OriginCorroborated { at, .. } => *at,
         }
     }
 

@@ -242,6 +242,10 @@ fn apply_to_open(event: &MonitorEvent, open: &mut HashMap<Prefix, BTreeSet<Asn>>
         MonitorEvent::ConflictClosed { prefix, .. } => {
             open.remove(prefix);
         }
+        // Vantage-mask bookkeeping never changes which conflicts are
+        // open — the fold ignores it, which is what makes a federated
+        // run's Timeline identical to the single-collector fold.
+        MonitorEvent::OriginCorroborated { .. } => {}
     }
 }
 

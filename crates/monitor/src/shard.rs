@@ -151,9 +151,10 @@ pub fn run_shard(
     shard: usize,
     rx: mpsc::Receiver<ShardMsg>,
     accept_after: u32,
+    collectors: usize,
     metrics: Arc<EngineMetrics>,
 ) -> ShardOutput {
-    let mut state = ShardState::new();
+    let mut state = ShardState::with_collectors(collectors);
     let mut log: Vec<SeqEvent> = Vec::new();
     let mut slices: Vec<DaySlice> = Vec::new();
     let mut alarms: Vec<(usize, Anomaly)> = Vec::new();

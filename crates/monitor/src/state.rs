@@ -29,6 +29,10 @@ pub struct RouteUpdate {
     pub action: UpdateAction,
     /// BGP4MP timestamp of the enclosing record.
     pub at: u32,
+    /// The vantage point (collector) that observed the update. Always
+    /// 0 for single-collector ingest; a federation tags each update
+    /// with its source so shards can attribute origin sightings.
+    pub collector: u16,
 }
 
 /// What an update does to one (session, prefix) slot.
@@ -38,6 +42,10 @@ pub enum UpdateAction {
     Announce(AsPath),
     /// Withdraw the session's route.
     Withdraw,
+    /// A deduplicated cross-collector sighting: another collector saw
+    /// an identical announcement for this origin. Touches no route
+    /// state — it only widens the `(prefix, origin)` vantage mask.
+    Corroborate(Asn),
 }
 
 /// The route one session currently holds for a prefix.
@@ -153,6 +161,16 @@ pub struct ShardState {
     prefixes: HashMap<Prefix, PrefixState>,
     live_routes: u64,
     spurious_withdrawals: u64,
+    /// Whether corroboration tracking is on (federated engine,
+    /// `collectors > 1`). Off, the masks map stays empty and `apply`
+    /// emits exactly the single-collector event stream.
+    track_corroboration: bool,
+    /// Per `(prefix, origin)` vantage bitmask: bit `c` set means
+    /// collector `c` announced `origin` for `prefix` at some point.
+    /// Kept outside [`PrefixState`] on purpose — a fully withdrawn
+    /// prefix leaves the prefix table, but "who has ever seen this
+    /// origin" must survive withdrawal for §VI corroboration scoring.
+    masks: HashMap<(Prefix, Asn), u64>,
 }
 
 impl ShardState {
@@ -161,12 +179,66 @@ impl ShardState {
         ShardState::default()
     }
 
+    /// An empty shard with cross-collector corroboration tracking
+    /// enabled when `collectors > 1`.
+    pub fn with_collectors(collectors: usize) -> Self {
+        ShardState {
+            track_corroboration: collectors > 1,
+            ..ShardState::default()
+        }
+    }
+
+    /// Sets bit `collector` in the `(prefix, origin)` vantage mask.
+    /// Returns the new cumulative mask if the bit was not already set.
+    fn widen_mask(&mut self, prefix: Prefix, origin: Asn, collector: u16) -> Option<u64> {
+        if !self.track_corroboration {
+            return None;
+        }
+        let bit = 1u64 << (collector as u64 % 64);
+        let mask = self.masks.entry((prefix, origin)).or_insert(0);
+        if *mask & bit != 0 {
+            return None;
+        }
+        *mask |= bit;
+        Some(*mask)
+    }
+
+    /// The current vantage mask for `(prefix, origin)` (0 when
+    /// untracked or never seen).
+    pub fn corroboration_mask(&self, prefix: Prefix, origin: Asn) -> u64 {
+        self.masks.get(&(prefix, origin)).copied().unwrap_or(0)
+    }
+
     /// Applies one route update; returns the lifecycle events it
-    /// caused (at most two: an origin change plus a state transition).
+    /// caused (at most two route-level events — an origin change plus
+    /// a state transition — plus, when federated, the corroboration
+    /// events for origins whose vantage mask changed).
     pub fn apply(&mut self, update: &RouteUpdate) -> Vec<MonitorEvent> {
         let mut events = Vec::new();
         let at = update.at;
         let prefix = update.prefix;
+
+        // Corroborations never touch route state: widen the vantage
+        // mask and, if the prefix is currently in conflict, surface
+        // the change as an event for the history fold.
+        if let UpdateAction::Corroborate(origin) = &update.action {
+            if let Some(mask) = self.widen_mask(prefix, *origin, update.collector) {
+                let in_conflict = self
+                    .prefixes
+                    .get(&prefix)
+                    .is_some_and(|st| st.is_conflict());
+                if in_conflict {
+                    events.push(MonitorEvent::OriginCorroborated {
+                        prefix,
+                        origin: *origin,
+                        mask,
+                        at,
+                    });
+                }
+            }
+            return events;
+        }
+
         let st = self.prefixes.entry(prefix).or_default();
 
         let was_conflict = st.is_conflict();
@@ -196,6 +268,7 @@ impl ShardState {
                     self.spurious_withdrawals += 1;
                 }
             },
+            UpdateAction::Corroborate(_) => unreachable!("handled above"),
         }
 
         // A same-origin replacement cancels out: nothing observable
@@ -240,6 +313,71 @@ impl ShardState {
             self.prefixes.remove(&prefix);
         }
 
+        // Federated: record which collector saw the announced origin,
+        // and narrate mask changes for open conflicts. Emitted after
+        // the transition event so a fold sees `ConflictOpened` before
+        // the masks of its origins.
+        if self.track_corroboration {
+            if let UpdateAction::Announce(path) = &update.action {
+                if let Origin::Single(o) = path.origin() {
+                    let widened = self.widen_mask(prefix, o, update.collector);
+                    let open_now = self
+                        .prefixes
+                        .get(&prefix)
+                        .is_some_and(|st| st.is_conflict());
+                    if open_now {
+                        match (was_conflict, now_conflict) {
+                            // Opening update: surface every current
+                            // origin's mask, so the episode starts with
+                            // full vantage attribution.
+                            (false, true) => {
+                                let origins = self
+                                    .prefixes
+                                    .get(&prefix)
+                                    .map(|st| st.sorted_origins())
+                                    .unwrap_or_default();
+                                for origin in origins {
+                                    let mask = self.corroboration_mask(prefix, origin);
+                                    if mask != 0 {
+                                        events.push(MonitorEvent::OriginCorroborated {
+                                            prefix,
+                                            origin,
+                                            mask,
+                                            at,
+                                        });
+                                    }
+                                }
+                            }
+                            _ => {
+                                if let Some(mask) = widened {
+                                    events.push(MonitorEvent::OriginCorroborated {
+                                        prefix,
+                                        origin: o,
+                                        mask,
+                                        at,
+                                    });
+                                } else if added == Some(o) {
+                                    // The origin joined an open
+                                    // conflict with a mask built up
+                                    // before it was conflicted —
+                                    // re-announce it for the fold.
+                                    let mask = self.corroboration_mask(prefix, o);
+                                    if mask != 0 {
+                                        events.push(MonitorEvent::OriginCorroborated {
+                                            prefix,
+                                            origin: o,
+                                            mask,
+                                            at,
+                                        });
+                                    }
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+
         events
     }
 
@@ -267,6 +405,7 @@ impl ShardState {
     pub fn approx_bytes(&self) -> u64 {
         use std::mem::size_of;
         let mut total = size_of::<ShardState>() as u64;
+        total += (self.masks.len() * (size_of::<(Prefix, Asn)>() + size_of::<u64>())) as u64;
         for state in self.prefixes.values() {
             total += (size_of::<Prefix>() + size_of::<PrefixState>()) as u64;
             total += (state.single_origins.len() * (size_of::<Asn>() + size_of::<u32>())) as u64;
@@ -356,6 +495,7 @@ mod tests {
             prefix: prefix.parse().unwrap(),
             action: UpdateAction::Announce(path.parse().unwrap()),
             at,
+            collector: 0,
         }
     }
 
@@ -365,6 +505,24 @@ mod tests {
             prefix: prefix.parse().unwrap(),
             action: UpdateAction::Withdraw,
             at,
+            collector: 0,
+        }
+    }
+
+    fn announce_from(c: u16, s: SessionKey, prefix: &str, path: &str, at: u32) -> RouteUpdate {
+        RouteUpdate {
+            collector: c,
+            ..announce(s, prefix, path, at)
+        }
+    }
+
+    fn corroborate(c: u16, s: SessionKey, prefix: &str, origin: u32, at: u32) -> RouteUpdate {
+        RouteUpdate {
+            session: s,
+            prefix: prefix.parse().unwrap(),
+            action: UpdateAction::Corroborate(Asn::new(origin)),
+            at,
+            collector: c,
         }
     }
 
@@ -468,5 +626,82 @@ mod tests {
         st.apply(&withdraw(sess(1, 701), "10.0.0.0/8", 1));
         assert_eq!(st.prefix_count(), 0);
         assert_eq!(st.route_count(), 0);
+    }
+
+    #[test]
+    fn single_collector_emits_no_corroboration() {
+        let mut st = ShardState::with_collectors(1);
+        st.apply(&announce(sess(1, 701), "192.0.2.0/24", "701 7", 0));
+        let ev = st.apply(&announce(sess(2, 1239), "192.0.2.0/24", "1239 9", 1));
+        assert_eq!(ev.len(), 1, "only the open event: {ev:?}");
+        assert_eq!(
+            st.corroboration_mask("192.0.2.0/24".parse().unwrap(), Asn::new(7)),
+            0
+        );
+        // A stray corroborate in single-collector mode is a no-op.
+        let ev = st.apply(&corroborate(0, sess(1, 701), "192.0.2.0/24", 7, 2));
+        assert!(ev.is_empty());
+    }
+
+    #[test]
+    fn corroboration_masks_widen_and_narrate() {
+        let px: Prefix = "192.0.2.0/24".parse().unwrap();
+        let mut st = ShardState::with_collectors(3);
+        st.apply(&announce(sess(1, 701), "192.0.2.0/24", "701 7", 0));
+        let ev = st.apply(&announce(sess(2, 1239), "192.0.2.0/24", "1239 9", 1));
+        // Open event first, then both origins' masks (collector 0).
+        assert!(matches!(&ev[0], MonitorEvent::ConflictOpened { .. }));
+        assert_eq!(ev.len(), 3, "{ev:?}");
+        assert_eq!(st.corroboration_mask(px, Asn::new(7)), 0b1);
+        // Collector 2 corroborates origin 7: mask widens, event emitted.
+        let ev = st.apply(&corroborate(2, sess(1, 701), "192.0.2.0/24", 7, 5));
+        assert_eq!(
+            ev,
+            vec![MonitorEvent::OriginCorroborated {
+                prefix: px,
+                origin: Asn::new(7),
+                mask: 0b101,
+                at: 5,
+            }]
+        );
+        // Repeat sighting from the same collector: silent.
+        assert!(st
+            .apply(&corroborate(2, sess(1, 701), "192.0.2.0/24", 7, 6))
+            .is_empty());
+        // A direct announce from collector 1 widens too.
+        let ev = st.apply(&announce_from(
+            1,
+            sess(3, 3561),
+            "192.0.2.0/24",
+            "3561 7",
+            7,
+        ));
+        assert_eq!(
+            ev,
+            vec![MonitorEvent::OriginCorroborated {
+                prefix: px,
+                origin: Asn::new(7),
+                mask: 0b111,
+                at: 7,
+            }]
+        );
+    }
+
+    #[test]
+    fn corroboration_mask_survives_prefix_withdrawal() {
+        let px: Prefix = "192.0.2.0/24".parse().unwrap();
+        let mut st = ShardState::with_collectors(2);
+        st.apply(&announce(sess(1, 701), "192.0.2.0/24", "701 7", 0));
+        st.apply(&corroborate(1, sess(1, 701), "192.0.2.0/24", 7, 1));
+        st.apply(&withdraw(sess(1, 701), "192.0.2.0/24", 2));
+        assert_eq!(st.prefix_count(), 0, "prefix fully withdrawn");
+        assert_eq!(st.corroboration_mask(px, Asn::new(7)), 0b11);
+        // Reopening the conflict re-announces the retained masks.
+        st.apply(&announce(sess(1, 701), "192.0.2.0/24", "701 7", 3));
+        let ev = st.apply(&announce(sess(2, 1239), "192.0.2.0/24", "1239 9", 4));
+        assert!(ev.iter().any(|e| matches!(
+            e,
+            MonitorEvent::OriginCorroborated { origin, mask: 0b11, .. } if *origin == Asn::new(7)
+        )));
     }
 }

@@ -40,6 +40,10 @@ pub struct JournalEvent {
     pub message: String,
     /// Trace id of the span tree this event belongs to (0 = none).
     pub trace: u64,
+    /// Collector the event originated from (empty = not
+    /// collector-scoped) — federated feed gaps carry the vantage
+    /// point that went dark.
+    pub collector: String,
 }
 
 /// A bounded, thread-safe ring buffer of [`JournalEvent`]s.
@@ -95,6 +99,17 @@ impl EventJournal {
     /// belongs to (0 for none), so operators can jump from the journal
     /// line to `/v1/trace/{id}`.
     pub fn record_with_trace(&self, kind: &str, message: impl Into<String>, trace: u64) {
+        self.record_full(kind, message, trace, "");
+    }
+
+    /// Records one event tagged with the collector it originated from
+    /// — how a federated feed scopes `feed_gap` events to the vantage
+    /// point that went dark.
+    pub fn record_with_collector(&self, kind: &str, message: impl Into<String>, collector: &str) {
+        self.record_full(kind, message, 0, collector);
+    }
+
+    fn record_full(&self, kind: &str, message: impl Into<String>, trace: u64, collector: &str) {
         let seq = self.seq.fetch_add(1, Ordering::Relaxed);
         let unix_ms = SystemTime::now()
             .duration_since(UNIX_EPOCH)
@@ -106,6 +121,7 @@ impl EventJournal {
             kind: kind.to_string(),
             message: message.into(),
             trace,
+            collector: collector.to_string(),
         };
         let mut ring = self.ring.lock().expect("journal lock poisoned");
         if ring.len() == self.cap {
@@ -189,5 +205,16 @@ mod tests {
         let events = j.events();
         assert_eq!(events[0].trace, 0xabcd);
         assert_eq!(events[1].trace, 0);
+        assert!(events.iter().all(|e| e.collector.is_empty()));
+    }
+
+    #[test]
+    fn collector_scoped_events_carry_their_vantage_point() {
+        let j = EventJournal::default();
+        j.record_with_collector("feed_gap", "day 3 missing", "rrc01");
+        j.record("feed_gap", "day 4 missing");
+        let events = j.events();
+        assert_eq!(events[0].collector, "rrc01");
+        assert_eq!(events[1].collector, "");
     }
 }

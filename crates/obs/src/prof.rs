@@ -16,7 +16,7 @@
 //!   `moas_process_cpu_seconds_total` — so *coverage* is checkable:
 //!   named threads should account for ~all process CPU.
 //! * **Where does the wall-clock go, by stage?** The [`Profiler`]
-//!   continuously drains the span ring ([`Tracer::drain_new`]),
+//!   continuously drains the span ring ([`crate::trace::Tracer::drain_new`]),
 //!   reassembles each trace's tree, and aggregates per-stage
 //!   *self-time* (duration minus children) and *total-time* into a
 //!   bounded time-bucketed ring. The folded rendering

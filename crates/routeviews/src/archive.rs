@@ -10,10 +10,13 @@
 
 use crate::collector::{BackgroundMode, Collector};
 use crate::updates::diff_snapshots;
+use moas_bgp::message::BgpMessage;
 use moas_bgp::TableSnapshot;
+use moas_mrt::record::{MrtBody, MrtRecord};
 use moas_mrt::snapshot::{snapshot_to_records, DumpFormat};
 use moas_mrt::MrtWriter;
-use moas_net::Date;
+use moas_net::{Date, Ipv4Prefix};
+use std::collections::HashSet;
 use std::fs::File;
 use std::io::{self, Write};
 use std::path::{Path, PathBuf};
@@ -259,6 +262,189 @@ impl<'c, 'w> SimFeed<'c, 'w> {
                 None => break,
             }
             std::thread::sleep(interval);
+        }
+        Ok(days)
+    }
+}
+
+/// How one vantage point of a [`SimFederation`] distorts the shared
+/// update stream — the three federation pathologies a multi-collector
+/// follower must absorb.
+#[derive(Debug, Clone, Default)]
+pub struct SimCollectorSpec {
+    /// Collector name; its files land in `<base>/<name>/`.
+    pub name: String,
+    /// Clock skew applied to every record timestamp this collector
+    /// writes (seconds; the payload bytes stay identical, so
+    /// content-keyed dedup still matches the copies up).
+    pub clock_skew_secs: i64,
+    /// Study-window day positions this collector never archives — a
+    /// per-collector feed gap the corroborated view must ride out.
+    pub skip_days: Vec<usize>,
+    /// Prefixes this collector never observes (partial visibility):
+    /// they are dropped from its announcements and withdrawals, and
+    /// updates left empty vanish entirely.
+    pub hidden_prefixes: Vec<Ipv4Prefix>,
+}
+
+impl SimCollectorSpec {
+    /// A faithful collector named `name`: no skew, no gaps, full
+    /// visibility.
+    pub fn new(name: impl Into<String>) -> Self {
+        SimCollectorSpec {
+            name: name.into(),
+            ..SimCollectorSpec::default()
+        }
+    }
+
+    /// Skews this collector's clock by `secs` (builder style).
+    pub fn skewed(mut self, secs: i64) -> Self {
+        self.clock_skew_secs = secs;
+        self
+    }
+
+    /// Makes this collector skip the given window day positions.
+    pub fn skipping(mut self, days: &[usize]) -> Self {
+        self.skip_days = days.to_vec();
+        self
+    }
+
+    /// Hides the given prefixes from this collector.
+    pub fn hiding(mut self, prefixes: &[Ipv4Prefix]) -> Self {
+        self.hidden_prefixes = prefixes.to_vec();
+        self
+    }
+}
+
+/// What one federation day produced for one collector.
+#[derive(Debug, Clone)]
+pub struct FederatedDay {
+    /// Snapshot-day position in the study window.
+    pub idx: usize,
+    /// The day's calendar date.
+    pub date: Date,
+    /// Per-collector results, in spec order: `None` for a skipped
+    /// day, otherwise the path and record count written.
+    pub collectors: Vec<Option<(PathBuf, usize)>>,
+}
+
+/// A simulated *federation* of collectors: each day's canonical
+/// update stream is synthesized once from the shared study-window
+/// collector, then written per vantage point with that collector's
+/// distortions applied — skewed clocks, skipped days, hidden
+/// prefixes. The union of the vantage-point streams always covers the
+/// canonical stream (a hidden prefix is only hidden from *some*
+/// collectors), which is what makes federated-vs-single equivalence
+/// pins exact.
+pub struct SimFederation<'c, 'w> {
+    collector: &'c mut Collector<'w>,
+    base: PathBuf,
+    specs: Vec<SimCollectorSpec>,
+    background: BackgroundMode,
+    next_idx: usize,
+    end_idx: usize,
+    prev: Option<TableSnapshot>,
+}
+
+impl<'c, 'w> SimFederation<'c, 'w> {
+    /// A federation over positions `start..end` of the study window,
+    /// writing each spec's files into `<base>/<name>/` (created if
+    /// missing).
+    pub fn new(
+        collector: &'c mut Collector<'w>,
+        base: &Path,
+        start: usize,
+        end: usize,
+        background: BackgroundMode,
+        specs: Vec<SimCollectorSpec>,
+    ) -> io::Result<Self> {
+        for spec in &specs {
+            std::fs::create_dir_all(base.join(&spec.name))?;
+        }
+        Ok(SimFederation {
+            collector,
+            base: base.to_path_buf(),
+            specs,
+            background,
+            next_idx: start,
+            end_idx: end,
+            prev: None,
+        })
+    }
+
+    /// The per-collector archive directories, in spec order — the
+    /// `CollectorSpec` dirs a federation under test opens.
+    pub fn dirs(&self) -> Vec<PathBuf> {
+        self.specs.iter().map(|s| self.base.join(&s.name)).collect()
+    }
+
+    /// `spec`'s view of the canonical day stream: clock skew applied,
+    /// hidden prefixes removed (updates left empty vanish).
+    fn collector_view(records: &[MrtRecord], spec: &SimCollectorSpec) -> Vec<MrtRecord> {
+        let hidden: HashSet<Ipv4Prefix> = spec.hidden_prefixes.iter().copied().collect();
+        records
+            .iter()
+            .filter_map(|rec| {
+                let mut rec = rec.clone();
+                rec.timestamp =
+                    (rec.timestamp as i64 + spec.clock_skew_secs).clamp(0, u32::MAX as i64) as u32;
+                if !hidden.is_empty() {
+                    if let MrtBody::Bgp4mpMessage(m) = &mut rec.body {
+                        if let BgpMessage::Update(u) = &mut m.message {
+                            u.announced.retain(|p| !hidden.contains(p));
+                            u.withdrawn.retain(|p| !hidden.contains(p));
+                            if u.announced.is_empty() && u.withdrawn.is_empty() {
+                                return None;
+                            }
+                        }
+                    }
+                }
+                Some(rec)
+            })
+            .collect()
+    }
+
+    /// Appends the next day across every collector. `None` once the
+    /// window is exhausted.
+    pub fn append_day(&mut self) -> io::Result<Option<FederatedDay>> {
+        if self.next_idx >= self.end_idx {
+            return Ok(None);
+        }
+        let idx = self.next_idx;
+        self.next_idx += 1;
+        let snapshot = self.collector.snapshot_at(idx, self.background);
+        let date = snapshot.date;
+        let empty = TableSnapshot::new(date);
+        let records = diff_snapshots(self.prev.as_ref().unwrap_or(&empty), &snapshot);
+        self.prev = Some(snapshot);
+
+        let mut collectors = Vec::with_capacity(self.specs.len());
+        for spec in &self.specs {
+            if spec.skip_days.contains(&idx) {
+                collectors.push(None);
+                continue;
+            }
+            let view = Self::collector_view(&records, spec);
+            let mut bytes = Vec::new();
+            for rec in &view {
+                bytes.extend_from_slice(&rec.encode());
+            }
+            let path = self.base.join(&spec.name).join(update_file_name(date, 0));
+            write_file_atomic(&path, &bytes)?;
+            collectors.push(Some((path, view.len())));
+        }
+        Ok(Some(FederatedDay {
+            idx,
+            date,
+            collectors,
+        }))
+    }
+
+    /// Appends every remaining day; returns the days written.
+    pub fn write_all(&mut self) -> io::Result<usize> {
+        let mut days = 0;
+        while self.append_day()?.is_some() {
+            days += 1;
         }
         Ok(days)
     }

@@ -32,7 +32,8 @@ pub mod realize;
 pub mod updates;
 
 pub use archive::{
-    update_file_name, write_update_archive, write_window_archive, AppendedDay, SimFeed,
+    update_file_name, write_update_archive, write_window_archive, AppendedDay, FederatedDay,
+    SimCollectorSpec, SimFederation, SimFeed,
 };
 pub use collector::{BackgroundMode, Collector};
 pub use peers::{PeerSet, Session};

@@ -18,7 +18,8 @@
 //! | `/v1/prefix/{prefix}` | point lookup: record + §VI score |
 //! | `/v1/timeline?days=` | conflicts open per day |
 //! | `/v1/metrics` | server + engine counters (JSON view) |
-//! | `/v1/feed` | live-feed cursor, lag, gaps |
+//! | `/v1/feed` | live-feed cursor, lag, gaps (federated: + `collectors` array) |
+//! | `/v1/collectors` | per-collector feed status blocks (corroboration denominators) |
 //! | `/v1/events/log` | recent operational events (ring journal) |
 //! | `/v1/events/stream` | SSE live tail of the event journal (connection layer) |
 //! | `/v1/alerts` | §VII-style operational alert rules and their states |
@@ -55,8 +56,17 @@ pub trait FeedStatusSource: Send + Sync {
     fn status_json(&self) -> Value;
     /// Seconds the ingest position trails the newest discovered
     /// input; `/readyz` answers 503 while this exceeds
-    /// [`ServerConfig::ready_max_feed_lag_secs`].
+    /// [`ServerConfig::ready_max_feed_lag_secs`]. A federated source
+    /// reports the *max* across its collectors, so a stalled vantage
+    /// point cannot hide behind a healthy one.
     fn lag_seconds(&self) -> u64;
+    /// Per-collector status blocks for `/v1/collectors`: one JSON
+    /// object per vantage point. `None` for single-feed sources —
+    /// the endpoint then wraps [`FeedStatusSource::status_json`] as a
+    /// one-element federation so clients see a uniform shape.
+    fn collectors(&self) -> Option<Value> {
+        None
+    }
 }
 
 /// How a feed status source is attached: any [`FeedStatusSource`]
@@ -293,6 +303,7 @@ impl QueryService {
             "/v1/timeline" => self.timeline_route(snap, req),
             "/v1/metrics" => Ok(self.metrics_route()),
             "/v1/feed" => self.feed_route(),
+            "/v1/collectors" => self.collectors_route(),
             "/v1/events/log" => Ok(self.events_route()),
             "/v1/alerts" => self.alerts_route(),
             "/v1/series" => self.series_route(req),
@@ -425,17 +436,24 @@ impl QueryService {
             ));
         }
         let offset = cursor_offset(req, snap.epoch())?;
+        // Opt-in corroboration column: `corroboration=1` adds a
+        // parallel array of per-conflict vantage counts (0 =
+        // single-collector ingest, untracked). Off by default so the
+        // pre-federation answer shape is untouched.
+        let want_corroboration = req
+            .query_value("corroboration")
+            .is_some_and(|v| v != "0" && v != "false");
         let truncated = self.day_expired(snap, date);
-        let prefixes: Vec<String> = if truncated {
-            Vec::new()
+        let (prefixes, corroborations): (Vec<String>, Vec<u32>) = if truncated {
+            (Vec::new(), Vec::new())
         } else {
             let cut = ConflictStore::cuts(&[date])[0];
             snap.conflicts()
                 .records()
                 .values()
                 .filter(|r| r.days_at_cuts(&[cut]) > 0)
-                .map(|r| r.prefix.to_string())
-                .collect()
+                .map(|r| (r.prefix.to_string(), r.corroboration_count()))
+                .unzip()
         };
         let count = (!truncated).then_some(prefixes.len() as u64);
         // Without `limit` the answer keeps its original unpaginated
@@ -443,20 +461,29 @@ impl QueryService {
         // epoch-stamped cursor (records iterate in prefix order, so
         // pages tile the full set within one epoch).
         let Some(limit) = limit else {
-            return Ok(json(&ConflictsResponse {
+            let mut body = json_value(&ConflictsResponse {
                 epoch: snap.epoch(),
                 date: date.to_string(),
                 horizon_day: snap.horizon_day(),
                 truncated,
                 count,
                 prefixes,
-            }));
+            });
+            if want_corroboration {
+                push_field(&mut body, "corroboration", &corroborations);
+            }
+            return Ok(json(&body));
         };
         let total = prefixes.len();
         let page: Vec<String> = prefixes.into_iter().skip(offset).take(limit).collect();
+        let corroboration_page: Vec<u32> = corroborations
+            .into_iter()
+            .skip(offset)
+            .take(page.len())
+            .collect();
         let next_cursor = (offset + page.len() < total)
             .then(|| encode_cursor(snap.epoch(), (offset + page.len()) as u64));
-        Ok(json(&PagedConflictsResponse {
+        let mut body = json_value(&PagedConflictsResponse {
             epoch: snap.epoch(),
             date: date.to_string(),
             horizon_day: snap.horizon_day(),
@@ -466,7 +493,11 @@ impl QueryService {
             returned: page.len() as u64,
             next_cursor,
             prefixes: page,
-        }))
+        });
+        if want_corroboration {
+            push_field(&mut body, "corroboration", &corroboration_page);
+        }
+        Ok(json(&body))
     }
 
     fn prefix_route(
@@ -570,6 +601,27 @@ impl QueryService {
             Response::error(404, "not_found", "no live feed attached to this server")
         })?;
         Ok(json(&feed.status_json()))
+    }
+
+    /// Per-collector feed status: one block per federation vantage
+    /// point (corroboration's denominators). A single-feed source is
+    /// served as a one-collector federation so clients see a uniform
+    /// shape.
+    fn collectors_route(&self) -> Result<Response, Response> {
+        let feed = self.feed.as_ref().ok_or_else(|| {
+            Response::error(404, "not_found", "no live feed attached to this server")
+        })?;
+        let collectors = feed
+            .collectors()
+            .unwrap_or_else(|| Value::Array(vec![feed.status_json()]));
+        let count = match &collectors {
+            Value::Array(items) => items.len() as u64,
+            _ => 0,
+        };
+        Ok(json(&Value::Object(vec![
+            ("count".into(), Value::U64(count)),
+            ("collectors".into(), collectors),
+        ])))
     }
 
     /// The Prometheus text exposition of the shared registry. When an
@@ -681,6 +733,9 @@ impl QueryService {
                 if e.trace != 0 {
                     // Hex, matching what /v1/trace/{id} accepts.
                     row.push(("trace".into(), Value::String(format!("{:x}", e.trace))));
+                }
+                if !e.collector.is_empty() {
+                    row.push(("collector".into(), Value::String(e.collector.clone())));
                 }
                 Value::Object(row)
             })
@@ -1009,6 +1064,7 @@ fn is_cacheable(path: &str) -> bool {
         "/v1/stats"
             | "/v1/metrics"
             | "/v1/feed"
+            | "/v1/collectors"
             | "/v1/events/log"
             | "/v1/events/stream"
             | "/v1/alerts"
@@ -1035,6 +1091,7 @@ fn normalize_endpoint(req: &Request) -> (&'static str, String) {
         "/v1/timeline",
         "/v1/metrics",
         "/v1/feed",
+        "/v1/collectors",
         "/v1/events/log",
         "/v1/events/stream",
         "/v1/alerts",
@@ -1104,9 +1161,11 @@ fn validity_config(req: &Request) -> Result<ValidityConfig, Response> {
     let defaults = ValidityConfig::default();
     let threshold_days: u32 = param(req, "threshold_days", defaults.threshold_days())?;
     let affinity_min: u32 = param(req, "affinity_min", defaults.affinity_min_episodes)?;
+    let corroboration_min: u32 = param(req, "corroboration_min", defaults.corroboration_min)?;
     Ok(ValidityConfig {
         threshold_secs: threshold_days as u64 * 86_400,
         affinity_min_episodes: affinity_min,
+        corroboration_min,
     })
 }
 
@@ -1224,11 +1283,26 @@ fn json<T: Serialize>(value: &T) -> Response {
     Response::ok_json(serde_json::to_string(value).expect("value rendering is total"))
 }
 
+/// Renders a serializable body to its [`Value`] tree, so optional
+/// fields can be appended before the final encode.
+fn json_value<T: Serialize>(value: &T) -> Value {
+    value.to_value()
+}
+
+/// Appends one field to an object-shaped [`Value`] (no-op on other
+/// shapes).
+fn push_field<T: Serialize>(body: &mut Value, name: &str, value: &T) {
+    if let Value::Object(fields) = body {
+        fields.push((name.to_string(), value.to_value()));
+    }
+}
+
 fn verdict_str(v: Verdict) -> &'static str {
     match v {
         Verdict::LikelyValid => "likely_valid",
         Verdict::RecurringValid => "recurring_valid",
         Verdict::LikelyInvalid => "likely_invalid",
+        Verdict::WeaklyCorroborated => "weakly_corroborated",
     }
 }
 
@@ -1239,6 +1313,7 @@ fn validity_row(c: &moas_history::ConflictValidity) -> ValidityRow {
         episodes: c.episodes,
         flaps: c.flaps,
         longevity_percentile: c.longevity_percentile,
+        corroboration: c.corroboration,
         verdict: verdict_str(c.verdict),
     }
 }
@@ -1291,6 +1366,7 @@ struct ValidityRow {
     episodes: u32,
     flaps: u32,
     longevity_percentile: f64,
+    corroboration: u32,
     verdict: &'static str,
 }
 

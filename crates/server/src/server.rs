@@ -374,6 +374,9 @@ fn stream_events(service: &QueryService, queue: &ConnQueue, req: &Request, out: 
             if e.trace != 0 {
                 row.push(("trace".to_string(), Value::String(format!("{:x}", e.trace))));
             }
+            if !e.collector.is_empty() {
+                row.push(("collector".to_string(), Value::String(e.collector.clone())));
+            }
             let data =
                 serde_json::to_string(&Value::Object(row)).expect("value rendering is total");
             let frame = format!("id: {}\nevent: {}\ndata: {data}\n\n", e.seq, e.kind);
